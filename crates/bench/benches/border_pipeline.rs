@@ -1,0 +1,63 @@
+//! E2/E3/E7 — border-router forwarding (Fig. 8, §V-B). Measures the full
+//! egress pipeline (`process_outgoing`: EphID decrypt + 2 lookups + packet
+//! MAC verify) at each Fig. 8 packet size, and the ingress pipeline.
+
+use apna_bench::BenchWorld;
+use apna_core::Timestamp;
+use apna_simnet::linerate::LineRateModel;
+use apna_wire::ReplayMode;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("border");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
+
+    let mut world = BenchWorld::new();
+    for size in LineRateModel::FIG8_SIZES {
+        let wire = world.packet_of_size(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("egress_{size}B"), |b| {
+            b.iter(|| {
+                black_box(world.node.br.process_outgoing(
+                    black_box(&wire),
+                    ReplayMode::Disabled,
+                    Timestamp(1),
+                ))
+            })
+        });
+    }
+
+    // Ingress is size-independent (no packet MAC check at the destination
+    // AS — only the EphID decrypt + table checks).
+    // Build an incoming packet addressed to our host's EphID.
+    let inbound;
+    {
+        use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr};
+        let our = world.host.owned_ephid(world.ephid_idx).ephid();
+        let header = ApnaHeader::new(
+            HostAddr::new(Aid(2), EphIdBytes([0x55; 16])),
+            HostAddr::new(Aid(1), our),
+        );
+        let mut buf = header.serialize();
+        buf.extend_from_slice(&vec![0u8; 512 - buf.len()]);
+        inbound = buf;
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("ingress_512B", |b| {
+        b.iter(|| {
+            black_box(world.node.br.process_incoming(
+                black_box(&inbound),
+                ReplayMode::Disabled,
+                Timestamp(1),
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E1 — EphID generation (§V-A3). Paper: 13.7 µs per EphID, 72.8k/s on 4
+//! workers. Here: `ephid_seal`/`ephid_open` are the raw Fig. 6 codec;
+//! `ms_issue_full` is the complete issuance (EphID + signed certificate),
+//! which is what §V-A3 times.
+
+use apna_core::cert::CertKind;
+use apna_core::ephid::{self, EphIdPlain};
+use apna_core::keys::AsKeys;
+use apna_core::time::{ExpiryClass, Timestamp};
+use apna_core::Hid;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ephid");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
+
+    let keys = AsKeys::from_seed(&[1u8; 32]);
+    let enc = keys.ephid_enc_cipher();
+    let mac = keys.ephid_mac_cipher();
+    let plain = EphIdPlain {
+        hid: Hid(1234),
+        exp_time: Timestamp(1_000_000),
+    };
+
+    g.bench_function("ephid_seal", |b| {
+        let mut iv = 0u32;
+        b.iter(|| {
+            iv = iv.wrapping_add(1);
+            black_box(ephid::seal_with(&enc, &mac, plain, iv.to_be_bytes()))
+        })
+    });
+
+    let eid = ephid::seal_with(&enc, &mac, plain, [0, 0, 0, 9]);
+    g.bench_function("ephid_open", |b| {
+        b.iter(|| black_box(ephid::open_with(&enc, &mac, black_box(&eid)).unwrap()))
+    });
+
+    // Full issuance including the Ed25519 certificate signature — the
+    // §V-A3 measurement unit.
+    let world = apna_bench::BenchWorld::new();
+    g.bench_function("ms_issue_full", |b| {
+        b.iter(|| {
+            black_box(world.node.ms.issue(
+                world.hid,
+                [2; 32],
+                [3; 32],
+                CertKind::Data,
+                ExpiryClass::Short,
+                Timestamp(1),
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! E5 — connection establishment (§IV-D1, §VII-A/C): channel derivation
+//! (cert verify + ECDH + KDF), steady-state seal/open, and the full
+//! client–server handshake with receive-only EphIDs.
+
+use apna_bench::BenchWorld;
+use apna_core::cert::CertKind;
+use apna_core::keys::EphIdKeyPair;
+use apna_core::session::{
+    client_connect, client_finish, server_accept_with_recv_ephid, Role, SecureChannel,
+};
+use apna_core::time::{ExpiryClass, Timestamp};
+use apna_wire::EphIdBytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handshake");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
+
+    let world = BenchWorld::new();
+    let peer_cert = world.host.owned_ephid(world.ephid_idx).cert.clone();
+    let kp = EphIdKeyPair::from_seed([5; 32]);
+
+    g.bench_function("verify_cert_and_establish", |b| {
+        b.iter(|| {
+            apna_core::session::verify_peer_cert(&peer_cert, &world.directory, Timestamp(1))
+                .unwrap();
+            black_box(
+                SecureChannel::establish(
+                    &kp,
+                    EphIdBytes([1; 16]),
+                    &peer_cert.dh_public(),
+                    peer_cert.ephid,
+                    Role::Initiator,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    // Steady-state data-plane encryption on an established channel.
+    let mut ch_a = SecureChannel::establish(
+        &kp,
+        EphIdBytes([1; 16]),
+        &peer_cert.dh_public(),
+        peer_cert.ephid,
+        Role::Initiator,
+    )
+    .unwrap();
+    let peer_keys = world.host.owned_ephid(world.ephid_idx).keys.clone();
+    let mut ch_b = SecureChannel::establish(
+        &peer_keys,
+        peer_cert.ephid,
+        &apna_crypto::x25519::PublicKey(kp.public_keys().1),
+        EphIdBytes([1; 16]),
+        Role::Responder,
+    )
+    .unwrap();
+    let payload = vec![0xEE; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("channel_seal_1KiB", |b| {
+        b.iter(|| black_box(ch_a.seal(b"", black_box(&payload))))
+    });
+    let sealed = ch_a.seal(b"", &payload);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("channel_open_1KiB_fresh", |b| {
+        // Each iteration needs a fresh receiver window; reuse by opening
+        // distinct seqs: seal inside the loop on the other side.
+        b.iter(|| {
+            let s = ch_a.seal(b"", &payload);
+            black_box(ch_b.open(b"", &s).unwrap())
+        })
+    });
+    let _ = sealed;
+
+    // Full client-server handshake (client hello + server accept + client
+    // finish), including one 0-RTT early datagram.
+    let recv_kp = EphIdKeyPair::from_seed([6; 32]);
+    let (rs, rd) = recv_kp.public_keys();
+    let recv_idx_cert = world
+        .node
+        .ms
+        .issue(world.hid, rs, rd, CertKind::ReceiveOnly, ExpiryClass::Long, Timestamp(1))
+        .1;
+    let serve_kp = EphIdKeyPair::from_seed([7; 32]);
+    let (ss, sd) = serve_kp.public_keys();
+    let serve_cert = world
+        .node
+        .ms
+        .issue(world.hid, ss, sd, CertKind::Data, ExpiryClass::Short, Timestamp(1))
+        .1;
+    let client_kp = EphIdKeyPair::from_seed([8; 32]);
+    let (cs, cd) = client_kp.public_keys();
+    let client_cert = world
+        .node
+        .ms
+        .issue(world.hid, cs, cd, CertKind::Data, ExpiryClass::Short, Timestamp(1))
+        .1;
+
+    g.bench_function("client_server_full_handshake", |b| {
+        b.iter(|| {
+            let (pending, hello) = client_connect(
+                &client_kp,
+                &client_cert,
+                &recv_idx_cert,
+                &world.directory,
+                Timestamp(1),
+                Some(b"GET /"),
+            )
+            .unwrap();
+            let (server_ch, early, accept) = server_accept_with_recv_ephid(
+                &recv_kp,
+                recv_idx_cert.ephid,
+                &serve_kp,
+                &serve_cert,
+                &hello,
+                &world.directory,
+                Timestamp(1),
+                b"200",
+            )
+            .unwrap();
+            let (client_ch, resp) =
+                client_finish(&pending, &accept, &world.directory, Timestamp(1)).unwrap();
+            black_box((server_ch, early, client_ch, resp))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

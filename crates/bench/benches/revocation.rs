@@ -1,0 +1,81 @@
+//! E8 — revocation scaling (§VIII-G2) and the shutoff protocol (Fig. 5).
+//! Membership tests on the border router's `revoked_ids` list must stay
+//! O(1) as the list grows; the full shutoff verification (cert + signature
+//! + EphID decrypt + packet MAC) is the AA's cost per request.
+
+use apna_bench::BenchWorld;
+use apna_core::cert::CertKind;
+use apna_core::keys::EphIdKeyPair;
+use apna_core::revocation::RevocationList;
+use apna_core::shutoff::ShutoffRequest;
+use apna_core::time::{ExpiryClass, Timestamp};
+use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr, ReplayMode};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("revocation");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700))
+        .sample_size(20);
+
+    for n in [0usize, 1_000, 100_000] {
+        let list = RevocationList::new();
+        for i in 0..n {
+            let mut e = [0u8; 16];
+            e[..8].copy_from_slice(&(i as u64).to_be_bytes());
+            list.insert(EphIdBytes(e), Timestamp(100));
+        }
+        let probe = EphIdBytes([0xFF; 16]);
+        g.bench_function(format!("contains_n{n}"), |b| {
+            b.iter(|| black_box(list.contains(black_box(&probe))))
+        });
+    }
+
+    // Full AA shutoff handling: a legitimate request against a real packet.
+    // Disable the 6-strike escalation so repeated iterations keep passing.
+    let mut world = BenchWorld::new();
+    world.node.aa.set_policy(apna_core::shutoff::RevocationPolicy {
+        max_ephid_revocations_per_host: u32::MAX,
+    });
+    let dst_keys = EphIdKeyPair::from_seed([3; 32]);
+    let (sp, dp) = dst_keys.public_keys();
+    let (_, dst_cert) = world.node.ms.issue(
+        world.hid,
+        sp,
+        dp,
+        CertKind::Data,
+        ExpiryClass::Long,
+        Timestamp(1),
+    );
+    // Packet from our host to that destination EphID (same AS — the AA
+    // only cares that the EphIDs resolve).
+    let src = world.host.owned_ephid(world.ephid_idx).addr(Aid(1));
+    let mut header = ApnaHeader::new(src, HostAddr::new(Aid(1), dst_cert.ephid));
+    let payload = b"unwanted";
+    let mac: [u8; 8] = world
+        .kha
+        .packet_cmac()
+        .mac_truncated(&header.mac_input(payload));
+    header.set_mac(mac);
+    let mut pkt = header.serialize();
+    pkt.extend_from_slice(payload);
+    let req = ShutoffRequest::create(&pkt, &dst_keys, dst_cert);
+
+    g.bench_function("aa_handle_shutoff", |b| {
+        b.iter(|| {
+            black_box(
+                world
+                    .node
+                    .aa
+                    .handle(black_box(&req), ReplayMode::Disabled, Timestamp(2))
+                    .unwrap(),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

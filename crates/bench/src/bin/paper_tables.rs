@@ -1,0 +1,269 @@
+//! Regenerates every table and figure of the APNA evaluation (§V) plus the
+//! quantitative claims of §VII-C and §VIII, printing paper-reported vs.
+//! measured values. See DESIGN.md (experiment index) and EXPERIMENTS.md.
+//!
+//! Usage: `paper_tables [e1|e2|e3|e4|e5|e6|e7|e8|e9|all] [--quick]`
+//!
+//! `--quick` shrinks workloads (CI-friendly); the default sizes match the
+//! paper where feasible (E1 runs the full 500,000-request batch).
+
+use apna_bench::{
+    granularity_comparison, measure_ephid_generation, measure_pipeline, reproduce_fig8,
+    BenchWorld, HW_PER_PACKET_SECS,
+};
+use apna_core::granularity::Granularity;
+use apna_core::revocation::RevocationList;
+use apna_core::session::HandshakeMode;
+use apna_core::Timestamp;
+use apna_simnet::linerate::LineRateModel;
+use apna_trace::{SyntheticTrace, TraceConfig};
+use apna_wire::{ApnaHeader, EphIdBytes, HostAddr};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--quick")
+        .map(String::as_str)
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let run = |tag: &str| all || which.contains(&tag);
+
+    println!("APNA reproduction — paper tables & figures");
+    println!("==========================================\n");
+
+    if run("e1") {
+        e1_ephid_generation(quick);
+    }
+    if run("e2") || run("e3") {
+        e2_e3_fig8();
+    }
+    if run("e4") {
+        e4_trace_stats(quick);
+    }
+    if run("e5") {
+        e5_handshake_latency();
+    }
+    if run("e6") {
+        e6_header_overhead();
+    }
+    if run("e7") {
+        e7_pipeline_breakdown();
+    }
+    if run("e8") {
+        e8_revocation_scaling(quick);
+    }
+    if run("e9") {
+        e9_granularity(quick);
+    }
+}
+
+fn e1_ephid_generation(quick: bool) {
+    println!("E1 — EphID generation rate (§V-A3)");
+    println!("----------------------------------");
+    let count: u64 = if quick { 20_000 } else { 500_000 };
+    let peak_flow_rate = 3_888.0; // paper trace peak
+    println!(
+        "paper:    500,000 requests in 6.9 s | 13.7 µs/EphID | 72.8k EphIDs/s (4 workers) | {}x peak",
+        (72_800.0 / peak_flow_rate) as u64
+    );
+    for workers in [1, 2, 4] {
+        let r = measure_ephid_generation(workers, count);
+        println!(
+            "measured: {} requests in {:.2} s | {:5.1} µs/EphID | {:6.1}k EphIDs/s ({} workers) | {:.0}x peak",
+            r.count,
+            r.secs,
+            r.micros_per_ephid,
+            r.rate_per_sec / 1e3,
+            workers,
+            r.rate_per_sec / peak_flow_rate,
+        );
+    }
+    println!("(software AES + from-scratch Ed25519; the paper used AES-NI + REF10)\n");
+}
+
+fn e2_e3_fig8() {
+    println!("E2/E3 — Fig. 8: border-router forwarding throughput");
+    println!("----------------------------------------------------");
+    let f = reproduce_fig8();
+    println!("packet  | measured   | software-BR model      | paper-HW model (Fig. 8)");
+    println!("size B  | ns/pkt     | Mpps     Gbps  limited | Mpps     Gbps  limited");
+    for (i, &size) in LineRateModel::FIG8_SIZES.iter().enumerate() {
+        let (_, secs) = f.per_packet_secs[i];
+        let sw = f.software[i];
+        let hw = f.hardware[i];
+        println!(
+            "{size:7} | {:9.1}  | {:7.2} {:7.1}  {}   | {:7.2} {:7.1}  {}",
+            secs * 1e9,
+            sw.mpps,
+            sw.gbps,
+            if sw.line_limited { "line" } else { "cpu " },
+            hw.mpps,
+            hw.gbps,
+            if hw.line_limited { "line" } else { "cpu " },
+        );
+    }
+    println!(
+        "paper:    line-limited at every size; saturates 120 Gbps at large sizes\n\
+         hw model: per-packet cost {:.0} ns (AES-NI-class)\n",
+        HW_PER_PACKET_SECS * 1e9
+    );
+}
+
+fn e4_trace_stats(quick: bool) {
+    println!("E4 — workload trace statistics (§V-A3)");
+    println!("---------------------------------------");
+    let factor = if quick { 0.002 } else { 0.01 };
+    let cfg = TraceConfig::scaled(factor);
+    let start = Instant::now();
+    let stats = SyntheticTrace::new(cfg).stats();
+    println!(
+        "paper (full):    1,266,598 hosts | peak 3,888 flows/s | 24 h | 98% of flows < 15 min"
+    );
+    println!(
+        "synthetic (x{factor}): {} hosts seen of {} | peak {} flows/s (target {:.0}) | {} h | {:.1}% < 15 min | {:.1}% HTTPS  [{:.1}s gen]",
+        stats.unique_hosts,
+        cfg.hosts,
+        stats.peak_new_flows_per_sec,
+        cfg.peak_flows_per_sec,
+        stats.duration_secs / 3600,
+        stats.frac_under_15min * 100.0,
+        stats.https_fraction * 100.0,
+        start.elapsed().as_secs_f64(),
+    );
+    println!("full-scale config available: TraceConfig::paper_full_scale()\n");
+}
+
+fn e5_handshake_latency() {
+    println!("E5 — connection-establishment latency (§VII-C)");
+    println!("-----------------------------------------------");
+    // Compute-side cost of an establishment (ECDH + cert verify), measured.
+    let world = BenchWorld::new();
+    let cert = &world.host.owned_ephid(world.ephid_idx).cert;
+    let kp = apna_core::keys::EphIdKeyPair::from_seed([7; 32]);
+    let iters = 50;
+    let start = Instant::now();
+    for _ in 0..iters {
+        apna_core::session::verify_peer_cert(cert, &world.directory, Timestamp(1)).unwrap();
+        let ch = apna_core::session::SecureChannel::establish(
+            &kp,
+            EphIdBytes([1; 16]),
+            &cert.dh_public(),
+            cert.ephid,
+            apna_core::session::Role::Initiator,
+        )
+        .unwrap();
+        std::hint::black_box(ch);
+    }
+    let compute_ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let rtt_ms = 20.0;
+    println!("mode                          | RTTs before data (paper) | latency @ RTT=20ms + compute {compute_ms:.2}ms");
+    for (name, mode) in [
+        ("host-host (§IV-D1)", HandshakeMode::HostHost),
+        ("host-host, 0-RTT data", HandshakeMode::HostHostZeroRtt),
+        ("client-server (§VII-A)", HandshakeMode::ClientServer),
+        ("client-server, 0.5 RTT", HandshakeMode::ClientServerHalfRtt),
+        ("client-server, 0-RTT early", HandshakeMode::ClientServerZeroRtt),
+    ] {
+        let rtts = mode.rtts_before_data();
+        println!(
+            "{name:29} | {rtts:24} | {:.2} ms",
+            rtts * rtt_ms + compute_ms
+        );
+    }
+    println!();
+}
+
+fn e6_header_overhead() {
+    println!("E6 — header & identifier sizes (Fig. 6, Fig. 7)");
+    println!("------------------------------------------------");
+    let base = ApnaHeader::new(
+        HostAddr::new(apna_wire::Aid(1), EphIdBytes([0; 16])),
+        HostAddr::new(apna_wire::Aid(2), EphIdBytes([0; 16])),
+    );
+    let with_nonce = base.with_nonce(1);
+    println!("paper:    EphID 16 B | APNA header 48 B (AID 4 + EphID 16 + EphID 16 + AID 4 + MAC 8)");
+    println!(
+        "measured: EphID {} B | APNA header {} B | +replay nonce (§VIII-D) {} B",
+        apna_wire::EPHID_LEN,
+        base.wire_len(),
+        with_nonce.wire_len(),
+    );
+    println!(
+        "context:  IPv4 header 20 B, IPv6 40 B; GRE deployment adds {} B (IPv4+GRE, Fig. 9)\n",
+        apna_wire::ipv4::IPV4_HEADER_LEN + apna_wire::gre::GRE_HEADER_LEN
+    );
+}
+
+fn e7_pipeline_breakdown() {
+    println!("E7 — border-router pipeline breakdown (§V-B2)");
+    println!("----------------------------------------------");
+    println!("paper: extra work = 1 decryption + 2 table lookups + 1 MAC verification");
+    println!("size B  | parse | EphID-open | revoked? | host_info | MAC-verify | total ns/pkt");
+    for size in [128, 1518] {
+        let b = measure_pipeline(size);
+        println!(
+            "{:7} | {:5.0} | {:10.0} | {:8.0} | {:9.0} | {:10.0} | {:8.0}",
+            b.packet_size,
+            b.parse_ns,
+            b.ephid_open_ns,
+            b.revocation_ns,
+            b.hostdb_ns,
+            b.mac_verify_ns,
+            b.total_ns
+        );
+    }
+    println!("(MAC-verify scales with packet size: CMAC covers the payload)\n");
+}
+
+fn e8_revocation_scaling(quick: bool) {
+    println!("E8 — revocation-list scaling (§VIII-G2 ablation)");
+    println!("-------------------------------------------------");
+    let sizes: &[usize] = if quick {
+        &[0, 1_000, 100_000]
+    } else {
+        &[0, 1_000, 100_000, 1_000_000]
+    };
+    println!("entries   | contains() ns | purge-all ms");
+    for &n in sizes {
+        let list = RevocationList::new();
+        for i in 0..n {
+            let mut e = [0u8; 16];
+            e[..8].copy_from_slice(&(i as u64).to_be_bytes());
+            list.insert(EphIdBytes(e), Timestamp(100));
+        }
+        let probe = EphIdBytes([0xFF; 16]);
+        let iters = 200_000;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(list.contains(&probe));
+        }
+        let lookup_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        let start = Instant::now();
+        let purged = list.purge_expired(Timestamp(101));
+        let purge_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(purged, n);
+        println!("{n:9} | {lookup_ns:13.1} | {purge_ms:10.2}");
+    }
+    println!("(hash-table membership: revocation volume does not degrade forwarding)\n");
+}
+
+fn e9_granularity(quick: bool) {
+    println!("E9 — EphID granularity trade-off (§VIII-A)");
+    println!("-------------------------------------------");
+    let flows = if quick { 1_000 } else { 10_000 };
+    println!("policy          | EphIDs allocated | max flows linkable via one EphID");
+    for (policy, allocs, linkable) in granularity_comparison(flows) {
+        let name = match policy {
+            Granularity::PerHost => "per-host",
+            Granularity::PerApplication => "per-application",
+            Granularity::PerFlow => "per-flow",
+            Granularity::PerPacket => "per-packet",
+        };
+        println!("{name:15} | {allocs:16} | {linkable}");
+    }
+    println!("({flows} flows, 10 packets each, 7 applications)\n");
+}

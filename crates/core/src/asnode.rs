@@ -1,0 +1,300 @@
+//! One complete APNA-enabled AS: keys, shared infrastructure state, and the
+//! four logical entities of §III-C (Registry Service, Management Service,
+//! Border Router, Accountability Agent).
+//!
+//! The paper's entities communicate over the AS-internal network; this
+//! reproduction gives them shared ownership of the same state (`Arc`), which
+//! is the end state those internal messages establish. The externally
+//! visible protocol behavior — what hosts and other ASes observe — is
+//! unchanged, and it is what the tests and benchmarks measure.
+
+use crate::cert::{CertKind, EphIdCert};
+use crate::directory::{AsDirectory, AsPublicKeys};
+use crate::ephid::{self, EphIdPlain, IvAllocator};
+use crate::hid::Hid;
+use crate::hostinfo::HostDb;
+use crate::keys::{AsKeys, EphIdKeyPair, HostAsKey};
+use crate::management::ManagementService;
+use crate::registry::RegistryService;
+use crate::revocation::RevocationList;
+use crate::border::BorderRouter;
+use crate::shutoff::{AccountabilityAgent, RevocationPolicy};
+use crate::time::Timestamp;
+use apna_crypto::x25519::SharedSecret;
+use apna_wire::{Aid, EphIdBytes};
+use rand::{CryptoRng, RngCore};
+use std::sync::Arc;
+
+/// Lifetime of AS service-endpoint EphIDs (MS/DNS/AA): 30 days.
+pub const SERVICE_EPHID_LIFETIME_SECS: u32 = 30 * 24 * 60 * 60;
+
+/// A service endpoint the AS runs (MS, DNS, AA): its identity and key pair.
+pub struct ServiceEndpoint {
+    /// The service's HID (registered in `host_info` so ingress delivers).
+    pub hid: Hid,
+    /// The service's EphID.
+    pub ephid: EphIdBytes,
+    /// The service's certificate (handed to hosts at bootstrap).
+    pub cert: EphIdCert,
+    /// The service's EphID key pair (for encrypted service traffic).
+    pub keys: EphIdKeyPair,
+    /// The service↔AS key (services authenticate their packets too).
+    pub kha: HostAsKey,
+}
+
+/// State shared by all entities of one AS (the union of `host_info`,
+/// `revoked_ids`, and the key material of Table I).
+pub struct AsInfra {
+    /// This AS's identifier.
+    pub aid: Aid,
+    /// Key bundle (`k_A` derivations, signing key, DH key).
+    pub keys: AsKeys,
+    /// The `host_info` database.
+    pub host_db: HostDb,
+    /// The `revoked_ids` list border routers consult.
+    pub revoked: RevocationList,
+    /// IV source for EphID issuance.
+    pub iv_alloc: IvAllocator,
+    /// EphID of the accountability agent (embedded in every issued cert).
+    pub aa_ephid: EphIdBytes,
+    /// Management Service endpoint certificate (bootstrap reply).
+    pub ms_cert: EphIdCert,
+    /// DNS service endpoint certificate (bootstrap reply).
+    pub dns_cert: EphIdCert,
+}
+
+/// A fully assembled APNA AS.
+pub struct AsNode {
+    /// Shared infrastructure state.
+    pub infra: Arc<AsInfra>,
+    /// Registry Service (host bootstrapping).
+    pub rs: RegistryService,
+    /// Management Service (EphID issuance).
+    pub ms: ManagementService,
+    /// Border router (data plane).
+    pub br: BorderRouter,
+    /// Accountability agent (shutoff).
+    pub aa: AccountabilityAgent,
+    /// The AA service endpoint (keys for encrypted shutoff transport).
+    pub aa_endpoint: ServiceEndpoint,
+    /// The MS service endpoint.
+    pub ms_endpoint: ServiceEndpoint,
+    /// The DNS service endpoint.
+    pub dns_endpoint: ServiceEndpoint,
+}
+
+impl AsNode {
+    /// Creates an AS with fresh keys, publishes them in `directory`, and
+    /// stands up the MS / DNS / AA service endpoints with long-lived
+    /// ([`SERVICE_EPHID_LIFETIME_SECS`]) EphIDs.
+    pub fn new<R: RngCore + CryptoRng>(
+        aid: Aid,
+        rng: &mut R,
+        directory: &AsDirectory,
+        now: Timestamp,
+    ) -> AsNode {
+        Self::build(aid, AsKeys::generate(rng), rng, directory, now)
+    }
+
+    /// Deterministic construction for reproducible simulations: all key
+    /// material derives from `seed`.
+    pub fn from_seed(
+        aid: Aid,
+        seed: [u8; 32],
+        directory: &AsDirectory,
+        now: Timestamp,
+    ) -> AsNode {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::from_seed(seed);
+        let keys = AsKeys::from_seed(&seed);
+        Self::build(aid, keys, &mut rng, directory, now)
+    }
+
+    fn build<R: RngCore + CryptoRng>(
+        aid: Aid,
+        keys: AsKeys,
+        rng: &mut R,
+        directory: &AsDirectory,
+        now: Timestamp,
+    ) -> AsNode {
+        directory.publish(
+            aid,
+            AsPublicKeys {
+                verifying: keys.verifying_key(),
+                dh: keys.dh_public(),
+            },
+        );
+
+        let host_db = HostDb::new();
+        let iv_alloc = IvAllocator::default();
+        // Service endpoints (MS/DNS/AA) are infrastructure: they outlive
+        // host EphIDs by far, so customers bootstrapped late in a service
+        // epoch still get verifiable service certificates. 30 days; a real
+        // deployment would rotate them with planned overlap.
+        let exp = now.add_secs(SERVICE_EPHID_LIFETIME_SECS);
+
+        // Stand up a service endpoint: HID + registered k_HA + EphID.
+        let mut make_service = |db: &HostDb| -> (Hid, EphIdBytes, EphIdKeyPair, HostAsKey) {
+            let hid = db.generate_hid();
+            let mut secret = [0u8; 32];
+            rng.fill_bytes(&mut secret);
+            let kha = HostAsKey::from_dh(&SharedSecret(secret))
+                .expect("random secret is contributory");
+            db.register(hid, kha.clone(), now);
+            let eid = ephid::seal(&keys, EphIdPlain { hid, exp_time: exp }, iv_alloc.next_iv());
+            (hid, eid, EphIdKeyPair::generate(rng), kha)
+        };
+
+        let (aa_hid, aa_ephid, aa_keys, aa_kha) = make_service(&host_db);
+        let (ms_hid, ms_ephid, ms_keys, ms_kha) = make_service(&host_db);
+        let (dns_hid, dns_ephid, dns_keys, dns_kha) = make_service(&host_db);
+
+        let issue_service_cert = |eid: EphIdBytes, kp: &EphIdKeyPair| -> EphIdCert {
+            let (sign_pub, dh_pub) = kp.public_keys();
+            EphIdCert::issue(
+                &keys.signing,
+                eid,
+                exp,
+                sign_pub,
+                dh_pub,
+                aid,
+                aa_ephid,
+                CertKind::Service,
+            )
+        };
+
+        let aa_cert = issue_service_cert(aa_ephid, &aa_keys);
+        let ms_cert = issue_service_cert(ms_ephid, &ms_keys);
+        let dns_cert = issue_service_cert(dns_ephid, &dns_keys);
+
+        let infra = Arc::new(AsInfra {
+            aid,
+            keys,
+            host_db,
+            revoked: RevocationList::new(),
+            iv_alloc,
+            aa_ephid,
+            ms_cert: ms_cert.clone(),
+            dns_cert: dns_cert.clone(),
+        });
+
+        AsNode {
+            rs: RegistryService::new(Arc::clone(&infra)),
+            ms: ManagementService::new(Arc::clone(&infra)),
+            br: BorderRouter::new(Arc::clone(&infra)),
+            aa: AccountabilityAgent::new(
+                Arc::clone(&infra),
+                directory.clone(),
+                RevocationPolicy::default(),
+            ),
+            aa_endpoint: ServiceEndpoint {
+                hid: aa_hid,
+                ephid: aa_ephid,
+                cert: aa_cert,
+                keys: aa_keys,
+                kha: aa_kha,
+            },
+            ms_endpoint: ServiceEndpoint {
+                hid: ms_hid,
+                ephid: ms_ephid,
+                cert: ms_cert,
+                keys: ms_keys,
+                kha: ms_kha,
+            },
+            dns_endpoint: ServiceEndpoint {
+                hid: dns_hid,
+                ephid: dns_ephid,
+                cert: dns_cert,
+                keys: dns_keys,
+                kha: dns_kha,
+            },
+            infra,
+        }
+    }
+
+    /// This AS's identifier.
+    #[must_use]
+    pub fn aid(&self) -> Aid {
+        self.infra.aid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn node() -> (AsNode, AsDirectory) {
+        let dir = AsDirectory::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let node = AsNode::new(Aid(64512), &mut rng, &dir, Timestamp(0));
+        (node, dir)
+    }
+
+    #[test]
+    fn publishes_keys_to_directory() {
+        let (node, dir) = node();
+        let published = dir.lookup(Aid(64512)).unwrap();
+        assert_eq!(
+            published.verifying.as_bytes(),
+            node.infra.keys.verifying_key().as_bytes()
+        );
+        assert_eq!(published.dh.0, node.infra.keys.dh_public().0);
+    }
+
+    #[test]
+    fn service_endpoints_have_valid_ephids() {
+        let (node, _) = node();
+        for ep in [&node.aa_endpoint, &node.ms_endpoint, &node.dns_endpoint] {
+            let plain = ephid::open(&node.infra.keys, &ep.ephid).unwrap();
+            assert_eq!(plain.hid, ep.hid);
+            assert!(node.infra.host_db.is_valid(ep.hid));
+            ep.cert
+                .verify(&node.infra.keys.verifying_key(), Timestamp(0))
+                .unwrap();
+            assert_eq!(ep.cert.kind, CertKind::Service);
+            assert_eq!(ep.cert.aa_ephid, node.infra.aa_ephid);
+        }
+    }
+
+    #[test]
+    fn services_have_distinct_identities() {
+        let (node, _) = node();
+        assert_ne!(node.aa_endpoint.hid, node.ms_endpoint.hid);
+        assert_ne!(node.ms_endpoint.hid, node.dns_endpoint.hid);
+        assert_ne!(node.aa_endpoint.ephid, node.ms_endpoint.ephid);
+        assert_ne!(node.ms_endpoint.ephid, node.dns_endpoint.ephid);
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let dir1 = AsDirectory::new();
+        let dir2 = AsDirectory::new();
+        let a = AsNode::from_seed(Aid(1), [9; 32], &dir1, Timestamp(0));
+        let b = AsNode::from_seed(Aid(1), [9; 32], &dir2, Timestamp(0));
+        assert_eq!(
+            a.infra.keys.verifying_key().as_bytes(),
+            b.infra.keys.verifying_key().as_bytes()
+        );
+        assert_eq!(a.infra.aa_ephid, b.infra.aa_ephid);
+        let c = AsNode::from_seed(Aid(1), [10; 32], &AsDirectory::new(), Timestamp(0));
+        assert_ne!(a.infra.aa_ephid, c.infra.aa_ephid);
+    }
+
+    #[test]
+    fn ingress_delivers_to_service_endpoints() {
+        use apna_wire::{ApnaHeader, HostAddr, ReplayMode};
+        let (node, _) = node();
+        let header = ApnaHeader::new(
+            HostAddr::new(Aid(99), EphIdBytes([1; 16])),
+            HostAddr::new(node.aid(), node.ms_endpoint.ephid),
+        );
+        assert_eq!(
+            node.br
+                .process_incoming(&header.serialize(), ReplayMode::Disabled, Timestamp(1)),
+            crate::border::Verdict::DeliverLocal {
+                hid: node.ms_endpoint.hid
+            }
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Short-lived EphID certificates (§IV-C).
+//!
+//! "The AS certifies the binding between an EphID and a public/private key
+//! pair by issuing a short-lived certificate that has the same expiration
+//! time as the EphID." A peer learns from the certificate: the public key
+//! bound to the EphID, the expiration time, and "information about the
+//! issuing AS — the AID and the EphID of the accountability agent", used to
+//! address shutoff requests (Fig. 5).
+//!
+//! Because this reproduction carries the signing and DH halves of the EphID
+//! key pair explicitly (see [`crate::keys`]), the certificate has two
+//! public-key fields. Wire layout (200 bytes):
+//!
+//! ```text
+//! ephid (16) ‖ exp_time (4) ‖ sign_pub (32) ‖ dh_pub (32)
+//!           ‖ aid (4) ‖ aa_ephid (16) ‖ kind (1) ‖ pad (3) ‖ sig (64) = 172
+//! ```
+//!
+//! plus a 4-byte magic prefix for defensive parsing.
+
+use crate::time::Timestamp;
+use crate::Error;
+use apna_crypto::ed25519::{Signature, SigningKey, VerifyingKey, SIGNATURE_LEN};
+use apna_crypto::x25519::PublicKey;
+use apna_wire::{Aid, EphIdBytes, WireError};
+
+/// Serialized certificate length.
+pub const CERT_LEN: usize = 4 + 16 + 4 + 32 + 32 + 4 + 16 + 1 + 3 + SIGNATURE_LEN;
+
+const MAGIC: [u8; 4] = *b"APC1";
+
+/// What the certified EphID is for. The RS hands hosts certificates for the
+/// AS services during bootstrap (Fig. 2), and DNS serves *receive-only*
+/// certificates for public services (§VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CertKind {
+    /// Ordinary data-plane EphID.
+    Data = 0,
+    /// Control EphID (talks to AS services).
+    Control = 1,
+    /// AS service endpoint (MS, DNS, AA).
+    Service = 2,
+    /// Receive-only EphID: never used as a source, immune to shutoff
+    /// (§VII-A).
+    ReceiveOnly = 3,
+}
+
+impl CertKind {
+    fn from_u8(v: u8) -> Result<CertKind, WireError> {
+        Ok(match v {
+            0 => CertKind::Data,
+            1 => CertKind::Control,
+            2 => CertKind::Service,
+            3 => CertKind::ReceiveOnly,
+            _ => return Err(WireError::BadField { field: "cert kind" }),
+        })
+    }
+}
+
+/// A short-lived certificate binding an EphID to its key pair, signed by
+/// the issuing AS's domain key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EphIdCert {
+    /// The certified EphID.
+    pub ephid: EphIdBytes,
+    /// Expiry — same as the EphID's (enforced by the issuing MS).
+    pub exp_time: Timestamp,
+    /// Ed25519 public key (shutoff-request signatures).
+    pub sign_pub: [u8; 32],
+    /// X25519 public key (session-key ECDH).
+    pub dh_pub: [u8; 32],
+    /// Issuing AS.
+    pub aid: Aid,
+    /// EphID of the issuing AS's accountability agent (shutoff address).
+    pub aa_ephid: EphIdBytes,
+    /// Purpose tag.
+    pub kind: CertKind,
+    /// AS signature over all preceding fields.
+    pub sig: Signature,
+}
+
+impl EphIdCert {
+    /// The byte string the AS signs.
+    fn signed_bytes(
+        ephid: &EphIdBytes,
+        exp_time: Timestamp,
+        sign_pub: &[u8; 32],
+        dh_pub: &[u8; 32],
+        aid: Aid,
+        aa_ephid: &EphIdBytes,
+        kind: CertKind,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CERT_LEN - SIGNATURE_LEN);
+        out.extend_from_slice(b"APNA-EPHID-CERT-V1"); // domain separation
+        out.extend_from_slice(ephid.as_bytes());
+        out.extend_from_slice(&exp_time.to_bytes());
+        out.extend_from_slice(sign_pub);
+        out.extend_from_slice(dh_pub);
+        out.extend_from_slice(&aid.to_bytes());
+        out.extend_from_slice(aa_ephid.as_bytes());
+        out.push(kind as u8);
+        out
+    }
+
+    /// Issues a certificate (the MS side of Fig. 3).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn issue(
+        as_signing: &SigningKey,
+        ephid: EphIdBytes,
+        exp_time: Timestamp,
+        sign_pub: [u8; 32],
+        dh_pub: [u8; 32],
+        aid: Aid,
+        aa_ephid: EphIdBytes,
+        kind: CertKind,
+    ) -> EphIdCert {
+        let msg =
+            Self::signed_bytes(&ephid, exp_time, &sign_pub, &dh_pub, aid, &aa_ephid, kind);
+        EphIdCert {
+            ephid,
+            exp_time,
+            sign_pub,
+            dh_pub,
+            aid,
+            aa_ephid,
+            kind,
+            sig: as_signing.sign(&msg),
+        }
+    }
+
+    /// Verifies the AS signature and the expiry at `now`.
+    pub fn verify(&self, as_vk: &VerifyingKey, now: Timestamp) -> Result<(), Error> {
+        if self.exp_time.expired_at(now) {
+            return Err(Error::Expired);
+        }
+        let msg = Self::signed_bytes(
+            &self.ephid,
+            self.exp_time,
+            &self.sign_pub,
+            &self.dh_pub,
+            self.aid,
+            &self.aa_ephid,
+            self.kind,
+        );
+        as_vk
+            .verify(&msg, &self.sig)
+            .map_err(|_| Error::BadCertificate("signature"))
+    }
+
+    /// The certified DH public key as a typed value.
+    #[must_use]
+    pub fn dh_public(&self) -> PublicKey {
+        PublicKey(self.dh_pub)
+    }
+
+    /// The certified signing key, validated as a curve point.
+    pub fn signing_public(&self) -> Result<VerifyingKey, Error> {
+        VerifyingKey::from_bytes(&self.sign_pub).map_err(Error::Crypto)
+    }
+
+    /// Serializes to [`CERT_LEN`] bytes.
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CERT_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(self.ephid.as_bytes());
+        out.extend_from_slice(&self.exp_time.to_bytes());
+        out.extend_from_slice(&self.sign_pub);
+        out.extend_from_slice(&self.dh_pub);
+        out.extend_from_slice(&self.aid.to_bytes());
+        out.extend_from_slice(self.aa_ephid.as_bytes());
+        out.push(self.kind as u8);
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&self.sig.to_bytes());
+        debug_assert_eq!(out.len(), CERT_LEN);
+        out
+    }
+
+    /// Parses a serialized certificate (no signature check — call
+    /// [`EphIdCert::verify`] separately).
+    pub fn parse(buf: &[u8]) -> Result<EphIdCert, WireError> {
+        if buf.len() < CERT_LEN {
+            return Err(WireError::Truncated);
+        }
+        if buf[..4] != MAGIC {
+            return Err(WireError::BadField { field: "cert magic" });
+        }
+        let b = &buf[4..];
+        Ok(EphIdCert {
+            ephid: EphIdBytes::from_slice(&b[0..16])?,
+            exp_time: Timestamp::from_bytes(b[16..20].try_into().unwrap()),
+            sign_pub: b[20..52].try_into().unwrap(),
+            dh_pub: b[52..84].try_into().unwrap(),
+            aid: Aid::from_bytes(b[84..88].try_into().unwrap()),
+            aa_ephid: EphIdBytes::from_slice(&b[88..104])?,
+            kind: CertKind::from_u8(b[104])?,
+            sig: Signature::from_bytes(&b[108..108 + SIGNATURE_LEN])
+                .map_err(|_| WireError::Truncated)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{AsKeys, EphIdKeyPair};
+
+    fn setup() -> (AsKeys, EphIdCert) {
+        let as_keys = AsKeys::from_seed(&[1u8; 32]);
+        let kp = EphIdKeyPair::from_seed([2u8; 32]);
+        let (sign_pub, dh_pub) = kp.public_keys();
+        let cert = EphIdCert::issue(
+            &as_keys.signing,
+            EphIdBytes([0xaa; 16]),
+            Timestamp(1000),
+            sign_pub,
+            dh_pub,
+            Aid(7),
+            EphIdBytes([0xbb; 16]),
+            CertKind::Data,
+        );
+        (as_keys, cert)
+    }
+
+    #[test]
+    fn verify_ok_before_expiry() {
+        let (as_keys, cert) = setup();
+        cert.verify(&as_keys.verifying_key(), Timestamp(999)).unwrap();
+        cert.verify(&as_keys.verifying_key(), Timestamp(1000)).unwrap();
+    }
+
+    #[test]
+    fn rejects_after_expiry() {
+        let (as_keys, cert) = setup();
+        assert_eq!(
+            cert.verify(&as_keys.verifying_key(), Timestamp(1001)),
+            Err(Error::Expired)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_as_key() {
+        // The MitM defense of §VI-B: a malicious AS "cannot generate the
+        // certificate ... signed by the private key of the peer host's AS".
+        let (_, cert) = setup();
+        let other = AsKeys::from_seed(&[9u8; 32]);
+        assert_eq!(
+            cert.verify(&other.verifying_key(), Timestamp(0)),
+            Err(Error::BadCertificate("signature"))
+        );
+    }
+
+    #[test]
+    fn rejects_any_field_tamper() {
+        let (as_keys, cert) = setup();
+        let vk = as_keys.verifying_key();
+        let now = Timestamp(0);
+
+        let mut c = cert.clone();
+        c.ephid = EphIdBytes([0xac; 16]);
+        assert!(c.verify(&vk, now).is_err());
+
+        let mut c = cert.clone();
+        c.dh_pub[0] ^= 1;
+        assert!(c.verify(&vk, now).is_err());
+
+        let mut c = cert.clone();
+        c.sign_pub[31] ^= 1;
+        assert!(c.verify(&vk, now).is_err());
+
+        let mut c = cert.clone();
+        c.aid = Aid(8);
+        assert!(c.verify(&vk, now).is_err());
+
+        let mut c = cert.clone();
+        c.aa_ephid = EphIdBytes([0xcc; 16]);
+        assert!(c.verify(&vk, now).is_err());
+
+        let mut c = cert.clone();
+        c.kind = CertKind::ReceiveOnly;
+        assert!(c.verify(&vk, now).is_err());
+
+        // Expiry extension attempt.
+        let mut c = cert.clone();
+        c.exp_time = Timestamp(u32::MAX);
+        assert!(c.verify(&vk, now).is_err());
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let (as_keys, cert) = setup();
+        let bytes = cert.serialize();
+        assert_eq!(bytes.len(), CERT_LEN);
+        let parsed = EphIdCert::parse(&bytes).unwrap();
+        assert_eq!(parsed, cert);
+        parsed.verify(&as_keys.verifying_key(), Timestamp(0)).unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(EphIdCert::parse(&[0u8; 10]), Err(WireError::Truncated));
+        let (_, cert) = setup();
+        let mut bytes = cert.serialize();
+        bytes[0] = b'X';
+        assert!(matches!(
+            EphIdCert::parse(&bytes),
+            Err(WireError::BadField { field: "cert magic" })
+        ));
+        let mut bytes = cert.serialize();
+        bytes[108] = 99; // kind byte → offset 4 (magic) + 104
+        assert!(matches!(
+            EphIdCert::parse(&bytes),
+            Err(WireError::BadField { field: "cert kind" })
+        ));
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        let (as_keys, _) = setup();
+        for kind in [
+            CertKind::Data,
+            CertKind::Control,
+            CertKind::Service,
+            CertKind::ReceiveOnly,
+        ] {
+            let cert = EphIdCert::issue(
+                &as_keys.signing,
+                EphIdBytes([1; 16]),
+                Timestamp(5),
+                [2; 32],
+                [3; 32],
+                Aid(1),
+                EphIdBytes([4; 16]),
+                kind,
+            );
+            assert_eq!(EphIdCert::parse(&cert.serialize()).unwrap().kind, kind);
+        }
+    }
+}

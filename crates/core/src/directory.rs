@@ -1,0 +1,117 @@
+//! AS public-key directory — the RPKI stand-in.
+//!
+//! §IV-A assumes "participating parties can retrieve and verify the public
+//! keys of ASes, for example \[via\] RPKI". The reproduction models that PKI
+//! as a directory mapping AIDs to the AS's certificate-verification key and
+//! DH key. A real deployment would verify RPKI certificate chains; here the
+//! directory is the trust root, which preserves the property the protocol
+//! needs — *authentic* AS keys — without re-implementing RPKI itself.
+
+use apna_crypto::ed25519::VerifyingKey;
+use apna_crypto::x25519::PublicKey;
+use apna_wire::Aid;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Public keys one AS publishes.
+#[derive(Clone, Debug)]
+pub struct AsPublicKeys {
+    /// Certificate / message verification key.
+    pub verifying: VerifyingKey,
+    /// Key-exchange key (host bootstrap DH).
+    pub dh: PublicKey,
+}
+
+/// A shared, append-only directory of AS public keys.
+#[derive(Default, Clone)]
+pub struct AsDirectory {
+    inner: Arc<RwLock<HashMap<Aid, AsPublicKeys>>>,
+}
+
+impl AsDirectory {
+    /// Creates an empty directory.
+    #[must_use]
+    pub fn new() -> AsDirectory {
+        AsDirectory::default()
+    }
+
+    /// Publishes (or rotates) an AS's keys.
+    pub fn publish(&self, aid: Aid, keys: AsPublicKeys) {
+        self.inner.write().insert(aid, keys);
+    }
+
+    /// Fetches an AS's keys.
+    #[must_use]
+    pub fn lookup(&self, aid: Aid) -> Option<AsPublicKeys> {
+        self.inner.read().get(&aid).cloned()
+    }
+
+    /// Fetches just the verification key (the common path: certificate
+    /// checks in sessions and shutoff handling).
+    #[must_use]
+    pub fn verifying_key(&self, aid: Aid) -> Option<VerifyingKey> {
+        self.inner.read().get(&aid).map(|k| k.verifying)
+    }
+
+    /// Number of published ASes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// `true` if nothing is published.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apna_crypto::ed25519::SigningKey;
+    use apna_crypto::x25519::StaticSecret;
+
+    fn keys(seed: u8) -> AsPublicKeys {
+        AsPublicKeys {
+            verifying: SigningKey::from_seed(&[seed; 32]).verifying_key(),
+            dh: StaticSecret::from_bytes([seed; 32]).public_key(),
+        }
+    }
+
+    #[test]
+    fn publish_lookup() {
+        let dir = AsDirectory::new();
+        assert!(dir.is_empty());
+        dir.publish(Aid(1), keys(1));
+        dir.publish(Aid(2), keys(2));
+        assert_eq!(dir.len(), 2);
+        assert!(dir.lookup(Aid(1)).is_some());
+        assert!(dir.lookup(Aid(3)).is_none());
+        assert_ne!(
+            dir.verifying_key(Aid(1)).unwrap().as_bytes(),
+            dir.verifying_key(Aid(2)).unwrap().as_bytes()
+        );
+    }
+
+    #[test]
+    fn rotation_replaces() {
+        let dir = AsDirectory::new();
+        dir.publish(Aid(1), keys(1));
+        dir.publish(Aid(1), keys(9));
+        assert_eq!(dir.len(), 1);
+        assert_eq!(
+            dir.verifying_key(Aid(1)).unwrap().as_bytes(),
+            keys(9).verifying.as_bytes()
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let dir = AsDirectory::new();
+        let clone = dir.clone();
+        dir.publish(Aid(5), keys(5));
+        assert!(clone.lookup(Aid(5)).is_some());
+    }
+}

@@ -1,0 +1,254 @@
+//! EphID granularity policies (§VIII-A).
+//!
+//! APNA "does not impose the granularity at which EphIDs should be used";
+//! §VIII-A analyzes four regimes with opposite privacy/management
+//! trade-offs:
+//!
+//! | Policy | Linkability exposure | Shutoff blast radius | EphIDs needed |
+//! |---|---|---|---|
+//! | per-host | all flows linkable | all flows die | 1 |
+//! | per-application | flows of one app linkable | one app dies | #apps |
+//! | per-flow | one flow linkable | one flow dies | #flows |
+//! | per-packet | nothing linkable | one packet affected | #packets |
+//!
+//! [`EphIdPool`] implements the allocation decision; the host stack calls
+//! [`EphIdPool::slot_for`] per packet and requests a new EphID from the MS
+//! whenever the pool reports a miss. Experiment E9 replays a trace under
+//! each policy and reports the issuance load and linkable-set sizes.
+
+use std::collections::HashMap;
+
+/// The four §VIII-A granularity regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// One EphID for everything the host sends.
+    PerHost,
+    /// One EphID per application (identified by a local app id).
+    PerApplication,
+    /// One EphID per flow — "the typical use case".
+    #[default]
+    PerFlow,
+    /// A fresh EphID for every packet (strongest privacy; needs an
+    /// additional demultiplexing protocol at the receiver, per the paper's
+    /// citation of per-packet one-time addresses).
+    PerPacket,
+}
+
+/// The pool key an outgoing packet maps to under a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKey {
+    /// The single per-host slot.
+    Host,
+    /// Per-application slot.
+    App(u16),
+    /// Per-flow slot.
+    Flow(u64),
+    /// Per-packet slot (never reused).
+    Packet(u64),
+}
+
+/// Tracks which EphID (by caller-side index) serves which pool key.
+#[derive(Debug, Default)]
+pub struct EphIdPool {
+    policy: Granularity,
+    slots: HashMap<PoolKey, usize>,
+    /// Monotone packet counter (keys the per-packet policy).
+    packets: u64,
+    /// Total allocations requested through this pool (E9 metric).
+    allocations: u64,
+}
+
+/// Outcome of a slot lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotDecision {
+    /// Reuse the EphID at this index.
+    Reuse(usize),
+    /// No EphID serves this key yet: acquire one, then call
+    /// [`EphIdPool::install`].
+    NeedNew(PoolKey),
+}
+
+impl EphIdPool {
+    /// Creates a pool under `policy`.
+    #[must_use]
+    pub fn new(policy: Granularity) -> EphIdPool {
+        EphIdPool {
+            policy,
+            ..Default::default()
+        }
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> Granularity {
+        self.policy
+    }
+
+    /// Maps the next outgoing packet (belonging to `flow` and `app`) to a
+    /// pool key and advances the packet counter.
+    pub fn slot_for(&mut self, flow: u64, app: u16) -> SlotDecision {
+        let key = match self.policy {
+            Granularity::PerHost => PoolKey::Host,
+            Granularity::PerApplication => PoolKey::App(app),
+            Granularity::PerFlow => PoolKey::Flow(flow),
+            Granularity::PerPacket => {
+                let k = PoolKey::Packet(self.packets);
+                self.packets += 1;
+                // Per-packet keys are never reused; skip the map.
+                return SlotDecision::NeedNew(k);
+            }
+        };
+        self.packets += 1;
+        match self.slots.get(&key) {
+            Some(&idx) => SlotDecision::Reuse(idx),
+            None => SlotDecision::NeedNew(key),
+        }
+    }
+
+    /// Registers a freshly acquired EphID index for `key`.
+    pub fn install(&mut self, key: PoolKey, index: usize) {
+        self.allocations += 1;
+        if !matches!(key, PoolKey::Packet(_)) {
+            self.slots.insert(key, index);
+        }
+    }
+
+    /// Drops a slot whose EphID was revoked or expired, forcing
+    /// reallocation. Returns the index that served it, if any.
+    pub fn evict(&mut self, key: PoolKey) -> Option<usize> {
+        self.slots.remove(&key)
+    }
+
+    /// Evicts every slot currently served by EphID `index` (shutoff
+    /// fate-sharing: all flows on one EphID die together, §III-B).
+    /// Returns the evicted keys.
+    pub fn evict_index(&mut self, index: usize) -> Vec<PoolKey> {
+        let keys: Vec<PoolKey> = self
+            .slots
+            .iter()
+            .filter(|(_, &v)| v == index)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &keys {
+            self.slots.remove(k);
+        }
+        keys
+    }
+
+    /// Total EphIDs acquired through this pool (E9's issuance-load metric).
+    #[must_use]
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Packets routed through the pool.
+    #[must_use]
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_host_single_allocation() {
+        let mut pool = EphIdPool::new(Granularity::PerHost);
+        assert_eq!(pool.slot_for(1, 1), SlotDecision::NeedNew(PoolKey::Host));
+        pool.install(PoolKey::Host, 0);
+        for flow in 0..100 {
+            assert_eq!(pool.slot_for(flow, (flow % 3) as u16), SlotDecision::Reuse(0));
+        }
+        assert_eq!(pool.allocations(), 1);
+    }
+
+    #[test]
+    fn per_flow_allocates_per_flow() {
+        let mut pool = EphIdPool::new(Granularity::PerFlow);
+        for flow in 0..10u64 {
+            match pool.slot_for(flow, 0) {
+                SlotDecision::NeedNew(key) => pool.install(key, flow as usize),
+                SlotDecision::Reuse(_) => panic!("fresh flow must allocate"),
+            }
+        }
+        // Revisiting flows reuses.
+        for flow in 0..10u64 {
+            assert_eq!(pool.slot_for(flow, 0), SlotDecision::Reuse(flow as usize));
+        }
+        assert_eq!(pool.allocations(), 10);
+    }
+
+    #[test]
+    fn per_app_groups_flows() {
+        let mut pool = EphIdPool::new(Granularity::PerApplication);
+        match pool.slot_for(1, 7) {
+            SlotDecision::NeedNew(key) => pool.install(key, 0),
+            _ => panic!(),
+        }
+        // Different flow, same app → same EphID.
+        assert_eq!(pool.slot_for(2, 7), SlotDecision::Reuse(0));
+        // Different app → new EphID.
+        assert!(matches!(
+            pool.slot_for(2, 8),
+            SlotDecision::NeedNew(PoolKey::App(8))
+        ));
+    }
+
+    #[test]
+    fn per_packet_never_reuses() {
+        let mut pool = EphIdPool::new(Granularity::PerPacket);
+        for i in 0..5u64 {
+            match pool.slot_for(1, 1) {
+                SlotDecision::NeedNew(PoolKey::Packet(n)) => {
+                    assert_eq!(n, i);
+                    pool.install(PoolKey::Packet(n), i as usize);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(pool.allocations(), 5);
+        assert_eq!(pool.packets(), 5);
+    }
+
+    #[test]
+    fn eviction_forces_reallocation() {
+        let mut pool = EphIdPool::new(Granularity::PerFlow);
+        match pool.slot_for(42, 0) {
+            SlotDecision::NeedNew(key) => pool.install(key, 3),
+            _ => panic!(),
+        }
+        assert_eq!(pool.evict(PoolKey::Flow(42)), Some(3));
+        assert!(matches!(pool.slot_for(42, 0), SlotDecision::NeedNew(_)));
+    }
+
+    #[test]
+    fn shutoff_fate_sharing_under_per_host() {
+        // One revoked EphID kills every slot it served.
+        let mut pool = EphIdPool::new(Granularity::PerHost);
+        match pool.slot_for(0, 0) {
+            SlotDecision::NeedNew(k) => pool.install(k, 9),
+            _ => panic!(),
+        }
+        let evicted = pool.evict_index(9);
+        assert_eq!(evicted, vec![PoolKey::Host]);
+        assert!(matches!(pool.slot_for(0, 0), SlotDecision::NeedNew(_)));
+    }
+
+    #[test]
+    fn fate_sharing_under_per_flow_is_contained() {
+        let mut pool = EphIdPool::new(Granularity::PerFlow);
+        for flow in 0..4u64 {
+            match pool.slot_for(flow, 0) {
+                SlotDecision::NeedNew(k) => pool.install(k, flow as usize),
+                _ => panic!(),
+            }
+        }
+        // Revoking flow 2's EphID evicts only flow 2.
+        let evicted = pool.evict_index(2);
+        assert_eq!(evicted, vec![PoolKey::Flow(2)]);
+        assert_eq!(pool.slot_for(0, 0), SlotDecision::Reuse(0));
+        assert_eq!(pool.slot_for(1, 0), SlotDecision::Reuse(1));
+        assert_eq!(pool.slot_for(3, 0), SlotDecision::Reuse(3));
+    }
+}

@@ -1,0 +1,71 @@
+//! Host Identifiers.
+//!
+//! A host is represented to its AS by a Host Identifier (HID) — "a hash of
+//! the host's public key or a number assigned by the AS" (§III-B). The
+//! paper's prototype uses 4-byte HIDs, "sufficient to uniquely represent all
+//! hosts even in large ASes" (§V-A1), and the IPv4 deployment reuses IPv4
+//! addresses as HIDs (§VII-D). HIDs are meaningful only inside the issuing
+//! AS and never appear on the inter-domain wire.
+
+/// A 4-byte host identifier, unique within one AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hid(pub u32);
+
+impl Hid {
+    /// Serializes to 4 big-endian bytes (the layout inside the EphID
+    /// plaintext, Fig. 6).
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses from 4 big-endian bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 4]) -> Hid {
+        Hid(u32::from_be_bytes(bytes))
+    }
+
+    /// Builds an HID from an IPv4 address (the §VII-D deployment mapping:
+    /// "IPv4 addresses of the hosts serve as the HIDs").
+    #[must_use]
+    pub fn from_ipv4(addr: apna_wire::ipv4::Ipv4Addr) -> Hid {
+        Hid(u32::from_be_bytes(addr.0))
+    }
+
+    /// The inverse §VII-D mapping.
+    #[must_use]
+    pub fn to_ipv4(self) -> apna_wire::ipv4::Ipv4Addr {
+        apna_wire::ipv4::Ipv4Addr(self.0.to_be_bytes())
+    }
+}
+
+impl core::fmt::Display for Hid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "hid:{:08x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apna_wire::ipv4::Ipv4Addr;
+
+    #[test]
+    fn byte_roundtrip() {
+        let h = Hid(0x0a00_0001);
+        assert_eq!(Hid::from_bytes(h.to_bytes()), h);
+    }
+
+    #[test]
+    fn ipv4_mapping_is_bijective() {
+        let addr = Ipv4Addr::new(10, 0, 0, 1);
+        let hid = Hid::from_ipv4(addr);
+        assert_eq!(hid.to_ipv4(), addr);
+        assert_eq!(hid, Hid(0x0a00_0001));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Hid(0xff)), "hid:000000ff");
+    }
+}

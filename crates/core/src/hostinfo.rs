@@ -1,0 +1,201 @@
+//! The host information database (`host_info` in the paper).
+//!
+//! During bootstrap the RS pushes `(HID, k_HA)` to every infrastructure
+//! entity — routers, MS, AA — which "store the information in their
+//! database" (Fig. 2). The prototype implements it "as a hashtable using
+//! HID as the key" (§V-A2). This reproduction keeps one shared, lock-guarded
+//! table per AS; each logical entity holds an `Arc` to it, which models the
+//! RS's replication without simulating the intra-AS distribution protocol.
+
+use crate::hid::Hid;
+use crate::keys::HostAsKey;
+use crate::time::Timestamp;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Per-host record.
+#[derive(Clone)]
+pub struct HostRecord {
+    /// The host↔AS shared key (both halves).
+    pub key: HostAsKey,
+    /// `true` once the AS revokes the HID (identity minting defense and
+    /// §VIII-G2 escalation).
+    pub revoked: bool,
+    /// EphIDs of this host revoked before expiry (preemptive + shutoff);
+    /// drives the §VIII-G2 "too many revocations" escalation.
+    pub revoked_ephid_count: u32,
+    /// When the host registered (diagnostics).
+    pub registered_at: Timestamp,
+}
+
+/// The shared `host_info` table of one AS.
+#[derive(Default)]
+pub struct HostDb {
+    records: RwLock<HashMap<Hid, HostRecord>>,
+    next_hid: AtomicU32,
+}
+
+impl HostDb {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> HostDb {
+        HostDb {
+            records: RwLock::new(HashMap::new()),
+            next_hid: AtomicU32::new(1), // HID 0 reserved
+        }
+    }
+
+    /// `generateHID()` from Fig. 2: allocates a fresh, unique HID.
+    pub fn generate_hid(&self) -> Hid {
+        Hid(self.next_hid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Registers a host record under `hid` (the RS's `host_info[HID] = kHA`).
+    pub fn register(&self, hid: Hid, key: HostAsKey, now: Timestamp) {
+        self.records.write().insert(
+            hid,
+            HostRecord {
+                key,
+                revoked: false,
+                revoked_ephid_count: 0,
+                registered_at: now,
+            },
+        );
+    }
+
+    /// Looks up the shared key of a *valid* (registered, non-revoked) host.
+    /// This is the `HID ∈ host_info` + key fetch of Fig. 4.
+    #[must_use]
+    pub fn key_of_valid(&self, hid: Hid) -> Option<HostAsKey> {
+        let guard = self.records.read();
+        guard
+            .get(&hid)
+            .filter(|r| !r.revoked)
+            .map(|r| r.key.clone())
+    }
+
+    /// `true` if the HID is registered and not revoked.
+    #[must_use]
+    pub fn is_valid(&self, hid: Hid) -> bool {
+        self.records
+            .read()
+            .get(&hid)
+            .map(|r| !r.revoked)
+            .unwrap_or(false)
+    }
+
+    /// Revokes the HID entirely: "AS revokes the HID of the host
+    /// invalidating all EphIDs that are issued to the host" (§VIII-G2).
+    pub fn revoke_hid(&self, hid: Hid) {
+        if let Some(r) = self.records.write().get_mut(&hid) {
+            r.revoked = true;
+        }
+    }
+
+    /// Records one preemptive/shutoff EphID revocation against the host;
+    /// returns the new count so policy code can escalate.
+    pub fn note_ephid_revocation(&self, hid: Hid) -> u32 {
+        let mut guard = self.records.write();
+        match guard.get_mut(&hid) {
+            Some(r) => {
+                r.revoked_ephid_count += 1;
+                r.revoked_ephid_count
+            }
+            None => 0,
+        }
+    }
+
+    /// Re-issues an identity: revokes the old HID and registers the same
+    /// key material under a fresh HID ("the AS assigns a new HID to the
+    /// host", §VIII-G2). Returns the new HID, or `None` if `old` is
+    /// unknown.
+    pub fn reissue_hid(&self, old: Hid, now: Timestamp) -> Option<Hid> {
+        let key = {
+            let guard = self.records.read();
+            guard.get(&old)?.key.clone()
+        };
+        self.revoke_hid(old);
+        let new = self.generate_hid();
+        self.register(new, key, now);
+        Some(new)
+    }
+
+    /// Number of registered (valid) hosts.
+    #[must_use]
+    pub fn valid_count(&self) -> usize {
+        self.records.read().values().filter(|r| !r.revoked).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apna_crypto::x25519::SharedSecret;
+
+    fn key(tag: u8) -> HostAsKey {
+        HostAsKey::from_dh(&SharedSecret([tag; 32])).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let db = HostDb::new();
+        let hid = db.generate_hid();
+        db.register(hid, key(1), Timestamp(10));
+        assert!(db.is_valid(hid));
+        assert!(db.key_of_valid(hid).is_some());
+        assert_eq!(db.valid_count(), 1);
+    }
+
+    #[test]
+    fn unknown_hid_invalid() {
+        let db = HostDb::new();
+        assert!(!db.is_valid(Hid(77)));
+        assert!(db.key_of_valid(Hid(77)).is_none());
+    }
+
+    #[test]
+    fn generated_hids_unique() {
+        let db = HostDb::new();
+        let a = db.generate_hid();
+        let b = db.generate_hid();
+        assert_ne!(a, b);
+        assert_ne!(a, Hid(0)); // 0 is reserved
+    }
+
+    #[test]
+    fn revocation_invalidates() {
+        let db = HostDb::new();
+        let hid = db.generate_hid();
+        db.register(hid, key(2), Timestamp(0));
+        db.revoke_hid(hid);
+        assert!(!db.is_valid(hid));
+        assert!(db.key_of_valid(hid).is_none());
+        assert_eq!(db.valid_count(), 0);
+    }
+
+    #[test]
+    fn revocation_counter_escalates() {
+        let db = HostDb::new();
+        let hid = db.generate_hid();
+        db.register(hid, key(3), Timestamp(0));
+        assert_eq!(db.note_ephid_revocation(hid), 1);
+        assert_eq!(db.note_ephid_revocation(hid), 2);
+        assert_eq!(db.note_ephid_revocation(Hid(999)), 0); // unknown host
+    }
+
+    #[test]
+    fn reissue_swaps_identity() {
+        // "every host on the network is identified by a single HID" (§VI-A):
+        // a new HID implies the old one dies.
+        let db = HostDb::new();
+        let old = db.generate_hid();
+        db.register(old, key(4), Timestamp(0));
+        let new = db.reissue_hid(old, Timestamp(5)).unwrap();
+        assert_ne!(new, old);
+        assert!(!db.is_valid(old));
+        assert!(db.is_valid(new));
+        assert_eq!(db.valid_count(), 1);
+        assert!(db.reissue_hid(Hid(12345), Timestamp(5)).is_none());
+    }
+}

@@ -1,0 +1,292 @@
+//! Key material and derivations.
+//!
+//! The paper's notation (Table I) names three symmetric keys:
+//!
+//! * `k_A` — the AS's secret. §V-A1 derives two subkeys from it: `k_A'`
+//!   encrypts EphIDs (AES-CTR) and `k_A''` authenticates them (CBC-MAC).
+//!   We add a third derivation, the infrastructure key that authenticates
+//!   AA → border-router revocation orders (`k_AS` in Fig. 5).
+//! * `k_HA` — the host↔AS key from the bootstrap DH exchange. §IV-B: "the
+//!   two keys are derived from the result of the DH exchange" — one
+//!   encrypts EphID requests/replies, one authenticates every packet.
+//! * `k_EaEb` — the per-session key two hosts derive from their EphID key
+//!   pairs (derived in [`crate::session`]).
+//!
+//! Asymmetric material: the paper simplifies by letting an AS use "the same
+//! public/private key pairs for signing messages and key exchanges"
+//! (§IV-A). Curve25519 signing/DH key unification needs a birational-map
+//! conversion; this reproduction carries an Ed25519 signing key and an
+//! X25519 DH key side by side in one [`AsKeys`] bundle — the transparent
+//! equivalent, noted in DESIGN.md.
+
+use apna_crypto::aes::Aes128;
+use apna_crypto::cmac::CmacAes128;
+use apna_crypto::ed25519::{SigningKey, VerifyingKey};
+use apna_crypto::gcm::AesGcm128;
+use apna_crypto::hkdf;
+use apna_crypto::x25519::{PublicKey, SharedSecret, StaticSecret};
+use rand::{CryptoRng, RngCore};
+
+/// The complete key bundle of one AS.
+pub struct AsKeys {
+    /// Root symmetric secret `k_A`; all symmetric subkeys derive from it.
+    root: [u8; 32],
+    /// Ed25519 domain key: signs certificates and bootstrap messages.
+    pub signing: SigningKey,
+    /// X25519 domain key: host↔AS bootstrap Diffie-Hellman.
+    pub dh: StaticSecret,
+}
+
+impl AsKeys {
+    /// Generates a fresh AS key bundle.
+    pub fn generate<R: RngCore + CryptoRng>(rng: &mut R) -> AsKeys {
+        let mut root = [0u8; 32];
+        rng.fill_bytes(&mut root);
+        AsKeys {
+            root,
+            signing: SigningKey::generate(rng),
+            dh: StaticSecret::random_from_rng(rng),
+        }
+    }
+
+    /// Deterministic construction from a seed (tests, reproducible sims).
+    #[must_use]
+    pub fn from_seed(seed: &[u8; 32]) -> AsKeys {
+        let root: [u8; 32] = hkdf::derive_key(b"apna-as-root", seed, b"root");
+        let sign_seed: [u8; 32] = hkdf::derive_key(b"apna-as-sign", seed, b"sign");
+        let dh_seed: [u8; 32] = hkdf::derive_key(b"apna-as-dh", seed, b"dh");
+        AsKeys {
+            root,
+            signing: SigningKey::from_seed(&sign_seed),
+            dh: StaticSecret::from_bytes(dh_seed),
+        }
+    }
+
+    /// `k_A'`: the AES-128 cipher that encrypts EphID plaintexts (Fig. 6).
+    #[must_use]
+    pub fn ephid_enc_cipher(&self) -> Aes128 {
+        let key: [u8; 16] = hkdf::derive_key(b"apna-ka", &self.root, b"ephid-enc");
+        Aes128::new(&key)
+    }
+
+    /// `k_A''`: the AES-128 cipher behind the EphID CBC-MAC (Fig. 6).
+    #[must_use]
+    pub fn ephid_mac_cipher(&self) -> Aes128 {
+        let key: [u8; 16] = hkdf::derive_key(b"apna-ka", &self.root, b"ephid-mac");
+        Aes128::new(&key)
+    }
+
+    /// The infrastructure key authenticating AA → border-router revocation
+    /// orders (`MAC_kAS(revoke EphID_s)` in Fig. 5).
+    #[must_use]
+    pub fn infra_cmac(&self) -> CmacAes128 {
+        let key: [u8; 16] = hkdf::derive_key(b"apna-ka", &self.root, b"infra");
+        CmacAes128::new(&key)
+    }
+
+    /// The AS's certificate-verification key, published via the RPKI
+    /// stand-in ([`crate::directory`]).
+    #[must_use]
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.signing.verifying_key()
+    }
+
+    /// The AS's DH public key, learned by hosts during authentication.
+    #[must_use]
+    pub fn dh_public(&self) -> PublicKey {
+        self.dh.public_key()
+    }
+}
+
+impl core::fmt::Debug for AsKeys {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "AsKeys(vk: {:?})", self.verifying_key())
+    }
+}
+
+/// The host↔AS shared key `k_HA`, split per §IV-B into an encryption half
+/// (EphID request/reply protection) and an authentication half (per-packet
+/// MAC).
+#[derive(Clone)]
+pub struct HostAsKey {
+    enc: [u8; 16],
+    auth: [u8; 16],
+}
+
+impl HostAsKey {
+    /// Derives both halves from the bootstrap DH shared secret. Returns
+    /// `None` for a non-contributory exchange (low-order peer point).
+    #[must_use]
+    pub fn from_dh(shared: &SharedSecret) -> Option<HostAsKey> {
+        if !shared.is_contributory() {
+            return None;
+        }
+        Some(HostAsKey {
+            enc: hkdf::derive_key(b"apna-kha", shared.as_bytes(), b"enc"),
+            auth: hkdf::derive_key(b"apna-kha", shared.as_bytes(), b"auth"),
+        })
+    }
+
+    /// AEAD for EphID request/reply messages (`E_kHA(...)` in Fig. 3; we
+    /// use AES-GCM as the CCA-secure scheme the paper calls for).
+    #[must_use]
+    pub fn request_aead(&self) -> AesGcm128 {
+        AesGcm128::new(&self.enc)
+    }
+
+    /// CMAC instance for per-packet authentication (`k_HA^auth`).
+    #[must_use]
+    pub fn packet_cmac(&self) -> CmacAes128 {
+        CmacAes128::new(&self.auth)
+    }
+
+    /// Test/diagnostic accessor: the two halves differ.
+    #[must_use]
+    pub fn halves_differ(&self) -> bool {
+        self.enc != self.auth
+    }
+}
+
+impl core::fmt::Debug for HostAsKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "HostAsKey(..)") // never print key material
+    }
+}
+
+/// The key pair bound to one EphID.
+///
+/// The paper binds a single key pair per EphID and uses it both for ECDH
+/// (session keys, §IV-D1) and for signing (shutoff requests, §IV-E). As
+/// with the AS keys, we carry the Ed25519 and X25519 halves explicitly,
+/// derived from one 32-byte seed so the host stores only the seed.
+#[derive(Clone)]
+pub struct EphIdKeyPair {
+    seed: [u8; 32],
+    /// Signing half (shutoff authorization).
+    pub sign: SigningKey,
+    /// DH half (session-key establishment).
+    pub dh: StaticSecret,
+}
+
+impl EphIdKeyPair {
+    /// Generates a fresh per-EphID key pair.
+    pub fn generate<R: RngCore + CryptoRng>(rng: &mut R) -> EphIdKeyPair {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        EphIdKeyPair::from_seed(seed)
+    }
+
+    /// Derives both halves from a seed.
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32]) -> EphIdKeyPair {
+        let sign_seed: [u8; 32] = hkdf::derive_key(b"apna-ephid-key", &seed, b"sign");
+        let dh_seed: [u8; 32] = hkdf::derive_key(b"apna-ephid-key", &seed, b"dh");
+        EphIdKeyPair {
+            seed,
+            sign: SigningKey::from_seed(&sign_seed),
+            dh: StaticSecret::from_bytes(dh_seed),
+        }
+    }
+
+    /// The seed (so a host can persist one 32-byte value per EphID).
+    #[must_use]
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// Public halves in certificate order: `(sign_pub, dh_pub)`.
+    #[must_use]
+    pub fn public_keys(&self) -> ([u8; 32], [u8; 32]) {
+        (*self.sign.verifying_key().as_bytes(), self.dh.public_key().0)
+    }
+}
+
+impl core::fmt::Debug for EphIdKeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "EphIdKeyPair(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subkeys_are_domain_separated() {
+        let keys = AsKeys::from_seed(&[1u8; 32]);
+        // k_A' and k_A'' must differ: encrypting the same block must give
+        // different results.
+        let block = [0u8; 16];
+        assert_ne!(
+            keys.ephid_enc_cipher().encrypt(&block),
+            keys.ephid_mac_cipher().encrypt(&block)
+        );
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = AsKeys::from_seed(&[7u8; 32]);
+        let b = AsKeys::from_seed(&[7u8; 32]);
+        assert_eq!(a.verifying_key().as_bytes(), b.verifying_key().as_bytes());
+        assert_eq!(a.dh_public().0, b.dh_public().0);
+        let c = AsKeys::from_seed(&[8u8; 32]);
+        assert_ne!(a.verifying_key().as_bytes(), c.verifying_key().as_bytes());
+    }
+
+    #[test]
+    fn host_as_key_halves_differ() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = StaticSecret::random_from_rng(&mut rng);
+        let b = StaticSecret::random_from_rng(&mut rng);
+        let kha = HostAsKey::from_dh(&a.diffie_hellman(&b.public_key())).unwrap();
+        assert!(kha.halves_differ());
+    }
+
+    #[test]
+    fn both_sides_derive_same_kha() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let host = StaticSecret::random_from_rng(&mut rng);
+        let as_keys = AsKeys::generate(&mut rng);
+        let host_side = HostAsKey::from_dh(&host.diffie_hellman(&as_keys.dh_public())).unwrap();
+        let as_side =
+            HostAsKey::from_dh(&as_keys.dh.diffie_hellman(&host.public_key())).unwrap();
+        // Same CMAC key ⇔ same MAC on a probe message.
+        let probe = b"probe";
+        assert_eq!(
+            host_side.packet_cmac().mac(probe),
+            as_side.packet_cmac().mac(probe)
+        );
+        // Same AEAD key ⇔ successful open.
+        let sealed = host_side.request_aead().seal(&[0u8; 12], b"", b"req");
+        assert_eq!(
+            as_side.request_aead().open(&[0u8; 12], b"", &sealed).unwrap(),
+            b"req"
+        );
+    }
+
+    #[test]
+    fn low_order_dh_rejected() {
+        let shared = SharedSecret([0u8; 32]);
+        assert!(HostAsKey::from_dh(&shared).is_none());
+    }
+
+    #[test]
+    fn ephid_keypair_from_seed_is_deterministic() {
+        let kp1 = EphIdKeyPair::from_seed([3u8; 32]);
+        let kp2 = EphIdKeyPair::from_seed([3u8; 32]);
+        assert_eq!(kp1.public_keys(), kp2.public_keys());
+        let (sign_pub, dh_pub) = kp1.public_keys();
+        assert_ne!(sign_pub, dh_pub, "halves must be independent keys");
+    }
+
+    #[test]
+    fn ephid_keypair_signing_works() {
+        let kp = EphIdKeyPair::from_seed([4u8; 32]);
+        let sig = kp.sign.sign(b"shutoff evidence");
+        kp.sign
+            .verifying_key()
+            .verify(b"shutoff evidence", &sig)
+            .unwrap();
+    }
+}

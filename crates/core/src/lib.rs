@@ -1,0 +1,129 @@
+//! # apna-core
+//!
+//! The core of the APNA reproduction (*Source Accountability with
+//! Domain-brokered Privacy*, Lee et al., CoNEXT 2016): Ephemeral
+//! Identifiers, the AS-side control plane (Registry Service, Management
+//! Service, Accountability Agent), the border-router data plane, and the
+//! host stack.
+//!
+//! ## Architecture map (paper § → module)
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §V-A1 EphID construction (Fig. 6) | [`ephid`] |
+//! | §IV-B host bootstrapping (Fig. 2) | [`registry`] |
+//! | §IV-C EphID issuance (Fig. 3) | [`management`] |
+//! | §IV-D3 border-router forwarding (Fig. 4) | [`border`] |
+//! | §IV-E / §VIII-C shutoff protocol (Fig. 5) | [`shutoff`] |
+//! | §IV-D1/2, §VII-A/C sessions & encryption | [`session`] |
+//! | host stack, packet build/verify | [`host`] |
+//! | §VIII-A EphID granularity | [`granularity`] |
+//! | §VIII-D replay windows | [`replay`] |
+//! | §VIII-G2 revocation management | [`revocation`] |
+//! | RPKI stand-in (§IV-A assumption) | [`directory`] |
+//! | AS key material & derivations | [`keys`] |
+//!
+//! Protocol logic is written as pure-ish functions over explicit state with
+//! timestamps passed in, so the same code paths run under unit tests,
+//! property tests, the discrete-event simulator (`apna-simnet`), and the
+//! Criterion benchmarks that regenerate the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asnode;
+pub mod border;
+pub mod cert;
+pub mod directory;
+pub mod ephid;
+pub mod granularity;
+pub mod hid;
+pub mod host;
+pub mod hostinfo;
+pub mod keys;
+pub mod management;
+pub mod registry;
+pub mod replay;
+pub mod revocation;
+pub mod session;
+pub mod shutoff;
+pub mod time;
+
+pub use asnode::AsNode;
+pub use cert::EphIdCert;
+pub use ephid::{EphIdError, EphIdPlain};
+pub use hid::Hid;
+pub use host::Host;
+pub use keys::{AsKeys, HostAsKey};
+pub use time::Timestamp;
+
+use apna_wire::WireError;
+
+/// Errors surfaced by the APNA protocol layers.
+///
+/// Expected data-plane outcomes (a packet being dropped because its EphID
+/// expired, say) are *not* errors — they are [`border::Verdict`]s. Errors
+/// represent protocol violations, malformed inputs, or failed cryptography.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A cryptographic operation failed (bad tag, bad signature, bad key).
+    Crypto(apna_crypto::CryptoError),
+    /// A wire format failed to parse.
+    Wire(WireError),
+    /// An EphID failed authentication or decryption.
+    EphId(EphIdError),
+    /// A certificate failed verification.
+    BadCertificate(&'static str),
+    /// The referenced host identifier is unknown or revoked.
+    UnknownHost,
+    /// The EphID or certificate has expired.
+    Expired,
+    /// A shutoff request failed one of its authorization checks.
+    ShutoffRejected(&'static str),
+    /// A session-layer protocol violation.
+    Session(&'static str),
+    /// The peer's DH contribution was non-contributory (low-order point).
+    NonContributoryKey,
+    /// A replayed packet was detected and rejected.
+    Replay,
+    /// The requested operation is not permitted in the current state.
+    InvalidState(&'static str),
+}
+
+impl From<apna_crypto::CryptoError> for Error {
+    fn from(e: apna_crypto::CryptoError) -> Self {
+        Error::Crypto(e)
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Wire(e)
+    }
+}
+
+impl From<EphIdError> for Error {
+    fn from(e: EphIdError) -> Self {
+        Error::EphId(e)
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Crypto(e) => write!(f, "crypto: {e}"),
+            Error::Wire(e) => write!(f, "wire: {e}"),
+            Error::EphId(e) => write!(f, "ephid: {e:?}"),
+            Error::BadCertificate(why) => write!(f, "bad certificate: {why}"),
+            Error::UnknownHost => write!(f, "unknown or revoked host"),
+            Error::Expired => write!(f, "expired"),
+            Error::ShutoffRejected(why) => write!(f, "shutoff rejected: {why}"),
+            Error::Session(why) => write!(f, "session: {why}"),
+            Error::NonContributoryKey => write!(f, "non-contributory DH key"),
+            Error::Replay => write!(f, "replayed packet"),
+            Error::InvalidState(why) => write!(f, "invalid state: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,249 @@
+//! The Registry Service: host bootstrapping (Fig. 2, §IV-B).
+//!
+//! After the AS authenticates a host (by whatever subscriber-authentication
+//! mechanism it already runs — out of scope per the paper), the RS:
+//!
+//! 1. derives the host↔AS shared key `k_HA` from a DH exchange between the
+//!    host's and the AS's key pairs;
+//! 2. assigns a fresh HID and issues a **control EphID** with a long
+//!    lifetime (`E phID_ctrl`, used to talk to AS services);
+//! 3. returns signed `id_info` plus the certificates of the MS and DNS
+//!    service endpoints;
+//! 4. pushes `(HID, k_HA)` into the shared `host_info` database that
+//!    border routers, the MS, and the AA consult.
+//!
+//! Step 4's intra-AS distribution (`m1 = E_kA(HID, k_HA)` to every entity)
+//! is modeled as a direct insert into the shared [`HostDb`] — the entities
+//! in this reproduction literally share the table, which is the state the
+//! paper's message achieves.
+
+use crate::asnode::AsInfra;
+use crate::cert::EphIdCert;
+use crate::ephid::{self, EphIdPlain};
+use crate::hid::Hid;
+use crate::hostinfo::HostDb;
+use crate::keys::HostAsKey;
+use crate::time::{Timestamp, DEFAULT_CTRL_EPHID_LIFETIME_SECS};
+use crate::Error;
+use apna_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+use apna_crypto::x25519::PublicKey;
+use apna_wire::EphIdBytes;
+use std::sync::Arc;
+
+/// The signed `id_info = {EphID_ctrl, ExpTime}_{K⁻AS}` of Fig. 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedIdInfo {
+    /// The host's control EphID.
+    pub ctrl_ephid: EphIdBytes,
+    /// Its expiration time.
+    pub exp_time: Timestamp,
+    /// AS signature over both.
+    pub sig: Signature,
+}
+
+impl SignedIdInfo {
+    fn signed_bytes(ephid: &EphIdBytes, exp: Timestamp) -> Vec<u8> {
+        let mut msg = b"APNA-ID-INFO-V1".to_vec();
+        msg.extend_from_slice(ephid.as_bytes());
+        msg.extend_from_slice(&exp.to_bytes());
+        msg
+    }
+
+    fn sign(signing: &SigningKey, ephid: EphIdBytes, exp: Timestamp) -> SignedIdInfo {
+        let sig = signing.sign(&Self::signed_bytes(&ephid, exp));
+        SignedIdInfo {
+            ctrl_ephid: ephid,
+            exp_time: exp,
+            sig,
+        }
+    }
+
+    /// Host-side check: `verifySig(K⁺AS, id_info)` in Fig. 2.
+    pub fn verify(&self, as_vk: &VerifyingKey) -> Result<(), Error> {
+        as_vk
+            .verify(&Self::signed_bytes(&self.ctrl_ephid, self.exp_time), &self.sig)
+            .map_err(|_| Error::BadCertificate("id_info signature"))
+    }
+}
+
+/// Everything the host receives from bootstrapping (`m2` in Fig. 2).
+#[derive(Debug, Clone)]
+pub struct BootstrapReply {
+    /// Signed control-EphID binding.
+    pub id_info: SignedIdInfo,
+    /// Certificate of the Management Service endpoint.
+    pub ms_cert: EphIdCert,
+    /// Certificate of the DNS service endpoint.
+    pub dns_cert: EphIdCert,
+}
+
+/// The Registry Service of one AS.
+pub struct RegistryService {
+    infra: Arc<AsInfra>,
+}
+
+impl RegistryService {
+    pub(crate) fn new(infra: Arc<AsInfra>) -> RegistryService {
+        RegistryService { infra }
+    }
+
+    /// Bootstraps an authenticated host presenting DH public key
+    /// `host_dh_pub`. Returns the reply for the host; the side effect is
+    /// the new `host_info` entry.
+    ///
+    /// Fails only if the host supplies a non-contributory (low-order) DH
+    /// key — such a host could not have authenticated packets anyway.
+    pub fn bootstrap(
+        &self,
+        host_dh_pub: &PublicKey,
+        now: Timestamp,
+    ) -> Result<(Hid, BootstrapReply), Error> {
+        let infra = &self.infra;
+        // k_HA from the AS side: (K⁺H)^{K⁻AS}.
+        let shared = infra.keys.dh.diffie_hellman(host_dh_pub);
+        let kha = HostAsKey::from_dh(&shared).ok_or(Error::NonContributoryKey)?;
+
+        let hid = infra.host_db.generate_hid();
+        let exp = now.add_secs(DEFAULT_CTRL_EPHID_LIFETIME_SECS);
+        let ctrl_ephid = ephid::seal(
+            &infra.keys,
+            EphIdPlain {
+                hid,
+                exp_time: exp,
+            },
+            infra.iv_alloc.next_iv(),
+        );
+
+        // host_info[HID] = kHA, shared by all AS entities.
+        infra.host_db.register(hid, kha, now);
+
+        Ok((
+            hid,
+            BootstrapReply {
+                id_info: SignedIdInfo::sign(&infra.keys.signing, ctrl_ephid, exp),
+                ms_cert: infra.ms_cert.clone(),
+                dns_cert: infra.dns_cert.clone(),
+            },
+        ))
+    }
+
+    /// Access to the shared host table (tests and AS-internal tooling).
+    #[must_use]
+    pub fn host_db(&self) -> &HostDb {
+        &self.infra.host_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asnode::AsNode;
+    use crate::directory::AsDirectory;
+    use apna_crypto::x25519::StaticSecret;
+    use apna_wire::Aid;
+    use rand::SeedableRng;
+
+    fn setup() -> (AsNode, StaticSecret) {
+        let dir = AsDirectory::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let node = AsNode::new(Aid(42), &mut rng, &dir, Timestamp(100));
+        let host_secret = StaticSecret::random_from_rng(&mut rng);
+        (node, host_secret)
+    }
+
+    #[test]
+    fn bootstrap_registers_host() {
+        let (node, host_secret) = setup();
+        let before = node.infra.host_db.valid_count();
+        let (hid, _reply) = node
+            .rs
+            .bootstrap(&host_secret.public_key(), Timestamp(100))
+            .unwrap();
+        assert!(node.infra.host_db.is_valid(hid));
+        assert_eq!(node.infra.host_db.valid_count(), before + 1);
+    }
+
+    #[test]
+    fn ctrl_ephid_decodes_to_hid_with_long_expiry() {
+        let (node, host_secret) = setup();
+        let now = Timestamp(100);
+        let (hid, reply) = node.rs.bootstrap(&host_secret.public_key(), now).unwrap();
+        let plain = ephid::open(&node.infra.keys, &reply.id_info.ctrl_ephid).unwrap();
+        assert_eq!(plain.hid, hid);
+        assert_eq!(
+            plain.exp_time,
+            now.add_secs(DEFAULT_CTRL_EPHID_LIFETIME_SECS)
+        );
+        assert_eq!(plain.exp_time, reply.id_info.exp_time);
+    }
+
+    #[test]
+    fn id_info_signature_verifies_with_as_key_only() {
+        let (node, host_secret) = setup();
+        let (_, reply) = node
+            .rs
+            .bootstrap(&host_secret.public_key(), Timestamp(100))
+            .unwrap();
+        reply
+            .id_info
+            .verify(&node.infra.keys.verifying_key())
+            .unwrap();
+        let other = crate::keys::AsKeys::from_seed(&[0xee; 32]);
+        assert!(reply.id_info.verify(&other.verifying_key()).is_err());
+    }
+
+    #[test]
+    fn id_info_tamper_detected() {
+        let (node, host_secret) = setup();
+        let (_, reply) = node
+            .rs
+            .bootstrap(&host_secret.public_key(), Timestamp(100))
+            .unwrap();
+        let mut forged = reply.id_info.clone();
+        forged.exp_time = Timestamp(u32::MAX); // lifetime extension attempt
+        assert!(forged.verify(&node.infra.keys.verifying_key()).is_err());
+    }
+
+    #[test]
+    fn both_sides_agree_on_kha() {
+        let (node, host_secret) = setup();
+        let (hid, _) = node
+            .rs
+            .bootstrap(&host_secret.public_key(), Timestamp(100))
+            .unwrap();
+        let as_side = node.infra.host_db.key_of_valid(hid).unwrap();
+        let host_side = HostAsKey::from_dh(
+            &host_secret.diffie_hellman(&node.infra.keys.dh_public()),
+        )
+        .unwrap();
+        assert_eq!(
+            as_side.packet_cmac().mac(b"probe"),
+            host_side.packet_cmac().mac(b"probe")
+        );
+    }
+
+    #[test]
+    fn distinct_hosts_distinct_hids_and_ephids() {
+        let (node, _) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let h1 = StaticSecret::random_from_rng(&mut rng);
+        let h2 = StaticSecret::random_from_rng(&mut rng);
+        let (hid1, r1) = node.rs.bootstrap(&h1.public_key(), Timestamp(0)).unwrap();
+        let (hid2, r2) = node.rs.bootstrap(&h2.public_key(), Timestamp(0)).unwrap();
+        assert_ne!(hid1, hid2);
+        assert_ne!(r1.id_info.ctrl_ephid, r2.id_info.ctrl_ephid);
+    }
+
+    #[test]
+    fn service_certs_verify() {
+        let (node, host_secret) = setup();
+        let (_, reply) = node
+            .rs
+            .bootstrap(&host_secret.public_key(), Timestamp(100))
+            .unwrap();
+        let vk = node.infra.keys.verifying_key();
+        reply.ms_cert.verify(&vk, Timestamp(100)).unwrap();
+        reply.dns_cert.verify(&vk, Timestamp(100)).unwrap();
+        assert_eq!(reply.ms_cert.kind, crate::cert::CertKind::Service);
+    }
+}

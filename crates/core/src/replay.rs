@@ -1,0 +1,149 @@
+//! Replay detection (§VIII-D).
+//!
+//! "Replay attacks can be prevented by making every packet unique": a nonce
+//! field is added to the APNA header and "the destination host performs
+//! replay detection based on the nonces in the packets and discards all
+//! duplicate packets."
+//!
+//! The detector is the classic IPsec-style sliding window: a 128-bit bitmap
+//! tracks recently seen sequence numbers below the highest seen; anything
+//! older than the window is rejected (conservative — a late legitimate
+//! packet beyond 128 positions is treated as a replay, which only costs a
+//! retransmission).
+
+/// Window size in sequence numbers.
+pub const WINDOW: u64 = 128;
+
+/// A per-sender sliding replay window.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayWindow {
+    /// Highest sequence number accepted so far (0 = none yet).
+    highest: u64,
+    /// Bit i set ⇔ (highest − i) seen, for i in 0..128.
+    bitmap: u128,
+    /// True once any packet has been accepted.
+    primed: bool,
+}
+
+impl ReplayWindow {
+    /// Creates an empty window.
+    #[must_use]
+    pub fn new() -> ReplayWindow {
+        ReplayWindow::default()
+    }
+
+    /// Checks `seq` and updates state. Returns `true` to accept, `false`
+    /// to discard as a replay (or too-old packet).
+    pub fn check_and_update(&mut self, seq: u64) -> bool {
+        if !self.primed {
+            self.primed = true;
+            self.highest = seq;
+            self.bitmap = 1;
+            return true;
+        }
+        if seq > self.highest {
+            let shift = seq - self.highest;
+            self.bitmap = if shift >= WINDOW {
+                0
+            } else {
+                self.bitmap << shift
+            };
+            self.bitmap |= 1;
+            self.highest = seq;
+            return true;
+        }
+        let offset = self.highest - seq;
+        if offset >= WINDOW {
+            return false; // beyond the window: reject conservatively
+        }
+        let bit = 1u128 << offset;
+        if self.bitmap & bit != 0 {
+            return false; // replay
+        }
+        self.bitmap |= bit;
+        true
+    }
+
+    /// Highest sequence number accepted (diagnostics).
+    #[must_use]
+    pub fn highest(&self) -> u64 {
+        self.highest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_sequence_accepted() {
+        let mut w = ReplayWindow::new();
+        for seq in 1..100 {
+            assert!(w.check_and_update(seq), "seq {seq}");
+        }
+        assert_eq!(w.highest(), 99);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut w = ReplayWindow::new();
+        assert!(w.check_and_update(5));
+        assert!(!w.check_and_update(5));
+        assert!(w.check_and_update(6));
+        assert!(!w.check_and_update(5));
+        assert!(!w.check_and_update(6));
+    }
+
+    #[test]
+    fn out_of_order_within_window_accepted_once() {
+        let mut w = ReplayWindow::new();
+        assert!(w.check_and_update(10));
+        assert!(w.check_and_update(8)); // late but new
+        assert!(!w.check_and_update(8)); // replayed late packet
+        assert!(w.check_and_update(9));
+        assert!(!w.check_and_update(10));
+    }
+
+    #[test]
+    fn too_old_rejected() {
+        let mut w = ReplayWindow::new();
+        assert!(w.check_and_update(1));
+        assert!(w.check_and_update(500));
+        // 500 - 128 = 372; anything ≤ 372 is out of window.
+        assert!(!w.check_and_update(372));
+        assert!(w.check_and_update(373)); // exactly on the edge: in window
+        assert!(!w.check_and_update(373));
+    }
+
+    #[test]
+    fn large_jump_clears_bitmap() {
+        let mut w = ReplayWindow::new();
+        for seq in 1..=10 {
+            assert!(w.check_and_update(seq));
+        }
+        assert!(w.check_and_update(1_000_000));
+        // Everything near the new highest is unseen except itself.
+        assert!(!w.check_and_update(1_000_000));
+        assert!(w.check_and_update(999_999));
+    }
+
+    #[test]
+    fn first_packet_any_seq() {
+        let mut w = ReplayWindow::new();
+        assert!(w.check_and_update(0));
+        assert!(!w.check_and_update(0));
+        let mut w2 = ReplayWindow::new();
+        assert!(w2.check_and_update(u64::MAX));
+        assert!(!w2.check_and_update(u64::MAX));
+    }
+
+    #[test]
+    fn replay_burst_all_rejected() {
+        // The §VIII-D attack: adversary replays a captured packet many
+        // times to trigger shutoffs against the victim.
+        let mut w = ReplayWindow::new();
+        assert!(w.check_and_update(42));
+        let rejected = (0..1000).filter(|_| !w.check_and_update(42)).count();
+        assert_eq!(rejected, 1000);
+    }
+}

@@ -1,0 +1,125 @@
+//! Revocation lists (`revoked_ids` in Fig. 4/5) and the management policy
+//! of §VIII-G2.
+//!
+//! Border routers consult a revocation list for both the source EphID of
+//! every outgoing packet and the destination EphID of every incoming one.
+//! §VIII-G2 gives two pressure valves for list growth:
+//!
+//! 1. expired EphIDs can be *purged* — packets using them are dropped by
+//!    the expiry check anyway;
+//! 2. hosts accumulating too many revocations get their whole HID revoked
+//!    (policy implemented in [`crate::asnode`] via
+//!    [`crate::hostinfo::HostDb::note_ephid_revocation`]).
+
+use crate::time::Timestamp;
+use apna_wire::EphIdBytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A shared revocation list. Entries remember the EphID's expiry so that
+/// [`RevocationList::purge_expired`] can garbage-collect them.
+#[derive(Default)]
+pub struct RevocationList {
+    entries: RwLock<HashMap<EphIdBytes, Timestamp>>,
+}
+
+impl RevocationList {
+    /// Creates an empty list.
+    #[must_use]
+    pub fn new() -> RevocationList {
+        RevocationList::default()
+    }
+
+    /// Inserts an EphID (`revoked_ids.insert(EphID_s)` in Fig. 5),
+    /// remembering its expiry for later purging.
+    pub fn insert(&self, ephid: EphIdBytes, exp_time: Timestamp) {
+        self.entries.write().insert(ephid, exp_time);
+    }
+
+    /// The Fig. 4 membership test.
+    #[must_use]
+    pub fn contains(&self, ephid: &EphIdBytes) -> bool {
+        self.entries.read().contains_key(ephid)
+    }
+
+    /// Drops entries whose EphID has expired (§VIII-G2 valve 1). Returns
+    /// how many entries were removed.
+    pub fn purge_expired(&self, now: Timestamp) -> usize {
+        let mut guard = self.entries.write();
+        let before = guard.len();
+        guard.retain(|_, exp| !exp.expired_at(now));
+        before - guard.len()
+    }
+
+    /// Current list size (border-router memory pressure metric for the E8
+    /// ablation).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// `true` if no EphIDs are revoked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eid(tag: u8) -> EphIdBytes {
+        EphIdBytes([tag; 16])
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let list = RevocationList::new();
+        assert!(!list.contains(&eid(1)));
+        list.insert(eid(1), Timestamp(100));
+        assert!(list.contains(&eid(1)));
+        assert!(!list.contains(&eid(2)));
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn purge_removes_only_expired() {
+        let list = RevocationList::new();
+        list.insert(eid(1), Timestamp(100));
+        list.insert(eid(2), Timestamp(200));
+        list.insert(eid(3), Timestamp(300));
+        // At t=250: EphIDs expiring at 100 and 200 are purgeable.
+        assert_eq!(list.purge_expired(Timestamp(250)), 2);
+        assert!(!list.contains(&eid(1)));
+        assert!(!list.contains(&eid(2)));
+        assert!(list.contains(&eid(3)));
+    }
+
+    #[test]
+    fn purge_boundary_is_exclusive() {
+        // An EphID expiring exactly now is still valid → must stay listed.
+        let list = RevocationList::new();
+        list.insert(eid(1), Timestamp(100));
+        assert_eq!(list.purge_expired(Timestamp(100)), 0);
+        assert!(list.contains(&eid(1)));
+        assert_eq!(list.purge_expired(Timestamp(101)), 1);
+    }
+
+    #[test]
+    fn reinsert_updates_expiry() {
+        let list = RevocationList::new();
+        list.insert(eid(1), Timestamp(10));
+        list.insert(eid(1), Timestamp(1000));
+        assert_eq!(list.purge_expired(Timestamp(500)), 0);
+        assert!(list.contains(&eid(1)));
+    }
+
+    #[test]
+    fn empty_reporting() {
+        let list = RevocationList::new();
+        assert!(list.is_empty());
+        list.insert(eid(9), Timestamp(1));
+        assert!(!list.is_empty());
+    }
+}

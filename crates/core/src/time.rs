@@ -1,0 +1,155 @@
+//! Timestamps.
+//!
+//! EphIDs carry a 4-byte expiration time — "Unix timestamps with one second
+//! granularity" (§V-A1) — so the whole architecture runs on `u32` seconds.
+//! Protocol functions take `now: Timestamp` explicitly; only the simulator
+//! (or a real deployment shim) owns a clock. This keeps every code path
+//! deterministic and testable.
+
+/// A Unix timestamp with one-second granularity (4 bytes on the wire,
+/// matching the EphID ExpTime field of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u32);
+
+impl Timestamp {
+    /// The zero timestamp (epoch).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Saturating addition of a duration in seconds.
+    #[must_use]
+    pub fn add_secs(self, secs: u32) -> Timestamp {
+        Timestamp(self.0.saturating_add(secs))
+    }
+
+    /// Saturating subtraction of a duration in seconds.
+    #[must_use]
+    pub fn sub_secs(self, secs: u32) -> Timestamp {
+        Timestamp(self.0.saturating_sub(secs))
+    }
+
+    /// `true` if `self` (an expiry) has passed at `now`.
+    ///
+    /// Expiry is exclusive: an EphID with `ExpTime == now` is still valid,
+    /// matching the `if T < currTime abort` checks in Figs. 3–5.
+    #[must_use]
+    pub fn expired_at(self, now: Timestamp) -> bool {
+        self < now
+    }
+
+    /// Serializes to 4 big-endian bytes (wire order of the ExpTime field).
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses from 4 big-endian bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 4]) -> Timestamp {
+        Timestamp(u32::from_be_bytes(bytes))
+    }
+}
+
+impl core::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t+{}", self.0)
+    }
+}
+
+impl core::ops::Sub for Timestamp {
+    type Output = u32;
+    fn sub(self, rhs: Timestamp) -> u32 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+/// Default lifetimes (§VIII-G1): per-flow EphIDs live 15 minutes, since
+/// "98% of the flows in the Internet last less than 15 minutes".
+pub const DEFAULT_FLOW_EPHID_LIFETIME_SECS: u32 = 15 * 60;
+
+/// Control EphIDs have "longer lifetime (e.g., DHCP lease time)" (§IV-B);
+/// we use 24 hours.
+pub const DEFAULT_CTRL_EPHID_LIFETIME_SECS: u32 = 24 * 60 * 60;
+
+/// The three expiry classes of §VIII-G1 ("short-term, medium-term,
+/// long-term EphIDs"), selectable in the EphID request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpiryClass {
+    /// 15 minutes: covers 98% of flows.
+    #[default]
+    Short,
+    /// 2 hours: long downloads, video sessions.
+    Medium,
+    /// 24 hours: long-lived services.
+    Long,
+}
+
+impl ExpiryClass {
+    /// Lifetime in seconds for this class.
+    #[must_use]
+    pub fn lifetime_secs(self) -> u32 {
+        match self {
+            ExpiryClass::Short => DEFAULT_FLOW_EPHID_LIFETIME_SECS,
+            ExpiryClass::Medium => 2 * 60 * 60,
+            ExpiryClass::Long => DEFAULT_CTRL_EPHID_LIFETIME_SECS,
+        }
+    }
+
+    /// Wire encoding (one byte in the EphID request).
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ExpiryClass::Short => 0,
+            ExpiryClass::Medium => 1,
+            ExpiryClass::Long => 2,
+        }
+    }
+
+    /// Parses the wire encoding; unknown values fall back to `Short`
+    /// (conservative: shortest exposure).
+    #[must_use]
+    pub fn from_byte(b: u8) -> ExpiryClass {
+        match b {
+            1 => ExpiryClass::Medium,
+            2 => ExpiryClass::Long,
+            _ => ExpiryClass::Short,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_is_exclusive() {
+        let exp = Timestamp(100);
+        assert!(!exp.expired_at(Timestamp(99)));
+        assert!(!exp.expired_at(Timestamp(100))); // still valid at ExpTime
+        assert!(exp.expired_at(Timestamp(101)));
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Timestamp(u32::MAX).add_secs(10), Timestamp(u32::MAX));
+        assert_eq!(Timestamp(5).sub_secs(10), Timestamp(0));
+        assert_eq!(Timestamp(10) - Timestamp(3), 7);
+        assert_eq!(Timestamp(3) - Timestamp(10), 0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let t = Timestamp(0xdead_beef);
+        assert_eq!(Timestamp::from_bytes(t.to_bytes()), t);
+    }
+
+    #[test]
+    fn expiry_classes() {
+        assert_eq!(ExpiryClass::Short.lifetime_secs(), 900);
+        assert_eq!(ExpiryClass::Medium.lifetime_secs(), 7200);
+        assert_eq!(ExpiryClass::Long.lifetime_secs(), 86400);
+        for c in [ExpiryClass::Short, ExpiryClass::Medium, ExpiryClass::Long] {
+            assert_eq!(ExpiryClass::from_byte(c.to_byte()), c);
+        }
+        assert_eq!(ExpiryClass::from_byte(0xff), ExpiryClass::Short);
+    }
+}

@@ -1,0 +1,400 @@
+//! AES block cipher (FIPS-197): AES-128, AES-192, AES-256.
+//!
+//! The paper's prototype leans on Intel AES-NI for EphID encryption and
+//! border-router EphID decryption; this reproduction uses a portable
+//! software implementation. To avoid transcription errors, the S-box and its
+//! inverse are **derived** from the mathematical definition (multiplicative
+//! inverse in GF(2⁸) followed by the affine transform) at first use, and the
+//! result is pinned to FIPS-197 known-answer vectors in tests.
+//!
+//! Performance note (relevant to Fig. 8 reproduction): software AES with
+//! S-box lookups runs at roughly 1/10–1/20 the speed of AES-NI. Every
+//! comparison in the benchmark harness keeps both sides on this substrate,
+//! so ratios — not absolute block rates — carry over from the paper.
+
+use std::sync::OnceLock;
+
+/// AES block length in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+/// A 16-byte AES block.
+pub type Block = [u8; BLOCK_LEN];
+
+/// Common interface for the three AES key sizes (and the mode
+/// implementations generic over them).
+pub trait BlockCipher {
+    /// Encrypts one 16-byte block in place.
+    fn encrypt_block(&self, block: &mut Block);
+    /// Decrypts one 16-byte block in place.
+    fn decrypt_block(&self, block: &mut Block);
+}
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic and derived tables
+// ---------------------------------------------------------------------------
+
+/// Multiplication in GF(2⁸) with the AES reduction polynomial x⁸+x⁴+x³+x+1.
+#[inline]
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        // Multiplicative inverses: inv[0] = 0 by convention.
+        let mut inv = [0u8; 256];
+        for a in 1..=255u8 {
+            for b in 1..=255u8 {
+                if gmul(a, b) == 1 {
+                    inv[a as usize] = b;
+                    break;
+                }
+            }
+        }
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for x in 0..256usize {
+            let b = inv[x];
+            let s = b
+                ^ b.rotate_left(1)
+                ^ b.rotate_left(2)
+                ^ b.rotate_left(3)
+                ^ b.rotate_left(4)
+                ^ 0x63;
+            sbox[x] = s;
+            inv_sbox[s as usize] = x as u8;
+        }
+        Tables { sbox, inv_sbox }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Key schedule
+// ---------------------------------------------------------------------------
+
+/// Expanded round keys for one AES key. `rounds` is 10/12/14.
+#[derive(Clone)]
+struct RoundKeys {
+    /// Round keys as 4-byte words; `4 * (rounds + 1)` words are valid.
+    words: [u32; 60],
+    rounds: usize,
+}
+
+fn expand_key(key: &[u8]) -> RoundKeys {
+    let nk = key.len() / 4; // 4, 6, or 8
+    let rounds = nk + 6;
+    let total_words = 4 * (rounds + 1);
+    let t = tables();
+    let sub_word = |w: u32| -> u32 {
+        let b = w.to_be_bytes();
+        u32::from_be_bytes([
+            t.sbox[b[0] as usize],
+            t.sbox[b[1] as usize],
+            t.sbox[b[2] as usize],
+            t.sbox[b[3] as usize],
+        ])
+    };
+    let mut words = [0u32; 60];
+    for i in 0..nk {
+        words[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    let mut rcon: u8 = 1;
+    for i in nk..total_words {
+        let mut temp = words[i - 1];
+        if i % nk == 0 {
+            temp = sub_word(temp.rotate_left(8)) ^ ((rcon as u32) << 24);
+            // Advance Rcon in GF(2^8).
+            rcon = gmul(rcon, 2);
+        } else if nk > 6 && i % nk == 4 {
+            temp = sub_word(temp);
+        }
+        words[i] = words[i - nk] ^ temp;
+    }
+    RoundKeys { words, rounds }
+}
+
+// ---------------------------------------------------------------------------
+// Cipher rounds
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn add_round_key(state: &mut Block, words: &[u32]) {
+    for c in 0..4 {
+        let w = words[c].to_be_bytes();
+        state[4 * c] ^= w[0];
+        state[4 * c + 1] ^= w[1];
+        state[4 * c + 2] ^= w[2];
+        state[4 * c + 3] ^= w[3];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut Block, sbox: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = sbox[*b as usize];
+    }
+}
+
+/// State layout: column-major (byte `state[4c + r]` is row r, column c),
+/// matching the FIPS-197 serialization order of the input block.
+#[inline]
+fn shift_rows(state: &mut Block) {
+    // Row 1: rotate left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: rotate left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: rotate left by 3 (== right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut Block) {
+    // Row 1: rotate right by 1.
+    let t = state[13];
+    state[13] = state[9];
+    state[9] = state[5];
+    state[5] = state[1];
+    state[1] = t;
+    // Row 2: rotate right by 2 (same as left by 2).
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: rotate right by 3 (== left by 1).
+    let t = state[3];
+    state[3] = state[7];
+    state[7] = state[11];
+    state[11] = state[15];
+    state[15] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        col[0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3;
+        col[1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3;
+        col[2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3);
+        col[3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        col[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
+        col[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
+        col[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
+        col[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
+    }
+}
+
+fn encrypt(rk: &RoundKeys, block: &mut Block) {
+    let t = tables();
+    add_round_key(block, &rk.words[0..4]);
+    for round in 1..rk.rounds {
+        sub_bytes(block, &t.sbox);
+        shift_rows(block);
+        mix_columns(block);
+        add_round_key(block, &rk.words[4 * round..4 * round + 4]);
+    }
+    sub_bytes(block, &t.sbox);
+    shift_rows(block);
+    add_round_key(block, &rk.words[4 * rk.rounds..4 * rk.rounds + 4]);
+}
+
+fn decrypt(rk: &RoundKeys, block: &mut Block) {
+    let t = tables();
+    add_round_key(block, &rk.words[4 * rk.rounds..4 * rk.rounds + 4]);
+    for round in (1..rk.rounds).rev() {
+        inv_shift_rows(block);
+        sub_bytes(block, &t.inv_sbox);
+        add_round_key(block, &rk.words[4 * round..4 * round + 4]);
+        inv_mix_columns(block);
+    }
+    inv_shift_rows(block);
+    sub_bytes(block, &t.inv_sbox);
+    add_round_key(block, &rk.words[0..4]);
+}
+
+// ---------------------------------------------------------------------------
+// Public key-size wrappers
+// ---------------------------------------------------------------------------
+
+macro_rules! aes_impl {
+    ($name:ident, $key_len:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone)]
+        pub struct $name {
+            round_keys: RoundKeys,
+        }
+
+        impl $name {
+            /// Expands `key` into round keys.
+            #[must_use]
+            pub fn new(key: &[u8; $key_len]) -> Self {
+                Self {
+                    round_keys: expand_key(key),
+                }
+            }
+
+            /// Encrypts a copy of `block` and returns the ciphertext block.
+            #[must_use]
+            pub fn encrypt(&self, block: &Block) -> Block {
+                let mut b = *block;
+                self.encrypt_block(&mut b);
+                b
+            }
+
+            /// Decrypts a copy of `block` and returns the plaintext block.
+            #[must_use]
+            pub fn decrypt(&self, block: &Block) -> Block {
+                let mut b = *block;
+                self.decrypt_block(&mut b);
+                b
+            }
+        }
+
+        impl BlockCipher for $name {
+            fn encrypt_block(&self, block: &mut Block) {
+                encrypt(&self.round_keys, block);
+            }
+            fn decrypt_block(&self, block: &mut Block) {
+                decrypt(&self.round_keys, block);
+            }
+        }
+    };
+}
+
+aes_impl!(Aes128, 16, "AES with a 128-bit key (10 rounds).");
+aes_impl!(Aes192, 24, "AES with a 192-bit key (12 rounds).");
+aes_impl!(Aes256, 32, "AES with a 256-bit key (14 rounds).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn sbox_spot_values() {
+        // FIPS-197 Figure 7 spot checks.
+        let t = tables();
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7c);
+        assert_eq!(t.sbox[0x53], 0xed);
+        assert_eq!(t.sbox[0xff], 0x16);
+        assert_eq!(t.inv_sbox[0x63], 0x00);
+        assert_eq!(t.inv_sbox[0xed], 0x53);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let t = tables();
+        let mut seen = [false; 256];
+        for &s in &t.sbox {
+            assert!(!seen[s as usize]);
+            seen[s as usize] = true;
+        }
+        for x in 0..256 {
+            assert_eq!(t.inv_sbox[t.sbox[x] as usize] as usize, x);
+        }
+    }
+
+    #[test]
+    fn fips197_aes128() {
+        // FIPS-197 Appendix C.1.
+        let key = hex::decode_array::<16>("000102030405060708090a0b0c0d0e0f").unwrap();
+        let pt = hex::decode_array::<16>("00112233445566778899aabbccddeeff").unwrap();
+        let cipher = Aes128::new(&key);
+        let ct = cipher.encrypt(&pt);
+        assert_eq!(hex::encode(&ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(cipher.decrypt(&ct), pt);
+    }
+
+    #[test]
+    fn fips197_aes192() {
+        // FIPS-197 Appendix C.2.
+        let key =
+            hex::decode_array::<24>("000102030405060708090a0b0c0d0e0f1011121314151617").unwrap();
+        let pt = hex::decode_array::<16>("00112233445566778899aabbccddeeff").unwrap();
+        let cipher = Aes192::new(&key);
+        let ct = cipher.encrypt(&pt);
+        assert_eq!(hex::encode(&ct), "dda97ca4864cdfe06eaf70a0ec0d7191");
+        assert_eq!(cipher.decrypt(&ct), pt);
+    }
+
+    #[test]
+    fn fips197_aes256() {
+        // FIPS-197 Appendix C.3.
+        let key = hex::decode_array::<32>(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .unwrap();
+        let pt = hex::decode_array::<16>("00112233445566778899aabbccddeeff").unwrap();
+        let cipher = Aes256::new(&key);
+        let ct = cipher.encrypt(&pt);
+        assert_eq!(hex::encode(&ct), "8ea2b7ca516745bfeafc49904b496089");
+        assert_eq!(cipher.decrypt(&ct), pt);
+    }
+
+    #[test]
+    fn sp800_38a_aes128_ecb() {
+        // SP 800-38A F.1.1 (first block).
+        let key = hex::decode_array::<16>("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
+        let pt = hex::decode_array::<16>("6bc1bee22e409f96e93d7e117393172a").unwrap();
+        let ct = Aes128::new(&key).encrypt(&pt);
+        assert_eq!(hex::encode(&ct), "3ad77bb40d7a3660a89ecaf32466ef97");
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut key = [0u8; 16];
+        rng.fill_bytes(&mut key);
+        let cipher = Aes128::new(&key);
+        for _ in 0..64 {
+            let mut block = [0u8; 16];
+            rng.fill_bytes(&mut block);
+            assert_eq!(cipher.decrypt(&cipher.encrypt(&block)), block);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_ciphertexts() {
+        let pt = [0u8; 16];
+        let c1 = Aes128::new(&[0u8; 16]).encrypt(&pt);
+        let c2 = Aes128::new(&[1u8; 16]).encrypt(&pt);
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,94 @@
+//! CBC-MAC over AES, restricted to fixed-length input.
+//!
+//! The EphID construction (Fig. 6) authenticates the 16-byte block
+//! `ciphertext (8 B) ‖ IV (4 B) ‖ 0⁴` with CBC-MAC and truncates the result
+//! to 4 bytes. Plain CBC-MAC is insecure for variable-length messages
+//! (footnote 3 of the paper, citing Bellare–Kilian–Rogaway), so the API
+//! here only accepts a whole number of blocks and the APNA caller fixes the
+//! length to exactly one block. For variable-length packet MACs use
+//! [`crate::cmac`] instead.
+
+use crate::aes::{Block, BlockCipher, BLOCK_LEN};
+use crate::CryptoError;
+
+/// Computes CBC-MAC over `msg`, which must be a non-zero whole number of
+/// 16-byte blocks. Returns the full 16-byte tag (truncate at the call site).
+pub fn cbc_mac<C: BlockCipher>(cipher: &C, msg: &[u8]) -> Result<Block, CryptoError> {
+    if msg.is_empty() || msg.len() % BLOCK_LEN != 0 {
+        return Err(CryptoError::InvalidLength);
+    }
+    let mut state = [0u8; BLOCK_LEN];
+    for block in msg.chunks_exact(BLOCK_LEN) {
+        for (s, b) in state.iter_mut().zip(block.iter()) {
+            *s ^= b;
+        }
+        cipher.encrypt_block(&mut state);
+    }
+    Ok(state)
+}
+
+/// Single-block CBC-MAC (the EphID case): equivalent to one AES encryption.
+#[must_use]
+pub fn cbc_mac_block<C: BlockCipher>(cipher: &C, block: &Block) -> Block {
+    let mut state = *block;
+    cipher.encrypt_block(&mut state);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+    use crate::ct::ct_eq;
+
+    #[test]
+    fn rejects_partial_blocks() {
+        let cipher = Aes128::new(&[0u8; 16]);
+        assert_eq!(cbc_mac(&cipher, &[0u8; 15]), Err(CryptoError::InvalidLength));
+        assert_eq!(cbc_mac(&cipher, &[0u8; 17]), Err(CryptoError::InvalidLength));
+        assert_eq!(cbc_mac(&cipher, &[]), Err(CryptoError::InvalidLength));
+    }
+
+    #[test]
+    fn single_block_equals_encryption() {
+        let cipher = Aes128::new(&[3u8; 16]);
+        let block = [0x42u8; 16];
+        assert_eq!(
+            cbc_mac(&cipher, &block).unwrap(),
+            cbc_mac_block(&cipher, &block)
+        );
+        assert_eq!(cbc_mac_block(&cipher, &block), cipher.encrypt(&block));
+    }
+
+    #[test]
+    fn chaining_differs_from_concatenation_of_single_macs() {
+        let cipher = Aes128::new(&[5u8; 16]);
+        let two_blocks = [0x11u8; 32];
+        let chained = cbc_mac(&cipher, &two_blocks).unwrap();
+        let single = cbc_mac(&cipher, &two_blocks[..16]).unwrap();
+        assert_ne!(chained, single);
+    }
+
+    #[test]
+    fn tag_depends_on_every_byte() {
+        let cipher = Aes128::new(&[7u8; 16]);
+        let base = [0u8; 16];
+        let tag = cbc_mac_block(&cipher, &base);
+        for i in 0..16 {
+            let mut m = base;
+            m[i] = 1;
+            assert!(
+                !ct_eq(&tag, &cbc_mac_block(&cipher, &m)),
+                "flip at byte {i} must change the tag"
+            );
+        }
+    }
+
+    #[test]
+    fn tag_depends_on_key() {
+        let block = [0xabu8; 16];
+        let t1 = cbc_mac_block(&Aes128::new(&[1u8; 16]), &block);
+        let t2 = cbc_mac_block(&Aes128::new(&[2u8; 16]), &block);
+        assert_ne!(t1, t2);
+    }
+}

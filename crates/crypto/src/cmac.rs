@@ -1,0 +1,196 @@
+//! AES-CMAC (RFC 4493 / NIST SP 800-38B).
+//!
+//! APNA computes a MAC over **every packet** a host sends, keyed with the
+//! host↔AS shared key `k_HA^auth` (§IV-D2); the border router verifies it on
+//! egress (Fig. 4). Packets are variable-length, which rules out plain
+//! CBC-MAC — CMAC's subkey tweak restores security for arbitrary lengths
+//! while remaining a pure AES construction ("forwarding devices perform only
+//! symmetric cryptographic operations", §IV design choice 3).
+
+use crate::aes::{Aes128, Block, BlockCipher, BLOCK_LEN};
+use crate::ct::ct_eq;
+
+/// Doubling in GF(2¹²⁸) with the CMAC reduction constant.
+fn dbl(block: &Block) -> Block {
+    let v = u128::from_be_bytes(*block);
+    let carry = (v >> 127) as u8;
+    let mut out = (v << 1).to_be_bytes();
+    out[15] ^= 0x87 * carry; // conditional on the public MSB only
+    out
+}
+
+/// CMAC instance over AES-128 with precomputed subkeys.
+#[derive(Clone)]
+pub struct CmacAes128 {
+    cipher: Aes128,
+    k1: Block,
+    k2: Block,
+}
+
+impl CmacAes128 {
+    /// Derives the CMAC subkeys from `key`.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let mut l = [0u8; BLOCK_LEN];
+        cipher.encrypt_block(&mut l);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        CmacAes128 { cipher, k1, k2 }
+    }
+
+    /// Computes the full 16-byte CMAC tag over `msg`.
+    #[must_use]
+    pub fn mac(&self, msg: &[u8]) -> Block {
+        let mut state = [0u8; BLOCK_LEN];
+        let n_full = msg.len() / BLOCK_LEN;
+        let rem = msg.len() % BLOCK_LEN;
+        // Number of non-final complete blocks to chain through.
+        let (lead_blocks, final_is_complete) = if msg.is_empty() {
+            (0, false)
+        } else if rem == 0 {
+            (n_full - 1, true)
+        } else {
+            (n_full, false)
+        };
+        for i in 0..lead_blocks {
+            for (s, b) in state
+                .iter_mut()
+                .zip(msg[i * BLOCK_LEN..(i + 1) * BLOCK_LEN].iter())
+            {
+                *s ^= b;
+            }
+            self.cipher.encrypt_block(&mut state);
+        }
+        let mut last = [0u8; BLOCK_LEN];
+        if final_is_complete {
+            last.copy_from_slice(&msg[lead_blocks * BLOCK_LEN..]);
+            for (l, k) in last.iter_mut().zip(self.k1.iter()) {
+                *l ^= k;
+            }
+        } else {
+            let tail = &msg[lead_blocks * BLOCK_LEN..];
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for (l, k) in last.iter_mut().zip(self.k2.iter()) {
+                *l ^= k;
+            }
+        }
+        for (s, b) in state.iter_mut().zip(last.iter()) {
+            *s ^= b;
+        }
+        self.cipher.encrypt_block(&mut state);
+        state
+    }
+
+    /// Computes a truncated tag of `N` bytes (APNA packet headers carry 8).
+    #[must_use]
+    pub fn mac_truncated<const N: usize>(&self, msg: &[u8]) -> [u8; N] {
+        let full = self.mac(msg);
+        let mut out = [0u8; N];
+        out.copy_from_slice(&full[..N]);
+        out
+    }
+
+    /// Verifies a (possibly truncated) tag in constant time.
+    #[must_use]
+    pub fn verify(&self, msg: &[u8], tag: &[u8]) -> bool {
+        if tag.is_empty() || tag.len() > BLOCK_LEN {
+            return false;
+        }
+        let full = self.mac(msg);
+        ct_eq(&full[..tag.len()], tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn rfc_key() -> CmacAes128 {
+        let key = hex::decode_array::<16>("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
+        CmacAes128::new(&key)
+    }
+
+    fn rfc_msg() -> Vec<u8> {
+        hex::decode(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rfc4493_subkeys() {
+        let c = rfc_key();
+        assert_eq!(hex::encode(&c.k1), "fbeed618357133667c85e08f7236a8de");
+        assert_eq!(hex::encode(&c.k2), "f7ddac306ae266ccf90bc11ee46d513b");
+    }
+
+    #[test]
+    fn rfc4493_len0() {
+        assert_eq!(
+            hex::encode(&rfc_key().mac(b"")),
+            "bb1d6929e95937287fa37d129b756746"
+        );
+    }
+
+    #[test]
+    fn rfc4493_len16() {
+        assert_eq!(
+            hex::encode(&rfc_key().mac(&rfc_msg()[..16])),
+            "070a16b46b4d4144f79bdd9dd04a287c"
+        );
+    }
+
+    #[test]
+    fn rfc4493_len40() {
+        assert_eq!(
+            hex::encode(&rfc_key().mac(&rfc_msg()[..40])),
+            "dfa66747de9ae63030ca32611497c827"
+        );
+    }
+
+    #[test]
+    fn rfc4493_len64() {
+        assert_eq!(
+            hex::encode(&rfc_key().mac(&rfc_msg())),
+            "51f0bebf7e3b9d92fc49741779363cfe"
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_prefix() {
+        let c = rfc_key();
+        let full = c.mac(b"packet bytes");
+        let short: [u8; 8] = c.mac_truncated(b"packet bytes");
+        assert_eq!(&full[..8], &short);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let c = rfc_key();
+        let msg = b"an APNA packet";
+        let tag: [u8; 8] = c.mac_truncated(msg);
+        assert!(c.verify(msg, &tag));
+        let mut bad = tag;
+        bad[3] ^= 0x40;
+        assert!(!c.verify(msg, &bad));
+        assert!(!c.verify(b"another packet", &tag));
+        assert!(!c.verify(msg, &[]));
+        assert!(!c.verify(msg, &[0u8; 17]));
+    }
+
+    #[test]
+    fn length_extension_of_padded_message_fails() {
+        // m and m || 0x80 must not collide (the k1/k2 split prevents it).
+        let c = rfc_key();
+        let m = [0u8; 15];
+        let mut extended = m.to_vec();
+        extended.push(0x80);
+        assert_ne!(c.mac(&m), c.mac(&extended));
+    }
+}

@@ -1,0 +1,116 @@
+//! Constant-time helpers.
+//!
+//! These avoid secret-dependent branches for the comparisons that gate
+//! authentication decisions (MAC tags, signatures, shared secrets). They are
+//! best-effort on a general-purpose compiler; `core::hint::black_box` is used
+//! to discourage the optimizer from reintroducing branches.
+
+use core::hint::black_box;
+
+/// Constant-time equality over equal-length byte slices.
+///
+/// Returns `false` immediately (and non-secretly) if the lengths differ —
+/// lengths are public in every use in this workspace.
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    black_box(diff) == 0
+}
+
+/// Constant-time selection: returns `a` if `choice` is 1, `b` if 0.
+///
+/// `choice` must be 0 or 1; other values produce garbage.
+#[inline]
+#[must_use]
+pub fn ct_select_u64(choice: u64, a: u64, b: u64) -> u64 {
+    let mask = 0u64.wrapping_sub(choice); // 0x00..00 or 0xff..ff
+    b ^ (mask & (a ^ b))
+}
+
+/// Constant-time conditional swap of two u64 values when `choice` is 1.
+#[inline]
+pub fn ct_swap_u64(choice: u64, a: &mut u64, b: &mut u64) {
+    let mask = 0u64.wrapping_sub(choice);
+    let t = mask & (*a ^ *b);
+    *a ^= t;
+    *b ^= t;
+}
+
+/// Returns 1 if `x == 0`, else 0, without branching.
+#[inline]
+#[must_use]
+pub fn ct_is_zero_u64(x: u64) -> u64 {
+    // If x != 0 then (x | x.wrapping_neg()) has its top bit set.
+    1 ^ ((x | x.wrapping_neg()) >> 63)
+}
+
+/// Best-effort zeroization of a byte buffer.
+///
+/// `black_box` prevents the compiler from eliding the store as a dead write.
+pub fn zeroize(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    black_box(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"\x00", b"\x01"));
+    }
+
+    #[test]
+    fn eq_differs_in_each_position() {
+        let a = [0u8; 32];
+        for i in 0..32 {
+            let mut b = [0u8; 32];
+            b[i] = 0x80;
+            assert!(!ct_eq(&a, &b), "difference at byte {i} must be detected");
+        }
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select_u64(1, 7, 9), 7);
+        assert_eq!(ct_select_u64(0, 7, 9), 9);
+        assert_eq!(ct_select_u64(1, u64::MAX, 0), u64::MAX);
+    }
+
+    #[test]
+    fn swap() {
+        let (mut a, mut b) = (1u64, 2u64);
+        ct_swap_u64(0, &mut a, &mut b);
+        assert_eq!((a, b), (1, 2));
+        ct_swap_u64(1, &mut a, &mut b);
+        assert_eq!((a, b), (2, 1));
+    }
+
+    #[test]
+    fn is_zero() {
+        assert_eq!(ct_is_zero_u64(0), 1);
+        assert_eq!(ct_is_zero_u64(1), 0);
+        assert_eq!(ct_is_zero_u64(u64::MAX), 0);
+        assert_eq!(ct_is_zero_u64(1 << 63), 0);
+    }
+
+    #[test]
+    fn zeroize_wipes() {
+        let mut buf = [0xAAu8; 16];
+        zeroize(&mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+}

@@ -1,0 +1,107 @@
+//! AES counter mode (SP 800-38A §6.5).
+//!
+//! Used for two jobs in APNA:
+//!
+//! * **EphID encryption** (Fig. 6): the 8-byte `HID‖ExpTime` plaintext is
+//!   encrypted with AES-CTR under `k_A'` where the counter block is the
+//!   4-byte per-EphID IV followed by twelve zero bytes.
+//! * **Control-message encryption** of EphID requests/replies under
+//!   `k_HA^enc` (§IV-C) — combined with a CMAC tag at the call site to form
+//!   an Encrypt-then-MAC CCA-secure composition.
+//!
+//! The counter is the full 16-byte block interpreted as a big-endian
+//! integer, incremented once per keystream block.
+
+use crate::aes::{Block, BlockCipher, BLOCK_LEN};
+
+/// XORs the CTR keystream for `initial_counter` into `data`
+/// (encrypt == decrypt).
+pub fn apply_keystream<C: BlockCipher>(cipher: &C, initial_counter: &Block, data: &mut [u8]) {
+    let mut counter = u128::from_be_bytes(*initial_counter);
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let mut ks = counter.to_be_bytes();
+        cipher.encrypt_block(&mut ks);
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Builds the EphID counter block of Fig. 6: `IV (4 B) ‖ 0¹²`.
+#[must_use]
+pub fn ephid_counter_block(iv: [u8; 4]) -> Block {
+    let mut block = [0u8; BLOCK_LEN];
+    block[..4].copy_from_slice(&iv);
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+    use crate::hex;
+
+    #[test]
+    fn sp800_38a_f5_1() {
+        // SP 800-38A F.5.1 CTR-AES128.Encrypt, all four blocks.
+        let key = hex::decode_array::<16>("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
+        let counter = hex::decode_array::<16>("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").unwrap();
+        let mut data = hex::decode(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        )
+        .unwrap();
+        let cipher = Aes128::new(&key);
+        apply_keystream(&cipher, &counter, &mut data);
+        assert_eq!(
+            hex::encode(&data),
+            "874d6191b620e3261bef6864990db6ce\
+             9806f66b7970fdff8617187bb9fffdff\
+             5ae4df3edbd5d35e5b4f09020db03eab\
+             1e031dda2fbe03d1792170a0f3009cee"
+        );
+    }
+
+    #[test]
+    fn roundtrip_partial_block() {
+        let cipher = Aes128::new(&[9u8; 16]);
+        let counter = [3u8; 16];
+        let mut data = b"short msg".to_vec();
+        apply_keystream(&cipher, &counter, &mut data);
+        assert_ne!(&data, b"short msg");
+        apply_keystream(&cipher, &counter, &mut data);
+        assert_eq!(&data, b"short msg");
+    }
+
+    #[test]
+    fn counter_wraps_at_max() {
+        // Keystream must not panic when the counter overflows.
+        let cipher = Aes128::new(&[1u8; 16]);
+        let counter = [0xff; 16];
+        let mut data = [0u8; 48];
+        apply_keystream(&cipher, &counter, &mut data);
+        // Blocks must differ (wrap produced counters MAX, 0, 1).
+        assert_ne!(data[..16], data[16..32]);
+        assert_ne!(data[16..32], data[32..48]);
+    }
+
+    #[test]
+    fn distinct_ivs_distinct_keystreams() {
+        let cipher = Aes128::new(&[7u8; 16]);
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        apply_keystream(&cipher, &ephid_counter_block([0, 0, 0, 1]), &mut a);
+        apply_keystream(&cipher, &ephid_counter_block([0, 0, 0, 2]), &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ephid_counter_block_layout() {
+        let block = ephid_counter_block([0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(&block[..4], &[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(&block[4..], &[0u8; 12]);
+    }
+}

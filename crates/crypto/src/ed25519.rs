@@ -1,0 +1,529 @@
+//! Ed25519 signatures (RFC 8032).
+//!
+//! APNA uses signatures in three places: ASes sign EphID certificates and
+//! bootstrap messages with their domain key (Fig. 2, Fig. 3), hosts sign
+//! shutoff requests with the private key of the victim EphID (Fig. 5), and
+//! the DNS substrate signs records (DNSSEC stand-in, §VII-A). The paper's
+//! prototype used the ed25519 SUPERCOP REF10 implementation; this is a
+//! from-scratch RFC 8032 implementation over the private field-arithmetic
+//! module (`field25519`).
+//!
+//! Verification is cofactorless (`[s]B = R + [k]A`), matching REF10.
+
+use crate::field25519::FieldElement;
+use crate::scalar25519 as sc;
+use crate::sha2::Sha512;
+use crate::CryptoError;
+use rand::{CryptoRng, RngCore};
+use std::sync::OnceLock;
+
+/// Length of an Ed25519 signature.
+pub const SIGNATURE_LEN: usize = 64;
+/// Length of an encoded public key.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Length of a private-key seed.
+pub const SEED_LEN: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Curve constants (computed, not transcribed)
+// ---------------------------------------------------------------------------
+
+struct Constants {
+    d: FieldElement,
+    d2: FieldElement,
+    basepoint: EdwardsPoint,
+}
+
+fn constants() -> &'static Constants {
+    static C: OnceLock<Constants> = OnceLock::new();
+    C.get_or_init(|| {
+        // d = -121665/121666 mod p.
+        let d = FieldElement::from_u64(121665)
+            .neg()
+            .mul(&FieldElement::from_u64(121666).invert());
+        let d2 = d.add(&d);
+        // Basepoint: y = 4/5, x recovered with even ("non-negative") sign.
+        let y = FieldElement::from_u64(4).mul(&FieldElement::from_u64(5).invert());
+        let mut enc = y.to_bytes();
+        enc[31] &= 0x7f; // sign bit 0
+        let basepoint =
+            EdwardsPoint::decompress_with_d(&enc, &d).expect("basepoint must decompress");
+        Constants { d, d2, basepoint }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Edwards points (extended coordinates, a = -1 curve)
+// ---------------------------------------------------------------------------
+
+/// A point on the twisted Edwards curve −x² + y² = 1 + d·x²y², in extended
+/// homogeneous coordinates (X : Y : Z : T) with x = X/Z, y = Y/Z, T = XY/Z.
+#[derive(Clone, Copy)]
+struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+impl EdwardsPoint {
+    fn identity() -> EdwardsPoint {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// Unified point addition (valid for doubling too on this curve shape,
+    /// but we use the dedicated doubling formula for speed).
+    fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let c = constants();
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let cc = self.t.mul(&c.d2).mul(&other.t);
+        let dd = self.z.mul(&other.z);
+        let dd = dd.add(&dd);
+        let e = b.sub(&a);
+        let f = dd.sub(&cc);
+        let g = dd.add(&cc);
+        let h = b.add(&a);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let zz = self.z.square();
+        let c = zz.add(&zz);
+        let h = a.add(&b);
+        let xy = self.x.add(&self.y);
+        let e = h.sub(&xy.square());
+        let g = a.sub(&b);
+        let f = c.add(&g);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Constant-time select (`choice` must be 0 or 1).
+    fn select(choice: u64, a: &EdwardsPoint, b: &EdwardsPoint) -> EdwardsPoint {
+        EdwardsPoint {
+            x: FieldElement::select(choice, &a.x, &b.x),
+            y: FieldElement::select(choice, &a.y, &b.y),
+            z: FieldElement::select(choice, &a.z, &b.z),
+            t: FieldElement::select(choice, &a.t, &b.t),
+        }
+    }
+
+    /// Scalar multiplication by a 32-byte little-endian scalar, using a
+    /// double-and-always-add ladder with constant-time selects.
+    fn mul_scalar(&self, scalar: &[u8; 32]) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for byte in scalar.iter().rev() {
+            for bit in (0..8).rev() {
+                acc = acc.double();
+                let sum = acc.add(self);
+                let b = ((byte >> bit) & 1) as u64;
+                acc = EdwardsPoint::select(b, &sum, &acc);
+            }
+        }
+        acc
+    }
+
+    fn compress(&self) -> [u8; 32] {
+        let recip = self.z.invert();
+        let x = self.x.mul(&recip);
+        let y = self.y.mul(&recip);
+        let mut bytes = y.to_bytes();
+        bytes[31] ^= (x.is_negative() as u8) << 7;
+        bytes
+    }
+
+    fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        Self::decompress_with_d(bytes, &constants().d)
+    }
+
+    /// Decompression parameterized over d, so the constants initializer can
+    /// build the basepoint before the `Constants` struct exists.
+    fn decompress_with_d(bytes: &[u8; 32], d: &FieldElement) -> Option<EdwardsPoint> {
+        let sign = bytes[31] >> 7;
+        let y = FieldElement::from_bytes(bytes); // masks bit 255
+        let yy = y.square();
+        let u = yy.sub(&FieldElement::ONE);
+        let v = d.mul(&yy).add(&FieldElement::ONE);
+        let (is_square, mut x) = FieldElement::sqrt_ratio(&u, &v);
+        if !is_square {
+            return None;
+        }
+        if x.is_zero() && sign == 1 {
+            return None; // -0 is not a valid encoding
+        }
+        if x.is_negative() as u8 != sign {
+            x = x.neg();
+        }
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x.mul(&y),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keys and signatures
+// ---------------------------------------------------------------------------
+
+/// An Ed25519 signature (`R ‖ s`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; SIGNATURE_LEN]);
+
+impl Signature {
+    /// Parses a signature from raw bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Signature, CryptoError> {
+        let arr: [u8; SIGNATURE_LEN] = bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
+        Ok(Signature(arr))
+    }
+
+    /// Raw signature bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; SIGNATURE_LEN] {
+        self.0
+    }
+}
+
+impl core::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Signature({}..)", crate::hex::encode(&self.0[..6]))
+    }
+}
+
+/// An Ed25519 signing key (seed + cached expansion).
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; SEED_LEN],
+    /// Clamped scalar `a`.
+    scalar: [u8; 32],
+    /// Domain-separation prefix for nonce derivation.
+    prefix: [u8; 32],
+    /// Cached public key.
+    public: VerifyingKey,
+}
+
+impl SigningKey {
+    /// Derives a signing key from a 32-byte seed (RFC 8032 §5.1.5).
+    #[must_use]
+    pub fn from_seed(seed: &[u8; SEED_LEN]) -> SigningKey {
+        let h = Sha512::digest(seed);
+        let mut scalar = [0u8; 32];
+        scalar.copy_from_slice(&h[..32]);
+        scalar[0] &= 248;
+        scalar[31] &= 127;
+        scalar[31] |= 64;
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let public_point = constants().basepoint.mul_scalar(&scalar);
+        SigningKey {
+            seed: *seed,
+            scalar,
+            prefix,
+            public: VerifyingKey(public_point.compress()),
+        }
+    }
+
+    /// Generates a fresh key from `rng`.
+    pub fn generate<R: RngCore + CryptoRng>(rng: &mut R) -> SigningKey {
+        let mut seed = [0u8; SEED_LEN];
+        rng.fill_bytes(&mut seed);
+        SigningKey::from_seed(&seed)
+    }
+
+    /// The seed this key was derived from.
+    #[must_use]
+    pub fn seed(&self) -> &[u8; SEED_LEN] {
+        &self.seed
+    }
+
+    /// The corresponding verification key.
+    #[must_use]
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Signs `message` (RFC 8032 §5.1.6).
+    #[must_use]
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(message);
+        let r = sc::reduce_512(&h.finalize());
+        let big_r = constants().basepoint.mul_scalar(&r).compress();
+
+        let mut h = Sha512::new();
+        h.update(&big_r);
+        h.update(&self.public.0);
+        h.update(message);
+        let k = sc::reduce_512(&h.finalize());
+        let s = sc::mul_add(&k, &self.scalar, &r);
+
+        let mut sig = [0u8; SIGNATURE_LEN];
+        sig[..32].copy_from_slice(&big_r);
+        sig[32..].copy_from_slice(&s);
+        Signature(sig)
+    }
+}
+
+impl core::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SigningKey(..)") // never print secret material
+    }
+}
+
+/// An Ed25519 public (verification) key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey(pub [u8; PUBLIC_KEY_LEN]);
+
+impl VerifyingKey {
+    /// Parses and validates an encoded public key (must decompress onto the
+    /// curve).
+    pub fn from_bytes(bytes: &[u8]) -> Result<VerifyingKey, CryptoError> {
+        let arr: [u8; PUBLIC_KEY_LEN] =
+            bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
+        EdwardsPoint::decompress(&arr).ok_or(CryptoError::InvalidEncoding)?;
+        Ok(VerifyingKey(arr))
+    }
+
+    /// Raw key bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; PUBLIC_KEY_LEN] {
+        &self.0
+    }
+
+    /// Verifies `signature` over `message` (RFC 8032 §5.1.7, cofactorless).
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
+        let a = EdwardsPoint::decompress(&self.0).ok_or(CryptoError::InvalidEncoding)?;
+        let r_bytes: [u8; 32] = signature.0[..32].try_into().unwrap();
+        let s_bytes: [u8; 32] = signature.0[32..].try_into().unwrap();
+        if !sc::is_canonical(&s_bytes) {
+            return Err(CryptoError::InvalidEncoding); // malleability guard
+        }
+        let r = EdwardsPoint::decompress(&r_bytes).ok_or(CryptoError::InvalidEncoding)?;
+
+        let mut h = Sha512::new();
+        h.update(&r_bytes);
+        h.update(&self.0);
+        h.update(message);
+        let k = sc::reduce_512(&h.finalize());
+
+        // [s]B == R + [k]A  ⇔  [s]B + [k](−A) == R.
+        let sb = constants().basepoint.mul_scalar(&s_bytes);
+        let ka_neg = a.neg().mul_scalar(&k);
+        let check = sb.add(&ka_neg).compress();
+        if crate::ct::ct_eq(&check, &r.compress()) {
+            Ok(())
+        } else {
+            Err(CryptoError::VerificationFailed)
+        }
+    }
+}
+
+impl core::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "VerifyingKey({}..)", crate::hex::encode(&self.0[..6]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8032 §7.1 test vectors.
+    #[test]
+    fn rfc8032_test1_empty_message() {
+        let seed = hex::decode_array::<32>(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        )
+        .unwrap();
+        let key = SigningKey::from_seed(&seed);
+        assert_eq!(
+            hex::encode(key.verifying_key().as_bytes()),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = key.sign(b"");
+        assert_eq!(
+            hex::encode(&sig.to_bytes()),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        );
+        key.verifying_key().verify(b"", &sig).unwrap();
+    }
+
+    #[test]
+    fn rfc8032_test2_one_byte() {
+        let seed = hex::decode_array::<32>(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        )
+        .unwrap();
+        let key = SigningKey::from_seed(&seed);
+        assert_eq!(
+            hex::encode(key.verifying_key().as_bytes()),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let sig = key.sign(&[0x72]);
+        assert_eq!(
+            hex::encode(&sig.to_bytes()),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        );
+        key.verifying_key().verify(&[0x72], &sig).unwrap();
+    }
+
+    #[test]
+    fn rfc8032_test3_two_bytes() {
+        let seed = hex::decode_array::<32>(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        )
+        .unwrap();
+        let key = SigningKey::from_seed(&seed);
+        assert_eq!(
+            hex::encode(key.verifying_key().as_bytes()),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"
+        );
+        let sig = key.sign(&[0xaf, 0x82]);
+        assert_eq!(
+            hex::encode(&sig.to_bytes()),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+             18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+        );
+        key.verifying_key().verify(&[0xaf, 0x82], &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let key = SigningKey::from_seed(&[7u8; 32]);
+        let sig = key.sign(b"genuine packet");
+        assert_eq!(
+            key.verifying_key().verify(b"forged packet", &sig),
+            Err(CryptoError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let key = SigningKey::from_seed(&[8u8; 32]);
+        let msg = b"data";
+        let good = key.sign(msg);
+        for i in 0..SIGNATURE_LEN {
+            let mut bad = good.to_bytes();
+            bad[i] ^= 0x01;
+            let sig = Signature(bad);
+            assert!(
+                key.verifying_key().verify(msg, &sig).is_err(),
+                "flip at byte {i} must invalidate"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let k1 = SigningKey::from_seed(&[1u8; 32]);
+        let k2 = SigningKey::from_seed(&[2u8; 32]);
+        let sig = k1.sign(b"msg");
+        assert!(k2.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        // Take a valid signature and add L to s: same group element, but the
+        // encoding must be rejected (signature malleability).
+        let key = SigningKey::from_seed(&[3u8; 32]);
+        let sig = key.sign(b"m");
+        let mut bytes = sig.to_bytes();
+        // s += L  (little-endian add; valid s is < L < 2^253 so no overflow)
+        const L_BYTES: [u8; 32] = [
+            0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde,
+            0xf9, 0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x10,
+        ];
+        let mut carry = 0u16;
+        for i in 0..32 {
+            let v = bytes[32 + i] as u16 + L_BYTES[i] as u16 + carry;
+            bytes[32 + i] = v as u8;
+            carry = v >> 8;
+        }
+        let forged = Signature(bytes);
+        assert_eq!(
+            key.verifying_key().verify(b"m", &forged),
+            Err(CryptoError::InvalidEncoding)
+        );
+    }
+
+    #[test]
+    fn invalid_public_key_rejected() {
+        // y = 2 does not satisfy the curve equation for any x.
+        let mut bad = [0u8; 32];
+        bad[0] = 2;
+        assert_eq!(
+            VerifyingKey::from_bytes(&bad),
+            Err(CryptoError::InvalidEncoding)
+        );
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let key = SigningKey::from_seed(&[9u8; 32]);
+        assert_eq!(key.sign(b"x").to_bytes(), key.sign(b"x").to_bytes());
+        assert_ne!(key.sign(b"x").to_bytes(), key.sign(b"y").to_bytes());
+    }
+
+    #[test]
+    fn generate_roundtrip() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let key = SigningKey::generate(&mut rng);
+        let restored = SigningKey::from_seed(key.seed());
+        assert_eq!(
+            restored.verifying_key().as_bytes(),
+            key.verifying_key().as_bytes()
+        );
+        let sig = key.sign(b"hello");
+        VerifyingKey::from_bytes(key.verifying_key().as_bytes())
+            .unwrap()
+            .verify(b"hello", &sig)
+            .unwrap();
+    }
+
+    #[test]
+    fn basepoint_has_order_l() {
+        // [L]B must be the identity: compress(identity).y == 1.
+        const L_BYTES: [u8; 32] = [
+            0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde,
+            0xf9, 0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x10,
+        ];
+        let lb = constants().basepoint.mul_scalar(&L_BYTES);
+        let mut identity_enc = [0u8; 32];
+        identity_enc[0] = 1;
+        assert_eq!(lb.compress(), identity_enc);
+    }
+}

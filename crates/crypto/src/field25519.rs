@@ -1,0 +1,395 @@
+//! Field arithmetic modulo p = 2²⁵⁵ − 19 (the Curve25519 base field).
+//!
+//! Elements are held in five 51-bit limbs (radix 2⁵¹), the standard
+//! representation for 64-bit targets: products of two 51-bit limbs fit a
+//! u128 with room to accumulate, and reduction folds the overflow back with
+//! a multiply by 19. Exponentiation takes the exponent as little-endian
+//! bytes and runs a fixed square-and-multiply ladder, trading speed for
+//! obviousness — inversion and square roots are not hot paths here.
+
+use crate::ct::ct_select_u64;
+
+/// Mask of the low 51 bits.
+const LOW_51: u64 = (1 << 51) - 1;
+
+/// An element of GF(2²⁵⁵ − 19). Limbs are kept reduced below ~2⁵² between
+/// operations (loose bound; `to_bytes` performs the canonical reduction).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FieldElement(pub(crate) [u64; 5]);
+
+impl FieldElement {
+    pub(crate) const ZERO: FieldElement = FieldElement([0; 5]);
+    pub(crate) const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Small-integer constructor (used for curve constants like 121665).
+    pub(crate) fn from_u64(x: u64) -> FieldElement {
+        debug_assert!(x <= LOW_51);
+        FieldElement([x, 0, 0, 0, 0])
+    }
+
+    /// Parses 32 little-endian bytes; the top bit (bit 255) is ignored,
+    /// matching RFC 7748/8032 field-element decoding.
+    pub(crate) fn from_bytes(bytes: &[u8; 32]) -> FieldElement {
+        let load8 = |b: &[u8]| -> u64 {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(b);
+            u64::from_le_bytes(a)
+        };
+        FieldElement([
+            load8(&bytes[0..8]) & LOW_51,
+            (load8(&bytes[6..14]) >> 3) & LOW_51,
+            (load8(&bytes[12..20]) >> 6) & LOW_51,
+            (load8(&bytes[19..27]) >> 1) & LOW_51,
+            (load8(&bytes[24..32]) >> 12) & LOW_51,
+        ])
+    }
+
+    /// Canonical little-endian encoding (fully reduced mod p, bit 255 = 0).
+    pub(crate) fn to_bytes(self) -> [u8; 32] {
+        let mut l = self.reduce_weak().0;
+        // Compute the quotient q = floor((h + 19) / 2^255): q is 1 iff
+        // h >= p after weak reduction.
+        let mut q = (l[0] + 19) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        // h + 19q then discard bit 255 == h mod p.
+        l[0] += 19 * q;
+        l[1] += l[0] >> 51;
+        l[0] &= LOW_51;
+        l[2] += l[1] >> 51;
+        l[1] &= LOW_51;
+        l[3] += l[2] >> 51;
+        l[2] &= LOW_51;
+        l[4] += l[3] >> 51;
+        l[3] &= LOW_51;
+        l[4] &= LOW_51;
+
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0;
+        for (i, &limb) in l.iter().enumerate() {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+            let _ = i;
+        }
+        if idx < 32 {
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    /// One pass of carry propagation, leaving limbs < 2⁵¹ + ε.
+    fn reduce_weak(self) -> FieldElement {
+        let mut l = self.0;
+        let c0 = l[0] >> 51;
+        l[0] &= LOW_51;
+        let c1 = (l[1] + c0) >> 51;
+        l[1] = (l[1] + c0) & LOW_51;
+        let c2 = (l[2] + c1) >> 51;
+        l[2] = (l[2] + c1) & LOW_51;
+        let c3 = (l[3] + c2) >> 51;
+        l[3] = (l[3] + c2) & LOW_51;
+        let c4 = (l[4] + c3) >> 51;
+        l[4] = (l[4] + c3) & LOW_51;
+        l[0] += c4 * 19;
+        FieldElement(l)
+    }
+
+    pub(crate) fn add(&self, rhs: &FieldElement) -> FieldElement {
+        let a = &self.0;
+        let b = &rhs.0;
+        FieldElement([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]])
+            .reduce_weak()
+    }
+
+    pub(crate) fn sub(&self, rhs: &FieldElement) -> FieldElement {
+        // Add 16p before subtracting so limbs never underflow (inputs are
+        // bounded well below 16p's limbs).
+        const SIXTEEN_P0: u64 = 36028797018963664; // 16·(2⁵¹ − 19)
+        const SIXTEEN_PI: u64 = 36028797018963952; // 16·(2⁵¹ − 1)
+        let a = &self.0;
+        let b = &rhs.0;
+        FieldElement([
+            a[0] + SIXTEEN_P0 - b[0],
+            a[1] + SIXTEEN_PI - b[1],
+            a[2] + SIXTEEN_PI - b[2],
+            a[3] + SIXTEEN_PI - b[3],
+            a[4] + SIXTEEN_PI - b[4],
+        ])
+        .reduce_weak()
+    }
+
+    pub(crate) fn neg(&self) -> FieldElement {
+        FieldElement::ZERO.sub(self)
+    }
+
+    pub(crate) fn mul(&self, rhs: &FieldElement) -> FieldElement {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+
+        // c_k = Σ_{i+j≡k (mod 5)} a_i·b_j, with wrapped terms scaled by 19.
+        let c0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let c1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        Self::carry_wide([c0, c1, c2, c3, c4])
+    }
+
+    pub(crate) fn square(&self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// Carries a wide-limb intermediate back to 51-bit limbs.
+    fn carry_wide(mut c: [u128; 5]) -> FieldElement {
+        let mut out = [0u64; 5];
+        c[1] += (c[0] >> 51) as u128;
+        out[0] = (c[0] as u64) & LOW_51;
+        c[2] += (c[1] >> 51) as u128;
+        out[1] = (c[1] as u64) & LOW_51;
+        c[3] += (c[2] >> 51) as u128;
+        out[2] = (c[2] as u64) & LOW_51;
+        c[4] += (c[3] >> 51) as u128;
+        out[3] = (c[3] as u64) & LOW_51;
+        let carry = (c[4] >> 51) as u64;
+        out[4] = (c[4] as u64) & LOW_51;
+        out[0] += carry * 19;
+        let c5 = out[0] >> 51;
+        out[0] &= LOW_51;
+        out[1] += c5;
+        FieldElement(out)
+    }
+
+    /// Raises to the power given as little-endian bytes (fixed ladder over
+    /// every bit; the exponents used in this crate are public constants).
+    pub(crate) fn pow(&self, exponent_le: &[u8]) -> FieldElement {
+        let mut result = FieldElement::ONE;
+        for byte in exponent_le.iter().rev() {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (byte >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat: a^(p−2). Returns zero for zero.
+    pub(crate) fn invert(&self) -> FieldElement {
+        // p − 2 = 2²⁵⁵ − 21, little-endian.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow(&exp)
+    }
+
+    /// a^((p−5)/8) = a^(2²⁵² − 3), used by square-root extraction.
+    pub(crate) fn pow_p58(&self) -> FieldElement {
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow(&exp)
+    }
+
+    /// √−1 = 2^((p−1)/4), computed rather than transcribed.
+    pub(crate) fn sqrt_m1() -> FieldElement {
+        // (p − 1) / 4 = 2²⁵³ − 5.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfb;
+        exp[31] = 0x1f;
+        FieldElement::from_u64(2).pow(&exp)
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Bit 0 of the canonical encoding ("sign" bit in RFC 8032 terms).
+    pub(crate) fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    pub(crate) fn ct_eq(&self, other: &FieldElement) -> bool {
+        crate::ct::ct_eq(&self.to_bytes(), &other.to_bytes())
+    }
+
+    /// Constant-time select: `a` if `choice == 1`, else `b`.
+    pub(crate) fn select(choice: u64, a: &FieldElement, b: &FieldElement) -> FieldElement {
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = ct_select_u64(choice, a.0[i], b.0[i]);
+        }
+        FieldElement(out)
+    }
+
+    /// Constant-time conditional swap.
+    pub(crate) fn cswap(choice: u64, a: &mut FieldElement, b: &mut FieldElement) {
+        for i in 0..5 {
+            crate::ct::ct_swap_u64(choice, &mut a.0[i], &mut b.0[i]);
+        }
+    }
+
+    /// Computes √(u/v) if it exists (RFC 8032 decompression step).
+    ///
+    /// Returns `(was_square, root)`; on success the root r satisfies
+    /// v·r² = u with r "non-negative" not enforced (caller adjusts sign).
+    pub(crate) fn sqrt_ratio(u: &FieldElement, v: &FieldElement) -> (bool, FieldElement) {
+        // Candidate root x = u·v³·(u·v⁷)^((p−5)/8).
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+        let vx2 = v.mul(&x.square());
+        if vx2.ct_eq(u) {
+            (true, x)
+        } else if vx2.ct_eq(&u.neg()) {
+            x = x.mul(&FieldElement::sqrt_m1());
+            (true, x)
+        } else {
+            (false, FieldElement::ZERO)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> FieldElement {
+        FieldElement::from_u64(n)
+    }
+
+    #[test]
+    fn bytes_roundtrip_small() {
+        for n in [0u64, 1, 2, 19, 255, 1 << 40] {
+            let e = fe(n);
+            let b = e.to_bytes();
+            assert_eq!(FieldElement::from_bytes(&b).to_bytes(), b);
+            assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), n);
+        }
+    }
+
+    #[test]
+    fn p_encodes_as_zero() {
+        // p = 2^255 - 19 must canonically reduce to 0.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let e = FieldElement::from_bytes(&p_bytes);
+        // from_bytes masks bit 255 but p < 2^255 so it parses fully; add
+        // zero to force reduction through arithmetic.
+        assert_eq!(e.add(&FieldElement::ZERO).to_bytes(), [0u8; 32]);
+    }
+
+    #[test]
+    fn nineteen_plus_p_minus_nineteen() {
+        let a = fe(19);
+        assert!(a.sub(&a).is_zero());
+        assert_eq!(a.sub(&fe(20)).add(&FieldElement::ONE).to_bytes(), [0u8; 32]);
+    }
+
+    #[test]
+    fn mul_matches_addition_chains() {
+        let three = fe(3);
+        let twelve = fe(12);
+        assert!(three.mul(&fe(4)).ct_eq(&twelve));
+        assert!(three.square().ct_eq(&fe(9)));
+        // Distributivity: (a+b)·c = a·c + b·c.
+        let (a, b, c) = (fe(12345), fe(67890), fe(31337));
+        let lhs = a.add(&b).mul(&c);
+        let rhs = a.mul(&c).add(&b.mul(&c));
+        assert!(lhs.ct_eq(&rhs));
+    }
+
+    #[test]
+    fn inverse_of_two() {
+        let two = fe(2);
+        let inv = two.invert();
+        assert!(two.mul(&inv).ct_eq(&FieldElement::ONE));
+        assert!(FieldElement::ZERO.invert().is_zero());
+    }
+
+    #[test]
+    fn inverse_random_elements() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let mut bytes = [0u8; 32];
+            rng.fill_bytes(&mut bytes);
+            bytes[31] &= 0x7f;
+            let e = FieldElement::from_bytes(&bytes);
+            if e.is_zero() {
+                continue;
+            }
+            assert!(e.mul(&e.invert()).ct_eq(&FieldElement::ONE));
+        }
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = FieldElement::sqrt_m1();
+        assert!(i.square().ct_eq(&FieldElement::ONE.neg()));
+    }
+
+    #[test]
+    fn sqrt_ratio_perfect_square() {
+        let (ok, r) = FieldElement::sqrt_ratio(&fe(4), &FieldElement::ONE);
+        assert!(ok);
+        assert!(r.square().ct_eq(&fe(4)));
+    }
+
+    #[test]
+    fn sqrt_ratio_non_square() {
+        // 2 is a non-residue mod p (p ≡ 5 mod 8), and 1/1 ratio keeps it so.
+        let (ok, _) = FieldElement::sqrt_ratio(&fe(2), &FieldElement::ONE);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn select_and_cswap() {
+        let a = fe(5);
+        let b = fe(7);
+        assert!(FieldElement::select(1, &a, &b).ct_eq(&a));
+        assert!(FieldElement::select(0, &a, &b).ct_eq(&b));
+        let mut x = a;
+        let mut y = b;
+        FieldElement::cswap(1, &mut x, &mut y);
+        assert!(x.ct_eq(&b) && y.ct_eq(&a));
+        FieldElement::cswap(0, &mut x, &mut y);
+        assert!(x.ct_eq(&b) && y.ct_eq(&a));
+    }
+
+    #[test]
+    fn negation() {
+        let a = fe(1234);
+        assert!(a.add(&a.neg()).is_zero());
+        assert!(a.neg().neg().ct_eq(&a));
+    }
+
+    #[test]
+    fn high_bit_of_encoding_is_clear() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let mut bytes = [0u8; 32];
+            rng.fill_bytes(&mut bytes);
+            let e = FieldElement::from_bytes(&bytes);
+            assert_eq!(e.to_bytes()[31] & 0x80, 0);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! AES-128-GCM (NIST SP 800-38D).
+//!
+//! The paper requires a CCA-secure scheme for data-plane payload encryption
+//! (§IV-A, citing GCM \[27\] and OCB \[36\]); APNA hosts seal every data
+//! packet under the per-session key `k_EaEb` (§IV-D2). GHASH is implemented
+//! with branch-free u128 arithmetic — slow relative to carry-less-multiply
+//! hardware, but every benchmark comparison stays on this substrate.
+
+use crate::aes::{Aes128, Block, BlockCipher};
+use crate::ct::ct_eq;
+use crate::CryptoError;
+
+/// GCM nonce length (the standard 96-bit fast path; other lengths are not
+/// supported).
+pub const NONCE_LEN: usize = 12;
+/// GCM tag length.
+pub const TAG_LEN: usize = 16;
+
+/// Multiplication in GF(2¹²⁸) with the GCM polynomial, bit-reflected
+/// convention of SP 800-38D §6.3. Branch-free.
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        let xi = (x >> (127 - i)) & 1;
+        z ^= v & 0u128.wrapping_sub(xi);
+        let lsb = v & 1;
+        v = (v >> 1) ^ (R & 0u128.wrapping_sub(lsb));
+    }
+    z
+}
+
+/// GHASH accumulator.
+struct Ghash {
+    h: u128,
+    acc: u128,
+}
+
+impl Ghash {
+    fn new(h: u128) -> Self {
+        Ghash { h, acc: 0 }
+    }
+
+    /// Absorbs `data`, zero-padding the final partial block.
+    fn update(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.acc = gf_mul(self.acc ^ u128::from_be_bytes(block), self.h);
+        }
+    }
+
+    fn update_lengths(&mut self, aad_len: usize, ct_len: usize) {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&((aad_len as u64) * 8).to_be_bytes());
+        block[8..].copy_from_slice(&((ct_len as u64) * 8).to_be_bytes());
+        self.acc = gf_mul(self.acc ^ u128::from_be_bytes(block), self.h);
+    }
+
+    fn finalize(self) -> u128 {
+        self.acc
+    }
+}
+
+/// AES-128-GCM AEAD.
+#[derive(Clone)]
+pub struct AesGcm128 {
+    cipher: Aes128,
+    /// GHASH key H = AES_K(0¹²⁸).
+    h: u128,
+}
+
+impl AesGcm128 {
+    /// Creates an AEAD instance from a 16-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let mut h = [0u8; 16];
+        cipher.encrypt_block(&mut h);
+        AesGcm128 {
+            cipher,
+            h: u128::from_be_bytes(h),
+        }
+    }
+
+    /// J0 for a 96-bit nonce: nonce ‖ 0³¹ ‖ 1.
+    fn j0(nonce: &[u8; NONCE_LEN]) -> u128 {
+        let mut block = [0u8; 16];
+        block[..12].copy_from_slice(nonce);
+        block[15] = 1;
+        u128::from_be_bytes(block)
+    }
+
+    /// CTR with 32-bit wrapping increment in the low word (GCM's inc32).
+    fn ctr32(&self, mut counter: u128, data: &mut [u8]) {
+        for chunk in data.chunks_mut(16) {
+            let low = (counter as u32).wrapping_add(1);
+            counter = (counter & !0xffff_ffffu128) | low as u128;
+            let mut ks: Block = counter.to_be_bytes();
+            self.cipher.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+    }
+
+    fn tag(&self, j0: u128, aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        let mut ghash = Ghash::new(self.h);
+        ghash.update(aad);
+        ghash.update(ct);
+        ghash.update_lengths(aad.len(), ct.len());
+        let mut tag: Block = ghash.finalize().to_be_bytes();
+        let mut ekj0: Block = j0.to_be_bytes();
+        self.cipher.encrypt_block(&mut ekj0);
+        for (t, e) in tag.iter_mut().zip(ekj0.iter()) {
+            *t ^= e;
+        }
+        tag
+    }
+
+    /// Encrypts `plaintext` with associated data `aad`; returns
+    /// `ciphertext ‖ tag`.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let j0 = Self::j0(nonce);
+        let mut out = plaintext.to_vec();
+        self.ctr32(j0, &mut out);
+        let tag = self.tag(j0, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `ciphertext ‖ tag`; returns the plaintext or
+    /// [`CryptoError::VerificationFailed`] on any mismatch.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext_and_tag: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(CryptoError::InvalidLength);
+        }
+        let (ct, tag) = ciphertext_and_tag.split_at(ciphertext_and_tag.len() - TAG_LEN);
+        let j0 = Self::j0(nonce);
+        let expected = self.tag(j0, aad, ct);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let mut out = ct.to_vec();
+        self.ctr32(j0, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // NIST GCM reference test cases 1–4 (AES-128).
+    #[test]
+    fn nist_case1_empty() {
+        let key = [0u8; 16];
+        let nonce = [0u8; 12];
+        let out = AesGcm128::new(&key).seal(&nonce, b"", b"");
+        assert_eq!(hex::encode(&out), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    #[test]
+    fn nist_case2_single_zero_block() {
+        let key = [0u8; 16];
+        let nonce = [0u8; 12];
+        let out = AesGcm128::new(&key).seal(&nonce, b"", &[0u8; 16]);
+        assert_eq!(
+            hex::encode(&out),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    #[test]
+    fn nist_case3_four_blocks() {
+        let key = hex::decode_array::<16>("feffe9928665731c6d6a8f9467308308").unwrap();
+        let nonce = hex::decode_array::<12>("cafebabefacedbaddecaf888").unwrap();
+        let pt = hex::decode(
+            "d9313225f88406e5a55909c5aff5269a\
+             86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525\
+             b16aedf5aa0de657ba637b391aafd255",
+        )
+        .unwrap();
+        let out = AesGcm128::new(&key).seal(&nonce, b"", &pt);
+        assert_eq!(
+            hex::encode(&out),
+            "42831ec2217774244b7221b784d0d49c\
+             e3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa05\
+             1ba30b396a0aac973d58e091473f5985\
+             4d5c2af327cd64a62cf35abd2ba6fab4"
+        );
+    }
+
+    #[test]
+    fn nist_case4_with_aad_partial_block() {
+        let key = hex::decode_array::<16>("feffe9928665731c6d6a8f9467308308").unwrap();
+        let nonce = hex::decode_array::<12>("cafebabefacedbaddecaf888").unwrap();
+        let pt = hex::decode(
+            "d9313225f88406e5a55909c5aff5269a\
+             86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525\
+             b16aedf5aa0de657ba637b39",
+        )
+        .unwrap();
+        let aad = hex::decode("feedfacedeadbeeffeedfacedeadbeefabaddad2").unwrap();
+        let out = AesGcm128::new(&key).seal(&nonce, &aad, &pt);
+        assert_eq!(
+            hex::encode(&out),
+            "42831ec2217774244b7221b784d0d49c\
+             e3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa05\
+             1ba30b396a0aac973d58e091\
+             5bc94fbc3221a5db94fae95ae7121a47"
+        );
+    }
+
+    #[test]
+    fn roundtrip_with_aad() {
+        let aead = AesGcm128::new(&[0x42; 16]);
+        let nonce = [7u8; 12];
+        let sealed = aead.seal(&nonce, b"header", b"the payload");
+        let opened = aead.open(&nonce, b"header", &sealed).unwrap();
+        assert_eq!(opened, b"the payload");
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let aead = AesGcm128::new(&[0x42; 16]);
+        let nonce = [7u8; 12];
+        let sealed = aead.seal(&nonce, b"aad", b"payload");
+        // Flip each byte in turn: ciphertext, tag — all must fail.
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 1;
+            assert_eq!(
+                aead.open(&nonce, b"aad", &bad),
+                Err(CryptoError::VerificationFailed),
+                "bit flip at byte {i} must be detected"
+            );
+        }
+        // Wrong AAD and wrong nonce must fail too.
+        assert!(aead.open(&nonce, b"wrong", &sealed).is_err());
+        assert!(aead.open(&[8u8; 12], b"aad", &sealed).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let aead = AesGcm128::new(&[1; 16]);
+        assert_eq!(
+            aead.open(&[0; 12], b"", &[0u8; 15]),
+            Err(CryptoError::InvalidLength)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let aead = AesGcm128::new(&[9; 16]);
+        let sealed = aead.seal(&[1; 12], b"only aad", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(aead.open(&[1; 12], b"only aad", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn gf_mul_identity_and_commutativity() {
+        // x·1 in the reflected convention: 1 is 0x80000...0 (x^0 coefficient
+        // in the MSB of the first byte).
+        let one: u128 = 1 << 127;
+        let a = 0x0123456789abcdef_0fedcba987654321u128;
+        assert_eq!(gf_mul(a, one), a);
+        assert_eq!(gf_mul(one, a), a);
+        let b = 0xdeadbeefdeadbeef_cafebabecafebabeu128;
+        assert_eq!(gf_mul(a, b), gf_mul(b, a));
+        assert_eq!(gf_mul(a, 0), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Hex encoding/decoding.
+//!
+//! Used throughout the workspace for test vectors, EphID display, and
+//! diagnostics. Lowercase output; decoding accepts both cases.
+
+use crate::CryptoError;
+
+/// Encodes `bytes` as a lowercase hex string.
+#[must_use]
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (case-insensitive, no separators) into bytes.
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    if s.len() % 2 != 0 {
+        return Err(CryptoError::InvalidLength);
+    }
+    fn nibble(c: u8) -> Result<u8, CryptoError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(CryptoError::InvalidEncoding),
+        }
+    }
+    let raw = s.as_bytes();
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+/// Decodes a hex string into a fixed-size array.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], CryptoError> {
+    let v = decode(s)?;
+    v.try_into().map_err(|_| CryptoError::InvalidLength)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00, 0x01, 0x7f, 0x80, 0xff];
+        assert_eq!(encode(&data), "00017f80ff");
+        assert_eq!(decode("00017f80ff").unwrap(), data);
+        assert_eq!(decode("00017F80FF").unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(decode("abc"), Err(CryptoError::InvalidLength));
+    }
+
+    #[test]
+    fn rejects_non_hex() {
+        assert_eq!(decode("zz"), Err(CryptoError::InvalidEncoding));
+        assert_eq!(decode("0g"), Err(CryptoError::InvalidEncoding));
+    }
+
+    #[test]
+    fn fixed_size() {
+        let arr: [u8; 4] = decode_array("deadbeef").unwrap();
+        assert_eq!(arr, [0xde, 0xad, 0xbe, 0xef]);
+        assert!(decode_array::<5>("deadbeef").is_err());
+    }
+}

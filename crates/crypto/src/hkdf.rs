@@ -1,0 +1,122 @@
+//! HKDF (RFC 5869) over HMAC-SHA256.
+//!
+//! APNA derives multiple independent keys from single secrets in two places:
+//! the AS root secret `k_A` yields the EphID encryption key `k_A'` and the
+//! EphID MAC key `k_A''` (§V-A1), and the host↔AS DH result yields the
+//! request-encryption key and the packet-authentication key (§IV-B).
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: produces a pseudorandom key from input keying material.
+#[must_use]
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: fills `okm` from a pseudorandom key and context `info`.
+///
+/// # Panics
+/// Panics if `okm.len() > 255 * 32` (the RFC 5869 limit).
+pub fn expand(prk: &[u8; 32], info: &[u8], okm: &mut [u8]) {
+    assert!(okm.len() <= 255 * 32, "HKDF output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    let mut written = 0;
+    while written < okm.len() {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        let take = (okm.len() - written).min(32);
+        okm[written..written + take].copy_from_slice(&block[..take]);
+        written += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-shot HKDF (extract + expand).
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], okm: &mut [u8]) {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, okm);
+}
+
+/// Convenience: derive a fixed-size key.
+#[must_use]
+pub fn derive_key<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    hkdf(salt, ikm, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 5869 Appendix A test vectors.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt = hex::decode("000102030405060708090a0b0c").unwrap();
+        let info = hex::decode("f0f1f2f3f4f5f6f7f8f9").unwrap();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex::encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case2_long() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let mut okm = [0u8; 82];
+        hkdf(&salt, &ikm, &info, &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case3_empty_salt_info() {
+        let ikm = [0x0b; 22];
+        let mut okm = [0u8; 42];
+        hkdf(&[], &ikm, &[], &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn distinct_infos_yield_independent_keys() {
+        let k1: [u8; 16] = derive_key(b"salt", b"secret", b"ephid-enc");
+        let k2: [u8; 16] = derive_key(b"salt", b"secret", b"ephid-mac");
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn multi_block_expand_is_continuous() {
+        // 100 bytes require 4 HMAC blocks; prefix must be stable.
+        let prk = extract(b"s", b"ikm");
+        let mut a = [0u8; 100];
+        expand(&prk, b"ctx", &mut a);
+        let mut b = [0u8; 32];
+        expand(&prk, b"ctx", &mut b);
+        assert_eq!(&a[..32], &b);
+    }
+}

@@ -1,0 +1,177 @@
+//! HMAC (RFC 2104 / FIPS 198-1), generic over [`crate::sha2::Hash`].
+//!
+//! APNA uses HMAC-SHA256 for key derivation (splitting the host↔AS
+//! Diffie-Hellman result into `k_HA^enc` and `k_HA^auth`, §IV-B) via
+//! [`crate::hkdf`].
+
+use crate::ct::ct_eq;
+use crate::sha2::{Hash, Sha256, Sha512};
+
+/// Maximum internal block size we support (SHA-512's 128 bytes).
+const MAX_BLOCK: usize = 128;
+/// Maximum digest size we support (SHA-512's 64 bytes).
+const MAX_DIGEST: usize = 64;
+
+/// Streaming HMAC over hash `H`.
+#[derive(Clone)]
+pub struct Hmac<H: Hash> {
+    inner: H,
+    /// Opad-xored key block, applied at finalization.
+    okey: [u8; MAX_BLOCK],
+}
+
+impl<H: Hash> Hmac<H> {
+    /// Creates an HMAC instance keyed with `key` (any length; keys longer
+    /// than the block size are hashed first, per RFC 2104).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        assert!(H::BLOCK_LEN <= MAX_BLOCK && H::DIGEST_LEN <= MAX_DIGEST);
+        let mut key_block = [0u8; MAX_BLOCK];
+        if key.len() > H::BLOCK_LEN {
+            let mut h = H::new();
+            h.update(key);
+            h.finalize_into(&mut key_block[..H::DIGEST_LEN]);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ikey = [0u8; MAX_BLOCK];
+        let mut okey = [0u8; MAX_BLOCK];
+        for i in 0..H::BLOCK_LEN {
+            ikey[i] = key_block[i] ^ 0x36;
+            okey[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = H::new();
+        inner.update(&ikey[..H::BLOCK_LEN]);
+        Hmac { inner, okey }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalizes into `out` (must be exactly the digest length).
+    pub fn finalize_into(self, out: &mut [u8]) {
+        let mut inner_digest = [0u8; MAX_DIGEST];
+        self.inner.finalize_into(&mut inner_digest[..H::DIGEST_LEN]);
+        let mut outer = H::new();
+        outer.update(&self.okey[..H::BLOCK_LEN]);
+        outer.update(&inner_digest[..H::DIGEST_LEN]);
+        outer.finalize_into(out);
+    }
+}
+
+/// One-shot HMAC-SHA256.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut mac = Hmac::<Sha256>::new(key);
+    mac.update(msg);
+    let mut out = [0u8; 32];
+    mac.finalize_into(&mut out);
+    out
+}
+
+/// One-shot HMAC-SHA512.
+#[must_use]
+pub fn hmac_sha512(key: &[u8], msg: &[u8]) -> [u8; 64] {
+    let mut mac = Hmac::<Sha512>::new(key);
+    mac.update(msg);
+    let mut out = [0u8; 64];
+    mac.finalize_into(&mut out);
+    out
+}
+
+/// Constant-time verification of an HMAC-SHA256 tag (possibly truncated).
+#[must_use]
+pub fn verify_hmac_sha256(key: &[u8], msg: &[u8], tag: &[u8]) -> bool {
+    if tag.is_empty() || tag.len() > 32 {
+        return false;
+    }
+    let full = hmac_sha256(key, msg);
+    ct_eq(&full[..tag.len()], tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        let tag512 = hmac_sha512(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag512),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2_short_key() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_repeated_bytes() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex::encode(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        // Key longer than the block size is hashed first.
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex::encode(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = b"key material";
+        let msg: Vec<u8> = (0..200u8).collect();
+        let mut mac = Hmac::<Sha256>::new(key);
+        mac.update(&msg[..77]);
+        mac.update(&msg[77..]);
+        let mut streamed = [0u8; 32];
+        mac.finalize_into(&mut streamed);
+        assert_eq!(streamed, hmac_sha256(key, &msg));
+    }
+
+    #[test]
+    fn verify_accepts_truncated_and_rejects_tampered() {
+        let key = b"k";
+        let msg = b"m";
+        let tag = hmac_sha256(key, msg);
+        assert!(verify_hmac_sha256(key, msg, &tag));
+        assert!(verify_hmac_sha256(key, msg, &tag[..8]));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!verify_hmac_sha256(key, msg, &bad));
+        assert!(!verify_hmac_sha256(key, b"other", &tag));
+        assert!(!verify_hmac_sha256(key, msg, &[]));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Scalar arithmetic modulo the Ed25519 group order
+//! L = 2²⁵² + 27742317777372353535851937790883648493.
+//!
+//! Ed25519 signing needs three operations: reduce a 512-bit hash output
+//! mod L, compute (a·b + c) mod L, and check that an encoded scalar is
+//! canonical (< L). Speed is irrelevant here (a handful of calls per
+//! signature), so reduction uses a transparent binary long-division rather
+//! than the traditional hand-unrolled ref10 code.
+
+/// L as four little-endian u64 limbs.
+const L: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0x0000000000000000,
+    0x1000000000000000,
+];
+
+/// `true` if a (little-endian limbs) >= b.
+fn ge(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true // equal
+}
+
+/// a -= b, assuming a >= b.
+fn sub_in_place(a: &mut [u64; 4], b: &[u64; 4]) {
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+/// Reduces an arbitrary-width little-endian limb slice mod L by scanning
+/// bits from the most significant end (schoolbook long division).
+fn mod_l(limbs: &[u64]) -> [u64; 4] {
+    let mut r = [0u64; 4];
+    for i in (0..limbs.len() * 64).rev() {
+        // r = 2r + bit_i. r < L < 2^253 so the shift cannot overflow 256 bits.
+        let mut carry = (limbs[i / 64] >> (i % 64)) & 1;
+        for limb in r.iter_mut() {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        debug_assert_eq!(carry, 0);
+        if ge(&r, &L) {
+            sub_in_place(&mut r, &L);
+        }
+    }
+    r
+}
+
+fn limbs_from_le_bytes(bytes: &[u8]) -> Vec<u64> {
+    debug_assert_eq!(bytes.len() % 8, 0);
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn limbs_to_le_bytes(limbs: &[u64; 4]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, limb) in limbs.iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+    }
+    out
+}
+
+/// Reduces a 64-byte little-endian value (SHA-512 output) mod L.
+pub(crate) fn reduce_512(bytes: &[u8; 64]) -> [u8; 32] {
+    limbs_to_le_bytes(&mod_l(&limbs_from_le_bytes(bytes)))
+}
+
+/// Reduces a 32-byte little-endian value mod L. Exercised by the test
+/// suite and kept for API completeness alongside [`reduce_512`].
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reduce_256(bytes: &[u8; 32]) -> [u8; 32] {
+    limbs_to_le_bytes(&mod_l(&limbs_from_le_bytes(bytes)))
+}
+
+/// Computes (a·b + c) mod L over 32-byte little-endian scalars.
+pub(crate) fn mul_add(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+    let al = limbs_from_le_bytes(a);
+    let bl = limbs_from_le_bytes(b);
+    let cl = limbs_from_le_bytes(c);
+    // Schoolbook 4×4 multiply into 8 limbs + 1 carry limb headroom.
+    let mut wide = [0u64; 9];
+    for i in 0..4 {
+        let mut carry = 0u128;
+        for j in 0..4 {
+            let acc = wide[i + j] as u128 + (al[i] as u128) * (bl[j] as u128) + carry;
+            wide[i + j] = acc as u64;
+            carry = acc >> 64;
+        }
+        let mut k = i + 4;
+        while carry > 0 {
+            let acc = wide[k] as u128 + carry;
+            wide[k] = acc as u64;
+            carry = acc >> 64;
+            k += 1;
+        }
+    }
+    // wide += c
+    let mut carry = 0u128;
+    for i in 0..4 {
+        let acc = wide[i] as u128 + cl[i] as u128 + carry;
+        wide[i] = acc as u64;
+        carry = acc >> 64;
+    }
+    let mut k = 4;
+    while carry > 0 {
+        let acc = wide[k] as u128 + carry;
+        wide[k] = acc as u64;
+        carry = acc >> 64;
+        k += 1;
+    }
+    limbs_to_le_bytes(&mod_l(&wide))
+}
+
+/// `true` if `s` encodes a scalar strictly less than L (required of the `s`
+/// component of a signature, RFC 8032 §5.1.7).
+pub(crate) fn is_canonical(s: &[u8; 32]) -> bool {
+    let limbs: Vec<u64> = limbs_from_le_bytes(s);
+    let arr: [u64; 4] = limbs.try_into().unwrap();
+    !ge(&arr, &L)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(n: u64) -> [u8; 32] {
+        let mut b = [0u8; 32];
+        b[..8].copy_from_slice(&n.to_le_bytes());
+        b
+    }
+
+    const L_BYTES: [u8; 32] = [
+        0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9,
+        0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x10,
+    ];
+
+    #[test]
+    fn l_reduces_to_zero() {
+        assert_eq!(reduce_256(&L_BYTES), [0u8; 32]);
+        let mut l_plus_5 = L_BYTES;
+        l_plus_5[0] += 5;
+        assert_eq!(reduce_256(&l_plus_5), scalar(5));
+    }
+
+    #[test]
+    fn small_values_unchanged() {
+        assert_eq!(reduce_256(&scalar(0)), scalar(0));
+        assert_eq!(reduce_256(&scalar(1)), scalar(1));
+        assert_eq!(reduce_256(&scalar(0xdeadbeef)), scalar(0xdeadbeef));
+    }
+
+    #[test]
+    fn reduce_512_all_ones() {
+        // 2^512 - 1 mod L must equal the iterated small reduction.
+        let wide = [0xffu8; 64];
+        let r = reduce_512(&wide);
+        assert!(is_canonical(&r));
+        assert_ne!(r, [0u8; 32]);
+    }
+
+    #[test]
+    fn mul_add_small() {
+        // 3 * 4 + 5 = 17.
+        assert_eq!(mul_add(&scalar(3), &scalar(4), &scalar(5)), scalar(17));
+        // a*0 + c = c.
+        assert_eq!(mul_add(&scalar(77), &scalar(0), &scalar(9)), scalar(9));
+        // 1 acts as multiplicative identity.
+        let a = reduce_512(&[0xabu8; 64]);
+        assert_eq!(mul_add(&a, &scalar(1), &scalar(0)), a);
+    }
+
+    #[test]
+    fn mul_add_wraps_mod_l() {
+        // (L-1) + 1 ≡ 0.
+        let mut l_minus_1 = L_BYTES;
+        l_minus_1[0] -= 1;
+        assert_eq!(mul_add(&l_minus_1, &scalar(1), &scalar(1)), [0u8; 32]);
+        // (L-1)·(L-1) ≡ 1 (since -1·-1 = 1).
+        assert_eq!(mul_add(&l_minus_1, &l_minus_1, &scalar(0)), scalar(1));
+    }
+
+    #[test]
+    fn canonicity() {
+        assert!(is_canonical(&[0u8; 32]));
+        assert!(is_canonical(&scalar(12345)));
+        assert!(!is_canonical(&L_BYTES));
+        assert!(!is_canonical(&[0xff; 32]));
+        let mut l_minus_1 = L_BYTES;
+        l_minus_1[0] -= 1;
+        assert!(is_canonical(&l_minus_1));
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let mut wide = [0u8; 64];
+            rng.fill_bytes(&mut wide);
+            let r = reduce_512(&wide);
+            assert!(is_canonical(&r));
+            assert_eq!(reduce_256(&r), r);
+        }
+    }
+
+    #[test]
+    fn distributivity_of_mul_add() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let mut buf = [0u8; 64];
+        rng.fill_bytes(&mut buf);
+        let a = reduce_512(&buf);
+        rng.fill_bytes(&mut buf);
+        let b = reduce_512(&buf);
+        rng.fill_bytes(&mut buf);
+        let c = reduce_512(&buf);
+        // (a+c)·b = a·b + c·b  — computed via mul_add chains.
+        let a_plus_c = mul_add(&a, &scalar(1), &c);
+        let lhs = mul_add(&a_plus_c, &b, &scalar(0));
+        let ab = mul_add(&a, &b, &scalar(0));
+        let rhs = mul_add(&c, &b, &ab);
+        assert_eq!(lhs, rhs);
+    }
+}

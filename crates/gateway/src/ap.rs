@@ -1,0 +1,397 @@
+//! NAT-mode Access Point (§VII-B).
+//!
+//! A connection-sharing device "creates a small domain of its own while
+//! acting as a host to the AS network", playing four roles for the clients
+//! behind it:
+//!
+//! * **RS**: authenticates clients into the internal network and
+//!   negotiates per-client shared keys (used to authenticate the packets
+//!   clients send to the AP).
+//! * **MS**: relays EphID requests to the real AS MS "using an ephemeral
+//!   public key that is supplied by its host", and keeps `EphID_info` — a
+//!   list mapping issued EphIDs to clients, because the EphIDs encrypt the
+//!   *AP's* HID, which the AP cannot decrypt.
+//! * **Router**: verifies the client's MAC on outgoing packets, then
+//!   *replaces* it with a MAC under the AP's own `k_HA` before forwarding
+//!   to the AS; inbound packets are demultiplexed via `EphID_info`.
+//! * **Accountability agent**: when the AS holds the AP accountable for a
+//!   misbehaving EphID, the AP identifies the client behind it.
+
+use apna_core::cert::{CertKind, EphIdCert};
+use apna_core::host::Host;
+use apna_core::keys::HostAsKey;
+use apna_core::management::{client as ms_client, ManagementService};
+use apna_core::time::{ExpiryClass, Timestamp};
+use apna_core::Error;
+use apna_crypto::ed25519::VerifyingKey;
+use apna_crypto::x25519::{PublicKey, StaticSecret};
+use apna_wire::{ApnaHeader, EphIdBytes};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::HashMap;
+
+/// Identifier of a client inside the AP's private domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientId(pub u32);
+
+/// The client-side handle: what a device behind the AP holds after joining
+/// the AP's network.
+pub struct ApClient {
+    /// Internal identifier.
+    pub id: ClientId,
+    /// Shared key with the AP (packet authentication toward the AP).
+    pub key: HostAsKey,
+    dh_secret: StaticSecret,
+}
+
+impl ApClient {
+    /// MACs an outgoing packet toward the AP (the client's analogue of the
+    /// per-packet `k_HA` MAC, but keyed client↔AP).
+    pub fn finalize_packet(&self, header: &mut ApnaHeader, payload: &[u8]) -> Vec<u8> {
+        let mac: [u8; 8] = self
+            .key
+            .packet_cmac()
+            .mac_truncated(&header.mac_input(payload));
+        header.set_mac(mac);
+        let mut wire = header.serialize();
+        wire.extend_from_slice(payload);
+        wire
+    }
+
+    /// The client's DH public key (register with the AP).
+    #[must_use]
+    pub fn dh_public(&self) -> PublicKey {
+        self.dh_secret.public_key()
+    }
+}
+
+struct ClientRecord {
+    key: HostAsKey,
+}
+
+/// Why the AP refused to forward a client packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApDrop {
+    /// The packet's source EphID is not in `EphID_info`.
+    UnknownEphId,
+    /// The EphID belongs to a different client.
+    WrongClient,
+    /// The client's MAC failed.
+    BadClientMac,
+    /// The packet failed to parse.
+    Malformed,
+}
+
+/// The NAT-mode Access Point.
+pub struct AccessPoint {
+    /// The AP's own APNA host state (bootstrapped with the AS).
+    pub host: Host,
+    ap_dh: StaticSecret,
+    clients: HashMap<ClientId, ClientRecord>,
+    /// `EphID_info`: EphID → owning client.
+    ephid_info: HashMap<EphIdBytes, ClientId>,
+    next_client: u32,
+    rng: StdRng,
+}
+
+impl AccessPoint {
+    /// Wraps a bootstrapped host as an AP.
+    #[must_use]
+    pub fn new(host: Host, seed: u64) -> AccessPoint {
+        let mut rng = StdRng::seed_from_u64(seed);
+        AccessPoint {
+            host,
+            ap_dh: StaticSecret::random_from_rng(&mut rng),
+            clients: HashMap::new(),
+            ephid_info: HashMap::new(),
+            next_client: 1,
+            rng,
+        }
+    }
+
+    /// Creates a client-side handle and registers it (the AP's RS role).
+    /// In a real AP the client would authenticate first (WiFi credentials);
+    /// key agreement is a DH between client and AP keys, mirroring Fig. 2.
+    pub fn register_client(&mut self, seed: u64) -> Result<ApClient, Error> {
+        let mut crng = StdRng::seed_from_u64(seed);
+        let client_dh = StaticSecret::random_from_rng(&mut crng);
+        let shared = self.ap_dh.diffie_hellman(&client_dh.public_key());
+        let key = HostAsKey::from_dh(&shared).ok_or(Error::NonContributoryKey)?;
+        let id = ClientId(self.next_client);
+        self.next_client += 1;
+        self.clients.insert(id, ClientRecord { key: key.clone() });
+        Ok(ApClient {
+            id,
+            key,
+            dh_secret: client_dh,
+        })
+    }
+
+    /// The AP's MS role: requests an EphID from the AS MS on behalf of
+    /// `client`, using the client-supplied public keys, and records the
+    /// issued EphID in `EphID_info`.
+    pub fn request_ephid_for_client(
+        &mut self,
+        client: ClientId,
+        client_sign_pub: [u8; 32],
+        client_dh_pub: [u8; 32],
+        ms: &ManagementService,
+        as_vk: &VerifyingKey,
+        class: ExpiryClass,
+        now: Timestamp,
+    ) -> Result<EphIdCert, Error> {
+        if !self.clients.contains_key(&client) {
+            return Err(Error::UnknownHost);
+        }
+        let mut nonce = [0u8; 12];
+        self.rng.fill_bytes(&mut nonce);
+        let (ctrl, _) = self.host.control_ephid();
+        let req = ms_client::build_request_raw(
+            self.host.kha(),
+            ctrl,
+            client_sign_pub,
+            client_dh_pub,
+            CertKind::Data,
+            class,
+            nonce,
+        );
+        let reply = ms
+            .handle_request(&req, now)
+            .map_err(|_| Error::InvalidState("AS MS dropped the AP request"))?;
+        let cert = ms_client::accept_reply_raw(
+            self.host.kha(),
+            ctrl,
+            &client_sign_pub,
+            &client_dh_pub,
+            as_vk,
+            &reply,
+            now,
+        )?;
+        self.ephid_info.insert(cert.ephid, client);
+        Ok(cert)
+    }
+
+    /// The AP's router role, outgoing direction: verify the client's MAC,
+    /// check EphID ownership, re-MAC under the AP's `k_HA`, forward.
+    pub fn forward_outgoing(&mut self, client: ClientId, wire: &[u8]) -> Result<Vec<u8>, ApDrop> {
+        let mode = self.host.replay_mode();
+        let Ok((header, payload)) = ApnaHeader::parse(wire, mode) else {
+            return Err(ApDrop::Malformed);
+        };
+        // EphID_info lookup replaces the HID derivation of Fig. 4.
+        match self.ephid_info.get(&header.src.ephid) {
+            None => return Err(ApDrop::UnknownEphId),
+            Some(&owner) if owner != client => return Err(ApDrop::WrongClient),
+            Some(_) => {}
+        }
+        let record = self.clients.get(&client).ok_or(ApDrop::WrongClient)?;
+        if !record
+            .key
+            .packet_cmac()
+            .verify(&header.mac_input(payload), &header.mac)
+        {
+            return Err(ApDrop::BadClientMac);
+        }
+        // Replace the MAC with the AP↔AS one.
+        let mut out_header = header;
+        let mac: [u8; 8] = self
+            .host
+            .kha()
+            .packet_cmac()
+            .mac_truncated(&out_header.mac_input(payload));
+        out_header.set_mac(mac);
+        let mut out = out_header.serialize();
+        out.extend_from_slice(payload);
+        Ok(out)
+    }
+
+    /// The AP's router role, incoming direction: demultiplex by destination
+    /// EphID.
+    #[must_use]
+    pub fn deliver_incoming(&self, wire: &[u8]) -> Option<ClientId> {
+        let (header, _) = ApnaHeader::parse(wire, self.host.replay_mode()).ok()?;
+        self.ephid_info.get(&header.dst.ephid).copied()
+    }
+
+    /// The AP's accountability role: "the AP determines the host that is
+    /// using the misbehaving EphID".
+    #[must_use]
+    pub fn identify_client(&self, ephid: &EphIdBytes) -> Option<ClientId> {
+        self.ephid_info.get(ephid).copied()
+    }
+
+    /// Number of registered clients.
+    #[must_use]
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apna_core::asnode::AsNode;
+    use apna_core::directory::AsDirectory;
+    use apna_core::granularity::Granularity;
+    use apna_core::keys::EphIdKeyPair;
+    use apna_wire::{Aid, HostAddr, ReplayMode};
+
+    struct Fixture {
+        node: AsNode,
+        ap: AccessPoint,
+    }
+
+    fn setup() -> Fixture {
+        let dir = AsDirectory::new();
+        let node = AsNode::from_seed(Aid(5), [5; 32], &dir, Timestamp(0));
+        let host = Host::attach(&node, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 50)
+            .unwrap();
+        Fixture {
+            node,
+            ap: AccessPoint::new(host, 51),
+        }
+    }
+
+    fn client_with_ephid(f: &mut Fixture, seed: u64) -> (ApClient, EphIdKeyPair, EphIdCert) {
+        let client = f.ap.register_client(seed).unwrap();
+        let kp = EphIdKeyPair::from_seed([seed as u8; 32]);
+        let (sp, dp) = kp.public_keys();
+        let cert = f
+            .ap
+            .request_ephid_for_client(
+                client.id,
+                sp,
+                dp,
+                &f.node.ms,
+                &f.node.infra.keys.verifying_key(),
+                ExpiryClass::Short,
+                Timestamp(0),
+            )
+            .unwrap();
+        (client, kp, cert)
+    }
+
+    #[test]
+    fn client_ephid_issued_under_ap_hid() {
+        let mut f = setup();
+        let (client, _kp, cert) = client_with_ephid(&mut f, 1);
+        // The AS decrypts the EphID to the *AP's* HID, not the client's.
+        let plain = apna_core::ephid::open(&f.node.infra.keys, &cert.ephid).unwrap();
+        let (ap_ctrl, _) = f.ap.host.control_ephid();
+        let ap_plain = apna_core::ephid::open(&f.node.infra.keys, &ap_ctrl).unwrap();
+        assert_eq!(plain.hid, ap_plain.hid);
+        // But the AP knows which client owns it.
+        assert_eq!(f.ap.identify_client(&cert.ephid), Some(client.id));
+    }
+
+    #[test]
+    fn outgoing_remac_passes_as_border() {
+        let mut f = setup();
+        let (client, _kp, cert) = client_with_ephid(&mut f, 1);
+        let mut header = ApnaHeader::new(
+            HostAddr::new(Aid(5), cert.ephid),
+            HostAddr::new(Aid(6), EphIdBytes([9; 16])),
+        );
+        let wire = client.finalize_packet(&mut header, b"from behind NAT");
+        let rewritten = f.ap.forward_outgoing(client.id, &wire).unwrap();
+        // The AS border router accepts the AP-MAC'd packet.
+        let verdict = f
+            .node
+            .br
+            .process_outgoing(&rewritten, ReplayMode::Disabled, Timestamp(1));
+        assert!(verdict.is_forward(), "{verdict:?}");
+        // The original client-MAC'd packet would NOT pass the AS BR.
+        let direct = f
+            .node
+            .br
+            .process_outgoing(&wire, ReplayMode::Disabled, Timestamp(1));
+        assert!(!direct.is_forward());
+    }
+
+    #[test]
+    fn wrong_client_mac_refused() {
+        let mut f = setup();
+        let (client1, _k1, cert1) = client_with_ephid(&mut f, 1);
+        let (client2, _k2, _cert2) = client_with_ephid(&mut f, 2);
+        // Client 2 tries to send with client 1's EphID.
+        let mut header = ApnaHeader::new(
+            HostAddr::new(Aid(5), cert1.ephid),
+            HostAddr::new(Aid(6), EphIdBytes([9; 16])),
+        );
+        let wire = client2.finalize_packet(&mut header, b"spoof");
+        assert_eq!(
+            f.ap.forward_outgoing(client2.id, &wire),
+            Err(ApDrop::WrongClient)
+        );
+        // Even claiming to be client 1 fails: the MAC is client 2's.
+        assert_eq!(
+            f.ap.forward_outgoing(client1.id, &wire),
+            Err(ApDrop::BadClientMac)
+        );
+    }
+
+    #[test]
+    fn unknown_ephid_refused() {
+        let mut f = setup();
+        let (client, _kp, _cert) = client_with_ephid(&mut f, 1);
+        let mut header = ApnaHeader::new(
+            HostAddr::new(Aid(5), EphIdBytes([0x31; 16])), // never issued
+            HostAddr::new(Aid(6), EphIdBytes([9; 16])),
+        );
+        let wire = client.finalize_packet(&mut header, b"x");
+        assert_eq!(
+            f.ap.forward_outgoing(client.id, &wire),
+            Err(ApDrop::UnknownEphId)
+        );
+    }
+
+    #[test]
+    fn incoming_demux_by_ephid() {
+        let mut f = setup();
+        let (c1, _kp1, cert1) = client_with_ephid(&mut f, 1);
+        let (c2, _kp2, cert2) = client_with_ephid(&mut f, 2);
+        let to_c1 = ApnaHeader::new(
+            HostAddr::new(Aid(6), EphIdBytes([7; 16])),
+            HostAddr::new(Aid(5), cert1.ephid),
+        )
+        .serialize();
+        let to_c2 = ApnaHeader::new(
+            HostAddr::new(Aid(6), EphIdBytes([7; 16])),
+            HostAddr::new(Aid(5), cert2.ephid),
+        )
+        .serialize();
+        assert_eq!(f.ap.deliver_incoming(&to_c1), Some(c1.id));
+        assert_eq!(f.ap.deliver_incoming(&to_c2), Some(c2.id));
+        let unknown = ApnaHeader::new(
+            HostAddr::new(Aid(6), EphIdBytes([7; 16])),
+            HostAddr::new(Aid(5), EphIdBytes([8; 16])),
+        )
+        .serialize();
+        assert_eq!(f.ap.deliver_incoming(&unknown), None);
+    }
+
+    #[test]
+    fn accountability_chain_reaches_the_client() {
+        // AS blames the AP's EphID → AP names the client.
+        let mut f = setup();
+        let (client, _kp, cert) = client_with_ephid(&mut f, 3);
+        assert_eq!(f.ap.identify_client(&cert.ephid), Some(client.id));
+        assert_eq!(f.ap.identify_client(&EphIdBytes([0; 16])), None);
+        assert_eq!(f.ap.client_count(), 1);
+    }
+
+    #[test]
+    fn unregistered_client_cannot_request() {
+        let mut f = setup();
+        let err = f.ap.request_ephid_for_client(
+            ClientId(99),
+            [1; 32],
+            [2; 32],
+            &f.node.ms,
+            &f.node.infra.keys.verifying_key(),
+            ExpiryClass::Short,
+            Timestamp(0),
+        );
+        assert_eq!(err.unwrap_err(), Error::UnknownHost);
+    }
+}

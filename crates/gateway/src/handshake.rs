@@ -1,0 +1,203 @@
+//! Wire encoding of the §VII-A client–server handshake messages.
+//!
+//! `apna_core::session` defines [`ClientHello`] / [`ServerAccept`] as
+//! in-memory values; gateway pairs (and the web-service example) need them
+//! on the wire inside APNA payloads. Frames are tagged so a receiver can
+//! demultiplex handshake traffic from established-channel data:
+//!
+//! ```text
+//! 0x01 ‖ client_cert ‖ early_flag ‖ [early_len ‖ early_bytes]   ClientHello
+//! 0x02 ‖ serving_cert ‖ payload                                 ServerAccept
+//! 0x03 ‖ sealed channel data                                    Data
+//! ```
+
+use apna_core::cert::{EphIdCert, CERT_LEN};
+use apna_core::session::{ClientHello, ServerAccept};
+use apna_wire::WireError;
+
+/// Frame tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameTag {
+    /// A [`ClientHello`].
+    Hello = 1,
+    /// A [`ServerAccept`].
+    Accept = 2,
+    /// Established-channel data.
+    Data = 3,
+}
+
+/// A parsed gateway frame.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Client hello.
+    Hello(ClientHello),
+    /// Server accept.
+    Accept(ServerAccept),
+    /// Channel data (still sealed).
+    Data(Vec<u8>),
+}
+
+/// Serializes a [`ClientHello`].
+#[must_use]
+pub fn encode_hello(hello: &ClientHello) -> Vec<u8> {
+    let mut out = vec![FrameTag::Hello as u8];
+    out.extend_from_slice(&hello.client_cert.serialize());
+    match &hello.early_data {
+        Some(data) => {
+            out.push(1);
+            out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+            out.extend_from_slice(data);
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+/// Serializes a [`ServerAccept`].
+#[must_use]
+pub fn encode_accept(accept: &ServerAccept) -> Vec<u8> {
+    let mut out = vec![FrameTag::Accept as u8];
+    out.extend_from_slice(&accept.serving_cert.serialize());
+    out.extend_from_slice(&accept.payload);
+    out
+}
+
+/// Wraps sealed channel data.
+#[must_use]
+pub fn encode_data(sealed: &[u8]) -> Vec<u8> {
+    let mut out = vec![FrameTag::Data as u8];
+    out.extend_from_slice(sealed);
+    out
+}
+
+/// Parses any frame.
+pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+    let (&tag, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+    match tag {
+        1 => {
+            if rest.len() < CERT_LEN + 1 {
+                return Err(WireError::Truncated);
+            }
+            let client_cert = EphIdCert::parse(&rest[..CERT_LEN])?;
+            let rest = &rest[CERT_LEN..];
+            let early_data = match rest[0] {
+                0 => None,
+                1 => {
+                    if rest.len() < 5 {
+                        return Err(WireError::Truncated);
+                    }
+                    let len = u32::from_be_bytes(rest[1..5].try_into().unwrap()) as usize;
+                    if rest.len() < 5 + len {
+                        return Err(WireError::Truncated);
+                    }
+                    Some(rest[5..5 + len].to_vec())
+                }
+                _ => return Err(WireError::BadField { field: "early flag" }),
+            };
+            Ok(Frame::Hello(ClientHello {
+                client_cert,
+                early_data,
+            }))
+        }
+        2 => {
+            if rest.len() < CERT_LEN {
+                return Err(WireError::Truncated);
+            }
+            let serving_cert = EphIdCert::parse(&rest[..CERT_LEN])?;
+            Ok(Frame::Accept(ServerAccept {
+                serving_cert,
+                payload: rest[CERT_LEN..].to_vec(),
+            }))
+        }
+        3 => Ok(Frame::Data(rest.to_vec())),
+        _ => Err(WireError::BadField { field: "frame tag" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apna_core::cert::CertKind;
+    use apna_core::keys::AsKeys;
+    use apna_core::Timestamp;
+    use apna_wire::{Aid, EphIdBytes};
+
+    fn cert() -> EphIdCert {
+        let keys = AsKeys::from_seed(&[5; 32]);
+        EphIdCert::issue(
+            &keys.signing,
+            EphIdBytes([1; 16]),
+            Timestamp(100),
+            [2; 32],
+            [3; 32],
+            Aid(9),
+            EphIdBytes([4; 16]),
+            CertKind::Data,
+        )
+    }
+
+    #[test]
+    fn hello_roundtrip_with_early_data() {
+        let hello = ClientHello {
+            client_cert: cert(),
+            early_data: Some(b"0-rtt payload".to_vec()),
+        };
+        match decode(&encode_hello(&hello)).unwrap() {
+            Frame::Hello(h) => {
+                assert_eq!(h.client_cert, hello.client_cert);
+                assert_eq!(h.early_data, hello.early_data);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn hello_roundtrip_without_early_data() {
+        let hello = ClientHello {
+            client_cert: cert(),
+            early_data: None,
+        };
+        match decode(&encode_hello(&hello)).unwrap() {
+            Frame::Hello(h) => assert!(h.early_data.is_none()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn accept_roundtrip() {
+        let accept = ServerAccept {
+            serving_cert: cert(),
+            payload: b"sealed-response".to_vec(),
+        };
+        match decode(&encode_accept(&accept)).unwrap() {
+            Frame::Accept(a) => {
+                assert_eq!(a.serving_cert, accept.serving_cert);
+                assert_eq!(a.payload, accept.payload);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        match decode(&encode_data(b"sealed")).unwrap() {
+            Frame::Data(d) => assert_eq!(d, b"sealed"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[9, 0, 0]).is_err());
+        assert!(decode(&[1, 2, 3]).is_err()); // truncated hello
+        let mut hello = encode_hello(&ClientHello {
+            client_cert: cert(),
+            early_data: None,
+        });
+        let last = hello.len() - 1;
+        hello[last] = 7; // bad early flag
+        assert!(decode(&hello).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # apna-gateway
+//!
+//! Deployment shims connecting legacy IPv4 hosts to APNA:
+//!
+//! * [`legacy`] — a minimal legacy 5-tuple datagram format (the IPv4 side
+//!   of the translation).
+//! * [`ap`] — the NAT-mode Access Point of §VII-B: a connection-sharing
+//!   device that plays RS, MS, router, and accountability agent for the
+//!   hosts behind it while appearing as a single host to the AS.
+//! * [`translator`] — the APNA gateway of §VII-D: converts between native
+//!   IPv4 packets and APNA packets (flow-table, DNS-reply inspection,
+//!   virtual endpoints, GRE encapsulation), so hosts need no network-stack
+//!   changes.
+//! * [`handshake`] — wire encoding of the §VII-A client–server handshake
+//!   messages, which gateway pairs run per legacy flow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ap;
+pub mod handshake;
+pub mod legacy;
+pub mod translator;
+
+pub use ap::{AccessPoint, ApClient};
+pub use legacy::{FiveTuple, LegacyPacket};
+pub use translator::ApnaGateway;

@@ -1,0 +1,77 @@
+//! Simulated time.
+//!
+//! The simulator advances in microseconds; the APNA protocol itself only
+//! sees seconds (EphID expiries are 4-byte Unix timestamps, Fig. 6), so
+//! [`SimTime::as_protocol_time`] floors to seconds.
+
+use apna_core::Timestamp;
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from whole seconds.
+    #[must_use]
+    pub fn from_secs(secs: u64) -> SimTime {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Builds from microseconds.
+    #[must_use]
+    pub fn from_micros(micros: u64) -> SimTime {
+        SimTime(micros)
+    }
+
+    /// Adds a duration in microseconds.
+    #[must_use]
+    pub fn add_micros(self, micros: u64) -> SimTime {
+        SimTime(self.0.saturating_add(micros))
+    }
+
+    /// Microseconds since simulation start.
+    #[must_use]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The protocol-visible timestamp (floor to seconds).
+    #[must_use]
+    pub fn as_protocol_time(self) -> Timestamp {
+        Timestamp((self.0 / 1_000_000) as u32)
+    }
+}
+
+impl core::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{:06}s", self.0 / 1_000_000, self.0 % 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(3).micros(), 3_000_000);
+        assert_eq!(SimTime::from_micros(1500).add_micros(500).micros(), 2000);
+        assert_eq!(SimTime::from_secs(7).as_protocol_time(), Timestamp(7));
+        // Sub-second times floor.
+        assert_eq!(SimTime::from_micros(999_999).as_protocol_time(), Timestamp(0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimTime::ZERO < SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", SimTime::from_micros(1_500_000)), "1.500000s");
+    }
+}

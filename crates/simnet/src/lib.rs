@@ -1,0 +1,36 @@
+//! # apna-simnet
+//!
+//! A deterministic discrete-event network simulator that stands in for the
+//! paper's hardware testbed (DPDK border routers, Spirent traffic
+//! generator, 12×10 GbE). It provides:
+//!
+//! * [`clock`] — simulated time in microseconds (protocol-level timestamps
+//!   remain the 1-second-granularity `apna_core::Timestamp`).
+//! * [`link`] — point-to-point links with latency, bandwidth, and seeded
+//!   fault injection (drop / corrupt), in the style of the smoltcp
+//!   examples' `--drop-chance` / `--corrupt-chance` options.
+//! * [`topology`] — an AS-level graph with shortest-path (hop count)
+//!   inter-domain routing over AIDs.
+//! * [`network`] — the event loop tying [`apna_core::AsNode`]s together:
+//!   packets traverse source BR egress → transit ASes → destination BR
+//!   ingress → host delivery, with every verdict observable.
+//! * [`linerate`] — the analytic line-rate model used to reproduce Fig. 8
+//!   (throughput vs. packet size on a 120 Gbps box).
+//!
+//! Determinism: all randomness is seeded, the event queue breaks ties on
+//! sequence numbers, and protocol state machines are pure functions of
+//! their inputs — the same seed always yields the same packet trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod linerate;
+pub mod link;
+pub mod network;
+pub mod topology;
+
+pub use clock::SimTime;
+pub use link::{FaultProfile, Link};
+pub use network::{DeliveredPacket, Network, NetworkEvent, PacketFate};
+pub use topology::Topology;

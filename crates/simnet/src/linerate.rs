@@ -1,0 +1,168 @@
+//! The line-rate model behind the Fig. 8 reproduction (experiments E2/E3).
+//!
+//! The paper's testbed: a commodity server with 6 dual-port 10 GbE NICs
+//! (120 Gbps aggregate) fed by a Spirent generator; the measured forwarding
+//! curves "match the theoretical maximum performance" for packet sizes
+//! 128–1518 B. That theoretical maximum is pure arithmetic:
+//!
+//! * bit-rate is capped by capacity: `min(C, ...)`;
+//! * packet-rate is capped by per-packet CPU work: `N_cores / t_pkt`;
+//! * on Ethernet, each frame costs an extra 20 bytes of overhead
+//!   (preamble 8 B + inter-frame gap 12 B) on the wire.
+//!
+//! We measure `t_pkt` — the real cost of the Fig. 4 pipeline on this
+//! machine's software AES — and plug it into the same model, reporting both
+//! the paper's hardware-budget curve and our software-budget curve.
+
+/// Ethernet per-frame wire overhead in bytes (preamble + IFG).
+pub const ETHERNET_OVERHEAD: usize = 20;
+
+/// The forwarding-capacity model of one border-router box.
+#[derive(Debug, Clone, Copy)]
+pub struct LineRateModel {
+    /// Aggregate link capacity in bits per second (paper: 120 Gbps).
+    pub capacity_bps: f64,
+    /// Worker cores dedicated to forwarding (paper: 2× 8-core Xeon E5-2680;
+    /// DPDK typically pins one core per port-queue — we model 16).
+    pub cores: usize,
+    /// Measured per-packet processing time, seconds (the Fig. 4 pipeline).
+    pub per_packet_secs: f64,
+}
+
+/// One point of the Fig. 8 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Packet size in bytes (L2 frame payload as in the paper's x-axis).
+    pub packet_size: usize,
+    /// Achievable rate in million packets per second — Fig. 8(a).
+    pub mpps: f64,
+    /// Achievable rate in Gbps of packet bytes — Fig. 8(b).
+    pub gbps: f64,
+    /// `true` if capacity (not CPU) is the binding constraint.
+    pub line_limited: bool,
+}
+
+impl LineRateModel {
+    /// The paper's hardware configuration with a given measured per-packet
+    /// cost.
+    #[must_use]
+    pub fn paper_testbed(per_packet_secs: f64) -> LineRateModel {
+        LineRateModel {
+            capacity_bps: 120e9,
+            cores: 16,
+            per_packet_secs,
+        }
+    }
+
+    /// Theoretical line-rate packet rate for `size`-byte packets, in pps —
+    /// the "theoretical maximum performance" line of §V-B3.
+    #[must_use]
+    pub fn line_rate_pps(&self, size: usize) -> f64 {
+        self.capacity_bps / (((size + ETHERNET_OVERHEAD) * 8) as f64)
+    }
+
+    /// CPU-bound packet rate in pps.
+    #[must_use]
+    pub fn cpu_rate_pps(&self) -> f64 {
+        self.cores as f64 / self.per_packet_secs
+    }
+
+    /// The achievable point for a packet size: the min of the two budgets.
+    #[must_use]
+    pub fn throughput(&self, size: usize) -> ThroughputPoint {
+        let line = self.line_rate_pps(size);
+        let cpu = self.cpu_rate_pps();
+        let pps = line.min(cpu);
+        ThroughputPoint {
+            packet_size: size,
+            mpps: pps / 1e6,
+            gbps: pps * (size as f64) * 8.0 / 1e9,
+            line_limited: line <= cpu,
+        }
+    }
+
+    /// The five packet sizes of Fig. 8.
+    pub const FIG8_SIZES: [usize; 5] = [128, 256, 512, 1024, 1518];
+
+    /// The full Fig. 8 series.
+    #[must_use]
+    pub fn fig8_series(&self) -> Vec<ThroughputPoint> {
+        Self::FIG8_SIZES
+            .iter()
+            .map(|&s| self.throughput(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper reports AES-NI-class per-packet costs leave the pipeline
+    /// line-limited at every Fig. 8 size. ~200 ns/packet on 16 cores gives
+    /// 80 Mpps CPU budget; 128 B line rate is ~101 Mpps — hmm, that would
+    /// be CPU-bound. The paper's own Fig. 8(a) shows ~100 Mpps at 128 B
+    /// (matching theoretical max), implying per-packet cost ≲ 160 ns/core.
+    /// Use 120 ns to represent the hardware prototype.
+    const HW_PER_PKT: f64 = 120e-9;
+
+    #[test]
+    fn small_packets_highest_pps() {
+        let m = LineRateModel::paper_testbed(HW_PER_PKT);
+        let series = m.fig8_series();
+        for w in series.windows(2) {
+            assert!(w[0].mpps > w[1].mpps, "pps must fall with size");
+        }
+    }
+
+    #[test]
+    fn large_packets_saturate_120gbps() {
+        // Fig. 8(b): "as packet sizes increase, we saturate the capacity of
+        // 120 Gbps" — goodput approaches but never exceeds capacity.
+        let m = LineRateModel::paper_testbed(HW_PER_PKT);
+        let p1518 = m.throughput(1518);
+        assert!(p1518.line_limited);
+        assert!(p1518.gbps > 110.0 && p1518.gbps <= 120.0, "{}", p1518.gbps);
+    }
+
+    #[test]
+    fn hardware_budget_is_line_limited_at_all_sizes() {
+        // The paper's headline: "no throughput penalty" — theoretical max
+        // at every size.
+        let m = LineRateModel::paper_testbed(HW_PER_PKT);
+        for p in m.fig8_series() {
+            assert!(p.line_limited, "size {} must be line-limited", p.packet_size);
+        }
+    }
+
+    #[test]
+    fn fig8a_values_match_paper_shape() {
+        // Paper Fig. 8(a) shows ~101 Mpps at 128 B (line rate of
+        // 120 Gbps / (148 B × 8)).
+        let m = LineRateModel::paper_testbed(HW_PER_PKT);
+        let p = m.throughput(128);
+        assert!((p.mpps - 101.35).abs() < 1.0, "mpps = {}", p.mpps);
+    }
+
+    #[test]
+    fn slow_cpu_becomes_the_bottleneck() {
+        // "Under higher packet rates, the heavier load would start to
+        // degrade forwarding performance" — model a slow software pipeline.
+        let m = LineRateModel::paper_testbed(2e-6); // 2 µs per packet
+        let p = m.throughput(128);
+        assert!(!p.line_limited);
+        assert!((p.mpps - 8.0).abs() < 0.1); // 16 cores / 2 µs
+        // Large packets may still saturate the line.
+        let p_big = m.throughput(1518);
+        assert!(p_big.gbps <= 120.0);
+    }
+
+    #[test]
+    fn gbps_consistent_with_mpps() {
+        let m = LineRateModel::paper_testbed(HW_PER_PKT);
+        for p in m.fig8_series() {
+            let expect = p.mpps * 1e6 * (p.packet_size as f64) * 8.0 / 1e9;
+            assert!((p.gbps - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Links with latency, bandwidth, and seeded fault injection.
+//!
+//! Following the smoltcp guide's fault-injection idiom, every link carries
+//! a [`FaultProfile`] with independent drop and corruption probabilities
+//! driven by a seeded RNG — adverse conditions are reproducible. Corruption
+//! flips one random bit (like smoltcp's `--corrupt-chance`, which mutates
+//! one octet), which the APNA MACs must catch downstream.
+
+use crate::clock::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault-injection knobs for one link direction.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultProfile {
+    /// Probability a packet is silently dropped, in [0, 1].
+    pub drop_chance: f64,
+    /// Probability one random bit of a packet is flipped, in [0, 1].
+    pub corrupt_chance: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A perfect link.
+    #[must_use]
+    pub fn lossless() -> FaultProfile {
+        FaultProfile::default()
+    }
+
+    /// A lossy link (the smoltcp guide suggests ~15% as a stress level).
+    #[must_use]
+    pub fn lossy(drop_chance: f64, corrupt_chance: f64) -> FaultProfile {
+        FaultProfile {
+            drop_chance,
+            corrupt_chance,
+        }
+    }
+}
+
+/// What the link did to a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// Delivered at the given time (possibly corrupted in transit).
+    Delivered {
+        /// Arrival time at the far end.
+        at: SimTime,
+        /// The (possibly mutated) bytes.
+        bytes: Vec<u8>,
+        /// Whether fault injection mutated the packet.
+        corrupted: bool,
+    },
+    /// Dropped by fault injection.
+    Dropped,
+}
+
+/// A point-to-point link between two nodes.
+#[derive(Debug)]
+pub struct Link {
+    /// One-way propagation delay in microseconds.
+    pub latency_us: u64,
+    /// Capacity in bits per second (serialization delay = size/capacity).
+    pub bandwidth_bps: u64,
+    /// Fault profile.
+    pub faults: FaultProfile,
+    rng: StdRng,
+    /// Counters for diagnostics.
+    pub delivered: u64,
+    /// Packets dropped by fault injection.
+    pub dropped: u64,
+    /// Packets corrupted by fault injection.
+    pub corrupted: u64,
+}
+
+impl Link {
+    /// Creates a link. `seed` makes fault injection reproducible.
+    #[must_use]
+    pub fn new(latency_us: u64, bandwidth_bps: u64, faults: FaultProfile, seed: u64) -> Link {
+        Link {
+            latency_us,
+            bandwidth_bps,
+            faults,
+            rng: StdRng::seed_from_u64(seed),
+            delivered: 0,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// A 10 Gbps, 1 ms metro link with no faults (default test link).
+    #[must_use]
+    pub fn metro(seed: u64) -> Link {
+        Link::new(1_000, 10_000_000_000, FaultProfile::lossless(), seed)
+    }
+
+    /// Serialization + propagation delay for `bytes` bytes.
+    #[must_use]
+    pub fn transit_time_us(&self, bytes: usize) -> u64 {
+        let serialization = (bytes as u64 * 8 * 1_000_000) / self.bandwidth_bps.max(1);
+        self.latency_us + serialization
+    }
+
+    /// Sends a packet at `now`; applies fault injection.
+    pub fn transmit(&mut self, now: SimTime, packet: &[u8]) -> LinkOutcome {
+        if self.faults.drop_chance > 0.0 && self.rng.gen_bool(self.faults.drop_chance) {
+            self.dropped += 1;
+            return LinkOutcome::Dropped;
+        }
+        let mut bytes = packet.to_vec();
+        let mut corrupted = false;
+        if self.faults.corrupt_chance > 0.0
+            && !bytes.is_empty()
+            && self.rng.gen_bool(self.faults.corrupt_chance)
+        {
+            let idx = self.rng.gen_range(0..bytes.len());
+            let bit = self.rng.gen_range(0..8);
+            bytes[idx] ^= 1 << bit;
+            corrupted = true;
+            self.corrupted += 1;
+        }
+        self.delivered += 1;
+        LinkOutcome::Delivered {
+            at: now.add_micros(self.transit_time_us(packet.len())),
+            bytes,
+            corrupted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_link_delivers_everything() {
+        let mut link = Link::metro(1);
+        for i in 0..100u32 {
+            match link.transmit(SimTime::ZERO, &i.to_be_bytes()) {
+                LinkOutcome::Delivered { corrupted, .. } => assert!(!corrupted),
+                LinkOutcome::Dropped => panic!("lossless link dropped"),
+            }
+        }
+        assert_eq!(link.delivered, 100);
+        assert_eq!(link.dropped, 0);
+    }
+
+    #[test]
+    fn transit_time_includes_serialization() {
+        let link = Link::new(1_000, 8_000_000, FaultProfile::lossless(), 0);
+        // 1000 bytes at 8 Mbps = 1 ms serialization + 1 ms latency.
+        assert_eq!(link.transit_time_us(1000), 2_000);
+        assert_eq!(link.transit_time_us(0), 1_000);
+    }
+
+    #[test]
+    fn drop_chance_statistics() {
+        let mut link = Link::new(0, 1_000_000_000, FaultProfile::lossy(0.3, 0.0), 42);
+        let mut drops = 0;
+        for _ in 0..10_000 {
+            if matches!(link.transmit(SimTime::ZERO, b"pkt"), LinkOutcome::Dropped) {
+                drops += 1;
+            }
+        }
+        // 30% ± generous tolerance.
+        assert!((2_500..3_500).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut link = Link::new(0, 1_000_000_000, FaultProfile::lossy(0.0, 1.0), 7);
+        let original = vec![0u8; 64];
+        match link.transmit(SimTime::ZERO, &original) {
+            LinkOutcome::Delivered {
+                bytes, corrupted, ..
+            } => {
+                assert!(corrupted);
+                let flipped: u32 = bytes
+                    .iter()
+                    .zip(original.iter())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(flipped, 1);
+            }
+            LinkOutcome::Dropped => panic!(),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut link = Link::new(0, 1_000_000_000, FaultProfile::lossy(0.5, 0.0), seed);
+            (0..100)
+                .map(|_| matches!(link.transmit(SimTime::ZERO, b"x"), LinkOutcome::Dropped))
+                .collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn delivery_time_advances() {
+        let mut link = Link::metro(0);
+        match link.transmit(SimTime::from_secs(1), &[0u8; 1250]) {
+            LinkOutcome::Delivered { at, .. } => {
+                // 1250 B at 10 Gbps = 1 µs serialization + 1000 µs latency.
+                assert_eq!(at, SimTime::from_secs(1).add_micros(1_001));
+            }
+            LinkOutcome::Dropped => panic!(),
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! AS-level topology and inter-domain routing.
+//!
+//! APNA's inter-domain forwarding is AID-based ("for inter-domain
+//! forwarding, border routers use AID to forward packets", §IV-D3) and
+//! transit ASes "simply forward packets to the next AS on the path". The
+//! topology computes next hops by BFS (shortest AS-path), which is enough
+//! structure to exercise multi-hop transit; BGP policy is out of the
+//! paper's scope.
+
+use apna_wire::Aid;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An undirected AS-level graph.
+#[derive(Debug, Default)]
+pub struct Topology {
+    adjacency: HashMap<Aid, HashSet<Aid>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    #[must_use]
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds an AS (idempotent).
+    pub fn add_as(&mut self, aid: Aid) {
+        self.adjacency.entry(aid).or_default();
+    }
+
+    /// Connects two ASes (idempotent, symmetric).
+    pub fn connect(&mut self, a: Aid, b: Aid) {
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// All ASes.
+    pub fn ases(&self) -> impl Iterator<Item = Aid> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Direct neighbors of `aid`.
+    #[must_use]
+    pub fn neighbors(&self, aid: Aid) -> Vec<Aid> {
+        self.adjacency
+            .get(&aid)
+            .map(|s| {
+                let mut v: Vec<Aid> = s.iter().copied().collect();
+                v.sort(); // determinism
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Shortest AS path from `src` to `dst` (inclusive of both), or `None`
+    /// if unreachable.
+    #[must_use]
+    pub fn path(&self, src: Aid, dst: Aid) -> Option<Vec<Aid>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut prev: HashMap<Aid, Aid> = HashMap::new();
+        let mut queue = VecDeque::from([src]);
+        let mut seen = HashSet::from([src]);
+        while let Some(cur) = queue.pop_front() {
+            for next in self.neighbors(cur) {
+                if seen.insert(next) {
+                    prev.insert(next, cur);
+                    if next == dst {
+                        let mut path = vec![dst];
+                        let mut node = dst;
+                        while let Some(&p) = prev.get(&node) {
+                            path.push(p);
+                            node = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Next hop from `at` toward `dst`.
+    #[must_use]
+    pub fn next_hop(&self, at: Aid, dst: Aid) -> Option<Aid> {
+        let path = self.path(at, dst)?;
+        path.get(1).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Topology {
+        // 1 - 2 - 3 - 4
+        let mut t = Topology::new();
+        t.connect(Aid(1), Aid(2));
+        t.connect(Aid(2), Aid(3));
+        t.connect(Aid(3), Aid(4));
+        t
+    }
+
+    #[test]
+    fn shortest_path_on_line() {
+        let t = line();
+        assert_eq!(
+            t.path(Aid(1), Aid(4)).unwrap(),
+            vec![Aid(1), Aid(2), Aid(3), Aid(4)]
+        );
+        assert_eq!(t.path(Aid(3), Aid(3)).unwrap(), vec![Aid(3)]);
+    }
+
+    #[test]
+    fn next_hop_steps_along_path() {
+        let t = line();
+        assert_eq!(t.next_hop(Aid(1), Aid(4)), Some(Aid(2)));
+        assert_eq!(t.next_hop(Aid(2), Aid(4)), Some(Aid(3)));
+        assert_eq!(t.next_hop(Aid(3), Aid(4)), Some(Aid(4)));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = line();
+        t.add_as(Aid(99));
+        assert_eq!(t.path(Aid(1), Aid(99)), None);
+        assert_eq!(t.next_hop(Aid(1), Aid(99)), None);
+        assert_eq!(t.path(Aid(1), Aid(1000)), None);
+    }
+
+    #[test]
+    fn prefers_shorter_path() {
+        // Diamond: 1-2-4 and 1-3-4 plus a long detour 1-5-6-4.
+        let mut t = Topology::new();
+        t.connect(Aid(1), Aid(2));
+        t.connect(Aid(2), Aid(4));
+        t.connect(Aid(1), Aid(3));
+        t.connect(Aid(3), Aid(4));
+        t.connect(Aid(1), Aid(5));
+        t.connect(Aid(5), Aid(6));
+        t.connect(Aid(6), Aid(4));
+        let p = t.path(Aid(1), Aid(4)).unwrap();
+        assert_eq!(p.len(), 3); // two hops
+    }
+
+    #[test]
+    fn deterministic_neighbor_order() {
+        let mut t = Topology::new();
+        t.connect(Aid(1), Aid(9));
+        t.connect(Aid(1), Aid(3));
+        t.connect(Aid(1), Aid(7));
+        assert_eq!(t.neighbors(Aid(1)), vec![Aid(3), Aid(7), Aid(9)]);
+    }
+}

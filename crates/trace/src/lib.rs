@@ -1,0 +1,368 @@
+//! # apna-trace
+//!
+//! Synthetic workload generator standing in for the paper's proprietary
+//! trace (§V-A3): "a 24-hour packet trace of HTTP(S) traffic from a major
+//! network provider … over 104 million and 74 million entries … 1,266,598
+//! unique hosts generating a peak rate of 3,888 active HTTP(S) sessions per
+//! second."
+//!
+//! The trace itself is unavailable, but the Management-Service experiment
+//! (E1) consumes only its aggregate statistics — most importantly the peak
+//! session-arrival rate the MS must outpace. The generator reproduces:
+//!
+//! * the **host population** (configurable; full scale = 1,266,598),
+//! * the **peak arrival rate** (full scale = 3,888 flows/s) under a
+//!   diurnal day/night curve,
+//! * the **flow-duration tail** of §VIII-G1 — "98% of the flows in the
+//!   Internet last less than 15 minutes" — as a dragonfly/tortoise mixture
+//!   (Brownlee & Claffy's terminology, the paper's citation \[11\]):
+//!   lognormal short flows plus a 2% Pareto tail,
+//! * an HTTP/HTTPS split matching the 104 M : 74 M entry ratio,
+//! * a skewed per-host activity distribution (a few heavy hitters).
+//!
+//! Everything is seeded and streaming: the full-scale 24-hour trace
+//! (~190 M flows) can be generated and folded without materializing it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One synthetic flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRecord {
+    /// Start time, seconds from trace start.
+    pub start_sec: u32,
+    /// Duration in seconds (fractional).
+    pub duration_secs: f64,
+    /// Anonymized source host id (0..hosts).
+    pub src_host: u32,
+    /// Anonymized destination id.
+    pub dst: u32,
+    /// `true` for HTTPS, `false` for HTTP.
+    pub https: bool,
+}
+
+/// Trace generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Unique host population.
+    pub hosts: u32,
+    /// Trace length in seconds.
+    pub duration_secs: u32,
+    /// Peak new-session arrival rate, flows per second.
+    pub peak_flows_per_sec: f64,
+    /// Seed for all randomness.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// Full scale: the published statistics of the paper's REN trace.
+    #[must_use]
+    pub fn paper_full_scale() -> TraceConfig {
+        TraceConfig {
+            hosts: 1_266_598,
+            duration_secs: 24 * 3600,
+            peak_flows_per_sec: 3_888.0,
+            seed: 0xA9A_2016,
+        }
+    }
+
+    /// Scaled by `factor` in host count and arrival rate (duration kept),
+    /// for laptop-scale runs. `factor = 0.01` gives ~12.7k hosts at a
+    /// ~39 flows/s peak.
+    #[must_use]
+    pub fn scaled(factor: f64) -> TraceConfig {
+        let full = Self::paper_full_scale();
+        TraceConfig {
+            hosts: ((full.hosts as f64 * factor).max(1.0)) as u32,
+            duration_secs: full.duration_secs,
+            peak_flows_per_sec: full.peak_flows_per_sec * factor,
+            seed: full.seed,
+        }
+    }
+}
+
+/// Fraction of flows drawn from the long-lived "tortoise" tail.
+const TORTOISE_FRACTION: f64 = 0.02;
+/// HTTPS share of flows (74 M of 178 M entries).
+const HTTPS_FRACTION: f64 = 74.0 / 178.0;
+/// The §VIII-G1 threshold: 15 minutes.
+pub const FLOW_DURATION_THRESHOLD_SECS: f64 = 900.0;
+
+/// The diurnal arrival-rate shape: a raised-cosine day cycle with its
+/// trough at trace start (night) and peak mid-trace, normalized to 1.0 at
+/// peak and ~0.3 at night.
+#[must_use]
+pub fn diurnal_weight(sec: u32, duration: u32) -> f64 {
+    let phase = (sec as f64) / (duration.max(1) as f64); // 0..1 over the day
+    let cos = (std::f64::consts::TAU * (phase - 0.5)).cos();
+    let day = ((1.0 + cos) / 2.0).powi(2); // sharpen the peak
+    0.3 + 0.7 * day
+}
+
+/// A seeded streaming trace generator.
+pub struct SyntheticTrace {
+    /// The configuration in force.
+    pub config: TraceConfig,
+}
+
+impl SyntheticTrace {
+    /// Creates a generator for `config`.
+    #[must_use]
+    pub fn new(config: TraceConfig) -> SyntheticTrace {
+        SyntheticTrace { config }
+    }
+
+    /// Expected arrival rate (flows/s) at `sec`.
+    #[must_use]
+    pub fn rate_at(&self, sec: u32) -> f64 {
+        self.config.peak_flows_per_sec * diurnal_weight(sec, self.config.duration_secs)
+    }
+
+    /// Samples a flow duration: lognormal dragonflies (98%) + Pareto
+    /// tortoises (2%), calibrated so ~98% of flows last under 15 minutes.
+    fn sample_duration(rng: &mut StdRng) -> f64 {
+        if rng.gen::<f64>() < TORTOISE_FRACTION {
+            // Pareto(x_m = 900 s, α = 1.1): the tortoises.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            FLOW_DURATION_THRESHOLD_SECS / u.powf(1.0 / 1.1)
+        } else {
+            // Lognormal(μ = ln 15 s, σ = 1.2): the dragonflies.
+            let z = normal_sample(rng);
+            (15.0f64).ln().exp() * (1.2 * z).exp()
+        }
+    }
+
+    /// Samples a host id with a power-law skew (heavy hitters exist but
+    /// the population is broad).
+    fn sample_host(rng: &mut StdRng, hosts: u32) -> u32 {
+        let u: f64 = rng.gen();
+        ((u * u) * hosts as f64) as u32 % hosts.max(1)
+    }
+
+    /// Streams flows in start-time order.
+    pub fn flows(&self) -> impl Iterator<Item = FlowRecord> + '_ {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let cfg = self.config;
+        (0..cfg.duration_secs).flat_map(move |sec| {
+            let rate = cfg.peak_flows_per_sec * diurnal_weight(sec, cfg.duration_secs);
+            let n = poisson_sample(&mut rng, rate);
+            let mut out = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                out.push(FlowRecord {
+                    start_sec: sec,
+                    duration_secs: Self::sample_duration(&mut rng),
+                    src_host: Self::sample_host(&mut rng, cfg.hosts),
+                    dst: rng.gen_range(0..1_000_000),
+                    https: rng.gen::<f64>() < HTTPS_FRACTION,
+                });
+            }
+            out
+        })
+    }
+
+    /// Single-pass aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut per_sec = vec![0u64; self.config.duration_secs as usize];
+        let mut hosts_seen = vec![false; self.config.hosts as usize];
+        let mut total = 0u64;
+        let mut under_threshold = 0u64;
+        let mut https = 0u64;
+        for f in self.flows() {
+            per_sec[f.start_sec as usize] += 1;
+            hosts_seen[f.src_host as usize] = true;
+            total += 1;
+            if f.duration_secs < FLOW_DURATION_THRESHOLD_SECS {
+                under_threshold += 1;
+            }
+            if f.https {
+                https += 1;
+            }
+        }
+        TraceStats {
+            total_flows: total,
+            unique_hosts: hosts_seen.iter().filter(|&&b| b).count() as u64,
+            peak_new_flows_per_sec: per_sec.iter().copied().max().unwrap_or(0),
+            frac_under_15min: if total > 0 {
+                under_threshold as f64 / total as f64
+            } else {
+                0.0
+            },
+            https_fraction: if total > 0 {
+                https as f64 / total as f64
+            } else {
+                0.0
+            },
+            duration_secs: self.config.duration_secs,
+        }
+    }
+}
+
+/// Aggregate statistics of a generated trace (the E4 table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Flows generated.
+    pub total_flows: u64,
+    /// Distinct source hosts observed.
+    pub unique_hosts: u64,
+    /// Highest per-second arrival count.
+    pub peak_new_flows_per_sec: u64,
+    /// Fraction of flows shorter than 15 minutes (§VIII-G1: ~0.98).
+    pub frac_under_15min: f64,
+    /// HTTPS share (paper: 74 M / 178 M ≈ 0.416).
+    pub https_fraction: f64,
+    /// Trace length.
+    pub duration_secs: u32,
+}
+
+/// Standard normal via Box–Muller (rand_distr is not in the offline set).
+fn normal_sample(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Poisson sampling: Knuth's product method for small λ, normal
+/// approximation for large λ (plenty accurate for workload generation).
+fn poisson_sample(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let z = normal_sample(rng);
+        (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticTrace {
+        SyntheticTrace::new(TraceConfig {
+            hosts: 2_000,
+            duration_secs: 3_600,
+            peak_flows_per_sec: 50.0,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn determinism() {
+        let a: Vec<FlowRecord> = small().flows().take(100).collect();
+        let b: Vec<FlowRecord> = small().flows().take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flows_in_time_order() {
+        let mut last = 0;
+        for f in small().flows() {
+            assert!(f.start_sec >= last);
+            last = f.start_sec;
+            assert!(f.duration_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn duration_tail_matches_paper() {
+        // §VIII-G1: ~98% of flows under 15 minutes.
+        let stats = small().stats();
+        assert!(
+            (0.955..0.995).contains(&stats.frac_under_15min),
+            "frac = {}",
+            stats.frac_under_15min
+        );
+    }
+
+    #[test]
+    fn https_split_matches_trace_ratio() {
+        let stats = small().stats();
+        assert!(
+            (stats.https_fraction - HTTPS_FRACTION).abs() < 0.03,
+            "https = {}",
+            stats.https_fraction
+        );
+    }
+
+    #[test]
+    fn peak_rate_respected() {
+        // Peak per-second arrivals should be near (within Poisson noise of)
+        // the configured peak and nowhere wildly above it.
+        let stats = small().stats();
+        let peak = stats.peak_new_flows_per_sec as f64;
+        assert!(peak <= 50.0 * 1.8, "peak = {peak}");
+        assert!(peak >= 50.0 * 0.7, "peak = {peak}");
+    }
+
+    #[test]
+    fn diurnal_shape() {
+        // Trough at the edges, peak mid-trace.
+        let d = 86_400;
+        assert!(diurnal_weight(0, d) < 0.35);
+        assert!(diurnal_weight(d / 2, d) > 0.95);
+        assert!(diurnal_weight(d / 4, d) < diurnal_weight(d / 2, d));
+        // Bounded in [0.3, 1.0].
+        for sec in (0..d).step_by(997) {
+            let w = diurnal_weight(sec, d);
+            assert!((0.3..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn host_population_covered_with_skew() {
+        let stats = small().stats();
+        // Many hosts appear, but not necessarily all (skewed activity).
+        assert!(stats.unique_hosts > 1_000);
+        assert!(stats.unique_hosts <= 2_000);
+    }
+
+    #[test]
+    fn scaled_config_proportions() {
+        let s = TraceConfig::scaled(0.01);
+        assert_eq!(s.hosts, 12_665);
+        assert!((s.peak_flows_per_sec - 38.88).abs() < 0.01);
+        let full = TraceConfig::paper_full_scale();
+        assert_eq!(full.hosts, 1_266_598);
+        assert_eq!(full.duration_secs, 86_400);
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for lambda in [0.5, 5.0, 50.0, 500.0] {
+            let n = 2_000;
+            let total: u64 = (0..n).map(|_| poisson_sample(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "λ={lambda} mean={mean}"
+            );
+        }
+        assert_eq!(poisson_sample(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn tortoises_exist() {
+        // The 2% tail must produce genuinely long flows.
+        let longest = small()
+            .flows()
+            .map(|f| f.duration_secs)
+            .fold(0.0f64, f64::max);
+        assert!(longest > FLOW_DURATION_THRESHOLD_SECS);
+    }
+}

@@ -1,0 +1,162 @@
+//! GRE encapsulation of APNA packets over IPv4 (Fig. 9, §VII-D).
+//!
+//! The paper deploys APNA over today's Internet by tunneling APNA packets
+//! between APNA entities with Generic Routing Encapsulation (RFC 2784):
+//!
+//! ```text
+//! IPv4 header      (addresses of the two APNA entities)
+//!   GRE header     (Protocol Type = APNA EtherType)
+//!     APNA header
+//!       payload
+//! ```
+//!
+//! The paper notes APNA "would need to request a dedicated EtherType number
+//! from IANA"; this reproduction uses `0x88B5`, the IEEE 802 local
+//! experimental EtherType reserved exactly for this situation.
+
+use crate::ipv4::{Ipv4Addr, Ipv4Header, IPV4_HEADER_LEN, PROTO_GRE};
+use crate::WireError;
+
+/// EtherType carried in the GRE Protocol Type field for APNA packets
+/// (IEEE 802 local experimental value, standing in for an IANA grant).
+pub const ETHERTYPE_APNA: u16 = 0x88B5;
+
+/// Length of the basic GRE header (no checksum/key/sequence options).
+pub const GRE_HEADER_LEN: usize = 4;
+
+/// Serializes the 4-byte basic GRE header for `protocol_type`.
+#[must_use]
+pub fn gre_header(protocol_type: u16) -> [u8; GRE_HEADER_LEN] {
+    let mut h = [0u8; GRE_HEADER_LEN];
+    // Flags/version = 0 (RFC 2784 base header).
+    h[2..4].copy_from_slice(&protocol_type.to_be_bytes());
+    h
+}
+
+/// Parses a GRE header; returns the protocol type and the payload.
+pub fn parse_gre(buf: &[u8]) -> Result<(u16, &[u8]), WireError> {
+    if buf.len() < GRE_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if buf[0] & 0xb0 != 0 || buf[1] & 0x07 != 0 {
+        // Checksum/key/sequence flags or nonzero version: not supported.
+        return Err(WireError::BadField {
+            field: "gre flags/version",
+        });
+    }
+    let proto = u16::from_be_bytes(buf[2..4].try_into().unwrap());
+    Ok((proto, &buf[GRE_HEADER_LEN..]))
+}
+
+/// Encapsulates an APNA packet (header already serialized into
+/// `apna_packet`) for transport between two APNA entities over IPv4.
+#[must_use]
+pub fn encapsulate(src: Ipv4Addr, dst: Ipv4Addr, apna_packet: &[u8]) -> Vec<u8> {
+    let ip = Ipv4Header::new(src, dst, PROTO_GRE, GRE_HEADER_LEN + apna_packet.len());
+    let mut out = Vec::with_capacity(IPV4_HEADER_LEN + GRE_HEADER_LEN + apna_packet.len());
+    out.extend_from_slice(&ip.serialize());
+    out.extend_from_slice(&gre_header(ETHERTYPE_APNA));
+    out.extend_from_slice(apna_packet);
+    out
+}
+
+/// Decapsulates an IPv4+GRE frame, returning the outer IPv4 header and the
+/// inner APNA packet bytes.
+pub fn decapsulate(frame: &[u8]) -> Result<(Ipv4Header, &[u8]), WireError> {
+    let (ip, ip_payload) = Ipv4Header::parse(frame)?;
+    if ip.protocol != PROTO_GRE {
+        return Err(WireError::BadField {
+            field: "ip protocol",
+        });
+    }
+    let (proto, inner) = parse_gre(ip_payload)?;
+    if proto != ETHERTYPE_APNA {
+        return Err(WireError::BadField {
+            field: "gre protocol type",
+        });
+    }
+    Ok((ip, inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encapsulation_roundtrip() {
+        let apna = vec![0x42u8; 48 + 10];
+        let frame = encapsulate(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), &apna);
+        assert_eq!(frame.len(), IPV4_HEADER_LEN + GRE_HEADER_LEN + apna.len());
+        let (ip, inner) = decapsulate(&frame).unwrap();
+        assert_eq!(ip.src, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(ip.dst, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(inner, &apna[..]);
+    }
+
+    #[test]
+    fn fig9_layer_order() {
+        // IPv4 (proto GRE) → GRE (type APNA) → APNA bytes: verify offsets.
+        let frame = encapsulate(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, b"APNA");
+        assert_eq!(frame[9], PROTO_GRE);
+        assert_eq!(
+            u16::from_be_bytes([frame[22], frame[23]]),
+            ETHERTYPE_APNA
+        );
+        assert_eq!(&frame[24..], b"APNA");
+    }
+
+    #[test]
+    fn rejects_non_gre_ip_protocol() {
+        let apna = [0u8; 8];
+        let ip = Ipv4Header::new(
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+            6, // TCP, not GRE
+            GRE_HEADER_LEN + apna.len(),
+        );
+        let mut frame = ip.serialize().to_vec();
+        frame.extend_from_slice(&gre_header(ETHERTYPE_APNA));
+        frame.extend_from_slice(&apna);
+        assert!(matches!(
+            decapsulate(&frame),
+            Err(WireError::BadField { field: "ip protocol" })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_ethertype() {
+        let frame = {
+            let apna = [0u8; 8];
+            let ip = Ipv4Header::new(
+                Ipv4Addr::UNSPECIFIED,
+                Ipv4Addr::UNSPECIFIED,
+                PROTO_GRE,
+                GRE_HEADER_LEN + apna.len(),
+            );
+            let mut f = ip.serialize().to_vec();
+            f.extend_from_slice(&gre_header(0x0800)); // IPv4-in-GRE, not APNA
+            f.extend_from_slice(&apna);
+            f
+        };
+        assert!(matches!(
+            decapsulate(&frame),
+            Err(WireError::BadField { field: "gre protocol type" })
+        ));
+    }
+
+    #[test]
+    fn rejects_gre_options() {
+        let mut h = gre_header(ETHERTYPE_APNA).to_vec();
+        h[0] = 0x80; // checksum-present flag
+        h.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            parse_gre(&h),
+            Err(WireError::BadField { field: "gre flags/version" })
+        ));
+    }
+
+    #[test]
+    fn truncated_gre() {
+        assert_eq!(parse_gre(&[0u8; 3]), Err(WireError::Truncated));
+    }
+}

@@ -1,0 +1,275 @@
+//! The APNA network header (Fig. 7) and the replay-nonce extension
+//! (§VIII-D).
+//!
+//! The base header is exactly 48 bytes:
+//!
+//! ```text
+//! offset  field         size
+//! 0       source AID     4
+//! 4       source EphID  16
+//! 20      dest   EphID  16
+//! 36      dest   AID     4
+//! 40      MAC            8
+//! ```
+//!
+//! The MAC is computed by the *source host* with CMAC-AES128 under the
+//! packet-authentication half of its host↔AS shared key (`k_HA^auth`), over
+//! the header with the MAC field zeroed, the nonce extension when present,
+//! and the payload. The source AS's border router verifies it on egress
+//! (Fig. 4); no other party holds the key.
+//!
+//! §VIII-D hardens against replay by "making every packet unique": a nonce
+//! field is added to the header. [`ReplayMode`] selects the format — all
+//! nodes in a deployment agree on one mode, so the parse is unambiguous.
+
+use crate::types::{Aid, EphIdBytes, HostAddr};
+use crate::WireError;
+
+/// Length of the base APNA header (Fig. 7).
+pub const APNA_HEADER_LEN: usize = 48;
+/// Length of the packet MAC field.
+pub const MAC_LEN: usize = 8;
+/// Length of the replay nonce extension (§VIII-D).
+pub const NONCE_LEN: usize = 8;
+
+/// Whether the deployment runs with the §VIII-D replay-protection nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayMode {
+    /// Base 48-byte header (the paper's Fig. 7 format).
+    #[default]
+    Disabled,
+    /// 56-byte header: base + 8-byte per-packet nonce.
+    NonceExtension,
+}
+
+impl ReplayMode {
+    /// Header length under this mode.
+    #[must_use]
+    pub fn header_len(self) -> usize {
+        match self {
+            ReplayMode::Disabled => APNA_HEADER_LEN,
+            ReplayMode::NonceExtension => APNA_HEADER_LEN + NONCE_LEN,
+        }
+    }
+}
+
+/// A parsed APNA header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApnaHeader {
+    /// Source endpoint (`AID:EphID`).
+    pub src: HostAddr,
+    /// Destination endpoint (`AID:EphID`).
+    pub dst: HostAddr,
+    /// Packet MAC (CMAC-AES128 under `k_HA^auth`, truncated to 8 bytes).
+    pub mac: [u8; MAC_LEN],
+    /// Per-packet replay nonce; `Some` iff the deployment runs
+    /// [`ReplayMode::NonceExtension`].
+    pub nonce: Option<u64>,
+}
+
+impl ApnaHeader {
+    /// Builds a header with a zero MAC (filled in by
+    /// [`ApnaHeader::set_mac`] after the MAC is computed over the packet).
+    #[must_use]
+    pub fn new(src: HostAddr, dst: HostAddr) -> ApnaHeader {
+        ApnaHeader {
+            src,
+            dst,
+            mac: [0u8; MAC_LEN],
+            nonce: None,
+        }
+    }
+
+    /// Returns a copy with the given replay nonce attached.
+    #[must_use]
+    pub fn with_nonce(mut self, nonce: u64) -> ApnaHeader {
+        self.nonce = Some(nonce);
+        self
+    }
+
+    /// Installs a computed MAC.
+    pub fn set_mac(&mut self, mac: [u8; MAC_LEN]) {
+        self.mac = mac;
+    }
+
+    /// The on-wire length of this header.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        if self.nonce.is_some() {
+            APNA_HEADER_LEN + NONCE_LEN
+        } else {
+            APNA_HEADER_LEN
+        }
+    }
+
+    /// Serializes the header. Output length is [`ApnaHeader::wire_len`].
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.src.aid.to_bytes());
+        out.extend_from_slice(self.src.ephid.as_bytes());
+        out.extend_from_slice(self.dst.ephid.as_bytes());
+        out.extend_from_slice(&self.dst.aid.to_bytes());
+        out.extend_from_slice(&self.mac);
+        if let Some(nonce) = self.nonce {
+            out.extend_from_slice(&nonce.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a header from the front of `buf` under the given mode;
+    /// returns the header and the remaining payload slice.
+    pub fn parse(buf: &[u8], mode: ReplayMode) -> Result<(ApnaHeader, &[u8]), WireError> {
+        let need = mode.header_len();
+        if buf.len() < need {
+            return Err(WireError::Truncated);
+        }
+        let src_aid = Aid::from_bytes(buf[0..4].try_into().unwrap());
+        let src_ephid = EphIdBytes::from_slice(&buf[4..20])?;
+        let dst_ephid = EphIdBytes::from_slice(&buf[20..36])?;
+        let dst_aid = Aid::from_bytes(buf[36..40].try_into().unwrap());
+        let mac: [u8; MAC_LEN] = buf[40..48].try_into().unwrap();
+        let nonce = match mode {
+            ReplayMode::Disabled => None,
+            ReplayMode::NonceExtension => {
+                Some(u64::from_be_bytes(buf[48..56].try_into().unwrap()))
+            }
+        };
+        Ok((
+            ApnaHeader {
+                src: HostAddr::new(src_aid, src_ephid),
+                dst: HostAddr::new(dst_aid, dst_ephid),
+                mac,
+                nonce,
+            },
+            &buf[need..],
+        ))
+    }
+
+    /// The byte string the packet MAC covers: the serialized header with the
+    /// MAC field zeroed, followed by `payload`.
+    ///
+    /// Covering the addresses pins the packet to its claimed endpoints;
+    /// covering the nonce (when present) makes replayed bytes detectable;
+    /// zeroing the MAC field breaks the circular dependency.
+    #[must_use]
+    pub fn mac_input(&self, payload: &[u8]) -> Vec<u8> {
+        let mut tmp = *self;
+        tmp.mac = [0u8; MAC_LEN];
+        let mut out = tmp.serialize();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Swaps source and destination (used when constructing replies, e.g.
+    /// ICMP — §VIII-B: the source EphID in a packet is a usable return
+    /// address).
+    #[must_use]
+    pub fn reversed(&self) -> ApnaHeader {
+        ApnaHeader {
+            src: self.dst,
+            dst: self.src,
+            mac: [0u8; MAC_LEN],
+            nonce: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ApnaHeader {
+        ApnaHeader {
+            src: HostAddr::new(Aid(0x0101), EphIdBytes([0xaa; 16])),
+            dst: HostAddr::new(Aid(0x0202), EphIdBytes([0xbb; 16])),
+            mac: [0xcc; 8],
+            nonce: None,
+        }
+    }
+
+    #[test]
+    fn base_header_is_48_bytes() {
+        // The paper's headline header size (Fig. 7).
+        assert_eq!(sample().serialize().len(), APNA_HEADER_LEN);
+        assert_eq!(sample().wire_len(), 48);
+    }
+
+    #[test]
+    fn nonce_header_is_56_bytes() {
+        let h = sample().with_nonce(42);
+        assert_eq!(h.serialize().len(), 56);
+        assert_eq!(ReplayMode::NonceExtension.header_len(), 56);
+    }
+
+    #[test]
+    fn field_offsets_match_fig7() {
+        let bytes = sample().serialize();
+        assert_eq!(&bytes[0..4], &Aid(0x0101).to_bytes()); // src AID
+        assert_eq!(&bytes[4..20], &[0xaa; 16]); // src EphID
+        assert_eq!(&bytes[20..36], &[0xbb; 16]); // dst EphID
+        assert_eq!(&bytes[36..40], &Aid(0x0202).to_bytes()); // dst AID
+        assert_eq!(&bytes[40..48], &[0xcc; 8]); // MAC
+    }
+
+    #[test]
+    fn parse_roundtrip_base() {
+        let h = sample();
+        let mut wire = h.serialize();
+        wire.extend_from_slice(b"payload!");
+        let (parsed, rest) = ApnaHeader::parse(&wire, ReplayMode::Disabled).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(rest, b"payload!");
+    }
+
+    #[test]
+    fn parse_roundtrip_nonce() {
+        let h = sample().with_nonce(0xdead_beef_cafe_f00d);
+        let mut wire = h.serialize();
+        wire.extend_from_slice(b"p");
+        let (parsed, rest) = ApnaHeader::parse(&wire, ReplayMode::NonceExtension).unwrap();
+        assert_eq!(parsed.nonce, Some(0xdead_beef_cafe_f00d));
+        assert_eq!(parsed, h);
+        assert_eq!(rest, b"p");
+    }
+
+    #[test]
+    fn parse_truncated() {
+        let wire = sample().serialize();
+        assert_eq!(
+            ApnaHeader::parse(&wire[..47], ReplayMode::Disabled),
+            Err(WireError::Truncated)
+        );
+        // A 48-byte buffer is too short once the nonce extension is on.
+        assert_eq!(
+            ApnaHeader::parse(&wire, ReplayMode::NonceExtension),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn mac_input_zeroes_mac_and_appends_payload() {
+        let h = sample();
+        let input = h.mac_input(b"xyz");
+        assert_eq!(&input[40..48], &[0u8; 8]); // MAC zeroed
+        assert_eq!(&input[48..], b"xyz");
+        // Everything else identical to the serialization.
+        assert_eq!(&input[..40], &h.serialize()[..40]);
+    }
+
+    #[test]
+    fn mac_input_covers_nonce() {
+        let h1 = sample().with_nonce(1);
+        let h2 = sample().with_nonce(2);
+        assert_ne!(h1.mac_input(b""), h2.mac_input(b""));
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let h = sample();
+        let r = h.reversed();
+        assert_eq!(r.src, h.dst);
+        assert_eq!(r.dst, h.src);
+        assert_eq!(r.mac, [0u8; 8]);
+    }
+}

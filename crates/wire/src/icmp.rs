@@ -1,0 +1,187 @@
+//! ICMP over APNA (§VIII-B).
+//!
+//! "The architecture should not sacrifice ICMP in favor of privacy" (§II-C):
+//! because the source EphID in every packet is a valid, privacy-preserving
+//! return address, any entity can send an ICMP message back to a source by
+//! addressing its EphID. ICMP messages travel as ordinary APNA packets —
+//! the sender uses one of its own EphIDs as the source and MACs the packet
+//! with its AS key, so ICMP senders stay accountable (and private) too.
+//!
+//! Note the paper's §VIII-B caveat: ICMP payloads are *not* encrypted
+//! (obtaining the certificate of the original source's EphID cheaply is an
+//! open problem the paper defers to future work). The message formats here
+//! are the classic ICMP types restricted to what the examples and simnet
+//! use.
+
+use crate::WireError;
+
+/// ICMP message types supported by the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum IcmpType {
+    /// Ping request.
+    EchoRequest = 8,
+    /// Ping reply.
+    EchoReply = 0,
+    /// The destination EphID expired / was revoked / HID unknown.
+    DestinationUnreachable = 3,
+    /// Hop budget exhausted (traceroute support).
+    TimeExceeded = 11,
+    /// MTU discovery: packet exceeded a link MTU.
+    PacketTooBig = 2,
+}
+
+impl IcmpType {
+    fn from_u8(v: u8) -> Result<IcmpType, WireError> {
+        Ok(match v {
+            8 => IcmpType::EchoRequest,
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestinationUnreachable,
+            11 => IcmpType::TimeExceeded,
+            2 => IcmpType::PacketTooBig,
+            _ => return Err(WireError::BadField { field: "icmp type" }),
+        })
+    }
+}
+
+/// Codes for [`IcmpType::DestinationUnreachable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum UnreachableCode {
+    /// The destination EphID's expiration time has passed.
+    EphIdExpired = 0,
+    /// The destination EphID was revoked (shutoff or preemptive).
+    EphIdRevoked = 1,
+    /// The HID inside the EphID is not registered (or was revoked).
+    HostUnknown = 2,
+    /// No route to the destination AID.
+    NoRouteToAs = 3,
+}
+
+/// A parsed ICMP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpMessage {
+    /// Message type.
+    pub icmp_type: IcmpType,
+    /// Type-specific code (e.g. an [`UnreachableCode`] as u8).
+    pub code: u8,
+    /// Echo identifier / sequence, or MTU for PacketTooBig, or zero.
+    pub param: u32,
+    /// Invoking-packet excerpt or echo payload.
+    pub data: Vec<u8>,
+}
+
+impl IcmpMessage {
+    /// Builds an echo request with an identifier/sequence parameter.
+    #[must_use]
+    pub fn echo_request(param: u32, data: &[u8]) -> IcmpMessage {
+        IcmpMessage {
+            icmp_type: IcmpType::EchoRequest,
+            code: 0,
+            param,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Builds the reply matching an echo request (echoes param and data).
+    #[must_use]
+    pub fn echo_reply(&self) -> IcmpMessage {
+        IcmpMessage {
+            icmp_type: IcmpType::EchoReply,
+            code: 0,
+            param: self.param,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Builds a destination-unreachable report quoting the first bytes of
+    /// the offending packet (classic ICMP quotes 8 bytes past the header;
+    /// we quote up to 64 to aid debugging in the simulator).
+    #[must_use]
+    pub fn unreachable(code: UnreachableCode, invoking_packet: &[u8]) -> IcmpMessage {
+        IcmpMessage {
+            icmp_type: IcmpType::DestinationUnreachable,
+            code: code as u8,
+            param: 0,
+            data: invoking_packet[..invoking_packet.len().min(64)].to_vec(),
+        }
+    }
+
+    /// Builds a packet-too-big report carrying the link MTU.
+    #[must_use]
+    pub fn packet_too_big(mtu: u32, invoking_packet: &[u8]) -> IcmpMessage {
+        IcmpMessage {
+            icmp_type: IcmpType::PacketTooBig,
+            code: 0,
+            param: mtu,
+            data: invoking_packet[..invoking_packet.len().min(64)].to_vec(),
+        }
+    }
+
+    /// Serializes: `type (1) ‖ code (1) ‖ param (4) ‖ data`.
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.data.len());
+        out.push(self.icmp_type as u8);
+        out.push(self.code);
+        out.extend_from_slice(&self.param.to_be_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses a serialized ICMP message.
+    pub fn parse(buf: &[u8]) -> Result<IcmpMessage, WireError> {
+        if buf.len() < 6 {
+            return Err(WireError::Truncated);
+        }
+        Ok(IcmpMessage {
+            icmp_type: IcmpType::from_u8(buf[0])?,
+            code: buf[1],
+            param: u32::from_be_bytes(buf[2..6].try_into().unwrap()),
+            data: buf[6..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let req = IcmpMessage::echo_request(0x00010002, b"ping data");
+        let parsed = IcmpMessage::parse(&req.serialize()).unwrap();
+        assert_eq!(parsed, req);
+        let reply = parsed.echo_reply();
+        assert_eq!(reply.icmp_type, IcmpType::EchoReply);
+        assert_eq!(reply.param, req.param);
+        assert_eq!(reply.data, req.data);
+    }
+
+    #[test]
+    fn unreachable_quotes_invoking_packet() {
+        let pkt = vec![7u8; 100];
+        let msg = IcmpMessage::unreachable(UnreachableCode::EphIdRevoked, &pkt);
+        assert_eq!(msg.code, UnreachableCode::EphIdRevoked as u8);
+        assert_eq!(msg.data.len(), 64); // truncated quote
+        let short = IcmpMessage::unreachable(UnreachableCode::HostUnknown, &pkt[..10]);
+        assert_eq!(short.data.len(), 10);
+    }
+
+    #[test]
+    fn packet_too_big_carries_mtu() {
+        let msg = IcmpMessage::packet_too_big(1280, &[1, 2, 3]);
+        let parsed = IcmpMessage::parse(&msg.serialize()).unwrap();
+        assert_eq!(parsed.param, 1280);
+        assert_eq!(parsed.icmp_type, IcmpType::PacketTooBig);
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_truncation() {
+        assert_eq!(
+            IcmpMessage::parse(&[99, 0, 0, 0, 0, 0]),
+            Err(WireError::BadField { field: "icmp type" })
+        );
+        assert_eq!(IcmpMessage::parse(&[8, 0, 0]), Err(WireError::Truncated));
+    }
+}

@@ -1,0 +1,200 @@
+//! Minimal IPv4 header support for the GRE deployment path (§VII-D).
+//!
+//! APNA-over-IPv4 uses ordinary IPv4 between APNA entities; we implement
+//! just what Fig. 9 needs: a 20-byte option-less header with a correct
+//! Internet checksum, protocol 47 (GRE), and the address-rewriting rules of
+//! §VII-D exercised by `apna-gateway`.
+
+use crate::WireError;
+
+/// Length of an option-less IPv4 header.
+pub const IPV4_HEADER_LEN: usize = 20;
+/// IP protocol number for GRE.
+pub const PROTO_GRE: u8 = 47;
+
+/// An IPv4 address (convenience newtype; the workspace does not use
+/// `std::net` so the simulator owns the full address semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// Builds from four octets.
+    #[must_use]
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr([a, b, c, d])
+    }
+
+    /// The unspecified address 0.0.0.0.
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr([0, 0, 0, 0]);
+}
+
+impl core::fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// A parsed option-less IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol (47 = GRE for APNA encapsulation).
+    pub protocol: u8,
+    /// Time to live.
+    pub ttl: u8,
+    /// Total length (header + payload).
+    pub total_len: u16,
+}
+
+/// RFC 1071 Internet checksum over `data`.
+#[must_use]
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl Ipv4Header {
+    /// Builds a header for a payload of `payload_len` bytes.
+    #[must_use]
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload_len: usize) -> Ipv4Header {
+        Ipv4Header {
+            src,
+            dst,
+            protocol,
+            ttl: 64,
+            total_len: (IPV4_HEADER_LEN + payload_len) as u16,
+        }
+    }
+
+    /// Serializes to 20 bytes with a valid checksum.
+    #[must_use]
+    pub fn serialize(&self) -> [u8; IPV4_HEADER_LEN] {
+        let mut h = [0u8; IPV4_HEADER_LEN];
+        h[0] = 0x45; // version 4, IHL 5
+        h[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        h[6] = 0x40; // don't fragment
+        h[8] = self.ttl;
+        h[9] = self.protocol;
+        h[12..16].copy_from_slice(&self.src.0);
+        h[16..20].copy_from_slice(&self.dst.0);
+        let csum = internet_checksum(&h);
+        h[10..12].copy_from_slice(&csum.to_be_bytes());
+        h
+    }
+
+    /// Parses and checksum-verifies a header; returns header + payload.
+    pub fn parse(buf: &[u8]) -> Result<(Ipv4Header, &[u8]), WireError> {
+        if buf.len() < IPV4_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if buf[0] != 0x45 {
+            return Err(WireError::BadField {
+                field: "ipv4 version/ihl",
+            });
+        }
+        if internet_checksum(&buf[..IPV4_HEADER_LEN]) != 0 {
+            return Err(WireError::BadChecksum);
+        }
+        let total_len = u16::from_be_bytes(buf[2..4].try_into().unwrap());
+        if (total_len as usize) > buf.len() || (total_len as usize) < IPV4_HEADER_LEN {
+            return Err(WireError::LengthMismatch);
+        }
+        let header = Ipv4Header {
+            src: Ipv4Addr(buf[12..16].try_into().unwrap()),
+            dst: Ipv4Addr(buf[16..20].try_into().unwrap()),
+            protocol: buf[9],
+            ttl: buf[8],
+            total_len,
+        };
+        Ok((header, &buf[IPV4_HEADER_LEN..total_len as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_rfc1071_example() {
+        // Classic worked example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Odd tail byte is padded with zero.
+        assert_eq!(internet_checksum(&[0xff]), !0xff00u16);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 1, 2),
+            PROTO_GRE,
+            100,
+        );
+        let mut wire = h.serialize().to_vec();
+        wire.extend_from_slice(&[0xab; 100]);
+        let (parsed, payload) = Ipv4Header::parse(&wire).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(payload.len(), 100);
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let h = Ipv4Header::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            PROTO_GRE,
+            0,
+        );
+        let mut wire = h.serialize();
+        wire[15] ^= 1; // flip a source-address bit
+        assert_eq!(
+            Ipv4Header::parse(&wire).unwrap_err(),
+            WireError::BadChecksum
+        );
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let h = Ipv4Header::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 6, 50);
+        let wire = h.serialize(); // but no payload appended
+        assert_eq!(
+            Ipv4Header::parse(&wire).unwrap_err(),
+            WireError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn rejects_options_and_truncation() {
+        assert_eq!(Ipv4Header::parse(&[0u8; 10]), Err(WireError::Truncated));
+        let mut wire = Ipv4Header::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 6, 0)
+            .serialize();
+        wire[0] = 0x46; // IHL 6 (options present) unsupported
+        assert!(matches!(
+            Ipv4Header::parse(&wire),
+            Err(WireError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Ipv4Addr::new(10, 1, 2, 3)), "10.1.2.3");
+    }
+}

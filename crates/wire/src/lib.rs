@@ -1,0 +1,57 @@
+//! # apna-wire
+//!
+//! Wire formats for the APNA reproduction (*Source Accountability with
+//! Domain-brokered Privacy*, CoNEXT 2016).
+//!
+//! * [`types`] — [`Aid`], [`EphIdBytes`], [`HostAddr`]: the identifier
+//!   vocabulary shared by every crate.
+//! * [`header`] — the 48-byte APNA network header of Fig. 7, plus the
+//!   optional 8-byte replay nonce extension of §VIII-D.
+//! * [`icmp`] — ICMP message payloads (§VIII-B: APNA keeps ICMP working).
+//! * [`ipv4`] / [`gre`] — the IPv4 + GRE encapsulation used to deploy APNA
+//!   over today's Internet (Fig. 9, §VII-D).
+//!
+//! Parsing follows the smoltcp school: plain functions over byte slices,
+//! explicit error enums, no allocation on the parse path beyond the payload
+//! split, and every format round-trip covered by unit and property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gre;
+pub mod header;
+pub mod icmp;
+pub mod ipv4;
+pub mod types;
+
+pub use header::{ApnaHeader, ReplayMode, APNA_HEADER_LEN, MAC_LEN, NONCE_LEN};
+pub use types::{Aid, EphIdBytes, HostAddr, EPHID_LEN};
+
+/// Errors produced while parsing or building wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the format requires.
+    Truncated,
+    /// A version, protocol number, or magic field had an unexpected value.
+    BadField {
+        /// Name of the offending field (static, for diagnostics).
+        field: &'static str,
+    },
+    /// An IPv4 header checksum failed to verify.
+    BadChecksum,
+    /// A length field disagrees with the actual buffer length.
+    LengthMismatch,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadField { field } => write!(f, "bad field: {field}"),
+            WireError::BadChecksum => write!(f, "bad checksum"),
+            WireError::LengthMismatch => write!(f, "length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,175 @@
+//! Identifier vocabulary: AS identifiers, EphID wire fields, host addresses.
+//!
+//! In APNA a communication endpoint is fully addressed by an `AID:EphID`
+//! tuple (§III-B): the AID locates the AS, the EphID is the opaque,
+//! AS-issued ephemeral identifier. The only information a wire observer
+//! learns from an address is the AS — the anonymity set is the AS's
+//! customer population.
+
+use crate::WireError;
+
+/// Length of an EphID on the wire (Fig. 6: 8 B ciphertext ‖ 4 B IV ‖ 4 B
+/// CBC-MAC tag).
+pub const EPHID_LEN: usize = 16;
+
+/// Length of an AS identifier (4 bytes, like today's 4-byte AS numbers).
+pub const AID_LEN: usize = 4;
+
+/// An Autonomous System identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Aid(pub u32);
+
+impl Aid {
+    /// Serializes to 4 big-endian bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; AID_LEN] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses from 4 big-endian bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; AID_LEN]) -> Aid {
+        Aid(u32::from_be_bytes(bytes))
+    }
+}
+
+impl core::fmt::Display for Aid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// An EphID as it appears on the wire: opaque 16 bytes.
+///
+/// Layout (Fig. 6): `ciphertext (8 B) ‖ IV (4 B) ‖ CBC-MAC tag (4 B)`.
+/// Only the issuing AS can decrypt the ciphertext back to `(HID, ExpTime)`;
+/// the accessors below expose the three regions for the crypto layer in
+/// `apna-core` without interpreting them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EphIdBytes(pub [u8; EPHID_LEN]);
+
+impl EphIdBytes {
+    /// The AES-CTR ciphertext of `HID ‖ ExpTime` (8 bytes).
+    #[must_use]
+    pub fn ciphertext(&self) -> [u8; 8] {
+        self.0[..8].try_into().unwrap()
+    }
+
+    /// The per-EphID CTR initialization vector (4 bytes).
+    #[must_use]
+    pub fn iv(&self) -> [u8; 4] {
+        self.0[8..12].try_into().unwrap()
+    }
+
+    /// The truncated CBC-MAC authentication tag (4 bytes).
+    #[must_use]
+    pub fn mac(&self) -> [u8; 4] {
+        self.0[12..16].try_into().unwrap()
+    }
+
+    /// Assembles an EphID from its three regions.
+    #[must_use]
+    pub fn from_parts(ciphertext: [u8; 8], iv: [u8; 4], mac: [u8; 4]) -> EphIdBytes {
+        let mut out = [0u8; EPHID_LEN];
+        out[..8].copy_from_slice(&ciphertext);
+        out[8..12].copy_from_slice(&iv);
+        out[12..16].copy_from_slice(&mac);
+        EphIdBytes(out)
+    }
+
+    /// Parses from a slice (must be exactly 16 bytes).
+    pub fn from_slice(bytes: &[u8]) -> Result<EphIdBytes, WireError> {
+        let arr: [u8; EPHID_LEN] = bytes.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(EphIdBytes(arr))
+    }
+
+    /// Raw bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; EPHID_LEN] {
+        &self.0
+    }
+}
+
+impl core::fmt::Debug for EphIdBytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // EphIDs are opaque; print a short fingerprint for logs.
+        write!(
+            f,
+            "EphID({:02x}{:02x}{:02x}{:02x}..)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl core::fmt::Display for EphIdBytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full APNA endpoint address: `AID:EphID` (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostAddr {
+    /// The AS hosting the endpoint.
+    pub aid: Aid,
+    /// The ephemeral identifier within that AS.
+    pub ephid: EphIdBytes,
+}
+
+impl HostAddr {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(aid: Aid, ephid: EphIdBytes) -> HostAddr {
+        HostAddr { aid, ephid }
+    }
+}
+
+impl core::fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.aid, self.ephid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aid_roundtrip() {
+        let aid = Aid(0xdeadbeef);
+        assert_eq!(Aid::from_bytes(aid.to_bytes()), aid);
+        assert_eq!(format!("{}", Aid(64512)), "AS64512");
+    }
+
+    #[test]
+    fn ephid_parts_roundtrip() {
+        let e = EphIdBytes::from_parts([1; 8], [2; 4], [3; 4]);
+        assert_eq!(e.ciphertext(), [1; 8]);
+        assert_eq!(e.iv(), [2; 4]);
+        assert_eq!(e.mac(), [3; 4]);
+        assert_eq!(EphIdBytes::from_slice(e.as_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn ephid_from_slice_wrong_len() {
+        assert_eq!(
+            EphIdBytes::from_slice(&[0u8; 15]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(
+            EphIdBytes::from_slice(&[0u8; 17]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = EphIdBytes([0xab; 16]);
+        assert_eq!(format!("{e}"), "ab".repeat(16));
+        let addr = HostAddr::new(Aid(7), e);
+        assert!(format!("{addr}").starts_with("AS7:abab"));
+    }
+}

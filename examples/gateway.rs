@@ -1,0 +1,122 @@
+//! Incremental deployment (§VII-D): unmodified IPv4 hosts talking across
+//! APNA through a pair of gateways, with GRE/IPv4 encapsulation (Fig. 9)
+//! and DNS-reply inspection — including the privacy variant where the
+//! server's IPv4 address is withheld from DNS and the gateway synthesizes
+//! a placeholder.
+//!
+//! Run: `cargo run --example gateway`
+
+use apna_core::granularity::Granularity;
+use apna_core::host::Host;
+use apna_crypto::ed25519::SigningKey;
+use apna_dns::DnsServer;
+use apna_gateway::{ApnaGateway, LegacyPacket};
+use apna_simnet::link::FaultProfile;
+use apna_simnet::Network;
+use apna_wire::gre;
+use apna_wire::ipv4::Ipv4Addr;
+use apna_wire::{Aid, ReplayMode};
+
+/// Carries a GRE frame across the simulated internetwork: decapsulate at
+/// the client-side router, traverse AS border routers, re-encapsulate
+/// toward the far gateway.
+fn carry(net: &mut Network, from: Aid, frame: &[u8]) -> Vec<u8> {
+    let (_ip, apna) = gre::decapsulate(frame).expect("valid GRE");
+    let id = net.send(from, apna.to_vec());
+    net.run();
+    let delivered = net.take_delivered();
+    assert!(
+        matches!(net.fate(id), Some(apna_simnet::PacketFate::Delivered { .. })),
+        "packet fate: {:?}",
+        net.fate(id)
+    );
+    gre::encapsulate(
+        Ipv4Addr::new(172, 16, 0, 1),
+        Ipv4Addr::new(172, 16, 0, 2),
+        &delivered[0].bytes,
+    )
+}
+
+fn main() {
+    let mut net = Network::new(ReplayMode::Disabled);
+    net.add_as(Aid(1), [1; 32]);
+    net.add_as(Aid(2), [2; 32]);
+    net.connect(Aid(1), Aid(2), 2_000, 10_000_000_000, FaultProfile::lossless());
+    let now = net.now().as_protocol_time();
+
+    // Gateways: one fronting the legacy client LAN (AS 1), one fronting the
+    // legacy server (AS 2).
+    let host_a = Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 31).unwrap();
+    let host_b = Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 32).unwrap();
+    let mut gw_client = ApnaGateway::new(
+        host_a,
+        Ipv4Addr::new(10, 1, 0, 1),
+        Ipv4Addr::new(10, 1, 0, 254),
+        net.directory.clone(),
+    );
+    let mut gw_server = ApnaGateway::new(
+        host_b,
+        Ipv4Addr::new(10, 2, 0, 1),
+        Ipv4Addr::new(10, 2, 0, 254),
+        net.directory.clone(),
+    );
+
+    // The server gateway listens on a receive-only EphID and publishes it
+    // WITHOUT an IPv4 address (server host privacy, §VII-D).
+    let dns = DnsServer::new(SigningKey::from_seed(&[0xDD; 32]));
+    let recv_cert = gw_server.listen(&net.node(Aid(2)).ms, now).unwrap();
+    dns.register("legacy-app.example", recv_cert, None);
+
+    // The client gateway inspects the DNS reply and synthesizes a
+    // placeholder address for the legacy client to use.
+    let record = dns.resolve("legacy-app.example").unwrap();
+    let synth_ip = gw_client
+        .learn_from_dns(&record, &dns.zone_verifying_key(), now)
+        .unwrap();
+    println!("DNS: legacy-app.example → synthesized {synth_ip} (real address withheld)");
+
+    // The unmodified IPv4 client sends a datagram to that address.
+    let client_ip = Ipv4Addr::new(192, 168, 1, 23);
+    let request = LegacyPacket::udp(client_ip, 53123, synth_ip, 7777, b"legacy hello");
+    let out = gw_client.outbound(&request, &net.node(Aid(1)).ms, now).unwrap();
+    println!(
+        "client gateway: new flow → EphID handshake with 0-RTT early data ({} GRE frame)",
+        out.frames.len()
+    );
+
+    // → across APNA → server gateway delivers the datagram to the server.
+    let f = carry(&mut net, Aid(1), &out.frames[0]);
+    let sout = gw_server.inbound(&f, &net.node(Aid(2)).ms, now).unwrap();
+    println!(
+        "server gateway: delivered {:?} to the legacy server",
+        String::from_utf8_lossy(&sout.legacy[0].payload)
+    );
+
+    // ← the accept completes the handshake at the client gateway.
+    let f2 = carry(&mut net, Aid(2), &sout.frames[0]);
+    gw_client.inbound(&f2, &net.node(Aid(1)).ms, now).unwrap();
+
+    // Server responds; the response rides the established channel back.
+    let response = LegacyPacket::udp(synth_ip, 7777, client_ip, 53123, b"legacy world");
+    let sresp = gw_server.outbound(&response, &net.node(Aid(2)).ms, now).unwrap();
+    let f3 = carry(&mut net, Aid(2), &sresp.frames[0]);
+    let cfinal = gw_client.inbound(&f3, &net.node(Aid(1)).ms, now).unwrap();
+    println!(
+        "legacy client received {:?} from {}:{}",
+        String::from_utf8_lossy(&cfinal.legacy[0].payload),
+        cfinal.legacy[0].tuple.src,
+        cfinal.legacy[0].tuple.src_port,
+    );
+
+    // A second flow (different source port) gets its own EphID (§VII-D:
+    // "a different EphID for different IPv4 flows").
+    let before = gw_client.host.ephid_count();
+    let second = LegacyPacket::udp(client_ip, 53124, synth_ip, 7777, b"second flow");
+    gw_client.outbound(&second, &net.node(Aid(1)).ms, now).unwrap();
+    println!(
+        "second flow allocated a fresh EphID ({} → {})",
+        before,
+        gw_client.host.ephid_count()
+    );
+    assert_eq!(gw_client.host.ephid_count(), before + 1);
+}

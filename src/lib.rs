@@ -1,0 +1,19 @@
+//! # apna-repro
+//!
+//! Umbrella crate for the APNA reproduction (*Source Accountability with
+//! Domain-brokered Privacy*, Lee et al., CoNEXT 2016). It re-exports the
+//! workspace crates and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! Start with `examples/quickstart.rs`, then see DESIGN.md for the system
+//! inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use apna_core as core;
+pub use apna_crypto as crypto;
+pub use apna_dns as dns;
+pub use apna_gateway as gateway;
+pub use apna_simnet as simnet;
+pub use apna_trace as trace;
+pub use apna_wire as wire;

@@ -1,0 +1,249 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: codecs must round-trip for all inputs, authenticators must
+//! reject all mutations, and stateful guards (replay windows, pools) must
+//! hold their invariants under arbitrary operation sequences.
+
+use apna_core::ephid::{self, EphIdPlain};
+use apna_core::granularity::{EphIdPool, Granularity, SlotDecision};
+use apna_core::hid::Hid;
+use apna_core::keys::AsKeys;
+use apna_core::replay::ReplayWindow;
+use apna_core::time::Timestamp;
+use apna_crypto::cmac::CmacAes128;
+use apna_crypto::AesGcm128;
+use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr, ReplayMode};
+use proptest::prelude::*;
+
+fn as_keys() -> AsKeys {
+    AsKeys::from_seed(&[7u8; 32])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ----------------------------------------------------------------
+    // EphID construction (Fig. 6)
+    // ----------------------------------------------------------------
+
+    /// ∀ (hid, exp, iv): seal→open is the identity.
+    #[test]
+    fn ephid_roundtrip(hid in any::<u32>(), exp in any::<u32>(), iv in any::<[u8; 4]>()) {
+        let keys = as_keys();
+        let plain = EphIdPlain { hid: Hid(hid), exp_time: Timestamp(exp) };
+        let sealed = ephid::seal(&keys, plain, iv);
+        prop_assert_eq!(ephid::open(&keys, &sealed).unwrap(), plain);
+        prop_assert_eq!(sealed.iv(), iv);
+    }
+
+    /// ∀ single-bit mutations: the EphID MAC rejects.
+    #[test]
+    fn ephid_any_flip_rejected(
+        hid in any::<u32>(),
+        exp in any::<u32>(),
+        iv in any::<[u8; 4]>(),
+        byte in 0usize..16,
+        bit in 0u8..8,
+    ) {
+        let keys = as_keys();
+        let sealed = ephid::seal(&keys, EphIdPlain { hid: Hid(hid), exp_time: Timestamp(exp) }, iv);
+        let mut forged = *sealed.as_bytes();
+        forged[byte] ^= 1 << bit;
+        prop_assert!(ephid::open(&keys, &EphIdBytes(forged)).is_err());
+    }
+
+    /// ∀ random 16-byte strings: negligible forgery probability (none of
+    /// the sampled values may authenticate).
+    #[test]
+    fn ephid_random_bytes_rejected(bytes in any::<[u8; 16]>()) {
+        prop_assert!(ephid::open(&as_keys(), &EphIdBytes(bytes)).is_err());
+    }
+
+    // ----------------------------------------------------------------
+    // Wire formats
+    // ----------------------------------------------------------------
+
+    /// ∀ header fields: serialize→parse is the identity, and the payload
+    /// split is exact, in both replay modes.
+    #[test]
+    fn header_roundtrip(
+        src_aid in any::<u32>(),
+        dst_aid in any::<u32>(),
+        src_eph in any::<[u8; 16]>(),
+        dst_eph in any::<[u8; 16]>(),
+        mac in any::<[u8; 8]>(),
+        nonce in proptest::option::of(any::<u64>()),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut h = ApnaHeader::new(
+            HostAddr::new(Aid(src_aid), EphIdBytes(src_eph)),
+            HostAddr::new(Aid(dst_aid), EphIdBytes(dst_eph)),
+        );
+        if let Some(n) = nonce { h = h.with_nonce(n); }
+        h.set_mac(mac);
+        let mode = if nonce.is_some() { ReplayMode::NonceExtension } else { ReplayMode::Disabled };
+        let mut wire = h.serialize();
+        wire.extend_from_slice(&payload);
+        let (parsed, rest) = ApnaHeader::parse(&wire, mode).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert_eq!(rest, &payload[..]);
+    }
+
+    /// The packet MAC covers every byte: flipping any bit of (header
+    /// without MAC field) ∪ payload changes the MAC input.
+    #[test]
+    fn mac_input_sensitivity(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        flip in 0usize..104,
+    ) {
+        let h = ApnaHeader::new(
+            HostAddr::new(Aid(1), EphIdBytes([1; 16])),
+            HostAddr::new(Aid(2), EphIdBytes([2; 16])),
+        );
+        let input = h.mac_input(&payload);
+        let idx = flip % input.len();
+        // Positions 40..48 are the zeroed MAC field — flips there are the
+        // one intentionally-excluded region.
+        prop_assume!(!(40..48).contains(&idx));
+        let cmac = CmacAes128::new(&[9; 16]);
+        let mut mutated = input.clone();
+        mutated[idx] ^= 1;
+        prop_assert_ne!(cmac.mac(&input), cmac.mac(&mutated));
+    }
+
+    // ----------------------------------------------------------------
+    // AEAD (data privacy)
+    // ----------------------------------------------------------------
+
+    /// ∀ payload/aad: GCM round-trips, and ciphertext length is
+    /// plaintext + 16.
+    #[test]
+    fn gcm_roundtrip(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        pt in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let aead = AesGcm128::new(&key);
+        let sealed = aead.seal(&nonce, &aad, &pt);
+        prop_assert_eq!(sealed.len(), pt.len() + 16);
+        prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), pt);
+    }
+
+    /// ∀ mutations of the sealed blob: authentication fails.
+    #[test]
+    fn gcm_any_mutation_rejected(
+        pt in proptest::collection::vec(any::<u8>(), 0..128),
+        pos_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let aead = AesGcm128::new(&[3; 16]);
+        let mut sealed = aead.seal(&[1; 12], b"aad", &pt);
+        let pos = pos_seed % sealed.len();
+        sealed[pos] ^= 1 << bit;
+        prop_assert!(aead.open(&[1; 12], b"aad", &sealed).is_err());
+    }
+
+    /// CMAC truncation is a prefix, and truncated verification accepts
+    /// genuine tags of every length 1..=16.
+    #[test]
+    fn cmac_truncation(msg in proptest::collection::vec(any::<u8>(), 0..256), len in 1usize..=16) {
+        let cmac = CmacAes128::new(&[5; 16]);
+        let full = cmac.mac(&msg);
+        prop_assert!(cmac.verify(&msg, &full[..len]));
+    }
+
+    // ----------------------------------------------------------------
+    // X25519 (session keys)
+    // ----------------------------------------------------------------
+
+    /// ∀ secret pairs: DH commutes (both sides derive the same secret).
+    #[test]
+    fn x25519_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        use apna_crypto::x25519::{x25519, X25519_BASEPOINT};
+        let pub_a = x25519(a, X25519_BASEPOINT);
+        let pub_b = x25519(b, X25519_BASEPOINT);
+        prop_assert_eq!(x25519(a, pub_b), x25519(b, pub_a));
+    }
+
+    // ----------------------------------------------------------------
+    // Replay window (§VIII-D)
+    // ----------------------------------------------------------------
+
+    /// ∀ sequences of nonces: no nonce is ever accepted twice.
+    #[test]
+    fn replay_window_never_double_accepts(seqs in proptest::collection::vec(0u64..500, 1..200)) {
+        let mut window = ReplayWindow::new();
+        let mut accepted = std::collections::HashSet::new();
+        for seq in seqs {
+            if window.check_and_update(seq) {
+                prop_assert!(accepted.insert(seq), "seq {} accepted twice", seq);
+            }
+        }
+    }
+
+    /// Strictly increasing sequences are always fully accepted.
+    #[test]
+    fn replay_window_accepts_monotone(start in any::<u32>(), steps in proptest::collection::vec(1u64..100, 1..50)) {
+        let mut window = ReplayWindow::new();
+        let mut seq = start as u64;
+        for step in steps {
+            prop_assert!(window.check_and_update(seq));
+            seq += step;
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Granularity pool (§VIII-A)
+    // ----------------------------------------------------------------
+
+    /// Under per-flow policy, the number of allocations equals the number
+    /// of distinct flows, for any traffic pattern.
+    #[test]
+    fn per_flow_allocations_equal_distinct_flows(flows in proptest::collection::vec(0u64..50, 1..300)) {
+        let mut pool = EphIdPool::new(Granularity::PerFlow);
+        let mut next = 0usize;
+        for &flow in &flows {
+            if let SlotDecision::NeedNew(key) = pool.slot_for(flow, 0) {
+                pool.install(key, next);
+                next += 1;
+            }
+        }
+        let distinct: std::collections::HashSet<_> = flows.iter().collect();
+        prop_assert_eq!(pool.allocations(), distinct.len() as u64);
+        prop_assert_eq!(pool.packets(), flows.len() as u64);
+    }
+
+    /// Hex codec round-trips arbitrary bytes.
+    #[test]
+    fn hex_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let enc = apna_crypto::hex::encode(&bytes);
+        prop_assert_eq!(apna_crypto::hex::decode(&enc).unwrap(), bytes);
+    }
+
+    /// Certificates round-trip through serialization for arbitrary field
+    /// values (signature validity is orthogonal — parse is structural).
+    #[test]
+    fn cert_serialization_roundtrip(
+        ephid in any::<[u8; 16]>(),
+        exp in any::<u32>(),
+        sp in any::<[u8; 32]>(),
+        dp in any::<[u8; 32]>(),
+        aid in any::<u32>(),
+        aa in any::<[u8; 16]>(),
+    ) {
+        use apna_core::cert::{CertKind, EphIdCert};
+        let keys = as_keys();
+        let cert = EphIdCert::issue(
+            &keys.signing,
+            EphIdBytes(ephid),
+            Timestamp(exp),
+            sp,
+            dp,
+            Aid(aid),
+            EphIdBytes(aa),
+            CertKind::Data,
+        );
+        let parsed = EphIdCert::parse(&cert.serialize()).unwrap();
+        prop_assert_eq!(parsed, cert);
+    }
+}
