@@ -1,11 +1,16 @@
 //! E2/E3/E7 — border-router forwarding (Fig. 8, §V-B). Measures the full
-//! egress pipeline (`process_outgoing`: EphID decrypt + 2 lookups + packet
-//! MAC verify) at each Fig. 8 packet size, and the ingress pipeline.
+//! egress pipeline (EphID decrypt + 2 lookups + packet MAC verify) at each
+//! Fig. 8 packet size on the scalar path, the *batched* path
+//! (`BorderRouter::process_batch`) at 1/8/64-packet bursts, and ingress.
+//!
+//! `CRITERION_JSON=BENCH_border_pipeline.json cargo bench -p apna-bench
+//! --bench border_pipeline` writes the committed baseline.
 
 use apna_bench::BenchWorld;
+use apna_core::border::Direction;
 use apna_core::Timestamp;
 use apna_simnet::linerate::LineRateModel;
-use apna_wire::ReplayMode;
+use apna_wire::{ApnaHeader, PacketBatch, ReplayMode};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use std::time::Duration;
 
@@ -16,16 +21,37 @@ fn bench(c: &mut Criterion) {
         .sample_size(20);
 
     let mut world = BenchWorld::new();
+
+    // Scalar egress at every Fig. 8 packet size: parse + the per-packet
+    // stage composition. This is the true scalar baseline — the raw
+    // `process_outgoing` wrapper would add a batch-of-one buffer copy
+    // and bookkeeping, which belongs to the `egress_batch1` line below.
     for size in LineRateModel::FIG8_SIZES {
         let wire = world.packet_of_size(size);
+        let br = &world.node.br;
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("egress_{size}B"), |b| {
+        g.bench_function(format!("egress_scalar_{size}B"), |b| {
             b.iter(|| {
-                black_box(world.node.br.process_outgoing(
-                    black_box(&wire),
-                    ReplayMode::Disabled,
-                    Timestamp(1),
-                ))
+                let (header, payload) =
+                    ApnaHeader::parse(black_box(&wire), ReplayMode::Disabled).unwrap();
+                black_box(br.process_outgoing_parsed(&header, payload, Timestamp(1)))
+            })
+        });
+    }
+
+    // Batched egress: 1/8/64-packet bursts at 512 B. Each iteration
+    // re-runs the whole pipeline including the per-burst parse stage
+    // (`clear_parsed`), so scalar and batched numbers are comparable.
+    // Throughput is in packets (elements), so Melem/s == Mpps.
+    for batch_size in [1usize, 8, 64] {
+        let packets = world.burst_of(batch_size, 512);
+        let mut batch = PacketBatch::from_packets(ReplayMode::Disabled, packets);
+        let br = &world.node.br;
+        g.throughput(Throughput::Elements(batch_size as u64));
+        g.bench_function(format!("egress_batch{batch_size}_512B"), |b| {
+            b.iter(|| {
+                batch.clear_parsed();
+                black_box(br.process_batch(Direction::Egress, &mut batch, Timestamp(1)))
             })
         });
     }
@@ -35,7 +61,7 @@ fn bench(c: &mut Criterion) {
     // Build an incoming packet addressed to our host's EphID.
     let inbound;
     {
-        use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr};
+        use apna_wire::{Aid, EphIdBytes, HostAddr};
         let our = world.host.owned_ephid(world.ephid_idx).ephid();
         let header = ApnaHeader::new(
             HostAddr::new(Aid(2), EphIdBytes([0x55; 16])),
@@ -46,15 +72,27 @@ fn bench(c: &mut Criterion) {
         inbound = buf;
     }
     g.throughput(Throughput::Elements(1));
-    g.bench_function("ingress_512B", |b| {
+    g.bench_function("ingress_scalar_512B", |b| {
+        let br = &world.node.br;
         b.iter(|| {
-            black_box(world.node.br.process_incoming(
-                black_box(&inbound),
-                ReplayMode::Disabled,
-                Timestamp(1),
-            ))
+            let (header, _) = ApnaHeader::parse(black_box(&inbound), ReplayMode::Disabled).unwrap();
+            black_box(br.process_incoming_parsed(&header, Timestamp(1)))
         })
     });
+
+    // Batched ingress: a 64-packet burst of deliverable packets.
+    {
+        let packets = vec![inbound.clone(); 64];
+        let mut batch = PacketBatch::from_packets(ReplayMode::Disabled, packets);
+        let br = &world.node.br;
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("ingress_batch64_512B", |b| {
+            b.iter(|| {
+                batch.clear_parsed();
+                black_box(br.process_batch(Direction::Ingress, &mut batch, Timestamp(1)))
+            })
+        });
+    }
 
     g.finish();
 }

@@ -82,21 +82,42 @@ fn bench(c: &mut Criterion) {
     let recv_idx_cert = world
         .node
         .ms
-        .issue(world.hid, rs, rd, CertKind::ReceiveOnly, ExpiryClass::Long, Timestamp(1))
+        .issue(
+            world.hid,
+            rs,
+            rd,
+            CertKind::ReceiveOnly,
+            ExpiryClass::Long,
+            Timestamp(1),
+        )
         .1;
     let serve_kp = EphIdKeyPair::from_seed([7; 32]);
     let (ss, sd) = serve_kp.public_keys();
     let serve_cert = world
         .node
         .ms
-        .issue(world.hid, ss, sd, CertKind::Data, ExpiryClass::Short, Timestamp(1))
+        .issue(
+            world.hid,
+            ss,
+            sd,
+            CertKind::Data,
+            ExpiryClass::Short,
+            Timestamp(1),
+        )
         .1;
     let client_kp = EphIdKeyPair::from_seed([8; 32]);
     let (cs, cd) = client_kp.public_keys();
     let client_cert = world
         .node
         .ms
-        .issue(world.hid, cs, cd, CertKind::Data, ExpiryClass::Short, Timestamp(1))
+        .issue(
+            world.hid,
+            cs,
+            cd,
+            CertKind::Data,
+            ExpiryClass::Short,
+            Timestamp(1),
+        )
         .1;
 
     g.bench_function("client_server_full_handshake", |b| {

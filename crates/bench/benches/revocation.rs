@@ -35,9 +35,12 @@ fn bench(c: &mut Criterion) {
     // Full AA shutoff handling: a legitimate request against a real packet.
     // Disable the 6-strike escalation so repeated iterations keep passing.
     let mut world = BenchWorld::new();
-    world.node.aa.set_policy(apna_core::shutoff::RevocationPolicy {
-        max_ephid_revocations_per_host: u32::MAX,
-    });
+    world
+        .node
+        .aa
+        .set_policy(apna_core::shutoff::RevocationPolicy {
+            max_ephid_revocations_per_host: u32::MAX,
+        });
     let dst_keys = EphIdKeyPair::from_seed([3; 32]);
     let (sp, dp) = dst_keys.public_keys();
     let (_, dst_cert) = world.node.ms.issue(

@@ -8,8 +8,8 @@
 //! paper where feasible (E1 runs the full 500,000-request batch).
 
 use apna_bench::{
-    granularity_comparison, measure_ephid_generation, measure_pipeline, reproduce_fig8,
-    BenchWorld, HW_PER_PACKET_SECS,
+    granularity_comparison, measure_ephid_generation, measure_pipeline, reproduce_fig8, BenchWorld,
+    HW_PER_PACKET_SECS,
 };
 use apna_core::granularity::Granularity;
 use apna_core::revocation::RevocationList;
@@ -88,18 +88,20 @@ fn e2_e3_fig8() {
     println!("E2/E3 — Fig. 8: border-router forwarding throughput");
     println!("----------------------------------------------------");
     let f = reproduce_fig8();
-    println!("packet  | measured   | software-BR model      | paper-HW model (Fig. 8)");
-    println!("size B  | ns/pkt     | Mpps     Gbps  limited | Mpps     Gbps  limited");
+    println!("packet  | scalar     | batch-64   | SW model Mpps    | paper-HW model (Fig. 8)");
+    println!("size B  | ns/pkt     | ns/pkt     | scalar   batched | Mpps     Gbps  limited");
     for (i, &size) in LineRateModel::FIG8_SIZES.iter().enumerate() {
         let (_, secs) = f.per_packet_secs[i];
+        let (_, batched_secs) = f.per_packet_batched_secs[i];
         let sw = f.software[i];
+        let swb = f.software_batched[i];
         let hw = f.hardware[i];
         println!(
-            "{size:7} | {:9.1}  | {:7.2} {:7.1}  {}   | {:7.2} {:7.1}  {}",
+            "{size:7} | {:9.1}  | {:9.1}  | {:7.2} {:7.2}  | {:7.2} {:7.1}  {}",
             secs * 1e9,
+            batched_secs * 1e9,
             sw.mpps,
-            sw.gbps,
-            if sw.line_limited { "line" } else { "cpu " },
+            swb.mpps,
             hw.mpps,
             hw.gbps,
             if hw.line_limited { "line" } else { "cpu " },
@@ -166,7 +168,10 @@ fn e5_handshake_latency() {
         ("host-host, 0-RTT data", HandshakeMode::HostHostZeroRtt),
         ("client-server (§VII-A)", HandshakeMode::ClientServer),
         ("client-server, 0.5 RTT", HandshakeMode::ClientServerHalfRtt),
-        ("client-server, 0-RTT early", HandshakeMode::ClientServerZeroRtt),
+        (
+            "client-server, 0-RTT early",
+            HandshakeMode::ClientServerZeroRtt,
+        ),
     ] {
         let rtts = mode.rtts_before_data();
         println!(
@@ -185,7 +190,9 @@ fn e6_header_overhead() {
         HostAddr::new(apna_wire::Aid(2), EphIdBytes([0; 16])),
     );
     let with_nonce = base.with_nonce(1);
-    println!("paper:    EphID 16 B | APNA header 48 B (AID 4 + EphID 16 + EphID 16 + AID 4 + MAC 8)");
+    println!(
+        "paper:    EphID 16 B | APNA header 48 B (AID 4 + EphID 16 + EphID 16 + AID 4 + MAC 8)"
+    );
     println!(
         "measured: EphID {} B | APNA header {} B | +replay nonce (§VIII-D) {} B",
         apna_wire::EPHID_LEN,

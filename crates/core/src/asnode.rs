@@ -8,6 +8,7 @@
 //! visible protocol behavior — what hosts and other ASes observe — is
 //! unchanged, and it is what the tests and benchmarks measure.
 
+use crate::border::BorderRouter;
 use crate::cert::{CertKind, EphIdCert};
 use crate::directory::{AsDirectory, AsPublicKeys};
 use crate::ephid::{self, EphIdPlain, IvAllocator};
@@ -17,7 +18,6 @@ use crate::keys::{AsKeys, EphIdKeyPair, HostAsKey};
 use crate::management::ManagementService;
 use crate::registry::RegistryService;
 use crate::revocation::RevocationList;
-use crate::border::BorderRouter;
 use crate::shutoff::{AccountabilityAgent, RevocationPolicy};
 use crate::time::Timestamp;
 use apna_crypto::x25519::SharedSecret;
@@ -98,12 +98,7 @@ impl AsNode {
 
     /// Deterministic construction for reproducible simulations: all key
     /// material derives from `seed`.
-    pub fn from_seed(
-        aid: Aid,
-        seed: [u8; 32],
-        directory: &AsDirectory,
-        now: Timestamp,
-    ) -> AsNode {
+    pub fn from_seed(aid: Aid, seed: [u8; 32], directory: &AsDirectory, now: Timestamp) -> AsNode {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::from_seed(seed);
         let keys = AsKeys::from_seed(&seed);
@@ -138,8 +133,8 @@ impl AsNode {
             let hid = db.generate_hid();
             let mut secret = [0u8; 32];
             rng.fill_bytes(&mut secret);
-            let kha = HostAsKey::from_dh(&SharedSecret(secret))
-                .expect("random secret is contributory");
+            let kha =
+                HostAsKey::from_dh(&SharedSecret(secret)).expect("random secret is contributory");
             db.register(hid, kha.clone(), now);
             let eid = ephid::seal(&keys, EphIdPlain { hid, exp_time: exp }, iv_alloc.next_iv());
             (hid, eid, EphIdKeyPair::generate(rng), kha)

@@ -116,8 +116,7 @@ impl EphIdCert {
         aa_ephid: EphIdBytes,
         kind: CertKind,
     ) -> EphIdCert {
-        let msg =
-            Self::signed_bytes(&ephid, exp_time, &sign_pub, &dh_pub, aid, &aa_ephid, kind);
+        let msg = Self::signed_bytes(&ephid, exp_time, &sign_pub, &dh_pub, aid, &aa_ephid, kind);
         EphIdCert {
             ephid,
             exp_time,
@@ -185,7 +184,9 @@ impl EphIdCert {
             return Err(WireError::Truncated);
         }
         if buf[..4] != MAGIC {
-            return Err(WireError::BadField { field: "cert magic" });
+            return Err(WireError::BadField {
+                field: "cert magic",
+            });
         }
         let b = &buf[4..];
         Ok(EphIdCert {
@@ -227,8 +228,10 @@ mod tests {
     #[test]
     fn verify_ok_before_expiry() {
         let (as_keys, cert) = setup();
-        cert.verify(&as_keys.verifying_key(), Timestamp(999)).unwrap();
-        cert.verify(&as_keys.verifying_key(), Timestamp(1000)).unwrap();
+        cert.verify(&as_keys.verifying_key(), Timestamp(999))
+            .unwrap();
+        cert.verify(&as_keys.verifying_key(), Timestamp(1000))
+            .unwrap();
     }
 
     #[test]
@@ -295,7 +298,9 @@ mod tests {
         assert_eq!(bytes.len(), CERT_LEN);
         let parsed = EphIdCert::parse(&bytes).unwrap();
         assert_eq!(parsed, cert);
-        parsed.verify(&as_keys.verifying_key(), Timestamp(0)).unwrap();
+        parsed
+            .verify(&as_keys.verifying_key(), Timestamp(0))
+            .unwrap();
     }
 
     #[test]
@@ -306,7 +311,9 @@ mod tests {
         bytes[0] = b'X';
         assert!(matches!(
             EphIdCert::parse(&bytes),
-            Err(WireError::BadField { field: "cert magic" })
+            Err(WireError::BadField {
+                field: "cert magic"
+            })
         ));
         let mut bytes = cert.serialize();
         bytes[108] = 99; // kind byte → offset 4 (magic) + 104

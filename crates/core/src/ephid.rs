@@ -55,7 +55,12 @@ pub struct EphIdPlain {
 /// encryption" (§V-A1). [`IvAllocator`] provides that.
 #[must_use]
 pub fn seal(keys: &AsKeys, plain: EphIdPlain, iv: [u8; 4]) -> EphIdBytes {
-    seal_with(&keys.ephid_enc_cipher(), &keys.ephid_mac_cipher(), plain, iv)
+    seal_with(
+        &keys.ephid_enc_cipher(),
+        &keys.ephid_mac_cipher(),
+        plain,
+        iv,
+    )
 }
 
 /// [`seal`] with pre-expanded ciphers — the hot path for the Management

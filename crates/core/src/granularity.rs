@@ -158,7 +158,10 @@ mod tests {
         assert_eq!(pool.slot_for(1, 1), SlotDecision::NeedNew(PoolKey::Host));
         pool.install(PoolKey::Host, 0);
         for flow in 0..100 {
-            assert_eq!(pool.slot_for(flow, (flow % 3) as u16), SlotDecision::Reuse(0));
+            assert_eq!(
+                pool.slot_for(flow, (flow % 3) as u16),
+                SlotDecision::Reuse(0)
+            );
         }
         assert_eq!(pool.allocations(), 1);
     }

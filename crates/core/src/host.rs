@@ -81,6 +81,7 @@ impl Host {
     /// Completes bootstrapping from the host side (right column of Fig. 2):
     /// verifies the signed `id_info` and the service certificates, and
     /// derives `k_HA` from the DH exchange.
+    #[allow(clippy::too_many_arguments)] // mirrors the Fig. 2 message fields
     pub fn bootstrap(
         aid: Aid,
         dh_secret: StaticSecret,
@@ -174,7 +175,8 @@ impl Host {
         let keypair = EphIdKeyPair::generate(&mut self.rng);
         let mut nonce = [0u8; 12];
         self.rng.fill_bytes(&mut nonce);
-        let req = ms_client::build_request(&self.kha, self.ctrl_ephid, &keypair, kind, class, nonce);
+        let req =
+            ms_client::build_request(&self.kha, self.ctrl_ephid, &keypair, kind, class, nonce);
         (keypair, req)
     }
 
@@ -307,10 +309,7 @@ impl Host {
     /// The *payload* replay/auth checks happen in the caller's
     /// [`SecureChannel::open`] (the host cannot verify the header MAC — only
     /// the source's AS holds that key, by design).
-    pub fn receive_packet<'p>(
-        &mut self,
-        wire: &'p [u8],
-    ) -> Result<(ApnaHeader, &'p [u8]), Error> {
+    pub fn receive_packet<'p>(&mut self, wire: &'p [u8]) -> Result<(ApnaHeader, &'p [u8]), Error> {
         let (header, payload) = ApnaHeader::parse(wire, self.replay_mode)?;
         let ours = header.dst.aid == self.aid
             && (header.dst.ephid == self.ctrl_ephid
@@ -377,9 +376,14 @@ mod tests {
     #[test]
     fn attach_and_acquire() {
         let w = world();
-        let mut host =
-            Host::attach(&w.a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 7)
-                .unwrap();
+        let mut host = Host::attach(
+            &w.a,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            7,
+        )
+        .unwrap();
         assert_eq!(host.ephid_count(), 0);
         let idx = host
             .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
@@ -395,12 +399,22 @@ mod tests {
     #[test]
     fn granularity_drives_allocation() {
         let w = world();
-        let mut per_host =
-            Host::attach(&w.a, Granularity::PerHost, ReplayMode::Disabled, Timestamp(0), 1)
-                .unwrap();
-        let mut per_flow =
-            Host::attach(&w.a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 2)
-                .unwrap();
+        let mut per_host = Host::attach(
+            &w.a,
+            Granularity::PerHost,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            1,
+        )
+        .unwrap();
+        let mut per_flow = Host::attach(
+            &w.a,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            2,
+        )
+        .unwrap();
         for flow in 0..5u64 {
             per_host.ephid_for(&w.a.ms, flow, 0, Timestamp(0)).unwrap();
             per_flow.ephid_for(&w.a.ms, flow, 0, Timestamp(0)).unwrap();
@@ -462,12 +476,22 @@ mod tests {
     #[test]
     fn receive_rejects_foreign_packets() {
         let w = world();
-        let mut alice =
-            Host::attach(&w.a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 11)
-                .unwrap();
-        let mut bob =
-            Host::attach(&w.b, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 12)
-                .unwrap();
+        let mut alice = Host::attach(
+            &w.a,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            11,
+        )
+        .unwrap();
+        let mut bob = Host::attach(
+            &w.b,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            12,
+        )
+        .unwrap();
         let ai = alice
             .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
             .unwrap();
@@ -487,10 +511,22 @@ mod tests {
     fn header_replay_window_drops_duplicates() {
         let w = world();
         let now = Timestamp(0);
-        let mut alice =
-            Host::attach(&w.a, Granularity::PerFlow, ReplayMode::NonceExtension, now, 11).unwrap();
-        let mut bob =
-            Host::attach(&w.b, Granularity::PerFlow, ReplayMode::NonceExtension, now, 12).unwrap();
+        let mut alice = Host::attach(
+            &w.a,
+            Granularity::PerFlow,
+            ReplayMode::NonceExtension,
+            now,
+            11,
+        )
+        .unwrap();
+        let mut bob = Host::attach(
+            &w.b,
+            Granularity::PerFlow,
+            ReplayMode::NonceExtension,
+            now,
+            12,
+        )
+        .unwrap();
         let ai = alice
             .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, now)
             .unwrap();
@@ -516,8 +552,7 @@ mod tests {
         let ai = alice
             .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, now)
             .unwrap();
-        let wire =
-            alice.build_raw_packet(ai, HostAddr::new(Aid(2), EphIdBytes([0x42; 16])), b"x");
+        let wire = alice.build_raw_packet(ai, HostAddr::new(Aid(2), EphIdBytes([0x42; 16])), b"x");
         assert!(w
             .a
             .br
@@ -545,13 +580,25 @@ mod tests {
         let ping = IcmpMessage::echo_request(1, b"ping!");
         let wire = alice.build_icmp(ai, bob_addr, &ping);
         // Both BRs pass it (it is a normal, accountable packet).
-        assert!(w.a.br.process_outgoing(&wire, ReplayMode::Disabled, now).is_forward());
-        assert!(w.b.br.process_incoming(&wire, ReplayMode::Disabled, now).is_forward());
+        assert!(w
+            .a
+            .br
+            .process_outgoing(&wire, ReplayMode::Disabled, now)
+            .is_forward());
+        assert!(w
+            .b
+            .br
+            .process_incoming(&wire, ReplayMode::Disabled, now)
+            .is_forward());
 
         // Bob replies to the source EphID from the request.
         let (header, payload) = bob.receive_packet(&wire).unwrap();
         let reply_wire = bob.build_icmp_reply(bi, &header, payload).unwrap();
-        assert!(w.b.br.process_outgoing(&reply_wire, ReplayMode::Disabled, now).is_forward());
+        assert!(w
+            .b
+            .br
+            .process_outgoing(&reply_wire, ReplayMode::Disabled, now)
+            .is_forward());
 
         let (reply_header, reply_payload) = alice.receive_packet(&reply_wire).unwrap();
         assert_eq!(reply_header.dst.ephid, alice.owned_ephid(ai).ephid());

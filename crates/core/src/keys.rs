@@ -197,7 +197,10 @@ impl EphIdKeyPair {
     /// Public halves in certificate order: `(sign_pub, dh_pub)`.
     #[must_use]
     pub fn public_keys(&self) -> ([u8; 32], [u8; 32]) {
-        (*self.sign.verifying_key().as_bytes(), self.dh.public_key().0)
+        (
+            *self.sign.verifying_key().as_bytes(),
+            self.dh.public_key().0,
+        )
     }
 }
 
@@ -249,8 +252,7 @@ mod tests {
         let host = StaticSecret::random_from_rng(&mut rng);
         let as_keys = AsKeys::generate(&mut rng);
         let host_side = HostAsKey::from_dh(&host.diffie_hellman(&as_keys.dh_public())).unwrap();
-        let as_side =
-            HostAsKey::from_dh(&as_keys.dh.diffie_hellman(&host.public_key())).unwrap();
+        let as_side = HostAsKey::from_dh(&as_keys.dh.diffie_hellman(&host.public_key())).unwrap();
         // Same CMAC key ⇔ same MAC on a probe message.
         let probe = b"probe";
         assert_eq!(
@@ -260,7 +262,10 @@ mod tests {
         // Same AEAD key ⇔ successful open.
         let sealed = host_side.request_aead().seal(&[0u8; 12], b"", b"req");
         assert_eq!(
-            as_side.request_aead().open(&[0u8; 12], b"", &sealed).unwrap(),
+            as_side
+                .request_aead()
+                .open(&[0u8; 12], b"", &sealed)
+                .unwrap(),
             b"req"
         );
     }

@@ -57,7 +57,11 @@ impl EphIdRequestBody {
         let kind = match buf[64] {
             0 => CertKind::Data,
             3 => CertKind::ReceiveOnly,
-            _ => return Err(WireError::BadField { field: "request kind" }),
+            _ => {
+                return Err(WireError::BadField {
+                    field: "request kind",
+                })
+            }
         };
         Ok(EphIdRequestBody {
             sign_pub: buf[..32].try_into().unwrap(),
@@ -162,10 +166,7 @@ impl ManagementService {
         let eid = ephid::seal_with(
             &self.enc,
             &self.mac,
-            EphIdPlain {
-                hid,
-                exp_time: exp,
-            },
+            EphIdPlain { hid, exp_time: exp },
             self.infra.iv_alloc.next_iv(),
         );
         let cert = EphIdCert::issue(
@@ -183,11 +184,7 @@ impl ManagementService {
 
     /// Full Fig. 3 request handling. Returns the encrypted reply, or the
     /// reason the request was (silently, on the wire) dropped.
-    pub fn handle_request(
-        &self,
-        req: &EphIdRequest,
-        now: Timestamp,
-    ) -> Result<EphIdReply, MsDrop> {
+    pub fn handle_request(&self, req: &EphIdRequest, now: Timestamp) -> Result<EphIdReply, MsDrop> {
         // (HID, T1) = D_kA(EphID_ctrl); abort on forgery.
         let plain = ephid::open_with(&self.enc, &self.mac, &req.ctrl_ephid)
             .map_err(|_| MsDrop::BadEphId)?;
@@ -345,10 +342,9 @@ mod tests {
         let node = AsNode::new(Aid(1), &mut rng, &dir, Timestamp(0));
         let host = StaticSecret::random_from_rng(&mut rng);
         let (hid, _reply) = node.rs.bootstrap(&host.public_key(), Timestamp(0)).unwrap();
-        let kha = crate::keys::HostAsKey::from_dh(
-            &host.diffie_hellman(&node.infra.keys.dh_public()),
-        )
-        .unwrap();
+        let kha =
+            crate::keys::HostAsKey::from_dh(&host.diffie_hellman(&node.infra.keys.dh_public()))
+                .unwrap();
         let ctrl = _reply.id_info.ctrl_ephid;
         Fixture {
             node,
@@ -433,10 +429,9 @@ mod tests {
         // sniffing, §VI-A) still cannot request EphIDs without k_HA.
         let f = setup();
         let kp = EphIdKeyPair::from_seed([5; 32]);
-        let wrong_kha = crate::keys::HostAsKey::from_dh(&apna_crypto::x25519::SharedSecret(
-            [0x5a; 32],
-        ))
-        .unwrap();
+        let wrong_kha =
+            crate::keys::HostAsKey::from_dh(&apna_crypto::x25519::SharedSecret([0x5a; 32]))
+                .unwrap();
         let req = client::build_request(
             &wrong_kha,
             f.ctrl,

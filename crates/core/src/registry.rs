@@ -61,7 +61,10 @@ impl SignedIdInfo {
     /// Host-side check: `verifySig(K⁺AS, id_info)` in Fig. 2.
     pub fn verify(&self, as_vk: &VerifyingKey) -> Result<(), Error> {
         as_vk
-            .verify(&Self::signed_bytes(&self.ctrl_ephid, self.exp_time), &self.sig)
+            .verify(
+                &Self::signed_bytes(&self.ctrl_ephid, self.exp_time),
+                &self.sig,
+            )
             .map_err(|_| Error::BadCertificate("id_info signature"))
     }
 }
@@ -107,10 +110,7 @@ impl RegistryService {
         let exp = now.add_secs(DEFAULT_CTRL_EPHID_LIFETIME_SECS);
         let ctrl_ephid = ephid::seal(
             &infra.keys,
-            EphIdPlain {
-                hid,
-                exp_time: exp,
-            },
+            EphIdPlain { hid, exp_time: exp },
             infra.iv_alloc.next_iv(),
         );
 
@@ -212,10 +212,8 @@ mod tests {
             .bootstrap(&host_secret.public_key(), Timestamp(100))
             .unwrap();
         let as_side = node.infra.host_db.key_of_valid(hid).unwrap();
-        let host_side = HostAsKey::from_dh(
-            &host_secret.diffie_hellman(&node.infra.keys.dh_public()),
-        )
-        .unwrap();
+        let host_side =
+            HostAsKey::from_dh(&host_secret.diffie_hellman(&node.infra.keys.dh_public())).unwrap();
         assert_eq!(
             as_side.packet_cmac().mac(b"probe"),
             host_side.packet_cmac().mac(b"probe")

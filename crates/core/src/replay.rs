@@ -11,6 +11,18 @@
 //! packet beyond 128 positions is treated as a replay, which only costs a
 //! retransmission).
 
+//!
+//! For the border-router extension (§VIII-D "in-network" filtering) the
+//! per-source windows live in a [`ShardedReplayFilter`]: N independent
+//! mutex-protected shards keyed by a prefix of the source EphID, so
+//! per-core pipelines contend only when two packets of the same burst
+//! hash to the same shard — the single-global-lock bottleneck of the
+//! first implementation is gone.
+
+use apna_wire::EphIdBytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
 /// Window size in sequence numbers.
 pub const WINDOW: u64 = 128;
 
@@ -68,6 +80,98 @@ impl ReplayWindow {
     #[must_use]
     pub fn highest(&self) -> u64 {
         self.highest
+    }
+}
+
+/// Number of lock shards in a [`ShardedReplayFilter`]. A power of two so
+/// the shard index is a mask; 16 spreads a 16-core border box with few
+/// collisions per burst.
+pub const REPLAY_SHARDS: usize = 16;
+
+/// The border router's per-source-EphID replay state, sharded N ways.
+///
+/// EphIDs are AES-CTR ciphertext (Fig. 6), so their first byte is
+/// uniformly distributed — masking it is a perfect shard hash with zero
+/// cost. The batched pipeline sorts a burst's survivors by shard and
+/// takes each shard lock once per burst instead of once per packet.
+#[derive(Debug)]
+pub struct ShardedReplayFilter {
+    shards: Vec<Mutex<HashMap<EphIdBytes, ReplayWindow>>>,
+}
+
+impl Default for ShardedReplayFilter {
+    // NOT derivable: the derive would produce zero shards, and every
+    // accessor indexes `shards[shard_of(..)]`.
+    fn default() -> ShardedReplayFilter {
+        ShardedReplayFilter::new()
+    }
+}
+
+impl ShardedReplayFilter {
+    /// Creates an empty filter with [`REPLAY_SHARDS`] shards.
+    #[must_use]
+    pub fn new() -> ShardedReplayFilter {
+        ShardedReplayFilter {
+            shards: (0..REPLAY_SHARDS).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    /// The shard an EphID's state lives in — shared with
+    /// [`crate::revocation::RevocationList`] so both structures really do
+    /// agree on one shard index per EphID.
+    #[must_use]
+    pub fn shard_of(ephid: &EphIdBytes) -> usize {
+        ephid.0[0] as usize & (REPLAY_SHARDS - 1)
+    }
+
+    /// Scalar path: checks `nonce` against the window of `ephid`,
+    /// updating state. Returns `true` to accept.
+    pub fn check_and_update(&self, ephid: &EphIdBytes, nonce: u64) -> bool {
+        let mut shard = self.shards[Self::shard_of(ephid)].lock();
+        shard.entry(*ephid).or_default().check_and_update(nonce)
+    }
+
+    /// Batch path: processes all `(index, ephid, nonce)` candidates of one
+    /// burst, taking each shard lock at most once. Calls `reject` with the
+    /// packet index of every replayed candidate, in ascending index order
+    /// per shard (windows are per-EphID and an EphID always maps to one
+    /// shard, so this is observationally identical to the scalar order).
+    pub fn check_batch(
+        &self,
+        candidates: &[(usize, EphIdBytes, u64)],
+        mut reject: impl FnMut(usize),
+    ) {
+        // Tiny bursts: the grouping bookkeeping costs more than the lock.
+        if candidates.len() == 1 {
+            let (idx, ephid, nonce) = candidates[0];
+            if !self.check_and_update(&ephid, nonce) {
+                reject(idx);
+            }
+            return;
+        }
+        let mut by_shard: [Vec<(usize, EphIdBytes, u64)>; REPLAY_SHARDS] =
+            core::array::from_fn(|_| Vec::new());
+        for &(idx, ephid, nonce) in candidates {
+            by_shard[Self::shard_of(&ephid)].push((idx, ephid, nonce));
+        }
+        for (shard_no, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[shard_no].lock();
+            for &(idx, ephid, nonce) in group {
+                if !shard.entry(ephid).or_default().check_and_update(nonce) {
+                    reject(idx);
+                }
+            }
+        }
+    }
+
+    /// Total number of source EphIDs tracked — the state cost §VIII-D
+    /// worries about.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -135,6 +239,53 @@ mod tests {
         let mut w2 = ReplayWindow::new();
         assert!(w2.check_and_update(u64::MAX));
         assert!(!w2.check_and_update(u64::MAX));
+    }
+
+    #[test]
+    fn sharded_filter_matches_scalar_windows() {
+        let filter = ShardedReplayFilter::new();
+        let a = EphIdBytes([0x00; 16]);
+        let b = EphIdBytes([0x01; 16]); // different shard
+        assert!(filter.check_and_update(&a, 5));
+        assert!(!filter.check_and_update(&a, 5));
+        assert!(filter.check_and_update(&b, 5)); // independent window
+        assert_eq!(filter.entries(), 2);
+    }
+
+    #[test]
+    fn sharded_batch_rejects_same_as_scalar() {
+        // Run the same candidate stream through a batch call and a scalar
+        // filter; the rejected index sets must agree.
+        let batch_filter = ShardedReplayFilter::new();
+        let scalar_filter = ShardedReplayFilter::new();
+        let mut candidates = Vec::new();
+        for i in 0..64usize {
+            let mut id = [0u8; 16];
+            id[0] = (i % 5) as u8; // a few EphIDs across shards
+            candidates.push((i, EphIdBytes(id), (i % 7) as u64));
+        }
+        let mut batch_rejected = Vec::new();
+        batch_filter.check_batch(&candidates, |i| batch_rejected.push(i));
+        let mut scalar_rejected = Vec::new();
+        for &(i, ephid, nonce) in &candidates {
+            if !scalar_filter.check_and_update(&ephid, nonce) {
+                scalar_rejected.push(i);
+            }
+        }
+        batch_rejected.sort_unstable();
+        scalar_rejected.sort_unstable();
+        assert_eq!(batch_rejected, scalar_rejected);
+        assert_eq!(batch_filter.entries(), scalar_filter.entries());
+    }
+
+    #[test]
+    fn shard_of_uses_first_byte() {
+        let e = EphIdBytes([0x13; 16]);
+        assert_eq!(
+            ShardedReplayFilter::shard_of(&e),
+            0x13 & (REPLAY_SHARDS - 1)
+        );
+        assert!(REPLAY_SHARDS.is_power_of_two());
     }
 
     #[test]

@@ -11,16 +11,35 @@
 //!    (policy implemented in [`crate::asnode`] via
 //!    [`crate::hostinfo::HostDb::note_ephid_revocation`]).
 
+use crate::replay::{ShardedReplayFilter, REPLAY_SHARDS};
 use crate::time::Timestamp;
 use apna_wire::EphIdBytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
+/// Number of lock shards in a [`RevocationList`] — the same constant and
+/// shard function ([`ShardedReplayFilter::shard_of`]) as the replay
+/// filter, so one shard index serves both structures in the batched
+/// pipeline and the two can never diverge.
+pub const REVOCATION_SHARDS: usize = REPLAY_SHARDS;
+
 /// A shared revocation list. Entries remember the EphID's expiry so that
 /// [`RevocationList::purge_expired`] can garbage-collect them.
-#[derive(Default)]
+///
+/// Internally sharded N ways by the first EphID byte (uniform: it is
+/// AES-CTR ciphertext, Fig. 6). The border router consults this list for
+/// every packet, so the membership test must never serialize behind one
+/// global lock; shutoff-driven writes touch a single shard.
 pub struct RevocationList {
-    entries: RwLock<HashMap<EphIdBytes, Timestamp>>,
+    shards: Vec<RwLock<HashMap<EphIdBytes, Timestamp>>>,
+}
+
+impl Default for RevocationList {
+    fn default() -> RevocationList {
+        RevocationList {
+            shards: (0..REVOCATION_SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
 }
 
 impl RevocationList {
@@ -30,38 +49,46 @@ impl RevocationList {
         RevocationList::default()
     }
 
+    fn shard(&self, ephid: &EphIdBytes) -> &RwLock<HashMap<EphIdBytes, Timestamp>> {
+        &self.shards[ShardedReplayFilter::shard_of(ephid)]
+    }
+
     /// Inserts an EphID (`revoked_ids.insert(EphID_s)` in Fig. 5),
     /// remembering its expiry for later purging.
     pub fn insert(&self, ephid: EphIdBytes, exp_time: Timestamp) {
-        self.entries.write().insert(ephid, exp_time);
+        self.shard(&ephid).write().insert(ephid, exp_time);
     }
 
     /// The Fig. 4 membership test.
     #[must_use]
     pub fn contains(&self, ephid: &EphIdBytes) -> bool {
-        self.entries.read().contains_key(ephid)
+        self.shard(ephid).read().contains_key(ephid)
     }
 
     /// Drops entries whose EphID has expired (§VIII-G2 valve 1). Returns
     /// how many entries were removed.
     pub fn purge_expired(&self, now: Timestamp) -> usize {
-        let mut guard = self.entries.write();
-        let before = guard.len();
-        guard.retain(|_, exp| !exp.expired_at(now));
-        before - guard.len()
+        let mut purged = 0;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            let before = guard.len();
+            guard.retain(|_, exp| !exp.expired_at(now));
+            purged += before - guard.len();
+        }
+        purged
     }
 
     /// Current list size (border-router memory pressure metric for the E8
     /// ablation).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// `true` if no EphIDs are revoked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 }
 
@@ -113,6 +140,21 @@ mod tests {
         list.insert(eid(1), Timestamp(1000));
         assert_eq!(list.purge_expired(Timestamp(500)), 0);
         assert!(list.contains(&eid(1)));
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let list = RevocationList::new();
+        for tag in 0..32u8 {
+            list.insert(eid(tag), Timestamp(100));
+        }
+        assert_eq!(list.len(), 32);
+        // First-byte sharding: tags 0..32 cover every shard twice.
+        for tag in 0..32u8 {
+            assert!(list.contains(&eid(tag)));
+        }
+        assert_eq!(list.purge_expired(Timestamp(101)), 32);
+        assert!(list.is_empty());
     }
 
     #[test]

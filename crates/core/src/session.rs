@@ -375,7 +375,9 @@ mod tests {
                 .unwrap(),
             Timestamp(0),
         );
-        let (_, cert) = node.ms.issue(hid, sp, dp, kind, ExpiryClass::Short, Timestamp(0));
+        let (_, cert) = node
+            .ms
+            .issue(hid, sp, dp, kind, ExpiryClass::Short, Timestamp(0));
         (kp, cert)
     }
 
@@ -614,8 +616,15 @@ mod tests {
         let (_kp, data_cert) = issue(&w.b, 10, CertKind::Data);
         let (client_kp, client_cert) = issue(&w.a, 12, CertKind::Data);
         assert_eq!(
-            client_connect(&client_kp, &client_cert, &data_cert, &w.dir, Timestamp(1), None)
-                .unwrap_err(),
+            client_connect(
+                &client_kp,
+                &client_cert,
+                &data_cert,
+                &w.dir,
+                Timestamp(1),
+                None
+            )
+            .unwrap_err(),
             Error::Session("server cert is not receive-only")
         );
     }

@@ -310,20 +310,36 @@ mod tests {
         let b = AsNode::new(Aid(2), &mut rng, &dir, Timestamp(0));
 
         let src_secret = StaticSecret::random_from_rng(&mut rng);
-        let (src_hid, _) = a.rs.bootstrap(&src_secret.public_key(), Timestamp(0)).unwrap();
+        let (src_hid, _) =
+            a.rs.bootstrap(&src_secret.public_key(), Timestamp(0))
+                .unwrap();
         let src_kha =
             HostAsKey::from_dh(&src_secret.diffie_hellman(&a.infra.keys.dh_public())).unwrap();
         let src_kp = EphIdKeyPair::from_seed([1; 32]);
         let (sp, dp) = src_kp.public_keys();
-        let (src_ephid, _) =
-            a.ms.issue(src_hid, sp, dp, CertKind::Data, ExpiryClass::Short, Timestamp(0));
+        let (src_ephid, _) = a.ms.issue(
+            src_hid,
+            sp,
+            dp,
+            CertKind::Data,
+            ExpiryClass::Short,
+            Timestamp(0),
+        );
 
         let dst_secret = StaticSecret::random_from_rng(&mut rng);
-        let (dst_hid, _) = b.rs.bootstrap(&dst_secret.public_key(), Timestamp(0)).unwrap();
+        let (dst_hid, _) =
+            b.rs.bootstrap(&dst_secret.public_key(), Timestamp(0))
+                .unwrap();
         let dst_keys = EphIdKeyPair::from_seed([2; 32]);
         let (sp, dp) = dst_keys.public_keys();
-        let (_, dst_cert) =
-            b.ms.issue(dst_hid, sp, dp, CertKind::Data, ExpiryClass::Short, Timestamp(0));
+        let (_, dst_cert) = b.ms.issue(
+            dst_hid,
+            sp,
+            dp,
+            CertKind::Data,
+            ExpiryClass::Short,
+            Timestamp(0),
+        );
 
         World {
             a,
@@ -358,14 +374,16 @@ mod tests {
         let w = setup();
         let pkt = unwanted_packet(&w);
         let req = ShutoffRequest::create(&pkt, &w.dst_keys, w.dst_cert.clone());
-        let outcome = w.a.aa.handle(&req, ReplayMode::Disabled, Timestamp(5)).unwrap();
+        let outcome =
+            w.a.aa
+                .handle(&req, ReplayMode::Disabled, Timestamp(5))
+                .unwrap();
         assert!(!outcome.hid_revoked);
         assert!(w.a.infra.revoked.contains(&w.src_ephid));
         // BR now drops the sender's traffic (fate-sharing per EphID).
-        let verdict = w
-            .a
-            .br
-            .process_outgoing(&pkt, ReplayMode::Disabled, Timestamp(6));
+        let verdict =
+            w.a.br
+                .process_outgoing(&pkt, ReplayMode::Disabled, Timestamp(6));
         assert_eq!(
             verdict,
             crate::border::Verdict::Drop(crate::border::DropReason::Revoked)
@@ -377,7 +395,10 @@ mod tests {
         let w = setup();
         let pkt = unwanted_packet(&w);
         let req = ShutoffRequest::create(&pkt, &w.dst_keys, w.dst_cert.clone());
-        let outcome = w.a.aa.handle(&req, ReplayMode::Disabled, Timestamp(5)).unwrap();
+        let outcome =
+            w.a.aa
+                .handle(&req, ReplayMode::Disabled, Timestamp(5))
+                .unwrap();
         assert!(outcome.order.verify(&w.a.infra.keys));
         // Another AS's keys must reject the order.
         assert!(!outcome.order.verify(&w.b.infra.keys));
@@ -502,7 +523,10 @@ mod tests {
             let mut pkt = header.serialize();
             pkt.extend_from_slice(payload);
             let req = ShutoffRequest::create(&pkt, &w.dst_keys, w.dst_cert.clone());
-            let outcome = w.a.aa.handle(&req, ReplayMode::Disabled, Timestamp(5)).unwrap();
+            let outcome =
+                w.a.aa
+                    .handle(&req, ReplayMode::Disabled, Timestamp(5))
+                    .unwrap();
             assert_eq!(outcome.hid_revoked, i == 5, "strike {}", i + 1);
         }
         assert!(!w.a.infra.host_db.is_valid(w.src_hid));
@@ -527,7 +551,11 @@ mod tests {
         // A non-owner cannot preemptively revoke.
         let mallory = EphIdKeyPair::from_seed([7; 32]);
         let sig2 = mallory.sign.sign(eid.as_bytes());
-        assert!(w.a.aa.preemptive_revoke(&cert, &sig2, Timestamp(1)).is_err());
+        assert!(w
+            .a
+            .aa
+            .preemptive_revoke(&cert, &sig2, Timestamp(1))
+            .is_err());
     }
 
     #[test]

@@ -44,8 +44,14 @@ mod tests {
     #[test]
     fn rejects_partial_blocks() {
         let cipher = Aes128::new(&[0u8; 16]);
-        assert_eq!(cbc_mac(&cipher, &[0u8; 15]), Err(CryptoError::InvalidLength));
-        assert_eq!(cbc_mac(&cipher, &[0u8; 17]), Err(CryptoError::InvalidLength));
+        assert_eq!(
+            cbc_mac(&cipher, &[0u8; 15]),
+            Err(CryptoError::InvalidLength)
+        );
+        assert_eq!(
+            cbc_mac(&cipher, &[0u8; 17]),
+            Err(CryptoError::InvalidLength)
+        );
         assert_eq!(cbc_mac(&cipher, &[]), Err(CryptoError::InvalidLength));
     }
 

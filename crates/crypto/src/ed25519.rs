@@ -306,8 +306,7 @@ impl VerifyingKey {
     /// Parses and validates an encoded public key (must decompress onto the
     /// curve).
     pub fn from_bytes(bytes: &[u8]) -> Result<VerifyingKey, CryptoError> {
-        let arr: [u8; PUBLIC_KEY_LEN] =
-            bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
+        let arr: [u8; PUBLIC_KEY_LEN] = bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
         EdwardsPoint::decompress(&arr).ok_or(CryptoError::InvalidEncoding)?;
         Ok(VerifyingKey(arr))
     }
@@ -461,9 +460,9 @@ mod tests {
         let mut bytes = sig.to_bytes();
         // s += L  (little-endian add; valid s is < L < 2^253 so no overflow)
         const L_BYTES: [u8; 32] = [
-            0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde,
-            0xf9, 0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-            0x00, 0x00, 0x00, 0x00, 0x00, 0x10,
+            0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9,
+            0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00, 0x00, 0x10,
         ];
         let mut carry = 0u16;
         for i in 0..32 {
@@ -517,9 +516,9 @@ mod tests {
     fn basepoint_has_order_l() {
         // [L]B must be the identity: compress(identity).y == 1.
         const L_BYTES: [u8; 32] = [
-            0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde,
-            0xf9, 0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-            0x00, 0x00, 0x00, 0x00, 0x00, 0x10,
+            0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9,
+            0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00, 0x00, 0x10,
         ];
         let lb = constants().basepoint.mul_scalar(&L_BYTES);
         let mut identity_enc = [0u8; 32];

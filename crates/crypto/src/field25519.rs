@@ -107,8 +107,14 @@ impl FieldElement {
     pub(crate) fn add(&self, rhs: &FieldElement) -> FieldElement {
         let a = &self.0;
         let b = &rhs.0;
-        FieldElement([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]])
-            .reduce_weak()
+        FieldElement([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+        ])
+        .reduce_weak()
     }
 
     pub(crate) fn sub(&self, rhs: &FieldElement) -> FieldElement {
@@ -158,13 +164,13 @@ impl FieldElement {
     /// Carries a wide-limb intermediate back to 51-bit limbs.
     fn carry_wide(mut c: [u128; 5]) -> FieldElement {
         let mut out = [0u64; 5];
-        c[1] += (c[0] >> 51) as u128;
+        c[1] += c[0] >> 51;
         out[0] = (c[0] as u64) & LOW_51;
-        c[2] += (c[1] >> 51) as u128;
+        c[2] += c[1] >> 51;
         out[1] = (c[1] as u64) & LOW_51;
-        c[3] += (c[2] >> 51) as u128;
+        c[3] += c[2] >> 51;
         out[2] = (c[2] as u64) & LOW_51;
-        c[4] += (c[3] >> 51) as u128;
+        c[4] += c[3] >> 51;
         out[3] = (c[3] as u64) & LOW_51;
         let carry = (c[4] >> 51) as u64;
         out[4] = (c[4] as u64) & LOW_51;
@@ -232,8 +238,8 @@ impl FieldElement {
     /// Constant-time select: `a` if `choice == 1`, else `b`.
     pub(crate) fn select(choice: u64, a: &FieldElement, b: &FieldElement) -> FieldElement {
         let mut out = [0u64; 5];
-        for i in 0..5 {
-            out[i] = ct_select_u64(choice, a.0[i], b.0[i]);
+        for (o, (&x, &y)) in out.iter_mut().zip(a.0.iter().zip(b.0.iter())) {
+            *o = ct_select_u64(choice, x, y);
         }
         FieldElement(out)
     }

@@ -129,7 +129,11 @@ impl DnsRecord {
                 off += 5;
                 Some(a)
             }
-            _ => return Err(WireError::BadField { field: "dns ipv4 flag" }),
+            _ => {
+                return Err(WireError::BadField {
+                    field: "dns ipv4 flag",
+                })
+            }
         };
         if buf.len() < off + SIGNATURE_LEN {
             return Err(WireError::Truncated);

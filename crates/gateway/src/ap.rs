@@ -130,6 +130,7 @@ impl AccessPoint {
     /// The AP's MS role: requests an EphID from the AS MS on behalf of
     /// `client`, using the client-supplied public keys, and records the
     /// issued EphID in `EphID_info`.
+    #[allow(clippy::too_many_arguments)] // mirrors the Fig. 3 issuance inputs
     pub fn request_ephid_for_client(
         &mut self,
         client: ClientId,
@@ -244,8 +245,14 @@ mod tests {
     fn setup() -> Fixture {
         let dir = AsDirectory::new();
         let node = AsNode::from_seed(Aid(5), [5; 32], &dir, Timestamp(0));
-        let host = Host::attach(&node, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 50)
-            .unwrap();
+        let host = Host::attach(
+            &node,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            50,
+        )
+        .unwrap();
         Fixture {
             node,
             ap: AccessPoint::new(host, 51),
@@ -256,9 +263,8 @@ mod tests {
         let client = f.ap.register_client(seed).unwrap();
         let kp = EphIdKeyPair::from_seed([seed as u8; 32]);
         let (sp, dp) = kp.public_keys();
-        let cert = f
-            .ap
-            .request_ephid_for_client(
+        let cert =
+            f.ap.request_ephid_for_client(
                 client.id,
                 sp,
                 dp,

@@ -93,7 +93,11 @@ pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
                     }
                     Some(rest[5..5 + len].to_vec())
                 }
-                _ => return Err(WireError::BadField { field: "early flag" }),
+                _ => {
+                    return Err(WireError::BadField {
+                        field: "early flag",
+                    })
+                }
             };
             Ok(Frame::Hello(ClientHello {
                 client_cert,

@@ -237,9 +237,9 @@ impl ApnaGateway {
                     .ok_or(Error::Session("hello received but not listening"))?;
                 let recv = self.host.owned_ephid(recv_idx).clone();
                 // Fresh serving EphID per client (§VII-A).
-                let serve_idx = self
-                    .host
-                    .acquire_ephid(ms, CertKind::Data, ExpiryClass::Short, now)?;
+                let serve_idx =
+                    self.host
+                        .acquire_ephid(ms, CertKind::Data, ExpiryClass::Short, now)?;
                 let serving = self.host.owned_ephid(serve_idx).clone();
                 let (channel, early, accept) = server_accept_with_recv_ephid(
                     &recv.keys,
@@ -276,8 +276,7 @@ impl ApnaGateway {
                     .iter()
                     .find_map(|(k, v)| match v {
                         FlowState::AwaitingAccept { local_idx, .. }
-                            if self.host.owned_ephid(*local_idx).ephid()
-                                == header.dst.ephid =>
+                            if self.host.owned_ephid(*local_idx).ephid() == header.dst.ephid =>
                         {
                             Some(*k)
                         }
@@ -295,15 +294,12 @@ impl ApnaGateway {
                 let (mut channel, _first_response) =
                     client_finish(&pending, &accept, &self.directory, now)?;
                 let peer = HostAddr::new(accept.serving_cert.aid, accept.serving_cert.ephid);
-                self.reverse.insert(
-                    (peer.ephid, self.host.owned_ephid(local_idx).ephid()),
-                    key,
-                );
+                self.reverse
+                    .insert((peer.ephid, self.host.owned_ephid(local_idx).ephid()), key);
                 // Flush anything queued behind the handshake.
                 for pkt in queued {
                     let sealed = channel.seal(b"apna-gw", &pkt.serialize());
-                    let frame =
-                        self.encapsulate(local_idx, peer, &handshake::encode_data(&sealed));
+                    let frame = self.encapsulate(local_idx, peer, &handshake::encode_data(&sealed));
                     out.frames.push(frame);
                 }
                 self.flows.insert(
@@ -320,8 +316,7 @@ impl ApnaGateway {
                     .reverse
                     .get(&(header.src.ephid, header.dst.ephid))
                     .ok_or(Error::Session("data for unknown flow"))?;
-                let Some(FlowState::Established { channel, .. }) = self.flows.get_mut(&key)
-                else {
+                let Some(FlowState::Established { channel, .. }) = self.flows.get_mut(&key) else {
                     return Err(Error::Session("flow not established"));
                 };
                 let inner = channel.open(b"apna-gw", &sealed)?;
@@ -343,8 +338,8 @@ mod tests {
     use super::*;
     use apna_core::asnode::AsNode;
     use apna_core::granularity::Granularity;
-    use apna_dns::DnsServer;
     use apna_crypto::ed25519::SigningKey;
+    use apna_dns::DnsServer;
     use apna_wire::{Aid, ReplayMode};
 
     /// Client gateway in AS 1, server gateway in AS 2, DNS, one legacy
@@ -363,12 +358,22 @@ mod tests {
         let dir = AsDirectory::new();
         let a = AsNode::from_seed(Aid(1), [1; 32], &dir, Timestamp(0));
         let b = AsNode::from_seed(Aid(2), [2; 32], &dir, Timestamp(0));
-        let host_a =
-            Host::attach(&a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 100)
-                .unwrap();
-        let host_b =
-            Host::attach(&b, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 101)
-                .unwrap();
+        let host_a = Host::attach(
+            &a,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            100,
+        )
+        .unwrap();
+        let host_b = Host::attach(
+            &b,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            101,
+        )
+        .unwrap();
         let mut gw_client = ApnaGateway::new(
             host_a,
             Ipv4Addr::new(10, 1, 0, 1),
@@ -406,9 +411,13 @@ mod tests {
     /// destination ingress), panicking if either drops it.
     fn relay(_w: &World, frame: &[u8], from: &AsNode, to: &AsNode) -> Vec<u8> {
         let (_ip, apna) = gre::decapsulate(frame).unwrap();
-        let v1 = from.br.process_outgoing(apna, ReplayMode::Disabled, Timestamp(1));
+        let v1 = from
+            .br
+            .process_outgoing(apna, ReplayMode::Disabled, Timestamp(1));
         assert!(v1.is_forward(), "egress dropped: {v1:?}");
-        let v2 = to.br.process_incoming(apna, ReplayMode::Disabled, Timestamp(1));
+        let v2 = to
+            .br
+            .process_incoming(apna, ReplayMode::Disabled, Timestamp(1));
         assert!(v2.is_forward(), "ingress dropped: {v2:?}");
         // Re-encapsulate toward the far gateway.
         gre::encapsulate(Ipv4Addr::new(9, 9, 9, 9), Ipv4Addr::new(8, 8, 8, 8), apna)
@@ -420,9 +429,11 @@ mod tests {
         let client_ip = Ipv4Addr::new(192, 168, 1, 10);
 
         // Legacy client sends a datagram to the server's published IP.
-        let request =
-            LegacyPacket::udp(client_ip, 40000, w.server_name_ip, 80, b"GET /index");
-        let out = w.gw_client.outbound(&request, &w.a.ms, Timestamp(1)).unwrap();
+        let request = LegacyPacket::udp(client_ip, 40000, w.server_name_ip, 80, b"GET /index");
+        let out = w
+            .gw_client
+            .outbound(&request, &w.a.ms, Timestamp(1))
+            .unwrap();
         assert_eq!(out.frames.len(), 1);
 
         // → server gateway.
@@ -484,8 +495,18 @@ mod tests {
 
         let o1 = w.gw_client.outbound(&p1, &w.a.ms, Timestamp(1)).unwrap();
         // p2/p3 arrive while the handshake is in flight: queued.
-        assert!(w.gw_client.outbound(&p2, &w.a.ms, Timestamp(1)).unwrap().frames.is_empty());
-        assert!(w.gw_client.outbound(&p3, &w.a.ms, Timestamp(1)).unwrap().frames.is_empty());
+        assert!(w
+            .gw_client
+            .outbound(&p2, &w.a.ms, Timestamp(1))
+            .unwrap()
+            .frames
+            .is_empty());
+        assert!(w
+            .gw_client
+            .outbound(&p3, &w.a.ms, Timestamp(1))
+            .unwrap()
+            .frames
+            .is_empty());
 
         let f = relay(&w, &o1.frames[0], &w.a, &w.b);
         let sout = w.gw_server.inbound(&f, &w.b.ms, Timestamp(1)).unwrap();

@@ -61,7 +61,10 @@ mod tests {
         assert_eq!(SimTime::from_micros(1500).add_micros(500).micros(), 2000);
         assert_eq!(SimTime::from_secs(7).as_protocol_time(), Timestamp(7));
         // Sub-second times floor.
-        assert_eq!(SimTime::from_micros(999_999).as_protocol_time(), Timestamp(0));
+        assert_eq!(
+            SimTime::from_micros(999_999).as_protocol_time(),
+            Timestamp(0)
+        );
     }
 
     #[test]

@@ -81,6 +81,15 @@ impl LineRateModel {
         }
     }
 
+    /// Amortizes a per-burst cost over its packets — how the E2/E3
+    /// reproduction converts the `border_pipeline` bench's batch numbers
+    /// into the per-packet seconds [`LineRateModel::paper_testbed`] takes.
+    #[must_use]
+    pub fn per_packet_from_batch(batch_secs: f64, batch_size: usize) -> f64 {
+        assert!(batch_size > 0, "empty batch has no per-packet cost");
+        batch_secs / batch_size as f64
+    }
+
     /// The five packet sizes of Fig. 8.
     pub const FIG8_SIZES: [usize; 5] = [128, 256, 512, 1024, 1518];
 
@@ -131,7 +140,11 @@ mod tests {
         // at every size.
         let m = LineRateModel::paper_testbed(HW_PER_PKT);
         for p in m.fig8_series() {
-            assert!(p.line_limited, "size {} must be line-limited", p.packet_size);
+            assert!(
+                p.line_limited,
+                "size {} must be line-limited",
+                p.packet_size
+            );
         }
     }
 
@@ -152,9 +165,24 @@ mod tests {
         let p = m.throughput(128);
         assert!(!p.line_limited);
         assert!((p.mpps - 8.0).abs() < 0.1); // 16 cores / 2 µs
-        // Large packets may still saturate the line.
+                                             // Large packets may still saturate the line.
         let p_big = m.throughput(1518);
         assert!(p_big.gbps <= 120.0);
+    }
+
+    #[test]
+    fn batched_measurement_amortizes_per_packet_cost() {
+        // A 64-packet burst measured at 64 × 500 ns has the same model as
+        // a scalar 500 ns measurement...
+        let scalar = LineRateModel::paper_testbed(500e-9);
+        let batched =
+            LineRateModel::paper_testbed(LineRateModel::per_packet_from_batch(64.0 * 500e-9, 64));
+        assert!((scalar.cpu_rate_pps() - batched.cpu_rate_pps()).abs() < 1.0);
+        // ...and a burst that amortizes fixed costs (64 packets in the
+        // time 32 scalar packets would take) doubles the CPU budget.
+        let faster =
+            LineRateModel::paper_testbed(LineRateModel::per_packet_from_batch(32.0 * 500e-9, 64));
+        assert!((faster.cpu_rate_pps() / scalar.cpu_rate_pps() - 2.0).abs() < 1e-6);
     }
 
     #[test]

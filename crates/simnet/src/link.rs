@@ -120,8 +120,8 @@ impl Link {
             && self.rng.gen_bool(self.faults.corrupt_chance)
         {
             let idx = self.rng.gen_range(0..bytes.len());
-            let bit = self.rng.gen_range(0..8);
-            bytes[idx] ^= 1 << bit;
+            let bit = self.rng.gen_range(0u8..8);
+            bytes[idx] ^= 1u8 << bit;
             corrupted = true;
             self.corrupted += 1;
         }

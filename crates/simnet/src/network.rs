@@ -15,10 +15,10 @@
 use crate::clock::SimTime;
 use crate::link::{Link, LinkOutcome};
 use crate::topology::Topology;
-use apna_core::border::{DropReason, Verdict};
+use apna_core::border::{Direction, DropCounters, DropReason, Verdict};
 use apna_core::directory::AsDirectory;
 use apna_core::{AsNode, Hid};
-use apna_wire::{Aid, ReplayMode};
+use apna_wire::{Aid, PacketBatch, ReplayMode};
 use std::collections::{BinaryHeap, HashMap};
 
 /// What finally happened to an injected packet.
@@ -91,12 +91,21 @@ pub struct NetStats {
     pub injected: u64,
     /// Packets delivered to host inboxes.
     pub delivered: u64,
-    /// Egress drops by reason-free count (see fates for detail).
+    /// Egress drops (total; see `egress_drop_reasons` for the breakdown).
     pub egress_dropped: u64,
-    /// Ingress drops.
+    /// Ingress drops (total; see `ingress_drop_reasons` for the breakdown).
     pub ingress_dropped: u64,
     /// Link losses.
     pub link_lost: u64,
+    /// Per-[`DropReason`] breakdown of egress drops.
+    pub egress_drop_reasons: DropCounters,
+    /// Per-[`DropReason`] breakdown of ingress drops.
+    pub ingress_drop_reasons: DropCounters,
+    /// Ingress bursts processed (simultaneous arrivals at one border
+    /// router form one batch).
+    pub ingress_batches: u64,
+    /// Largest ingress burst seen.
+    pub max_ingress_batch: u64,
 }
 
 /// Internal event: a packet arrives at an AS border router.
@@ -203,14 +212,25 @@ impl Network {
 
     /// Connects two ASes with symmetric `link_template` parameters; each
     /// direction gets an independently seeded fault stream.
-    pub fn connect(&mut self, a: Aid, b: Aid, latency_us: u64, bandwidth_bps: u64, faults: crate::link::FaultProfile) {
+    pub fn connect(
+        &mut self,
+        a: Aid,
+        b: Aid,
+        latency_us: u64,
+        bandwidth_bps: u64,
+        faults: crate::link::FaultProfile,
+    ) {
         self.topology.connect(a, b);
         let seed_ab = u64::from(a.0) << 32 | u64::from(b.0);
         let seed_ba = u64::from(b.0) << 32 | u64::from(a.0);
-        self.links
-            .insert((a, b), Link::new(latency_us, bandwidth_bps, faults, seed_ab));
-        self.links
-            .insert((b, a), Link::new(latency_us, bandwidth_bps, faults, seed_ba));
+        self.links.insert(
+            (a, b),
+            Link::new(latency_us, bandwidth_bps, faults, seed_ab),
+        );
+        self.links.insert(
+            (b, a),
+            Link::new(latency_us, bandwidth_bps, faults, seed_ba),
+        );
     }
 
     /// Immutable access to an AS.
@@ -235,34 +255,58 @@ impl Network {
     /// immediately (host↔BR transit is intra-AS and charged as
     /// [`Network::intra_as_latency_us`]); returns the packet id.
     pub fn send(&mut self, src_aid: Aid, bytes: Vec<u8>) -> u64 {
-        let id = self.next_packet_id;
-        self.next_packet_id += 1;
-        self.stats.injected += 1;
-        self.fates.insert(id, PacketFate::InFlight);
+        self.send_batch(src_aid, vec![bytes])[0]
+    }
+
+    /// A host (or several hosts sharing an uplink) in `src_aid` injects a
+    /// burst of packets. The whole burst runs through the source BR's
+    /// batched egress pipeline (`process_batch`), so header parsing and
+    /// replay-shard locking are amortized exactly as on a real line-rate
+    /// box. Returns one packet id per packet, in order.
+    pub fn send_batch(&mut self, src_aid: Aid, packets: Vec<Vec<u8>>) -> Vec<u64> {
+        let ids: Vec<u64> = packets
+            .iter()
+            .map(|_| {
+                let id = self.next_packet_id;
+                self.next_packet_id += 1;
+                self.stats.injected += 1;
+                self.fates.insert(id, PacketFate::InFlight);
+                id
+            })
+            .collect();
 
         let node = &self.nodes[&src_aid];
-        let verdict =
+        let mut batch = PacketBatch::from_packets(self.replay_mode, packets);
+        let result =
             node.br
-                .process_outgoing(&bytes, self.replay_mode, self.now.as_protocol_time());
-        match verdict {
-            Verdict::Drop(reason) => {
-                self.stats.egress_dropped += 1;
-                self.fates.insert(id, PacketFate::EgressDropped(reason));
-            }
-            Verdict::ForwardInter { dst_aid } if dst_aid == src_aid => {
-                // Intra-AS delivery: straight to ingress processing.
-                let at = self.now.add_micros(self.intra_as_latency_us);
-                self.push_event(at, id, src_aid, bytes);
-            }
-            Verdict::ForwardInter { dst_aid } => {
-                self.forward_toward(id, src_aid, dst_aid, bytes);
-            }
-            Verdict::DeliverLocal { .. } => {
-                // process_outgoing never yields DeliverLocal.
-                unreachable!("egress produced DeliverLocal");
+                .process_batch(Direction::Egress, &mut batch, self.now.as_protocol_time());
+        // The total is derived from the breakdown at one site, so the two
+        // can never desynchronize.
+        self.stats.egress_drop_reasons.merge(result.counters());
+        self.stats.egress_dropped += result.counters().total();
+        let verdicts = result.into_verdicts();
+        let packets = batch.into_packets();
+
+        for ((&id, verdict), bytes) in ids.iter().zip(verdicts).zip(packets) {
+            match verdict {
+                Verdict::Drop(reason) => {
+                    self.fates.insert(id, PacketFate::EgressDropped(reason));
+                }
+                Verdict::ForwardInter { dst_aid } if dst_aid == src_aid => {
+                    // Intra-AS delivery: straight to ingress processing.
+                    let at = self.now.add_micros(self.intra_as_latency_us);
+                    self.push_event(at, id, src_aid, bytes);
+                }
+                Verdict::ForwardInter { dst_aid } => {
+                    self.forward_toward(id, src_aid, dst_aid, bytes);
+                }
+                Verdict::DeliverLocal { .. } => {
+                    // Egress never yields DeliverLocal.
+                    unreachable!("egress produced DeliverLocal");
+                }
             }
         }
-        id
+        ids
     }
 
     fn push_event(&mut self, at: SimTime, packet_id: u64, aid: Aid, bytes: Vec<u8>) {
@@ -290,7 +334,8 @@ impl Network {
         match link.transmit(self.now, &bytes) {
             LinkOutcome::Dropped => {
                 self.stats.link_lost += 1;
-                self.fates.insert(id, PacketFate::LostOnLink { toward: next });
+                self.fates
+                    .insert(id, PacketFate::LostOnLink { toward: next });
             }
             LinkOutcome::Delivered { at, bytes, .. } => {
                 if let Some(tap) = &mut self.wiretap {
@@ -312,46 +357,63 @@ impl Network {
         let mut out = Vec::new();
         while let Some(ev) = self.events.pop() {
             self.now = self.now.max(ev.at);
-            let node = &self.nodes[&ev.aid];
-            let verdict =
+
+            // Drain the burst: all packets arriving at the same border
+            // router at the same instant form one batch. Event ordering is
+            // unchanged — the queue is time-ordered and a burst is by
+            // definition simultaneous.
+            let (at, aid) = (ev.at, ev.aid);
+            let mut ids = vec![ev.packet_id];
+            let mut burst = vec![ev.bytes];
+            while let Some(next) = self.events.peek() {
+                if next.at != at || next.aid != aid {
+                    break;
+                }
+                let next = self.events.pop().expect("peeked event exists");
+                ids.push(next.packet_id);
+                burst.push(next.bytes);
+            }
+            self.stats.ingress_batches += 1;
+            self.stats.max_ingress_batch = self.stats.max_ingress_batch.max(ids.len() as u64);
+
+            let node = &self.nodes[&aid];
+            let mut batch = PacketBatch::from_packets(self.replay_mode, burst);
+            let result =
                 node.br
-                    .process_incoming(&ev.bytes, self.replay_mode, self.now.as_protocol_time());
-            match verdict {
-                Verdict::DeliverLocal { hid } => {
-                    let at = self.now.add_micros(self.intra_as_latency_us);
-                    self.stats.delivered += 1;
-                    let fate = PacketFate::Delivered {
-                        aid: ev.aid,
-                        hid,
-                        at,
-                    };
-                    self.fates.insert(ev.packet_id, fate.clone());
-                    self.inboxes.push(DeliveredPacket {
-                        id: ev.packet_id,
-                        aid: ev.aid,
-                        hid,
-                        bytes: ev.bytes,
-                        at,
-                    });
-                    out.push(NetworkEvent::Fate {
-                        id: ev.packet_id,
-                        fate,
-                    });
-                }
-                Verdict::ForwardInter { dst_aid } => {
-                    self.forward_toward(ev.packet_id, ev.aid, dst_aid, ev.bytes);
-                }
-                Verdict::Drop(reason) => {
-                    self.stats.ingress_dropped += 1;
-                    let fate = PacketFate::IngressDropped {
-                        at: ev.aid,
-                        reason,
-                    };
-                    self.fates.insert(ev.packet_id, fate.clone());
-                    out.push(NetworkEvent::Fate {
-                        id: ev.packet_id,
-                        fate,
-                    });
+                    .process_batch(Direction::Ingress, &mut batch, self.now.as_protocol_time());
+            self.stats.ingress_drop_reasons.merge(result.counters());
+            self.stats.ingress_dropped += result.counters().total();
+            let verdicts = result.into_verdicts();
+            let packets = batch.into_packets();
+
+            for ((id, verdict), bytes) in ids.into_iter().zip(verdicts).zip(packets) {
+                match verdict {
+                    Verdict::DeliverLocal { hid } => {
+                        let arrival = self.now.add_micros(self.intra_as_latency_us);
+                        self.stats.delivered += 1;
+                        let fate = PacketFate::Delivered {
+                            aid,
+                            hid,
+                            at: arrival,
+                        };
+                        self.fates.insert(id, fate.clone());
+                        self.inboxes.push(DeliveredPacket {
+                            id,
+                            aid,
+                            hid,
+                            bytes,
+                            at: arrival,
+                        });
+                        out.push(NetworkEvent::Fate { id, fate });
+                    }
+                    Verdict::ForwardInter { dst_aid } => {
+                        self.forward_toward(id, aid, dst_aid, bytes);
+                    }
+                    Verdict::Drop(reason) => {
+                        let fate = PacketFate::IngressDropped { at: aid, reason };
+                        self.fates.insert(id, fate.clone());
+                        out.push(NetworkEvent::Fate { id, fate });
+                    }
                 }
             }
         }
@@ -385,10 +447,30 @@ mod tests {
         let mut net = Network::new(ReplayMode::Disabled);
         net.add_as(Aid(1), [1; 32]);
         net.add_as(Aid(2), [2; 32]);
-        net.connect(Aid(1), Aid(2), 1_000, 10_000_000_000, FaultProfile::lossless());
+        net.connect(
+            Aid(1),
+            Aid(2),
+            1_000,
+            10_000_000_000,
+            FaultProfile::lossless(),
+        );
         let now = net.now().as_protocol_time();
-        let alice = Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1).unwrap();
-        let bob = Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 2).unwrap();
+        let alice = Host::attach(
+            net.node(Aid(1)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            1,
+        )
+        .unwrap();
+        let bob = Host::attach(
+            net.node(Aid(2)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            2,
+        )
+        .unwrap();
         (net, alice, bob)
     }
 
@@ -397,10 +479,20 @@ mod tests {
         let (mut net, mut alice, mut bob) = two_as_network();
         let now = net.now().as_protocol_time();
         let ai = alice
-            .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let bi = bob
-            .acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(2)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let dst = bob.owned_ephid(bi).addr(Aid(2));
         let wire = alice.build_raw_packet(ai, dst, b"across the internet");
@@ -427,20 +519,52 @@ mod tests {
         net.add_as(Aid(1), [1; 32]);
         net.add_as(Aid(2), [2; 32]);
         net.add_as(Aid(3), [3; 32]);
-        net.connect(Aid(1), Aid(3), 1_000, 10_000_000_000, FaultProfile::lossless());
-        net.connect(Aid(3), Aid(2), 1_000, 10_000_000_000, FaultProfile::lossless());
+        net.connect(
+            Aid(1),
+            Aid(3),
+            1_000,
+            10_000_000_000,
+            FaultProfile::lossless(),
+        );
+        net.connect(
+            Aid(3),
+            Aid(2),
+            1_000,
+            10_000_000_000,
+            FaultProfile::lossless(),
+        );
         let now = net.now().as_protocol_time();
-        let mut alice =
-            Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1)
-                .unwrap();
-        let mut bob =
-            Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 2)
-                .unwrap();
+        let mut alice = Host::attach(
+            net.node(Aid(1)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            1,
+        )
+        .unwrap();
+        let mut bob = Host::attach(
+            net.node(Aid(2)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            2,
+        )
+        .unwrap();
         let ai = alice
-            .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let bi = bob
-            .acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(2)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let wire = alice.build_raw_packet(ai, bob.owned_ephid(bi).addr(Aid(2)), b"via transit");
         let id = net.send(Aid(1), wire);
@@ -457,7 +581,12 @@ mod tests {
         let (mut net, _alice, mut bob) = two_as_network();
         let now = net.now().as_protocol_time();
         let bi = bob
-            .acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(2)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         // Forged packet: made-up EphID, no valid MAC.
         let header = ApnaHeader::new(
@@ -479,18 +608,37 @@ mod tests {
         let mut net = Network::new(ReplayMode::Disabled);
         net.add_as(Aid(1), [1; 32]);
         net.add_as(Aid(2), [2; 32]);
-        net.connect(Aid(1), Aid(2), 100, 10_000_000_000, FaultProfile::lossy(1.0, 0.0));
+        net.connect(
+            Aid(1),
+            Aid(2),
+            100,
+            10_000_000_000,
+            FaultProfile::lossy(1.0, 0.0),
+        );
         let now = net.now().as_protocol_time();
-        let mut alice =
-            Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1)
-                .unwrap();
+        let mut alice = Host::attach(
+            net.node(Aid(1)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            1,
+        )
+        .unwrap();
         let ai = alice
-            .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let wire = alice.build_raw_packet(ai, HostAddr::new(Aid(2), EphIdBytes([5; 16])), b"x");
         let id = net.send(Aid(1), wire);
         net.run();
-        assert_eq!(net.fate(id), Some(&PacketFate::LostOnLink { toward: Aid(2) }));
+        assert_eq!(
+            net.fate(id),
+            Some(&PacketFate::LostOnLink { toward: Aid(2) })
+        );
         assert_eq!(net.stats.link_lost, 1);
     }
 
@@ -504,19 +652,45 @@ mod tests {
         let mut net = Network::new(ReplayMode::Disabled);
         net.add_as(Aid(1), [1; 32]);
         net.add_as(Aid(2), [2; 32]);
-        net.connect(Aid(1), Aid(2), 100, 10_000_000_000, FaultProfile::lossy(0.0, 1.0));
+        net.connect(
+            Aid(1),
+            Aid(2),
+            100,
+            10_000_000_000,
+            FaultProfile::lossy(0.0, 1.0),
+        );
         let now = net.now().as_protocol_time();
-        let mut alice =
-            Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1)
-                .unwrap();
-        let mut bob =
-            Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 2)
-                .unwrap();
+        let mut alice = Host::attach(
+            net.node(Aid(1)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            1,
+        )
+        .unwrap();
+        let mut bob = Host::attach(
+            net.node(Aid(2)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            2,
+        )
+        .unwrap();
         let ai = alice
-            .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let bi = bob
-            .acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(2)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let original = alice.build_raw_packet(ai, bob.owned_ephid(bi).addr(Aid(2)), b"fragile");
         let id = net.send(Aid(1), original.clone());
@@ -537,10 +711,20 @@ mod tests {
         net.enable_wiretap();
         let now = net.now().as_protocol_time();
         let ai = alice
-            .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let bi = bob
-            .acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(2)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let wire = alice.build_raw_packet(ai, bob.owned_ephid(bi).addr(Aid(2)), b"observed");
         net.send(Aid(1), wire);
@@ -555,14 +739,29 @@ mod tests {
         let (mut net, mut alice, _bob) = two_as_network();
         let now = net.now().as_protocol_time();
         // Second host in AS 1.
-        let mut carol =
-            Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 3)
-                .unwrap();
+        let mut carol = Host::attach(
+            net.node(Aid(1)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            3,
+        )
+        .unwrap();
         let ai = alice
-            .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let ci = carol
-            .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let wire = alice.build_raw_packet(ai, carol.owned_ephid(ci).addr(Aid(1)), b"local");
         let id = net.send(Aid(1), wire);
@@ -574,16 +773,153 @@ mod tests {
     }
 
     #[test]
+    fn send_batch_processes_burst_and_counts_reasons() {
+        let (mut net, mut alice, mut bob) = two_as_network();
+        let now = net.now().as_protocol_time();
+        let ai = alice
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
+            .unwrap();
+        let bi = bob
+            .acquire_ephid(
+                &net.node(Aid(2)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
+            .unwrap();
+        let dst = bob.owned_ephid(bi).addr(Aid(2));
+        // A burst: two valid packets, one forged EphID, one truncated.
+        let burst = vec![
+            alice.build_raw_packet(ai, dst, b"one"),
+            alice.build_raw_packet(ai, dst, b"two"),
+            {
+                let header = ApnaHeader::new(HostAddr::new(Aid(1), EphIdBytes([0xbd; 16])), dst);
+                header.serialize()
+            },
+            vec![0u8; 7],
+        ];
+        let ids = net.send_batch(Aid(1), burst);
+        assert_eq!(ids.len(), 4);
+        net.run();
+        assert!(matches!(
+            net.fate(ids[0]),
+            Some(PacketFate::Delivered { .. })
+        ));
+        assert!(matches!(
+            net.fate(ids[1]),
+            Some(PacketFate::Delivered { .. })
+        ));
+        assert_eq!(
+            net.fate(ids[2]),
+            Some(&PacketFate::EgressDropped(DropReason::BadEphId))
+        );
+        assert_eq!(
+            net.fate(ids[3]),
+            Some(&PacketFate::EgressDropped(DropReason::Malformed))
+        );
+        assert_eq!(net.stats.injected, 4);
+        assert_eq!(net.stats.delivered, 2);
+        assert_eq!(net.stats.egress_dropped, 2);
+        assert_eq!(net.stats.egress_drop_reasons.count(DropReason::BadEphId), 1);
+        assert_eq!(
+            net.stats.egress_drop_reasons.count(DropReason::Malformed),
+            1
+        );
+        // The two survivors crossed the same link simultaneously, so the
+        // destination BR saw one batch of two.
+        assert_eq!(net.stats.max_ingress_batch, 2);
+        assert_eq!(net.take_delivered().len(), 2);
+    }
+
+    #[test]
+    fn burst_and_sequential_sends_agree() {
+        // The same traffic injected as a burst or packet-by-packet must
+        // yield identical fates (batching is a restructuring, not a
+        // semantic change).
+        let build = |net: &Network, alice: &mut Host, bob: &mut Host| {
+            let now = net.now().as_protocol_time();
+            let ai = alice
+                .acquire_ephid(
+                    &net.node(Aid(1)).ms,
+                    CertKind::Data,
+                    ExpiryClass::Short,
+                    now,
+                )
+                .unwrap();
+            let bi = bob
+                .acquire_ephid(
+                    &net.node(Aid(2)).ms,
+                    CertKind::Data,
+                    ExpiryClass::Short,
+                    now,
+                )
+                .unwrap();
+            let dst = bob.owned_ephid(bi).addr(Aid(2));
+            (0..8u8)
+                .map(|i| alice.build_raw_packet(ai, dst, &[i; 16]))
+                .collect::<Vec<_>>()
+        };
+
+        let (mut net_a, mut alice_a, mut bob_a) = two_as_network();
+        let packets = build(&net_a, &mut alice_a, &mut bob_a);
+        let ids_a = net_a.send_batch(Aid(1), packets.clone());
+        net_a.run();
+
+        let (mut net_b, mut alice_b, mut bob_b) = two_as_network();
+        let packets_b = build(&net_b, &mut alice_b, &mut bob_b);
+        assert_eq!(
+            packets, packets_b,
+            "deterministic worlds build identical packets"
+        );
+        let ids_b: Vec<u64> = packets_b
+            .into_iter()
+            .map(|p| net_b.send(Aid(1), p))
+            .collect();
+        net_b.run();
+
+        for (ia, ib) in ids_a.iter().zip(ids_b.iter()) {
+            match (net_a.fate(*ia), net_b.fate(*ib)) {
+                (
+                    Some(PacketFate::Delivered { aid: a, hid: h, .. }),
+                    Some(PacketFate::Delivered {
+                        aid: a2, hid: h2, ..
+                    }),
+                ) => {
+                    assert_eq!(a, a2);
+                    assert_eq!(h, h2);
+                }
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+        assert_eq!(net_a.stats.delivered, net_b.stats.delivered);
+    }
+
+    #[test]
     fn no_route_fate() {
         let mut net = Network::new(ReplayMode::Disabled);
         net.add_as(Aid(1), [1; 32]);
         net.add_as(Aid(9), [9; 32]); // disconnected
         let now = net.now().as_protocol_time();
-        let mut alice =
-            Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1)
-                .unwrap();
+        let mut alice = Host::attach(
+            net.node(Aid(1)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            1,
+        )
+        .unwrap();
         let ai = alice
-            .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
             .unwrap();
         let wire = alice.build_raw_packet(ai, HostAddr::new(Aid(9), EphIdBytes([1; 16])), b"x");
         let id = net.send(Aid(1), wire);

@@ -85,7 +85,11 @@ mod tests {
     #[test]
     fn encapsulation_roundtrip() {
         let apna = vec![0x42u8; 48 + 10];
-        let frame = encapsulate(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), &apna);
+        let frame = encapsulate(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            &apna,
+        );
         assert_eq!(frame.len(), IPV4_HEADER_LEN + GRE_HEADER_LEN + apna.len());
         let (ip, inner) = decapsulate(&frame).unwrap();
         assert_eq!(ip.src, Ipv4Addr::new(10, 0, 0, 1));
@@ -98,10 +102,7 @@ mod tests {
         // IPv4 (proto GRE) → GRE (type APNA) → APNA bytes: verify offsets.
         let frame = encapsulate(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, b"APNA");
         assert_eq!(frame[9], PROTO_GRE);
-        assert_eq!(
-            u16::from_be_bytes([frame[22], frame[23]]),
-            ETHERTYPE_APNA
-        );
+        assert_eq!(u16::from_be_bytes([frame[22], frame[23]]), ETHERTYPE_APNA);
         assert_eq!(&frame[24..], b"APNA");
     }
 
@@ -119,7 +120,9 @@ mod tests {
         frame.extend_from_slice(&apna);
         assert!(matches!(
             decapsulate(&frame),
-            Err(WireError::BadField { field: "ip protocol" })
+            Err(WireError::BadField {
+                field: "ip protocol"
+            })
         ));
     }
 
@@ -140,7 +143,9 @@ mod tests {
         };
         assert!(matches!(
             decapsulate(&frame),
-            Err(WireError::BadField { field: "gre protocol type" })
+            Err(WireError::BadField {
+                field: "gre protocol type"
+            })
         ));
     }
 
@@ -151,7 +156,9 @@ mod tests {
         h.extend_from_slice(&[0u8; 8]);
         assert!(matches!(
             parse_gre(&h),
-            Err(WireError::BadField { field: "gre flags/version" })
+            Err(WireError::BadField {
+                field: "gre flags/version"
+            })
         ));
     }
 

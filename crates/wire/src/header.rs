@@ -131,9 +131,7 @@ impl ApnaHeader {
         let mac: [u8; MAC_LEN] = buf[40..48].try_into().unwrap();
         let nonce = match mode {
             ReplayMode::Disabled => None,
-            ReplayMode::NonceExtension => {
-                Some(u64::from_be_bytes(buf[48..56].try_into().unwrap()))
-            }
+            ReplayMode::NonceExtension => Some(u64::from_be_bytes(buf[48..56].try_into().unwrap())),
         };
         Ok((
             ApnaHeader {

@@ -184,8 +184,8 @@ mod tests {
     #[test]
     fn rejects_options_and_truncation() {
         assert_eq!(Ipv4Header::parse(&[0u8; 10]), Err(WireError::Truncated));
-        let mut wire = Ipv4Header::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 6, 0)
-            .serialize();
+        let mut wire =
+            Ipv4Header::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 6, 0).serialize();
         wire[0] = 0x46; // IHL 6 (options present) unsupported
         assert!(matches!(
             Ipv4Header::parse(&wire),

@@ -7,6 +7,9 @@
 //!   vocabulary shared by every crate.
 //! * [`header`] — the 48-byte APNA network header of Fig. 7, plus the
 //!   optional 8-byte replay nonce extension of §VIII-D.
+//! * [`batch`] — [`PacketBatch`]: DPDK-style packet bursts with
+//!   parse-once header slots, the unit of work of the batched
+//!   border-router pipeline.
 //! * [`icmp`] — ICMP message payloads (§VIII-B: APNA keeps ICMP working).
 //! * [`ipv4`] / [`gre`] — the IPv4 + GRE encapsulation used to deploy APNA
 //!   over today's Internet (Fig. 9, §VII-D).
@@ -18,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod gre;
 pub mod header;
 pub mod icmp;
 pub mod ipv4;
 pub mod types;
 
+pub use batch::{PacketBatch, ParsedSlot};
 pub use header::{ApnaHeader, ReplayMode, APNA_HEADER_LEN, MAC_LEN, NONCE_LEN};
 pub use types::{Aid, EphIdBytes, HostAddr, EPHID_LEN};
 

@@ -26,7 +26,10 @@ fn carry(net: &mut Network, from: Aid, frame: &[u8]) -> Vec<u8> {
     net.run();
     let delivered = net.take_delivered();
     assert!(
-        matches!(net.fate(id), Some(apna_simnet::PacketFate::Delivered { .. })),
+        matches!(
+            net.fate(id),
+            Some(apna_simnet::PacketFate::Delivered { .. })
+        ),
         "packet fate: {:?}",
         net.fate(id)
     );
@@ -41,13 +44,33 @@ fn main() {
     let mut net = Network::new(ReplayMode::Disabled);
     net.add_as(Aid(1), [1; 32]);
     net.add_as(Aid(2), [2; 32]);
-    net.connect(Aid(1), Aid(2), 2_000, 10_000_000_000, FaultProfile::lossless());
+    net.connect(
+        Aid(1),
+        Aid(2),
+        2_000,
+        10_000_000_000,
+        FaultProfile::lossless(),
+    );
     let now = net.now().as_protocol_time();
 
     // Gateways: one fronting the legacy client LAN (AS 1), one fronting the
     // legacy server (AS 2).
-    let host_a = Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 31).unwrap();
-    let host_b = Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 32).unwrap();
+    let host_a = Host::attach(
+        net.node(Aid(1)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        31,
+    )
+    .unwrap();
+    let host_b = Host::attach(
+        net.node(Aid(2)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        32,
+    )
+    .unwrap();
     let mut gw_client = ApnaGateway::new(
         host_a,
         Ipv4Addr::new(10, 1, 0, 1),
@@ -78,7 +101,9 @@ fn main() {
     // The unmodified IPv4 client sends a datagram to that address.
     let client_ip = Ipv4Addr::new(192, 168, 1, 23);
     let request = LegacyPacket::udp(client_ip, 53123, synth_ip, 7777, b"legacy hello");
-    let out = gw_client.outbound(&request, &net.node(Aid(1)).ms, now).unwrap();
+    let out = gw_client
+        .outbound(&request, &net.node(Aid(1)).ms, now)
+        .unwrap();
     println!(
         "client gateway: new flow → EphID handshake with 0-RTT early data ({} GRE frame)",
         out.frames.len()
@@ -98,7 +123,9 @@ fn main() {
 
     // Server responds; the response rides the established channel back.
     let response = LegacyPacket::udp(synth_ip, 7777, client_ip, 53123, b"legacy world");
-    let sresp = gw_server.outbound(&response, &net.node(Aid(2)).ms, now).unwrap();
+    let sresp = gw_server
+        .outbound(&response, &net.node(Aid(2)).ms, now)
+        .unwrap();
     let f3 = carry(&mut net, Aid(2), &sresp.frames[0]);
     let cfinal = gw_client.inbound(&f3, &net.node(Aid(1)).ms, now).unwrap();
     println!(
@@ -112,7 +139,9 @@ fn main() {
     // "a different EphID for different IPv4 flows").
     let before = gw_client.host.ephid_count();
     let second = LegacyPacket::udp(client_ip, 53124, synth_ip, 7777, b"second flow");
-    gw_client.outbound(&second, &net.node(Aid(1)).ms, now).unwrap();
+    gw_client
+        .outbound(&second, &net.node(Aid(1)).ms, now)
+        .unwrap();
     println!(
         "second flow allocated a fresh EphID ({} → {})",
         before,

@@ -22,28 +22,60 @@ fn main() {
     let mut net = Network::new(ReplayMode::Disabled);
     net.add_as(Aid(64500), [1; 32]);
     net.add_as(Aid(64501), [2; 32]);
-    net.connect(Aid(64500), Aid(64501), 5_000, 10_000_000_000, FaultProfile::lossless());
+    net.connect(
+        Aid(64500),
+        Aid(64501),
+        5_000,
+        10_000_000_000,
+        FaultProfile::lossless(),
+    );
     let now = net.now().as_protocol_time();
 
     // Step 1 — host bootstrapping (Fig. 2): authenticate to the AS, derive
     // k_HA, receive the control EphID and service certificates.
-    let mut alice = Host::attach(net.node(Aid(64500)), Granularity::PerFlow, ReplayMode::Disabled, now, 1)
-        .expect("alice bootstraps");
-    let mut bob = Host::attach(net.node(Aid(64501)), Granularity::PerFlow, ReplayMode::Disabled, now, 2)
-        .expect("bob bootstraps");
+    let mut alice = Host::attach(
+        net.node(Aid(64500)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        1,
+    )
+    .expect("alice bootstraps");
+    let mut bob = Host::attach(
+        net.node(Aid(64501)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        2,
+    )
+    .expect("bob bootstraps");
     println!("1. bootstrapped: alice@AS64500, bob@AS64501");
 
     // Step 2 — EphID issuance (Fig. 3): encrypted request to the MS, signed
     // short-lived certificate back.
     let ai = alice
-        .acquire_ephid(&net.node(Aid(64500)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(64500)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .expect("alice EphID");
     let bi = bob
-        .acquire_ephid(&net.node(Aid(64501)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(64501)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .expect("bob EphID");
     let alice_owned = alice.owned_ephid(ai).clone();
     let bob_owned = bob.owned_ephid(bi).clone();
-    println!("2. EphIDs issued: alice={:?} bob={:?}", alice_owned.ephid(), bob_owned.ephid());
+    println!(
+        "2. EphIDs issued: alice={:?} bob={:?}",
+        alice_owned.ephid(),
+        bob_owned.ephid()
+    );
 
     // Step 3 — connection establishment (§IV-D1): verify the peer's
     // certificate against its AS's published key, then ECDH on the
@@ -68,11 +100,19 @@ fn main() {
     )
     .expect("bob channel");
     assert_eq!(ch_alice.fingerprint(), ch_bob.fingerprint());
-    println!("3. session key established (fingerprint {:02x?})", ch_alice.fingerprint());
+    println!(
+        "3. session key established (fingerprint {:02x?})",
+        ch_alice.fingerprint()
+    );
 
     // Step 4 — encrypted communication: seal the payload, MAC the packet
     // with k_HA, traverse source egress → link → destination ingress.
-    let wire = alice.build_packet(ai, bob_owned.addr(Aid(64501)), &mut ch_alice, b"hello, private internet");
+    let wire = alice.build_packet(
+        ai,
+        bob_owned.addr(Aid(64501)),
+        &mut ch_alice,
+        b"hello, private internet",
+    );
     let id = net.send(Aid(64500), wire);
     net.run();
     match net.fate(id) {
@@ -80,10 +120,15 @@ fn main() {
         other => panic!("unexpected fate: {other:?}"),
     }
     let delivered = net.take_delivered();
-    let (header, payload) = bob.receive_packet(&delivered[0].bytes).expect("addressed to bob");
+    let (header, payload) = bob
+        .receive_packet(&delivered[0].bytes)
+        .expect("addressed to bob");
     let plaintext = ch_bob.open(b"", payload).expect("decrypts");
     println!("   bob reads: {:?}", String::from_utf8_lossy(&plaintext));
-    println!("   source on the wire: {} (opaque EphID — only AS64500 can map it to alice)", header.src);
+    println!(
+        "   source on the wire: {} (opaque EphID — only AS64500 can map it to alice)",
+        header.src
+    );
 
     // And the reply direction works symmetrically.
     let reply = bob.build_packet(bi, alice_owned.addr(Aid(64500)), &mut ch_bob, b"hi alice!");
@@ -91,5 +136,8 @@ fn main() {
     net.run();
     let delivered = net.take_delivered();
     let (_, payload) = alice.receive_packet(&delivered[0].bytes).unwrap();
-    println!("   alice reads: {:?}", String::from_utf8_lossy(&ch_alice.open(b"", payload).unwrap()));
+    println!(
+        "   alice reads: {:?}",
+        String::from_utf8_lossy(&ch_alice.open(b"", payload).unwrap())
+    );
 }

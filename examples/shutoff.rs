@@ -18,21 +18,44 @@ fn main() {
     let mut net = Network::new(ReplayMode::Disabled);
     net.add_as(Aid(1), [1; 32]);
     net.add_as(Aid(2), [2; 32]);
-    net.connect(Aid(1), Aid(2), 1_000, 10_000_000_000, FaultProfile::lossless());
+    net.connect(
+        Aid(1),
+        Aid(2),
+        1_000,
+        10_000_000_000,
+        FaultProfile::lossless(),
+    );
     let now = net.now().as_protocol_time();
 
     // The spammer uses ONE EphID for all its flows (per-host granularity —
     // the §VIII-A trade-off this example demonstrates).
-    let mut spammer =
-        Host::attach(net.node(Aid(1)), Granularity::PerHost, ReplayMode::Disabled, now, 66).unwrap();
-    let mut victim =
-        Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 7).unwrap();
+    let mut spammer = Host::attach(
+        net.node(Aid(1)),
+        Granularity::PerHost,
+        ReplayMode::Disabled,
+        now,
+        66,
+    )
+    .unwrap();
+    let mut victim = Host::attach(
+        net.node(Aid(2)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        7,
+    )
+    .unwrap();
 
     let si = spammer
         .ephid_for(&net.node(Aid(1)).ms, /*flow*/ 1, /*app*/ 0, now)
         .unwrap();
     let vi = victim
-        .acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(2)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let victim_owned = victim.owned_ephid(vi).clone();
     let victim_addr = victim_owned.addr(Aid(2));
@@ -54,7 +77,11 @@ fn main() {
     // the destination certificate.
     let delivered_bytes = net.take_delivered().pop().unwrap().bytes;
     assert_eq!(delivered_bytes, last_packet);
-    let request = ShutoffRequest::create(&delivered_bytes, &victim_owned.keys, victim_owned.cert.clone());
+    let request = ShutoffRequest::create(
+        &delivered_bytes,
+        &victim_owned.keys,
+        victim_owned.cert.clone(),
+    );
 
     // The AA of the SOURCE AS validates everything and revokes.
     let outcome = net
@@ -62,13 +89,17 @@ fn main() {
         .aa
         .handle(&request, ReplayMode::Disabled, now)
         .expect("legitimate shutoff accepted");
-    println!("AA at AS1 revoked EphID {:?} (HID revoked: {})",
-        outcome.order.ephid, outcome.hid_revoked);
+    println!(
+        "AA at AS1 revoked EphID {:?} (HID revoked: {})",
+        outcome.order.ephid, outcome.hid_revoked
+    );
 
     // Fate-sharing: ALL of the spammer's traffic dies — every flow shared
     // the one EphID (per-host granularity).
     for flow in [1u64, 2, 3] {
-        let idx = spammer.ephid_for(&net.node(Aid(1)).ms, flow, 0, now).unwrap();
+        let idx = spammer
+            .ephid_for(&net.node(Aid(1)).ms, flow, 0, now)
+            .unwrap();
         let wire = spammer.build_raw_packet(idx, victim_addr, b"more spam");
         let id = net.send(Aid(1), wire);
         net.run();
@@ -81,8 +112,14 @@ fn main() {
     }
 
     // A well-behaved host with per-flow EphIDs loses only the reported flow.
-    let mut careful =
-        Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 77).unwrap();
+    let mut careful = Host::attach(
+        net.node(Aid(1)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        77,
+    )
+    .unwrap();
     let f1 = careful.ephid_for(&net.node(Aid(1)).ms, 1, 0, now).unwrap();
     let f2 = careful.ephid_for(&net.node(Aid(1)).ms, 2, 0, now).unwrap();
     let wire = careful.build_raw_packet(f1, victim_addr, b"flow-1 packet");
@@ -90,14 +127,23 @@ fn main() {
     net.run();
     let evidence = net.take_delivered().pop().unwrap().bytes;
     let req = ShutoffRequest::create(&evidence, &victim_owned.keys, victim_owned.cert.clone());
-    net.node(Aid(1)).aa.handle(&req, ReplayMode::Disabled, now).unwrap();
+    net.node(Aid(1))
+        .aa
+        .handle(&req, ReplayMode::Disabled, now)
+        .unwrap();
     let dead = careful.build_raw_packet(f1, victim_addr, b"flow-1 again");
     let alive = careful.build_raw_packet(f2, victim_addr, b"flow-2 unaffected");
     let id_dead = net.send(Aid(1), dead);
     let id_alive = net.send(Aid(1), alive);
     net.run();
-    assert!(matches!(net.fate(id_dead), Some(PacketFate::EgressDropped(_))));
-    assert!(matches!(net.fate(id_alive), Some(PacketFate::Delivered { .. })));
+    assert!(matches!(
+        net.fate(id_dead),
+        Some(PacketFate::EgressDropped(_))
+    ));
+    assert!(matches!(
+        net.fate(id_alive),
+        Some(PacketFate::Delivered { .. })
+    ));
     println!("per-flow host: shutoff killed flow 1 only; flow 2 still delivers");
 
     // Unauthorized shutoff: an observer who is NOT the recipient cannot

@@ -23,20 +23,49 @@ fn main() {
     let mut net = Network::new(ReplayMode::Disabled);
     net.add_as(Aid(10), [1; 32]);
     net.add_as(Aid(20), [2; 32]);
-    net.connect(Aid(10), Aid(20), 1_000, 10_000_000_000, FaultProfile::lossless());
+    net.connect(
+        Aid(10),
+        Aid(20),
+        1_000,
+        10_000_000_000,
+        FaultProfile::lossless(),
+    );
     net.enable_wiretap();
     let now = net.now().as_protocol_time();
 
     // Paranoid sender: per-flow EphIDs. Casual sender: one EphID for all.
-    let mut paranoid =
-        Host::attach(net.node(Aid(10)), Granularity::PerFlow, ReplayMode::Disabled, now, 1).unwrap();
-    let mut casual =
-        Host::attach(net.node(Aid(10)), Granularity::PerHost, ReplayMode::Disabled, now, 2).unwrap();
-    let mut receiver =
-        Host::attach(net.node(Aid(20)), Granularity::PerFlow, ReplayMode::Disabled, now, 3).unwrap();
+    let mut paranoid = Host::attach(
+        net.node(Aid(10)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        1,
+    )
+    .unwrap();
+    let mut casual = Host::attach(
+        net.node(Aid(10)),
+        Granularity::PerHost,
+        ReplayMode::Disabled,
+        now,
+        2,
+    )
+    .unwrap();
+    let mut receiver = Host::attach(
+        net.node(Aid(20)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        3,
+    )
+    .unwrap();
 
     let ri = receiver
-        .acquire_ephid(&net.node(Aid(20)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(20)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let r_owned = receiver.owned_ephid(ri).clone();
     let r_addr = r_owned.addr(Aid(20));
@@ -44,7 +73,10 @@ fn main() {
     let secret = b"the secret payload surveillance must not read";
 
     // Each sender opens 3 flows of 2 packets each.
-    for (host, label, ms_aid) in [(&mut paranoid, "paranoid", Aid(10)), (&mut casual, "casual", Aid(10))] {
+    for (host, label, ms_aid) in [
+        (&mut paranoid, "paranoid", Aid(10)),
+        (&mut casual, "casual", Aid(10)),
+    ] {
         for flow in 0..3u64 {
             let idx = host.ephid_for(&net.node(ms_aid).ms, flow, 0, now).unwrap();
             let owned = host.owned_ephid(idx).clone();
@@ -69,7 +101,10 @@ fn main() {
     // The adversary analyzes the capture.
     // ------------------------------------------------------------------
     let frames = net.wiretap_frames();
-    println!("wiretap captured {} frames on the AS10→AS20 link\n", frames.len());
+    println!(
+        "wiretap captured {} frames on the AS10→AS20 link\n",
+        frames.len()
+    );
 
     // 1. Data privacy: no frame contains the plaintext.
     let leaked = frames
@@ -103,5 +138,8 @@ fn main() {
 
     // 5. Each flow's packets still share an EphID within the flow, so the
     //    *receiver* can demultiplex — return addresses survive privacy.
-    println!("\nreceiver inbox: {} packets, all addressed to its EphID", net.stats.delivered);
+    println!(
+        "\nreceiver inbox: {} packets, all addressed to its EphID",
+        net.stats.delivered
+    );
 }

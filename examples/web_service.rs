@@ -21,32 +21,68 @@ fn main() {
     let mut net = Network::new(ReplayMode::Disabled);
     net.add_as(Aid(100), [1; 32]); // client's AS
     net.add_as(Aid(200), [2; 32]); // server's AS
-    net.connect(Aid(100), Aid(200), 10_000, 10_000_000_000, FaultProfile::lossless());
+    net.connect(
+        Aid(100),
+        Aid(200),
+        10_000,
+        10_000_000_000,
+        FaultProfile::lossless(),
+    );
     let now = net.now().as_protocol_time();
 
     // --- Server side: a shop publishes itself in DNS -------------------
-    let mut server = Host::attach(net.node(Aid(200)), Granularity::PerFlow, ReplayMode::Disabled, now, 7)
-        .unwrap();
+    let mut server = Host::attach(
+        net.node(Aid(200)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        7,
+    )
+    .unwrap();
     // Receive-only EphID: safe to publish, cannot be shut off (§VII-A).
     let recv_idx = server
-        .acquire_ephid(&net.node(Aid(200)).ms, CertKind::ReceiveOnly, ExpiryClass::Long, now)
+        .acquire_ephid(
+            &net.node(Aid(200)).ms,
+            CertKind::ReceiveOnly,
+            ExpiryClass::Long,
+            now,
+        )
         .unwrap();
     // Serving EphID: used as the server's source for this client.
     let serve_idx = server
-        .acquire_ephid(&net.node(Aid(200)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(200)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let recv = server.owned_ephid(recv_idx).clone();
     let serving = server.owned_ephid(serve_idx).clone();
 
     let dns = DnsServer::new(SigningKey::from_seed(&[0xD1; 32]));
     dns.register("shop.example", recv.cert.clone(), None);
-    println!("server: published receive-only EphID {:?} as shop.example", recv.ephid());
+    println!(
+        "server: published receive-only EphID {:?} as shop.example",
+        recv.ephid()
+    );
 
     // --- Client side ----------------------------------------------------
-    let mut client = Host::attach(net.node(Aid(100)), Granularity::PerFlow, ReplayMode::Disabled, now, 8)
-        .unwrap();
+    let mut client = Host::attach(
+        net.node(Aid(100)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        8,
+    )
+    .unwrap();
     let ci = client
-        .acquire_ephid(&net.node(Aid(100)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(100)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let client_owned = client.owned_ephid(ci).clone();
 
@@ -55,7 +91,10 @@ fn main() {
     record
         .verify(&dns.zone_verifying_key(), &net.directory, now)
         .expect("authentic record");
-    println!("client: resolved shop.example → {}:{}", record.cert.aid, record.cert.ephid);
+    println!(
+        "client: resolved shop.example → {}:{}",
+        record.cert.aid, record.cert.ephid
+    );
 
     // Hello with 0-RTT early data sealed under the receive-only channel.
     let (pending, hello) = client_connect(
@@ -67,8 +106,10 @@ fn main() {
         Some(b"GET /catalog HTTP/1.1"),
     )
     .unwrap();
-    println!("client: sent hello with 0-RTT early data ({} RTT before data)",
-        HandshakeMode::ClientServerZeroRtt.rtts_before_data());
+    println!(
+        "client: sent hello with 0-RTT early data ({} RTT before data)",
+        HandshakeMode::ClientServerZeroRtt.rtts_before_data()
+    );
 
     // Server accepts: decrypts early data with the receive-only key,
     // answers from the serving EphID with its certificate.
@@ -83,30 +124,56 @@ fn main() {
         b"HTTP/1.1 200 OK\r\n\r\n<catalog/>",
     )
     .unwrap();
-    println!("server: early data = {:?}", String::from_utf8_lossy(&early.unwrap()));
+    println!(
+        "server: early data = {:?}",
+        String::from_utf8_lossy(&early.unwrap())
+    );
 
     // Client verifies the serving certificate and derives the final channel.
     let (mut client_ch, response) = client_finish(&pending, &accept, &net.directory, now).unwrap();
-    println!("client: response = {:?}", String::from_utf8_lossy(&response));
+    println!(
+        "client: response = {:?}",
+        String::from_utf8_lossy(&response)
+    );
 
     // Steady-state encrypted exchange over the network, using the serving
     // EphID as the destination (the receive-only EphID is out of the loop).
-    let order = client.build_packet(ci, serving.addr(Aid(200)), &mut client_ch, b"POST /buy item=42");
+    let order = client.build_packet(
+        ci,
+        serving.addr(Aid(200)),
+        &mut client_ch,
+        b"POST /buy item=42",
+    );
     let id = net.send(Aid(100), order);
     net.run();
     let delivered = net.take_delivered();
     let (_, payload) = server.receive_packet(&delivered[0].bytes).unwrap();
-    println!("server: order = {:?}", String::from_utf8_lossy(&server_ch.open(b"", payload).unwrap()));
-    assert!(matches!(net.fate(id), Some(apna_simnet::PacketFate::Delivered { .. })));
+    println!(
+        "server: order = {:?}",
+        String::from_utf8_lossy(&server_ch.open(b"", payload).unwrap())
+    );
+    assert!(matches!(
+        net.fate(id),
+        Some(apna_simnet::PacketFate::Delivered { .. })
+    ));
 
     // The latency table of §VII-C:
     println!("\nconnection-establishment latency (§VII-C), RTTs before first data:");
     for (name, mode) in [
         ("host-host", HandshakeMode::HostHost),
-        ("host-host + first-packet data", HandshakeMode::HostHostZeroRtt),
+        (
+            "host-host + first-packet data",
+            HandshakeMode::HostHostZeroRtt,
+        ),
         ("client-server (conservative)", HandshakeMode::ClientServer),
-        ("client-server, no early data", HandshakeMode::ClientServerHalfRtt),
-        ("client-server, early data", HandshakeMode::ClientServerZeroRtt),
+        (
+            "client-server, no early data",
+            HandshakeMode::ClientServerHalfRtt,
+        ),
+        (
+            "client-server, early data",
+            HandshakeMode::ClientServerZeroRtt,
+        ),
     ] {
         println!("  {name:32} {}", mode.rtts_before_data());
     }

@@ -5,8 +5,8 @@
 //! workspace crates and hosts the runnable examples (`examples/`) and the
 //! cross-crate integration tests (`tests/`).
 //!
-//! Start with `examples/quickstart.rs`, then see DESIGN.md for the system
-//! inventory and EXPERIMENTS.md for the paper-vs-measured record.
+//! Start with `examples/quickstart.rs`; README.md has the crate map, the
+//! batched data-plane overview, and how to run tests and benches.
 
 #![forbid(unsafe_code)]
 

@@ -2,7 +2,9 @@
 //! suite. Every attack the paper argues is prevented must fail here, at
 //! the layer the paper says it fails.
 
+use apna_core::border::{DropReason, Verdict};
 use apna_core::cert::{CertKind, EphIdCert};
+use apna_core::directory::AsDirectory;
 use apna_core::granularity::Granularity;
 use apna_core::host::Host;
 use apna_core::keys::{AsKeys, EphIdKeyPair, HostAsKey};
@@ -10,8 +12,6 @@ use apna_core::session::{verify_peer_cert, Role, SecureChannel};
 use apna_core::shutoff::ShutoffRequest;
 use apna_core::time::ExpiryClass;
 use apna_core::{AsNode, Error, Timestamp};
-use apna_core::border::{DropReason, Verdict};
-use apna_core::directory::AsDirectory;
 use apna_crypto::x25519::SharedSecret;
 use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr, ReplayMode};
 
@@ -29,7 +29,14 @@ fn world() -> World {
 }
 
 fn attach(node: &AsNode, seed: u64) -> Host {
-    Host::attach(node, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), seed).unwrap()
+    Host::attach(
+        node,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        seed,
+    )
+    .unwrap()
 }
 
 // ---------------------------------------------------------------------
@@ -71,7 +78,8 @@ fn ephid_spoofing_dropped_and_visible() {
     // Dropped at the border with a *specific* reason — "additionally
     // making the attack visible".
     assert_eq!(
-        w.a.br.process_outgoing(&wire, ReplayMode::Disabled, Timestamp(1)),
+        w.a.br
+            .process_outgoing(&wire, ReplayMode::Disabled, Timestamp(1)),
         Verdict::Drop(DropReason::BadPacketMac)
     );
 }
@@ -102,9 +110,7 @@ fn ephid_minting_fails() {
     let oi = other_host
         .acquire_ephid(&w.b.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
         .unwrap();
-    assert!(
-        apna_core::ephid::open(&w.a.infra.keys, &other_host.owned_ephid(oi).ephid()).is_err()
-    );
+    assert!(apna_core::ephid::open(&w.a.infra.keys, &other_host.owned_ephid(oi).ephid()).is_err());
 }
 
 /// Identity minting: a host cannot hold two live HIDs — re-issuing revokes
@@ -117,14 +123,21 @@ fn identity_minting_prevented_by_reissue() {
         .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
         .unwrap();
     let old_ephid = host.owned_ephid(idx).ephid();
-    let old_hid = apna_core::ephid::open(&w.a.infra.keys, &old_ephid).unwrap().hid;
+    let old_hid = apna_core::ephid::open(&w.a.infra.keys, &old_ephid)
+        .unwrap()
+        .hid;
 
-    let new_hid = w.a.infra.host_db.reissue_hid(old_hid, Timestamp(1)).unwrap();
+    let new_hid =
+        w.a.infra
+            .host_db
+            .reissue_hid(old_hid, Timestamp(1))
+            .unwrap();
     assert_ne!(new_hid, old_hid);
     // Old EphIDs now die at the border (UnknownHost — the HID is revoked).
     let wire = host.build_raw_packet(idx, HostAddr::new(Aid(2), EphIdBytes([7; 16])), b"x");
     assert_eq!(
-        w.a.br.process_outgoing(&wire, ReplayMode::Disabled, Timestamp(1)),
+        w.a.br
+            .process_outgoing(&wire, ReplayMode::Disabled, Timestamp(1)),
         Verdict::Drop(DropReason::UnknownHost)
     );
 }
@@ -300,7 +313,9 @@ fn unauthorized_shutoff_matrix() {
 
     // (d) The legitimate recipient succeeds.
     let req = ShutoffRequest::create(&genuine, &r_owned.keys, r_owned.cert.clone());
-    w.a.aa.handle(&req, ReplayMode::Disabled, Timestamp(1)).unwrap();
+    w.a.aa
+        .handle(&req, ReplayMode::Disabled, Timestamp(1))
+        .unwrap();
 }
 
 /// Reflection-DoS resistance: you cannot make a victim's EphID the source
@@ -329,7 +344,8 @@ fn reflection_requires_unforgeable_source() {
     let mut wire = header.serialize();
     wire.extend_from_slice(payload);
     assert_eq!(
-        w.a.br.process_outgoing(&wire, ReplayMode::Disabled, Timestamp(1)),
+        w.a.br
+            .process_outgoing(&wire, ReplayMode::Disabled, Timestamp(1)),
         Verdict::Drop(DropReason::BadPacketMac)
     );
 }
@@ -342,10 +358,22 @@ fn reflection_requires_unforgeable_source() {
 fn replay_cannot_mint_distinct_evidence() {
     let w = world();
     let now = Timestamp(0);
-    let mut sender = Host::attach(&w.a, Granularity::PerFlow, ReplayMode::NonceExtension, now, 1)
-        .unwrap();
-    let mut recipient =
-        Host::attach(&w.b, Granularity::PerFlow, ReplayMode::NonceExtension, now, 2).unwrap();
+    let mut sender = Host::attach(
+        &w.a,
+        Granularity::PerFlow,
+        ReplayMode::NonceExtension,
+        now,
+        1,
+    )
+    .unwrap();
+    let mut recipient = Host::attach(
+        &w.b,
+        Granularity::PerFlow,
+        ReplayMode::NonceExtension,
+        now,
+        2,
+    )
+    .unwrap();
     let si = sender
         .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, now)
         .unwrap();

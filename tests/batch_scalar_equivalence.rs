@@ -1,0 +1,327 @@
+//! Batch/scalar equivalence: `BorderRouter::process_batch` must yield
+//! exactly the `Verdict` sequence the per-packet APIs produce — including
+//! every [`DropReason`] and the stateful replay filter — on arbitrary
+//! packet mixes. Three identically-configured router clones process the
+//! same byte stream through the three entry points:
+//!
+//! 1. `process_*_parsed` — the per-packet reference composition,
+//! 2. `process_outgoing`/`process_incoming` — raw bytes, batch-of-one,
+//! 3. `process_batch` — one burst through the staged pipeline.
+
+use apna_bench::BenchWorld;
+use apna_core::border::{BorderRouter, Direction, DropReason, Verdict};
+use apna_core::cert::CertKind;
+use apna_core::keys::HostAsKey;
+use apna_core::time::ExpiryClass;
+use apna_core::Timestamp;
+use apna_crypto::x25519::StaticSecret;
+use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr, PacketBatch, ReplayMode};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// All verdicts are compared at this protocol time: late enough that the
+/// Short-class EphID (issued at t=0, lives 900 s) has expired while the
+/// Long-class ones (86 400 s) are in force.
+const NOW: Timestamp = Timestamp(1000);
+
+/// The kinds of packet the generator mixes (egress direction).
+const EGRESS_KINDS: u8 = 7;
+
+struct Fixture {
+    world: BenchWorld,
+    /// Long-class EphID of a second, *revoked* host → UnknownHost.
+    ephid_ghost_host: EphIdBytes,
+    kha_ghost: HostAsKey,
+    /// Short-class EphID of the main host, expired at `NOW`.
+    ephid_expired: EphIdBytes,
+    /// Long-class EphID of the main host, present in `revoked_ids`.
+    ephid_revoked: EphIdBytes,
+}
+
+fn fixture() -> Fixture {
+    let world = BenchWorld::new();
+    let node = &world.node;
+
+    // Second host, bootstrapped then HID-revoked: its (valid, unexpired)
+    // EphID authenticates but fails the host_info lookup.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let ghost_secret = StaticSecret::random_from_rng(&mut rng);
+    let (ghost_hid, _) = node
+        .rs
+        .bootstrap(&ghost_secret.public_key(), Timestamp(0))
+        .unwrap();
+    let kha_ghost =
+        HostAsKey::from_dh(&ghost_secret.diffie_hellman(&node.infra.keys.dh_public())).unwrap();
+    let (ephid_ghost_host, _) = node.ms.issue(
+        ghost_hid,
+        [5; 32],
+        [6; 32],
+        CertKind::Data,
+        ExpiryClass::Long,
+        Timestamp(0),
+    );
+    node.infra.host_db.revoke_hid(ghost_hid);
+
+    let (ephid_expired, _) = node.ms.issue(
+        world.hid,
+        [7; 32],
+        [8; 32],
+        CertKind::Data,
+        ExpiryClass::Short,
+        Timestamp(0),
+    );
+    let (ephid_revoked, _) = node.ms.issue(
+        world.hid,
+        [9; 32],
+        [10; 32],
+        CertKind::Data,
+        ExpiryClass::Long,
+        Timestamp(0),
+    );
+    node.infra.revoked.insert(ephid_revoked, Timestamp(90_000));
+
+    Fixture {
+        world,
+        ephid_ghost_host,
+        kha_ghost,
+        ephid_expired,
+        ephid_revoked,
+    }
+}
+
+impl Fixture {
+    fn valid_ephid(&self) -> EphIdBytes {
+        self.world.host.owned_ephid(self.world.ephid_idx).ephid()
+    }
+
+    /// Builds one egress packet of the given kind. `nonce` is drawn from a
+    /// tiny domain so the generator produces genuine replays.
+    fn egress_packet(&self, kind: u8, nonce: u64, payload_byte: u8) -> Vec<u8> {
+        let payload = [payload_byte; 24];
+        let (src_ephid, kha) = match kind {
+            3 => (self.ephid_expired, &self.world.kha),
+            4 => (self.ephid_revoked, &self.world.kha),
+            6 => (self.ephid_ghost_host, &self.kha_ghost),
+            _ => (self.valid_ephid(), &self.world.kha),
+        };
+        let mut header = ApnaHeader::new(
+            HostAddr::new(Aid(1), src_ephid),
+            HostAddr::new(Aid(2), EphIdBytes([0x77; 16])),
+        )
+        .with_nonce(nonce);
+        let mac: [u8; 8] = kha.packet_cmac().mac_truncated(&header.mac_input(&payload));
+        header.set_mac(mac);
+        let mut wire = header.serialize();
+        wire.extend_from_slice(&payload);
+        match kind {
+            1 => wire.truncate(10), // Malformed
+            2 => wire[4] ^= 1,      // BadEphId (EphID bit flip)
+            5 => wire[40] ^= 0xFF,  // BadPacketMac (MAC bit flip)
+            _ => {}
+        }
+        wire
+    }
+
+    /// Builds one ingress packet: kind selects destination state.
+    fn ingress_packet(&self, kind: u8, payload_byte: u8) -> Vec<u8> {
+        let dst = match kind {
+            0 => HostAddr::new(Aid(1), self.valid_ephid()), // DeliverLocal
+            1 => HostAddr::new(Aid(9), EphIdBytes([0x66; 16])), // transit
+            2 => HostAddr::new(Aid(1), EphIdBytes([0x44; 16])), // BadEphId
+            3 => HostAddr::new(Aid(1), self.ephid_expired), // Expired
+            4 => HostAddr::new(Aid(1), self.ephid_revoked), // Revoked
+            _ => HostAddr::new(Aid(1), self.ephid_ghost_host), // UnknownHost
+        };
+        let header = ApnaHeader::new(HostAddr::new(Aid(2), EphIdBytes([0x55; 16])), dst)
+            .with_nonce(u64::from(payload_byte));
+        let mut wire = header.serialize();
+        if kind == 6 {
+            wire.truncate(3); // Malformed
+        } else {
+            wire.extend_from_slice(&[payload_byte; 16]);
+        }
+        wire
+    }
+}
+
+/// Scalar reference: parse + `process_*_parsed`, mirroring what the raw
+/// wrapper is specified to do, packet by packet.
+fn scalar_egress(br: &BorderRouter, wire: &[u8], mode: ReplayMode) -> Verdict {
+    match ApnaHeader::parse(wire, mode) {
+        Ok((header, payload)) => br.process_outgoing_parsed(&header, payload, NOW),
+        Err(_) => Verdict::Drop(DropReason::Malformed),
+    }
+}
+
+fn scalar_ingress(br: &BorderRouter, wire: &[u8], mode: ReplayMode) -> Verdict {
+    match ApnaHeader::parse(wire, mode) {
+        Ok((header, _)) => br.process_incoming_parsed(&header, NOW),
+        Err(_) => Verdict::Drop(DropReason::Malformed),
+    }
+}
+
+/// The generator must actually reach every verdict arm, or the
+/// equivalence properties above would be vacuous.
+#[test]
+fn generator_covers_every_drop_reason() {
+    let f = fixture();
+    let mut br = f.world.node.br.clone();
+    br.enable_replay_filter();
+    let mode = ReplayMode::NonceExtension;
+    let expect = [
+        (0u8, None), // forwards
+        (1, Some(DropReason::Malformed)),
+        (2, Some(DropReason::BadEphId)),
+        (3, Some(DropReason::Expired)),
+        (4, Some(DropReason::Revoked)),
+        (5, Some(DropReason::BadPacketMac)),
+        (6, Some(DropReason::UnknownHost)),
+    ];
+    for (kind, want) in expect {
+        let wire = f.egress_packet(kind, 1, 7);
+        let got = br.process_outgoing(&wire, mode, NOW);
+        match want {
+            None => assert!(got.is_forward(), "kind {kind}: {got:?}"),
+            Some(reason) => assert_eq!(got, Verdict::Drop(reason), "kind {kind}"),
+        }
+    }
+    // A repeated (kind 0, nonce) pair is a replay.
+    let wire = f.egress_packet(0, 1, 7);
+    assert_eq!(
+        br.process_outgoing(&wire, mode, NOW),
+        Verdict::Drop(DropReason::Replayed)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ∀ egress packet mixes (with the §VIII-D replay filter on): the
+    /// three entry points agree verdict-for-verdict, the counters match
+    /// the verdict histogram, and replay state ends up identical.
+    #[test]
+    fn egress_batch_equals_scalar(
+        specs in proptest::collection::vec(
+            (0u8..EGRESS_KINDS, 0u64..4, any::<u8>()),
+            1..48,
+        ),
+    ) {
+        let f = fixture();
+        let packets: Vec<Vec<u8>> = specs
+            .iter()
+            .map(|&(kind, nonce, pb)| f.egress_packet(kind, nonce, pb))
+            .collect();
+
+        // Three router clones over the same AS state, each with its own
+        // (initially empty) replay filter.
+        let mut br_parsed = f.world.node.br.clone();
+        br_parsed.enable_replay_filter();
+        let mut br_raw = f.world.node.br.clone();
+        br_raw.enable_replay_filter();
+        let mut br_batch = f.world.node.br.clone();
+        br_batch.enable_replay_filter();
+
+        let mode = ReplayMode::NonceExtension;
+        let parsed_verdicts: Vec<Verdict> = packets
+            .iter()
+            .map(|w| scalar_egress(&br_parsed, w, mode))
+            .collect();
+        let raw_verdicts: Vec<Verdict> = packets
+            .iter()
+            .map(|w| br_raw.process_outgoing(w, mode, NOW))
+            .collect();
+        let mut batch = PacketBatch::from_packets(mode, packets);
+        let batched = br_batch.process_batch(Direction::Egress, &mut batch, NOW);
+
+        prop_assert_eq!(&parsed_verdicts, &raw_verdicts);
+        prop_assert_eq!(&parsed_verdicts, &batched.verdicts().to_vec());
+
+        // Counters are exactly the drop histogram of the verdicts.
+        for reason in DropReason::ALL {
+            let expected = parsed_verdicts
+                .iter()
+                .filter(|v| matches!(v, Verdict::Drop(r) if *r == reason))
+                .count() as u64;
+            prop_assert_eq!(batched.counters().count(reason), expected);
+        }
+        prop_assert_eq!(
+            batched.passed(),
+            parsed_verdicts.iter().filter(|v| v.is_forward()).count() as u64
+        );
+
+        // The stateful stage converged to the same filter population.
+        prop_assert_eq!(br_parsed.replay_filter_entries(), br_batch.replay_filter_entries());
+        prop_assert_eq!(br_raw.replay_filter_entries(), br_batch.replay_filter_entries());
+    }
+
+    /// ∀ ingress packet mixes: same three-way agreement (ingress is
+    /// stateless, so one router serves all paths).
+    #[test]
+    fn ingress_batch_equals_scalar(
+        specs in proptest::collection::vec((0u8..7, any::<u8>()), 1..48),
+    ) {
+        let f = fixture();
+        let packets: Vec<Vec<u8>> = specs
+            .iter()
+            .map(|&(kind, pb)| f.ingress_packet(kind, pb))
+            .collect();
+        let br = &f.world.node.br;
+
+        let mode = ReplayMode::NonceExtension;
+        let parsed_verdicts: Vec<Verdict> = packets
+            .iter()
+            .map(|w| scalar_ingress(br, w, mode))
+            .collect();
+        let raw_verdicts: Vec<Verdict> = packets
+            .iter()
+            .map(|w| br.process_incoming(w, mode, NOW))
+            .collect();
+        let mut batch = PacketBatch::from_packets(mode, packets);
+        let batched = br.process_batch(Direction::Ingress, &mut batch, NOW);
+
+        prop_assert_eq!(&parsed_verdicts, &raw_verdicts);
+        prop_assert_eq!(&parsed_verdicts, &batched.verdicts().to_vec());
+        for reason in DropReason::ALL {
+            let expected = parsed_verdicts
+                .iter()
+                .filter(|v| matches!(v, Verdict::Drop(r) if *r == reason))
+                .count() as u64;
+            prop_assert_eq!(batched.counters().count(reason), expected);
+        }
+    }
+
+    /// Splitting a stream into arbitrary batch boundaries never changes
+    /// the verdicts: process_batch(whole) == concat(process_batch(chunks)).
+    #[test]
+    fn batch_boundaries_are_invisible(
+        specs in proptest::collection::vec(
+            (0u8..EGRESS_KINDS, 0u64..4, any::<u8>()),
+            2..40,
+        ),
+        chunk in 1usize..9,
+    ) {
+        let f = fixture();
+        let packets: Vec<Vec<u8>> = specs
+            .iter()
+            .map(|&(kind, nonce, pb)| f.egress_packet(kind, nonce, pb))
+            .collect();
+        let mode = ReplayMode::NonceExtension;
+
+        let mut br_whole = f.world.node.br.clone();
+        br_whole.enable_replay_filter();
+        let mut whole = PacketBatch::from_packets(mode, packets.clone());
+        let whole_verdicts = br_whole
+            .process_batch(Direction::Egress, &mut whole, NOW)
+            .into_verdicts();
+
+        let mut br_chunks = f.world.node.br.clone();
+        br_chunks.enable_replay_filter();
+        let mut chunked_verdicts = Vec::new();
+        for piece in packets.chunks(chunk) {
+            let mut b = PacketBatch::from_packets(mode, piece.to_vec());
+            chunked_verdicts
+                .extend(br_chunks.process_batch(Direction::Egress, &mut b, NOW).into_verdicts());
+        }
+        prop_assert_eq!(whole_verdicts, chunked_verdicts);
+    }
+}

@@ -4,6 +4,7 @@
 //! extension (§VIII-D future work, implemented here).
 
 use apna_core::cert::CertKind;
+use apna_core::directory::AsDirectory;
 use apna_core::granularity::Granularity;
 use apna_core::host::Host;
 use apna_core::keys::EphIdKeyPair;
@@ -11,7 +12,6 @@ use apna_core::session::{Role, SecureChannel};
 use apna_core::shutoff::ShutoffRequest;
 use apna_core::time::{ExpiryClass, Timestamp};
 use apna_core::AsNode;
-use apna_core::directory::AsDirectory;
 use apna_crypto::ed25519::SigningKey;
 use apna_dns::{encrypted, DnsServer};
 use apna_gateway::ap::AccessPoint;
@@ -29,8 +29,14 @@ fn two_ases() -> (AsDirectory, AsNode, AsNode) {
 #[test]
 fn nat_mode_client_reaches_remote_host() {
     let (dir, a, b) = two_ases();
-    let ap_host =
-        Host::attach(&a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 10).unwrap();
+    let ap_host = Host::attach(
+        &a,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        10,
+    )
+    .unwrap();
     let mut ap = AccessPoint::new(ap_host, 11);
 
     // A laptop joins the AP's WiFi and gets an EphID through the AP.
@@ -50,8 +56,14 @@ fn nat_mode_client_reaches_remote_host() {
         .unwrap();
 
     // Remote peer in AS-B.
-    let mut bob =
-        Host::attach(&b, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 12).unwrap();
+    let mut bob = Host::attach(
+        &b,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        12,
+    )
+    .unwrap();
     let bi = bob
         .acquire_ephid(&b.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
         .unwrap();
@@ -107,8 +119,14 @@ fn nat_mode_client_reaches_remote_host() {
 fn apna_as_a_service_accountability_chain() {
     let (_dir, isp, remote) = two_ases();
     // The downstream "AS" is an AccessPoint from the ISP's perspective.
-    let downstream_host =
-        Host::attach(&isp, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 20).unwrap();
+    let downstream_host = Host::attach(
+        &isp,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        20,
+    )
+    .unwrap();
     let mut downstream = AccessPoint::new(downstream_host, 21);
 
     // Two customers of the downstream AS.
@@ -119,25 +137,44 @@ fn apna_as_a_service_accountability_chain() {
     let (gsp, gdp) = good_kp.public_keys();
     let (bsp, bdp) = bad_kp.public_keys();
     let good_cert = downstream
-        .request_ephid_for_client(good.id, gsp, gdp, &isp.ms, &isp.infra.keys.verifying_key(), ExpiryClass::Short, Timestamp(0))
+        .request_ephid_for_client(
+            good.id,
+            gsp,
+            gdp,
+            &isp.ms,
+            &isp.infra.keys.verifying_key(),
+            ExpiryClass::Short,
+            Timestamp(0),
+        )
         .unwrap();
     let bad_cert = downstream
-        .request_ephid_for_client(bad.id, bsp, bdp, &isp.ms, &isp.infra.keys.verifying_key(), ExpiryClass::Short, Timestamp(0))
+        .request_ephid_for_client(
+            bad.id,
+            bsp,
+            bdp,
+            &isp.ms,
+            &isp.infra.keys.verifying_key(),
+            ExpiryClass::Short,
+            Timestamp(0),
+        )
         .unwrap();
 
     // Victim in the remote AS.
-    let mut victim =
-        Host::attach(&remote, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 22).unwrap();
+    let mut victim = Host::attach(
+        &remote,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        22,
+    )
+    .unwrap();
     let vi = victim
         .acquire_ephid(&remote.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
         .unwrap();
     let v_owned = victim.owned_ephid(vi).clone();
 
     // The bad customer floods the victim (via the downstream AP).
-    let mut header = ApnaHeader::new(
-        HostAddr::new(Aid(1), bad_cert.ephid),
-        v_owned.addr(Aid(2)),
-    );
+    let mut header = ApnaHeader::new(HostAddr::new(Aid(1), bad_cert.ephid), v_owned.addr(Aid(2)));
     let wire = bad.finalize_packet(&mut header, b"flood");
     let forwarded = downstream.forward_outgoing(bad.id, &wire).unwrap();
     assert!(isp
@@ -148,29 +185,32 @@ fn apna_as_a_service_accountability_chain() {
     // Victim shuts off at the ISP (the accountability agent of the
     // *upstream*, which vouched for the packet).
     let req = ShutoffRequest::create(&forwarded, &v_owned.keys, v_owned.cert.clone());
-    let outcome = isp.aa.handle(&req, ReplayMode::Disabled, Timestamp(1)).unwrap();
+    let outcome = isp
+        .aa
+        .handle(&req, ReplayMode::Disabled, Timestamp(1))
+        .unwrap();
 
     // The ISP blames the EphID; the downstream operator identifies the
     // customer behind it — the §VIII-E chain of accountability.
-    assert_eq!(downstream.identify_client(&outcome.order.ephid), Some(bad.id));
-    assert_ne!(downstream.identify_client(&outcome.order.ephid), Some(good.id));
+    assert_eq!(
+        downstream.identify_client(&outcome.order.ephid),
+        Some(bad.id)
+    );
+    assert_ne!(
+        downstream.identify_client(&outcome.order.ephid),
+        Some(good.id)
+    );
 
     // The bad customer's EphID is dead at the ISP border; the good
     // customer is unaffected.
-    let mut header = ApnaHeader::new(
-        HostAddr::new(Aid(1), bad_cert.ephid),
-        v_owned.addr(Aid(2)),
-    );
+    let mut header = ApnaHeader::new(HostAddr::new(Aid(1), bad_cert.ephid), v_owned.addr(Aid(2)));
     let wire = bad.finalize_packet(&mut header, b"again");
     let fwd = downstream.forward_outgoing(bad.id, &wire).unwrap();
     assert!(!isp
         .br
         .process_outgoing(&fwd, ReplayMode::Disabled, Timestamp(2))
         .is_forward());
-    let mut header = ApnaHeader::new(
-        HostAddr::new(Aid(1), good_cert.ephid),
-        v_owned.addr(Aid(2)),
-    );
+    let mut header = ApnaHeader::new(HostAddr::new(Aid(1), good_cert.ephid), v_owned.addr(Aid(2)));
     let wire = good.finalize_packet(&mut header, b"innocent");
     let fwd = downstream.forward_outgoing(good.id, &wire).unwrap();
     assert!(isp
@@ -187,24 +227,52 @@ fn encrypted_dns_workflow() {
     // The resolver runs in AS-B (NOT the client's AS — the §VII-A
     // recommendation when the client distrusts its own AS).
     let resolver = DnsServer::new(SigningKey::from_seed(&[0xD2; 32]));
-    let mut resolver_host =
-        Host::attach(&b, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 30).unwrap();
+    let mut resolver_host = Host::attach(
+        &b,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        30,
+    )
+    .unwrap();
     let ri = resolver_host
-        .acquire_ephid(&b.ms, CertKind::ReceiveOnly, ExpiryClass::Long, Timestamp(0))
+        .acquire_ephid(
+            &b.ms,
+            CertKind::ReceiveOnly,
+            ExpiryClass::Long,
+            Timestamp(0),
+        )
         .unwrap();
     let r_owned = resolver_host.owned_ephid(ri).clone();
 
     // Publish a service record.
-    let mut svc =
-        Host::attach(&b, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 31).unwrap();
+    let mut svc = Host::attach(
+        &b,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        31,
+    )
+    .unwrap();
     let si = svc
-        .acquire_ephid(&b.ms, CertKind::ReceiveOnly, ExpiryClass::Long, Timestamp(0))
+        .acquire_ephid(
+            &b.ms,
+            CertKind::ReceiveOnly,
+            ExpiryClass::Long,
+            Timestamp(0),
+        )
         .unwrap();
     resolver.register("hidden.example", svc.owned_ephid(si).cert.clone(), None);
 
     // Client in AS-A builds a channel to the resolver and queries.
-    let mut client =
-        Host::attach(&a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 32).unwrap();
+    let mut client = Host::attach(
+        &a,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        32,
+    )
+    .unwrap();
     let ci = client
         .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
         .unwrap();
@@ -229,7 +297,9 @@ fn encrypted_dns_workflow() {
     let q = encrypted::seal_query(&mut ch_client, "hidden.example");
     assert!(!q.windows(14).any(|w| w == b"hidden.example"));
     let resp = encrypted::handle_query(&resolver, &mut ch_resolver, &q).unwrap();
-    let record = encrypted::open_response(&mut ch_client, &resp).unwrap().unwrap();
+    let record = encrypted::open_response(&mut ch_client, &resp)
+        .unwrap()
+        .unwrap();
     record
         .verify(&resolver.zone_verifying_key(), &dir, Timestamp(1))
         .unwrap();
@@ -245,9 +315,14 @@ fn in_network_replay_filter_stops_replay_at_source() {
     let (_dir, a, _b) = two_ases();
     let mut br = a.br.clone();
     br.enable_replay_filter();
-    let mut sender =
-        Host::attach(&a, Granularity::PerFlow, ReplayMode::NonceExtension, Timestamp(0), 40)
-            .unwrap();
+    let mut sender = Host::attach(
+        &a,
+        Granularity::PerFlow,
+        ReplayMode::NonceExtension,
+        Timestamp(0),
+        40,
+    )
+    .unwrap();
     let si = sender
         .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
         .unwrap();

@@ -20,7 +20,13 @@ fn line_network(replay: ReplayMode) -> (Network, Host, Host) {
         net.add_as(Aid(i), [i as u8; 32]);
     }
     for (a, b) in [(1u32, 2u32), (2, 3), (3, 4)] {
-        net.connect(Aid(a), Aid(b), 1_000, 10_000_000_000, FaultProfile::lossless());
+        net.connect(
+            Aid(a),
+            Aid(b),
+            1_000,
+            10_000_000_000,
+            FaultProfile::lossless(),
+        );
     }
     let now = net.now().as_protocol_time();
     let alice = Host::attach(net.node(Aid(1)), Granularity::PerFlow, replay, now, 1).unwrap();
@@ -33,10 +39,20 @@ fn encrypted_session_across_three_hops() {
     let (mut net, mut alice, mut dave) = line_network(ReplayMode::Disabled);
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(1)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let di = dave
-        .acquire_ephid(&net.node(Aid(4)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(4)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let a_owned = alice.owned_ephid(ai).clone();
     let d_owned = dave.owned_ephid(di).clone();
@@ -85,10 +101,20 @@ fn ping_across_the_internet() {
     let (mut net, mut alice, mut dave) = line_network(ReplayMode::Disabled);
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(1)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let di = dave
-        .acquire_ephid(&net.node(Aid(4)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(4)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let dave_addr = dave.owned_ephid(di).addr(Aid(4));
 
@@ -119,10 +145,20 @@ fn shutoff_effective_across_topology() {
     let (mut net, mut alice, mut dave) = line_network(ReplayMode::Disabled);
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(1)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let di = dave
-        .acquire_ephid(&net.node(Aid(4)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(4)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let d_owned = dave.owned_ephid(di).clone();
 
@@ -153,15 +189,45 @@ fn lossy_link_drops_show_in_fates_and_macs_catch_corruption() {
     net.add_as(Aid(1), [1; 32]);
     net.add_as(Aid(2), [2; 32]);
     // smoltcp-style stress: 15% drop, 15% corrupt.
-    net.connect(Aid(1), Aid(2), 500, 10_000_000_000, FaultProfile::lossy(0.15, 0.15));
+    net.connect(
+        Aid(1),
+        Aid(2),
+        500,
+        10_000_000_000,
+        FaultProfile::lossy(0.15, 0.15),
+    );
     let now = net.now().as_protocol_time();
-    let mut alice = Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1).unwrap();
-    let mut bob = Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 2).unwrap();
+    let mut alice = Host::attach(
+        net.node(Aid(1)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        1,
+    )
+    .unwrap();
+    let mut bob = Host::attach(
+        net.node(Aid(2)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        2,
+    )
+    .unwrap();
     let ai = alice
-        .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(1)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let bi = bob
-        .acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(2)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let a_owned = alice.owned_ephid(ai).clone();
     let b_owned = bob.owned_ephid(bi).clone();
@@ -187,7 +253,12 @@ fn lossy_link_drops_show_in_fates_and_macs_catch_corruption() {
     let mut garbled = 0;
     let mut ids = Vec::new();
     for n in 0..total {
-        let wire = alice.build_packet(ai, b_owned.addr(Aid(2)), &mut ch_a, format!("p{n}").as_bytes());
+        let wire = alice.build_packet(
+            ai,
+            b_owned.addr(Aid(2)),
+            &mut ch_a,
+            format!("p{n}").as_bytes(),
+        );
         ids.push(net.send(Aid(1), wire));
         net.run();
         for d in net.take_delivered() {
@@ -216,7 +287,7 @@ fn lossy_link_drops_show_in_fates_and_macs_catch_corruption() {
             _ => lost_or_dropped += 1,
         }
     }
-    assert_eq!(delivered_fates + lost_or_dropped, total as i32);
+    assert_eq!(delivered_fates + lost_or_dropped, total);
     // Cleanly decrypted payloads can never exceed delivered frames.
     assert!(clean <= delivered_fates);
     assert_eq!(clean + garbled, delivered_fates);
@@ -230,10 +301,20 @@ fn replay_protection_end_to_end() {
     };
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(1)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let di = dave
-        .acquire_ephid(&net.node(Aid(4)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(4)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let dave_addr = dave.owned_ephid(di).addr(Aid(4));
 
@@ -263,7 +344,12 @@ fn expired_ephid_dies_at_border_over_time() {
     let (mut net, mut alice, mut dave) = line_network(ReplayMode::Disabled);
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire_ephid(
+            &net.node(Aid(1)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
         .unwrap();
     let di = dave
         .acquire_ephid(&net.node(Aid(4)).ms, CertKind::Data, ExpiryClass::Long, now)
@@ -282,7 +368,9 @@ fn expired_ephid_dies_at_border_over_time() {
     assert!(
         matches!(
             net.fate(id),
-            Some(PacketFate::EgressDropped(apna_core::border::DropReason::Expired))
+            Some(PacketFate::EgressDropped(
+                apna_core::border::DropReason::Expired
+            ))
         ),
         "{:?}",
         net.fate(id)

@@ -2,14 +2,14 @@
 //! (§VIII-G1), revocation-list purging and HID escalation (§VIII-G2),
 //! control-EphID expiry at the MS, and DNS record rotation (§VII-A).
 
+use apna_core::border::{DropReason, Verdict};
 use apna_core::cert::CertKind;
+use apna_core::directory::AsDirectory;
 use apna_core::granularity::Granularity;
 use apna_core::host::Host;
 use apna_core::shutoff::ShutoffRequest;
 use apna_core::time::{ExpiryClass, Timestamp};
-use apna_core::border::{DropReason, Verdict};
 use apna_core::AsNode;
-use apna_core::directory::AsDirectory;
 use apna_crypto::ed25519::SigningKey;
 use apna_dns::DnsServer;
 use apna_wire::{Aid, EphIdBytes, HostAddr, ReplayMode};
@@ -24,10 +24,23 @@ fn setup() -> (AsDirectory, AsNode, AsNode) {
 #[test]
 fn expiry_classes_honored_at_border() {
     let (_dir, a, _b) = setup();
-    let mut host = Host::attach(&a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 1).unwrap();
-    let short = host.acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0)).unwrap();
-    let medium = host.acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Medium, Timestamp(0)).unwrap();
-    let long = host.acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Long, Timestamp(0)).unwrap();
+    let mut host = Host::attach(
+        &a,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        1,
+    )
+    .unwrap();
+    let short = host
+        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .unwrap();
+    let medium = host
+        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Medium, Timestamp(0))
+        .unwrap();
+    let long = host
+        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Long, Timestamp(0))
+        .unwrap();
     let dst = HostAddr::new(Aid(2), EphIdBytes([9; 16]));
 
     let checkpoints = [
@@ -40,11 +53,7 @@ fn expiry_classes_honored_at_border() {
         for (idx, ok) in [(short, expect[0]), (medium, expect[1]), (long, expect[2])] {
             let wire = host.build_raw_packet(idx, dst, b"x");
             let verdict = a.br.process_outgoing(&wire, ReplayMode::Disabled, now);
-            assert_eq!(
-                verdict.is_forward(),
-                ok,
-                "idx {idx} at {now}: {verdict:?}"
-            );
+            assert_eq!(verdict.is_forward(), ok, "idx {idx} at {now}: {verdict:?}");
         }
     }
 }
@@ -67,7 +76,14 @@ fn revocation_list_purge_after_expiry() {
 #[test]
 fn control_ephid_expiry_stops_issuance_until_rebootstrap() {
     let (dir, a, _b) = setup();
-    let mut host = Host::attach(&a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 1).unwrap();
+    let mut host = Host::attach(
+        &a,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        1,
+    )
+    .unwrap();
     // Control EphIDs live 24h.
     assert!(host
         .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(86_400))
@@ -76,7 +92,14 @@ fn control_ephid_expiry_stops_issuance_until_rebootstrap() {
         .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(86_401))
         .is_err());
     // Re-bootstrap refreshes the control EphID; issuance works again.
-    let mut fresh = Host::attach(&a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(86_401), 2).unwrap();
+    let mut fresh = Host::attach(
+        &a,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(86_401),
+        2,
+    )
+    .unwrap();
     assert!(fresh
         .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(86_401))
         .is_ok());
@@ -86,9 +109,25 @@ fn control_ephid_expiry_stops_issuance_until_rebootstrap() {
 #[test]
 fn six_strikes_escalates_to_hid_revocation_and_reissue_recovers() {
     let (_dir, a, b) = setup();
-    let mut spammer = Host::attach(&a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 1).unwrap();
-    let mut victim = Host::attach(&b, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 2).unwrap();
-    let vi = victim.acquire_ephid(&b.ms, CertKind::Data, ExpiryClass::Long, Timestamp(0)).unwrap();
+    let mut spammer = Host::attach(
+        &a,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        1,
+    )
+    .unwrap();
+    let mut victim = Host::attach(
+        &b,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        2,
+    )
+    .unwrap();
+    let vi = victim
+        .acquire_ephid(&b.ms, CertKind::Data, ExpiryClass::Long, Timestamp(0))
+        .unwrap();
     let v_owned = victim.owned_ephid(vi).clone();
 
     let mut hid = None;
@@ -100,7 +139,9 @@ fn six_strikes_escalates_to_hid_revocation_and_reissue_recovers() {
         hid = Some(apna_core::ephid::open(&a.infra.keys, &eph).unwrap().hid);
         let wire = spammer.build_raw_packet(si, v_owned.addr(Aid(2)), b"spam");
         let req = ShutoffRequest::create(&wire, &v_owned.keys, v_owned.cert.clone());
-        let outcome = a.aa.handle(&req, ReplayMode::Disabled, Timestamp(1)).unwrap();
+        let outcome =
+            a.aa.handle(&req, ReplayMode::Disabled, Timestamp(1))
+                .unwrap();
         assert_eq!(outcome.hid_revoked, strike == 5, "strike {strike}");
     }
     let hid = hid.unwrap();
@@ -113,7 +154,8 @@ fn six_strikes_escalates_to_hid_revocation_and_reissue_recovers() {
     // AND their HID is revoked. The Fig. 4 check order reports Revoked.
     let si = spammer.ephid_for(&a.ms, 0, 0, Timestamp(2)).unwrap();
     let wire = spammer.build_raw_packet(si, v_owned.addr(Aid(2)), b"post-reissue");
-    let verdict = a.br.process_outgoing(&wire, ReplayMode::Disabled, Timestamp(2));
+    let verdict =
+        a.br.process_outgoing(&wire, ReplayMode::Disabled, Timestamp(2));
     assert!(
         matches!(
             verdict,
@@ -131,29 +173,66 @@ fn dns_rotation_after_shutoff_pressure() {
     // records never face that.
     let (dir, _a, b) = setup();
     let dns = DnsServer::new(SigningKey::from_seed(&[0xDA; 32]));
-    let mut server = Host::attach(&b, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 3).unwrap();
-    let r1 = server.acquire_ephid(&b.ms, CertKind::ReceiveOnly, ExpiryClass::Short, Timestamp(0)).unwrap();
+    let mut server = Host::attach(
+        &b,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        3,
+    )
+    .unwrap();
+    let r1 = server
+        .acquire_ephid(
+            &b.ms,
+            CertKind::ReceiveOnly,
+            ExpiryClass::Short,
+            Timestamp(0),
+        )
+        .unwrap();
     dns.register("svc.example", server.owned_ephid(r1).cert.clone(), None);
     // Record expires with the cert at t=900; verification starts failing.
     let rec = dns.resolve("svc.example").unwrap();
-    assert!(rec.verify(&dns.zone_verifying_key(), &dir, Timestamp(500)).is_ok());
-    assert!(rec.verify(&dns.zone_verifying_key(), &dir, Timestamp(901)).is_err());
+    assert!(rec
+        .verify(&dns.zone_verifying_key(), &dir, Timestamp(500))
+        .is_ok());
+    assert!(rec
+        .verify(&dns.zone_verifying_key(), &dir, Timestamp(901))
+        .is_err());
     // Rotate: new receive-only EphID, fresh record.
-    let r2 = server.acquire_ephid(&b.ms, CertKind::ReceiveOnly, ExpiryClass::Long, Timestamp(901)).unwrap();
+    let r2 = server
+        .acquire_ephid(
+            &b.ms,
+            CertKind::ReceiveOnly,
+            ExpiryClass::Long,
+            Timestamp(901),
+        )
+        .unwrap();
     dns.update("svc.example", server.owned_ephid(r2).cert.clone(), None);
     let rec = dns.resolve("svc.example").unwrap();
-    assert!(rec.verify(&dns.zone_verifying_key(), &dir, Timestamp(902)).is_ok());
+    assert!(rec
+        .verify(&dns.zone_verifying_key(), &dir, Timestamp(902))
+        .is_ok());
 }
 
 #[test]
 fn preemptive_revocation_lifecycle() {
     let (_dir, a, _b) = setup();
-    let mut host = Host::attach(&a, Granularity::PerFlow, ReplayMode::Disabled, Timestamp(0), 4).unwrap();
-    let idx = host.acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0)).unwrap();
+    let mut host = Host::attach(
+        &a,
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        Timestamp(0),
+        4,
+    )
+    .unwrap();
+    let idx = host
+        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .unwrap();
     let owned = host.owned_ephid(idx).clone();
     // The host retires its own EphID (e.g., the flow ended early).
     let sig = owned.keys.sign.sign(owned.ephid().as_bytes());
-    a.aa.preemptive_revoke(&owned.cert, &sig, Timestamp(1)).unwrap();
+    a.aa.preemptive_revoke(&owned.cert, &sig, Timestamp(1))
+        .unwrap();
     // The host's pool evicts it, and the border drops it.
     assert_eq!(host.handle_revocation(owned.ephid()), 0); // not pooled via ephid_for
     let wire = host.build_raw_packet(idx, HostAddr::new(Aid(2), EphIdBytes([1; 16])), b"x");

@@ -17,7 +17,13 @@ fn two_as_net() -> Network {
     let mut net = Network::new(ReplayMode::Disabled);
     net.add_as(Aid(1), [1; 32]);
     net.add_as(Aid(2), [2; 32]);
-    net.connect(Aid(1), Aid(2), 1_000, 10_000_000_000, FaultProfile::lossless());
+    net.connect(
+        Aid(1),
+        Aid(2),
+        1_000,
+        10_000_000_000,
+        FaultProfile::lossless(),
+    );
     net.enable_wiretap();
     net
 }
@@ -28,15 +34,48 @@ fn two_as_net() -> Network {
 fn wire_leaks_only_as_pair_and_opaque_ids() {
     let mut net = two_as_net();
     let now = net.now().as_protocol_time();
-    let mut alice = Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1).unwrap();
-    let mut bob = Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 2).unwrap();
-    let ai = alice.acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now).unwrap();
-    let bi = bob.acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now).unwrap();
+    let mut alice = Host::attach(
+        net.node(Aid(1)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        1,
+    )
+    .unwrap();
+    let mut bob = Host::attach(
+        net.node(Aid(2)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        2,
+    )
+    .unwrap();
+    let ai = alice
+        .acquire_ephid(
+            &net.node(Aid(1)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
+        .unwrap();
+    let bi = bob
+        .acquire_ephid(
+            &net.node(Aid(2)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
+        .unwrap();
     let a_owned = alice.owned_ephid(ai).clone();
     let b_owned = bob.owned_ephid(bi).clone();
     let mut ch = SecureChannel::establish(
-        &a_owned.keys, a_owned.ephid(), &b_owned.cert.dh_public(), b_owned.ephid(), Role::Initiator,
-    ).unwrap();
+        &a_owned.keys,
+        a_owned.ephid(),
+        &b_owned.cert.dh_public(),
+        b_owned.ephid(),
+        Role::Initiator,
+    )
+    .unwrap();
 
     let secret = b"attorney-client privileged";
     let wire = alice.build_packet(ai, b_owned.addr(Aid(2)), &mut ch, secret);
@@ -69,9 +108,30 @@ fn wire_leaks_only_as_pair_and_opaque_ids() {
 fn per_flow_policy_breaks_linkability() {
     let mut net = two_as_net();
     let now = net.now().as_protocol_time();
-    let mut host = Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1).unwrap();
-    let mut sink = Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 2).unwrap();
-    let si = sink.acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now).unwrap();
+    let mut host = Host::attach(
+        net.node(Aid(1)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        1,
+    )
+    .unwrap();
+    let mut sink = Host::attach(
+        net.node(Aid(2)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        2,
+    )
+    .unwrap();
+    let si = sink
+        .acquire_ephid(
+            &net.node(Aid(2)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
+        .unwrap();
     let sink_addr = sink.owned_ephid(si).addr(Aid(2));
 
     for flow in 0..8u64 {
@@ -85,7 +145,11 @@ fn per_flow_policy_breaks_linkability() {
         let (h, _) = ApnaHeader::parse(&f.bytes, ReplayMode::Disabled).unwrap();
         srcs.insert(h.src.ephid);
     }
-    assert_eq!(srcs.len(), 8, "8 flows must present 8 unlinkable identifiers");
+    assert_eq!(
+        srcs.len(),
+        8,
+        "8 flows must present 8 unlinkable identifiers"
+    );
 }
 
 /// The issuing AS CAN link: accountability requires it (§VIII-H lawful
@@ -94,12 +158,23 @@ fn per_flow_policy_breaks_linkability() {
 fn issuing_as_can_deanonymize() {
     let net = two_as_net();
     let now = net.now().as_protocol_time();
-    let mut host = Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1).unwrap();
+    let mut host = Host::attach(
+        net.node(Aid(1)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        1,
+    )
+    .unwrap();
     let mut hids = HashSet::new();
     for flow in 0..5u64 {
         let idx = host.ephid_for(&net.node(Aid(1)).ms, flow, 0, now).unwrap();
         let eph = host.owned_ephid(idx).ephid();
-        hids.insert(apna_core::ephid::open(&net.node(Aid(1)).infra.keys, &eph).unwrap().hid);
+        hids.insert(
+            apna_core::ephid::open(&net.node(Aid(1)).infra.keys, &eph)
+                .unwrap()
+                .hid,
+        );
     }
     assert_eq!(hids.len(), 1, "the AS links all EphIDs to one customer");
     // The OTHER AS cannot: decryption fails entirely.
@@ -115,15 +190,48 @@ fn issuing_as_can_deanonymize() {
 fn destination_as_cannot_read_payloads() {
     let net = two_as_net();
     let now = net.now().as_protocol_time();
-    let mut alice = Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, 1).unwrap();
-    let mut bob = Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 2).unwrap();
-    let ai = alice.acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now).unwrap();
-    let bi = bob.acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now).unwrap();
+    let mut alice = Host::attach(
+        net.node(Aid(1)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        1,
+    )
+    .unwrap();
+    let mut bob = Host::attach(
+        net.node(Aid(2)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        2,
+    )
+    .unwrap();
+    let ai = alice
+        .acquire_ephid(
+            &net.node(Aid(1)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
+        .unwrap();
+    let bi = bob
+        .acquire_ephid(
+            &net.node(Aid(2)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
+        .unwrap();
     let a_owned = alice.owned_ephid(ai).clone();
     let b_owned = bob.owned_ephid(bi).clone();
     let mut ch = SecureChannel::establish(
-        &a_owned.keys, a_owned.ephid(), &b_owned.cert.dh_public(), b_owned.ephid(), Role::Initiator,
-    ).unwrap();
+        &a_owned.keys,
+        a_owned.ephid(),
+        &b_owned.cert.dh_public(),
+        b_owned.ephid(),
+        Role::Initiator,
+    )
+    .unwrap();
     let sealed = ch.seal(b"", b"for bob only");
 
     // AS-B knows: its own root keys, Bob's k_HA, Bob's certificate. It
@@ -132,14 +240,24 @@ fn destination_as_cannot_read_payloads() {
     // derived from any key material it holds — e.g. its own DH key.
     let as_b_guess = apna_core::keys::EphIdKeyPair::from_seed([0xB0; 32]);
     let mut guess_channel = SecureChannel::establish(
-        &as_b_guess, b_owned.ephid(), &a_owned.cert.dh_public(), a_owned.ephid(), Role::Responder,
-    ).unwrap();
+        &as_b_guess,
+        b_owned.ephid(),
+        &a_owned.cert.dh_public(),
+        a_owned.ephid(),
+        Role::Responder,
+    )
+    .unwrap();
     assert!(guess_channel.open(b"", &sealed).is_err());
 
     // Bob, holding the real key, reads it.
     let mut bob_channel = SecureChannel::establish(
-        &b_owned.keys, b_owned.ephid(), &a_owned.cert.dh_public(), a_owned.ephid(), Role::Responder,
-    ).unwrap();
+        &b_owned.keys,
+        b_owned.ephid(),
+        &a_owned.cert.dh_public(),
+        a_owned.ephid(),
+        Role::Responder,
+    )
+    .unwrap();
     assert_eq!(bob_channel.open(b"", &sealed).unwrap(), b"for bob only");
 }
 
@@ -150,12 +268,40 @@ fn anonymity_set_is_the_as() {
     let mut net = two_as_net();
     let now = net.now().as_protocol_time();
     // Ten hosts in AS 1, each sends one packet.
-    let mut sink = Host::attach(net.node(Aid(2)), Granularity::PerFlow, ReplayMode::Disabled, now, 99).unwrap();
-    let si = sink.acquire_ephid(&net.node(Aid(2)).ms, CertKind::Data, ExpiryClass::Short, now).unwrap();
+    let mut sink = Host::attach(
+        net.node(Aid(2)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        now,
+        99,
+    )
+    .unwrap();
+    let si = sink
+        .acquire_ephid(
+            &net.node(Aid(2)).ms,
+            CertKind::Data,
+            ExpiryClass::Short,
+            now,
+        )
+        .unwrap();
     let sink_addr = sink.owned_ephid(si).addr(Aid(2));
     for seed in 0..10u64 {
-        let mut h = Host::attach(net.node(Aid(1)), Granularity::PerFlow, ReplayMode::Disabled, now, seed).unwrap();
-        let idx = h.acquire_ephid(&net.node(Aid(1)).ms, CertKind::Data, ExpiryClass::Short, now).unwrap();
+        let mut h = Host::attach(
+            net.node(Aid(1)),
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            now,
+            seed,
+        )
+        .unwrap();
+        let idx = h
+            .acquire_ephid(
+                &net.node(Aid(1)).ms,
+                CertKind::Data,
+                ExpiryClass::Short,
+                now,
+            )
+            .unwrap();
         let wire = h.build_raw_packet(idx, sink_addr, b"x");
         net.send(Aid(1), wire);
     }

@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! crates.io is unreachable from the build environment, so this vendored
+//! crate implements the API subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], group knobs (`warm_up_time`,
+//! `measurement_time`, `sample_size`, `throughput`), `bench_function` with
+//! a [`Bencher`] whose `iter` measures a closure, and the
+//! [`criterion_group!`]/[`criterion_main!`] glue.
+//!
+//! Differences from real criterion, deliberately accepted:
+//!
+//! * No statistical outlier analysis or HTML reports — each benchmark
+//!   reports min/median/mean over its samples on stdout.
+//! * No baseline comparison; instead, setting the `CRITERION_JSON`
+//!   environment variable to a path makes the harness write a JSON array
+//!   of all results at exit (used to commit `BENCH_*.json` baselines).
+
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// One finished measurement, kept for the JSON export.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    group: String,
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Runs the measured closure a counted number of times.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget for each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-iteration work amount for throughput reporting
+    /// (applies to subsequently registered benchmarks, as in criterion).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.into();
+
+        // Calibrate: how many iterations fit one sample slot.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let slot = self.measurement / self.sample_size as u32;
+        let iters = (slot.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000_000) as u64;
+
+        // Warm up.
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            bencher.iters = iters.min(1_000);
+            f(&mut bencher);
+        }
+
+        // Sample.
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters;
+            f(&mut bencher);
+            per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter_ns[0];
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+        let tp = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!(
+                    "  thrpt: {:>9.3} MiB/s",
+                    b as f64 / (mean * 1e-9) / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("  thrpt: {:>9.3} Melem/s", e as f64 / (mean * 1e-9) / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<28} time: [{} {} {}]{}",
+            self.name,
+            name,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            tp
+        );
+
+        RESULTS.lock().unwrap().push(BenchRecord {
+            group: self.name.clone(),
+            name,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            samples: per_iter_ns.len(),
+            iters_per_sample: iters,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// The benchmark manager handed to every target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Measures a single ungrouped benchmark with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Writes all collected results as a JSON array to `$CRITERION_JSON`,
+/// if set. Called by [`criterion_main!`] after all groups run.
+pub fn export_json_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let records = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let (tp_kind, tp_amount) = match r.throughput {
+            Some(Throughput::Bytes(b)) => ("\"bytes\"".to_string(), b.to_string()),
+            Some(Throughput::Elements(e)) => ("\"elements\"".to_string(), e.to_string()),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        out.push_str(&format!(
+            concat!(
+                "  {{\"group\": \"{}\", \"name\": \"{}\", ",
+                "\"mean_ns\": {:.2}, \"median_ns\": {:.2}, \"min_ns\": {:.2}, ",
+                "\"samples\": {}, \"iters_per_sample\": {}, ",
+                "\"throughput_kind\": {}, \"throughput_per_iter\": {}}}{}\n"
+            ),
+            r.group,
+            r.name,
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+            r.samples,
+            r.iters_per_sample,
+            tp_kind,
+            tp_amount,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: failed to write {path}: {e}");
+    }
+}
+
+/// Bundles target functions into a runnable group (criterion API glue).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, then the JSON export hook.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::export_json_if_requested();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("spin", |b| b.iter(|| black_box(2u64).pow(black_box(10))));
+        g.finish();
+        let results = RESULTS.lock().unwrap();
+        let r = results.iter().find(|r| r.name == "spin").unwrap();
+        assert!(r.mean_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible API subset).
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides exactly the surface the workspace uses:
+//!
+//! * [`RngCore`] / [`CryptoRng`] / [`SeedableRng`] trait vocabulary,
+//! * the [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`),
+//! * [`rngs::StdRng`], a deterministic xoshiro256++ generator seeded via
+//!   splitmix64 (the workspace only ever seeds it explicitly, so
+//!   determinism is a feature: every test and simulation is replayable).
+//!
+//! `StdRng` is *not* a CSPRNG; it carries the [`CryptoRng`] marker only so
+//! the key-generation APIs (which take `RngCore + CryptoRng`) accept it in
+//! this reproduction. Production deployments must substitute the real
+//! `rand`/`getrandom` stack — see README "Vendored dependencies".
+
+#![forbid(unsafe_code)]
+
+/// Core random-number generation interface (rand 0.8 signature subset).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Marker trait for generators acceptable to key-generation APIs.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with splitmix64
+    /// exactly like rand 0.8 does (so seeded sequences stay stable).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // rand_core's seed_from_u64: splitmix64, low 32 bits per chunk.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod distributions {
+    use super::RngCore;
+
+    /// Types samplable uniformly over their whole domain (the `Standard`
+    /// distribution of real rand, folded into a single trait).
+    pub trait Standard: Sized {
+        /// Draws one value from `rng`.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty => $via:ident),* $(,)?) => {$(
+            impl Standard for $t {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                       i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                       u64 => next_u64, i64 => next_u64, usize => next_u64,
+                       u128 => next_u64, isize => next_u64);
+
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 uniform bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl<const N: usize> Standard for [u8; N] {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            let mut out = [0u8; N];
+            rng.fill_bytes(&mut out);
+            out
+        }
+    }
+
+    /// Ranges usable with [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws a value within the range.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_range_uint {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = (self.end - self.start) as u64;
+                    // Multiply-shift bounded sampling (Lemire); the tiny
+                    // modulo bias of plain `% span` is irrelevant here but
+                    // this is just as cheap.
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    self.start + hi as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range in gen_range");
+                    if lo == <$t>::MIN && hi == <$t>::MAX {
+                        return Standard::sample(rng);
+                    }
+                    let span = (hi - lo) as u64 + 1;
+                    let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    lo + v as $t
+                }
+            }
+        )*};
+    }
+    impl_range_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_sint {
+        ($($t:ty : $ut:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = self.end.wrapping_sub(self.start) as $ut as u64;
+                    let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    self.start.wrapping_add(v as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range in gen_range");
+                    if lo == <$t>::MIN && hi == <$t>::MAX {
+                        return Standard::sample(rng);
+                    }
+                    let span = hi.wrapping_sub(lo) as $ut as u64 + 1;
+                    let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    lo.wrapping_add(v as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_sint!(i8: u8, i16: u16, i32: u32, i64: u64);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range in gen_range");
+            let u: f64 = Standard::sample(rng);
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range in gen_range");
+            let u: f64 = Standard::sample(rng);
+            lo + u * (hi - lo)
+        }
+    }
+
+    impl SampleRange<f32> for core::ops::Range<f32> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "empty range in gen_range");
+            let u: f32 = Standard::sample(rng);
+            self.start + u * (self.end - self.start)
+        }
+    }
+}
+
+pub use distributions::{SampleRange, Standard};
+
+/// Convenience extension over [`RngCore`] (rand 0.8's `Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        let u: f64 = self.gen();
+        u < p
+    }
+
+    /// Fills `dest` with random bytes (alias of `fill_bytes`).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{CryptoRng, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the same stream as real rand's StdRng (ChaCha12); everything in
+    /// this repo that depends on seeded values derives them through this
+    /// generator consistently, so cross-version stability is irrelevant.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = Self::rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = Self::rotl(s[3], 45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = rem.len();
+                rem.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl CryptoRng for StdRng {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1u64..=4);
+            assert!((1..=4).contains(&w));
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+        assert!((0..1_000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1_000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: u8 = rng.gen_range(0u8..=u8::MAX);
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn array_sampling() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: [u8; 32] = rng.gen();
+        let b: [u8; 32] = rng.gen();
+        assert_ne!(a, b);
+    }
+}
