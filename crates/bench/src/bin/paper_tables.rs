@@ -2,14 +2,14 @@
 //! quantitative claims of §VII-C and §VIII, printing paper-reported vs.
 //! measured values. See DESIGN.md (experiment index) and EXPERIMENTS.md.
 //!
-//! Usage: `paper_tables [e1|e2|e3|e4|e5|e6|e7|e8|e9|all] [--quick]`
+//! Usage: `paper_tables [e1|e2|e3|e4|e5|e6|e7|e8|e9|contention|all] [--quick]`
 //!
 //! `--quick` shrinks workloads (CI-friendly); the default sizes match the
 //! paper where feasible (E1 runs the full 500,000-request batch).
 
 use apna_bench::{
-    granularity_comparison, measure_ephid_generation, measure_pipeline, reproduce_fig8, BenchWorld,
-    HW_PER_PACKET_SECS,
+    granularity_comparison, measure_contention, measure_ephid_generation, measure_pipeline,
+    reproduce_fig8, BenchWorld, HW_PER_PACKET_SECS,
 };
 use apna_core::granularity::Granularity;
 use apna_core::revocation::RevocationList;
@@ -58,6 +58,27 @@ fn main() {
     if run("e9") {
         e9_granularity(quick);
     }
+    if run("contention") {
+        contention_scaling(quick);
+    }
+}
+
+/// Multi-threaded egress contention over the shared sharded state (the
+/// per-core DPDK model of §V-B3). Prints the scaling curve recorded in
+/// `BENCH_border_contention.json`.
+fn contention_scaling(quick: bool) {
+    println!("Contention — BorderRouter clones over shared sharded state");
+    println!("-----------------------------------------------------------");
+    let batches = if quick { 20 } else { 200 };
+    println!("threads | pkts      | ns/pkt (eff) | aggregate Mpps");
+    for threads in [1usize, 2, 4, 8] {
+        let p = measure_contention(threads, 512, 64, batches);
+        println!(
+            "{:7} | {:9} | {:12.1} | {:.3}",
+            p.threads, p.total_packets, p.per_packet_ns, p.mpps
+        );
+    }
+    println!("(512 B packets, batch 64, one host per thread over the shared sharded state)\n");
 }
 
 fn e1_ephid_generation(quick: bool) {

@@ -12,12 +12,12 @@
 
 #![forbid(unsafe_code)]
 
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::asnode::AsNode;
 use apna_core::border::Direction;
 use apna_core::cert::CertKind;
 use apna_core::directory::AsDirectory;
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_core::keys::{EphIdKeyPair, HostAsKey};
 use apna_core::time::{ExpiryClass, Timestamp};
 use apna_core::Hid;
@@ -32,8 +32,8 @@ pub struct BenchWorld {
     pub node: AsNode,
     /// The shared directory.
     pub directory: AsDirectory,
-    /// A bootstrapped host.
-    pub host: Host,
+    /// A bootstrapped host agent.
+    pub host: HostAgent,
     /// Index of an issued data EphID on `host`.
     pub ephid_idx: usize,
     /// The host's HID.
@@ -45,18 +45,18 @@ pub struct BenchWorld {
 impl BenchWorld {
     /// Builds the fixture deterministically.
     pub fn new() -> BenchWorld {
+        BenchWorld::with_replay(ReplayMode::Disabled)
+    }
+
+    /// Builds the fixture under a specific replay mode (the contention
+    /// bench needs nonce-carrying packets for the shared replay filter).
+    pub fn with_replay(mode: ReplayMode) -> BenchWorld {
         let directory = AsDirectory::new();
         let node = AsNode::from_seed(Aid(1), [1; 32], &directory, Timestamp(0));
-        let mut host = Host::attach(
-            &node,
-            Granularity::PerFlow,
-            ReplayMode::Disabled,
-            Timestamp(0),
-            42,
-        )
-        .unwrap();
+        let mut host =
+            HostAgent::attach(&node, Granularity::PerFlow, mode, Timestamp(0), 42).unwrap();
         let ephid_idx = host
-            .acquire_ephid(&node.ms, CertKind::Data, ExpiryClass::Long, Timestamp(0))
+            .acquire(&node, EphIdUsage::DATA_LONG, Timestamp(0))
             .unwrap();
         // Recover hid/kha for packet construction outside the host.
         let plain =
@@ -73,9 +73,25 @@ impl BenchWorld {
     }
 
     /// Builds a burst of `n` valid outgoing packets of `total_size` bytes
-    /// each, ready for the batched pipeline.
+    /// each via the host's burst builder (header setup amortized, no
+    /// per-packet address re-lookup), ready for the batched pipeline.
     pub fn burst_of(&mut self, n: usize, total_size: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|_| self.packet_of_size(total_size)).collect()
+        let base = ApnaHeader::new(
+            HostAddr::new(Aid(1), EphIdBytes([0; 16])),
+            HostAddr::new(Aid(2), EphIdBytes([0; 16])),
+        );
+        let header_len = if self.host.replay_mode() == ReplayMode::NonceExtension {
+            base.with_nonce(0).wire_len()
+        } else {
+            base.wire_len()
+        };
+        let payload_len = total_size.saturating_sub(header_len);
+        let payloads = vec![vec![0xAB; payload_len]; n];
+        self.host.build_raw_packet_burst(
+            self.ephid_idx,
+            HostAddr::new(Aid(2), EphIdBytes([0x77; 16])),
+            &payloads,
+        )
     }
 
     /// Builds a valid outgoing packet of exactly `total_size` bytes
@@ -257,6 +273,93 @@ pub fn measure_batched_pipeline(size: usize, batch_size: usize) -> f64 {
     LineRateModel::per_packet_from_batch(secs_per_batch, batch_size)
 }
 
+/// One point of the multi-threaded contention scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionPoint {
+    /// Worker threads (one `BorderRouter` clone each).
+    pub threads: usize,
+    /// Packets processed across all threads.
+    pub total_packets: u64,
+    /// Wall-clock seconds for the whole run.
+    pub secs: f64,
+    /// Effective per-packet cost (wall-clock × threads / packets), ns.
+    pub per_packet_ns: f64,
+    /// Aggregate throughput, million packets per second.
+    pub mpps: f64,
+}
+
+/// Multi-threaded egress contention: `threads` BorderRouter clones (the
+/// per-core DPDK model of §V-B3) hammer the *shared* sharded state — one
+/// replay-filter/revocation-list/host-db instance behind `Arc` — with
+/// `batches_per_thread` bursts of `batch` nonce-carrying packets each.
+/// Each thread carries one host's traffic (its own source EphID and nonce
+/// stream, like a per-core RSS queue), so every thread's replay-window
+/// updates contend on the shared sharded filter.
+pub fn measure_contention(
+    threads: usize,
+    size: usize,
+    batch: usize,
+    batches_per_thread: usize,
+) -> ContentionPoint {
+    let world = BenchWorld::with_replay(ReplayMode::NonceExtension);
+    let mut br = world.node.br.clone();
+    br.enable_replay_filter(); // shared Arc'd filter; clones share it
+                               // One host per thread: distinct EphIDs, independent nonce streams.
+    let header_len = ApnaHeader::new(
+        HostAddr::new(Aid(1), EphIdBytes([0; 16])),
+        HostAddr::new(Aid(2), EphIdBytes([0; 16])),
+    )
+    .with_nonce(0)
+    .wire_len();
+    let payloads = vec![vec![0xAB; size.saturating_sub(header_len)]; batch];
+    let bursts: Vec<Vec<PacketBatch>> = (0..threads)
+        .map(|t| {
+            let mut host = HostAgent::attach(
+                &world.node,
+                Granularity::PerFlow,
+                ReplayMode::NonceExtension,
+                Timestamp(0),
+                1000 + t as u64,
+            )
+            .unwrap();
+            let idx = host
+                .acquire(&world.node, EphIdUsage::DATA_LONG, Timestamp(0))
+                .unwrap();
+            let dst = HostAddr::new(Aid(2), EphIdBytes([0x77; 16]));
+            (0..batches_per_thread)
+                .map(|_| {
+                    PacketBatch::from_packets(
+                        ReplayMode::NonceExtension,
+                        host.build_raw_packet_burst(idx, dst, &payloads),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for thread_bursts in bursts {
+            let br = br.clone();
+            s.spawn(move || {
+                for mut b in thread_bursts {
+                    let out = br.process_batch(Direction::Egress, &mut b, Timestamp(1));
+                    assert_eq!(out.passed() as usize, batch, "contention run must not drop");
+                    std::hint::black_box(out);
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total_packets = (threads * batches_per_thread * batch) as u64;
+    ContentionPoint {
+        threads,
+        total_packets,
+        secs,
+        per_packet_ns: secs * 1e9 * threads as f64 / total_packets as f64,
+        mpps: total_packets as f64 / secs / 1e6,
+    }
+}
+
 /// E2/E3: measured per-packet egress cost per Fig. 8 packet size, plus the
 /// modeled throughput points for (a) this machine's software pipeline,
 /// (b) the same pipeline fed [`FIG8_BATCH`]-packet bursts, and (c) the
@@ -405,6 +508,16 @@ mod tests {
             .br
             .process_batch(Direction::Egress, &mut batch, Timestamp(1));
         assert_eq!(out.passed(), 4);
+    }
+
+    #[test]
+    fn contention_measurement_sane() {
+        let p1 = measure_contention(1, 256, 8, 4);
+        assert_eq!(p1.total_packets, 32);
+        assert!(p1.mpps > 0.0);
+        let p2 = measure_contention(2, 256, 8, 4);
+        assert_eq!(p2.threads, 2);
+        assert_eq!(p2.total_packets, 64);
     }
 
     #[test]

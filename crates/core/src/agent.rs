@@ -1,0 +1,461 @@
+//! The host's control-plane agent.
+//!
+//! A [`HostAgent`] owns a bootstrapped [`Host`] (and with it the host's key
+//! material and issued EphIDs) plus the [`EphIdPool`] that maps traffic to
+//! EphIDs under a §VIII-A granularity policy. It exposes *intent-level*
+//! calls — [`HostAgent::acquire`], [`HostAgent::ephid_for`],
+//! [`HostAgent::refresh_expiring`], [`HostAgent::request_shutoff`] — and
+//! turns each into a [`ControlMsg`] round-trip against a [`ControlPlane`]
+//! service: serialize, dispatch, parse, accept. The envelope is exercised
+//! on every call even when the "transport" is a direct function call; the
+//! simulator swaps in real packets without touching this code.
+//!
+//! The agent dereferences to its [`Host`], so data-plane calls
+//! (`build_packet`, `receive_packet`, `owned_ephid`, …) read the same as
+//! they would on a bare host.
+
+use crate::asnode::AsNode;
+use crate::cert::CertKind;
+use crate::control::{ControlMsg, ControlPlane, DnsUpsert, ShutoffAck};
+use crate::granularity::{EphIdPool, Granularity, SlotDecision};
+use crate::host::Host;
+use crate::keys::EphIdKeyPair;
+use crate::shutoff::ShutoffRequest;
+use crate::time::{ExpiryClass, Timestamp};
+use crate::Error;
+use apna_wire::ipv4::Ipv4Addr;
+use apna_wire::{EphIdBytes, HostAddr, ReplayMode};
+
+/// What an EphID will be used for: the certificate kind plus the §VIII-G1
+/// expiry class, bundled so intent-level calls stay two-argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EphIdUsage {
+    /// Requested certificate kind.
+    pub kind: CertKind,
+    /// Requested expiry class.
+    pub class: ExpiryClass,
+}
+
+impl EphIdUsage {
+    /// A data-plane EphID with a 15-minute lifetime — the common case
+    /// ("98% of the flows in the Internet last less than 15 minutes").
+    pub const DATA_SHORT: EphIdUsage = EphIdUsage::new(CertKind::Data, ExpiryClass::Short);
+    /// A data-plane EphID with a 2-hour lifetime.
+    pub const DATA_MEDIUM: EphIdUsage = EphIdUsage::new(CertKind::Data, ExpiryClass::Medium);
+    /// A data-plane EphID with a 24-hour lifetime.
+    pub const DATA_LONG: EphIdUsage = EphIdUsage::new(CertKind::Data, ExpiryClass::Long);
+    /// A publishable receive-only EphID (§VII-A), 24-hour lifetime.
+    pub const RECEIVE_ONLY: EphIdUsage = EphIdUsage::new(CertKind::ReceiveOnly, ExpiryClass::Long);
+    /// A receive-only EphID with the short lifetime (rotation tests).
+    pub const RECEIVE_ONLY_SHORT: EphIdUsage =
+        EphIdUsage::new(CertKind::ReceiveOnly, ExpiryClass::Short);
+
+    /// Bundles a kind and class.
+    #[must_use]
+    pub const fn new(kind: CertKind, class: ExpiryClass) -> EphIdUsage {
+        EphIdUsage { kind, class }
+    }
+}
+
+/// The host-side state of an in-flight EphID acquisition: the generated
+/// key pair, held until the issuance reply arrives.
+pub struct PendingAcquire {
+    keypair: EphIdKeyPair,
+}
+
+/// Default refresh horizon for [`HostAgent::refresh_expiring`]: EphIDs
+/// within a minute of expiry get replaced.
+pub const DEFAULT_REFRESH_MARGIN_SECS: u32 = 60;
+
+/// A host plus its control-plane brain: EphID pool, granularity policy,
+/// and the client side of every [`ControlMsg`] exchange.
+pub struct HostAgent {
+    host: Host,
+    pool: EphIdPool,
+    refresh_margin_secs: u32,
+}
+
+impl std::ops::Deref for HostAgent {
+    type Target = Host;
+    fn deref(&self) -> &Host {
+        &self.host
+    }
+}
+
+impl std::ops::DerefMut for HostAgent {
+    fn deref_mut(&mut self) -> &mut Host {
+        &mut self.host
+    }
+}
+
+impl HostAgent {
+    /// Bootstraps a host against `node` and wraps it with a pool under
+    /// `granularity`.
+    pub fn attach(
+        node: &AsNode,
+        granularity: Granularity,
+        replay_mode: ReplayMode,
+        now: Timestamp,
+        rng_seed: u64,
+    ) -> Result<HostAgent, Error> {
+        Ok(HostAgent::from_host(
+            Host::attach(node, replay_mode, now, rng_seed)?,
+            granularity,
+        ))
+    }
+
+    /// Wraps an already-bootstrapped host.
+    #[must_use]
+    pub fn from_host(host: Host, granularity: Granularity) -> HostAgent {
+        HostAgent {
+            host,
+            pool: EphIdPool::new(granularity),
+            refresh_margin_secs: DEFAULT_REFRESH_MARGIN_SECS,
+        }
+    }
+
+    /// Read access to the wrapped host (the deref target, made explicit).
+    #[must_use]
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// Adjusts how far ahead of expiry [`HostAgent::refresh_expiring`]
+    /// replaces EphIDs.
+    pub fn set_refresh_margin(&mut self, secs: u32) {
+        self.refresh_margin_secs = secs;
+    }
+
+    // -----------------------------------------------------------------
+    // EphID acquisition (Fig. 3, intent level)
+    // -----------------------------------------------------------------
+
+    /// Starts an acquisition: returns the pending state (keep it) and the
+    /// request message to deliver to the Management Service.
+    pub fn begin_acquire(&mut self, usage: EphIdUsage) -> (PendingAcquire, ControlMsg) {
+        let (keypair, req) = self.host.make_ephid_request(usage.kind, usage.class);
+        (PendingAcquire { keypair }, ControlMsg::EphIdRequest(req))
+    }
+
+    /// Completes an acquisition from the service's reply message; stores
+    /// and returns the index of the new EphID.
+    pub fn complete_acquire(
+        &mut self,
+        pending: PendingAcquire,
+        reply: &ControlMsg,
+        now: Timestamp,
+    ) -> Result<usize, Error> {
+        let ControlMsg::EphIdReply(reply) = reply else {
+            return Err(Error::ControlRejected("expected an EphID reply"));
+        };
+        self.host.accept_ephid_reply(pending.keypair, reply, now)
+    }
+
+    /// One-call acquisition over a [`ControlPlane`]: the request and reply
+    /// cross the serialized [`ControlMsg`] envelope in both directions,
+    /// exactly as they would on the wire.
+    pub fn acquire(
+        &mut self,
+        cp: &(impl ControlPlane + ?Sized),
+        usage: EphIdUsage,
+        now: Timestamp,
+    ) -> Result<usize, Error> {
+        let (pending, msg) = self.begin_acquire(usage);
+        let reply_frame = cp
+            .handle_control_frame(&msg.serialize(), now)?
+            .ok_or(Error::ControlRejected("issuance produced no reply"))?;
+        let reply = ControlMsg::parse(&reply_frame)?;
+        self.complete_acquire(pending, &reply, now)
+    }
+
+    /// Selects (acquiring if needed) the EphID for a packet of `flow` /
+    /// `app` under the pool policy. Returns the index into
+    /// [`Host::owned_ephid`].
+    pub fn ephid_for(
+        &mut self,
+        cp: &(impl ControlPlane + ?Sized),
+        flow: u64,
+        app: u16,
+        now: Timestamp,
+    ) -> Result<usize, Error> {
+        match self.pool.slot_for(flow, app) {
+            SlotDecision::Reuse(idx) => Ok(idx),
+            SlotDecision::NeedNew(key) => {
+                let idx = self.acquire(cp, EphIdUsage::DATA_SHORT, now)?;
+                self.pool.install(key, idx);
+                Ok(idx)
+            }
+        }
+    }
+
+    /// Replaces every pooled data EphID that expires within the refresh
+    /// margin: acquires a successor and repoints the slots it served, so
+    /// ongoing flows never hit the border router's expiry check. Returns
+    /// how many EphIDs were replaced.
+    pub fn refresh_expiring(
+        &mut self,
+        cp: &(impl ControlPlane + ?Sized),
+        now: Timestamp,
+    ) -> Result<usize, Error> {
+        let deadline = now.add_secs(self.refresh_margin_secs);
+        let mut stale: Vec<usize> = self
+            .pool
+            .assignments()
+            .map(|(_, idx)| idx)
+            .filter(|&idx| {
+                self.host
+                    .owned_ephid(idx)
+                    .cert
+                    .exp_time
+                    .expired_at(deadline)
+            })
+            .collect();
+        stale.sort_unstable();
+        stale.dedup();
+        for old_idx in &stale {
+            // Acquire the successor BEFORE touching the pool: if issuance
+            // fails (expired control EphID, unreachable MS) the error
+            // propagates with every remaining flow→EphID mapping intact,
+            // instead of silently evicting slots it cannot refill.
+            let new_idx = self.acquire(cp, EphIdUsage::DATA_SHORT, now)?;
+            for key in self.pool.evict_index(*old_idx) {
+                self.pool.install(key, new_idx);
+            }
+        }
+        Ok(stale.len())
+    }
+
+    // -----------------------------------------------------------------
+    // Revocation & shut-off (Fig. 5, intent level)
+    // -----------------------------------------------------------------
+
+    /// Reacts to a shutoff/revocation of one of our EphIDs: evicts every
+    /// pool slot it served (fate-sharing) so follow-up traffic reallocates.
+    pub fn handle_revocation(&mut self, ephid: EphIdBytes) -> usize {
+        let Some(idx) = self.host.owned_index_of(ephid) else {
+            return 0;
+        };
+        self.pool.evict_index(idx).len()
+    }
+
+    /// Builds a shut-off request message from received evidence: the
+    /// unwanted packet, signed with the key of the EphID that received it
+    /// (`owned_idx`), plus that EphID's certificate.
+    #[must_use]
+    pub fn shutoff_request(&self, evidence: &[u8], owned_idx: usize) -> ControlMsg {
+        let owned = self.host.owned_ephid(owned_idx);
+        ControlMsg::ShutoffRequest(ShutoffRequest::create(
+            evidence,
+            &owned.keys,
+            owned.cert.clone(),
+        ))
+    }
+
+    /// Files a shut-off request against the accountability agent behind
+    /// `cp` and returns its acknowledgement.
+    pub fn request_shutoff(
+        &mut self,
+        cp: &(impl ControlPlane + ?Sized),
+        evidence: &[u8],
+        owned_idx: usize,
+        now: Timestamp,
+    ) -> Result<ShutoffAck, Error> {
+        let msg = self.shutoff_request(evidence, owned_idx);
+        let reply_frame = cp
+            .handle_control_frame(&msg.serialize(), now)?
+            .ok_or(Error::ControlRejected("shutoff produced no reply"))?;
+        match ControlMsg::parse(&reply_frame)? {
+            ControlMsg::ShutoffAck(ack) => Ok(ack),
+            _ => Err(Error::ControlRejected("expected a shutoff ack")),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // DNS publication (§VII-A, intent level)
+    // -----------------------------------------------------------------
+
+    /// Builds a DNS registration message publishing the owned EphID at
+    /// `owned_idx` under `name`, authorized by that EphID's own key (the
+    /// zone's proof-of-possession check).
+    #[must_use]
+    pub fn dns_register_msg(
+        &self,
+        name: &str,
+        owned_idx: usize,
+        ipv4: Option<Ipv4Addr>,
+    ) -> ControlMsg {
+        let owned = self.host.owned_ephid(owned_idx);
+        ControlMsg::DnsRegister(DnsUpsert::signed(
+            name,
+            owned.cert.clone(),
+            ipv4,
+            &owned.keys.sign,
+        ))
+    }
+
+    /// Builds a DNS rotation message publishing `new_idx`'s certificate
+    /// under `name`, authorized by the key of the currently published
+    /// EphID at `current_idx` (the zone's continuity check).
+    #[must_use]
+    pub fn dns_update_msg(
+        &self,
+        name: &str,
+        new_idx: usize,
+        current_idx: usize,
+        ipv4: Option<Ipv4Addr>,
+    ) -> ControlMsg {
+        let new_cert = self.host.owned_ephid(new_idx).cert.clone();
+        let current = self.host.owned_ephid(current_idx);
+        ControlMsg::DnsUpdate(DnsUpsert::signed(name, new_cert, ipv4, &current.keys.sign))
+    }
+
+    // -----------------------------------------------------------------
+    // Transport helpers & metrics
+    // -----------------------------------------------------------------
+
+    /// Wraps a control message in an APNA packet sourced from the host's
+    /// control EphID (the packetized transport the simulator routes).
+    pub fn build_control_packet(&mut self, dst: HostAddr, msg: &ControlMsg) -> Vec<u8> {
+        self.host.build_ctrl_packet(dst, &msg.serialize())
+    }
+
+    /// Maps the next packet of `flow` / `app` to a pool decision without
+    /// acquiring — for transports (like the simulator) that run the
+    /// acquisition themselves and then call [`HostAgent::pool_install`].
+    pub fn pool_slot_for(&mut self, flow: u64, app: u16) -> SlotDecision {
+        self.pool.slot_for(flow, app)
+    }
+
+    /// Installs an acquired EphID index for a pool key handed out by
+    /// [`HostAgent::pool_slot_for`].
+    pub fn pool_install(&mut self, key: crate::granularity::PoolKey, index: usize) {
+        self.pool.install(key, index);
+    }
+
+    /// The pool's granularity policy.
+    #[must_use]
+    pub fn granularity(&self) -> Granularity {
+        self.pool.policy()
+    }
+
+    /// Pool statistics: (allocations, packets) — the E9 metrics.
+    #[must_use]
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool.allocations(), self.pool.packets())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::AsDirectory;
+    use apna_wire::Aid;
+
+    fn node() -> AsNode {
+        AsNode::from_seed(Aid(1), [1; 32], &AsDirectory::new(), Timestamp(0))
+    }
+
+    fn agent(node: &AsNode, granularity: Granularity, seed: u64) -> HostAgent {
+        HostAgent::attach(node, granularity, ReplayMode::Disabled, Timestamp(0), seed).unwrap()
+    }
+
+    #[test]
+    fn acquire_roundtrips_through_envelope() {
+        let node = node();
+        let mut a = agent(&node, Granularity::PerFlow, 7);
+        let idx = a
+            .acquire(&node, EphIdUsage::DATA_SHORT, Timestamp(0))
+            .unwrap();
+        assert_eq!(a.ephid_count(), 1);
+        a.owned_ephid(idx)
+            .cert
+            .verify(&node.infra.keys.verifying_key(), Timestamp(0))
+            .unwrap();
+    }
+
+    #[test]
+    fn granularity_drives_allocation() {
+        let node = node();
+        let mut per_host = agent(&node, Granularity::PerHost, 1);
+        let mut per_flow = agent(&node, Granularity::PerFlow, 2);
+        for flow in 0..5u64 {
+            per_host.ephid_for(&node, flow, 0, Timestamp(0)).unwrap();
+            per_flow.ephid_for(&node, flow, 0, Timestamp(0)).unwrap();
+        }
+        assert_eq!(per_host.ephid_count(), 1);
+        assert_eq!(per_flow.ephid_count(), 5);
+        assert_eq!(per_host.pool_stats(), (1, 5));
+    }
+
+    #[test]
+    fn revocation_evicts_pool_slots() {
+        let node = node();
+        let mut a = agent(&node, Granularity::PerHost, 11);
+        let idx = a.ephid_for(&node, 1, 0, Timestamp(0)).unwrap();
+        let eid = a.owned_ephid(idx).ephid();
+        assert_eq!(a.handle_revocation(eid), 1);
+        // Unknown EphID: nothing to evict.
+        assert_eq!(a.handle_revocation(EphIdBytes([0; 16])), 0);
+        // Next packet reallocates.
+        let idx2 = a.ephid_for(&node, 1, 0, Timestamp(0)).unwrap();
+        assert_ne!(idx, idx2);
+    }
+
+    #[test]
+    fn refresh_expiring_repoints_slots() {
+        let node = node();
+        let mut a = agent(&node, Granularity::PerFlow, 3);
+        let i1 = a.ephid_for(&node, 1, 0, Timestamp(0)).unwrap();
+        let i2 = a.ephid_for(&node, 2, 0, Timestamp(0)).unwrap();
+        // Nothing near expiry yet (Short class lives 900 s; margin 60 s).
+        assert_eq!(a.refresh_expiring(&node, Timestamp(0)).unwrap(), 0);
+        // At t=850 both are within the margin of their t=900 expiry.
+        let refreshed = a.refresh_expiring(&node, Timestamp(850)).unwrap();
+        assert_eq!(refreshed, 2);
+        let j1 = a.ephid_for(&node, 1, 0, Timestamp(850)).unwrap();
+        let j2 = a.ephid_for(&node, 2, 0, Timestamp(850)).unwrap();
+        assert_ne!(i1, j1);
+        assert_ne!(i2, j2);
+        // The replacements are fresh (expire at 850+900).
+        assert_eq!(a.owned_ephid(j1).cert.exp_time, Timestamp(850 + 900));
+        // Idempotent: nothing else near expiry now.
+        assert_eq!(a.refresh_expiring(&node, Timestamp(850)).unwrap(), 0);
+    }
+
+    #[test]
+    fn shutoff_roundtrip_against_control_plane() {
+        let dir = AsDirectory::new();
+        let a_node = AsNode::from_seed(Aid(1), [1; 32], &dir, Timestamp(0));
+        let b_node = AsNode::from_seed(Aid(2), [2; 32], &dir, Timestamp(0));
+        let mut sender = HostAgent::attach(
+            &a_node,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            1,
+        )
+        .unwrap();
+        let mut victim = HostAgent::attach(
+            &b_node,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            2,
+        )
+        .unwrap();
+        let si = sender
+            .acquire(&a_node, EphIdUsage::DATA_SHORT, Timestamp(0))
+            .unwrap();
+        let vi = victim
+            .acquire(&b_node, EphIdUsage::DATA_SHORT, Timestamp(0))
+            .unwrap();
+        let dst = victim.owned_ephid(vi).addr(Aid(2));
+        let evidence = sender.build_raw_packet(si, dst, b"unwanted");
+        let ack = victim
+            .request_shutoff(&a_node, &evidence, vi, Timestamp(1))
+            .unwrap();
+        assert_eq!(ack.ephid, sender.owned_ephid(si).ephid());
+        assert!(!ack.hid_revoked);
+        assert!(a_node.infra.revoked.contains(&ack.ephid));
+    }
+}

@@ -212,6 +212,16 @@ impl AsNode {
     pub fn aid(&self) -> Aid {
         self.infra.aid
     }
+
+    /// Looks up the service endpoint (AA / MS / DNS) registered under
+    /// `hid`, if any — how the simulator decides that a delivered packet
+    /// is control traffic for one of this AS's services.
+    #[must_use]
+    pub fn service_by_hid(&self, hid: Hid) -> Option<&ServiceEndpoint> {
+        [&self.aa_endpoint, &self.ms_endpoint, &self.dns_endpoint]
+            .into_iter()
+            .find(|ep| ep.hid == hid)
+    }
 }
 
 #[cfg(test)]

@@ -135,6 +135,12 @@ impl EphIdPool {
         keys
     }
 
+    /// Iterates the current `(key, ephid index)` assignments (used by the
+    /// agent's expiry refresh to find which indices still serve traffic).
+    pub fn assignments(&self) -> impl Iterator<Item = (PoolKey, usize)> + '_ {
+        self.slots.iter().map(|(&k, &v)| (k, v))
+    }
+
     /// Total EphIDs acquired through this pool (E9's issuance-load metric).
     #[must_use]
     pub fn allocations(&self) -> u64 {

@@ -13,6 +13,8 @@
 //! | §V-A1 EphID construction (Fig. 6) | [`ephid`] |
 //! | §IV-B host bootstrapping (Fig. 2) | [`registry`] |
 //! | §IV-C EphID issuance (Fig. 3) | [`management`] |
+//! | control-plane envelope & service trait | [`control`] |
+//! | host-side control agent (EphID pool, shut-off client) | [`agent`] |
 //! | §IV-D3 border-router forwarding (Fig. 4) | [`border`] |
 //! | §IV-E / §VIII-C shutoff protocol (Fig. 5) | [`shutoff`] |
 //! | §IV-D1/2, §VII-A/C sessions & encryption | [`session`] |
@@ -31,9 +33,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agent;
 pub mod asnode;
 pub mod border;
 pub mod cert;
+pub mod control;
 pub mod directory;
 pub mod ephid;
 pub mod granularity;
@@ -49,8 +53,10 @@ pub mod session;
 pub mod shutoff;
 pub mod time;
 
+pub use agent::{EphIdUsage, HostAgent};
 pub use asnode::AsNode;
 pub use cert::EphIdCert;
+pub use control::{ControlCounters, ControlKind, ControlMsg, ControlPlane};
 pub use ephid::{EphIdError, EphIdPlain};
 pub use hid::Hid;
 pub use host::Host;
@@ -58,6 +64,7 @@ pub use keys::{AsKeys, HostAsKey};
 pub use time::Timestamp;
 
 use apna_wire::WireError;
+use management::MsDrop;
 
 /// Errors surfaced by the APNA protocol layers.
 ///
@@ -88,6 +95,11 @@ pub enum Error {
     Replay,
     /// The requested operation is not permitted in the current state.
     InvalidState(&'static str),
+    /// The Management Service dropped an EphID request (Fig. 3 checks).
+    Management(MsDrop),
+    /// A control-plane message was refused by the service that received it
+    /// (wrong kind for the endpoint, missing reply, misdirected message).
+    ControlRejected(&'static str),
 }
 
 impl From<apna_crypto::CryptoError> for Error {
@@ -122,6 +134,8 @@ impl core::fmt::Display for Error {
             Error::NonContributoryKey => write!(f, "non-contributory DH key"),
             Error::Replay => write!(f, "replayed packet"),
             Error::InvalidState(why) => write!(f, "invalid state: {why}"),
+            Error::Management(drop) => write!(f, "management service dropped request: {drop:?}"),
+            Error::ControlRejected(why) => write!(f, "control message rejected: {why}"),
         }
     }
 }

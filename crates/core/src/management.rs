@@ -72,8 +72,11 @@ impl EphIdRequestBody {
     }
 }
 
+/// Minimum length of a sealed AEAD blob: the 16-byte GCM tag alone.
+const MIN_SEALED_LEN: usize = 16;
+
 /// An encrypted EphID request as it crosses the AS-internal network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EphIdRequest {
     /// The requester's control EphID (source identifier of the request).
     pub ctrl_ephid: EphIdBytes,
@@ -94,9 +97,12 @@ impl EphIdRequest {
         out
     }
 
-    /// Parses the serialized form.
+    /// Parses the serialized form. Like the other wire parsers, the guard
+    /// covers the full minimum message: a sealed body can never be shorter
+    /// than its AEAD tag, so anything shorter is rejected as truncated
+    /// instead of surfacing later as a decryption failure.
     pub fn parse(buf: &[u8]) -> Result<EphIdRequest, WireError> {
-        if buf.len() < EPHID_LEN + 12 {
+        if buf.len() < EPHID_LEN + 12 + MIN_SEALED_LEN {
             return Err(WireError::Truncated);
         }
         Ok(EphIdRequest {
@@ -116,6 +122,29 @@ pub struct EphIdReply {
     pub nonce: [u8; 12],
     /// `AES-GCM(k_HA^enc, nonce, aad = ctrl_ephid, cert_bytes)`.
     pub sealed: Vec<u8>,
+}
+
+impl EphIdReply {
+    /// Serializes: `nonce ‖ sealed`.
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.sealed.len());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.sealed);
+        out
+    }
+
+    /// Parses the serialized form (same minimum-length guard as
+    /// [`EphIdRequest::parse`]).
+    pub fn parse(buf: &[u8]) -> Result<EphIdReply, WireError> {
+        if buf.len() < 12 + MIN_SEALED_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(EphIdReply {
+            nonce: buf[..12].try_into().unwrap(),
+            sealed: buf[12..].to_vec(),
+        })
+    }
 }
 
 /// Why the MS silently dropped a request ("If any one of the checks fails,
@@ -510,6 +539,22 @@ mod tests {
         assert_eq!(parsed.nonce, req.nonce);
         assert_eq!(parsed.sealed, req.sealed);
         assert!(EphIdRequest::parse(&[0u8; 10]).is_err());
+        // Guard: a "request" whose sealed part cannot even hold the AEAD
+        // tag is truncated, consistent with the other wire parsers.
+        assert_eq!(
+            EphIdRequest::parse(&[0u8; EPHID_LEN + 12 + 15]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn reply_serialization_roundtrip() {
+        let f = setup();
+        let (_, req) = request(&f, 10);
+        let reply = f.node.ms.handle_request(&req, Timestamp(0)).unwrap();
+        let parsed = EphIdReply::parse(&reply.serialize()).unwrap();
+        assert_eq!(parsed, reply);
+        assert_eq!(EphIdReply::parse(&[0u8; 12]), Err(WireError::Truncated));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::sync::Arc;
 /// A shutoff request (`MAC_kHDAD({pkt}_{K⁻EphIDd}, C_EphIDd)` in Fig. 5 —
 /// the outer transport protection is provided by the normal packet path;
 /// this struct is the request body).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShutoffRequest {
     /// The unwanted packet, complete wire bytes.
     pub packet: Vec<u8>,
@@ -97,6 +97,34 @@ pub struct RevocationOrder {
 }
 
 impl RevocationOrder {
+    /// Wire length: `ephid (16) ‖ exp_time (4) ‖ mac (16)`.
+    pub const WIRE_LEN: usize = 16 + 4 + 16;
+
+    /// Serializes: `ephid ‖ exp_time ‖ mac`.
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_LEN);
+        out.extend_from_slice(self.ephid.as_bytes());
+        out.extend_from_slice(&self.exp_time.to_bytes());
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses the serialized form (exact length).
+    pub fn parse(buf: &[u8]) -> Result<RevocationOrder, WireError> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(WireError::Truncated);
+        }
+        if buf.len() > Self::WIRE_LEN {
+            return Err(WireError::LengthMismatch);
+        }
+        Ok(RevocationOrder {
+            ephid: EphIdBytes::from_slice(&buf[..16])?,
+            exp_time: Timestamp::from_bytes(buf[16..20].try_into().unwrap()),
+            mac: buf[20..36].try_into().unwrap(),
+        })
+    }
+
     fn mac_input(ephid: &EphIdBytes, exp: Timestamp) -> Vec<u8> {
         let mut msg = b"APNA-REVOKE-V1".to_vec();
         msg.extend_from_slice(ephid.as_bytes());
@@ -104,7 +132,11 @@ impl RevocationOrder {
         msg
     }
 
-    pub(crate) fn issue(keys: &AsKeys, ephid: EphIdBytes, exp_time: Timestamp) -> RevocationOrder {
+    /// Issues an order under the AS infrastructure key. Only holders of
+    /// `keys` can produce a verifying order; border routers check the MAC
+    /// before applying (so a public constructor grants no authority).
+    #[must_use]
+    pub fn issue(keys: &AsKeys, ephid: EphIdBytes, exp_time: Timestamp) -> RevocationOrder {
         let mac = keys.infra_cmac().mac(&Self::mac_input(&ephid, exp_time));
         RevocationOrder {
             ephid,
@@ -223,6 +255,13 @@ impl AccountabilityAgent {
             .host_db
             .key_of_valid(plain.hid)
             .ok_or(Error::ShutoffRejected("source host unknown"))?;
+        // A replayed request quotes an EphID this AA already revoked.
+        // Rejecting it keeps the §VIII-G2 strike counter honest: identical
+        // evidence cannot be replayed into an escalating count of
+        // distinct incidents.
+        if self.infra.revoked.contains(&header.src.ephid) {
+            return Err(Error::ShutoffRejected("source EphID already revoked"));
+        }
 
         // 5. The quoted packet must carry our customer's authentic mark —
         //    "the destination cannot make a shutoff request with a rogue
@@ -268,6 +307,9 @@ impl AccountabilityAgent {
             .map_err(|_| Error::ShutoffRejected("owner signature"))?;
         let plain = ephid::open_with(&self.enc, &self.mac, &cert.ephid)
             .map_err(|_| Error::ShutoffRejected("EphID not ours"))?;
+        if self.infra.revoked.contains(&cert.ephid) {
+            return Err(Error::ShutoffRejected("source EphID already revoked"));
+        }
 
         let order = RevocationOrder::issue(&self.infra.keys, cert.ephid, plain.exp_time);
         self.infra.revoked.insert(cert.ephid, plain.exp_time);
@@ -569,5 +611,40 @@ mod tests {
         assert_eq!(parsed.dst_cert, req.dst_cert);
         assert!(ShutoffRequest::parse(&[0; 3]).is_err());
         assert!(ShutoffRequest::parse(&req.serialize()[..50]).is_err());
+    }
+
+    #[test]
+    fn order_serialization_roundtrip() {
+        let w = setup();
+        let order = RevocationOrder::issue(&w.a.infra.keys, w.src_ephid, Timestamp(900));
+        let parsed = RevocationOrder::parse(&order.serialize()).unwrap();
+        assert_eq!(parsed, order);
+        assert!(parsed.verify(&w.a.infra.keys));
+        assert!(RevocationOrder::parse(&order.serialize()[..20]).is_err());
+        let mut long = order.serialize();
+        long.push(0);
+        assert!(RevocationOrder::parse(&long).is_err());
+    }
+
+    #[test]
+    fn replayed_shutoff_rejected_with_typed_error() {
+        let w = setup();
+        let pkt = unwanted_packet(&w);
+        let req = ShutoffRequest::create(&pkt, &w.dst_keys, w.dst_cert.clone());
+        w.a.aa
+            .handle(&req, ReplayMode::Disabled, Timestamp(5))
+            .unwrap();
+        // Same evidence again (byte-identical replay, or a re-parsed copy):
+        // typed rejection — identical evidence cannot advance the §VIII-G2
+        // strike counter toward HID revocation.
+        let replay = ShutoffRequest::parse(&req.serialize()).unwrap();
+        assert_eq!(
+            w.a.aa.handle(&replay, ReplayMode::Disabled, Timestamp(6)),
+            Err(Error::ShutoffRejected("source EphID already revoked"))
+        );
+        assert!(
+            w.a.infra.host_db.is_valid(w.src_hid),
+            "no strike escalation"
+        );
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 use apna_core::cert::{CertKind, EphIdCert};
+use apna_core::control::{ControlMsg, ControlPlane};
 use apna_core::directory::AsDirectory;
 use apna_core::time::Timestamp;
 use apna_core::Error;
@@ -171,9 +172,9 @@ impl DnsServer {
         self.zone_key.verifying_key()
     }
 
-    /// Registers (task 2 of §VII-A: "registers the certificate under the
-    /// domain name") a service's receive-only certificate.
-    pub fn register(&self, name: &str, cert: EphIdCert, ipv4: Option<Ipv4Addr>) {
+    /// Shared insert path: sign the record under the zone key and install
+    /// it — registration and rotation differ only in intent.
+    fn insert_signed(&self, name: &str, cert: EphIdCert, ipv4: Option<Ipv4Addr>) {
         let sig = self
             .zone_key
             .sign(&DnsRecord::signed_bytes(name, &cert, ipv4));
@@ -188,9 +189,15 @@ impl DnsServer {
         );
     }
 
+    /// Registers (task 2 of §VII-A: "registers the certificate under the
+    /// domain name") a service's receive-only certificate.
+    pub fn register(&self, name: &str, cert: EphIdCert, ipv4: Option<Ipv4Addr>) {
+        self.insert_signed(name, cert, ipv4);
+    }
+
     /// Re-publishes a name with a fresh certificate (EphID rotation).
     pub fn update(&self, name: &str, cert: EphIdCert, ipv4: Option<Ipv4Addr>) {
-        self.register(name, cert, ipv4);
+        self.insert_signed(name, cert, ipv4);
     }
 
     /// Resolves a name.
@@ -216,6 +223,58 @@ impl DnsServer {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.records.read().is_empty()
+    }
+}
+
+/// The DNS zone answers the register/update control kinds: a service host
+/// publishes its receive-only certificate under a name (§VII-A task 2),
+/// the zone signs and installs the record, and acknowledges. All other
+/// control kinds belong to the AS node and are refused with a typed error.
+///
+/// Authorization — registration is wire-reachable, so the zone enforces:
+///
+/// * **Register**: the name must be free, and the upsert's owner signature
+///   must verify under the published certificate's own key (proof of
+///   possession — nobody can squat someone else's cert under a name).
+/// * **Update**: the name must exist, and the owner signature must verify
+///   under the *currently published* certificate's key (continuity — only
+///   the present owner can rotate the name to a new cert).
+///
+/// The direct [`DnsServer::register`]/[`DnsServer::update`] methods remain
+/// the zone operator's own console and bypass these checks.
+impl ControlPlane for DnsServer {
+    fn handle_control(
+        &self,
+        msg: &ControlMsg,
+        _now: Timestamp,
+    ) -> Result<Option<ControlMsg>, Error> {
+        match msg {
+            ControlMsg::DnsRegister(up) => {
+                if self.resolve(&up.name).is_some() {
+                    return Err(Error::ControlRejected(
+                        "name already registered; rotation requires DnsUpdate",
+                    ));
+                }
+                up.verify_owner(&up.cert)?;
+                self.register(&up.name, up.cert.clone(), up.ipv4);
+                Ok(Some(ControlMsg::DnsAck {
+                    name: up.name.clone(),
+                }))
+            }
+            ControlMsg::DnsUpdate(up) => {
+                let current = self
+                    .resolve(&up.name)
+                    .ok_or(Error::ControlRejected("update for unregistered name"))?;
+                up.verify_owner(&current.cert)?;
+                self.update(&up.name, up.cert.clone(), up.ipv4);
+                Ok(Some(ControlMsg::DnsAck {
+                    name: up.name.clone(),
+                }))
+            }
+            _ => Err(Error::ControlRejected(
+                "only DNS register/update is served by the zone",
+            )),
+        }
     }
 }
 
@@ -413,6 +472,160 @@ mod tests {
             rec.verify(&f.server.zone_verifying_key(), &f.dir, Timestamp(1)),
             Err(Error::BadCertificate("published cert must be receive-only"))
         );
+    }
+
+    #[test]
+    fn control_register_update_roundtrip() {
+        use apna_core::control::DnsUpsert;
+        let f = setup();
+        // Register via the wire-level control entry point, authorized by
+        // the published cert's own key.
+        let msg = ControlMsg::DnsRegister(DnsUpsert::signed(
+            "ctrl.example",
+            f.service_cert.clone(),
+            None,
+            &f.service_keys.sign,
+        ));
+        let reply_frame = f
+            .server
+            .handle_control_frame(&msg.serialize(), Timestamp(0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            ControlMsg::parse(&reply_frame).unwrap(),
+            ControlMsg::DnsAck {
+                name: "ctrl.example".into()
+            }
+        );
+        let rec = f.server.resolve("ctrl.example").unwrap();
+        rec.verify(&f.server.zone_verifying_key(), &f.dir, Timestamp(1))
+            .unwrap();
+        // Update rotates the record through the same path, authorized by
+        // the currently published cert's key (same key here).
+        let addr = Ipv4Addr::new(192, 0, 2, 9);
+        let msg = ControlMsg::DnsUpdate(DnsUpsert::signed(
+            "ctrl.example",
+            f.service_cert.clone(),
+            Some(addr),
+            &f.service_keys.sign,
+        ));
+        f.server
+            .handle_control_frame(&msg.serialize(), Timestamp(0))
+            .unwrap();
+        assert_eq!(f.server.resolve("ctrl.example").unwrap().ipv4, Some(addr));
+        assert_eq!(f.server.len(), 1);
+        // Misdirected kinds are refused with a typed error.
+        let bad = ControlMsg::DnsAck { name: "x".into() };
+        assert!(matches!(
+            f.server.handle_control(&bad, Timestamp(0)),
+            Err(Error::ControlRejected(_))
+        ));
+    }
+
+    #[test]
+    fn control_upserts_require_authorization() {
+        use apna_core::control::DnsUpsert;
+        let f = setup();
+        let owner_reg = ControlMsg::DnsRegister(DnsUpsert::signed(
+            "auth.example",
+            f.service_cert.clone(),
+            None,
+            &f.service_keys.sign,
+        ));
+        f.server.handle_control(&owner_reg, Timestamp(0)).unwrap();
+
+        // (a) A hijacker cannot overwrite an existing name via Register.
+        let mallory_kp = EphIdKeyPair::from_seed([0x66; 32]);
+        let (msp, mdp) = mallory_kp.public_keys();
+        let hid = f.node.infra.host_db.generate_hid();
+        f.node.infra.host_db.register(
+            hid,
+            apna_core::keys::HostAsKey::from_dh(&apna_crypto::x25519::SharedSecret([0x6a; 32]))
+                .unwrap(),
+            Timestamp(0),
+        );
+        let (_, mallory_cert) = f.node.ms.issue(
+            hid,
+            msp,
+            mdp,
+            CertKind::ReceiveOnly,
+            ExpiryClass::Long,
+            Timestamp(0),
+        );
+        let squat = ControlMsg::DnsRegister(DnsUpsert::signed(
+            "auth.example",
+            mallory_cert.clone(),
+            None,
+            &mallory_kp.sign,
+        ));
+        assert_eq!(
+            f.server.handle_control(&squat, Timestamp(0)),
+            Err(Error::ControlRejected(
+                "name already registered; rotation requires DnsUpdate"
+            ))
+        );
+
+        // (b) Nor via Update: continuity requires the CURRENT owner's key.
+        let hijack = ControlMsg::DnsUpdate(DnsUpsert::signed(
+            "auth.example",
+            mallory_cert.clone(),
+            None,
+            &mallory_kp.sign,
+        ));
+        assert_eq!(
+            f.server.handle_control(&hijack, Timestamp(0)),
+            Err(Error::ControlRejected("DNS upsert owner signature"))
+        );
+        assert_eq!(
+            f.server.resolve("auth.example").unwrap().cert,
+            f.service_cert,
+            "record untouched by both attempts"
+        );
+
+        // (c) Registering a FREE name with someone else's cert fails the
+        // proof-of-possession check (signature not under the cert's key).
+        let steal = ControlMsg::DnsRegister(DnsUpsert::signed(
+            "fresh.example",
+            f.service_cert.clone(),
+            None,
+            &mallory_kp.sign,
+        ));
+        assert_eq!(
+            f.server.handle_control(&steal, Timestamp(0)),
+            Err(Error::ControlRejected("DNS upsert owner signature"))
+        );
+
+        // (d) Updating an unregistered name is refused.
+        let ghost = ControlMsg::DnsUpdate(DnsUpsert::signed(
+            "ghost.example",
+            mallory_cert,
+            None,
+            &mallory_kp.sign,
+        ));
+        assert_eq!(
+            f.server.handle_control(&ghost, Timestamp(0)),
+            Err(Error::ControlRejected("update for unregistered name"))
+        );
+
+        // (e) The legitimate owner CAN rotate to a fresh cert.
+        let new_kp = EphIdKeyPair::from_seed([0x77; 32]);
+        let (nsp, ndp) = new_kp.public_keys();
+        let (_, new_cert) = f.node.ms.issue(
+            f.node.infra.host_db.generate_hid(),
+            nsp,
+            ndp,
+            CertKind::ReceiveOnly,
+            ExpiryClass::Long,
+            Timestamp(0),
+        );
+        let rotate = ControlMsg::DnsUpdate(DnsUpsert::signed(
+            "auth.example",
+            new_cert.clone(),
+            None,
+            &f.service_keys.sign, // the retiring cert's key authorizes
+        ));
+        f.server.handle_control(&rotate, Timestamp(0)).unwrap();
+        assert_eq!(f.server.resolve("auth.example").unwrap().cert, new_cert);
     }
 
     #[test]

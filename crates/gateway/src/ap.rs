@@ -18,9 +18,10 @@
 //!   misbehaving EphID, the AP identifies the client behind it.
 
 use apna_core::cert::{CertKind, EphIdCert};
+use apna_core::control::{ControlMsg, ControlPlane};
 use apna_core::host::Host;
 use apna_core::keys::HostAsKey;
-use apna_core::management::{client as ms_client, ManagementService};
+use apna_core::management::client as ms_client;
 use apna_core::time::{ExpiryClass, Timestamp};
 use apna_core::Error;
 use apna_crypto::ed25519::VerifyingKey;
@@ -127,16 +128,17 @@ impl AccessPoint {
         })
     }
 
-    /// The AP's MS role: requests an EphID from the AS MS on behalf of
+    /// The AP's MS role: requests an EphID from the AS on behalf of
     /// `client`, using the client-supplied public keys, and records the
-    /// issued EphID in `EphID_info`.
+    /// issued EphID in `EphID_info`. The request and reply cross the
+    /// serialized [`ControlMsg`] envelope like every other control flow.
     #[allow(clippy::too_many_arguments)] // mirrors the Fig. 3 issuance inputs
     pub fn request_ephid_for_client(
         &mut self,
         client: ClientId,
         client_sign_pub: [u8; 32],
         client_dh_pub: [u8; 32],
-        ms: &ManagementService,
+        cp: &dyn ControlPlane,
         as_vk: &VerifyingKey,
         class: ExpiryClass,
         now: Timestamp,
@@ -156,9 +158,12 @@ impl AccessPoint {
             class,
             nonce,
         );
-        let reply = ms
-            .handle_request(&req, now)
-            .map_err(|_| Error::InvalidState("AS MS dropped the AP request"))?;
+        let reply_frame = cp
+            .handle_control_frame(&ControlMsg::EphIdRequest(req).serialize(), now)?
+            .ok_or(Error::ControlRejected("issuance produced no reply"))?;
+        let ControlMsg::EphIdReply(reply) = ControlMsg::parse(&reply_frame)? else {
+            return Err(Error::ControlRejected("expected an EphID reply"));
+        };
         let cert = ms_client::accept_reply_raw(
             self.host.kha(),
             ctrl,
@@ -233,7 +238,6 @@ mod tests {
     use super::*;
     use apna_core::asnode::AsNode;
     use apna_core::directory::AsDirectory;
-    use apna_core::granularity::Granularity;
     use apna_core::keys::EphIdKeyPair;
     use apna_wire::{Aid, HostAddr, ReplayMode};
 
@@ -245,14 +249,7 @@ mod tests {
     fn setup() -> Fixture {
         let dir = AsDirectory::new();
         let node = AsNode::from_seed(Aid(5), [5; 32], &dir, Timestamp(0));
-        let host = Host::attach(
-            &node,
-            Granularity::PerFlow,
-            ReplayMode::Disabled,
-            Timestamp(0),
-            50,
-        )
-        .unwrap();
+        let host = Host::attach(&node, ReplayMode::Disabled, Timestamp(0), 50).unwrap();
         Fixture {
             node,
             ap: AccessPoint::new(host, 51),
@@ -268,7 +265,7 @@ mod tests {
                 client.id,
                 sp,
                 dp,
-                &f.node.ms,
+                &f.node,
                 &f.node.infra.keys.verifying_key(),
                 ExpiryClass::Short,
                 Timestamp(0),
@@ -393,7 +390,7 @@ mod tests {
             ClientId(99),
             [1; 32],
             [2; 32],
-            &f.node.ms,
+            &f.node,
             &f.node.infra.keys.verifying_key(),
             ExpiryClass::Short,
             Timestamp(0),

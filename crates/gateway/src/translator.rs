@@ -22,14 +22,13 @@
 
 use crate::handshake::{self, Frame};
 use crate::legacy::{FiveTuple, LegacyPacket};
-use apna_core::cert::CertKind;
+use apna_core::agent::{EphIdUsage, HostAgent};
+use apna_core::control::ControlPlane;
 use apna_core::directory::AsDirectory;
-use apna_core::host::Host;
-use apna_core::management::ManagementService;
 use apna_core::session::{
     client_connect, client_finish, server_accept_with_recv_ephid, PendingClient, SecureChannel,
 };
-use apna_core::time::{ExpiryClass, Timestamp};
+use apna_core::time::Timestamp;
 use apna_core::Error;
 use apna_dns::DnsRecord;
 use apna_wire::gre;
@@ -66,8 +65,8 @@ pub struct GatewayOutput {
 
 /// An IPv4↔APNA gateway (§VII-D).
 pub struct ApnaGateway {
-    /// The gateway's APNA host state.
-    pub host: Host,
+    /// The gateway's APNA host agent (control + data plane).
+    pub host: HostAgent,
     gateway_ip: Ipv4Addr,
     router_ip: Ipv4Addr,
     directory: AsDirectory,
@@ -84,7 +83,7 @@ impl ApnaGateway {
     /// Wraps a bootstrapped APNA host as a gateway.
     #[must_use]
     pub fn new(
-        host: Host,
+        host: HostAgent,
         gateway_ip: Ipv4Addr,
         router_ip: Ipv4Addr,
         directory: AsDirectory,
@@ -106,12 +105,10 @@ impl ApnaGateway {
     /// for DNS publication.
     pub fn listen(
         &mut self,
-        ms: &ManagementService,
+        cp: &dyn ControlPlane,
         now: Timestamp,
     ) -> Result<apna_core::cert::EphIdCert, Error> {
-        let idx = self
-            .host
-            .acquire_ephid(ms, CertKind::ReceiveOnly, ExpiryClass::Long, now)?;
+        let idx = self.host.acquire(cp, EphIdUsage::RECEIVE_ONLY, now)?;
         self.listener_idx = Some(idx);
         Ok(self.host.owned_ephid(idx).cert.clone())
     }
@@ -156,7 +153,7 @@ impl ApnaGateway {
     pub fn outbound(
         &mut self,
         pkt: &LegacyPacket,
-        ms: &ManagementService,
+        cp: &dyn ControlPlane,
         now: Timestamp,
     ) -> Result<GatewayOutput, Error> {
         let key = self.canonical_key(pkt.tuple);
@@ -171,7 +168,7 @@ impl ApnaGateway {
                     .ok_or(Error::Session("no AID:EphID mapping for destination"))?;
                 let local_idx =
                     self.host
-                        .ephid_for(ms, pkt.tuple.flow_id(), pkt.tuple.dst_port, now)?;
+                        .ephid_for(cp, pkt.tuple.flow_id(), pkt.tuple.dst_port, now)?;
                 let owned = self.host.owned_ephid(local_idx).clone();
                 let (pending, hello) = client_connect(
                     &owned.keys,
@@ -222,7 +219,7 @@ impl ApnaGateway {
     pub fn inbound(
         &mut self,
         frame: &[u8],
-        ms: &ManagementService,
+        cp: &dyn ControlPlane,
         now: Timestamp,
     ) -> Result<GatewayOutput, Error> {
         let (_ip, apna_bytes) = gre::decapsulate(frame)?;
@@ -237,9 +234,7 @@ impl ApnaGateway {
                     .ok_or(Error::Session("hello received but not listening"))?;
                 let recv = self.host.owned_ephid(recv_idx).clone();
                 // Fresh serving EphID per client (§VII-A).
-                let serve_idx =
-                    self.host
-                        .acquire_ephid(ms, CertKind::Data, ExpiryClass::Short, now)?;
+                let serve_idx = self.host.acquire(cp, EphIdUsage::DATA_SHORT, now)?;
                 let serving = self.host.owned_ephid(serve_idx).clone();
                 let (channel, early, accept) = server_accept_with_recv_ephid(
                     &recv.keys,
@@ -358,7 +353,7 @@ mod tests {
         let dir = AsDirectory::new();
         let a = AsNode::from_seed(Aid(1), [1; 32], &dir, Timestamp(0));
         let b = AsNode::from_seed(Aid(2), [2; 32], &dir, Timestamp(0));
-        let host_a = Host::attach(
+        let host_a = HostAgent::attach(
             &a,
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -366,7 +361,7 @@ mod tests {
             100,
         )
         .unwrap();
-        let host_b = Host::attach(
+        let host_b = HostAgent::attach(
             &b,
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -388,7 +383,7 @@ mod tests {
         );
         // Server gateway publishes its receive-only cert in DNS.
         let dns = DnsServer::new(SigningKey::from_seed(&[0xD0; 32]));
-        let recv_cert = gw_server.listen(&b.ms, Timestamp(0)).unwrap();
+        let recv_cert = gw_server.listen(&b, Timestamp(0)).unwrap();
         let real_ip = publish_ip.then(|| Ipv4Addr::new(203, 0, 113, 80));
         dns.register("server.example", recv_cert, real_ip);
         // Client gateway resolves + learns.
@@ -430,15 +425,12 @@ mod tests {
 
         // Legacy client sends a datagram to the server's published IP.
         let request = LegacyPacket::udp(client_ip, 40000, w.server_name_ip, 80, b"GET /index");
-        let out = w
-            .gw_client
-            .outbound(&request, &w.a.ms, Timestamp(1))
-            .unwrap();
+        let out = w.gw_client.outbound(&request, &w.a, Timestamp(1)).unwrap();
         assert_eq!(out.frames.len(), 1);
 
         // → server gateway.
         let f = relay(&w, &out.frames[0], &w.a, &w.b);
-        let sout = w.gw_server.inbound(&f, &w.b.ms, Timestamp(1)).unwrap();
+        let sout = w.gw_server.inbound(&f, &w.b, Timestamp(1)).unwrap();
         // Early data delivered to the legacy server.
         assert_eq!(sout.legacy.len(), 1);
         assert_eq!(sout.legacy[0].payload, b"GET /index");
@@ -446,28 +438,25 @@ mod tests {
 
         // ← client gateway finishes the handshake.
         let f2 = relay(&w, &sout.frames[0], &w.b, &w.a);
-        let cout = w.gw_client.inbound(&f2, &w.a.ms, Timestamp(1)).unwrap();
+        let cout = w.gw_client.inbound(&f2, &w.a, Timestamp(1)).unwrap();
         assert!(cout.legacy.is_empty());
 
         // Server responds on the (now established) flow.
         let response = LegacyPacket::udp(w.server_name_ip, 80, client_ip, 40000, b"200 OK");
         // The server gateway keys flows by the client's original tuple.
-        let sresp = w
-            .gw_server
-            .outbound(&response, &w.b.ms, Timestamp(1))
-            .unwrap();
+        let sresp = w.gw_server.outbound(&response, &w.b, Timestamp(1)).unwrap();
         assert_eq!(sresp_len(&sresp), 1);
         let f3 = relay(&w, &sresp.frames[0], &w.b, &w.a);
-        let cfinal = w.gw_client.inbound(&f3, &w.a.ms, Timestamp(1)).unwrap();
+        let cfinal = w.gw_client.inbound(&f3, &w.a, Timestamp(1)).unwrap();
         assert_eq!(cfinal.legacy.len(), 1);
         assert_eq!(cfinal.legacy[0].payload, b"200 OK");
 
         // And steady-state client→server data flows without handshakes.
         let next = LegacyPacket::udp(client_ip, 40000, w.server_name_ip, 80, b"POST /x");
-        let out2 = w.gw_client.outbound(&next, &w.a.ms, Timestamp(2)).unwrap();
+        let out2 = w.gw_client.outbound(&next, &w.a, Timestamp(2)).unwrap();
         assert_eq!(out2.frames.len(), 1);
         let f4 = relay(&w, &out2.frames[0], &w.a, &w.b);
-        let sout2 = w.gw_server.inbound(&f4, &w.b.ms, Timestamp(2)).unwrap();
+        let sout2 = w.gw_server.inbound(&f4, &w.b, Timestamp(2)).unwrap();
         assert_eq!(sout2.legacy.len(), 1);
         assert_eq!(sout2.legacy[0].payload, b"POST /x");
     }
@@ -493,31 +482,31 @@ mod tests {
         let p2 = LegacyPacket::udp(client_ip, 40000, w.server_name_ip, 80, b"second");
         let p3 = LegacyPacket::udp(client_ip, 40000, w.server_name_ip, 80, b"third");
 
-        let o1 = w.gw_client.outbound(&p1, &w.a.ms, Timestamp(1)).unwrap();
+        let o1 = w.gw_client.outbound(&p1, &w.a, Timestamp(1)).unwrap();
         // p2/p3 arrive while the handshake is in flight: queued.
         assert!(w
             .gw_client
-            .outbound(&p2, &w.a.ms, Timestamp(1))
+            .outbound(&p2, &w.a, Timestamp(1))
             .unwrap()
             .frames
             .is_empty());
         assert!(w
             .gw_client
-            .outbound(&p3, &w.a.ms, Timestamp(1))
+            .outbound(&p3, &w.a, Timestamp(1))
             .unwrap()
             .frames
             .is_empty());
 
         let f = relay(&w, &o1.frames[0], &w.a, &w.b);
-        let sout = w.gw_server.inbound(&f, &w.b.ms, Timestamp(1)).unwrap();
+        let sout = w.gw_server.inbound(&f, &w.b, Timestamp(1)).unwrap();
         let f2 = relay(&w, &sout.frames[0], &w.b, &w.a);
-        let cout = w.gw_client.inbound(&f2, &w.a.ms, Timestamp(1)).unwrap();
+        let cout = w.gw_client.inbound(&f2, &w.a, Timestamp(1)).unwrap();
         // The two queued datagrams flush as data frames.
         assert_eq!(cout.frames.len(), 2);
         let mut seen = Vec::new();
         for frame in &cout.frames {
             let f = relay(&w, frame, &w.a, &w.b);
-            let s = w.gw_server.inbound(&f, &w.b.ms, Timestamp(1)).unwrap();
+            let s = w.gw_server.inbound(&f, &w.b, Timestamp(1)).unwrap();
             seen.extend(s.legacy.into_iter().map(|p| p.payload));
         }
         assert_eq!(seen, vec![b"second".to_vec(), b"third".to_vec()]);
@@ -531,8 +520,8 @@ mod tests {
         let before = w.gw_client.host.ephid_count();
         let p1 = LegacyPacket::udp(client_ip, 40000, w.server_name_ip, 80, b"a");
         let p2 = LegacyPacket::udp(client_ip, 40001, w.server_name_ip, 80, b"b");
-        w.gw_client.outbound(&p1, &w.a.ms, Timestamp(1)).unwrap();
-        w.gw_client.outbound(&p2, &w.a.ms, Timestamp(1)).unwrap();
+        w.gw_client.outbound(&p1, &w.a, Timestamp(1)).unwrap();
+        w.gw_client.outbound(&p2, &w.a, Timestamp(1)).unwrap();
         assert_eq!(w.gw_client.host.ephid_count(), before + 2);
         assert_eq!(w.gw_client.flow_count(), 2);
     }
@@ -547,7 +536,7 @@ mod tests {
             80,
             b"?",
         );
-        assert!(w.gw_client.outbound(&pkt, &w.a.ms, Timestamp(1)).is_err());
+        assert!(w.gw_client.outbound(&pkt, &w.a, Timestamp(1)).is_err());
     }
 
     #[test]

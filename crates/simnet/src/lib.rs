@@ -32,5 +32,5 @@ pub mod topology;
 
 pub use clock::SimTime;
 pub use link::{FaultProfile, Link};
-pub use network::{DeliveredPacket, Network, NetworkEvent, PacketFate};
+pub use network::{ControlDelivered, DeliveredPacket, Network, NetworkEvent, PacketFate};
 pub use topology::Topology;

@@ -15,10 +15,15 @@
 use crate::clock::SimTime;
 use crate::link::{Link, LinkOutcome};
 use crate::topology::Topology;
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::border::{Direction, DropCounters, DropReason, Verdict};
+use apna_core::control::{ControlCounters, ControlKind, ControlMsg, ControlPlane, ShutoffAck};
 use apna_core::directory::AsDirectory;
-use apna_core::{AsNode, Hid};
-use apna_wire::{Aid, PacketBatch, ReplayMode};
+use apna_core::granularity::SlotDecision;
+use apna_core::{AsNode, Error, Hid};
+use apna_dns::DnsServer;
+use apna_wire::ipv4::Ipv4Addr;
+use apna_wire::{Aid, ApnaHeader, HostAddr, PacketBatch, ReplayMode};
 use std::collections::{BinaryHeap, HashMap};
 
 /// What finally happened to an injected packet.
@@ -106,6 +111,28 @@ pub struct NetStats {
     pub ingress_batches: u64,
     /// Largest ingress burst seen.
     pub max_ingress_batch: u64,
+    /// Per-kind counts of control messages delivered to AS services.
+    pub control_delivered: ControlCounters,
+    /// Per-kind counts of control replies emitted by AS services.
+    pub control_replies: ControlCounters,
+    /// Control deliveries the service refused (unparseable frame, failed
+    /// protocol checks) — the silent-drop outcomes of Figs. 3/5.
+    pub control_rejected: u64,
+}
+
+/// A control message observed arriving at an AS service (issuance,
+/// shut-off, revocation, DNS publication) — the control-plane analogue of
+/// a [`PacketFate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlDelivered {
+    /// Id of the carrier packet.
+    pub packet_id: u64,
+    /// The AS whose service received it.
+    pub aid: Aid,
+    /// The message kind.
+    pub kind: ControlKind,
+    /// Arrival time.
+    pub at: SimTime,
 }
 
 /// Internal event: a packet arrives at an AS border router.
@@ -146,6 +173,15 @@ pub enum NetworkEvent {
         /// Final fate.
         fate: PacketFate,
     },
+    /// A control message reached an AS service.
+    ControlDelivered {
+        /// Carrier packet id.
+        id: u64,
+        /// Receiving AS.
+        aid: Aid,
+        /// Message kind.
+        kind: ControlKind,
+    },
 }
 
 /// The simulated internetwork.
@@ -163,6 +199,11 @@ pub struct Network {
     fates: HashMap<u64, PacketFate>,
     inboxes: Vec<DeliveredPacket>,
     wiretap: Option<Vec<ObservedFrame>>,
+    dns_servers: HashMap<Aid, DnsServer>,
+    control_log: Vec<ControlDelivered>,
+    /// Per-service nonce counters for control replies under
+    /// [`ReplayMode::NonceExtension`].
+    service_nonces: HashMap<(Aid, Hid), u64>,
     /// Aggregate counters.
     pub stats: NetStats,
     /// Latency for host↔BR delivery inside an AS, microseconds.
@@ -186,6 +227,9 @@ impl Network {
             fates: HashMap::new(),
             inboxes: Vec::new(),
             wiretap: None,
+            dns_servers: HashMap::new(),
+            control_log: Vec::new(),
+            service_nonces: HashMap::new(),
             stats: NetStats::default(),
             intra_as_latency_us: 50,
         }
@@ -397,14 +441,21 @@ impl Network {
                             at: arrival,
                         };
                         self.fates.insert(id, fate.clone());
-                        self.inboxes.push(DeliveredPacket {
-                            id,
-                            aid,
-                            hid,
-                            bytes,
-                            at: arrival,
-                        });
                         out.push(NetworkEvent::Fate { id, fate });
+                        let is_service = self.nodes[&aid].service_by_hid(hid).is_some();
+                        if is_service {
+                            // Control traffic: the service consumes the
+                            // packet and may answer with its own packet.
+                            self.deliver_control(&mut out, id, aid, hid, &bytes, arrival);
+                        } else {
+                            self.inboxes.push(DeliveredPacket {
+                                id,
+                                aid,
+                                hid,
+                                bytes,
+                                at: arrival,
+                            });
+                        }
                     }
                     Verdict::ForwardInter { dst_aid } => {
                         self.forward_toward(id, aid, dst_aid, bytes);
@@ -420,6 +471,89 @@ impl Network {
         out
     }
 
+    /// Handles a packet delivered to an AS service endpoint: parses the
+    /// [`ControlMsg`] envelope, dispatches to the service's control plane
+    /// (the DNS zone for the DNS endpoint when one is attached, the AS
+    /// node otherwise), and injects the reply as a fresh packet from the
+    /// service's own EphID. Failed checks follow the paper's silent-drop
+    /// discipline: counted, no response.
+    fn deliver_control(
+        &mut self,
+        out: &mut Vec<NetworkEvent>,
+        id: u64,
+        aid: Aid,
+        hid: Hid,
+        bytes: &[u8],
+        at: SimTime,
+    ) {
+        let Ok((header, payload)) = ApnaHeader::parse(bytes, self.replay_mode) else {
+            self.stats.control_rejected += 1;
+            return;
+        };
+        let Ok(msg) = ControlMsg::parse(payload) else {
+            self.stats.control_rejected += 1;
+            return;
+        };
+        self.stats.control_delivered.record(msg.kind());
+        self.control_log.push(ControlDelivered {
+            packet_id: id,
+            aid,
+            kind: msg.kind(),
+            at,
+        });
+        out.push(NetworkEvent::ControlDelivered {
+            id,
+            aid,
+            kind: msg.kind(),
+        });
+
+        let now = self.now.as_protocol_time();
+        let (result, src_ephid, kha) = {
+            let node = &self.nodes[&aid];
+            let endpoint = node
+                .service_by_hid(hid)
+                .expect("dispatch gated on service hid");
+            // Round-trip through the frame entry point so the reply is
+            // produced from parsed-and-reserialized state, like any
+            // networked service would.
+            let result = if endpoint.hid == node.dns_endpoint.hid {
+                match self.dns_servers.get(&aid) {
+                    Some(zone) => zone.handle_control_frame(payload, now),
+                    None => node.handle_control_frame(payload, now),
+                }
+            } else {
+                node.handle_control_frame(payload, now)
+            };
+            (result, endpoint.ephid, endpoint.kha.clone())
+        };
+        match result {
+            Err(_) => self.stats.control_rejected += 1,
+            Ok(None) => {}
+            Ok(Some(reply_frame)) => {
+                let reply_kind = ControlMsg::parse(&reply_frame)
+                    .map(|m| m.kind())
+                    .expect("services emit well-formed frames");
+                self.stats.control_replies.record(reply_kind);
+                let mut reply_header = ApnaHeader::new(HostAddr::new(aid, src_ephid), header.src);
+                if self.replay_mode == ReplayMode::NonceExtension {
+                    let counter = self.service_nonces.entry((aid, hid)).or_insert(0);
+                    reply_header = reply_header.with_nonce(*counter);
+                    *counter += 1;
+                }
+                let mac: [u8; 8] = kha
+                    .packet_cmac()
+                    .mac_truncated(&reply_header.mac_input(&reply_frame));
+                reply_header.set_mac(mac);
+                let mut wire = reply_header.serialize();
+                wire.extend_from_slice(&reply_frame);
+                // The reply is ordinary accountable traffic: it re-enters
+                // the network at the service's AS and runs the full
+                // egress → (links) → ingress pipeline.
+                self.send(aid, wire);
+            }
+        }
+    }
+
     /// The fate of packet `id`.
     #[must_use]
     pub fn fate(&self, id: u64) -> Option<&PacketFate> {
@@ -430,20 +564,173 @@ impl Network {
     pub fn take_delivered(&mut self) -> Vec<DeliveredPacket> {
         std::mem::take(&mut self.inboxes)
     }
+
+    // ------------------------------------------------------------------
+    // Control plane over the network: the same ControlMsg flows the
+    // direct transport runs, but as actual packets — visible to the
+    // wiretap, counted in NetStats, and subject to every data-plane check.
+    // ------------------------------------------------------------------
+
+    /// Attaches a DNS zone to `aid`'s DNS service endpoint: DnsRegister /
+    /// DnsUpdate control messages delivered there are served by `server`.
+    pub fn attach_dns(&mut self, aid: Aid, server: DnsServer) {
+        self.dns_servers.insert(aid, server);
+    }
+
+    /// The DNS zone attached to `aid`, if any.
+    #[must_use]
+    pub fn dns(&self, aid: Aid) -> Option<&DnsServer> {
+        self.dns_servers.get(&aid)
+    }
+
+    /// Control messages observed at AS services, in arrival order.
+    #[must_use]
+    pub fn control_deliveries(&self) -> &[ControlDelivered] {
+        &self.control_log
+    }
+
+    /// Sends one control message from `agent` to the service at `dst` as a
+    /// real packet, runs the network to quiescence, and returns the parsed
+    /// reply. Fails with a typed error if the request is dropped in
+    /// transit, the service refuses it, or no reply comes back.
+    pub fn control_rpc(
+        &mut self,
+        agent: &mut HostAgent,
+        dst: HostAddr,
+        msg: &ControlMsg,
+    ) -> Result<ControlMsg, Error> {
+        let src_aid = agent.aid;
+        let wire = agent.build_control_packet(dst, msg);
+        let id = self.send(src_aid, wire);
+        self.run();
+        if !matches!(self.fate(id), Some(PacketFate::Delivered { .. })) {
+            return Err(Error::ControlRejected("control request dropped in transit"));
+        }
+        // The reply is addressed to the agent's control EphID and comes
+        // FROM the service address the request went to. Both checks
+        // matter: the control EphID is visible on the wire, so an
+        // adversary can park packets on it — even ones whose payload
+        // parses as a control frame — but it cannot forge the service's
+        // source address past the border-router MAC checks.
+        let (ctrl, _) = agent.control_ephid();
+        let pos = self.inboxes.iter().position(|d| {
+            ApnaHeader::parse(&d.bytes, self.replay_mode)
+                .map(|(h, p)| h.dst.ephid == ctrl && h.src == dst && ControlMsg::parse(p).is_ok())
+                .unwrap_or(false)
+        });
+        let Some(pos) = pos else {
+            return Err(Error::ControlRejected("no control reply"));
+        };
+        let delivered = self.inboxes.remove(pos);
+        let (_header, payload) = agent.receive_packet(&delivered.bytes)?;
+        Ok(ControlMsg::parse(payload)?)
+    }
+
+    /// Packetized EphID acquisition: [`HostAgent::acquire`], but with the
+    /// request and reply crossing the simulated network.
+    pub fn agent_acquire(
+        &mut self,
+        agent: &mut HostAgent,
+        usage: EphIdUsage,
+    ) -> Result<usize, Error> {
+        let now = self.now.as_protocol_time();
+        let (pending, msg) = agent.begin_acquire(usage);
+        let dst = HostAddr::new(agent.aid, agent.ms_cert.ephid);
+        let reply = self.control_rpc(agent, dst, &msg)?;
+        agent.complete_acquire(pending, &reply, now)
+    }
+
+    /// Packetized flow-to-EphID mapping: [`HostAgent::ephid_for`] with
+    /// acquisitions crossing the network. Pool decisions stay local; only
+    /// the acquisition goes on the wire.
+    pub fn agent_ephid_for(
+        &mut self,
+        agent: &mut HostAgent,
+        flow: u64,
+        app: u16,
+    ) -> Result<usize, Error> {
+        match agent.pool_slot_for(flow, app) {
+            SlotDecision::Reuse(idx) => Ok(idx),
+            SlotDecision::NeedNew(key) => {
+                let idx = self.agent_acquire(agent, EphIdUsage::DATA_SHORT)?;
+                agent.pool_install(key, idx);
+                Ok(idx)
+            }
+        }
+    }
+
+    /// Packetized shut-off: sends the request to the accountability agent
+    /// at `aa` (the source AS's AA endpoint) and returns the ack.
+    pub fn agent_shutoff(
+        &mut self,
+        agent: &mut HostAgent,
+        aa: HostAddr,
+        evidence: &[u8],
+        owned_idx: usize,
+    ) -> Result<ShutoffAck, Error> {
+        let msg = agent.shutoff_request(evidence, owned_idx);
+        match self.control_rpc(agent, aa, &msg)? {
+            ControlMsg::ShutoffAck(ack) => Ok(ack),
+            _ => Err(Error::ControlRejected("expected a shutoff ack")),
+        }
+    }
+
+    /// Packetized DNS publication: registers the owned EphID at
+    /// `owned_idx` under `name` with the DNS zone attached to `zone_aid`
+    /// (§VII-A task 2 as a network flow). The message carries the owner
+    /// signature the zone's proof-of-possession check requires.
+    pub fn agent_dns_register(
+        &mut self,
+        agent: &mut HostAgent,
+        zone_aid: Aid,
+        name: &str,
+        owned_idx: usize,
+        ipv4: Option<Ipv4Addr>,
+    ) -> Result<(), Error> {
+        let msg = agent.dns_register_msg(name, owned_idx, ipv4);
+        self.dns_rpc(agent, zone_aid, name, &msg)
+    }
+
+    /// Packetized DNS rotation: re-publishes `name` with `new_idx`'s
+    /// certificate, authorized by the currently published EphID at
+    /// `current_idx` (the zone's continuity check).
+    pub fn agent_dns_update(
+        &mut self,
+        agent: &mut HostAgent,
+        zone_aid: Aid,
+        name: &str,
+        new_idx: usize,
+        current_idx: usize,
+        ipv4: Option<Ipv4Addr>,
+    ) -> Result<(), Error> {
+        let msg = agent.dns_update_msg(name, new_idx, current_idx, ipv4);
+        self.dns_rpc(agent, zone_aid, name, &msg)
+    }
+
+    fn dns_rpc(
+        &mut self,
+        agent: &mut HostAgent,
+        zone_aid: Aid,
+        name: &str,
+        msg: &ControlMsg,
+    ) -> Result<(), Error> {
+        let dst = HostAddr::new(zone_aid, self.nodes[&zone_aid].dns_endpoint.ephid);
+        match self.control_rpc(agent, dst, msg)? {
+            ControlMsg::DnsAck { name: acked } if acked == name => Ok(()),
+            _ => Err(Error::ControlRejected("expected a DNS ack")),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::link::FaultProfile;
-    use apna_core::cert::CertKind;
     use apna_core::granularity::Granularity;
-    use apna_core::host::Host;
-    use apna_core::time::ExpiryClass;
     use apna_wire::{ApnaHeader, EphIdBytes, HostAddr};
 
     /// Two ASes directly connected; host in each.
-    fn two_as_network() -> (Network, Host, Host) {
+    fn two_as_network() -> (Network, HostAgent, HostAgent) {
         let mut net = Network::new(ReplayMode::Disabled);
         net.add_as(Aid(1), [1; 32]);
         net.add_as(Aid(2), [2; 32]);
@@ -455,7 +742,7 @@ mod tests {
             FaultProfile::lossless(),
         );
         let now = net.now().as_protocol_time();
-        let alice = Host::attach(
+        let alice = HostAgent::attach(
             net.node(Aid(1)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -463,7 +750,7 @@ mod tests {
             1,
         )
         .unwrap();
-        let bob = Host::attach(
+        let bob = HostAgent::attach(
             net.node(Aid(2)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -479,20 +766,10 @@ mod tests {
         let (mut net, mut alice, mut bob) = two_as_network();
         let now = net.now().as_protocol_time();
         let ai = alice
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let bi = bob
-            .acquire_ephid(
-                &net.node(Aid(2)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let dst = bob.owned_ephid(bi).addr(Aid(2));
         let wire = alice.build_raw_packet(ai, dst, b"across the internet");
@@ -534,7 +811,7 @@ mod tests {
             FaultProfile::lossless(),
         );
         let now = net.now().as_protocol_time();
-        let mut alice = Host::attach(
+        let mut alice = HostAgent::attach(
             net.node(Aid(1)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -542,7 +819,7 @@ mod tests {
             1,
         )
         .unwrap();
-        let mut bob = Host::attach(
+        let mut bob = HostAgent::attach(
             net.node(Aid(2)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -551,20 +828,10 @@ mod tests {
         )
         .unwrap();
         let ai = alice
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let bi = bob
-            .acquire_ephid(
-                &net.node(Aid(2)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let wire = alice.build_raw_packet(ai, bob.owned_ephid(bi).addr(Aid(2)), b"via transit");
         let id = net.send(Aid(1), wire);
@@ -581,12 +848,7 @@ mod tests {
         let (mut net, _alice, mut bob) = two_as_network();
         let now = net.now().as_protocol_time();
         let bi = bob
-            .acquire_ephid(
-                &net.node(Aid(2)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         // Forged packet: made-up EphID, no valid MAC.
         let header = ApnaHeader::new(
@@ -616,7 +878,7 @@ mod tests {
             FaultProfile::lossy(1.0, 0.0),
         );
         let now = net.now().as_protocol_time();
-        let mut alice = Host::attach(
+        let mut alice = HostAgent::attach(
             net.node(Aid(1)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -625,12 +887,7 @@ mod tests {
         )
         .unwrap();
         let ai = alice
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let wire = alice.build_raw_packet(ai, HostAddr::new(Aid(2), EphIdBytes([5; 16])), b"x");
         let id = net.send(Aid(1), wire);
@@ -660,7 +917,7 @@ mod tests {
             FaultProfile::lossy(0.0, 1.0),
         );
         let now = net.now().as_protocol_time();
-        let mut alice = Host::attach(
+        let mut alice = HostAgent::attach(
             net.node(Aid(1)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -668,7 +925,7 @@ mod tests {
             1,
         )
         .unwrap();
-        let mut bob = Host::attach(
+        let mut bob = HostAgent::attach(
             net.node(Aid(2)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -677,20 +934,10 @@ mod tests {
         )
         .unwrap();
         let ai = alice
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let bi = bob
-            .acquire_ephid(
-                &net.node(Aid(2)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let original = alice.build_raw_packet(ai, bob.owned_ephid(bi).addr(Aid(2)), b"fragile");
         let id = net.send(Aid(1), original.clone());
@@ -711,20 +958,10 @@ mod tests {
         net.enable_wiretap();
         let now = net.now().as_protocol_time();
         let ai = alice
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let bi = bob
-            .acquire_ephid(
-                &net.node(Aid(2)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let wire = alice.build_raw_packet(ai, bob.owned_ephid(bi).addr(Aid(2)), b"observed");
         net.send(Aid(1), wire);
@@ -739,7 +976,7 @@ mod tests {
         let (mut net, mut alice, _bob) = two_as_network();
         let now = net.now().as_protocol_time();
         // Second host in AS 1.
-        let mut carol = Host::attach(
+        let mut carol = HostAgent::attach(
             net.node(Aid(1)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -748,20 +985,10 @@ mod tests {
         )
         .unwrap();
         let ai = alice
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let ci = carol
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let wire = alice.build_raw_packet(ai, carol.owned_ephid(ci).addr(Aid(1)), b"local");
         let id = net.send(Aid(1), wire);
@@ -777,20 +1004,10 @@ mod tests {
         let (mut net, mut alice, mut bob) = two_as_network();
         let now = net.now().as_protocol_time();
         let ai = alice
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let bi = bob
-            .acquire_ephid(
-                &net.node(Aid(2)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let dst = bob.owned_ephid(bi).addr(Aid(2));
         // A burst: two valid packets, one forged EphID, one truncated.
@@ -841,23 +1058,13 @@ mod tests {
         // The same traffic injected as a burst or packet-by-packet must
         // yield identical fates (batching is a restructuring, not a
         // semantic change).
-        let build = |net: &Network, alice: &mut Host, bob: &mut Host| {
+        let build = |net: &Network, alice: &mut HostAgent, bob: &mut HostAgent| {
             let now = net.now().as_protocol_time();
             let ai = alice
-                .acquire_ephid(
-                    &net.node(Aid(1)).ms,
-                    CertKind::Data,
-                    ExpiryClass::Short,
-                    now,
-                )
+                .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
                 .unwrap();
             let bi = bob
-                .acquire_ephid(
-                    &net.node(Aid(2)).ms,
-                    CertKind::Data,
-                    ExpiryClass::Short,
-                    now,
-                )
+                .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
                 .unwrap();
             let dst = bob.owned_ephid(bi).addr(Aid(2));
             (0..8u8)
@@ -900,12 +1107,145 @@ mod tests {
     }
 
     #[test]
+    fn packetized_acquire_roundtrips_and_counts() {
+        let (mut net, mut alice, _bob) = two_as_network();
+        let idx = net
+            .agent_acquire(&mut alice, EphIdUsage::DATA_SHORT)
+            .unwrap();
+        assert_eq!(alice.ephid_count(), 1);
+        let now = net.now().as_protocol_time();
+        alice
+            .owned_ephid(idx)
+            .cert
+            .verify(&net.node(Aid(1)).infra.keys.verifying_key(), now)
+            .unwrap();
+        // Both the request and the reply crossed the network as packets.
+        assert_eq!(
+            net.stats.control_delivered.count(ControlKind::EphIdRequest),
+            1
+        );
+        assert_eq!(net.stats.control_replies.count(ControlKind::EphIdReply), 1);
+        assert_eq!(net.control_deliveries().len(), 1);
+        assert_eq!(net.control_deliveries()[0].aid, Aid(1));
+        // The control packets were real traffic: two injections (request +
+        // reply), two deliveries, nothing left in host inboxes.
+        assert_eq!(net.stats.injected, 2);
+        assert_eq!(net.stats.delivered, 2);
+        assert!(net.take_delivered().is_empty());
+    }
+
+    #[test]
+    fn packetized_ephid_for_pools_like_direct() {
+        let (mut net, mut alice, _bob) = two_as_network();
+        let i1 = net.agent_ephid_for(&mut alice, 1, 0).unwrap();
+        let i2 = net.agent_ephid_for(&mut alice, 1, 0).unwrap();
+        let i3 = net.agent_ephid_for(&mut alice, 2, 0).unwrap();
+        assert_eq!(i1, i2, "same flow reuses the pooled EphID");
+        assert_ne!(i1, i3, "new flow allocates under per-flow policy");
+        assert_eq!(alice.pool_stats().0, 2);
+    }
+
+    #[test]
+    fn packetized_shutoff_revokes_at_source_as() {
+        let (mut net, mut alice, mut bob) = two_as_network();
+        net.enable_wiretap();
+        let ai = net
+            .agent_acquire(&mut alice, EphIdUsage::DATA_SHORT)
+            .unwrap();
+        let bi = net.agent_acquire(&mut bob, EphIdUsage::DATA_SHORT).unwrap();
+        let dst = bob.owned_ephid(bi).addr(Aid(2));
+        let wire = alice.build_raw_packet(ai, dst, b"unwanted");
+        net.send(Aid(1), wire);
+        net.run();
+        let evidence = net.take_delivered().pop().unwrap().bytes;
+
+        // Bob files the shut-off with AS 1's accountability agent, as
+        // packets across the inter-AS link.
+        let aa = HostAddr::new(Aid(1), net.node(Aid(1)).aa_endpoint.ephid);
+        let ack = net.agent_shutoff(&mut bob, aa, &evidence, bi).unwrap();
+        assert_eq!(ack.ephid, alice.owned_ephid(ai).ephid());
+        assert!(net.node(Aid(1)).infra.revoked.contains(&ack.ephid));
+        assert_eq!(
+            net.stats
+                .control_delivered
+                .count(ControlKind::ShutoffRequest),
+            1
+        );
+        assert_eq!(net.stats.control_replies.count(ControlKind::ShutoffAck), 1);
+        // The §II-B adversary saw the control exchange cross the link —
+        // control traffic is observable (and tamperable) like any other.
+        let control_frames = net
+            .wiretap_frames()
+            .iter()
+            .filter(|f| {
+                ApnaHeader::parse(&f.bytes, ReplayMode::Disabled)
+                    .map(|(_, p)| ControlMsg::parse(p).is_ok())
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(control_frames, 2, "request + ack on the wire");
+
+        // Alice's follow-up traffic dies at her own border.
+        let wire = alice.build_raw_packet(ai, dst, b"again");
+        let id = net.send(Aid(1), wire);
+        net.run();
+        assert_eq!(
+            net.fate(id),
+            Some(&PacketFate::EgressDropped(DropReason::Revoked))
+        );
+    }
+
+    #[test]
+    fn packetized_dns_register_reaches_zone() {
+        use apna_crypto::ed25519::SigningKey;
+        let (mut net, mut alice, _bob) = two_as_network();
+        net.attach_dns(Aid(2), DnsServer::new(SigningKey::from_seed(&[0xD7; 32])));
+        let ri = net
+            .agent_acquire(&mut alice, EphIdUsage::RECEIVE_ONLY)
+            .unwrap();
+        let cert = alice.owned_ephid(ri).cert.clone();
+        net.agent_dns_register(&mut alice, Aid(2), "svc.example", ri, None)
+            .unwrap();
+        let rec = net.dns(Aid(2)).unwrap().resolve("svc.example").unwrap();
+        assert_eq!(rec.cert, cert);
+        rec.verify(
+            &net.dns(Aid(2)).unwrap().zone_verifying_key(),
+            &net.directory,
+            net.now().as_protocol_time(),
+        )
+        .unwrap();
+        assert_eq!(
+            net.stats.control_delivered.count(ControlKind::DnsRegister),
+            1
+        );
+        assert_eq!(net.stats.control_replies.count(ControlKind::DnsAck), 1);
+    }
+
+    #[test]
+    fn garbage_to_service_endpoint_counts_as_rejected() {
+        let (mut net, mut alice, _bob) = two_as_network();
+        // A MAC-valid packet to the MS whose payload is not a control
+        // frame: delivered, refused, no reply, typed accounting.
+        let dst = HostAddr::new(Aid(1), alice.ms_cert.ephid);
+        let wire = alice.build_ctrl_packet(dst, b"not a control frame");
+        let id = net.send(Aid(1), wire);
+        net.run();
+        assert!(matches!(net.fate(id), Some(PacketFate::Delivered { .. })));
+        assert_eq!(net.stats.control_rejected, 1);
+        assert_eq!(net.stats.control_delivered.total(), 0);
+        // And an RPC against it reports the silent drop as a typed error.
+        let msg = ControlMsg::DnsAck { name: "x".into() };
+        let err = net.control_rpc(&mut alice, dst, &msg).unwrap_err();
+        assert!(matches!(err, Error::ControlRejected("no control reply")));
+    }
+
+    #[test]
     fn no_route_fate() {
         let mut net = Network::new(ReplayMode::Disabled);
         net.add_as(Aid(1), [1; 32]);
         net.add_as(Aid(9), [9; 32]); // disconnected
         let now = net.now().as_protocol_time();
-        let mut alice = Host::attach(
+        let mut alice = HostAgent::attach(
             net.node(Aid(1)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -914,12 +1254,7 @@ mod tests {
         )
         .unwrap();
         let ai = alice
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let wire = alice.build_raw_packet(ai, HostAddr::new(Aid(9), EphIdBytes([1; 16])), b"x");
         let id = net.send(Aid(1), wire);

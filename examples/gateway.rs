@@ -6,8 +6,8 @@
 //!
 //! Run: `cargo run --example gateway`
 
+use apna_core::agent::HostAgent;
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_crypto::ed25519::SigningKey;
 use apna_dns::DnsServer;
 use apna_gateway::{ApnaGateway, LegacyPacket};
@@ -55,7 +55,7 @@ fn main() {
 
     // Gateways: one fronting the legacy client LAN (AS 1), one fronting the
     // legacy server (AS 2).
-    let host_a = Host::attach(
+    let host_a = HostAgent::attach(
         net.node(Aid(1)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -63,7 +63,7 @@ fn main() {
         31,
     )
     .unwrap();
-    let host_b = Host::attach(
+    let host_b = HostAgent::attach(
         net.node(Aid(2)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -87,7 +87,7 @@ fn main() {
     // The server gateway listens on a receive-only EphID and publishes it
     // WITHOUT an IPv4 address (server host privacy, §VII-D).
     let dns = DnsServer::new(SigningKey::from_seed(&[0xDD; 32]));
-    let recv_cert = gw_server.listen(&net.node(Aid(2)).ms, now).unwrap();
+    let recv_cert = gw_server.listen(net.node(Aid(2)), now).unwrap();
     dns.register("legacy-app.example", recv_cert, None);
 
     // The client gateway inspects the DNS reply and synthesizes a
@@ -101,9 +101,7 @@ fn main() {
     // The unmodified IPv4 client sends a datagram to that address.
     let client_ip = Ipv4Addr::new(192, 168, 1, 23);
     let request = LegacyPacket::udp(client_ip, 53123, synth_ip, 7777, b"legacy hello");
-    let out = gw_client
-        .outbound(&request, &net.node(Aid(1)).ms, now)
-        .unwrap();
+    let out = gw_client.outbound(&request, net.node(Aid(1)), now).unwrap();
     println!(
         "client gateway: new flow → EphID handshake with 0-RTT early data ({} GRE frame)",
         out.frames.len()
@@ -111,7 +109,7 @@ fn main() {
 
     // → across APNA → server gateway delivers the datagram to the server.
     let f = carry(&mut net, Aid(1), &out.frames[0]);
-    let sout = gw_server.inbound(&f, &net.node(Aid(2)).ms, now).unwrap();
+    let sout = gw_server.inbound(&f, net.node(Aid(2)), now).unwrap();
     println!(
         "server gateway: delivered {:?} to the legacy server",
         String::from_utf8_lossy(&sout.legacy[0].payload)
@@ -119,15 +117,15 @@ fn main() {
 
     // ← the accept completes the handshake at the client gateway.
     let f2 = carry(&mut net, Aid(2), &sout.frames[0]);
-    gw_client.inbound(&f2, &net.node(Aid(1)).ms, now).unwrap();
+    gw_client.inbound(&f2, net.node(Aid(1)), now).unwrap();
 
     // Server responds; the response rides the established channel back.
     let response = LegacyPacket::udp(synth_ip, 7777, client_ip, 53123, b"legacy world");
     let sresp = gw_server
-        .outbound(&response, &net.node(Aid(2)).ms, now)
+        .outbound(&response, net.node(Aid(2)), now)
         .unwrap();
     let f3 = carry(&mut net, Aid(2), &sresp.frames[0]);
-    let cfinal = gw_client.inbound(&f3, &net.node(Aid(1)).ms, now).unwrap();
+    let cfinal = gw_client.inbound(&f3, net.node(Aid(1)), now).unwrap();
     println!(
         "legacy client received {:?} from {}:{}",
         String::from_utf8_lossy(&cfinal.legacy[0].payload),
@@ -139,9 +137,7 @@ fn main() {
     // "a different EphID for different IPv4 flows").
     let before = gw_client.host.ephid_count();
     let second = LegacyPacket::udp(client_ip, 53124, synth_ip, 7777, b"second flow");
-    gw_client
-        .outbound(&second, &net.node(Aid(1)).ms, now)
-        .unwrap();
+    gw_client.outbound(&second, net.node(Aid(1)), now).unwrap();
     println!(
         "second flow allocated a fresh EphID ({} → {})",
         before,

@@ -8,11 +8,9 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use apna_core::cert::CertKind;
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_core::session::{verify_peer_cert, Role, SecureChannel};
-use apna_core::time::ExpiryClass;
 use apna_simnet::link::FaultProfile;
 use apna_simnet::{Network, PacketFate};
 use apna_wire::{Aid, ReplayMode};
@@ -33,7 +31,7 @@ fn main() {
 
     // Step 1 — host bootstrapping (Fig. 2): authenticate to the AS, derive
     // k_HA, receive the control EphID and service certificates.
-    let mut alice = Host::attach(
+    let mut alice = HostAgent::attach(
         net.node(Aid(64500)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -41,7 +39,7 @@ fn main() {
         1,
     )
     .expect("alice bootstraps");
-    let mut bob = Host::attach(
+    let mut bob = HostAgent::attach(
         net.node(Aid(64501)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -51,31 +49,26 @@ fn main() {
     .expect("bob bootstraps");
     println!("1. bootstrapped: alice@AS64500, bob@AS64501");
 
-    // Step 2 — EphID issuance (Fig. 3): encrypted request to the MS, signed
-    // short-lived certificate back.
-    let ai = alice
-        .acquire_ephid(
-            &net.node(Aid(64500)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+    // Step 2 — EphID issuance (Fig. 3): the encrypted request travels to
+    // the Management Service as an actual packet (ControlMsg envelope over
+    // the control EphID), and the sealed certificate comes back the same
+    // way — counted per kind in the network's control stats.
+    let ai = net
+        .agent_acquire(&mut alice, EphIdUsage::DATA_SHORT)
         .expect("alice EphID");
-    let bi = bob
-        .acquire_ephid(
-            &net.node(Aid(64501)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+    let bi = net
+        .agent_acquire(&mut bob, EphIdUsage::DATA_SHORT)
         .expect("bob EphID");
     let alice_owned = alice.owned_ephid(ai).clone();
     let bob_owned = bob.owned_ephid(bi).clone();
     println!(
-        "2. EphIDs issued: alice={:?} bob={:?}",
+        "2. EphIDs issued over the control plane: alice={:?} bob={:?}",
         alice_owned.ephid(),
         bob_owned.ephid()
     );
+    for (kind, count) in net.stats.control_delivered.iter_nonzero() {
+        println!("   control delivered: {:20} x{count}", kind.name());
+    }
 
     // Step 3 — connection establishment (§IV-D1): verify the peer's
     // certificate against its AS's published key, then ECDH on the

@@ -5,14 +5,12 @@
 //!
 //! Run: `cargo run --example shutoff`
 
-use apna_core::cert::CertKind;
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_core::shutoff::ShutoffRequest;
-use apna_core::time::ExpiryClass;
 use apna_simnet::link::FaultProfile;
 use apna_simnet::{Network, PacketFate};
-use apna_wire::{Aid, ReplayMode};
+use apna_wire::{Aid, HostAddr, ReplayMode};
 
 fn main() {
     let mut net = Network::new(ReplayMode::Disabled);
@@ -29,7 +27,7 @@ fn main() {
 
     // The spammer uses ONE EphID for all its flows (per-host granularity —
     // the §VIII-A trade-off this example demonstrates).
-    let mut spammer = Host::attach(
+    let mut spammer = HostAgent::attach(
         net.node(Aid(1)),
         Granularity::PerHost,
         ReplayMode::Disabled,
@@ -37,7 +35,7 @@ fn main() {
         66,
     )
     .unwrap();
-    let mut victim = Host::attach(
+    let mut victim = HostAgent::attach(
         net.node(Aid(2)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -47,15 +45,10 @@ fn main() {
     .unwrap();
 
     let si = spammer
-        .ephid_for(&net.node(Aid(1)).ms, /*flow*/ 1, /*app*/ 0, now)
+        .ephid_for(net.node(Aid(1)), /*flow*/ 1, /*app*/ 0, now)
         .unwrap();
     let vi = victim
-        .acquire_ephid(
-            &net.node(Aid(2)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let victim_owned = victim.owned_ephid(vi).clone();
     let victim_addr = victim_owned.addr(Aid(2));
@@ -72,34 +65,25 @@ fn main() {
     }
     println!("spammer delivered 5 packets to the victim");
 
-    // The victim builds a shutoff request from the received evidence:
-    // the packet itself + a signature with the destination EphID's key +
-    // the destination certificate.
+    // The victim builds a shutoff request from the received evidence (the
+    // packet itself + a signature with the destination EphID's key + the
+    // destination certificate) and sends it to the SOURCE AS's
+    // accountability agent as a real control packet across the link.
     let delivered_bytes = net.take_delivered().pop().unwrap().bytes;
     assert_eq!(delivered_bytes, last_packet);
-    let request = ShutoffRequest::create(
-        &delivered_bytes,
-        &victim_owned.keys,
-        victim_owned.cert.clone(),
-    );
-
-    // The AA of the SOURCE AS validates everything and revokes.
-    let outcome = net
-        .node(Aid(1))
-        .aa
-        .handle(&request, ReplayMode::Disabled, now)
+    let aa_addr = HostAddr::new(Aid(1), net.node(Aid(1)).aa_endpoint.ephid);
+    let ack = net
+        .agent_shutoff(&mut victim, aa_addr, &delivered_bytes, vi)
         .expect("legitimate shutoff accepted");
     println!(
         "AA at AS1 revoked EphID {:?} (HID revoked: {})",
-        outcome.order.ephid, outcome.hid_revoked
+        ack.ephid, ack.hid_revoked
     );
 
     // Fate-sharing: ALL of the spammer's traffic dies — every flow shared
     // the one EphID (per-host granularity).
     for flow in [1u64, 2, 3] {
-        let idx = spammer
-            .ephid_for(&net.node(Aid(1)).ms, flow, 0, now)
-            .unwrap();
+        let idx = spammer.ephid_for(net.node(Aid(1)), flow, 0, now).unwrap();
         let wire = spammer.build_raw_packet(idx, victim_addr, b"more spam");
         let id = net.send(Aid(1), wire);
         net.run();
@@ -112,7 +96,7 @@ fn main() {
     }
 
     // A well-behaved host with per-flow EphIDs loses only the reported flow.
-    let mut careful = Host::attach(
+    let mut careful = HostAgent::attach(
         net.node(Aid(1)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -120,16 +104,13 @@ fn main() {
         77,
     )
     .unwrap();
-    let f1 = careful.ephid_for(&net.node(Aid(1)).ms, 1, 0, now).unwrap();
-    let f2 = careful.ephid_for(&net.node(Aid(1)).ms, 2, 0, now).unwrap();
+    let f1 = careful.ephid_for(net.node(Aid(1)), 1, 0, now).unwrap();
+    let f2 = careful.ephid_for(net.node(Aid(1)), 2, 0, now).unwrap();
     let wire = careful.build_raw_packet(f1, victim_addr, b"flow-1 packet");
     net.send(Aid(1), wire);
     net.run();
     let evidence = net.take_delivered().pop().unwrap().bytes;
-    let req = ShutoffRequest::create(&evidence, &victim_owned.keys, victim_owned.cert.clone());
-    net.node(Aid(1))
-        .aa
-        .handle(&req, ReplayMode::Disabled, now)
+    net.agent_shutoff(&mut victim, aa_addr, &evidence, vi)
         .unwrap();
     let dead = careful.build_raw_packet(f1, victim_addr, b"flow-1 again");
     let alive = careful.build_raw_packet(f2, victim_addr, b"flow-2 unaffected");
@@ -156,4 +137,9 @@ fn main() {
         .handle(&rogue, ReplayMode::Disabled, now)
         .unwrap_err();
     println!("rogue shutoff (stolen cert, wrong key) rejected: {err}");
+
+    // Every control exchange above was on-wire traffic:
+    for (kind, count) in net.stats.control_delivered.iter_nonzero() {
+        println!("control delivered: {:16} x{count}", kind.name());
+    }
 }

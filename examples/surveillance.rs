@@ -9,11 +9,9 @@
 //!
 //! Run: `cargo run --example surveillance`
 
-use apna_core::cert::CertKind;
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_core::session::{Role, SecureChannel};
-use apna_core::time::ExpiryClass;
 use apna_simnet::link::FaultProfile;
 use apna_simnet::Network;
 use apna_wire::{Aid, ApnaHeader, EphIdBytes, ReplayMode};
@@ -34,7 +32,7 @@ fn main() {
     let now = net.now().as_protocol_time();
 
     // Paranoid sender: per-flow EphIDs. Casual sender: one EphID for all.
-    let mut paranoid = Host::attach(
+    let mut paranoid = HostAgent::attach(
         net.node(Aid(10)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -42,7 +40,7 @@ fn main() {
         1,
     )
     .unwrap();
-    let mut casual = Host::attach(
+    let mut casual = HostAgent::attach(
         net.node(Aid(10)),
         Granularity::PerHost,
         ReplayMode::Disabled,
@@ -50,7 +48,7 @@ fn main() {
         2,
     )
     .unwrap();
-    let mut receiver = Host::attach(
+    let mut receiver = HostAgent::attach(
         net.node(Aid(20)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -60,12 +58,7 @@ fn main() {
     .unwrap();
 
     let ri = receiver
-        .acquire_ephid(
-            &net.node(Aid(20)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(20)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let r_owned = receiver.owned_ephid(ri).clone();
     let r_addr = r_owned.addr(Aid(20));
@@ -78,7 +71,7 @@ fn main() {
         (&mut casual, "casual", Aid(10)),
     ] {
         for flow in 0..3u64 {
-            let idx = host.ephid_for(&net.node(ms_aid).ms, flow, 0, now).unwrap();
+            let idx = host.ephid_for(net.node(ms_aid), flow, 0, now).unwrap();
             let owned = host.owned_ephid(idx).clone();
             let mut ch = SecureChannel::establish(
                 &owned.keys,

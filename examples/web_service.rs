@@ -4,13 +4,11 @@
 //!
 //! Run: `cargo run --example web_service`
 
-use apna_core::cert::CertKind;
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_core::session::{
     client_connect, client_finish, server_accept_with_recv_ephid, HandshakeMode,
 };
-use apna_core::time::ExpiryClass;
 use apna_crypto::ed25519::SigningKey;
 use apna_dns::DnsServer;
 use apna_simnet::link::FaultProfile;
@@ -31,7 +29,7 @@ fn main() {
     let now = net.now().as_protocol_time();
 
     // --- Server side: a shop publishes itself in DNS -------------------
-    let mut server = Host::attach(
+    let mut server = HostAgent::attach(
         net.node(Aid(200)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -41,34 +39,28 @@ fn main() {
     .unwrap();
     // Receive-only EphID: safe to publish, cannot be shut off (§VII-A).
     let recv_idx = server
-        .acquire_ephid(
-            &net.node(Aid(200)).ms,
-            CertKind::ReceiveOnly,
-            ExpiryClass::Long,
-            now,
-        )
+        .acquire(net.node(Aid(200)), EphIdUsage::RECEIVE_ONLY, now)
         .unwrap();
     // Serving EphID: used as the server's source for this client.
     let serve_idx = server
-        .acquire_ephid(
-            &net.node(Aid(200)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(200)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let recv = server.owned_ephid(recv_idx).clone();
     let serving = server.owned_ephid(serve_idx).clone();
 
-    let dns = DnsServer::new(SigningKey::from_seed(&[0xD1; 32]));
-    dns.register("shop.example", recv.cert.clone(), None);
+    // The zone runs at the server's AS; the registration crosses the
+    // network as a DnsRegister control message and is acknowledged.
+    net.attach_dns(Aid(200), DnsServer::new(SigningKey::from_seed(&[0xD1; 32])));
+    net.agent_dns_register(&mut server, Aid(200), "shop.example", recv_idx, None)
+        .expect("zone accepts the record");
     println!(
-        "server: published receive-only EphID {:?} as shop.example",
-        recv.ephid()
+        "server: published receive-only EphID {:?} as shop.example ({} control msgs on the wire)",
+        recv.ephid(),
+        net.stats.control_delivered.total() + net.stats.control_replies.total(),
     );
 
     // --- Client side ----------------------------------------------------
-    let mut client = Host::attach(
+    let mut client = HostAgent::attach(
         net.node(Aid(100)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -77,16 +69,12 @@ fn main() {
     )
     .unwrap();
     let ci = client
-        .acquire_ephid(
-            &net.node(Aid(100)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(100)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let client_owned = client.owned_ephid(ci).clone();
 
     // Resolve + verify the record (zone signature and AS certificate).
+    let dns = net.dns(Aid(200)).expect("zone attached");
     let record = dns.resolve("shop.example").expect("registered");
     record
         .verify(&dns.zone_verifying_key(), &net.directory, now)

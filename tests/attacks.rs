@@ -2,15 +2,14 @@
 //! suite. Every attack the paper argues is prevented must fail here, at
 //! the layer the paper says it fails.
 
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::border::{DropReason, Verdict};
 use apna_core::cert::{CertKind, EphIdCert};
 use apna_core::directory::AsDirectory;
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_core::keys::{AsKeys, EphIdKeyPair, HostAsKey};
 use apna_core::session::{verify_peer_cert, Role, SecureChannel};
 use apna_core::shutoff::ShutoffRequest;
-use apna_core::time::ExpiryClass;
 use apna_core::{AsNode, Error, Timestamp};
 use apna_crypto::x25519::SharedSecret;
 use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr, ReplayMode};
@@ -28,8 +27,8 @@ fn world() -> World {
     World { dir, a, b }
 }
 
-fn attach(node: &AsNode, seed: u64) -> Host {
-    Host::attach(
+fn attach(node: &AsNode, seed: u64) -> HostAgent {
+    HostAgent::attach(
         node,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -50,7 +49,7 @@ fn ephid_spoofing_dropped_and_visible() {
     let w = world();
     let mut victim = attach(&w.a, 1);
     let vi = victim
-        .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let sniffed_ephid = victim.owned_ephid(vi).ephid(); // observed on the LAN
 
@@ -59,7 +58,7 @@ fn ephid_spoofing_dropped_and_visible() {
     let adversary_kha = {
         let mut adversary = attach(&w.a, 2);
         let _ = adversary
-            .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+            .acquire(&w.a, EphIdUsage::DATA_SHORT, Timestamp(0))
             .unwrap();
         adversary.kha().clone()
     };
@@ -91,10 +90,10 @@ fn ephid_minting_fails() {
     let w = world();
     let mut host = attach(&w.a, 1);
     let i1 = host
-        .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let i2 = host
-        .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let e1 = host.owned_ephid(i1).ephid();
     let e2 = host.owned_ephid(i2).ephid();
@@ -108,7 +107,7 @@ fn ephid_minting_fails() {
     // An EphID from another AS is garbage here.
     let mut other_host = attach(&w.b, 9);
     let oi = other_host
-        .acquire_ephid(&w.b.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.b, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     assert!(apna_core::ephid::open(&w.a.infra.keys, &other_host.owned_ephid(oi).ephid()).is_err());
 }
@@ -120,7 +119,7 @@ fn identity_minting_prevented_by_reissue() {
     let w = world();
     let mut host = attach(&w.a, 1);
     let idx = host
-        .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let old_ephid = host.owned_ephid(idx).ephid();
     let old_hid = apna_core::ephid::open(&w.a.infra.keys, &old_ephid)
@@ -154,7 +153,7 @@ fn mitm_certificate_swap_detected() {
     let w = world();
     let mut bob = attach(&w.b, 2);
     let bi = bob
-        .acquire_ephid(&w.b.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.b, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let bob_cert = bob.owned_ephid(bi).cert.clone();
 
@@ -190,10 +189,10 @@ fn forward_secrecy_of_recorded_traffic() {
     let mut alice = attach(&w.a, 1);
     let mut bob = attach(&w.b, 2);
     let ai = alice
-        .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let bi = bob
-        .acquire_ephid(&w.b.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.b, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let a_owned = alice.owned_ephid(ai).clone();
     let b_owned = bob.owned_ephid(bi).clone();
@@ -240,21 +239,29 @@ fn forward_secrecy_of_recorded_traffic() {
 /// ephemeral public key with the control EphID.
 #[test]
 fn ephid_request_reveals_nothing() {
+    use apna_core::control::{ControlMsg, ControlPlane};
     let w = world();
     let mut host = attach(&w.a, 1);
-    let (kp, req) = host.make_ephid_request(CertKind::Data, ExpiryClass::Short);
-    let (sign_pub, dh_pub) = kp.public_keys();
-    let wire = req.serialize();
-    // Neither public key appears in the request bytes.
+    let (pending, msg) = host.begin_acquire(EphIdUsage::DATA_SHORT);
+    let wire = msg.serialize();
+    // The full on-wire control frame leaks nothing: an AS-internal
+    // observer cannot pair the ephemeral public keys with the control
+    // EphID (the keys are sealed under k_HA^enc).
+    let reply_frame =
+        w.a.handle_control_frame(&wire, Timestamp(0))
+            .unwrap()
+            .unwrap();
+    let reply = ControlMsg::parse(&reply_frame).unwrap();
+    let idx = host
+        .complete_acquire(pending, &reply, Timestamp(0))
+        .unwrap();
+    let owned = host.owned_ephid(idx);
+    let (sign_pub, dh_pub) = owned.keys.public_keys();
     assert!(!wire.windows(32).any(|w| w == sign_pub));
     assert!(!wire.windows(32).any(|w| w == dh_pub));
-    // And the reply does not contain the issued EphID in the clear.
-    let reply = w.a.ms.handle_request(&req, Timestamp(0)).unwrap();
-    let idx = host.accept_ephid_reply(kp, &reply, Timestamp(0)).unwrap();
-    let issued = host.owned_ephid(idx).ephid();
-    let mut reply_wire = reply.nonce.to_vec();
-    reply_wire.extend_from_slice(&reply.sealed);
-    assert!(!reply_wire.windows(16).any(|w| w == issued.as_bytes()));
+    // And the reply frame does not contain the issued EphID in the clear.
+    let issued = owned.ephid();
+    assert!(!reply_frame.windows(16).any(|w| w == issued.as_bytes()));
 }
 
 // ---------------------------------------------------------------------
@@ -269,10 +276,10 @@ fn unauthorized_shutoff_matrix() {
     let mut sender = attach(&w.a, 1);
     let mut recipient = attach(&w.b, 2);
     let si = sender
-        .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let ri = recipient
-        .acquire_ephid(&w.b.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.b, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let r_owned = recipient.owned_ephid(ri).clone();
     let genuine = sender.build_raw_packet(si, r_owned.addr(Aid(2)), b"evidence");
@@ -294,7 +301,7 @@ fn unauthorized_shutoff_matrix() {
     // (b) Non-recipient (overheard packet, own cert): authorization fails.
     let mut observer = attach(&w.b, 3);
     let oi = observer
-        .acquire_ephid(&w.b.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.b, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let o_owned = observer.owned_ephid(oi).clone();
     let req = ShutoffRequest::create(&genuine, &o_owned.keys, o_owned.cert.clone());
@@ -325,7 +332,7 @@ fn reflection_requires_unforgeable_source() {
     let w = world();
     let mut victim = attach(&w.a, 1);
     let vi = victim
-        .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&w.a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let victim_ephid = victim.owned_ephid(vi).ephid();
 
@@ -358,7 +365,7 @@ fn reflection_requires_unforgeable_source() {
 fn replay_cannot_mint_distinct_evidence() {
     let w = world();
     let now = Timestamp(0);
-    let mut sender = Host::attach(
+    let mut sender = HostAgent::attach(
         &w.a,
         Granularity::PerFlow,
         ReplayMode::NonceExtension,
@@ -366,7 +373,7 @@ fn replay_cannot_mint_distinct_evidence() {
         1,
     )
     .unwrap();
-    let mut recipient = Host::attach(
+    let mut recipient = HostAgent::attach(
         &w.b,
         Granularity::PerFlow,
         ReplayMode::NonceExtension,
@@ -374,11 +381,9 @@ fn replay_cannot_mint_distinct_evidence() {
         2,
     )
     .unwrap();
-    let si = sender
-        .acquire_ephid(&w.a.ms, CertKind::Data, ExpiryClass::Short, now)
-        .unwrap();
+    let si = sender.acquire(&w.a, EphIdUsage::DATA_SHORT, now).unwrap();
     let ri = recipient
-        .acquire_ephid(&w.b.ms, CertKind::Data, ExpiryClass::Short, now)
+        .acquire(&w.b, EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let r_addr = recipient.owned_ephid(ri).addr(Aid(2));
     let wire = sender.build_raw_packet(si, r_addr, b"once");

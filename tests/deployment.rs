@@ -3,7 +3,7 @@
 //! encrypted-DNS workflow (§VII-A), and the in-network replay filter
 //! extension (§VIII-D future work, implemented here).
 
-use apna_core::cert::CertKind;
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::directory::AsDirectory;
 use apna_core::granularity::Granularity;
 use apna_core::host::Host;
@@ -29,14 +29,7 @@ fn two_ases() -> (AsDirectory, AsNode, AsNode) {
 #[test]
 fn nat_mode_client_reaches_remote_host() {
     let (dir, a, b) = two_ases();
-    let ap_host = Host::attach(
-        &a,
-        Granularity::PerFlow,
-        ReplayMode::Disabled,
-        Timestamp(0),
-        10,
-    )
-    .unwrap();
+    let ap_host = Host::attach(&a, ReplayMode::Disabled, Timestamp(0), 10).unwrap();
     let mut ap = AccessPoint::new(ap_host, 11);
 
     // A laptop joins the AP's WiFi and gets an EphID through the AP.
@@ -48,7 +41,7 @@ fn nat_mode_client_reaches_remote_host() {
             laptop.id,
             sp,
             dp,
-            &a.ms,
+            &a,
             &a.infra.keys.verifying_key(),
             ExpiryClass::Short,
             Timestamp(0),
@@ -56,7 +49,7 @@ fn nat_mode_client_reaches_remote_host() {
         .unwrap();
 
     // Remote peer in AS-B.
-    let mut bob = Host::attach(
+    let mut bob = HostAgent::attach(
         &b,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -65,7 +58,7 @@ fn nat_mode_client_reaches_remote_host() {
     )
     .unwrap();
     let bi = bob
-        .acquire_ephid(&b.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&b, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let bob_owned = bob.owned_ephid(bi).clone();
 
@@ -119,14 +112,7 @@ fn nat_mode_client_reaches_remote_host() {
 fn apna_as_a_service_accountability_chain() {
     let (_dir, isp, remote) = two_ases();
     // The downstream "AS" is an AccessPoint from the ISP's perspective.
-    let downstream_host = Host::attach(
-        &isp,
-        Granularity::PerFlow,
-        ReplayMode::Disabled,
-        Timestamp(0),
-        20,
-    )
-    .unwrap();
+    let downstream_host = Host::attach(&isp, ReplayMode::Disabled, Timestamp(0), 20).unwrap();
     let mut downstream = AccessPoint::new(downstream_host, 21);
 
     // Two customers of the downstream AS.
@@ -141,7 +127,7 @@ fn apna_as_a_service_accountability_chain() {
             good.id,
             gsp,
             gdp,
-            &isp.ms,
+            &isp,
             &isp.infra.keys.verifying_key(),
             ExpiryClass::Short,
             Timestamp(0),
@@ -152,7 +138,7 @@ fn apna_as_a_service_accountability_chain() {
             bad.id,
             bsp,
             bdp,
-            &isp.ms,
+            &isp,
             &isp.infra.keys.verifying_key(),
             ExpiryClass::Short,
             Timestamp(0),
@@ -160,7 +146,7 @@ fn apna_as_a_service_accountability_chain() {
         .unwrap();
 
     // Victim in the remote AS.
-    let mut victim = Host::attach(
+    let mut victim = HostAgent::attach(
         &remote,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -169,7 +155,7 @@ fn apna_as_a_service_accountability_chain() {
     )
     .unwrap();
     let vi = victim
-        .acquire_ephid(&remote.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&remote, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let v_owned = victim.owned_ephid(vi).clone();
 
@@ -227,7 +213,7 @@ fn encrypted_dns_workflow() {
     // The resolver runs in AS-B (NOT the client's AS — the §VII-A
     // recommendation when the client distrusts its own AS).
     let resolver = DnsServer::new(SigningKey::from_seed(&[0xD2; 32]));
-    let mut resolver_host = Host::attach(
+    let mut resolver_host = HostAgent::attach(
         &b,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -236,17 +222,12 @@ fn encrypted_dns_workflow() {
     )
     .unwrap();
     let ri = resolver_host
-        .acquire_ephid(
-            &b.ms,
-            CertKind::ReceiveOnly,
-            ExpiryClass::Long,
-            Timestamp(0),
-        )
+        .acquire(&b, EphIdUsage::RECEIVE_ONLY, Timestamp(0))
         .unwrap();
     let r_owned = resolver_host.owned_ephid(ri).clone();
 
     // Publish a service record.
-    let mut svc = Host::attach(
+    let mut svc = HostAgent::attach(
         &b,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -255,17 +236,12 @@ fn encrypted_dns_workflow() {
     )
     .unwrap();
     let si = svc
-        .acquire_ephid(
-            &b.ms,
-            CertKind::ReceiveOnly,
-            ExpiryClass::Long,
-            Timestamp(0),
-        )
+        .acquire(&b, EphIdUsage::RECEIVE_ONLY, Timestamp(0))
         .unwrap();
     resolver.register("hidden.example", svc.owned_ephid(si).cert.clone(), None);
 
     // Client in AS-A builds a channel to the resolver and queries.
-    let mut client = Host::attach(
+    let mut client = HostAgent::attach(
         &a,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -274,7 +250,7 @@ fn encrypted_dns_workflow() {
     )
     .unwrap();
     let ci = client
-        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let c_owned = client.owned_ephid(ci).clone();
     let mut ch_client = SecureChannel::establish(
@@ -315,7 +291,7 @@ fn in_network_replay_filter_stops_replay_at_source() {
     let (_dir, a, _b) = two_ases();
     let mut br = a.br.clone();
     br.enable_replay_filter();
-    let mut sender = Host::attach(
+    let mut sender = HostAgent::attach(
         &a,
         Granularity::PerFlow,
         ReplayMode::NonceExtension,
@@ -324,7 +300,7 @@ fn in_network_replay_filter_stops_replay_at_source() {
     )
     .unwrap();
     let si = sender
-        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let dst = HostAddr::new(Aid(2), apna_wire::EphIdBytes([9; 16]));
 

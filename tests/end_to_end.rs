@@ -2,19 +2,17 @@
 //! internetwork (bootstrap → issuance → session → encrypted data →
 //! ICMP → shutoff), across multi-AS topologies and faulty links.
 
-use apna_core::cert::CertKind;
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_core::session::{verify_peer_cert, Role, SecureChannel};
 use apna_core::shutoff::ShutoffRequest;
-use apna_core::time::ExpiryClass;
 use apna_simnet::link::FaultProfile;
 use apna_simnet::{Network, PacketFate};
 use apna_wire::icmp::{IcmpMessage, IcmpType};
 use apna_wire::{Aid, ReplayMode};
 
 /// A 4-AS line topology 1-2-3-4 with hosts at the ends.
-fn line_network(replay: ReplayMode) -> (Network, Host, Host) {
+fn line_network(replay: ReplayMode) -> (Network, HostAgent, HostAgent) {
     let mut net = Network::new(replay);
     for i in 1..=4u32 {
         net.add_as(Aid(i), [i as u8; 32]);
@@ -29,8 +27,8 @@ fn line_network(replay: ReplayMode) -> (Network, Host, Host) {
         );
     }
     let now = net.now().as_protocol_time();
-    let alice = Host::attach(net.node(Aid(1)), Granularity::PerFlow, replay, now, 1).unwrap();
-    let dave = Host::attach(net.node(Aid(4)), Granularity::PerFlow, replay, now, 4).unwrap();
+    let alice = HostAgent::attach(net.node(Aid(1)), Granularity::PerFlow, replay, now, 1).unwrap();
+    let dave = HostAgent::attach(net.node(Aid(4)), Granularity::PerFlow, replay, now, 4).unwrap();
     (net, alice, dave)
 }
 
@@ -39,20 +37,10 @@ fn encrypted_session_across_three_hops() {
     let (mut net, mut alice, mut dave) = line_network(ReplayMode::Disabled);
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(
-            &net.node(Aid(1)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let di = dave
-        .acquire_ephid(
-            &net.node(Aid(4)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(4)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let a_owned = alice.owned_ephid(ai).clone();
     let d_owned = dave.owned_ephid(di).clone();
@@ -101,20 +89,10 @@ fn ping_across_the_internet() {
     let (mut net, mut alice, mut dave) = line_network(ReplayMode::Disabled);
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(
-            &net.node(Aid(1)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let di = dave
-        .acquire_ephid(
-            &net.node(Aid(4)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(4)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let dave_addr = dave.owned_ephid(di).addr(Aid(4));
 
@@ -145,20 +123,10 @@ fn shutoff_effective_across_topology() {
     let (mut net, mut alice, mut dave) = line_network(ReplayMode::Disabled);
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(
-            &net.node(Aid(1)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let di = dave
-        .acquire_ephid(
-            &net.node(Aid(4)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(4)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let d_owned = dave.owned_ephid(di).clone();
 
@@ -197,7 +165,7 @@ fn lossy_link_drops_show_in_fates_and_macs_catch_corruption() {
         FaultProfile::lossy(0.15, 0.15),
     );
     let now = net.now().as_protocol_time();
-    let mut alice = Host::attach(
+    let mut alice = HostAgent::attach(
         net.node(Aid(1)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -205,7 +173,7 @@ fn lossy_link_drops_show_in_fates_and_macs_catch_corruption() {
         1,
     )
     .unwrap();
-    let mut bob = Host::attach(
+    let mut bob = HostAgent::attach(
         net.node(Aid(2)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -214,20 +182,10 @@ fn lossy_link_drops_show_in_fates_and_macs_catch_corruption() {
     )
     .unwrap();
     let ai = alice
-        .acquire_ephid(
-            &net.node(Aid(1)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let bi = bob
-        .acquire_ephid(
-            &net.node(Aid(2)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let a_owned = alice.owned_ephid(ai).clone();
     let b_owned = bob.owned_ephid(bi).clone();
@@ -301,20 +259,10 @@ fn replay_protection_end_to_end() {
     };
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(
-            &net.node(Aid(1)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let di = dave
-        .acquire_ephid(
-            &net.node(Aid(4)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(4)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let dave_addr = dave.owned_ephid(di).addr(Aid(4));
 
@@ -344,15 +292,10 @@ fn expired_ephid_dies_at_border_over_time() {
     let (mut net, mut alice, mut dave) = line_network(ReplayMode::Disabled);
     let now = net.now().as_protocol_time();
     let ai = alice
-        .acquire_ephid(
-            &net.node(Aid(1)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let di = dave
-        .acquire_ephid(&net.node(Aid(4)).ms, CertKind::Data, ExpiryClass::Long, now)
+        .acquire(net.node(Aid(4)), EphIdUsage::DATA_LONG, now)
         .unwrap();
     let dave_addr = dave.owned_ephid(di).addr(Aid(4));
 

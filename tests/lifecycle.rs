@@ -2,13 +2,12 @@
 //! (§VIII-G1), revocation-list purging and HID escalation (§VIII-G2),
 //! control-EphID expiry at the MS, and DNS record rotation (§VII-A).
 
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::border::{DropReason, Verdict};
-use apna_core::cert::CertKind;
 use apna_core::directory::AsDirectory;
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_core::shutoff::ShutoffRequest;
-use apna_core::time::{ExpiryClass, Timestamp};
+use apna_core::time::Timestamp;
 use apna_core::AsNode;
 use apna_crypto::ed25519::SigningKey;
 use apna_dns::DnsServer;
@@ -24,7 +23,7 @@ fn setup() -> (AsDirectory, AsNode, AsNode) {
 #[test]
 fn expiry_classes_honored_at_border() {
     let (_dir, a, _b) = setup();
-    let mut host = Host::attach(
+    let mut host = HostAgent::attach(
         &a,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -33,13 +32,13 @@ fn expiry_classes_honored_at_border() {
     )
     .unwrap();
     let short = host
-        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let medium = host
-        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Medium, Timestamp(0))
+        .acquire(&a, EphIdUsage::DATA_MEDIUM, Timestamp(0))
         .unwrap();
     let long = host
-        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Long, Timestamp(0))
+        .acquire(&a, EphIdUsage::DATA_LONG, Timestamp(0))
         .unwrap();
     let dst = HostAddr::new(Aid(2), EphIdBytes([9; 16]));
 
@@ -76,7 +75,7 @@ fn revocation_list_purge_after_expiry() {
 #[test]
 fn control_ephid_expiry_stops_issuance_until_rebootstrap() {
     let (dir, a, _b) = setup();
-    let mut host = Host::attach(
+    let mut host = HostAgent::attach(
         &a,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -86,13 +85,13 @@ fn control_ephid_expiry_stops_issuance_until_rebootstrap() {
     .unwrap();
     // Control EphIDs live 24h.
     assert!(host
-        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(86_400))
+        .acquire(&a, EphIdUsage::DATA_SHORT, Timestamp(86_400))
         .is_ok());
     assert!(host
-        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(86_401))
+        .acquire(&a, EphIdUsage::DATA_SHORT, Timestamp(86_401))
         .is_err());
     // Re-bootstrap refreshes the control EphID; issuance works again.
-    let mut fresh = Host::attach(
+    let mut fresh = HostAgent::attach(
         &a,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -101,7 +100,7 @@ fn control_ephid_expiry_stops_issuance_until_rebootstrap() {
     )
     .unwrap();
     assert!(fresh
-        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(86_401))
+        .acquire(&a, EphIdUsage::DATA_SHORT, Timestamp(86_401))
         .is_ok());
     let _ = dir;
 }
@@ -109,7 +108,7 @@ fn control_ephid_expiry_stops_issuance_until_rebootstrap() {
 #[test]
 fn six_strikes_escalates_to_hid_revocation_and_reissue_recovers() {
     let (_dir, a, b) = setup();
-    let mut spammer = Host::attach(
+    let mut spammer = HostAgent::attach(
         &a,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -117,7 +116,7 @@ fn six_strikes_escalates_to_hid_revocation_and_reissue_recovers() {
         1,
     )
     .unwrap();
-    let mut victim = Host::attach(
+    let mut victim = HostAgent::attach(
         &b,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -126,14 +125,14 @@ fn six_strikes_escalates_to_hid_revocation_and_reissue_recovers() {
     )
     .unwrap();
     let vi = victim
-        .acquire_ephid(&b.ms, CertKind::Data, ExpiryClass::Long, Timestamp(0))
+        .acquire(&b, EphIdUsage::DATA_LONG, Timestamp(0))
         .unwrap();
     let v_owned = victim.owned_ephid(vi).clone();
 
     let mut hid = None;
     for strike in 0..6 {
         let si = spammer
-            .ephid_for(&a.ms, strike as u64, 0, Timestamp(0))
+            .ephid_for(&a, strike as u64, 0, Timestamp(0))
             .unwrap();
         let eph = spammer.owned_ephid(si).ephid();
         hid = Some(apna_core::ephid::open(&a.infra.keys, &eph).unwrap().hid);
@@ -152,7 +151,7 @@ fn six_strikes_escalates_to_hid_revocation_and_reissue_recovers() {
     assert!(a.infra.host_db.is_valid(new_hid));
     // Old EphIDs remain dead — doubly so: they sit on the revocation list
     // AND their HID is revoked. The Fig. 4 check order reports Revoked.
-    let si = spammer.ephid_for(&a.ms, 0, 0, Timestamp(2)).unwrap();
+    let si = spammer.ephid_for(&a, 0, 0, Timestamp(2)).unwrap();
     let wire = spammer.build_raw_packet(si, v_owned.addr(Aid(2)), b"post-reissue");
     let verdict =
         a.br.process_outgoing(&wire, ReplayMode::Disabled, Timestamp(2));
@@ -173,7 +172,7 @@ fn dns_rotation_after_shutoff_pressure() {
     // records never face that.
     let (dir, _a, b) = setup();
     let dns = DnsServer::new(SigningKey::from_seed(&[0xDA; 32]));
-    let mut server = Host::attach(
+    let mut server = HostAgent::attach(
         &b,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -182,12 +181,7 @@ fn dns_rotation_after_shutoff_pressure() {
     )
     .unwrap();
     let r1 = server
-        .acquire_ephid(
-            &b.ms,
-            CertKind::ReceiveOnly,
-            ExpiryClass::Short,
-            Timestamp(0),
-        )
+        .acquire(&b, EphIdUsage::RECEIVE_ONLY_SHORT, Timestamp(0))
         .unwrap();
     dns.register("svc.example", server.owned_ephid(r1).cert.clone(), None);
     // Record expires with the cert at t=900; verification starts failing.
@@ -200,12 +194,7 @@ fn dns_rotation_after_shutoff_pressure() {
         .is_err());
     // Rotate: new receive-only EphID, fresh record.
     let r2 = server
-        .acquire_ephid(
-            &b.ms,
-            CertKind::ReceiveOnly,
-            ExpiryClass::Long,
-            Timestamp(901),
-        )
+        .acquire(&b, EphIdUsage::RECEIVE_ONLY, Timestamp(901))
         .unwrap();
     dns.update("svc.example", server.owned_ephid(r2).cert.clone(), None);
     let rec = dns.resolve("svc.example").unwrap();
@@ -217,7 +206,7 @@ fn dns_rotation_after_shutoff_pressure() {
 #[test]
 fn preemptive_revocation_lifecycle() {
     let (_dir, a, _b) = setup();
-    let mut host = Host::attach(
+    let mut host = HostAgent::attach(
         &a,
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -226,7 +215,7 @@ fn preemptive_revocation_lifecycle() {
     )
     .unwrap();
     let idx = host
-        .acquire_ephid(&a.ms, CertKind::Data, ExpiryClass::Short, Timestamp(0))
+        .acquire(&a, EphIdUsage::DATA_SHORT, Timestamp(0))
         .unwrap();
     let owned = host.owned_ephid(idx).clone();
     // The host retires its own EphID (e.g., the flow ended early).

@@ -3,11 +3,9 @@
 //! encryption, and the paper's own stated limits (intra-AS visibility,
 //! AS-level deanonymization for lawful access, §VIII-H).
 
-use apna_core::cert::CertKind;
+use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::granularity::Granularity;
-use apna_core::host::Host;
 use apna_core::session::{Role, SecureChannel};
-use apna_core::time::ExpiryClass;
 use apna_simnet::link::FaultProfile;
 use apna_simnet::Network;
 use apna_wire::{Aid, ApnaHeader, ReplayMode};
@@ -34,7 +32,7 @@ fn two_as_net() -> Network {
 fn wire_leaks_only_as_pair_and_opaque_ids() {
     let mut net = two_as_net();
     let now = net.now().as_protocol_time();
-    let mut alice = Host::attach(
+    let mut alice = HostAgent::attach(
         net.node(Aid(1)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -42,7 +40,7 @@ fn wire_leaks_only_as_pair_and_opaque_ids() {
         1,
     )
     .unwrap();
-    let mut bob = Host::attach(
+    let mut bob = HostAgent::attach(
         net.node(Aid(2)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -51,20 +49,10 @@ fn wire_leaks_only_as_pair_and_opaque_ids() {
     )
     .unwrap();
     let ai = alice
-        .acquire_ephid(
-            &net.node(Aid(1)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let bi = bob
-        .acquire_ephid(
-            &net.node(Aid(2)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let a_owned = alice.owned_ephid(ai).clone();
     let b_owned = bob.owned_ephid(bi).clone();
@@ -108,7 +96,7 @@ fn wire_leaks_only_as_pair_and_opaque_ids() {
 fn per_flow_policy_breaks_linkability() {
     let mut net = two_as_net();
     let now = net.now().as_protocol_time();
-    let mut host = Host::attach(
+    let mut host = HostAgent::attach(
         net.node(Aid(1)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -116,7 +104,7 @@ fn per_flow_policy_breaks_linkability() {
         1,
     )
     .unwrap();
-    let mut sink = Host::attach(
+    let mut sink = HostAgent::attach(
         net.node(Aid(2)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -125,17 +113,12 @@ fn per_flow_policy_breaks_linkability() {
     )
     .unwrap();
     let si = sink
-        .acquire_ephid(
-            &net.node(Aid(2)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let sink_addr = sink.owned_ephid(si).addr(Aid(2));
 
     for flow in 0..8u64 {
-        let idx = host.ephid_for(&net.node(Aid(1)).ms, flow, 0, now).unwrap();
+        let idx = host.ephid_for(net.node(Aid(1)), flow, 0, now).unwrap();
         let wire = host.build_raw_packet(idx, sink_addr, b"payload");
         net.send(Aid(1), wire);
     }
@@ -158,7 +141,7 @@ fn per_flow_policy_breaks_linkability() {
 fn issuing_as_can_deanonymize() {
     let net = two_as_net();
     let now = net.now().as_protocol_time();
-    let mut host = Host::attach(
+    let mut host = HostAgent::attach(
         net.node(Aid(1)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -168,7 +151,7 @@ fn issuing_as_can_deanonymize() {
     .unwrap();
     let mut hids = HashSet::new();
     for flow in 0..5u64 {
-        let idx = host.ephid_for(&net.node(Aid(1)).ms, flow, 0, now).unwrap();
+        let idx = host.ephid_for(net.node(Aid(1)), flow, 0, now).unwrap();
         let eph = host.owned_ephid(idx).ephid();
         hids.insert(
             apna_core::ephid::open(&net.node(Aid(1)).infra.keys, &eph)
@@ -178,7 +161,7 @@ fn issuing_as_can_deanonymize() {
     }
     assert_eq!(hids.len(), 1, "the AS links all EphIDs to one customer");
     // The OTHER AS cannot: decryption fails entirely.
-    let idx = host.ephid_for(&net.node(Aid(1)).ms, 99, 0, now).unwrap();
+    let idx = host.ephid_for(net.node(Aid(1)), 99, 0, now).unwrap();
     let eph = host.owned_ephid(idx).ephid();
     assert!(apna_core::ephid::open(&net.node(Aid(2)).infra.keys, &eph).is_err());
 }
@@ -190,7 +173,7 @@ fn issuing_as_can_deanonymize() {
 fn destination_as_cannot_read_payloads() {
     let net = two_as_net();
     let now = net.now().as_protocol_time();
-    let mut alice = Host::attach(
+    let mut alice = HostAgent::attach(
         net.node(Aid(1)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -198,7 +181,7 @@ fn destination_as_cannot_read_payloads() {
         1,
     )
     .unwrap();
-    let mut bob = Host::attach(
+    let mut bob = HostAgent::attach(
         net.node(Aid(2)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -207,20 +190,10 @@ fn destination_as_cannot_read_payloads() {
     )
     .unwrap();
     let ai = alice
-        .acquire_ephid(
-            &net.node(Aid(1)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let bi = bob
-        .acquire_ephid(
-            &net.node(Aid(2)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let a_owned = alice.owned_ephid(ai).clone();
     let b_owned = bob.owned_ephid(bi).clone();
@@ -268,7 +241,7 @@ fn anonymity_set_is_the_as() {
     let mut net = two_as_net();
     let now = net.now().as_protocol_time();
     // Ten hosts in AS 1, each sends one packet.
-    let mut sink = Host::attach(
+    let mut sink = HostAgent::attach(
         net.node(Aid(2)),
         Granularity::PerFlow,
         ReplayMode::Disabled,
@@ -277,16 +250,11 @@ fn anonymity_set_is_the_as() {
     )
     .unwrap();
     let si = sink
-        .acquire_ephid(
-            &net.node(Aid(2)).ms,
-            CertKind::Data,
-            ExpiryClass::Short,
-            now,
-        )
+        .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let sink_addr = sink.owned_ephid(si).addr(Aid(2));
     for seed in 0..10u64 {
-        let mut h = Host::attach(
+        let mut h = HostAgent::attach(
             net.node(Aid(1)),
             Granularity::PerFlow,
             ReplayMode::Disabled,
@@ -295,12 +263,7 @@ fn anonymity_set_is_the_as() {
         )
         .unwrap();
         let idx = h
-            .acquire_ephid(
-                &net.node(Aid(1)).ms,
-                CertKind::Data,
-                ExpiryClass::Short,
-                now,
-            )
+            .acquire(net.node(Aid(1)), EphIdUsage::DATA_SHORT, now)
             .unwrap();
         let wire = h.build_raw_packet(idx, sink_addr, b"x");
         net.send(Aid(1), wire);

@@ -220,6 +220,75 @@ proptest! {
         prop_assert_eq!(apna_crypto::hex::decode(&enc).unwrap(), bytes);
     }
 
+    // ----------------------------------------------------------------
+    // Control-plane envelope
+    // ----------------------------------------------------------------
+
+    /// ∀ field values: every ControlMsg kind survives serialize→parse.
+    #[test]
+    fn control_envelope_roundtrip(
+        ctrl in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        sealed in proptest::collection::vec(any::<u8>(), 16..128),
+        exp in any::<u32>(),
+        flag in any::<bool>(),
+        name_tag in any::<u32>(),
+        kind_sel in 0usize..5,
+    ) {
+        let name = format!("svc-{name_tag}.example");
+        use apna_core::control::{ControlMsg, DnsUpsert, ShutoffAck};
+        use apna_core::management::{EphIdReply, EphIdRequest};
+        let keys = as_keys();
+        let cert = {
+            use apna_core::cert::{CertKind, EphIdCert};
+            EphIdCert::issue(
+                &keys.signing,
+                EphIdBytes(ctrl),
+                Timestamp(exp),
+                [1; 32],
+                [2; 32],
+                Aid(7),
+                EphIdBytes([3; 16]),
+                CertKind::ReceiveOnly,
+            )
+        };
+        let msg = match kind_sel {
+            0 => ControlMsg::EphIdRequest(EphIdRequest {
+                ctrl_ephid: EphIdBytes(ctrl),
+                nonce,
+                sealed: sealed.clone(),
+            }),
+            1 => ControlMsg::EphIdReply(EphIdReply { nonce, sealed: sealed.clone() }),
+            2 => ControlMsg::ShutoffAck(ShutoffAck {
+                ephid: EphIdBytes(ctrl),
+                exp_time: Timestamp(exp),
+                hid_revoked: flag,
+            }),
+            3 => ControlMsg::DnsRegister(DnsUpsert::signed(
+                &name,
+                cert,
+                flag.then_some(apna_wire::ipv4::Ipv4Addr::new(192, 0, 2, 1)),
+                &keys.signing,
+            )),
+            _ => ControlMsg::DnsAck { name: name.clone() },
+        };
+        let wire = msg.serialize();
+        prop_assert_eq!(ControlMsg::parse(&wire).unwrap(), msg);
+        // Every strict prefix fails with a typed error, never a panic.
+        prop_assert!(ControlMsg::parse(&wire[..wire.len() - 1]).is_err());
+    }
+
+    /// ∀ random byte strings: the envelope parser never panics and never
+    /// accepts garbage as a valid frame (the magic gate).
+    #[test]
+    fn control_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        use apna_core::control::ControlMsg;
+        let _ = ControlMsg::parse(&bytes); // must return, not panic
+        if bytes.len() >= 4 && bytes[..4] != *b"APCP" {
+            prop_assert!(ControlMsg::parse(&bytes).is_err());
+        }
+    }
+
     /// Certificates round-trip through serialization for arbitrary field
     /// values (signature validity is orthogonal — parse is structural).
     #[test]
