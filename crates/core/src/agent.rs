@@ -188,15 +188,12 @@ impl HostAgent {
         }
     }
 
-    /// Replaces every pooled data EphID that expires within the refresh
-    /// margin: acquires a successor and repoints the slots it served, so
-    /// ongoing flows never hit the border router's expiry check. Returns
-    /// how many EphIDs were replaced.
-    pub fn refresh_expiring(
-        &mut self,
-        cp: &(impl ControlPlane + ?Sized),
-        now: Timestamp,
-    ) -> Result<usize, Error> {
+    /// The pooled EphID indices that expire within the refresh margin of
+    /// `now` — what [`HostAgent::refresh_expiring`] is about to replace.
+    /// Sorted and deduplicated, so callers (like the simulator's
+    /// packetized refresh) can drive the replacement themselves.
+    #[must_use]
+    pub fn refresh_candidates(&self, now: Timestamp) -> Vec<usize> {
         let deadline = now.add_secs(self.refresh_margin_secs);
         let mut stale: Vec<usize> = self
             .pool
@@ -212,15 +209,38 @@ impl HostAgent {
             .collect();
         stale.sort_unstable();
         stale.dedup();
+        stale
+    }
+
+    /// Repoints every pool slot served by `old_idx` to `new_idx` (the
+    /// commit half of a refresh, once the successor EphID is in hand).
+    /// Returns how many slots moved.
+    pub fn repoint_index(&mut self, old_idx: usize, new_idx: usize) -> usize {
+        let keys = self.pool.evict_index(old_idx);
+        let moved = keys.len();
+        for key in keys {
+            self.pool.install(key, new_idx);
+        }
+        moved
+    }
+
+    /// Replaces every pooled data EphID that expires within the refresh
+    /// margin: acquires a successor and repoints the slots it served, so
+    /// ongoing flows never hit the border router's expiry check. Returns
+    /// how many EphIDs were replaced.
+    pub fn refresh_expiring(
+        &mut self,
+        cp: &(impl ControlPlane + ?Sized),
+        now: Timestamp,
+    ) -> Result<usize, Error> {
+        let stale = self.refresh_candidates(now);
         for old_idx in &stale {
             // Acquire the successor BEFORE touching the pool: if issuance
             // fails (expired control EphID, unreachable MS) the error
             // propagates with every remaining flow→EphID mapping intact,
             // instead of silently evicting slots it cannot refill.
             let new_idx = self.acquire(cp, EphIdUsage::DATA_SHORT, now)?;
-            for key in self.pool.evict_index(*old_idx) {
-                self.pool.install(key, new_idx);
-            }
+            self.repoint_index(*old_idx, new_idx);
         }
         Ok(stale.len())
     }

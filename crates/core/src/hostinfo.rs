@@ -75,6 +75,14 @@ impl HostDb {
             .map(|r| r.key.clone())
     }
 
+    /// Looks up the shared key of any *registered* host, revoked or not —
+    /// for idempotency paths that must re-verify evidence against a host
+    /// whose HID has since been revoked by escalation.
+    #[must_use]
+    pub fn key_of(&self, hid: Hid) -> Option<HostAsKey> {
+        self.records.read().get(&hid).map(|r| r.key.clone())
+    }
+
     /// `true` if the HID is registered and not revoked.
     #[must_use]
     pub fn is_valid(&self, hid: Hid) -> bool {
@@ -91,6 +99,17 @@ impl HostDb {
         if let Some(r) = self.records.write().get_mut(&hid) {
             r.revoked = true;
         }
+    }
+
+    /// The number of EphID revocations recorded against the host — the
+    /// §VIII-G2 strike counter (0 for unknown hosts).
+    #[must_use]
+    pub fn revocation_count(&self, hid: Hid) -> u32 {
+        self.records
+            .read()
+            .get(&hid)
+            .map(|r| r.revoked_ephid_count)
+            .unwrap_or(0)
     }
 
     /// Records one preemptive/shutoff EphID revocation against the host;

@@ -100,6 +100,12 @@ pub enum Error {
     /// A control-plane message was refused by the service that received it
     /// (wrong kind for the endpoint, missing reply, misdirected message).
     ControlRejected(&'static str),
+    /// A control RPC exhausted its retry budget or deadline without a
+    /// reply (every attempt was lost in transit or silently dropped).
+    ControlTimeout {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl From<apna_crypto::CryptoError> for Error {
@@ -136,6 +142,9 @@ impl core::fmt::Display for Error {
             Error::InvalidState(why) => write!(f, "invalid state: {why}"),
             Error::Management(drop) => write!(f, "management service dropped request: {drop:?}"),
             Error::ControlRejected(why) => write!(f, "control message rejected: {why}"),
+            Error::ControlTimeout { attempts } => {
+                write!(f, "control rpc gave up after {attempts} attempts")
+            }
         }
     }
 }

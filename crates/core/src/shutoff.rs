@@ -250,18 +250,15 @@ impl AccountabilityAgent {
         if plain.exp_time.expired_at(now) {
             return Err(Error::ShutoffRejected("source EphID expired"));
         }
+        // The key lookup deliberately includes HID-revoked hosts: a resend
+        // whose first attempt *escalated* to HID revocation must still be
+        // verifiable, or the requester whose ack was lost can never
+        // converge.
         let kha = self
             .infra
             .host_db
-            .key_of_valid(plain.hid)
+            .key_of(plain.hid)
             .ok_or(Error::ShutoffRejected("source host unknown"))?;
-        // A replayed request quotes an EphID this AA already revoked.
-        // Rejecting it keeps the §VIII-G2 strike counter honest: identical
-        // evidence cannot be replayed into an escalating count of
-        // distinct incidents.
-        if self.infra.revoked.contains(&header.src.ephid) {
-            return Err(Error::ShutoffRejected("source EphID already revoked"));
-        }
 
         // 5. The quoted packet must carry our customer's authentic mark —
         //    "the destination cannot make a shutoff request with a rogue
@@ -273,8 +270,25 @@ impl AccountabilityAgent {
             return Err(Error::ShutoffRejected("packet not authenticated by source"));
         }
 
-        // All checks passed: revoke.
+        // All checks passed. If the EphID is already revoked this is a
+        // resend (the requester's ack was lost in transit) or a replay of
+        // captured evidence: re-issue the identical order so loss-tolerant
+        // clients converge — including the hid_revoked verdict if the
+        // first attempt escalated — but do NOT advance the §VIII-G2 strike
+        // counter: identical evidence cannot be replayed into an
+        // escalating count of distinct incidents.
         let order = RevocationOrder::issue(&self.infra.keys, header.src.ephid, plain.exp_time);
+        if self.infra.revoked.contains(&header.src.ephid) {
+            return Ok(ShutoffOutcome {
+                order,
+                hid_revoked: !self.infra.host_db.is_valid(plain.hid),
+            });
+        }
+        if !self.infra.host_db.is_valid(plain.hid) {
+            // A *new* EphID of an HID-revoked host: nothing left to revoke
+            // (egress already drops the whole HID).
+            return Err(Error::ShutoffRejected("source host unknown"));
+        }
         self.infra.revoked.insert(header.src.ephid, plain.exp_time);
 
         // §VIII-G2 escalation: too many revocations → revoke the HID.
@@ -575,6 +589,56 @@ mod tests {
     }
 
     #[test]
+    fn resend_after_hid_escalation_still_converges() {
+        // The 6th strike revokes the HID. If that ack is lost, the resend
+        // must still re-ack (with the escalation verdict) — not fail with
+        // "source host unknown" because the HID is now revoked.
+        let w = setup();
+        let mut last_req = None;
+        for i in 0..6u8 {
+            let kp = EphIdKeyPair::from_seed([100 + i; 32]);
+            let (sp, dp) = kp.public_keys();
+            let (eid, _) = w.a.ms.issue(
+                w.src_hid,
+                sp,
+                dp,
+                CertKind::Data,
+                ExpiryClass::Short,
+                Timestamp(0),
+            );
+            let mut header = ApnaHeader::new(
+                HostAddr::new(Aid(1), eid),
+                HostAddr::new(Aid(2), w.dst_cert.ephid),
+            );
+            let payload = b"spam";
+            let mac: [u8; 8] = w
+                .src_kha
+                .packet_cmac()
+                .mac_truncated(&header.mac_input(payload));
+            header.set_mac(mac);
+            let mut pkt = header.serialize();
+            pkt.extend_from_slice(payload);
+            let req = ShutoffRequest::create(&pkt, &w.dst_keys, w.dst_cert.clone());
+            let outcome =
+                w.a.aa
+                    .handle(&req, ReplayMode::Disabled, Timestamp(5))
+                    .unwrap();
+            assert_eq!(outcome.hid_revoked, i == 5);
+            last_req = Some((req, outcome));
+        }
+        assert!(!w.a.infra.host_db.is_valid(w.src_hid));
+        let (req, first) = last_req.unwrap();
+        let again =
+            w.a.aa
+                .handle(&req, ReplayMode::Disabled, Timestamp(6))
+                .unwrap();
+        assert_eq!(again.order, first.order);
+        assert!(again.hid_revoked, "the escalation verdict is re-acked");
+        // Still no extra strike.
+        assert_eq!(w.a.infra.host_db.revocation_count(w.src_hid), 6);
+    }
+
+    #[test]
     fn preemptive_revocation_by_owner() {
         let w = setup();
         let src_kp = EphIdKeyPair::from_seed([1; 32]);
@@ -627,24 +691,32 @@ mod tests {
     }
 
     #[test]
-    fn replayed_shutoff_rejected_with_typed_error() {
+    fn replayed_shutoff_reacked_idempotently_without_escalation() {
         let w = setup();
         let pkt = unwanted_packet(&w);
         let req = ShutoffRequest::create(&pkt, &w.dst_keys, w.dst_cert.clone());
-        w.a.aa
-            .handle(&req, ReplayMode::Disabled, Timestamp(5))
-            .unwrap();
-        // Same evidence again (byte-identical replay, or a re-parsed copy):
-        // typed rejection — identical evidence cannot advance the §VIII-G2
-        // strike counter toward HID revocation.
+        let first =
+            w.a.aa
+                .handle(&req, ReplayMode::Disabled, Timestamp(5))
+                .unwrap();
+        assert_eq!(w.a.infra.host_db.revocation_count(w.src_hid), 1);
+        // Same evidence again (a loss-tolerant client resending after its
+        // ack was lost, or a byte-identical adversarial replay): the AA
+        // re-issues the identical order so the requester converges, but
+        // identical evidence cannot advance the §VIII-G2 strike counter
+        // toward HID revocation.
         let replay = ShutoffRequest::parse(&req.serialize()).unwrap();
+        let again =
+            w.a.aa
+                .handle(&replay, ReplayMode::Disabled, Timestamp(6))
+                .unwrap();
+        assert_eq!(again.order, first.order);
+        assert!(!again.hid_revoked);
         assert_eq!(
-            w.a.aa.handle(&replay, ReplayMode::Disabled, Timestamp(6)),
-            Err(Error::ShutoffRejected("source EphID already revoked"))
-        );
-        assert!(
-            w.a.infra.host_db.is_valid(w.src_hid),
+            w.a.infra.host_db.revocation_count(w.src_hid),
+            1,
             "no strike escalation"
         );
+        assert!(w.a.infra.host_db.is_valid(w.src_hid));
     }
 }

@@ -250,12 +250,20 @@ impl ControlPlane for DnsServer {
     ) -> Result<Option<ControlMsg>, Error> {
         match msg {
             ControlMsg::DnsRegister(up) => {
-                if self.resolve(&up.name).is_some() {
+                up.verify_owner(&up.cert)?;
+                if let Some(current) = self.resolve(&up.name) {
+                    // Identical re-publication: a loss-tolerant client
+                    // resending after its ack was lost. Re-ack without
+                    // mutating. A *different* cert is still a squat.
+                    if current.cert == up.cert && current.ipv4 == up.ipv4 {
+                        return Ok(Some(ControlMsg::DnsAck {
+                            name: up.name.clone(),
+                        }));
+                    }
                     return Err(Error::ControlRejected(
                         "name already registered; rotation requires DnsUpdate",
                     ));
                 }
-                up.verify_owner(&up.cert)?;
                 self.register(&up.name, up.cert.clone(), up.ipv4);
                 Ok(Some(ControlMsg::DnsAck {
                     name: up.name.clone(),
@@ -265,6 +273,14 @@ impl ControlPlane for DnsServer {
                 let current = self
                     .resolve(&up.name)
                     .ok_or(Error::ControlRejected("update for unregistered name"))?;
+                // Idempotent resend: the rotation already applied (the ack
+                // was lost); the continuity signature below could no longer
+                // verify because the *old* cert is gone, so re-ack here.
+                if current.cert == up.cert && current.ipv4 == up.ipv4 {
+                    return Ok(Some(ControlMsg::DnsAck {
+                        name: up.name.clone(),
+                    }));
+                }
                 up.verify_owner(&current.cert)?;
                 self.update(&up.name, up.cert.clone(), up.ipv4);
                 Ok(Some(ControlMsg::DnsAck {

@@ -1,0 +1,229 @@
+//! The pluggable on-path adversary (§II-B, active flavor).
+//!
+//! The wiretap already gives the adversary *eyes* on every inter-AS frame;
+//! this module gives it *hands*. A [`Network`](crate::Network) can host one
+//! [`Adversary`] that intercepts every frame crossing an inter-AS link
+//! after fault injection and decides its fate: pass, drop, delay, replay,
+//! or tamper — selectively by parsed kind (data vs. control, and per
+//! [`ControlKind`] for control frames), which is exactly the power the
+//! paper's threat model grants an active on-path attacker.
+//!
+//! The adversary cannot forge what it cannot sign: every mutation it makes
+//! still has to survive the border routers' MAC/EphID checks and the
+//! hosts' replay windows downstream. The chaos tests assert that none of
+//! these actions ever yields an unaccountable delivery or a wrong pool
+//! state — only typed errors, retries, or absorbed duplicates.
+
+use crate::clock::SimTime;
+use apna_core::control::{ControlKind, ControlMsg};
+use apna_wire::{Aid, ApnaHeader, ReplayMode};
+
+/// What kind of frame the adversary is looking at, parsed the same way the
+/// receiving service would parse it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A data-plane packet (payload is not a control envelope).
+    Data,
+    /// A control-plane message of the given kind.
+    Control(ControlKind),
+    /// The header did not parse (already-corrupted bytes).
+    Malformed,
+}
+
+impl FrameKind {
+    /// Classifies raw wire bytes under `mode` — the adversary's parser.
+    #[must_use]
+    pub fn classify(bytes: &[u8], mode: ReplayMode) -> FrameKind {
+        match ApnaHeader::parse(bytes, mode) {
+            Err(_) => FrameKind::Malformed,
+            Ok((_, payload)) => match ControlMsg::parse(payload) {
+                Ok(msg) => FrameKind::Control(msg.kind()),
+                Err(_) => FrameKind::Data,
+            },
+        }
+    }
+}
+
+/// Everything the adversary sees about one intercepted frame.
+#[derive(Debug)]
+pub struct InterceptedFrame<'a> {
+    /// When the frame would arrive at the far end.
+    pub at: SimTime,
+    /// Link tail (the AS the frame left).
+    pub from: Aid,
+    /// Link head (the AS the frame is entering).
+    pub to: Aid,
+    /// Parsed classification.
+    pub kind: FrameKind,
+    /// The raw bytes on the wire.
+    pub bytes: &'a [u8],
+}
+
+/// The adversary's verdict on one intercepted frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversaryAction {
+    /// Let it through untouched.
+    Pass,
+    /// Silently discard it (indistinguishable from link loss).
+    Drop,
+    /// Hold it back `extra_us` microseconds before forwarding.
+    Delay {
+        /// Extra in-flight time, microseconds.
+        extra_us: u64,
+    },
+    /// Forward the original and inject `copies` byte-identical replays,
+    /// spaced `gap_us` apart after the original.
+    Replay {
+        /// Number of extra copies.
+        copies: u32,
+        /// Spacing between copies, microseconds.
+        gap_us: u64,
+    },
+    /// Flip one bit (index taken modulo the frame's bit length) and
+    /// forward the mutated frame.
+    TamperBit {
+        /// Which bit to flip.
+        bit: usize,
+    },
+    /// Replace the frame wholesale with attacker-chosen bytes.
+    Rewrite(Vec<u8>),
+}
+
+/// An active on-path adversary: sees every inter-AS frame, returns an
+/// [`AdversaryAction`] for each. State is the implementor's business —
+/// keep a counter to hit only the first N frames, match on
+/// [`FrameKind::Control`] to target one protocol, etc.
+pub trait Adversary {
+    /// Decides the fate of one intercepted frame.
+    fn intercept(&mut self, frame: &InterceptedFrame<'_>) -> AdversaryAction;
+}
+
+/// Wraps a closure as an [`Adversary`] — the one-off test adversary.
+pub struct FnAdversary<F>(pub F);
+
+impl<F: FnMut(&InterceptedFrame<'_>) -> AdversaryAction> Adversary for FnAdversary<F> {
+    fn intercept(&mut self, frame: &InterceptedFrame<'_>) -> AdversaryAction {
+        (self.0)(frame)
+    }
+}
+
+/// A kind-targeted adversary: applies `action` to the first `budget`
+/// frames whose classification matches `target`, passes everything else.
+/// The workhorse of the control-plane attack suite (drop the first
+/// `EphIdReply`, replay every `ShutoffAck`, …).
+pub struct TargetedAdversary {
+    /// Which frames to hit.
+    pub target: FrameKind,
+    /// What to do to them.
+    pub action: AdversaryAction,
+    /// How many matching frames to hit before going dormant
+    /// (`u32::MAX` ≈ forever).
+    pub budget: u32,
+    /// Matching frames hit so far.
+    pub hits: u32,
+}
+
+impl TargetedAdversary {
+    /// Hits the first `budget` frames of `target` kind with `action`.
+    #[must_use]
+    pub fn new(target: FrameKind, action: AdversaryAction, budget: u32) -> TargetedAdversary {
+        TargetedAdversary {
+            target,
+            action,
+            budget,
+            hits: 0,
+        }
+    }
+}
+
+impl Adversary for TargetedAdversary {
+    fn intercept(&mut self, frame: &InterceptedFrame<'_>) -> AdversaryAction {
+        if frame.kind == self.target && self.hits < self.budget {
+            self.hits += 1;
+            self.action.clone()
+        } else {
+            AdversaryAction::Pass
+        }
+    }
+}
+
+/// Per-action counters for the adversary's activity, surfaced in
+/// [`NetStats`](crate::network::NetStats).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryStats {
+    /// Frames shown to the adversary.
+    pub observed: u64,
+    /// Frames it dropped.
+    pub dropped: u64,
+    /// Frames it delayed.
+    pub delayed: u64,
+    /// Replay copies it injected (not counting the originals).
+    pub replayed: u64,
+    /// Frames it tampered with (bit flips + rewrites).
+    pub tampered: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_malformed_and_data() {
+        assert_eq!(
+            FrameKind::classify(&[0u8; 4], ReplayMode::Disabled),
+            FrameKind::Malformed
+        );
+        // A parseable header with a non-control payload is Data.
+        let header = ApnaHeader::new(
+            apna_wire::HostAddr::new(Aid(1), apna_wire::EphIdBytes([1; 16])),
+            apna_wire::HostAddr::new(Aid(2), apna_wire::EphIdBytes([2; 16])),
+        );
+        let mut wire = header.serialize();
+        wire.extend_from_slice(b"payload");
+        assert_eq!(
+            FrameKind::classify(&wire, ReplayMode::Disabled),
+            FrameKind::Data
+        );
+        // The same bytes under the wrong replay mode shift the payload
+        // split — classification never panics.
+        let _ = FrameKind::classify(&wire, ReplayMode::NonceExtension);
+    }
+
+    #[test]
+    fn classify_control_kind() {
+        let header = ApnaHeader::new(
+            apna_wire::HostAddr::new(Aid(1), apna_wire::EphIdBytes([1; 16])),
+            apna_wire::HostAddr::new(Aid(2), apna_wire::EphIdBytes([2; 16])),
+        );
+        let mut wire = header.serialize();
+        wire.extend_from_slice(&ControlMsg::DnsAck { name: "x".into() }.serialize());
+        assert_eq!(
+            FrameKind::classify(&wire, ReplayMode::Disabled),
+            FrameKind::Control(ControlKind::DnsAck)
+        );
+    }
+
+    #[test]
+    fn targeted_adversary_respects_budget() {
+        let mut adv = TargetedAdversary::new(FrameKind::Data, AdversaryAction::Drop, 2);
+        let header = ApnaHeader::new(
+            apna_wire::HostAddr::new(Aid(1), apna_wire::EphIdBytes([1; 16])),
+            apna_wire::HostAddr::new(Aid(2), apna_wire::EphIdBytes([2; 16])),
+        );
+        let mut wire = header.serialize();
+        wire.extend_from_slice(b"x");
+        fn frame(bytes: &[u8]) -> InterceptedFrame<'_> {
+            InterceptedFrame {
+                at: SimTime::ZERO,
+                from: Aid(1),
+                to: Aid(2),
+                kind: FrameKind::Data,
+                bytes,
+            }
+        }
+        assert_eq!(adv.intercept(&frame(&wire)), AdversaryAction::Drop);
+        assert_eq!(adv.intercept(&frame(&wire)), AdversaryAction::Drop);
+        assert_eq!(adv.intercept(&frame(&wire)), AdversaryAction::Pass);
+        assert_eq!(adv.hits, 2);
+    }
+}

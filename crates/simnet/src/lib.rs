@@ -7,8 +7,15 @@
 //! * [`clock`] — simulated time in microseconds (protocol-level timestamps
 //!   remain the 1-second-granularity `apna_core::Timestamp`).
 //! * [`link`] — point-to-point links with latency, bandwidth, and seeded
-//!   fault injection (drop / corrupt), in the style of the smoltcp
-//!   examples' `--drop-chance` / `--corrupt-chance` options.
+//!   fault injection (drop / corrupt / duplicate / reorder / jitter), in
+//!   the style of the smoltcp examples' `--drop-chance` /
+//!   `--corrupt-chance` options.
+//! * [`adversary`] — the pluggable *active* on-path adversary: observes
+//!   every inter-AS frame by parsed kind and may drop, delay, replay, or
+//!   tamper with it.
+//! * [`scenario`] — the deterministic chaos engine: many-host long-running
+//!   flows on the simulation clock, clock-driven EphID rotation, and
+//!   continuous assertion of the paper's invariants.
 //! * [`topology`] — an AS-level graph with shortest-path (hop count)
 //!   inter-domain routing over AIDs.
 //! * [`network`] — the event loop tying [`apna_core::AsNode`]s together:
@@ -24,13 +31,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod clock;
 pub mod linerate;
 pub mod link;
 pub mod network;
+pub mod scenario;
 pub mod topology;
 
+pub use adversary::{Adversary, AdversaryAction, FnAdversary, FrameKind, TargetedAdversary};
 pub use clock::SimTime;
 pub use link::{FaultProfile, Link};
-pub use network::{ControlDelivered, DeliveredPacket, Network, NetworkEvent, PacketFate};
+pub use network::{
+    ControlDelivered, DeliveredPacket, Network, NetworkEvent, PacketFate, RetryPolicy,
+};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioReport};
 pub use topology::Topology;

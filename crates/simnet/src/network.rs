@@ -12,6 +12,7 @@
 //! every frame crossing inter-AS links — the §II-B adversary's view — which
 //! the privacy tests and the surveillance example analyze.
 
+use crate::adversary::{Adversary, AdversaryAction, AdversaryStats, FrameKind, InterceptedFrame};
 use crate::clock::SimTime;
 use crate::link::{Link, LinkOutcome};
 use crate::topology::Topology;
@@ -118,6 +119,61 @@ pub struct NetStats {
     /// Control deliveries the service refused (unparseable frame, failed
     /// protocol checks) — the silent-drop outcomes of Figs. 3/5.
     pub control_rejected: u64,
+    /// Retries issued by [`Network::control_rpc`], per *request* kind —
+    /// how often the loss-tolerant control plane had to resend.
+    pub control_retries: ControlCounters,
+    /// Control RPCs that exhausted their retry budget or deadline.
+    pub control_rpc_failures: u64,
+    /// Extra packet copies created by link-level duplication.
+    pub link_duplicated: u64,
+    /// The on-path adversary's activity (all zero when none is installed).
+    pub adversary: AdversaryStats,
+}
+
+/// Deadline + retry knobs for [`Network::control_rpc`]. A control reply
+/// lost to faults or an on-path adversary is recovered by resending the
+/// request (every control protocol is idempotent at the service side), up
+/// to `max_attempts` sends or `deadline_us` of simulated time — whichever
+/// bites first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total sends allowed per RPC (1 = the pre-retry behavior).
+    pub max_attempts: u32,
+    /// Simulated-time backoff between attempts, microseconds.
+    pub backoff_us: u64,
+    /// Give up once this much simulated time has elapsed since the first
+    /// send, even with attempts left.
+    pub deadline_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_us: 250_000,
+            deadline_us: 10_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first lost request or reply.
+    #[must_use]
+    pub fn single_shot() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Internal triage of a failed RPC attempt: transport losses are retried,
+/// protocol refusals are not.
+enum RpcFailure {
+    /// The request or reply was lost in flight — retryable.
+    Transport,
+    /// A typed protocol error — retrying cannot change the outcome.
+    Fatal(Error),
 }
 
 /// A control message observed arriving at an AS service (issuance,
@@ -204,8 +260,15 @@ pub struct Network {
     /// Per-service nonce counters for control replies under
     /// [`ReplayMode::NonceExtension`].
     service_nonces: HashMap<(Aid, Hid), u64>,
+    adversary: Option<Box<dyn Adversary>>,
+    /// XORed into every link's fault seed (set it before
+    /// [`Network::connect`]): distinct salts give one topology independent
+    /// fault streams, so scenario seeds really change the weather.
+    pub link_seed_salt: u64,
     /// Aggregate counters.
     pub stats: NetStats,
+    /// Deadline + retry policy for [`Network::control_rpc`].
+    pub retry_policy: RetryPolicy,
     /// Latency for host↔BR delivery inside an AS, microseconds.
     pub intra_as_latency_us: u64,
 }
@@ -230,7 +293,10 @@ impl Network {
             dns_servers: HashMap::new(),
             control_log: Vec::new(),
             service_nonces: HashMap::new(),
+            adversary: None,
+            link_seed_salt: 0,
             stats: NetStats::default(),
+            retry_policy: RetryPolicy::default(),
             intra_as_latency_us: 50,
         }
     }
@@ -238,6 +304,18 @@ impl Network {
     /// Enables the on-path adversary's wiretap on all inter-AS links.
     pub fn enable_wiretap(&mut self) {
         self.wiretap = Some(Vec::new());
+    }
+
+    /// Installs an active on-path [`Adversary`]: every frame crossing an
+    /// inter-AS link is shown to it and its verdict (pass / drop / delay /
+    /// replay / tamper) is applied before the frame reaches the next AS.
+    pub fn set_adversary(&mut self, adversary: impl Adversary + 'static) {
+        self.adversary = Some(Box::new(adversary));
+    }
+
+    /// Removes the active adversary, if any.
+    pub fn clear_adversary(&mut self) {
+        self.adversary = None;
     }
 
     /// Captured frames (empty if the wiretap was never enabled).
@@ -265,8 +343,8 @@ impl Network {
         faults: crate::link::FaultProfile,
     ) {
         self.topology.connect(a, b);
-        let seed_ab = u64::from(a.0) << 32 | u64::from(b.0);
-        let seed_ba = u64::from(b.0) << 32 | u64::from(a.0);
+        let seed_ab = (u64::from(a.0) << 32 | u64::from(b.0)) ^ self.link_seed_salt;
+        let seed_ba = (u64::from(b.0) << 32 | u64::from(a.0)) ^ self.link_seed_salt;
         self.links.insert(
             (a, b),
             Link::new(latency_us, bandwidth_bps, faults, seed_ab),
@@ -281,6 +359,13 @@ impl Network {
     #[must_use]
     pub fn node(&self, aid: Aid) -> &AsNode {
         &self.nodes[&aid]
+    }
+
+    /// Immutable access to an AS, `None` for unknown AIDs (e.g. an AID
+    /// field garbled in transit).
+    #[must_use]
+    pub fn try_node(&self, aid: Aid) -> Option<&AsNode> {
+        self.nodes.get(&aid)
     }
 
     /// Current simulated time.
@@ -338,8 +423,13 @@ impl Network {
                 }
                 Verdict::ForwardInter { dst_aid } if dst_aid == src_aid => {
                     // Intra-AS delivery: straight to ingress processing.
+                    // The active adversary sees this hop too (`from == to`
+                    // marks it): §II-B limits the *wiretap* to inter-AS
+                    // links, but robustness testing needs an attacker on
+                    // the AS-internal segment as well — that is where
+                    // issuance replies travel.
                     let at = self.now.add_micros(self.intra_as_latency_us);
-                    self.push_event(at, id, src_aid, bytes);
+                    self.route_with_adversary(id, at, src_aid, src_aid, bytes);
                 }
                 Verdict::ForwardInter { dst_aid } => {
                     self.forward_toward(id, src_aid, dst_aid, bytes);
@@ -365,10 +455,41 @@ impl Network {
         });
     }
 
+    /// Records a final fate for `id`. With duplication in play, one packet
+    /// id can reach several final states (the original delivered, its copy
+    /// lost); a `Delivered` fate is never downgraded by a later loss.
+    fn record_fate(&mut self, id: u64, fate: PacketFate) {
+        if matches!(self.fates.get(&id), Some(PacketFate::Delivered { .. }))
+            && !matches!(fate, PacketFate::Delivered { .. })
+        {
+            return;
+        }
+        self.fates.insert(id, fate);
+    }
+
+    /// Shows one link delivery to the installed adversary (if any) and
+    /// returns its verdict.
+    fn intercept(&mut self, at: SimTime, from: Aid, to: Aid, bytes: &[u8]) -> AdversaryAction {
+        let Some(mut adversary) = self.adversary.take() else {
+            return AdversaryAction::Pass;
+        };
+        self.stats.adversary.observed += 1;
+        let frame = InterceptedFrame {
+            at,
+            from,
+            to,
+            kind: FrameKind::classify(bytes, self.replay_mode),
+            bytes,
+        };
+        let action = adversary.intercept(&frame);
+        self.adversary = Some(adversary);
+        action
+    }
+
     /// Transmits toward `dst_aid` from `at_aid` over the next-hop link.
     fn forward_toward(&mut self, id: u64, at_aid: Aid, dst_aid: Aid, bytes: Vec<u8>) {
         let Some(next) = self.topology.next_hop(at_aid, dst_aid) else {
-            self.fates.insert(id, PacketFate::NoRoute { at: at_aid });
+            self.record_fate(id, PacketFate::NoRoute { at: at_aid });
             return;
         };
         let link = self
@@ -378,19 +499,61 @@ impl Network {
         match link.transmit(self.now, &bytes) {
             LinkOutcome::Dropped => {
                 self.stats.link_lost += 1;
-                self.fates
-                    .insert(id, PacketFate::LostOnLink { toward: next });
+                self.record_fate(id, PacketFate::LostOnLink { toward: next });
             }
-            LinkOutcome::Delivered { at, bytes, .. } => {
-                if let Some(tap) = &mut self.wiretap {
-                    tap.push(ObservedFrame {
-                        at,
-                        from: at_aid,
-                        to: next,
-                        bytes: bytes.clone(),
-                    });
+            LinkOutcome::Delivered(deliveries) => {
+                for delivery in deliveries {
+                    if delivery.duplicate {
+                        self.stats.link_duplicated += 1;
+                    }
+                    if let Some(tap) = &mut self.wiretap {
+                        tap.push(ObservedFrame {
+                            at: delivery.at,
+                            from: at_aid,
+                            to: next,
+                            bytes: delivery.bytes.clone(),
+                        });
+                    }
+                    self.route_with_adversary(id, delivery.at, at_aid, next, delivery.bytes);
                 }
-                self.push_event(at, id, next, bytes);
+            }
+        }
+    }
+
+    /// Shows one in-flight frame to the adversary and applies its verdict:
+    /// queue it at `to` (possibly delayed, tampered, or with replay copies)
+    /// or discard it.
+    fn route_with_adversary(&mut self, id: u64, at: SimTime, from: Aid, to: Aid, bytes: Vec<u8>) {
+        match self.intercept(at, from, to, &bytes) {
+            AdversaryAction::Pass => self.push_event(at, id, to, bytes),
+            AdversaryAction::Drop => {
+                self.stats.adversary.dropped += 1;
+                self.stats.link_lost += 1;
+                self.record_fate(id, PacketFate::LostOnLink { toward: to });
+            }
+            AdversaryAction::Delay { extra_us } => {
+                self.stats.adversary.delayed += 1;
+                self.push_event(at.add_micros(extra_us), id, to, bytes);
+            }
+            AdversaryAction::Replay { copies, gap_us } => {
+                self.stats.adversary.replayed += u64::from(copies);
+                for i in 1..=u64::from(copies) {
+                    self.push_event(at.add_micros(gap_us.max(1) * i), id, to, bytes.clone());
+                }
+                self.push_event(at, id, to, bytes);
+            }
+            AdversaryAction::TamperBit { bit } => {
+                self.stats.adversary.tampered += 1;
+                let mut mutated = bytes;
+                if !mutated.is_empty() {
+                    let bit = bit % (mutated.len() * 8);
+                    mutated[bit / 8] ^= 1u8 << (bit % 8);
+                }
+                self.push_event(at, id, to, mutated);
+            }
+            AdversaryAction::Rewrite(forged) => {
+                self.stats.adversary.tampered += 1;
+                self.push_event(at, id, to, forged);
             }
         }
     }
@@ -440,7 +603,7 @@ impl Network {
                             hid,
                             at: arrival,
                         };
-                        self.fates.insert(id, fate.clone());
+                        self.record_fate(id, fate.clone());
                         out.push(NetworkEvent::Fate { id, fate });
                         let is_service = self.nodes[&aid].service_by_hid(hid).is_some();
                         if is_service {
@@ -462,7 +625,7 @@ impl Network {
                     }
                     Verdict::Drop(reason) => {
                         let fate = PacketFate::IngressDropped { at: aid, reason };
-                        self.fates.insert(id, fate.clone());
+                        self.record_fate(id, fate.clone());
                         out.push(NetworkEvent::Fate { id, fate });
                     }
                 }
@@ -591,39 +754,117 @@ impl Network {
 
     /// Sends one control message from `agent` to the service at `dst` as a
     /// real packet, runs the network to quiescence, and returns the parsed
-    /// reply. Fails with a typed error if the request is dropped in
-    /// transit, the service refuses it, or no reply comes back.
+    /// reply. Transport losses (a request or reply dropped by faults or an
+    /// on-path adversary) are recovered by resending under
+    /// [`Network::retry_policy`] — retries are counted per request kind in
+    /// [`NetStats::control_retries`]. Exhausting the budget yields
+    /// [`Error::ControlTimeout`]; protocol refusals (the service said no)
+    /// surface immediately as their typed error.
     pub fn control_rpc(
         &mut self,
         agent: &mut HostAgent,
         dst: HostAddr,
         msg: &ControlMsg,
     ) -> Result<ControlMsg, Error> {
+        // A "reply" sitting in the inbox before the request is even sent
+        // is by definition stale — an adversary's replay of an earlier
+        // exchange. Purge those so they cannot be matched to this RPC.
+        let (ctrl, _) = agent.control_ephid();
+        let mode = self.replay_mode;
+        self.inboxes
+            .retain(|d| !Self::matches_control_reply(&d.bytes, mode, ctrl, dst));
+
+        let kind = msg.kind();
+        let start = self.now;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.control_rpc_once(agent, dst, msg) {
+                Ok(reply) => return Ok(reply),
+                Err(RpcFailure::Fatal(e)) => return Err(e),
+                Err(RpcFailure::Transport) => {
+                    let elapsed = self.now.micros().saturating_sub(start.micros());
+                    if attempt >= self.retry_policy.max_attempts
+                        || elapsed >= self.retry_policy.deadline_us
+                    {
+                        self.stats.control_rpc_failures += 1;
+                        return Err(Error::ControlTimeout { attempts: attempt });
+                    }
+                    self.stats.control_retries.record(kind);
+                    let resume = self.now.add_micros(self.retry_policy.backoff_us);
+                    self.advance_to(resume);
+                }
+            }
+        }
+    }
+
+    /// Whether `bytes` is a control reply from `service` addressed to the
+    /// control EphID `ctrl`. Both checks matter: the control EphID is
+    /// visible on the wire, so an adversary can park packets on it — even
+    /// ones whose payload parses as a control frame — but it cannot forge
+    /// the service's source address past the border-router MAC checks.
+    fn matches_control_reply(
+        bytes: &[u8],
+        mode: ReplayMode,
+        ctrl: apna_wire::EphIdBytes,
+        service: HostAddr,
+    ) -> bool {
+        ApnaHeader::parse(bytes, mode)
+            .map(|(h, p)| h.dst.ephid == ctrl && h.src == service && ControlMsg::parse(p).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// One send + reply-match attempt of [`Network::control_rpc`].
+    fn control_rpc_once(
+        &mut self,
+        agent: &mut HostAgent,
+        dst: HostAddr,
+        msg: &ControlMsg,
+    ) -> Result<ControlMsg, RpcFailure> {
         let src_aid = agent.aid;
+        // Rebuilt per attempt: under the nonce extension every resend must
+        // carry a fresh header nonce.
         let wire = agent.build_control_packet(dst, msg);
         let id = self.send(src_aid, wire);
         self.run();
-        if !matches!(self.fate(id), Some(PacketFate::Delivered { .. })) {
-            return Err(Error::ControlRejected("control request dropped in transit"));
+        match self.fate(id) {
+            Some(PacketFate::Delivered { .. }) => {}
+            Some(PacketFate::EgressDropped(_)) => {
+                // Our own border refused the carrier — deterministic and
+                // local, a resend cannot change it.
+                return Err(RpcFailure::Fatal(Error::ControlRejected(
+                    "control request refused at egress",
+                )));
+            }
+            Some(PacketFate::NoRoute { .. }) => {
+                // Topology, not weather: every resend takes the same path.
+                return Err(RpcFailure::Fatal(Error::ControlRejected(
+                    "no route to control service",
+                )));
+            }
+            _ => return Err(RpcFailure::Transport),
         }
-        // The reply is addressed to the agent's control EphID and comes
-        // FROM the service address the request went to. Both checks
-        // matter: the control EphID is visible on the wire, so an
-        // adversary can park packets on it — even ones whose payload
-        // parses as a control frame — but it cannot forge the service's
-        // source address past the border-router MAC checks.
         let (ctrl, _) = agent.control_ephid();
-        let pos = self.inboxes.iter().position(|d| {
-            ApnaHeader::parse(&d.bytes, self.replay_mode)
-                .map(|(h, p)| h.dst.ephid == ctrl && h.src == dst && ControlMsg::parse(p).is_ok())
-                .unwrap_or(false)
-        });
-        let Some(pos) = pos else {
-            return Err(Error::ControlRejected("no control reply"));
-        };
-        let delivered = self.inboxes.remove(pos);
-        let (_header, payload) = agent.receive_packet(&delivered.bytes)?;
-        Ok(ControlMsg::parse(payload)?)
+        let mode = self.replay_mode;
+        loop {
+            let pos = self
+                .inboxes
+                .iter()
+                .position(|d| Self::matches_control_reply(&d.bytes, mode, ctrl, dst));
+            let Some(pos) = pos else {
+                return Err(RpcFailure::Transport);
+            };
+            let delivered = self.inboxes.remove(pos);
+            match agent.receive_packet(&delivered.bytes) {
+                Ok((_header, payload)) => {
+                    return ControlMsg::parse(payload)
+                        .map_err(|e| RpcFailure::Fatal(Error::Wire(e)));
+                }
+                // A duplicated copy the host's replay window already
+                // absorbed; try the next matching inbox entry.
+                Err(_) => continue,
+            }
+        }
     }
 
     /// Packetized EphID acquisition: [`HostAgent::acquire`], but with the
@@ -657,6 +898,24 @@ impl Network {
                 Ok(idx)
             }
         }
+    }
+
+    /// Packetized EphID rotation: [`HostAgent::refresh_expiring`] with the
+    /// replacement acquisitions crossing the simulated network (with
+    /// retries). Every pooled data EphID expiring within the agent's
+    /// refresh margin of the current *simulated* time is replaced and its
+    /// flows repointed — this is what a host's clock tick runs, and what
+    /// the scenario driver wires into periodic ticks.
+    pub fn agent_refresh_expiring(&mut self, agent: &mut HostAgent) -> Result<usize, Error> {
+        let now = self.now.as_protocol_time();
+        let stale = agent.refresh_candidates(now);
+        for &old_idx in &stale {
+            // Acquire before evicting, as in the direct-transport path: a
+            // failed issuance leaves every flow→EphID mapping intact.
+            let new_idx = self.agent_acquire(agent, EphIdUsage::DATA_SHORT)?;
+            agent.repoint_index(old_idx, new_idx);
+        }
+        Ok(stale.len())
     }
 
     /// Packetized shut-off: sends the request to the accountability agent
@@ -1233,10 +1492,17 @@ mod tests {
         assert!(matches!(net.fate(id), Some(PacketFate::Delivered { .. })));
         assert_eq!(net.stats.control_rejected, 1);
         assert_eq!(net.stats.control_delivered.total(), 0);
-        // And an RPC against it reports the silent drop as a typed error.
+        // An RPC against it is resent (a silent drop is indistinguishable
+        // from loss), then surfaces as a typed timeout.
         let msg = ControlMsg::DnsAck { name: "x".into() };
         let err = net.control_rpc(&mut alice, dst, &msg).unwrap_err();
-        assert!(matches!(err, Error::ControlRejected("no control reply")));
+        assert_eq!(err, Error::ControlTimeout { attempts: 4 });
+        assert_eq!(net.stats.control_retries.count(ControlKind::DnsAck), 3);
+        assert_eq!(net.stats.control_rpc_failures, 1);
+        // With retries disabled the first loss is final.
+        net.retry_policy = RetryPolicy::single_shot();
+        let err = net.control_rpc(&mut alice, dst, &msg).unwrap_err();
+        assert_eq!(err, Error::ControlTimeout { attempts: 1 });
     }
 
     #[test]

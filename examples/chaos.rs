@@ -1,0 +1,154 @@
+//! Chaos demo: the loss-tolerant control plane under a fault sweep, and a
+//! deterministic adversarial scenario run.
+//!
+//! ```text
+//! cargo run --example chaos [seed]
+//! ```
+//!
+//! Part 1 sweeps the inter-AS link drop rate over {0%, 1%, 5%, 15%} and
+//! reports the control-RPC success/retry curve (the EXPERIMENTS.md
+//! fault-sweep table). Part 2 runs the scenario engine under a combined
+//! drop + duplicate + reorder + jitter profile and prints its invariant
+//! tallies plus a digest of the event log — run it twice with the same
+//! seed and the output is byte-identical (the CI chaos job diffs exactly
+//! that).
+
+use apna_core::agent::{EphIdUsage, HostAgent};
+use apna_core::granularity::Granularity;
+use apna_crypto::ed25519::SigningKey;
+use apna_dns::DnsServer;
+use apna_simnet::link::FaultProfile;
+use apna_simnet::scenario::{Scenario, ScenarioConfig};
+use apna_simnet::{Network, RetryPolicy};
+use apna_wire::{Aid, ReplayMode};
+
+/// FNV-1a over the event log: a stable, dependency-free digest.
+fn digest(lines: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for b in line.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn sweep_point(seed: u64, drop: f64, rpcs: u32) -> (u32, u64, u64) {
+    let mut net = Network::new(ReplayMode::Disabled);
+    net.link_seed_salt = seed;
+    net.add_as(Aid(1), [1; 32]);
+    net.add_as(Aid(2), [2; 32]);
+    net.connect(
+        Aid(1),
+        Aid(2),
+        1_000,
+        10_000_000_000,
+        FaultProfile::lossy(drop, 0.0),
+    );
+    net.retry_policy = RetryPolicy {
+        max_attempts: 6,
+        backoff_us: 200_000,
+        deadline_us: 30_000_000,
+    };
+    net.attach_dns(Aid(2), DnsServer::new(SigningKey::from_seed(&[0xD7; 32])));
+    let mut alice = HostAgent::attach(
+        net.node(Aid(1)),
+        Granularity::PerFlow,
+        ReplayMode::Disabled,
+        net.now().as_protocol_time(),
+        seed,
+    )
+    .unwrap();
+    let mut ok = 0u32;
+    for i in 0..rpcs {
+        // Each round: a fresh receive-only EphID (intra-AS, clean) is
+        // published to the cross-AS zone over the lossy link.
+        let ri = net
+            .agent_acquire(&mut alice, EphIdUsage::RECEIVE_ONLY)
+            .expect("issuance is intra-AS and lossless here");
+        let name = format!("svc-{i}.example");
+        if net
+            .agent_dns_register(&mut alice, Aid(2), &name, ri, None)
+            .is_ok()
+        {
+            ok += 1;
+        }
+    }
+    (
+        ok,
+        net.stats.control_retries.total(),
+        net.stats.control_rpc_failures,
+    )
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    println!("=== chaos demo (seed {seed}) ===");
+    println!();
+    println!("-- fault sweep: cross-AS DNS-publication RPCs, 6 attempts, 200 ms backoff --");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "drop", "ok/40", "retries", "failures"
+    );
+    for drop in [0.0, 0.01, 0.05, 0.15] {
+        let (ok, retries, failures) = sweep_point(seed, drop, 40);
+        println!(
+            "{:>5.0}% {:>10} {:>10} {:>10}",
+            drop * 100.0,
+            ok,
+            retries,
+            failures
+        );
+    }
+
+    println!();
+    println!(
+        "-- adversarial scenario: 3 ASes x 4 hosts, 21 min (>1 rotation horizon), chaos profile --"
+    );
+    let cfg = ScenarioConfig {
+        seed,
+        num_ases: 3,
+        hosts_per_as: 4,
+        flows_per_host: 1,
+        duration_secs: 1_260,
+        tick_secs: 30,
+        refresh_margin_secs: 90,
+        faults: FaultProfile::lossy(0.05, 0.01)
+            .with_duplication(0.1)
+            .with_reordering(0.1, 2_000)
+            .with_jitter(300),
+        replay_mode: ReplayMode::NonceExtension,
+        retry_policy: RetryPolicy {
+            max_attempts: 8,
+            backoff_us: 100_000,
+            deadline_us: 60_000_000,
+        },
+        shutoff_at_tick: Some(5),
+    };
+    let report = Scenario::build(cfg).unwrap().run().unwrap();
+    println!("data sent            {}", report.data_sent);
+    println!("data delivered       {}", report.data_delivered);
+    println!("ephid rotations      {}", report.refreshes);
+    println!("control retries      {}", report.rpc_retries);
+    println!("corrupt discards     {}", report.corrupt_discards);
+    println!("wire ephids          {}", report.wire_ephids);
+    println!("unaccountable        {}", report.unaccountable_deliveries);
+    println!("linkability breaks   {}", report.linkability_violations);
+    println!("shutoff violations   {}", report.shutoff_violations);
+    println!("interrupted flows    {}", report.interrupted_flows);
+    println!("expired at egress    {}", report.expired_egress);
+    println!("event log lines      {}", report.event_log.len());
+    println!("event log digest     {:016x}", digest(&report.event_log));
+    assert_eq!(report.unaccountable_deliveries, 0);
+    assert_eq!(report.linkability_violations, 0);
+    assert_eq!(report.shutoff_violations, 0);
+    assert_eq!(report.expired_egress, 0);
+    println!();
+    println!("invariants held: accountability, unlinkability, shutoff stickiness");
+}

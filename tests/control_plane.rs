@@ -87,8 +87,10 @@ fn expired_host_cert_is_a_typed_management_error() {
 }
 
 #[test]
-fn replayed_shutoff_is_a_typed_error_on_both_transports() {
-    // Direct transport.
+fn replayed_shutoff_reacks_idempotently_on_both_transports() {
+    // Direct transport: a resent request (the client never saw its ack)
+    // converges on the same order without advancing the §VIII-G2 strike
+    // counter toward HID revocation.
     let net = two_as_net(ReplayMode::Disabled);
     let now = net.now().as_protocol_time();
     let mut sender = agent(&net, Aid(1), 1);
@@ -100,16 +102,16 @@ fn replayed_shutoff_is_a_typed_error_on_both_transports() {
         .acquire(net.node(Aid(2)), EphIdUsage::DATA_SHORT, now)
         .unwrap();
     let evidence = sender.build_raw_packet(si, victim.owned_ephid(vi).addr(Aid(2)), b"spam");
-    victim
+    let first = victim
         .request_shutoff(net.node(Aid(1)), &evidence, vi, now)
         .unwrap();
-    let err = victim
+    let again = victim
         .request_shutoff(net.node(Aid(1)), &evidence, vi, now)
-        .unwrap_err();
-    assert_eq!(err, Error::ShutoffRejected("source EphID already revoked"));
+        .unwrap();
+    assert_eq!(first, again, "idempotent re-ack");
+    assert!(!again.hid_revoked);
 
-    // Packetized transport: the AA's refusal is a silent drop on the wire
-    // (no ack comes back), surfaced to the caller as a typed error.
+    // Packetized transport: same convergence over the wire.
     let mut net = two_as_net(ReplayMode::Disabled);
     let mut sender = agent(&net, Aid(1), 1);
     let mut victim = agent(&net, Aid(2), 2);
@@ -121,13 +123,20 @@ fn replayed_shutoff_is_a_typed_error_on_both_transports() {
         .unwrap();
     let evidence = sender.build_raw_packet(si, victim.owned_ephid(vi).addr(Aid(2)), b"spam");
     let aa = HostAddr::new(Aid(1), net.node(Aid(1)).aa_endpoint.ephid);
-    net.agent_shutoff(&mut victim, aa, &evidence, vi).unwrap();
-    let rejected_before = net.stats.control_rejected;
-    let err = net
-        .agent_shutoff(&mut victim, aa, &evidence, vi)
-        .unwrap_err();
-    assert_eq!(err, Error::ControlRejected("no control reply"));
-    assert_eq!(net.stats.control_rejected, rejected_before + 1);
+    let first = net.agent_shutoff(&mut victim, aa, &evidence, vi).unwrap();
+    let again = net.agent_shutoff(&mut victim, aa, &evidence, vi).unwrap();
+    assert_eq!(first, again);
+    // The sender's HID survives: identical evidence is one incident.
+    let sender_hid = apna_core::ephid::open(
+        &net.node(Aid(1)).infra.keys,
+        &sender.owned_ephid(si).ephid(),
+    )
+    .unwrap()
+    .hid;
+    assert_eq!(
+        net.node(Aid(1)).infra.host_db.revocation_count(sender_hid),
+        1
+    );
 }
 
 #[test]

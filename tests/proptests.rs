@@ -289,6 +289,66 @@ proptest! {
         }
     }
 
+    // ----------------------------------------------------------------
+    // Border verdicts under duplicate / reordered delivery (§VIII-D)
+    // ----------------------------------------------------------------
+
+    /// ∀ delivery orders with duplicates of a nonce-stamped packet
+    /// stream: the border router's verdicts are order-independent — every
+    /// distinct packet is forwarded exactly once (whenever it first
+    /// arrives, matching its in-order verdict) and the replay filter
+    /// absorbs every duplicate, so an adversary reshuffling or replaying
+    /// the stream can never change what crosses the border.
+    #[test]
+    fn border_verdicts_invariant_under_duplication_and_reordering(
+        order in proptest::collection::vec(0usize..60, 1..250),
+    ) {
+        use apna_core::agent::{EphIdUsage, HostAgent};
+        use apna_core::border::{DropReason, Verdict};
+        use apna_core::directory::AsDirectory;
+        use apna_core::granularity::Granularity;
+        let mut node = apna_core::AsNode::from_seed(
+            Aid(1), [3; 32], &AsDirectory::new(), Timestamp(0),
+        );
+        node.br.enable_replay_filter();
+        let mut host = HostAgent::attach(
+            &node, Granularity::PerFlow, ReplayMode::NonceExtension, Timestamp(0), 21,
+        ).unwrap();
+        let idx = host.acquire(&node, EphIdUsage::DATA_SHORT, Timestamp(0)).unwrap();
+        let dst = HostAddr::new(Aid(2), EphIdBytes([7; 16]));
+        // 60 packets, nonces 0..60 — all within the 128-entry window, so
+        // any reordering is in-window and duplicates are the only drops.
+        let packets: Vec<Vec<u8>> = (0..60u8)
+            .map(|i| host.build_raw_packet(idx, dst, &[i; 8]))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut forwarded = Vec::new();
+        for &i in &order {
+            let verdict = node.br.process_outgoing(
+                &packets[i], ReplayMode::NonceExtension, Timestamp(0),
+            );
+            if seen.insert(i) {
+                // First delivery: identical to its in-order verdict.
+                prop_assert_eq!(verdict, Verdict::ForwardInter { dst_aid: Aid(2) });
+                forwarded.push(i);
+            } else {
+                prop_assert_eq!(verdict, Verdict::Drop(DropReason::Replayed));
+            }
+        }
+        // Exactly the distinct packets crossed, each exactly once.
+        prop_assert_eq!(forwarded.len(), seen.len());
+    }
+
+    /// ∀ probabilities in [0, 1]: the fault profile validates; anything
+    /// outside is refused by `is_valid` (the panic path is unit-tested).
+    #[test]
+    fn fault_profile_validation_boundary(p in 0.0f64..=1.0, q in 1.0f64..10.0) {
+        use apna_simnet::link::FaultProfile;
+        prop_assert!(FaultProfile::lossy(p, p).with_duplication(p).is_valid());
+        prop_assert!(!FaultProfile { drop_chance: q + 0.0001, ..FaultProfile::default() }.is_valid());
+        prop_assert!(!FaultProfile { reorder_chance: -q, ..FaultProfile::default() }.is_valid());
+    }
+
     /// Certificates round-trip through serialization for arbitrary field
     /// values (signature validity is orthogonal — parse is structural).
     #[test]
