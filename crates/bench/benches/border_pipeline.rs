@@ -1,7 +1,10 @@
 //! E2/E3/E7 — border-router forwarding (Fig. 8, §V-B). Measures the full
 //! egress pipeline (EphID decrypt + 2 lookups + packet MAC verify) at each
 //! Fig. 8 packet size on the scalar path, the *batched* path
-//! (`BorderRouter::process_batch`) at 1/8/64-packet bursts, and ingress.
+//! (`BorderRouter::process_batch`) at 1/8/64-packet bursts, and ingress —
+//! first on the auto-selected crypto backend (AES-NI where the CPU has
+//! it), then again with the bitsliced software backend forced
+//! (`_softaes` suffix), so one committed baseline carries both curves.
 //!
 //! `CRITERION_JSON=BENCH_border_pipeline.json cargo bench -p apna-bench
 //! --bench border_pipeline` writes the committed baseline.
@@ -20,6 +23,10 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800))
         .sample_size(20);
 
+    println!(
+        "crypto backend (auto path): {}",
+        apna_bench::crypto_backend()
+    );
     let mut world = BenchWorld::new();
 
     // Scalar egress at every Fig. 8 packet size: parse + the per-packet
@@ -93,6 +100,37 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+
+    // The same scalar + batched egress curves with the bitsliced software
+    // backend forced (what a router without AES hardware runs). The env
+    // var is read at cipher construction, so a world built now is all-soft.
+    std::env::set_var("APNA_SOFT_AES", "1");
+    let mut soft_world = BenchWorld::new();
+    for size in LineRateModel::FIG8_SIZES {
+        let wire = soft_world.packet_of_size(size);
+        let br = &soft_world.node.br;
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("egress_scalar_{size}B_softaes"), |b| {
+            b.iter(|| {
+                let (header, payload) =
+                    ApnaHeader::parse(black_box(&wire), ReplayMode::Disabled).unwrap();
+                black_box(br.process_outgoing_parsed(&header, payload, Timestamp(1)))
+            })
+        });
+    }
+    for batch_size in [1usize, 8, 64] {
+        let packets = soft_world.burst_of(batch_size, 512);
+        let mut batch = PacketBatch::from_packets(ReplayMode::Disabled, packets);
+        let br = &soft_world.node.br;
+        g.throughput(Throughput::Elements(batch_size as u64));
+        g.bench_function(format!("egress_batch{batch_size}_512B_softaes"), |b| {
+            b.iter(|| {
+                batch.clear_parsed();
+                black_box(br.process_batch(Direction::Egress, &mut batch, Timestamp(1)))
+            })
+        });
+    }
+    std::env::remove_var("APNA_SOFT_AES");
 
     g.finish();
 }

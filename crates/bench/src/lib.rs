@@ -254,6 +254,27 @@ pub fn measure_pipeline(size: usize) -> PipelineBreakdown {
 /// DPDK burst size; `BENCH_border_pipeline.json` records 1/8/64).
 pub const FIG8_BATCH: usize = 64;
 
+/// The crypto backend new ciphers select right now — recorded next to
+/// every committed measurement so a baseline names its substrate
+/// (`aes-ni` vs `soft-bitsliced`; force the latter with `APNA_SOFT_AES=1`).
+#[must_use]
+pub fn crypto_backend() -> &'static str {
+    apna_crypto::aes::active_backend()
+}
+
+/// Measures the batched egress pipeline at every Fig. 8 size and labels
+/// the curve with the active crypto backend — the per-packet record
+/// committed as the `BENCH_border_pipeline.json` baseline and compared
+/// against the paper's 120 ns budget in EXPERIMENTS.md.
+#[must_use]
+pub fn measure_batched_curve(batch_size: usize) -> apna_simnet::linerate::PerPacketCurve {
+    let points = LineRateModel::FIG8_SIZES
+        .iter()
+        .map(|&size| (size, measure_batched_pipeline(size, batch_size)))
+        .collect();
+    apna_simnet::linerate::PerPacketCurve::new(crypto_backend(), points)
+}
+
 /// E2': per-packet cost of the *batched* egress pipeline
 /// (`BorderRouter::process_batch` over a `batch_size` burst, including
 /// the per-burst parse stage), in seconds per packet.
@@ -365,13 +386,18 @@ pub fn measure_contention(
 /// (b) the same pipeline fed [`FIG8_BATCH`]-packet bursts, and (c) the
 /// paper's hardware budget.
 pub struct Fig8Reproduction {
+    /// The crypto backend the measurements ran on.
+    pub backend: &'static str,
     /// Measured per-packet processing seconds per size (scalar path).
     pub per_packet_secs: Vec<(usize, f64)>,
-    /// Measured per-packet seconds per size on the batched path.
-    pub per_packet_batched_secs: Vec<(usize, f64)>,
+    /// The batched per-packet curve ([`FIG8_BATCH`]-sized bursts),
+    /// labeled with its backend — the record baselines and speedup
+    /// comparisons are built from.
+    pub batched_curve: apna_simnet::linerate::PerPacketCurve,
     /// Modeled curve using our measured costs (software BR, scalar).
     pub software: Vec<apna_simnet::linerate::ThroughputPoint>,
-    /// Modeled curve using the batched measurements.
+    /// Modeled curve using the batched measurements
+    /// (`batched_curve.modeled()`).
     pub software_batched: Vec<apna_simnet::linerate::ThroughputPoint>,
     /// The paper's hardware-budget curve (AES-NI-class per-packet cost).
     pub hardware: Vec<apna_simnet::linerate::ThroughputPoint>,
@@ -385,23 +411,20 @@ pub const HW_PER_PACKET_SECS: f64 = 120e-9;
 /// Runs the Fig. 8 reproduction.
 pub fn reproduce_fig8() -> Fig8Reproduction {
     let mut per_packet = Vec::new();
-    let mut per_packet_batched = Vec::new();
     let mut software = Vec::new();
-    let mut software_batched = Vec::new();
     for &size in &LineRateModel::FIG8_SIZES {
         let b = measure_pipeline(size);
         let secs = b.total_ns * 1e-9;
         per_packet.push((size, secs));
         software.push(LineRateModel::paper_testbed(secs).throughput(size));
-
-        let batched_secs = measure_batched_pipeline(size, FIG8_BATCH);
-        per_packet_batched.push((size, batched_secs));
-        software_batched.push(LineRateModel::paper_testbed(batched_secs).throughput(size));
     }
+    let batched_curve = measure_batched_curve(FIG8_BATCH);
+    let software_batched = batched_curve.modeled();
     let hw = LineRateModel::paper_testbed(HW_PER_PACKET_SECS);
     Fig8Reproduction {
+        backend: crypto_backend(),
         per_packet_secs: per_packet,
-        per_packet_batched_secs: per_packet_batched,
+        batched_curve,
         software,
         software_batched,
         hardware: hw.fig8_series(),

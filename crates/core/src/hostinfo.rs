@@ -10,15 +10,22 @@
 use crate::hid::Hid;
 use crate::keys::HostAsKey;
 use crate::time::Timestamp;
+use apna_crypto::cmac::CmacAes128;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Per-host record.
 #[derive(Clone)]
 pub struct HostRecord {
     /// The host↔AS shared key (both halves).
     pub key: HostAsKey,
+    /// Ready-to-use CMAC instance for `k_HA^auth`, expanded once at
+    /// registration: the border router verifies a packet MAC with this on
+    /// every egress packet (§V-B2), and re-running the AES key schedule
+    /// per packet would dominate the batched pipeline.
+    pub cmac: Arc<CmacAes128>,
     /// `true` once the AS revokes the HID (identity minting defense and
     /// §VIII-G2 escalation).
     pub revoked: bool,
@@ -53,10 +60,12 @@ impl HostDb {
 
     /// Registers a host record under `hid` (the RS's `host_info[HID] = kHA`).
     pub fn register(&self, hid: Hid, key: HostAsKey, now: Timestamp) {
+        let cmac = Arc::new(key.packet_cmac());
         self.records.write().insert(
             hid,
             HostRecord {
                 key,
+                cmac,
                 revoked: false,
                 revoked_ephid_count: 0,
                 registered_at: now,
@@ -73,6 +82,17 @@ impl HostDb {
             .get(&hid)
             .filter(|r| !r.revoked)
             .map(|r| r.key.clone())
+    }
+
+    /// The pre-expanded packet-CMAC of a *valid* host — the hot-path
+    /// sibling of [`HostDb::key_of_valid`] (no key schedule on lookup).
+    #[must_use]
+    pub fn cmac_of_valid(&self, hid: Hid) -> Option<Arc<CmacAes128>> {
+        let guard = self.records.read();
+        guard
+            .get(&hid)
+            .filter(|r| !r.revoked)
+            .map(|r| Arc::clone(&r.cmac))
     }
 
     /// Looks up the shared key of any *registered* host, revoked or not —

@@ -1,18 +1,31 @@
-//! AES block cipher (FIPS-197): AES-128, AES-192, AES-256.
+//! AES block cipher (FIPS-197): AES-128, AES-192, AES-256 — batched and
+//! constant-time.
 //!
-//! The paper's prototype leans on Intel AES-NI for EphID encryption and
-//! border-router EphID decryption; this reproduction uses a portable
-//! software implementation. To avoid transcription errors, the S-box and its
-//! inverse are **derived** from the mathematical definition (multiplicative
-//! inverse in GF(2⁸) followed by the affine transform) at first use, and the
-//! result is pinned to FIPS-197 known-answer vectors in tests.
+//! Two backends sit behind one API:
 //!
-//! Performance note (relevant to Fig. 8 reproduction): software AES with
-//! S-box lookups runs at roughly 1/10–1/20 the speed of AES-NI. Every
-//! comparison in the benchmark harness keeps both sides on this substrate,
-//! so ratios — not absolute block rates — carry over from the paper.
+//! * **AES-NI** (x86_64, detected at runtime with
+//!   `is_x86_feature_detected!("aes")`): the substrate the paper's border
+//!   router assumes. Up to [`PARALLEL_BLOCKS`] blocks are interleaved per
+//!   call so the per-round instruction latency is hidden. AES-128 only —
+//!   the only key size on the data plane.
+//! * **Bitsliced software** (everywhere else, and under the
+//!   `APNA_SOFT_AES` environment variable): a constant-time Boyar–Peralta
+//!   bitsliced core processing four blocks per pass. No secret-dependent
+//!   table index or branch exists anywhere on this path — the key schedule
+//!   included — which closes the classic AES cache-timing side channel the
+//!   previous table-based implementation carried.
+//!
+//! The batched entry point is [`BlockCipher::encrypt_blocks`]: every mode
+//! in this crate (CTR, CMAC, CBC-MAC, GCM) and the border-router burst
+//! pipeline feed it [`PARALLEL_BLOCKS`]-sized groups, which is where both
+//! backends earn their throughput. `encrypt_block` remains as the
+//! batch-of-one special case.
+//!
+//! Forcing the software path (benchmarks, CI, non-x86 parity testing):
+//! set `APNA_SOFT_AES=1` in the environment before constructing ciphers,
+//! or construct via [`Aes128::new_software`].
 
-use std::sync::OnceLock;
+use crate::aes_soft::SoftKeys;
 
 /// AES block length in bytes.
 pub const BLOCK_LEN: usize = 16;
@@ -20,251 +33,195 @@ pub const BLOCK_LEN: usize = 16;
 /// A 16-byte AES block.
 pub type Block = [u8; BLOCK_LEN];
 
+/// Widest batch a backend consumes per call. Callers that can batch should
+/// hand [`BlockCipher::encrypt_blocks`] multiples of this many blocks.
+pub const PARALLEL_BLOCKS: usize = 16;
+
 /// Common interface for the three AES key sizes (and the mode
 /// implementations generic over them).
 pub trait BlockCipher {
     /// Encrypts one 16-byte block in place.
     fn encrypt_block(&self, block: &mut Block);
+
     /// Decrypts one 16-byte block in place.
     fn decrypt_block(&self, block: &mut Block);
-}
 
-// ---------------------------------------------------------------------------
-// GF(2^8) arithmetic and derived tables
-// ---------------------------------------------------------------------------
-
-/// Multiplication in GF(2⁸) with the AES reduction polynomial x⁸+x⁴+x³+x+1.
-#[inline]
-const fn gmul(mut a: u8, mut b: u8) -> u8 {
-    let mut p = 0u8;
-    let mut i = 0;
-    while i < 8 {
-        if b & 1 != 0 {
-            p ^= a;
+    /// Encrypts every block in `blocks` in place (ECB over the slice).
+    ///
+    /// The blocks are independent, which is exactly what lets the backends
+    /// work on [`PARALLEL_BLOCKS`] of them at once; implementations
+    /// override this with their batched core. The default falls back to
+    /// block-at-a-time.
+    fn encrypt_blocks(&self, blocks: &mut [Block]) {
+        for b in blocks {
+            self.encrypt_block(b);
         }
-        let hi = a & 0x80;
-        a <<= 1;
-        if hi != 0 {
-            a ^= 0x1b;
-        }
-        b >>= 1;
-        i += 1;
     }
-    p
+
+    /// Decrypts every block in `blocks` in place.
+    fn decrypt_blocks(&self, blocks: &mut [Block]) {
+        for b in blocks {
+            self.decrypt_block(b);
+        }
+    }
 }
 
-struct Tables {
-    sbox: [u8; 256],
-    inv_sbox: [u8; 256],
+/// `true` when the `APNA_SOFT_AES` environment variable forces the
+/// bitsliced software backend (any value but `0`).
+#[must_use]
+pub fn software_forced() -> bool {
+    std::env::var_os("APNA_SOFT_AES").is_some_and(|v| v != *"0")
 }
 
-fn tables() -> &'static Tables {
-    static TABLES: OnceLock<Tables> = OnceLock::new();
-    TABLES.get_or_init(|| {
-        // Multiplicative inverses: inv[0] = 0 by convention.
-        let mut inv = [0u8; 256];
-        for a in 1..=255u8 {
-            for b in 1..=255u8 {
-                if gmul(a, b) == 1 {
-                    inv[a as usize] = b;
-                    break;
+/// Name of the backend [`Aes128::new`] would select right now:
+/// `"aes-ni"` or `"soft-bitsliced"`. Benchmarks record this next to their
+/// numbers so a committed baseline names its substrate.
+#[must_use]
+pub fn active_backend() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !software_forced() && crate::aes_ni::available() {
+            return "aes-ni";
+        }
+    }
+    "soft-bitsliced"
+}
+
+// Both variants are long-lived (one per expanded cipher); boxing the
+// larger one would put a pointer chase on every block operation.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum Backend128 {
+    #[cfg(target_arch = "x86_64")]
+    Ni(crate::aes_ni::NiKeys128),
+    Soft(SoftKeys),
+}
+
+/// AES with a 128-bit key (10 rounds) — the data-plane cipher (EphID
+/// encryption, per-packet CMAC, GCM payloads). Runtime backend selection;
+/// both backends are constant-time.
+#[derive(Clone)]
+pub struct Aes128 {
+    backend: Backend128,
+}
+
+impl Aes128 {
+    /// Expands `key`, picking the fastest constant-time backend the CPU
+    /// offers (AES-NI where detected, bitsliced software otherwise or when
+    /// `APNA_SOFT_AES` is set).
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !software_forced() && crate::aes_ni::available() {
+                return Aes128 {
+                    backend: Backend128::Ni(crate::aes_ni::NiKeys128::expand(key)),
+                };
+            }
+        }
+        Aes128 {
+            backend: Backend128::Soft(SoftKeys::expand(key)),
+        }
+    }
+
+    /// Expands `key` on the bitsliced software backend regardless of CPU
+    /// support — used by the AES-NI/software cross-check tests and by
+    /// benchmarks that measure the fallback explicitly.
+    #[must_use]
+    pub fn new_software(key: &[u8; 16]) -> Self {
+        Aes128 {
+            backend: Backend128::Soft(SoftKeys::expand(key)),
+        }
+    }
+
+    /// Which backend this instance runs on: `"aes-ni"` or
+    /// `"soft-bitsliced"`.
+    #[must_use]
+    pub fn backend(&self) -> &'static str {
+        match &self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend128::Ni(_) => "aes-ni",
+            Backend128::Soft(_) => "soft-bitsliced",
+        }
+    }
+
+    /// Encrypts a copy of `block` and returns the ciphertext block.
+    #[must_use]
+    pub fn encrypt(&self, block: &Block) -> Block {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+
+    /// Decrypts a copy of `block` and returns the plaintext block.
+    #[must_use]
+    pub fn decrypt(&self, block: &Block) -> Block {
+        let mut b = *block;
+        self.decrypt_block(&mut b);
+        b
+    }
+}
+
+impl BlockCipher for Aes128 {
+    fn encrypt_block(&self, block: &mut Block) {
+        self.encrypt_blocks(core::slice::from_mut(block));
+    }
+
+    fn decrypt_block(&self, block: &mut Block) {
+        self.decrypt_blocks(core::slice::from_mut(block));
+    }
+
+    fn encrypt_blocks(&self, blocks: &mut [Block]) {
+        match &self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend128::Ni(keys) => {
+                for group in blocks.chunks_mut(crate::aes_ni::NI_LANES) {
+                    keys.encrypt_lanes(group);
+                }
+            }
+            Backend128::Soft(keys) => {
+                for group in blocks.chunks_mut(PARALLEL_BLOCKS) {
+                    keys.encrypt_lanes(group);
                 }
             }
         }
-        let mut sbox = [0u8; 256];
-        let mut inv_sbox = [0u8; 256];
-        for x in 0..256usize {
-            let b = inv[x];
-            let s = b
-                ^ b.rotate_left(1)
-                ^ b.rotate_left(2)
-                ^ b.rotate_left(3)
-                ^ b.rotate_left(4)
-                ^ 0x63;
-            sbox[x] = s;
-            inv_sbox[s as usize] = x as u8;
+    }
+
+    fn decrypt_blocks(&self, blocks: &mut [Block]) {
+        match &self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend128::Ni(keys) => {
+                for group in blocks.chunks_mut(crate::aes_ni::NI_LANES) {
+                    keys.decrypt_lanes(group);
+                }
+            }
+            Backend128::Soft(keys) => {
+                for group in blocks.chunks_mut(PARALLEL_BLOCKS) {
+                    keys.decrypt_lanes(group);
+                }
+            }
         }
-        Tables { sbox, inv_sbox }
-    })
-}
-
-// ---------------------------------------------------------------------------
-// Key schedule
-// ---------------------------------------------------------------------------
-
-/// Expanded round keys for one AES key. `rounds` is 10/12/14.
-#[derive(Clone)]
-struct RoundKeys {
-    /// Round keys as 4-byte words; `4 * (rounds + 1)` words are valid.
-    words: [u32; 60],
-    rounds: usize,
-}
-
-fn expand_key(key: &[u8]) -> RoundKeys {
-    let nk = key.len() / 4; // 4, 6, or 8
-    let rounds = nk + 6;
-    let total_words = 4 * (rounds + 1);
-    let t = tables();
-    let sub_word = |w: u32| -> u32 {
-        let b = w.to_be_bytes();
-        u32::from_be_bytes([
-            t.sbox[b[0] as usize],
-            t.sbox[b[1] as usize],
-            t.sbox[b[2] as usize],
-            t.sbox[b[3] as usize],
-        ])
-    };
-    let mut words = [0u32; 60];
-    for i in 0..nk {
-        words[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
-    }
-    let mut rcon: u8 = 1;
-    for i in nk..total_words {
-        let mut temp = words[i - 1];
-        if i % nk == 0 {
-            temp = sub_word(temp.rotate_left(8)) ^ ((rcon as u32) << 24);
-            // Advance Rcon in GF(2^8).
-            rcon = gmul(rcon, 2);
-        } else if nk > 6 && i % nk == 4 {
-            temp = sub_word(temp);
-        }
-        words[i] = words[i - nk] ^ temp;
-    }
-    RoundKeys { words, rounds }
-}
-
-// ---------------------------------------------------------------------------
-// Cipher rounds
-// ---------------------------------------------------------------------------
-
-#[inline]
-fn add_round_key(state: &mut Block, words: &[u32]) {
-    for c in 0..4 {
-        let w = words[c].to_be_bytes();
-        state[4 * c] ^= w[0];
-        state[4 * c + 1] ^= w[1];
-        state[4 * c + 2] ^= w[2];
-        state[4 * c + 3] ^= w[3];
     }
 }
 
-#[inline]
-fn sub_bytes(state: &mut Block, sbox: &[u8; 256]) {
-    for b in state.iter_mut() {
-        *b = sbox[*b as usize];
-    }
-}
-
-/// State layout: column-major (byte `state[4c + r]` is row r, column c),
-/// matching the FIPS-197 serialization order of the input block.
-#[inline]
-fn shift_rows(state: &mut Block) {
-    // Row 1: rotate left by 1.
-    let t = state[1];
-    state[1] = state[5];
-    state[5] = state[9];
-    state[9] = state[13];
-    state[13] = t;
-    // Row 2: rotate left by 2.
-    state.swap(2, 10);
-    state.swap(6, 14);
-    // Row 3: rotate left by 3 (== right by 1).
-    let t = state[15];
-    state[15] = state[11];
-    state[11] = state[7];
-    state[7] = state[3];
-    state[3] = t;
-}
-
-#[inline]
-fn inv_shift_rows(state: &mut Block) {
-    // Row 1: rotate right by 1.
-    let t = state[13];
-    state[13] = state[9];
-    state[9] = state[5];
-    state[5] = state[1];
-    state[1] = t;
-    // Row 2: rotate right by 2 (same as left by 2).
-    state.swap(2, 10);
-    state.swap(6, 14);
-    // Row 3: rotate right by 3 (== left by 1).
-    let t = state[3];
-    state[3] = state[7];
-    state[7] = state[11];
-    state[11] = state[15];
-    state[15] = t;
-}
-
-#[inline]
-fn mix_columns(state: &mut Block) {
-    for c in 0..4 {
-        let col = &mut state[4 * c..4 * c + 4];
-        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
-        col[0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3;
-        col[1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3;
-        col[2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3);
-        col[3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2);
-    }
-}
-
-#[inline]
-fn inv_mix_columns(state: &mut Block) {
-    for c in 0..4 {
-        let col = &mut state[4 * c..4 * c + 4];
-        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
-        col[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
-        col[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
-        col[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
-        col[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
-    }
-}
-
-fn encrypt(rk: &RoundKeys, block: &mut Block) {
-    let t = tables();
-    add_round_key(block, &rk.words[0..4]);
-    for round in 1..rk.rounds {
-        sub_bytes(block, &t.sbox);
-        shift_rows(block);
-        mix_columns(block);
-        add_round_key(block, &rk.words[4 * round..4 * round + 4]);
-    }
-    sub_bytes(block, &t.sbox);
-    shift_rows(block);
-    add_round_key(block, &rk.words[4 * rk.rounds..4 * rk.rounds + 4]);
-}
-
-fn decrypt(rk: &RoundKeys, block: &mut Block) {
-    let t = tables();
-    add_round_key(block, &rk.words[4 * rk.rounds..4 * rk.rounds + 4]);
-    for round in (1..rk.rounds).rev() {
-        inv_shift_rows(block);
-        sub_bytes(block, &t.inv_sbox);
-        add_round_key(block, &rk.words[4 * round..4 * round + 4]);
-        inv_mix_columns(block);
-    }
-    inv_shift_rows(block);
-    sub_bytes(block, &t.inv_sbox);
-    add_round_key(block, &rk.words[0..4]);
-}
-
-// ---------------------------------------------------------------------------
-// Public key-size wrappers
-// ---------------------------------------------------------------------------
-
-macro_rules! aes_impl {
+macro_rules! aes_soft_impl {
     ($name:ident, $key_len:expr, $doc:expr) => {
         #[doc = $doc]
+        ///
+        /// Always runs on the constant-time bitsliced software core: only
+        /// AES-128 sits on the data plane, so the larger key sizes carry
+        /// no hardware backend.
         #[derive(Clone)]
         pub struct $name {
-            round_keys: RoundKeys,
+            keys: SoftKeys,
         }
 
         impl $name {
-            /// Expands `key` into round keys.
+            /// Expands `key` into bitsliced round keys.
             #[must_use]
             pub fn new(key: &[u8; $key_len]) -> Self {
                 Self {
-                    round_keys: expand_key(key),
+                    keys: SoftKeys::expand(key),
                 }
             }
 
@@ -287,58 +244,57 @@ macro_rules! aes_impl {
 
         impl BlockCipher for $name {
             fn encrypt_block(&self, block: &mut Block) {
-                encrypt(&self.round_keys, block);
+                self.keys.encrypt_lanes(core::slice::from_mut(block));
             }
             fn decrypt_block(&self, block: &mut Block) {
-                decrypt(&self.round_keys, block);
+                self.keys.decrypt_lanes(core::slice::from_mut(block));
+            }
+            fn encrypt_blocks(&self, blocks: &mut [Block]) {
+                for group in blocks.chunks_mut(PARALLEL_BLOCKS) {
+                    self.keys.encrypt_lanes(group);
+                }
+            }
+            fn decrypt_blocks(&self, blocks: &mut [Block]) {
+                for group in blocks.chunks_mut(PARALLEL_BLOCKS) {
+                    self.keys.decrypt_lanes(group);
+                }
             }
         }
     };
 }
 
-aes_impl!(Aes128, 16, "AES with a 128-bit key (10 rounds).");
-aes_impl!(Aes192, 24, "AES with a 192-bit key (12 rounds).");
-aes_impl!(Aes256, 32, "AES with a 256-bit key (14 rounds).");
+aes_soft_impl!(Aes192, 24, "AES with a 192-bit key (12 rounds).");
+aes_soft_impl!(Aes256, 32, "AES with a 256-bit key (14 rounds).");
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::hex;
 
-    #[test]
-    fn sbox_spot_values() {
-        // FIPS-197 Figure 7 spot checks.
-        let t = tables();
-        assert_eq!(t.sbox[0x00], 0x63);
-        assert_eq!(t.sbox[0x01], 0x7c);
-        assert_eq!(t.sbox[0x53], 0xed);
-        assert_eq!(t.sbox[0xff], 0x16);
-        assert_eq!(t.inv_sbox[0x63], 0x00);
-        assert_eq!(t.inv_sbox[0xed], 0x53);
-    }
-
-    #[test]
-    fn sbox_is_a_permutation() {
-        let t = tables();
-        let mut seen = [false; 256];
-        for &s in &t.sbox {
-            assert!(!seen[s as usize]);
-            seen[s as usize] = true;
-        }
-        for x in 0..256 {
-            assert_eq!(t.inv_sbox[t.sbox[x] as usize] as usize, x);
-        }
-    }
-
-    #[test]
-    fn fips197_aes128() {
-        // FIPS-197 Appendix C.1.
+    /// Every cipher under test, on every backend this machine can run.
+    fn aes128_backends() -> Vec<(&'static str, Aes128)> {
         let key = hex::decode_array::<16>("000102030405060708090a0b0c0d0e0f").unwrap();
+        let mut v = vec![("soft", Aes128::new_software(&key))];
+        let auto = Aes128::new(&key);
+        if auto.backend() == "aes-ni" {
+            v.push(("aes-ni", auto));
+        }
+        v
+    }
+
+    #[test]
+    fn fips197_aes128_all_backends() {
+        // FIPS-197 Appendix C.1.
         let pt = hex::decode_array::<16>("00112233445566778899aabbccddeeff").unwrap();
-        let cipher = Aes128::new(&key);
-        let ct = cipher.encrypt(&pt);
-        assert_eq!(hex::encode(&ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
-        assert_eq!(cipher.decrypt(&ct), pt);
+        for (name, cipher) in aes128_backends() {
+            let ct = cipher.encrypt(&pt);
+            assert_eq!(
+                hex::encode(&ct),
+                "69c4e0d86a7b0430d8cdb78070b4c55a",
+                "backend {name}"
+            );
+            assert_eq!(cipher.decrypt(&ct), pt, "backend {name}");
+        }
     }
 
     #[test]
@@ -368,12 +324,91 @@ mod tests {
     }
 
     #[test]
-    fn sp800_38a_aes128_ecb() {
-        // SP 800-38A F.1.1 (first block).
+    fn sp800_38a_aes128_ecb_through_the_batched_path() {
+        // SP 800-38A F.1.1 — all four ECB blocks in ONE encrypt_blocks
+        // call, so the known answers flow through the multi-block lanes.
         let key = hex::decode_array::<16>("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
-        let pt = hex::decode_array::<16>("6bc1bee22e409f96e93d7e117393172a").unwrap();
-        let ct = Aes128::new(&key).encrypt(&pt);
-        assert_eq!(hex::encode(&ct), "3ad77bb40d7a3660a89ecaf32466ef97");
+        let pt = hex::decode(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        )
+        .unwrap();
+        let expect = "3ad77bb40d7a3660a89ecaf32466ef97\
+                      f5d3d58503b9699de785895a96fdbaaf\
+                      43b1cd7f598ece23881b00e3ed030688\
+                      7b0c785e27e8ad3f8223207104725dd4"
+            .replace(' ', "");
+        for (name, cipher) in [
+            ("soft", Aes128::new_software(&key)),
+            ("auto", Aes128::new(&key)),
+        ] {
+            let mut blocks: Vec<Block> =
+                pt.chunks_exact(16).map(|c| c.try_into().unwrap()).collect();
+            cipher.encrypt_blocks(&mut blocks);
+            let flat: Vec<u8> = blocks.iter().flatten().copied().collect();
+            assert_eq!(hex::encode(&flat), expect, "backend {name}");
+            cipher.decrypt_blocks(&mut blocks);
+            let back: Vec<u8> = blocks.iter().flatten().copied().collect();
+            assert_eq!(back, pt, "backend {name} decrypt_blocks");
+        }
+    }
+
+    #[test]
+    fn batched_equals_scalar_at_every_batch_size() {
+        // Lane-position independence: a block must encrypt to the same
+        // ciphertext no matter where in a batch (1..=2*PARALLEL_BLOCKS+1)
+        // it sits, on every backend.
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xAE5);
+        for (name, cipher) in aes128_backends() {
+            for n in 1..=(2 * PARALLEL_BLOCKS + 1) {
+                let mut blocks = vec![[0u8; 16]; n];
+                for b in blocks.iter_mut() {
+                    rng.fill_bytes(b);
+                }
+                let mut batched = blocks.clone();
+                cipher.encrypt_blocks(&mut batched);
+                for (i, b) in blocks.iter().enumerate() {
+                    assert_eq!(
+                        batched[i],
+                        cipher.encrypt(b),
+                        "backend {name}, batch {n}, lane {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aesni_and_software_agree() {
+        // The cross-backend known-answer sweep: only meaningful (and only
+        // runs its assertions) where the CPU has AES-NI.
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let mut key = [0u8; 16];
+            rng.fill_bytes(&mut key);
+            let auto = Aes128::new(&key);
+            if auto.backend() != "aes-ni" {
+                return; // no hardware AES on this machine; nothing to diff
+            }
+            let soft = Aes128::new_software(&key);
+            let mut blocks = vec![[0u8; 16]; PARALLEL_BLOCKS];
+            for b in blocks.iter_mut() {
+                rng.fill_bytes(b);
+            }
+            let mut a = blocks.clone();
+            let mut s = blocks.clone();
+            auto.encrypt_blocks(&mut a);
+            soft.encrypt_blocks(&mut s);
+            assert_eq!(a, s);
+            auto.decrypt_blocks(&mut a);
+            soft.decrypt_blocks(&mut s);
+            assert_eq!(a, blocks);
+            assert_eq!(s, blocks);
+        }
     }
 
     #[test]
@@ -382,11 +417,17 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mut key = [0u8; 16];
         rng.fill_bytes(&mut key);
-        let cipher = Aes128::new(&key);
-        for _ in 0..64 {
-            let mut block = [0u8; 16];
-            rng.fill_bytes(&mut block);
-            assert_eq!(cipher.decrypt(&cipher.encrypt(&block)), block);
+        for (name, _) in aes128_backends() {
+            let cipher = if name == "soft" {
+                Aes128::new_software(&key)
+            } else {
+                Aes128::new(&key)
+            };
+            for _ in 0..64 {
+                let mut block = [0u8; 16];
+                rng.fill_bytes(&mut block);
+                assert_eq!(cipher.decrypt(&cipher.encrypt(&block)), block);
+            }
         }
     }
 
@@ -396,5 +437,12 @@ mod tests {
         let c1 = Aes128::new(&[0u8; 16]).encrypt(&pt);
         let c2 = Aes128::new(&[1u8; 16]).encrypt(&pt);
         assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn backend_reporting_is_consistent() {
+        let auto = Aes128::new(&[9u8; 16]);
+        assert_eq!(auto.backend(), active_backend());
+        assert_eq!(Aes128::new_software(&[9u8; 16]).backend(), "soft-bitsliced");
     }
 }

@@ -1,0 +1,685 @@
+//! Constant-time bitsliced AES core (the portable software backend).
+//!
+//! Layout follows the well-studied 64-bit bitslicing of BearSSL's
+//! `aes_ct64` (itself a translation of the Boyar–Peralta minimal S-box
+//! circuit, <https://eprint.iacr.org/2011/332>): eight `u64` registers hold
+//! **four blocks at once**, register `q[i]` carrying bit-plane `i` of every
+//! state byte. All round transformations are pure bitwise logic — no
+//! secret-dependent table index or branch anywhere, which removes the
+//! Bernstein-style cache-timing channel of the table-based AES this core
+//! replaces.
+//!
+//! Parallelism is the point: one pass through the round function encrypts
+//! 4 independent blocks, and a [`super::aes::PARALLEL_BLOCKS`]-wide call
+//! (CTR keystream, batched CBC-MAC/CMAC lanes) runs up to four such
+//! states through *fused* rounds so their circuits overlap in the CPU's
+//! out-of-order window. A single-block call still works (three lanes
+//! idle), so the scalar [`super::aes::BlockCipher::encrypt_block`] API
+//! keeps its semantics.
+//!
+//! The key schedule is also constant-time: `SubWord` runs through the same
+//! bitsliced S-box circuit instead of a lookup table.
+//!
+//! Decryption (cold path — every APNA data-plane mode is encrypt-only) uses
+//! the inverse S-box via the affine-sandwich identity
+//! `S⁻¹ = L ∘ S ∘ L` with `L(y) = A⁻¹·(y ⊕ 0x63)`, and `InvMixColumns` as
+//! `MixColumns³` (the circulant MixColumns matrix satisfies `C⁴ = I`).
+
+/// How many blocks one pass of the bitsliced round function carries.
+pub(crate) const SOFT_LANES: usize = 4;
+
+/// Expanded, bitsliced round keys. `8 * (rounds + 1)` words are valid.
+#[derive(Clone)]
+pub(crate) struct SoftKeys {
+    skey: [u64; 8 * 15],
+    rounds: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Bit-level plumbing: interleave + orthogonalization (BearSSL ct64 layout).
+// ---------------------------------------------------------------------------
+
+/// Spreads one block (as four little-endian 32-bit words) over two `u64`s,
+/// byte-interleaved so that [`ortho`] can finish the transposition.
+#[inline]
+fn interleave_in(w: &[u32; 4]) -> (u64, u64) {
+    let mut x0 = u64::from(w[0]);
+    let mut x1 = u64::from(w[1]);
+    let mut x2 = u64::from(w[2]);
+    let mut x3 = u64::from(w[3]);
+    x0 |= x0 << 16;
+    x1 |= x1 << 16;
+    x2 |= x2 << 16;
+    x3 |= x3 << 16;
+    x0 &= 0x0000_FFFF_0000_FFFF;
+    x1 &= 0x0000_FFFF_0000_FFFF;
+    x2 &= 0x0000_FFFF_0000_FFFF;
+    x3 &= 0x0000_FFFF_0000_FFFF;
+    x0 |= x0 << 8;
+    x1 |= x1 << 8;
+    x2 |= x2 << 8;
+    x3 |= x3 << 8;
+    x0 &= 0x00FF_00FF_00FF_00FF;
+    x1 &= 0x00FF_00FF_00FF_00FF;
+    x2 &= 0x00FF_00FF_00FF_00FF;
+    x3 &= 0x00FF_00FF_00FF_00FF;
+    (x0 | (x2 << 8), x1 | (x3 << 8))
+}
+
+/// Inverse of [`interleave_in`].
+#[inline]
+fn interleave_out(q0: u64, q1: u64) -> [u32; 4] {
+    let mut x0 = q0 & 0x00FF_00FF_00FF_00FF;
+    let mut x1 = q1 & 0x00FF_00FF_00FF_00FF;
+    let mut x2 = (q0 >> 8) & 0x00FF_00FF_00FF_00FF;
+    let mut x3 = (q1 >> 8) & 0x00FF_00FF_00FF_00FF;
+    x0 |= x0 >> 8;
+    x1 |= x1 >> 8;
+    x2 |= x2 >> 8;
+    x3 |= x3 >> 8;
+    x0 &= 0x0000_FFFF_0000_FFFF;
+    x1 &= 0x0000_FFFF_0000_FFFF;
+    x2 &= 0x0000_FFFF_0000_FFFF;
+    x3 &= 0x0000_FFFF_0000_FFFF;
+    [
+        (x0 as u32) | ((x0 >> 16) as u32),
+        (x1 as u32) | ((x1 >> 16) as u32),
+        (x2 as u32) | ((x2 >> 16) as u32),
+        (x3 as u32) | ((x3 >> 16) as u32),
+    ]
+}
+
+/// In-place orthogonalization: completes (or undoes — it is an involution
+/// at the call pattern used here) the move between byte-oriented and
+/// bit-plane-oriented representations across the 8 registers.
+#[inline]
+fn ortho(q: &mut [u64; 8]) {
+    #[inline]
+    fn swapn(cl: u64, ch: u64, s: u32, x: u64, y: u64) -> (u64, u64) {
+        ((x & cl) | ((y & cl) << s), ((x & ch) >> s) | (y & ch))
+    }
+    macro_rules! swap_pairs {
+        ($cl:literal, $ch:literal, $s:literal, [$(($i:literal, $j:literal)),*]) => {
+            $(
+                let (a, b) = swapn($cl, $ch, $s, q[$i], q[$j]);
+                q[$i] = a;
+                q[$j] = b;
+            )*
+        };
+    }
+    swap_pairs!(
+        0x5555_5555_5555_5555,
+        0xAAAA_AAAA_AAAA_AAAA,
+        1,
+        [(0, 1), (2, 3), (4, 5), (6, 7)]
+    );
+    swap_pairs!(
+        0x3333_3333_3333_3333,
+        0xCCCC_CCCC_CCCC_CCCC,
+        2,
+        [(0, 2), (1, 3), (4, 6), (5, 7)]
+    );
+    swap_pairs!(
+        0x0F0F_0F0F_0F0F_0F0F,
+        0xF0F0_F0F0_F0F0_F0F0,
+        4,
+        [(0, 4), (1, 5), (2, 6), (3, 7)]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The Boyar–Peralta S-box circuit (forward), and the inverse sandwich.
+// ---------------------------------------------------------------------------
+
+/// Applies `SubBytes` to all lanes: 113-gate Boyar–Peralta circuit over the
+/// eight bit-planes. Branch-free, table-free.
+#[allow(clippy::similar_names)]
+fn sub_bytes_one(q: &mut [u64; 8]) {
+    let x0 = q[7];
+    let x1 = q[6];
+    let x2 = q[5];
+    let x3 = q[4];
+    let x4 = q[3];
+    let x5 = q[2];
+    let x6 = q[1];
+    let x7 = q[0];
+
+    // Top linear transformation.
+    let y14 = x3 ^ x5;
+    let y13 = x0 ^ x6;
+    let y9 = x0 ^ x3;
+    let y8 = x0 ^ x5;
+    let t0 = x1 ^ x2;
+    let y1 = t0 ^ x7;
+    let y4 = y1 ^ x3;
+    let y12 = y13 ^ y14;
+    let y2 = y1 ^ x0;
+    let y5 = y1 ^ x6;
+    let y3 = y5 ^ y8;
+    let t1 = x4 ^ y12;
+    let y15 = t1 ^ x5;
+    let y20 = t1 ^ x1;
+    let y6 = y15 ^ x7;
+    let y10 = y15 ^ t0;
+    let y11 = y20 ^ y9;
+    let y7 = x7 ^ y11;
+    let y17 = y10 ^ y11;
+    let y19 = y10 ^ y8;
+    let y16 = t0 ^ y11;
+    let y21 = y13 ^ y16;
+    let y18 = x0 ^ y16;
+
+    // Non-linear section.
+    let t2 = y12 & y15;
+    let t3 = y3 & y6;
+    let t4 = t3 ^ t2;
+    let t5 = y4 & x7;
+    let t6 = t5 ^ t2;
+    let t7 = y13 & y16;
+    let t8 = y5 & y1;
+    let t9 = t8 ^ t7;
+    let t10 = y2 & y7;
+    let t11 = t10 ^ t7;
+    let t12 = y9 & y11;
+    let t13 = y14 & y17;
+    let t14 = t13 ^ t12;
+    let t15 = y8 & y10;
+    let t16 = t15 ^ t12;
+    let t17 = t4 ^ t14;
+    let t18 = t6 ^ t16;
+    let t19 = t9 ^ t14;
+    let t20 = t11 ^ t16;
+    let t21 = t17 ^ y20;
+    let t22 = t18 ^ y19;
+    let t23 = t19 ^ y21;
+    let t24 = t20 ^ y18;
+
+    let t25 = t21 ^ t22;
+    let t26 = t21 & t23;
+    let t27 = t24 ^ t26;
+    let t28 = t25 & t27;
+    let t29 = t28 ^ t22;
+    let t30 = t23 ^ t24;
+    let t31 = t22 ^ t26;
+    let t32 = t31 & t30;
+    let t33 = t32 ^ t24;
+    let t34 = t23 ^ t33;
+    let t35 = t27 ^ t33;
+    let t36 = t24 & t35;
+    let t37 = t36 ^ t34;
+    let t38 = t27 ^ t36;
+    let t39 = t29 & t38;
+    let t40 = t25 ^ t39;
+
+    let t41 = t40 ^ t37;
+    let t42 = t29 ^ t33;
+    let t43 = t29 ^ t40;
+    let t44 = t33 ^ t37;
+    let t45 = t42 ^ t41;
+    let z0 = t44 & y15;
+    let z1 = t37 & y6;
+    let z2 = t33 & x7;
+    let z3 = t43 & y16;
+    let z4 = t40 & y1;
+    let z5 = t29 & y7;
+    let z6 = t42 & y11;
+    let z7 = t45 & y17;
+    let z8 = t41 & y10;
+    let z9 = t44 & y12;
+    let z10 = t37 & y3;
+    let z11 = t33 & y4;
+    let z12 = t43 & y13;
+    let z13 = t40 & y5;
+    let z14 = t29 & y2;
+    let z15 = t42 & y9;
+    let z16 = t45 & y14;
+    let z17 = t41 & y8;
+
+    // Bottom linear transformation.
+    let t46 = z15 ^ z16;
+    let t47 = z10 ^ z11;
+    let t48 = z5 ^ z13;
+    let t49 = z9 ^ z10;
+    let t50 = z2 ^ z12;
+    let t51 = z2 ^ z5;
+    let t52 = z7 ^ z8;
+    let t53 = z0 ^ z3;
+    let t54 = z6 ^ z7;
+    let t55 = z16 ^ z17;
+    let t56 = z12 ^ t48;
+    let t57 = t50 ^ t53;
+    let t58 = z4 ^ t46;
+    let t59 = z3 ^ t54;
+    let t60 = t46 ^ t57;
+    let t61 = z14 ^ t57;
+    let t62 = t52 ^ t58;
+    let t63 = t49 ^ t58;
+    let t64 = z4 ^ t59;
+    let t65 = t61 ^ t62;
+    let t66 = z1 ^ t63;
+    let s0 = t59 ^ t63;
+    let s6 = t56 ^ !t62;
+    let s7 = t48 ^ !t60;
+    let t67 = t64 ^ t65;
+    let s3 = t53 ^ t66;
+    let s4 = t51 ^ t66;
+    let s5 = t47 ^ t65;
+    let s1 = t64 ^ !s3;
+    let s2 = t55 ^ !t67;
+
+    q[7] = s0;
+    q[6] = s1;
+    q[5] = s2;
+    q[4] = s3;
+    q[3] = s4;
+    q[2] = s5;
+    q[1] = s6;
+    q[0] = s7;
+}
+
+/// [`sub_bytes_one`] over `N` interleaved 4-lane states.
+#[inline]
+fn sub_bytes<const N: usize>(qs: &mut [[u64; 8]; N]) {
+    for q in qs.iter_mut() {
+        sub_bytes_one(q);
+    }
+}
+
+/// The affine half of the inverse S-box sandwich: `L(y) = A⁻¹·(y ⊕ 0x63)`
+/// expressed on bit-planes (`A⁻¹` is the circulant `rotl1 ⊕ rotl3 ⊕
+/// rotl6`). Applied before *and* after [`sub_bytes`], this yields
+/// `InvSubBytes` because byte inversion in GF(2⁸) is an involution.
+fn inv_affine(q: &mut [u64; 8]) {
+    let q0 = !q[0];
+    let q1 = !q[1];
+    let q2 = q[2];
+    let q3 = q[3];
+    let q4 = q[4];
+    let q5 = !q[5];
+    let q6 = !q[6];
+    let q7 = q[7];
+    q[7] = q1 ^ q4 ^ q6;
+    q[6] = q0 ^ q3 ^ q5;
+    q[5] = q7 ^ q2 ^ q4;
+    q[4] = q6 ^ q1 ^ q3;
+    q[3] = q5 ^ q0 ^ q2;
+    q[2] = q4 ^ q7 ^ q1;
+    q[1] = q3 ^ q6 ^ q0;
+    q[0] = q2 ^ q5 ^ q7;
+}
+
+/// `InvSubBytes` on all lanes of `N` states.
+fn inv_sub_bytes<const N: usize>(qs: &mut [[u64; 8]; N]) {
+    for q in qs.iter_mut() {
+        inv_affine(q);
+        sub_bytes_one(q);
+        inv_affine(q);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear layers.
+// ---------------------------------------------------------------------------
+
+/// `ShiftRows` on all lanes. In this layout each register holds four
+/// 16-bit row groups (row r at bits `16r..16r+16`, one 4-bit column nibble
+/// per block); rotating row r left by r columns is a 4r-bit rotate inside
+/// its 16-bit group.
+#[inline]
+fn shift_rows<const N: usize>(qs: &mut [[u64; 8]; N]) {
+    for x in qs.iter_mut().flatten() {
+        let v = *x;
+        *x = (v & 0x0000_0000_0000_FFFF)
+            | ((v & 0x0000_0000_FFF0_0000) >> 4)
+            | ((v & 0x0000_0000_000F_0000) << 12)
+            | ((v & 0x0000_FF00_0000_0000) >> 8)
+            | ((v & 0x0000_00FF_0000_0000) << 8)
+            | ((v & 0xF000_0000_0000_0000) >> 12)
+            | ((v & 0x0FFF_0000_0000_0000) << 4);
+    }
+}
+
+/// Inverse of [`shift_rows`].
+#[inline]
+fn inv_shift_rows<const N: usize>(qs: &mut [[u64; 8]; N]) {
+    for x in qs.iter_mut().flatten() {
+        let v = *x;
+        *x = (v & 0x0000_0000_0000_FFFF)
+            | ((v & 0x0000_0000_0FFF_0000) << 4)
+            | ((v & 0x0000_0000_F000_0000) >> 12)
+            | ((v & 0x0000_FF00_0000_0000) >> 8)
+            | ((v & 0x0000_00FF_0000_0000) << 8)
+            | ((v & 0x000F_0000_0000_0000) << 12)
+            | ((v & 0xFFF0_0000_0000_0000) >> 4);
+    }
+}
+
+/// Rotates each 16-bit row group of every bit-plane by one column — the
+/// "next row of the same column" step MixColumns needs.
+#[inline]
+fn rotr32(x: u64) -> u64 {
+    x.rotate_right(32)
+}
+
+/// `MixColumns` on all lanes, expressed plane-wise: `xtime` is a plane
+/// rotation with the 0x1b feedback folded into planes 0/1/3/4.
+#[inline]
+fn mix_columns<const N: usize>(qs: &mut [[u64; 8]; N]) {
+    for q in qs.iter_mut() {
+        mix_columns_one(q);
+    }
+}
+
+#[inline]
+fn mix_columns_one(q: &mut [u64; 8]) {
+    let q0 = q[0];
+    let q1 = q[1];
+    let q2 = q[2];
+    let q3 = q[3];
+    let q4 = q[4];
+    let q5 = q[5];
+    let q6 = q[6];
+    let q7 = q[7];
+    let r0 = q0.rotate_right(16);
+    let r1 = q1.rotate_right(16);
+    let r2 = q2.rotate_right(16);
+    let r3 = q3.rotate_right(16);
+    let r4 = q4.rotate_right(16);
+    let r5 = q5.rotate_right(16);
+    let r6 = q6.rotate_right(16);
+    let r7 = q7.rotate_right(16);
+
+    q[0] = q7 ^ r7 ^ r0 ^ rotr32(q0 ^ r0);
+    q[1] = q0 ^ r0 ^ q7 ^ r7 ^ r1 ^ rotr32(q1 ^ r1);
+    q[2] = q1 ^ r1 ^ r2 ^ rotr32(q2 ^ r2);
+    q[3] = q2 ^ r2 ^ q7 ^ r7 ^ r3 ^ rotr32(q3 ^ r3);
+    q[4] = q3 ^ r3 ^ q7 ^ r7 ^ r4 ^ rotr32(q4 ^ r4);
+    q[5] = q4 ^ r4 ^ r5 ^ rotr32(q5 ^ r5);
+    q[6] = q5 ^ r5 ^ r6 ^ rotr32(q6 ^ r6);
+    q[7] = q6 ^ r6 ^ r7 ^ rotr32(q7 ^ r7);
+}
+
+/// `InvMixColumns = MixColumns³`: the AES mixing polynomial `c(x)` over
+/// `GF(2⁸)[x]/(x⁴+1)` satisfies `c(x)⁴ = 1` (squaring gives `4x²+5`, whose
+/// square is 1), so three forward applications invert one. Decryption is
+/// cold in APNA (all data-plane modes are encrypt-only), so the 3× cost
+/// buys zero extra circuit surface.
+#[inline]
+fn inv_mix_columns<const N: usize>(qs: &mut [[u64; 8]; N]) {
+    mix_columns(qs);
+    mix_columns(qs);
+    mix_columns(qs);
+}
+
+#[inline]
+fn add_round_key<const N: usize>(qs: &mut [[u64; 8]; N], sk: &[u64]) {
+    for q in qs.iter_mut() {
+        for (x, k) in q.iter_mut().zip(sk.iter()) {
+            *x ^= k;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Key schedule (constant-time: SubWord goes through the bitsliced S-box).
+// ---------------------------------------------------------------------------
+
+/// `SubWord` on a little-endian round-key word, via the bitsliced circuit.
+fn sub_word(x: u32) -> u32 {
+    let mut q = [0u64; 8];
+    q[0] = u64::from(x);
+    ortho(&mut q);
+    sub_bytes_one(&mut q);
+    ortho(&mut q);
+    q[0] as u32
+}
+
+impl SoftKeys {
+    /// Expands `key` (16/24/32 bytes) into bitsliced round keys.
+    pub(crate) fn expand(key: &[u8]) -> SoftKeys {
+        let nk = key.len() / 4;
+        let rounds = nk + 6;
+        let nkf = 4 * (rounds + 1);
+        // Classic schedule over little-endian words (RotWord is a
+        // right-rotate by 8 in this convention; Rcon lands in the low byte).
+        let mut w = [0u32; 60];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let mut rcon: u32 = 1;
+        for i in nk..nkf {
+            let mut t = w[i - 1];
+            if i % nk == 0 {
+                t = sub_word(t.rotate_right(8)) ^ rcon;
+                // Advance Rcon by xtime; branch condition is public.
+                rcon = (rcon << 1) ^ (0x11b & 0u32.wrapping_sub(rcon >> 7));
+            } else if nk > 6 && i % nk == 4 {
+                t = sub_word(t);
+            }
+            w[i] = w[i - nk] ^ t;
+        }
+        // Bitslice each round key, replicated across all four lanes.
+        let mut skey = [0u64; 8 * 15];
+        for (r, wchunk) in w[..nkf].chunks_exact(4).enumerate() {
+            let (lo, hi) = interleave_in(wchunk.try_into().unwrap());
+            let mut q = [lo, lo, lo, lo, hi, hi, hi, hi];
+            ortho(&mut q);
+            skey[8 * r..8 * r + 8].copy_from_slice(&q);
+        }
+        SoftKeys { skey, rounds }
+    }
+
+    #[inline]
+    fn load_state(blocks: &[[u8; 16]]) -> [u64; 8] {
+        let mut q = [0u64; 8];
+        for (j, b) in blocks.iter().enumerate() {
+            let w = [
+                u32::from_le_bytes(b[0..4].try_into().unwrap()),
+                u32::from_le_bytes(b[4..8].try_into().unwrap()),
+                u32::from_le_bytes(b[8..12].try_into().unwrap()),
+                u32::from_le_bytes(b[12..16].try_into().unwrap()),
+            ];
+            let (lo, hi) = interleave_in(&w);
+            q[j] = lo;
+            q[j + 4] = hi;
+        }
+        ortho(&mut q);
+        q
+    }
+
+    #[inline]
+    fn store_state(mut q: [u64; 8], blocks: &mut [[u8; 16]]) {
+        ortho(&mut q);
+        for (j, b) in blocks.iter_mut().enumerate() {
+            let w = interleave_out(q[j], q[j + 4]);
+            b[0..4].copy_from_slice(&w[0].to_le_bytes());
+            b[4..8].copy_from_slice(&w[1].to_le_bytes());
+            b[8..12].copy_from_slice(&w[2].to_le_bytes());
+            b[12..16].copy_from_slice(&w[3].to_le_bytes());
+        }
+    }
+
+    fn encrypt_core<const N: usize>(&self, qs: &mut [[u64; 8]; N]) {
+        add_round_key(qs, &self.skey[0..8]);
+        for u in 1..self.rounds {
+            sub_bytes(qs);
+            shift_rows(qs);
+            mix_columns(qs);
+            add_round_key(qs, &self.skey[8 * u..8 * u + 8]);
+        }
+        sub_bytes(qs);
+        shift_rows(qs);
+        add_round_key(qs, &self.skey[8 * self.rounds..8 * self.rounds + 8]);
+    }
+
+    fn decrypt_core<const N: usize>(&self, qs: &mut [[u64; 8]; N]) {
+        add_round_key(qs, &self.skey[8 * self.rounds..8 * self.rounds + 8]);
+        for u in (1..self.rounds).rev() {
+            inv_shift_rows(qs);
+            inv_sub_bytes(qs);
+            add_round_key(qs, &self.skey[8 * u..8 * u + 8]);
+            inv_mix_columns(qs);
+        }
+        inv_shift_rows(qs);
+        inv_sub_bytes(qs);
+        add_round_key(qs, &self.skey[0..8]);
+    }
+
+    /// Runs `f` over `blocks` with the widest state fusion that fits:
+    /// independent 4-lane states go through *fused* rounds, so their
+    /// S-box circuits overlap in the CPU's out-of-order window instead of
+    /// running back to back.
+    #[inline]
+    fn with_states<const N: usize>(
+        &self,
+        blocks: &mut [[u8; 16]],
+        f: impl Fn(&Self, &mut [[u64; 8]; N]),
+    ) {
+        let mut qs = [[0u64; 8]; N];
+        for (group, q) in blocks.chunks(SOFT_LANES).zip(qs.iter_mut()) {
+            *q = Self::load_state(group);
+        }
+        f(self, &mut qs);
+        for (group, q) in blocks.chunks_mut(SOFT_LANES).zip(qs.iter()) {
+            Self::store_state(*q, group);
+        }
+    }
+
+    /// Encrypts 1–[`super::aes::PARALLEL_BLOCKS`] blocks in place.
+    pub(crate) fn encrypt_lanes(&self, blocks: &mut [[u8; 16]]) {
+        debug_assert!(!blocks.is_empty() && blocks.len() <= 4 * SOFT_LANES);
+        match blocks.len().div_ceil(SOFT_LANES) {
+            1 => self.with_states::<1>(blocks, Self::encrypt_core),
+            2 => self.with_states::<2>(blocks, Self::encrypt_core),
+            3 => self.with_states::<3>(blocks, Self::encrypt_core),
+            _ => self.with_states::<4>(blocks, Self::encrypt_core),
+        }
+    }
+
+    /// Decrypts 1–[`super::aes::PARALLEL_BLOCKS`] blocks in place.
+    pub(crate) fn decrypt_lanes(&self, blocks: &mut [[u8; 16]]) {
+        debug_assert!(!blocks.is_empty() && blocks.len() <= 4 * SOFT_LANES);
+        match blocks.len().div_ceil(SOFT_LANES) {
+            1 => self.with_states::<1>(blocks, Self::decrypt_core),
+            2 => self.with_states::<2>(blocks, Self::decrypt_core),
+            3 => self.with_states::<3>(blocks, Self::decrypt_core),
+            _ => self.with_states::<4>(blocks, Self::decrypt_core),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference S-box derived from the GF(2⁸) definition (test-only; the
+    /// production path never indexes a table).
+    fn derived_sbox() -> [u8; 256] {
+        fn gmul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            for _ in 0..8 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let hi = a & 0x80;
+                a <<= 1;
+                if hi != 0 {
+                    a ^= 0x1b;
+                }
+                b >>= 1;
+            }
+            p
+        }
+        let mut inv = [0u8; 256];
+        for a in 1..=255u8 {
+            for b in 1..=255u8 {
+                if gmul(a, b) == 1 {
+                    inv[a as usize] = b;
+                    break;
+                }
+            }
+        }
+        let mut sbox = [0u8; 256];
+        for (x, s) in sbox.iter_mut().enumerate() {
+            let b = inv[x];
+            *s = b
+                ^ b.rotate_left(1)
+                ^ b.rotate_left(2)
+                ^ b.rotate_left(3)
+                ^ b.rotate_left(4)
+                ^ 0x63;
+        }
+        sbox
+    }
+
+    /// Runs one byte through the bitsliced circuit (lane 0, byte 0).
+    fn circuit_sub(x: u8, inverse: bool) -> u8 {
+        let mut q = [0u64; 8];
+        q[0] = u64::from(x);
+        ortho(&mut q);
+        let mut qs = [q];
+        if inverse {
+            inv_sub_bytes(&mut qs);
+        } else {
+            sub_bytes(&mut qs);
+        }
+        ortho(&mut qs[0]);
+        qs[0][0] as u8
+    }
+
+    #[test]
+    fn circuit_matches_derived_sbox_for_all_bytes() {
+        let sbox = derived_sbox();
+        for x in 0..=255u8 {
+            assert_eq!(circuit_sub(x, false), sbox[x as usize], "S({x:#04x})");
+            assert_eq!(circuit_sub(sbox[x as usize], true), x, "S^-1(S({x:#04x}))");
+        }
+    }
+
+    #[test]
+    fn ortho_roundtrips() {
+        let mut q = [0u64; 8];
+        for (i, x) in q.iter_mut().enumerate() {
+            *x = 0x0123_4567_89AB_CDEFu64.rotate_left(i as u32 * 7) ^ i as u64;
+        }
+        let orig = q;
+        ortho(&mut q);
+        ortho(&mut q);
+        assert_eq!(q, orig);
+    }
+
+    #[test]
+    fn interleave_roundtrips() {
+        let w = [0xDEAD_BEEF, 0x0123_4567, 0x89AB_CDEF, 0x5555_AAAA];
+        let (lo, hi) = interleave_in(&w);
+        assert_eq!(interleave_out(lo, hi), w);
+    }
+
+    #[test]
+    fn shift_rows_inverts() {
+        let mut q = [0u64; 8];
+        for (i, x) in q.iter_mut().enumerate() {
+            *x = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1);
+        }
+        let orig = q;
+        let mut qs = [q];
+        shift_rows(&mut qs);
+        assert_ne!(qs[0], orig);
+        inv_shift_rows(&mut qs);
+        assert_eq!(qs[0], orig);
+    }
+
+    #[test]
+    fn mix_columns_pow4_is_identity() {
+        let mut q = [0u64; 8];
+        for (i, x) in q.iter_mut().enumerate() {
+            *x = 0xA076_1D64_78BD_642Fu64.rotate_right(i as u32 * 5);
+        }
+        let orig = q;
+        let mut qs = [q];
+        for _ in 0..4 {
+            mix_columns(&mut qs);
+        }
+        assert_eq!(qs[0], orig, "c(x)^4 = 1 over GF(2^8)[x]/(x^4+1)");
+    }
+}

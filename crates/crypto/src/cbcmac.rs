@@ -35,6 +35,15 @@ pub fn cbc_mac_block<C: BlockCipher>(cipher: &C, block: &Block) -> Block {
     state
 }
 
+/// Single-block CBC-MAC over many independent inputs at once: `blocks[i]`
+/// is replaced by its tag. One [`BlockCipher::encrypt_blocks`] sweep —
+/// this is how the border router authenticates a whole burst's EphIDs
+/// (each EphID MACs exactly one fixed block, so a burst is embarrassingly
+/// parallel).
+pub fn cbc_mac_block_many<C: BlockCipher>(cipher: &C, blocks: &mut [Block]) {
+    cipher.encrypt_blocks(blocks);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@
 //! while remaining a pure AES construction ("forwarding devices perform only
 //! symmetric cryptographic operations", §IV design choice 3).
 
-use crate::aes::{Aes128, Block, BlockCipher, BLOCK_LEN};
+use crate::aes::{Aes128, Block, BlockCipher, BLOCK_LEN, PARALLEL_BLOCKS};
 use crate::ct::ct_eq;
 
 /// Doubling in GF(2¹²⁸) with the CMAC reduction constant.
@@ -101,6 +101,128 @@ impl CmacAes128 {
         let full = self.mac(msg);
         ct_eq(&full[..tag.len()], tag)
     }
+
+    /// Computes the CMAC tag of many *independent* messages at once.
+    ///
+    /// A single CMAC chain is inherently serial (each block's cipher call
+    /// depends on the previous one), so the only way to keep the batched
+    /// AES backends fed is across messages: up to [`PARALLEL_BLOCKS`]
+    /// chains advance in lock step, one lane per message, and each
+    /// [`BlockCipher::encrypt_blocks`] call carries one chaining step of
+    /// every still-active lane. This is how the border router verifies a
+    /// burst's per-packet MACs (§V-B2) without serializing on the cipher.
+    ///
+    /// The result is bit-identical to calling [`CmacAes128::mac`] per
+    /// message (the equivalence proptest pins this).
+    #[must_use]
+    pub fn mac_many(&self, msgs: &[&[u8]]) -> Vec<Block> {
+        let mut out = vec![[0u8; BLOCK_LEN]; msgs.len()];
+        for (group, tags) in msgs
+            .chunks(PARALLEL_BLOCKS)
+            .zip(out.chunks_mut(PARALLEL_BLOCKS))
+        {
+            self.mac_lanes(group, tags);
+        }
+        out
+    }
+
+    /// One lock-step group of at most [`PARALLEL_BLOCKS`] CMAC chains.
+    fn mac_lanes(&self, msgs: &[&[u8]], tags: &mut [Block]) {
+        // Number of chaining steps per lane: empty messages still consume
+        // one (padded) block, as in the scalar path.
+        let steps: Vec<usize> = msgs
+            .iter()
+            .map(|m| m.len().div_ceil(BLOCK_LEN).max(1))
+            .collect();
+        let max_steps = steps.iter().copied().max().unwrap_or(0);
+        let mut states = [[0u8; BLOCK_LEN]; PARALLEL_BLOCKS];
+        for step in 0..max_steps {
+            for (lane, msg) in msgs.iter().enumerate() {
+                if step >= steps[lane] {
+                    continue; // lane already finished; its state is parked
+                }
+                let state = &mut states[lane];
+                if step + 1 < steps[lane] {
+                    // Interior block: plain chain XOR.
+                    for (s, b) in state
+                        .iter_mut()
+                        .zip(msg[step * BLOCK_LEN..(step + 1) * BLOCK_LEN].iter())
+                    {
+                        *s ^= b;
+                    }
+                } else {
+                    // Final block: k1 tweak if complete, pad + k2 if not.
+                    let tail = &msg[step * BLOCK_LEN..];
+                    if tail.len() == BLOCK_LEN {
+                        for ((s, b), k) in state.iter_mut().zip(tail.iter()).zip(self.k1.iter()) {
+                            *s ^= b ^ k;
+                        }
+                    } else {
+                        let mut last = [0u8; BLOCK_LEN];
+                        last[..tail.len()].copy_from_slice(tail);
+                        last[tail.len()] = 0x80;
+                        for ((s, b), k) in state.iter_mut().zip(last.iter()).zip(self.k2.iter()) {
+                            *s ^= b ^ k;
+                        }
+                    }
+                }
+            }
+            // Advance every lane that still has work; lanes whose chain
+            // just consumed its final block produce their tag here. When
+            // message lengths are skewed, finished lanes are compacted
+            // out of the cipher call instead of being re-encrypted as
+            // padding — the gather/scatter only runs on skewed groups,
+            // so the common equal-length burst stays copy-free.
+            let active: Vec<usize> = steps
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| step < s)
+                .map(|(lane, _)| lane)
+                .collect();
+            let contiguous = active.last().map(|&l| l + 1) == Some(active.len());
+            if contiguous {
+                self.cipher.encrypt_blocks(&mut states[..active.len()]);
+            } else {
+                let mut work = [[0u8; BLOCK_LEN]; PARALLEL_BLOCKS];
+                for (w, &lane) in work.iter_mut().zip(active.iter()) {
+                    *w = states[lane];
+                }
+                self.cipher.encrypt_blocks(&mut work[..active.len()]);
+                for (w, &lane) in work.iter().zip(active.iter()) {
+                    states[lane] = *w;
+                }
+            }
+            for (lane, &s) in steps.iter().enumerate() {
+                if step + 1 == s {
+                    tags[lane] = states[lane];
+                }
+            }
+        }
+    }
+
+    /// Batched [`CmacAes128::verify`]: one constant-time comparison per
+    /// `(message, tag)` pair, with the tags computed via [`mac_many`].
+    ///
+    /// # Panics
+    /// When `msgs` and `tags` differ in length. This is a verification
+    /// API: silently truncating to the shorter side would let the extra
+    /// messages through unverified, so the contract is enforced in
+    /// release builds too.
+    ///
+    /// [`mac_many`]: CmacAes128::mac_many
+    #[must_use]
+    pub fn verify_many(&self, msgs: &[&[u8]], tags: &[&[u8]]) -> Vec<bool> {
+        assert_eq!(
+            msgs.len(),
+            tags.len(),
+            "verify_many needs one tag per message"
+        );
+        let full = self.mac_many(msgs);
+        full.iter()
+            .zip(tags.iter())
+            .map(|(f, t)| !t.is_empty() && t.len() <= BLOCK_LEN && ct_eq(&f[..t.len()], t))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +304,40 @@ mod tests {
         assert!(!c.verify(b"another packet", &tag));
         assert!(!c.verify(msg, &[]));
         assert!(!c.verify(msg, &[0u8; 17]));
+    }
+
+    #[test]
+    fn mac_many_matches_scalar_on_mixed_lengths() {
+        // Lengths chosen to cross every lane case: empty, partial, exactly
+        // one block, multi-block with complete and partial finals, and
+        // more messages than PARALLEL_BLOCKS so chunking kicks in.
+        let c = rfc_key();
+        let lens = [0usize, 1, 15, 16, 17, 32, 40, 64, 100, 3, 48, 31];
+        let msgs: Vec<Vec<u8>> = lens
+            .iter()
+            .map(|&n| (0..n).map(|i| (i * 7 + n) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let tags = c.mac_many(&refs);
+        assert_eq!(tags.len(), msgs.len());
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(tags[i], c.mac(m), "message {i} (len {})", m.len());
+        }
+    }
+
+    #[test]
+    fn verify_many_accepts_good_and_rejects_bad() {
+        let c = rfc_key();
+        let m1 = b"first packet".to_vec();
+        let m2 = b"second, rather longer packet body spanning blocks".to_vec();
+        let t1: [u8; 8] = c.mac_truncated(&m1);
+        let mut t2: [u8; 8] = c.mac_truncated(&m2);
+        t2[0] ^= 1; // corrupt
+        let verdicts = c.verify_many(
+            &[m1.as_slice(), m2.as_slice(), m1.as_slice()],
+            &[&t1, &t2, &[]],
+        );
+        assert_eq!(verdicts, vec![true, false, false]);
     }
 
     #[test]

@@ -12,20 +12,41 @@
 //! The counter is the full 16-byte block interpreted as a big-endian
 //! integer, incremented once per keystream block.
 
-use crate::aes::{Block, BlockCipher, BLOCK_LEN};
+use crate::aes::{Block, BlockCipher, BLOCK_LEN, PARALLEL_BLOCKS};
 
 /// XORs the CTR keystream for `initial_counter` into `data`
 /// (encrypt == decrypt).
+///
+/// Counter blocks are independent, so the keystream is produced
+/// [`PARALLEL_BLOCKS`] blocks per [`BlockCipher::encrypt_blocks`] call —
+/// CTR is the mode where the batched backends pay off even within a
+/// single message.
 pub fn apply_keystream<C: BlockCipher>(cipher: &C, initial_counter: &Block, data: &mut [u8]) {
     let mut counter = u128::from_be_bytes(*initial_counter);
-    for chunk in data.chunks_mut(BLOCK_LEN) {
-        let mut ks = counter.to_be_bytes();
-        cipher.encrypt_block(&mut ks);
-        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
-            *d ^= k;
+    for group in data.chunks_mut(BLOCK_LEN * PARALLEL_BLOCKS) {
+        let nblocks = group.len().div_ceil(BLOCK_LEN);
+        let mut ks = [[0u8; BLOCK_LEN]; PARALLEL_BLOCKS];
+        for k in ks.iter_mut().take(nblocks) {
+            *k = counter.to_be_bytes();
+            counter = counter.wrapping_add(1);
         }
-        counter = counter.wrapping_add(1);
+        cipher.encrypt_blocks(&mut ks[..nblocks]);
+        for (chunk, k) in group.chunks_mut(BLOCK_LEN).zip(ks.iter()) {
+            for (d, kb) in chunk.iter_mut().zip(k.iter()) {
+                *d ^= kb;
+            }
+        }
     }
+}
+
+/// Fills `out[i]` with the single keystream block for `counters[i]` — the
+/// many-messages-at-once shape the batched EphID open/seal path needs
+/// (each EphID consumes exactly one keystream block under its own counter
+/// block).
+pub fn keystream_blocks<C: BlockCipher>(cipher: &C, counters: &[Block], out: &mut Vec<Block>) {
+    out.clear();
+    out.extend_from_slice(counters);
+    cipher.encrypt_blocks(out);
 }
 
 /// Builds the EphID counter block of Fig. 6: `IV (4 B) ‖ 0¹²`.
@@ -96,6 +117,48 @@ mod tests {
         apply_keystream(&cipher, &ephid_counter_block([0, 0, 0, 1]), &mut a);
         apply_keystream(&cipher, &ephid_counter_block([0, 0, 0, 2]), &mut b);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batched_keystream_matches_block_at_a_time_reference() {
+        // The PARALLEL_BLOCKS grouping must be invisible: compare against
+        // a scalar reference across lengths that land on every group/block
+        // boundary (empty, partial block, exact group, group + 1, ...).
+        let cipher = Aes128::new(&[0x42u8; 16]);
+        let counter = [0xFEu8; 16]; // wraps mid-stream for long inputs
+        for len in [0, 1, 15, 16, 17, 127, 128, 129, 300] {
+            let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut batched = msg.clone();
+            apply_keystream(&cipher, &counter, &mut batched);
+            // Scalar reference: one encrypt_block per counter value.
+            let mut reference = msg.clone();
+            let mut ctr = u128::from_be_bytes(counter);
+            for chunk in reference.chunks_mut(BLOCK_LEN) {
+                let mut ks = ctr.to_be_bytes();
+                cipher.encrypt_block(&mut ks);
+                for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                    *d ^= k;
+                }
+                ctr = ctr.wrapping_add(1);
+            }
+            assert_eq!(batched, reference, "len {len}");
+        }
+    }
+
+    #[test]
+    fn keystream_blocks_matches_single_block_ctr() {
+        let cipher = Aes128::new(&[5u8; 16]);
+        let counters: Vec<Block> = (0..11u32)
+            .map(|i| ephid_counter_block(i.to_be_bytes()))
+            .collect();
+        let mut out = Vec::new();
+        keystream_blocks(&cipher, &counters, &mut out);
+        assert_eq!(out.len(), counters.len());
+        for (c, ks) in counters.iter().zip(out.iter()) {
+            let mut solo = [0u8; BLOCK_LEN];
+            apply_keystream(&cipher, c, &mut solo);
+            assert_eq!(&solo, ks);
+        }
     }
 
     #[test]

@@ -75,7 +75,19 @@ impl AesGcm128 {
     /// Creates an AEAD instance from a 16-byte key.
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
-        let cipher = Aes128::new(key);
+        Self::with_cipher(Aes128::new(key))
+    }
+
+    /// [`AesGcm128::new`] pinned to the bitsliced software backend —
+    /// for backend cross-check tests and benches, which must not reach
+    /// for the process-global `APNA_SOFT_AES` switch (mutating the
+    /// environment races with concurrent cipher constructions).
+    #[must_use]
+    pub fn new_software(key: &[u8; 16]) -> Self {
+        Self::with_cipher(Aes128::new_software(key))
+    }
+
+    fn with_cipher(cipher: Aes128) -> Self {
         let mut h = [0u8; 16];
         cipher.encrypt_block(&mut h);
         AesGcm128 {
@@ -93,14 +105,23 @@ impl AesGcm128 {
     }
 
     /// CTR with 32-bit wrapping increment in the low word (GCM's inc32).
+    /// Keystream blocks are independent, so they are produced
+    /// [`PARALLEL_BLOCKS`]-wide through the batched cipher backend.
     fn ctr32(&self, mut counter: u128, data: &mut [u8]) {
-        for chunk in data.chunks_mut(16) {
-            let low = (counter as u32).wrapping_add(1);
-            counter = (counter & !0xffff_ffffu128) | low as u128;
-            let mut ks: Block = counter.to_be_bytes();
-            self.cipher.encrypt_block(&mut ks);
-            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
-                *d ^= k;
+        use crate::aes::PARALLEL_BLOCKS;
+        for group in data.chunks_mut(16 * PARALLEL_BLOCKS) {
+            let nblocks = group.len().div_ceil(16);
+            let mut ks = [[0u8; 16]; PARALLEL_BLOCKS];
+            for k in ks.iter_mut().take(nblocks) {
+                let low = (counter as u32).wrapping_add(1);
+                counter = (counter & !0xffff_ffffu128) | u128::from(low);
+                *k = counter.to_be_bytes();
+            }
+            self.cipher.encrypt_blocks(&mut ks[..nblocks]);
+            for (chunk, k) in group.chunks_mut(16).zip(ks.iter()) {
+                for (d, kb) in chunk.iter_mut().zip(k.iter()) {
+                    *d ^= kb;
+                }
             }
         }
     }

@@ -9,9 +9,12 @@
 //! that would need hand-rolling regardless. This crate therefore implements
 //! every primitive the architecture needs:
 //!
-//! * [`aes`] — AES-128/192/256 block cipher (FIPS-197). Tables are *derived*
-//!   at first use from the GF(2⁸) definition rather than transcribed, and
-//!   pinned to the FIPS-197 / SP 800-38A vectors in tests.
+//! * [`aes`] — AES-128/192/256 block cipher (FIPS-197), batched
+//!   ([`aes::BlockCipher::encrypt_blocks`]) and constant-time on both of
+//!   its backends: runtime-detected AES-NI on x86_64, and a bitsliced
+//!   Boyar–Peralta software core everywhere else (no secret-indexed table
+//!   lookup survives anywhere in this crate's AES path). Pinned to the
+//!   FIPS-197 / SP 800-38A vectors in tests, through the multi-block lanes.
 //! * [`ctr`] — AES counter mode (SP 800-38A), used for EphID encryption.
 //! * [`cbcmac`] — fixed-input-length CBC-MAC, used for the 4-byte EphID tag
 //!   (secure only for fixed-length inputs; the API enforces one block).
@@ -27,14 +30,21 @@
 //! ## Security posture
 //!
 //! This is a research reproduction: the implementations favor clarity and
-//! auditability. Secret-dependent table lookups (AES S-box) are *not*
-//! cache-hardened; scalar multiplication uses masked constant-time selects
-//! but no further side-channel hardening. Do not reuse outside simulation.
+//! auditability. AES is constant-time on both backends (bitsliced circuit
+//! or AES-NI — no secret-dependent table index or branch); scalar
+//! multiplication uses masked constant-time selects but no further
+//! side-channel hardening. Do not reuse outside simulation.
+//!
+//! `unsafe` is denied crate-wide and allowed in exactly one module: the
+//! AES-NI intrinsics behind runtime feature detection.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
+#[cfg(target_arch = "x86_64")]
+mod aes_ni;
+mod aes_soft;
 pub mod cbcmac;
 pub mod cmac;
 pub mod ct;
@@ -50,7 +60,7 @@ pub mod x25519;
 mod field25519;
 mod scalar25519;
 
-pub use aes::{Aes128, Aes192, Aes256, BlockCipher, BLOCK_LEN};
+pub use aes::{Aes128, Aes192, Aes256, BlockCipher, BLOCK_LEN, PARALLEL_BLOCKS};
 pub use ed25519::{Signature, SigningKey, VerifyingKey};
 pub use gcm::AesGcm128;
 pub use x25519::{x25519, PublicKey, SharedSecret, StaticSecret, X25519_BASEPOINT};

@@ -41,6 +41,10 @@ struct DnsMapping {
     record: DnsRecord,
 }
 
+// `Established` carries the expanded AEAD schedules of the session (the
+// bitsliced software key schedule made `Aes128` larger); boxing it would
+// cost a pointer chase on every translated data packet.
+#[allow(clippy::large_enum_variant)]
 enum FlowState {
     AwaitingAccept {
         pending: PendingClient,

@@ -43,7 +43,8 @@ pub use adversary::{Adversary, AdversaryAction, FnAdversary, FrameKind, Targeted
 pub use clock::SimTime;
 pub use link::{FaultProfile, Link};
 pub use network::{
-    ControlDelivered, DeliveredPacket, Network, NetworkEvent, PacketFate, RetryPolicy,
+    ControlDelivered, DeliveredPacket, Network, NetworkEvent, PacketFate, RetryPolicies,
+    RetryPolicy,
 };
 pub use scenario::{Scenario, ScenarioConfig, ScenarioReport};
 pub use topology::Topology;

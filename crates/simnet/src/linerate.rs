@@ -103,6 +103,56 @@ impl LineRateModel {
     }
 }
 
+/// A measured per-packet cost curve over packet sizes, labeled with the
+/// crypto backend that produced it — the record `apna-bench` keeps for
+/// each substrate (AES-NI, bitsliced software, and the table-AES numbers
+/// of the committed pre-batching baseline) so E2/E3 tables can diff
+/// before/after against the paper's 120 ns budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerPacketCurve {
+    /// Backend name: `"aes-ni"`, `"soft-bitsliced"`, or a baseline label.
+    pub backend: String,
+    /// `(packet size in bytes, seconds per packet)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl PerPacketCurve {
+    /// Builds a labeled curve.
+    #[must_use]
+    pub fn new(backend: impl Into<String>, points: Vec<(usize, f64)>) -> PerPacketCurve {
+        PerPacketCurve {
+            backend: backend.into(),
+            points,
+        }
+    }
+
+    /// The measured per-packet seconds at `size`, if that size was run.
+    #[must_use]
+    pub fn secs_at(&self, size: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(s, _)| s == size)
+            .map(|&(_, secs)| secs)
+    }
+
+    /// How many times cheaper this curve is than `baseline` at `size`
+    /// (`> 1` means faster). `None` when either curve misses the size.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &PerPacketCurve, size: usize) -> Option<f64> {
+        Some(baseline.secs_at(size)? / self.secs_at(size)?)
+    }
+
+    /// Runs every point through the paper-testbed throughput model — the
+    /// Fig. 8 curve this backend would support.
+    #[must_use]
+    pub fn modeled(&self) -> Vec<ThroughputPoint> {
+        self.points
+            .iter()
+            .map(|&(size, secs)| LineRateModel::paper_testbed(secs).throughput(size))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +233,20 @@ mod tests {
         let faster =
             LineRateModel::paper_testbed(LineRateModel::per_packet_from_batch(32.0 * 500e-9, 64));
         assert!((faster.cpu_rate_pps() / scalar.cpu_rate_pps() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_packet_curve_speedup_and_model() {
+        let baseline = PerPacketCurve::new("table", vec![(512, 6.3e-6), (128, 2.0e-6)]);
+        let fast = PerPacketCurve::new("aes-ni", vec![(512, 4.2e-7)]);
+        assert_eq!(baseline.secs_at(512), Some(6.3e-6));
+        assert_eq!(fast.secs_at(128), None);
+        let s = fast.speedup_over(&baseline, 512).unwrap();
+        assert!((s - 15.0).abs() < 0.1, "speedup {s}");
+        assert_eq!(fast.speedup_over(&baseline, 128), None);
+        let modeled = baseline.modeled();
+        assert_eq!(modeled.len(), 2);
+        assert!(!modeled[0].line_limited, "6.3 µs/pkt is CPU-bound");
     }
 
     #[test]

@@ -135,12 +135,22 @@ pub struct NetStats {
 /// request (every control protocol is idempotent at the service side), up
 /// to `max_attempts` sends or `deadline_us` of simulated time — whichever
 /// bites first.
+///
+/// Waits between attempts grow **exponentially** with **deterministic
+/// seeded jitter** ([`RetryPolicy::backoff_for`]): a fixed backoff makes
+/// every host that lost the same congested exchange resend in the same
+/// simulated microsecond — a self-sustaining retry storm. Doubling spreads
+/// load over time; jitter decorrelates the herd; seeding keeps the chaos
+/// suite byte-for-byte reproducible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total sends allowed per RPC (1 = the pre-retry behavior).
     pub max_attempts: u32,
-    /// Simulated-time backoff between attempts, microseconds.
-    pub backoff_us: u64,
+    /// Center of the *first* retry wait, microseconds; each further retry
+    /// doubles it.
+    pub base_backoff_us: u64,
+    /// Exponential growth cap, microseconds.
+    pub max_backoff_us: u64,
     /// Give up once this much simulated time has elapsed since the first
     /// send, even with attempts left.
     pub deadline_us: u64,
@@ -150,10 +160,21 @@ impl Default for RetryPolicy {
     fn default() -> RetryPolicy {
         RetryPolicy {
             max_attempts: 4,
-            backoff_us: 250_000,
+            base_backoff_us: 250_000,
+            max_backoff_us: 2_000_000,
             deadline_us: 10_000_000,
         }
     }
+}
+
+/// SplitMix64: the deterministic jitter stream behind
+/// [`RetryPolicy::backoff_for`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
@@ -163,6 +184,103 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             ..RetryPolicy::default()
+        }
+    }
+
+    /// Uniform backoff (no growth, no jitter) — for tests that need exact
+    /// wait arithmetic.
+    #[must_use]
+    pub fn fixed(max_attempts: u32, backoff_us: u64, deadline_us: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff_us: backoff_us,
+            max_backoff_us: backoff_us,
+            deadline_us,
+        }
+    }
+
+    /// The wait before retry number `retry` (1-based): exponential growth
+    /// `base · 2^(retry-1)` capped at `max_backoff_us`, then "equal
+    /// jitter" — the wait lands uniformly in `[w/2, w]`, driven by
+    /// `jitter_seed` so identical runs draw identical waits while
+    /// different hosts (different seeds) decollide.
+    #[must_use]
+    pub fn backoff_for(&self, retry: u32, jitter_seed: u64) -> u64 {
+        let exp = retry.saturating_sub(1).min(20);
+        let w = self
+            .base_backoff_us
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_us.max(self.base_backoff_us))
+            .max(1);
+        let half = w / 2;
+        // No jitter when growth is disabled (fixed policies want exact
+        // waits); otherwise uniform in [w/2, w].
+        if self.base_backoff_us == self.max_backoff_us {
+            w
+        } else {
+            half + splitmix64(jitter_seed) % (w - half + 1)
+        }
+    }
+}
+
+/// Per-[`ControlKind`] retry policies: one knob per control protocol,
+/// because their stakes differ — a lost `ShutoffAck` means an attack keeps
+/// landing (§IV-E wants persistence), while a lost `DnsAck` only delays a
+/// republication the zone converges to anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicies {
+    /// Baseline: EphID issuance and everything without an override.
+    pub default_policy: RetryPolicy,
+    /// Shut-off requests: more attempts, longer deadline.
+    pub shutoff: RetryPolicy,
+    /// DNS register/update: fewer attempts, shorter deadline.
+    pub dns: RetryPolicy,
+}
+
+impl Default for RetryPolicies {
+    fn default() -> RetryPolicies {
+        RetryPolicies {
+            default_policy: RetryPolicy::default(),
+            shutoff: RetryPolicy {
+                max_attempts: 7,
+                base_backoff_us: 250_000,
+                max_backoff_us: 4_000_000,
+                deadline_us: 30_000_000,
+            },
+            dns: RetryPolicy {
+                max_attempts: 3,
+                base_backoff_us: 250_000,
+                max_backoff_us: 1_000_000,
+                deadline_us: 5_000_000,
+            },
+        }
+    }
+}
+
+impl RetryPolicies {
+    /// The same policy for every kind.
+    #[must_use]
+    pub fn uniform(policy: RetryPolicy) -> RetryPolicies {
+        RetryPolicies {
+            default_policy: policy,
+            shutoff: policy,
+            dns: policy,
+        }
+    }
+
+    /// No retries anywhere.
+    #[must_use]
+    pub fn single_shot() -> RetryPolicies {
+        RetryPolicies::uniform(RetryPolicy::single_shot())
+    }
+
+    /// The policy governing an RPC whose *request* is of `kind`.
+    #[must_use]
+    pub fn policy_for(&self, kind: ControlKind) -> &RetryPolicy {
+        match kind {
+            ControlKind::ShutoffRequest | ControlKind::ShutoffAck => &self.shutoff,
+            ControlKind::DnsRegister | ControlKind::DnsUpdate | ControlKind::DnsAck => &self.dns,
+            _ => &self.default_policy,
         }
     }
 }
@@ -267,8 +385,11 @@ pub struct Network {
     pub link_seed_salt: u64,
     /// Aggregate counters.
     pub stats: NetStats,
-    /// Deadline + retry policy for [`Network::control_rpc`].
-    pub retry_policy: RetryPolicy,
+    /// Per-kind deadline + retry policies for [`Network::control_rpc`].
+    pub retry_policy: RetryPolicies,
+    /// Monotone RPC counter: mixed with [`Network::link_seed_salt`] into
+    /// the deterministic retry-jitter stream.
+    rpc_seq: u64,
     /// Latency for host↔BR delivery inside an AS, microseconds.
     pub intra_as_latency_us: u64,
 }
@@ -296,7 +417,8 @@ impl Network {
             adversary: None,
             link_seed_salt: 0,
             stats: NetStats::default(),
-            retry_policy: RetryPolicy::default(),
+            retry_policy: RetryPolicies::default(),
+            rpc_seq: 0,
             intra_as_latency_us: 50,
         }
     }
@@ -755,8 +877,9 @@ impl Network {
     /// Sends one control message from `agent` to the service at `dst` as a
     /// real packet, runs the network to quiescence, and returns the parsed
     /// reply. Transport losses (a request or reply dropped by faults or an
-    /// on-path adversary) are recovered by resending under
-    /// [`Network::retry_policy`] — retries are counted per request kind in
+    /// on-path adversary) are recovered by resending under the request
+    /// kind's [`RetryPolicy`] (exponential backoff, deterministic seeded
+    /// jitter) — retries are counted per request kind in
     /// [`NetStats::control_retries`]. Exhausting the budget yields
     /// [`Error::ControlTimeout`]; protocol refusals (the service said no)
     /// surface immediately as their typed error.
@@ -775,6 +898,15 @@ impl Network {
             .retain(|d| !Self::matches_control_reply(&d.bytes, mode, ctrl, dst));
 
         let kind = msg.kind();
+        let policy = *self.retry_policy.policy_for(kind);
+        // One jitter stream per RPC, salted per scenario seed: identical
+        // runs draw identical waits; concurrent RPCs (distinct rpc_seq)
+        // decollide instead of re-flooding the same microsecond.
+        self.rpc_seq += 1;
+        let jitter_base = self
+            .link_seed_salt
+            .wrapping_add(self.rpc_seq.wrapping_mul(0xA076_1D64_78BD_642F))
+            .wrapping_add(kind as u64);
         let start = self.now;
         let mut attempt = 0u32;
         loop {
@@ -784,14 +916,14 @@ impl Network {
                 Err(RpcFailure::Fatal(e)) => return Err(e),
                 Err(RpcFailure::Transport) => {
                     let elapsed = self.now.micros().saturating_sub(start.micros());
-                    if attempt >= self.retry_policy.max_attempts
-                        || elapsed >= self.retry_policy.deadline_us
-                    {
+                    if attempt >= policy.max_attempts || elapsed >= policy.deadline_us {
                         self.stats.control_rpc_failures += 1;
                         return Err(Error::ControlTimeout { attempts: attempt });
                     }
                     self.stats.control_retries.record(kind);
-                    let resume = self.now.add_micros(self.retry_policy.backoff_us);
+                    let wait =
+                        policy.backoff_for(attempt, jitter_base.wrapping_add(attempt.into()));
+                    let resume = self.now.add_micros(wait);
                     self.advance_to(resume);
                 }
             }
@@ -1493,16 +1625,52 @@ mod tests {
         assert_eq!(net.stats.control_rejected, 1);
         assert_eq!(net.stats.control_delivered.total(), 0);
         // An RPC against it is resent (a silent drop is indistinguishable
-        // from loss), then surfaces as a typed timeout.
+        // from loss), then surfaces as a typed timeout. DNS-kind requests
+        // run under the *per-kind* policy: 3 attempts, not the default 4.
         let msg = ControlMsg::DnsAck { name: "x".into() };
         let err = net.control_rpc(&mut alice, dst, &msg).unwrap_err();
-        assert_eq!(err, Error::ControlTimeout { attempts: 4 });
-        assert_eq!(net.stats.control_retries.count(ControlKind::DnsAck), 3);
+        assert_eq!(err, Error::ControlTimeout { attempts: 3 });
+        assert_eq!(net.stats.control_retries.count(ControlKind::DnsAck), 2);
         assert_eq!(net.stats.control_rpc_failures, 1);
         // With retries disabled the first loss is final.
-        net.retry_policy = RetryPolicy::single_shot();
+        net.retry_policy = RetryPolicies::single_shot();
         let err = net.control_rpc(&mut alice, dst, &msg).unwrap_err();
         assert_eq!(err, Error::ControlTimeout { attempts: 1 });
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let p = RetryPolicy::default(); // base 250 ms, cap 2 s
+        for retry in 1..=6u32 {
+            let w = p.backoff_for(retry, 42);
+            let nominal = (250_000u64 << (retry - 1)).min(2_000_000);
+            assert!(
+                w >= nominal / 2 && w <= nominal,
+                "retry {retry}: wait {w} outside [{}, {nominal}]",
+                nominal / 2
+            );
+        }
+        // Same seed ⇒ same wait (chaos determinism); different seeds must
+        // be able to decollide (the anti-retry-storm property).
+        assert_eq!(p.backoff_for(3, 7), p.backoff_for(3, 7));
+        let distinct: std::collections::HashSet<u64> =
+            (0..16u64).map(|s| p.backoff_for(3, s)).collect();
+        assert!(distinct.len() > 1, "jitter never varies");
+        // `fixed` keeps exact waits for arithmetic-sensitive tests.
+        let f = RetryPolicy::fixed(5, 100_000, 1_000_000);
+        assert_eq!(f.backoff_for(1, 9), 100_000);
+        assert_eq!(f.backoff_for(4, 1), 100_000);
+    }
+
+    #[test]
+    fn per_kind_policies_shutoff_more_persistent_than_dns() {
+        let p = RetryPolicies::default();
+        let shutoff = p.policy_for(ControlKind::ShutoffRequest);
+        let dns = p.policy_for(ControlKind::DnsRegister);
+        assert!(shutoff.max_attempts > dns.max_attempts);
+        assert!(shutoff.deadline_us > dns.deadline_us);
+        assert_eq!(p.policy_for(ControlKind::EphIdRequest), &p.default_policy);
+        assert_eq!(p.policy_for(ControlKind::DnsUpdate), &p.dns);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::clock::SimTime;
 use crate::link::FaultProfile;
-use crate::network::{Network, RetryPolicy};
+use crate::network::{Network, RetryPolicies};
 use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::border::DropReason;
 use apna_core::control::ControlMsg;
@@ -31,6 +31,8 @@ use apna_core::ephid;
 use apna_core::granularity::Granularity;
 use apna_core::time::ExpiryClass;
 use apna_core::Error;
+use apna_crypto::ed25519::SigningKey;
+use apna_dns::DnsServer;
 use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr, ReplayMode};
 use std::collections::{HashMap, HashSet};
 
@@ -58,13 +60,20 @@ pub struct ScenarioConfig {
     pub faults: FaultProfile,
     /// Replay-protection mode for the whole deployment.
     pub replay_mode: ReplayMode,
-    /// Deadline/retry policy for all control RPCs.
-    pub retry_policy: RetryPolicy,
+    /// Per-kind deadline/retry policies for all control RPCs.
+    pub retry_policy: RetryPolicies,
     /// If set, at this tick the receiver of flow 0 files a shut-off
     /// against its sender's current EphID (using the latest delivered
     /// packet as evidence) — the stickiness invariant is asserted from
     /// then on.
     pub shutoff_at_tick: Option<u64>,
+    /// Receiver-identity rotation cadence, in ticks (`Some(k)` ⇒ every k
+    /// ticks each host acquires a fresh receive EphID and re-publishes its
+    /// DNS name over the wire with a `DnsUpdate` authorized by the
+    /// currently published certificate — the §VII-A lifecycle). Senders
+    /// resolve the receiver's *current* address from the zone before each
+    /// send, so a long-lived flow hops identities mid-stream.
+    pub receiver_rotation_ticks: Option<u64>,
 }
 
 impl Default for ScenarioConfig {
@@ -79,8 +88,9 @@ impl Default for ScenarioConfig {
             refresh_margin_secs: 90,
             faults: FaultProfile::lossless(),
             replay_mode: ReplayMode::Disabled,
-            retry_policy: RetryPolicy::default(),
+            retry_policy: RetryPolicies::default(),
             shutoff_at_tick: None,
+            receiver_rotation_ticks: Some(2),
         }
     }
 }
@@ -122,6 +132,9 @@ pub struct ScenarioReport {
     pub data_delivered: u64,
     /// EphID rotations performed by ticking `refresh_expiring`.
     pub refreshes: u64,
+    /// Receiver-identity rotations published over the wire (`DnsUpdate`
+    /// RPCs that the zone acknowledged).
+    pub receiver_rotations: u64,
     /// Control-RPC retries (sum over kinds).
     pub rpc_retries: u64,
     /// Delivered packets that failed the accountability check — must be 0.
@@ -151,8 +164,15 @@ pub struct Scenario {
     cfg: ScenarioConfig,
     net: Network,
     agents: Vec<HostAgent>,
-    /// Receiver address of each agent (long-lived receive EphID).
+    /// Receiver address of each agent (its *currently published* receive
+    /// EphID; updated on every wire-driven rotation).
     recv_addrs: Vec<HostAddr>,
+    /// Owned-EphID index of each agent's current receive identity (the
+    /// one whose key signs the next `DnsUpdate` — the zone's continuity
+    /// check — and the next shut-off request).
+    recv_idx: Vec<usize>,
+    /// The DNS name each host publishes its receive identity under.
+    dns_names: Vec<String>,
     flows: Vec<Flow>,
     /// Maps a receive EphID to the owning agent index.
     recv_index: HashMap<EphIdBytes, usize>,
@@ -192,10 +212,22 @@ impl Scenario {
         for a in 1..cfg.num_ases as u32 {
             net.connect(Aid(a), Aid(a + 1), 1_000, 10_000_000_000, cfg.faults);
         }
+        // One DNS zone per AS: receiver identities are published (and
+        // rotated) through it over the wire, per §VII-A.
+        for a in 1..=cfg.num_ases as u32 {
+            let mut zone_seed = [0u8; 32];
+            zone_seed[..8]
+                .copy_from_slice(&(cfg.seed ^ u64::from(a).rotate_left(29)).to_le_bytes());
+            zone_seed[8] = 0xD5;
+            zone_seed[9] = a as u8;
+            net.attach_dns(Aid(a), DnsServer::new(SigningKey::from_seed(&zone_seed)));
+        }
 
         let total_hosts = cfg.num_ases * cfg.hosts_per_as;
         let mut agents = Vec::with_capacity(total_hosts);
         let mut recv_addrs = Vec::with_capacity(total_hosts);
+        let mut recv_idx = Vec::with_capacity(total_hosts);
+        let mut dns_names = Vec::with_capacity(total_hosts);
         let mut recv_index = HashMap::new();
         let now = net.now().as_protocol_time();
         for h in 0..total_hosts {
@@ -213,8 +245,14 @@ impl Scenario {
             // sender side, which is what the pool + refresh machinery owns.
             let ri = net.agent_acquire(&mut agent, EphIdUsage::DATA_LONG)?;
             let addr = agent.owned_ephid(ri).addr(aid);
+            // Task 2 of §VII-A: publish the receive identity in the AS's
+            // zone, over the wire, with proof of possession.
+            let name = format!("h{h}.as{}.apna", aid.0);
+            net.agent_dns_register(&mut agent, aid, &name, ri, None)?;
             recv_index.insert(addr.ephid, h);
             recv_addrs.push(addr);
+            recv_idx.push(ri);
+            dns_names.push(name);
             agents.push(agent);
         }
 
@@ -241,6 +279,8 @@ impl Scenario {
             net,
             agents,
             recv_addrs,
+            recv_idx,
+            dns_names,
             flows,
             recv_index,
             revoked: HashSet::new(),
@@ -266,6 +306,7 @@ impl Scenario {
     pub fn run(mut self) -> Result<ScenarioReport, Error> {
         let mut log = Vec::new();
         let mut refreshes = 0u64;
+        let mut receiver_rotations = 0u64;
         let mut unaccountable = 0u64;
         let mut shutoff_violations = 0u64;
         let mut corrupt_discards = 0u64;
@@ -287,6 +328,46 @@ impl Scenario {
             }
             refreshes += tick_refreshes as u64;
 
+            // Receiver-identity rotation (§VII-A lifecycle): on the
+            // configured cadence every host acquires a fresh receive
+            // EphID over the wire and re-publishes its DNS name with a
+            // `DnsUpdate` signed by the *currently published* identity
+            // (the zone's continuity check). Senders pick the new address
+            // up from the zone below, so flows hop identities mid-stream.
+            let mut tick_rotations = 0u64;
+            if let Some(k) = self.cfg.receiver_rotation_ticks {
+                if tick > 0 && tick % k == 0 {
+                    for h in 0..self.agents.len() {
+                        let aid = self.recv_addrs[h].aid;
+                        let agent = &mut self.agents[h];
+                        let new_idx = self.net.agent_acquire(agent, EphIdUsage::DATA_LONG)?;
+                        self.net.agent_dns_update(
+                            agent,
+                            aid,
+                            &self.dns_names[h],
+                            new_idx,
+                            self.recv_idx[h],
+                            None,
+                        )?;
+                        // The new address is what the *zone* now serves —
+                        // resolve it back out rather than trusting local
+                        // state, so the rotation is wire-driven end to end.
+                        let served = self
+                            .net
+                            .dns(aid)
+                            .and_then(|z| z.resolve(&self.dns_names[h]))
+                            .ok_or(Error::ControlRejected("rotated name vanished from zone"))?;
+                        let addr = HostAddr::new(aid, served.cert.ephid);
+                        debug_assert_eq!(addr.ephid, self.agents[h].owned_ephid(new_idx).ephid());
+                        self.recv_index.insert(addr.ephid, h);
+                        self.recv_addrs[h] = addr;
+                        self.recv_idx[h] = new_idx;
+                        tick_rotations += 1;
+                    }
+                }
+            }
+            receiver_rotations += tick_rotations;
+
             // Scheduled shut-off: the receiver of flow 0 files against its
             // sender's current EphID using the latest delivered evidence.
             if self.cfg.shutoff_at_tick == Some(tick) {
@@ -296,8 +377,20 @@ impl Scenario {
                     let aa = HostAddr::new(src_aid, self.net.node(src_aid).aa_endpoint.ephid);
                     // The receiver signs with its receive EphID (index 0 in
                     // its owned list — the first acquisition in build()).
+                    // §IV-E: the victim proves it owns the EphID the
+                    // evidence packet was addressed to. Under receiver
+                    // rotation that is not necessarily the *current*
+                    // receive identity — pick the owned EphID matching
+                    // the evidence's destination.
+                    let owned_idx = ApnaHeader::parse(&evidence, self.cfg.replay_mode)
+                        .ok()
+                        .and_then(|(eh, _)| {
+                            let victim = &self.agents[flow.dst];
+                            (0..victim.ephid_count())
+                                .find(|&i| victim.owned_ephid(i).ephid() == eh.dst.ephid)
+                        })
+                        .unwrap_or(self.recv_idx[flow.dst]);
                     let victim = &mut self.agents[flow.dst];
-                    let owned_idx = 0;
                     let ack = self.net.agent_shutoff(victim, aa, &evidence, owned_idx)?;
                     self.revoked.insert(ack.ephid);
                     shutoff_ephid = Some(ack.ephid);
@@ -398,7 +491,8 @@ impl Scenario {
             }
 
             log.push(format!(
-                "tick {tick} t={} refreshes={tick_refreshes} sent={sent} delivered={delivered}",
+                "tick {tick} t={} refreshes={tick_refreshes} rotations={tick_rotations} \
+                 sent={sent} delivered={delivered}",
                 self.net.now()
             ));
         }
@@ -472,6 +566,7 @@ impl Scenario {
             data_sent,
             data_delivered,
             refreshes,
+            receiver_rotations,
             rpc_retries: self.net.stats.control_retries.total(),
             unaccountable_deliveries: unaccountable,
             linkability_violations,

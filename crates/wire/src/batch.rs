@@ -169,6 +169,56 @@ impl PacketBatch {
     pub fn iter_slots(&self) -> impl Iterator<Item = (usize, ParsedSlot)> + '_ {
         self.slots.iter().copied().enumerate()
     }
+
+    /// Iterates `(index, header, payload)` over every successfully parsed
+    /// packet — the working set of each batched pipeline stage.
+    pub fn parsed(&self) -> impl Iterator<Item = (usize, &ApnaHeader, &[u8])> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| match slot {
+                ParsedSlot::Parsed {
+                    header,
+                    payload_start,
+                } => Some((i, header, &self.packets[i][*payload_start..])),
+                _ => None,
+            })
+    }
+
+    /// Collects the *source* EphIDs of all parsed packets into one
+    /// contiguous array (plus the batch index each came from) — the exact
+    /// shape the multi-block EphID authenticate/decrypt stage hands the
+    /// batched cipher backend.
+    #[must_use]
+    pub fn parsed_src_ephids(&self) -> (Vec<usize>, Vec<crate::types::EphIdBytes>) {
+        let mut idxs = Vec::with_capacity(self.packets.len());
+        let mut ephids = Vec::with_capacity(self.packets.len());
+        for (i, header, _) in self.parsed() {
+            idxs.push(i);
+            ephids.push(header.src.ephid);
+        }
+        (idxs, ephids)
+    }
+
+    /// Like [`PacketBatch::parsed_src_ephids`] but for *destination*
+    /// EphIDs, restricted by `keep` (ingress only decrypts packets
+    /// addressed to the local AS; transit traffic never reaches the
+    /// cipher).
+    #[must_use]
+    pub fn parsed_dst_ephids(
+        &self,
+        mut keep: impl FnMut(&ApnaHeader) -> bool,
+    ) -> (Vec<usize>, Vec<crate::types::EphIdBytes>) {
+        let mut idxs = Vec::with_capacity(self.packets.len());
+        let mut ephids = Vec::with_capacity(self.packets.len());
+        for (i, header, _) in self.parsed() {
+            if keep(header) {
+                idxs.push(i);
+                ephids.push(header.dst.ephid);
+            }
+        }
+        (idxs, ephids)
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use apna_crypto::ed25519::SigningKey;
 use apna_dns::DnsServer;
 use apna_simnet::link::FaultProfile;
 use apna_simnet::scenario::{Scenario, ScenarioConfig};
-use apna_simnet::{Network, RetryPolicy};
+use apna_simnet::{Network, RetryPolicies, RetryPolicy};
 use apna_wire::{Aid, ReplayMode};
 
 /// FNV-1a over the event log: a stable, dependency-free digest.
@@ -48,11 +48,12 @@ fn sweep_point(seed: u64, drop: f64, rpcs: u32) -> (u32, u64, u64) {
         10_000_000_000,
         FaultProfile::lossy(drop, 0.0),
     );
-    net.retry_policy = RetryPolicy {
+    net.retry_policy = RetryPolicies::uniform(RetryPolicy {
         max_attempts: 6,
-        backoff_us: 200_000,
+        base_backoff_us: 200_000,
+        max_backoff_us: 1_600_000,
         deadline_us: 30_000_000,
-    };
+    });
     net.attach_dns(Aid(2), DnsServer::new(SigningKey::from_seed(&[0xD7; 32])));
     let mut alice = HostAgent::attach(
         net.node(Aid(1)),
@@ -124,17 +125,20 @@ fn main() {
             .with_reordering(0.1, 2_000)
             .with_jitter(300),
         replay_mode: ReplayMode::NonceExtension,
-        retry_policy: RetryPolicy {
+        retry_policy: RetryPolicies::uniform(RetryPolicy {
             max_attempts: 8,
-            backoff_us: 100_000,
+            base_backoff_us: 100_000,
+            max_backoff_us: 1_600_000,
             deadline_us: 60_000_000,
-        },
+        }),
         shutoff_at_tick: Some(5),
+        receiver_rotation_ticks: Some(2),
     };
     let report = Scenario::build(cfg).unwrap().run().unwrap();
     println!("data sent            {}", report.data_sent);
     println!("data delivered       {}", report.data_delivered);
     println!("ephid rotations      {}", report.refreshes);
+    println!("receiver rotations   {}", report.receiver_rotations);
     println!("control retries      {}", report.rpc_retries);
     println!("corrupt discards     {}", report.corrupt_discards);
     println!("wire ephids          {}", report.wire_ephids);

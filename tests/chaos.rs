@@ -20,7 +20,7 @@ use apna_core::Error;
 use apna_simnet::adversary::{AdversaryAction, FrameKind, TargetedAdversary};
 use apna_simnet::link::FaultProfile;
 use apna_simnet::scenario::{Scenario, ScenarioConfig};
-use apna_simnet::{Network, PacketFate, RetryPolicy};
+use apna_simnet::{Network, PacketFate, RetryPolicies, RetryPolicy};
 use apna_wire::{Aid, HostAddr, ReplayMode};
 
 const SEEDS: [u64; 5] = [1, 7, 42, 1337, 0xC0FFEE];
@@ -439,11 +439,12 @@ fn control_plane_survives_chaotic_links() {
             .with_reordering(0.2, 3_000)
             .with_jitter(500);
         net.connect(Aid(1), Aid(2), 1_000, 10_000_000_000, chaos);
-        net.retry_policy = RetryPolicy {
+        net.retry_policy = RetryPolicies::uniform(RetryPolicy {
             max_attempts: 8,
-            backoff_us: 100_000,
+            base_backoff_us: 100_000,
+            max_backoff_us: 1_600_000,
             deadline_us: 60_000_000,
-        };
+        });
         let mut alice = HostAgent::attach(
             net.node(Aid(1)),
             Granularity::PerFlow,
@@ -507,12 +508,14 @@ fn rotation_at_scale_under_loss() {
         refresh_margin_secs: 120,
         faults: FaultProfile::lossy(0.01, 0.0),
         replay_mode: ReplayMode::Disabled,
-        retry_policy: RetryPolicy {
+        retry_policy: RetryPolicies::uniform(RetryPolicy {
             max_attempts: 6,
-            backoff_us: 200_000,
+            base_backoff_us: 200_000,
+            max_backoff_us: 1_600_000,
             deadline_us: 30_000_000,
-        },
+        }),
         shutoff_at_tick: None,
+        receiver_rotation_ticks: Some(2),
     };
     let report = Scenario::build(cfg).unwrap().run().unwrap();
     assert_eq!(report.unaccountable_deliveries, 0, "accountability");
@@ -552,12 +555,14 @@ fn scenario_shutoff_sticks_under_faults() {
             refresh_margin_secs: 90,
             faults: FaultProfile::lossy(0.05, 0.0).with_duplication(0.05),
             replay_mode: ReplayMode::Disabled,
-            retry_policy: RetryPolicy {
+            retry_policy: RetryPolicies::uniform(RetryPolicy {
                 max_attempts: 8,
-                backoff_us: 100_000,
+                base_backoff_us: 100_000,
+                max_backoff_us: 1_600_000,
                 deadline_us: 60_000_000,
-            },
+            }),
             shutoff_at_tick: Some(3),
+            receiver_rotation_ticks: Some(2),
         };
         let report = Scenario::build(cfg).unwrap().run().unwrap();
         assert!(report.shutoff_ephid.is_some(), "seed {seed}");
@@ -587,12 +592,14 @@ fn chaos_scenario_is_deterministic_across_seeds() {
                 .with_reordering(0.1, 2_000)
                 .with_jitter(300),
             replay_mode: ReplayMode::NonceExtension,
-            retry_policy: RetryPolicy {
+            retry_policy: RetryPolicies::uniform(RetryPolicy {
                 max_attempts: 8,
-                backoff_us: 100_000,
+                base_backoff_us: 100_000,
+                max_backoff_us: 1_600_000,
                 deadline_us: 60_000_000,
-            },
+            }),
             shutoff_at_tick: None,
+            receiver_rotation_ticks: Some(2),
         };
         let a = Scenario::build(cfg.clone()).unwrap().run().unwrap();
         let b = Scenario::build(cfg).unwrap().run().unwrap();
@@ -619,4 +626,87 @@ fn different_seeds_change_the_weather() {
         .unwrap()
     };
     assert_ne!(report(10).stats_debug, report(11).stats_debug);
+}
+
+// ---------------------------------------------------------------------
+// Receiver-identity rotation: the §VII-A lifecycle under chaos.
+// ---------------------------------------------------------------------
+
+#[test]
+fn receivers_rotate_identities_over_the_wire_under_chaos() {
+    // Every host re-publishes its DNS name with a fresh receive EphID
+    // every other tick, over lossy + duplicating links. Flows must follow
+    // the rotations (senders resolve the current address from the zone),
+    // the wiretap must see several receiver identities per host, and all
+    // invariants must hold.
+    for seed in [5u64, 6] {
+        let cfg = ScenarioConfig {
+            seed,
+            num_ases: 3,
+            hosts_per_as: 3,
+            flows_per_host: 1,
+            duration_secs: 300,
+            tick_secs: 30,
+            refresh_margin_secs: 90,
+            faults: FaultProfile::lossy(0.05, 0.0).with_duplication(0.05),
+            replay_mode: ReplayMode::Disabled,
+            retry_policy: RetryPolicies::uniform(RetryPolicy {
+                max_attempts: 8,
+                base_backoff_us: 100_000,
+                max_backoff_us: 1_600_000,
+                deadline_us: 60_000_000,
+            }),
+            shutoff_at_tick: None,
+            receiver_rotation_ticks: Some(2),
+        };
+        let report = Scenario::build(cfg).unwrap().run().unwrap();
+        // 10 ticks, rotation at ticks 2,4,6,8 → 4 sweeps × 9 hosts.
+        assert_eq!(report.receiver_rotations, 4 * 9, "seed {seed}");
+        assert_eq!(report.unaccountable_deliveries, 0, "seed {seed}");
+        assert_eq!(report.linkability_violations, 0, "seed {seed}");
+        assert_eq!(
+            report.interrupted_flows, 0,
+            "seed {seed}: flows follow rotation"
+        );
+        assert_eq!(report.shutoff_violations, 0, "seed {seed}");
+        assert_eq!(report.data_sent, 9 * 10, "seed {seed}");
+        assert!(
+            report.data_delivered >= report.data_sent * 8 / 10,
+            "seed {seed}: retry-less data plane loses at most the link rate"
+        );
+    }
+}
+
+#[test]
+fn rotation_off_keeps_single_receiver_identity() {
+    let cfg = ScenarioConfig {
+        receiver_rotation_ticks: None,
+        ..ScenarioConfig::default()
+    };
+    let report = Scenario::build(cfg).unwrap().run().unwrap();
+    assert_eq!(report.receiver_rotations, 0);
+    assert_eq!(report.unaccountable_deliveries, 0);
+    assert_eq!(report.data_delivered, report.data_sent);
+}
+
+#[test]
+fn shutoff_with_stale_evidence_survives_receiver_rotation() {
+    // The shut-off fires right after a rotation sweep, so the evidence
+    // packet may be addressed to the receiver's *previous* identity. The
+    // victim must sign with the identity the attack actually targeted
+    // (§IV-E), not its newest one — and the revocation must stick.
+    let cfg = ScenarioConfig {
+        seed: 9,
+        duration_secs: 300,
+        tick_secs: 30,
+        refresh_margin_secs: 90,
+        shutoff_at_tick: Some(2),
+        receiver_rotation_ticks: Some(2),
+        ..ScenarioConfig::default()
+    };
+    let report = Scenario::build(cfg).unwrap().run().unwrap();
+    assert!(report.shutoff_ephid.is_some(), "shut-off went through");
+    assert_eq!(report.shutoff_violations, 0, "revocation sticks");
+    assert_eq!(report.unaccountable_deliveries, 0);
+    assert!(report.receiver_rotations > 0);
 }
