@@ -1,0 +1,195 @@
+//! Records the event-driven simulator's scale curve: wall-clock and
+//! events/s for 1k → 100k-host APNA deployments under heavy-tailed
+//! workloads, with every paper invariant tallied on the way.
+//!
+//! Usage: `simnet_scale [--full] [--seed N]`
+//!
+//! * default: the 1k- and 10k-host points (CI smoke budget);
+//! * `--full`: adds the 100k-host / 1M-flow tentpole point.
+//!
+//! Env:
+//! * `SCALE_JSON=<path>` — append-style JSON records in the committed
+//!   `BENCH_simnet_scale.json` schema.
+//! * `SCALE_DIGEST=<path>` — writes only the deterministic report
+//!   digests (no wall-clock), the file the CI job diffs across two runs
+//!   of the same binary to prove byte-identical reruns.
+
+use apna_bench::crypto_backend;
+use apna_simnet::{FlowSizes, ScaleConfig, ScaleReport, ScaleScenario, TopologySpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One point on the scale curve. The ISP-like hierarchy (4 cores, 8
+/// regionals, 40 stub ASes = 52 ASes, hosts on the 40 stubs) stays fixed;
+/// hosts-per-stub and the flow count scale.
+struct Point {
+    name: &'static str,
+    hosts_per_as: u32,
+    flows: u64,
+}
+
+const POINTS: &[Point] = &[
+    Point {
+        name: "isp52_1k_hosts_10k_flows",
+        hosts_per_as: 25,
+        flows: 10_000,
+    },
+    Point {
+        name: "isp52_10k_hosts_100k_flows",
+        hosts_per_as: 250,
+        flows: 100_000,
+    },
+    Point {
+        name: "isp52_100k_hosts_1m_flows",
+        hosts_per_as: 2_500,
+        flows: 1_000_000,
+    },
+];
+
+fn config(p: &Point, seed: u64) -> ScaleConfig {
+    ScaleConfig {
+        seed,
+        topology: TopologySpec::Isp {
+            cores: 4,
+            regionals: 8,
+            stubs: 40,
+        },
+        hosts_per_as: p.hosts_per_as,
+        flows: p.flows,
+        duration_secs: 1_020,
+        tick_secs: 60,
+        refresh_margin_secs: 120,
+        sizes: FlowSizes::Pareto {
+            alpha: 1.2,
+            min_pkts: 1,
+            max_pkts: 16,
+        },
+        shutoffs: 2,
+        ..ScaleConfig::default()
+    }
+}
+
+/// FNV-1a over the report digest: a short stable fingerprint for logs
+/// (the full digest goes to `SCALE_DIGEST`).
+fn fingerprint(digest: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in digest.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let points: &[Point] = if full { POINTS } else { &POINTS[..2] };
+
+    println!(
+        "simnet scale curve — event-driven core, backend={}",
+        crypto_backend()
+    );
+    println!("===================================================================\n");
+
+    let mut json = String::from("[\n");
+    let mut digests = String::new();
+    let mut first = true;
+    for p in points {
+        let cfg = config(p, seed);
+        let wall = Instant::now();
+        let report = ScaleScenario::build(cfg)
+            .unwrap_or_else(|e| panic!("{}: build failed: {e:?}", p.name))
+            .run();
+        let secs = wall.elapsed().as_secs_f64();
+        let digest = report.digest();
+        print_point(p, &report, secs, &digest);
+        check(p, &report);
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let eps = report.events_executed as f64 / secs.max(1e-9);
+        write!(
+            json,
+            "  {{\"group\": \"simnet_scale\", \"name\": \"{}\", \"hosts\": {}, \"flows\": {}, \
+             \"materialized_hosts\": {}, \"packets_sent\": {}, \"packets_delivered\": {}, \
+             \"events_executed\": {}, \"queue_high_water\": {}, \"wall_secs\": {:.2}, \
+             \"events_per_sec\": {:.0}, \"invariants\": \"ok\", \"digest_fnv\": \"{:016x}\"}}",
+            p.name,
+            report.hosts,
+            report.flows_injected, // == p.flows, asserted in check()
+            report.materialized_hosts,
+            report.packets_sent,
+            report.packets_delivered,
+            report.events_executed,
+            report.queue_high_water,
+            secs,
+            eps,
+            fingerprint(&digest),
+        )
+        .unwrap();
+        writeln!(digests, "== {} ==", p.name).unwrap();
+        digests.push_str(&digest);
+    }
+    write!(
+        json,
+        ",\n  {{\"group\": \"meta\", \"name\": \"environment\", \"crypto_backend\": \"{}\", \
+         \"hardware_threads\": {}, \"note\": \"SCALE_JSON=<path> cargo run --release -p \
+         apna-bench --bin simnet_scale -- --full; ISP topology 4 cores / 8 regionals / 40 \
+         stubs, Pareto(1.2) flow sizes capped at 16 pkts, Poisson arrivals over 1020 s (long enough that DATA_SHORT EphIDs cross their refresh margin mid-run), \
+         per-host EphID granularity, 2 shut-off strikes; wall-clock is single-threaded\"}}\n]\n",
+        crypto_backend(),
+        std::thread::available_parallelism().map_or(0, usize::from),
+    )
+    .unwrap();
+
+    if let Ok(path) = std::env::var("SCALE_JSON") {
+        std::fs::write(&path, &json).expect("write SCALE_JSON");
+        println!("wrote {path}");
+    }
+    if let Ok(path) = std::env::var("SCALE_DIGEST") {
+        std::fs::write(&path, &digests).expect("write SCALE_DIGEST");
+        println!("wrote {path}");
+    }
+}
+
+fn print_point(p: &Point, r: &ScaleReport, secs: f64, digest: &str) {
+    println!("{}:", p.name);
+    println!(
+        "  hosts {} (materialized {}), flows {}, packets {} sent / {} delivered",
+        r.hosts, r.materialized_hosts, r.flows_injected, r.packets_sent, r.packets_delivered
+    );
+    println!(
+        "  events {} (heap high-water {}), wall {:.2} s, {:.0} events/s",
+        r.events_executed,
+        r.queue_high_water,
+        secs,
+        r.events_executed as f64 / secs.max(1e-9)
+    );
+    println!(
+        "  refreshes {}, strikes {}, revoked-egress {}, wire EphIDs {}",
+        r.refreshes, r.strikes_acked, r.revoked_egress, r.distinct_wire_ephids
+    );
+    println!("  digest fnv {:016x}\n", fingerprint(digest));
+}
+
+/// Scale runs are lossless: every invariant must be exactly clean, and
+/// the workload must have been fully injected.
+fn check(p: &Point, r: &ScaleReport) {
+    assert!(
+        r.invariants_hold(),
+        "{}: invariant violated: {r:#?}",
+        p.name
+    );
+    assert_eq!(r.flows_injected, p.flows, "{}", p.name);
+    assert_eq!(r.incomplete_flows, 0, "{}: incomplete flows", p.name);
+    assert_eq!(r.corrupt_discards, 0, "{}: corrupt discards", p.name);
+    assert_eq!(r.issuance_failures, 0, "{}: issuance failures", p.name);
+    assert_eq!(r.strikes_acked, 2, "{}: strikes", p.name);
+}

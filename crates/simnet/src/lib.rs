@@ -13,11 +13,20 @@
 //! * [`adversary`] — the pluggable *active* on-path adversary: observes
 //!   every inter-AS frame by parsed kind and may drop, delay, replay, or
 //!   tamper with it.
+//! * [`event`] — the scheduled event engine: a deterministic
+//!   `(time, seq)`-ordered queue plus the [`event::Simulator`]/
+//!   [`event::Event`] execution loop everything above runs on.
 //! * [`scenario`] — the deterministic chaos engine: many-host long-running
 //!   flows on the simulation clock, clock-driven EphID rotation, and
 //!   continuous assertion of the paper's invariants.
-//! * [`topology`] — an AS-level graph with shortest-path (hop count)
-//!   inter-domain routing over AIDs.
+//! * [`scale`] — the large-scale scenario driver: lazy host
+//!   materialization, heavy-tailed workloads, and streaming invariant
+//!   tallies sized for 100k+ hosts and 1M+ flows.
+//! * [`workload`] — seeded heavy-tailed workload generators (Pareto flow
+//!   sizes, Poisson arrivals).
+//! * [`topology`] — an AS-level graph with precomputed all-pairs next-hop
+//!   routing over AIDs, plus pluggable builders (chain, fat-tree,
+//!   ISP-like hierarchy).
 //! * [`network`] — the event loop tying [`apna_core::AsNode`]s together:
 //!   packets traverse source BR egress → transit ASes → destination BR
 //!   ingress → host delivery, with every verdict observable.
@@ -33,18 +42,24 @@
 
 pub mod adversary;
 pub mod clock;
+pub mod event;
 pub mod linerate;
 pub mod link;
 pub mod network;
+pub mod scale;
 pub mod scenario;
 pub mod topology;
+pub mod workload;
 
 pub use adversary::{Adversary, AdversaryAction, FnAdversary, FrameKind, TargetedAdversary};
 pub use clock::SimTime;
+pub use event::{Event, EventQueue, SimStats, Simulator};
 pub use link::{FaultProfile, Link};
 pub use network::{
     ControlDelivered, DeliveredPacket, Network, NetworkEvent, PacketFate, RetryPolicies,
     RetryPolicy,
 };
+pub use scale::{ScaleConfig, ScaleReport, ScaleScenario};
 pub use scenario::{Scenario, ScenarioConfig, ScenarioReport};
-pub use topology::Topology;
+pub use topology::{Blueprint, Topology, TopologySpec};
+pub use workload::{Arrivals, FlowSizes, Workload};

@@ -14,6 +14,7 @@
 
 use crate::adversary::{Adversary, AdversaryAction, AdversaryStats, FrameKind, InterceptedFrame};
 use crate::clock::SimTime;
+use crate::event::EventQueue;
 use crate::link::{Link, LinkOutcome};
 use crate::topology::Topology;
 use apna_core::agent::{EphIdUsage, HostAgent};
@@ -24,8 +25,8 @@ use apna_core::granularity::SlotDecision;
 use apna_core::{AsNode, Error, Hid};
 use apna_dns::DnsServer;
 use apna_wire::ipv4::Ipv4Addr;
-use apna_wire::{Aid, ApnaHeader, HostAddr, PacketBatch, ReplayMode};
-use std::collections::{BinaryHeap, HashMap};
+use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr, PacketBatch, ReplayMode};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// What finally happened to an injected packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -309,32 +310,13 @@ pub struct ControlDelivered {
     pub at: SimTime,
 }
 
-/// Internal event: a packet arrives at an AS border router.
+/// Internal queue payload: a packet arriving at an AS border router.
+/// `(time, seq)` ordering lives in the shared [`EventQueue`] engine.
 #[derive(Debug)]
-struct Event {
-    at: SimTime,
-    seq: u64,
+struct Arrival {
     packet_id: u64,
     aid: Aid,
     bytes: Vec<u8>,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // BinaryHeap is a max-heap: invert for earliest-first, seq ties.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 /// A network event surfaced to observers (tests, examples).
@@ -367,14 +349,26 @@ pub struct Network {
     links: HashMap<(Aid, Aid), Link>,
     now: SimTime,
     replay_mode: ReplayMode,
-    events: BinaryHeap<Event>,
-    seq: u64,
+    events: EventQueue<Arrival>,
     next_packet_id: u64,
     fates: HashMap<u64, PacketFate>,
+    /// Insertion order of fate entries, kept only when a fate capacity is
+    /// set: the eviction queue for bounded-memory scale runs.
+    fate_order: VecDeque<u64>,
+    /// When `Some(cap)`, at most `cap` fates are retained (oldest packet
+    /// ids are forgotten). `None` = remember everything (the default).
+    fate_capacity: Option<usize>,
     inboxes: Vec<DeliveredPacket>,
     wiretap: Option<Vec<ObservedFrame>>,
+    /// Streaming alternative to the wiretap for scale runs: the set of
+    /// distinct source EphIDs observed on inter-AS links, without storing
+    /// frames.
+    ephid_tally: Option<HashSet<EphIdBytes>>,
     dns_servers: HashMap<Aid, DnsServer>,
     control_log: Vec<ControlDelivered>,
+    /// Whether control deliveries are appended to `control_log`. Scale
+    /// runs disable it: the log is an unbounded per-RPC allocation.
+    control_log_enabled: bool,
     /// Per-service nonce counters for control replies under
     /// [`ReplayMode::NonceExtension`].
     service_nonces: HashMap<(Aid, Hid), u64>,
@@ -405,14 +399,17 @@ impl Network {
             links: HashMap::new(),
             now: SimTime::ZERO,
             replay_mode,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: EventQueue::new(),
             next_packet_id: 0,
             fates: HashMap::new(),
+            fate_order: VecDeque::new(),
+            fate_capacity: None,
             inboxes: Vec::new(),
             wiretap: None,
+            ephid_tally: None,
             dns_servers: HashMap::new(),
             control_log: Vec::new(),
+            control_log_enabled: true,
             service_nonces: HashMap::new(),
             adversary: None,
             link_seed_salt: 0,
@@ -446,6 +443,29 @@ impl Network {
         self.wiretap.as_deref().unwrap_or(&[])
     }
 
+    /// Enables the streaming wire-EphID tally: the set of distinct source
+    /// EphIDs seen on inter-AS links. The scale driver's unlinkability
+    /// check runs on this instead of the full wiretap, which would store
+    /// millions of frames.
+    pub fn enable_ephid_tally(&mut self) {
+        self.ephid_tally = Some(HashSet::new());
+    }
+
+    /// Distinct source EphIDs observed on inter-AS links (`None` unless
+    /// [`Network::enable_ephid_tally`] was called).
+    #[must_use]
+    pub fn wire_src_ephids(&self) -> Option<&HashSet<EphIdBytes>> {
+        self.ephid_tally.as_ref()
+    }
+
+    /// Caps the packet-fate map at `cap` entries: the oldest packet ids
+    /// are forgotten as new ones are injected. Scale runs set this so a
+    /// multi-million-packet run keeps O(cap) fate memory; late
+    /// [`PacketFate`] updates for forgotten ids are silently discarded.
+    pub fn set_fate_capacity(&mut self, cap: usize) {
+        self.fate_capacity = Some(cap.max(1));
+    }
+
     /// Adds an AS with deterministic keys derived from `seed`.
     pub fn add_as(&mut self, aid: Aid, seed: [u8; 32]) -> &AsNode {
         let node = AsNode::from_seed(aid, seed, &self.directory, self.now.as_protocol_time());
@@ -475,6 +495,15 @@ impl Network {
             (b, a),
             Link::new(latency_us, bandwidth_bps, faults, seed_ba),
         );
+    }
+
+    /// Enables (or disables) store-and-forward serialization queueing on
+    /// every existing link — see [`Link::set_queueing`]. Call after wiring
+    /// the topology.
+    pub fn set_link_queueing(&mut self, on: bool) {
+        for link in self.links.values_mut() {
+            link.set_queueing(on);
+        }
     }
 
     /// Immutable access to an AS.
@@ -522,6 +551,13 @@ impl Network {
                 self.next_packet_id += 1;
                 self.stats.injected += 1;
                 self.fates.insert(id, PacketFate::InFlight);
+                if let Some(cap) = self.fate_capacity {
+                    self.fate_order.push_back(id);
+                    while self.fate_order.len() > cap {
+                        let old = self.fate_order.pop_front().expect("non-empty order queue");
+                        self.fates.remove(&old);
+                    }
+                }
                 id
             })
             .collect();
@@ -566,25 +602,28 @@ impl Network {
     }
 
     fn push_event(&mut self, at: SimTime, packet_id: u64, aid: Aid, bytes: Vec<u8>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Event {
+        self.events.schedule(
             at,
-            seq,
-            packet_id,
-            aid,
-            bytes,
-        });
+            Arrival {
+                packet_id,
+                aid,
+                bytes,
+            },
+        );
     }
 
     /// Records a final fate for `id`. With duplication in play, one packet
     /// id can reach several final states (the original delivered, its copy
     /// lost); a `Delivered` fate is never downgraded by a later loss.
+    /// Under a fate capacity, updates for already-evicted ids are dropped
+    /// (they are history the scale run chose not to keep).
     fn record_fate(&mut self, id: u64, fate: PacketFate) {
-        if matches!(self.fates.get(&id), Some(PacketFate::Delivered { .. }))
-            && !matches!(fate, PacketFate::Delivered { .. })
-        {
-            return;
+        match self.fates.get(&id) {
+            Some(PacketFate::Delivered { .. }) if !matches!(fate, PacketFate::Delivered { .. }) => {
+                return;
+            }
+            None if self.fate_capacity.is_some() => return,
+            _ => {}
         }
         self.fates.insert(id, fate);
     }
@@ -636,6 +675,13 @@ impl Network {
                             bytes: delivery.bytes.clone(),
                         });
                     }
+                    if let Some(tally) = &mut self.ephid_tally {
+                        if let Ok((header, _)) =
+                            ApnaHeader::parse(&delivery.bytes, self.replay_mode)
+                        {
+                            tally.insert(header.src.ephid);
+                        }
+                    }
                     self.route_with_adversary(id, delivery.at, at_aid, next, delivery.bytes);
                 }
             }
@@ -684,21 +730,64 @@ impl Network {
     /// finalized fates in completion order.
     pub fn run(&mut self) -> Vec<NetworkEvent> {
         let mut out = Vec::new();
-        while let Some(ev) = self.events.pop() {
-            self.now = self.now.max(ev.at);
+        self.run_events(None, true, &mut out);
+        out
+    }
+
+    /// Processes all events scheduled at or before `until` (the partial
+    /// drain the scheduled scenario drivers interleave with their own
+    /// events). The clock never advances past the last processed arrival.
+    pub fn run_until(&mut self, until: SimTime) -> Vec<NetworkEvent> {
+        let mut out = Vec::new();
+        self.run_events(Some(until), true, &mut out);
+        out
+    }
+
+    /// [`Network::run_until`] without collecting [`NetworkEvent`]s — the
+    /// scale driver's hot path, where allocating an observer record per
+    /// packet fate would dominate the run.
+    pub fn pump_until(&mut self, until: SimTime) {
+        let mut out = Vec::new();
+        self.run_events(Some(until), false, &mut out);
+    }
+
+    /// Timestamp of the earliest pending packet arrival, if any.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Scheduling counters of the internal arrival queue (events processed,
+    /// heap high-water mark) — the network half of a run's event budget.
+    #[must_use]
+    pub fn queue_stats(&self) -> crate::event::SimStats {
+        self.events.stats()
+    }
+
+    /// The shared event loop behind [`Network::run`] / [`Network::run_until`]
+    /// / [`Network::pump_until`].
+    fn run_events(&mut self, until: Option<SimTime>, collect: bool, out: &mut Vec<NetworkEvent>) {
+        while let Some(head_time) = self.events.peek_time() {
+            if let Some(limit) = until {
+                if head_time > limit {
+                    break;
+                }
+            }
+            let (at, ev) = self.events.pop().expect("peeked event exists");
+            self.now = self.now.max(at);
 
             // Drain the burst: all packets arriving at the same border
             // router at the same instant form one batch. Event ordering is
             // unchanged — the queue is time-ordered and a burst is by
             // definition simultaneous.
-            let (at, aid) = (ev.at, ev.aid);
+            let aid = ev.aid;
             let mut ids = vec![ev.packet_id];
             let mut burst = vec![ev.bytes];
-            while let Some(next) = self.events.peek() {
-                if next.at != at || next.aid != aid {
+            while let Some((next_at, next)) = self.events.peek() {
+                if next_at != at || next.aid != aid {
                     break;
                 }
-                let next = self.events.pop().expect("peeked event exists");
+                let (_, next) = self.events.pop().expect("peeked event exists");
                 ids.push(next.packet_id);
                 burst.push(next.bytes);
             }
@@ -726,12 +815,14 @@ impl Network {
                             at: arrival,
                         };
                         self.record_fate(id, fate.clone());
-                        out.push(NetworkEvent::Fate { id, fate });
+                        if collect {
+                            out.push(NetworkEvent::Fate { id, fate });
+                        }
                         let is_service = self.nodes[&aid].service_by_hid(hid).is_some();
                         if is_service {
                             // Control traffic: the service consumes the
                             // packet and may answer with its own packet.
-                            self.deliver_control(&mut out, id, aid, hid, &bytes, arrival);
+                            self.deliver_control(out, collect, id, aid, hid, &bytes, arrival);
                         } else {
                             self.inboxes.push(DeliveredPacket {
                                 id,
@@ -748,12 +839,13 @@ impl Network {
                     Verdict::Drop(reason) => {
                         let fate = PacketFate::IngressDropped { at: aid, reason };
                         self.record_fate(id, fate.clone());
-                        out.push(NetworkEvent::Fate { id, fate });
+                        if collect {
+                            out.push(NetworkEvent::Fate { id, fate });
+                        }
                     }
                 }
             }
         }
-        out
     }
 
     /// Handles a packet delivered to an AS service endpoint: parses the
@@ -762,9 +854,11 @@ impl Network {
     /// node otherwise), and injects the reply as a fresh packet from the
     /// service's own EphID. Failed checks follow the paper's silent-drop
     /// discipline: counted, no response.
+    #[allow(clippy::too_many_arguments)]
     fn deliver_control(
         &mut self,
         out: &mut Vec<NetworkEvent>,
+        collect: bool,
         id: u64,
         aid: Aid,
         hid: Hid,
@@ -780,17 +874,21 @@ impl Network {
             return;
         };
         self.stats.control_delivered.record(msg.kind());
-        self.control_log.push(ControlDelivered {
-            packet_id: id,
-            aid,
-            kind: msg.kind(),
-            at,
-        });
-        out.push(NetworkEvent::ControlDelivered {
-            id,
-            aid,
-            kind: msg.kind(),
-        });
+        if self.control_log_enabled {
+            self.control_log.push(ControlDelivered {
+                packet_id: id,
+                aid,
+                kind: msg.kind(),
+                at,
+            });
+        }
+        if collect {
+            out.push(NetworkEvent::ControlDelivered {
+                id,
+                aid,
+                kind: msg.kind(),
+            });
+        }
 
         let now = self.now.as_protocol_time();
         let (result, src_ephid, kha) = {
@@ -872,6 +970,14 @@ impl Network {
     #[must_use]
     pub fn control_deliveries(&self) -> &[ControlDelivered] {
         &self.control_log
+    }
+
+    /// Stops recording per-delivery [`ControlDelivered`] entries (the
+    /// aggregate [`NetStats`] counters keep counting). Scale runs call
+    /// this: the log grows with every issuance RPC.
+    pub fn disable_control_log(&mut self) {
+        self.control_log_enabled = false;
+        self.control_log = Vec::new();
     }
 
     /// Sends one control message from `agent` to the service at `dst` as a

@@ -22,6 +22,7 @@
 //! the property the CI chaos job diffs.
 
 use crate::clock::SimTime;
+use crate::event::{Event, Simulator};
 use crate::link::FaultProfile;
 use crate::network::{Network, RetryPolicies};
 use apna_core::agent::{EphIdUsage, HostAgent};
@@ -186,6 +187,59 @@ pub struct Scenario {
     counted: HashSet<(usize, u64)>,
 }
 
+/// Counters and log threaded through the tick events and into the report.
+#[derive(Default)]
+struct TickAcc {
+    log: Vec<String>,
+    refreshes: u64,
+    receiver_rotations: u64,
+    unaccountable: u64,
+    shutoff_violations: u64,
+    corrupt_discards: u64,
+    shutoff_ephid: Option<EphIdBytes>,
+    /// First tick error, if any — aborts the remaining schedule.
+    error: Option<Error>,
+}
+
+/// The world the scenario's tick events execute against.
+struct ScenarioWorld {
+    sc: Scenario,
+    acc: TickAcc,
+}
+
+/// One scenario tick on the [`Simulator`] engine, self-rescheduling at
+/// the configured cadence until `ticks` have run.
+struct TickEvent {
+    tick: u64,
+    ticks: u64,
+}
+
+impl Event<ScenarioWorld> for TickEvent {
+    fn execute(
+        self: Box<Self>,
+        _at: SimTime,
+        sim: &mut Simulator<ScenarioWorld>,
+        world: &mut ScenarioWorld,
+    ) {
+        if world.acc.error.is_some() {
+            return;
+        }
+        if let Err(e) = world.sc.run_tick(self.tick, &mut world.acc) {
+            world.acc.error = Some(e);
+            return;
+        }
+        if self.tick + 1 < self.ticks {
+            sim.schedule_in(
+                world.sc.cfg.tick_secs * 1_000_000,
+                TickEvent {
+                    tick: self.tick + 1,
+                    ticks: self.ticks,
+                },
+            );
+        }
+    }
+}
+
 impl Scenario {
     /// Builds the world: ASes in a chain, hosts attached, one long-lived
     /// receive EphID per host (acquired over the network, with retries),
@@ -303,18 +357,33 @@ impl Scenario {
     /// Runs the scenario to completion and returns the report. All
     /// invariants are *tallied*, not asserted — callers decide which must
     /// be zero (tests assert all of them).
-    pub fn run(mut self) -> Result<ScenarioReport, Error> {
-        let mut log = Vec::new();
-        let mut refreshes = 0u64;
-        let mut receiver_rotations = 0u64;
-        let mut unaccountable = 0u64;
-        let mut shutoff_violations = 0u64;
-        let mut corrupt_discards = 0u64;
-        let mut shutoff_ephid = None;
+    ///
+    /// Ticks are self-rescheduling `TickEvent`s on the shared
+    /// [`Simulator`] engine; the per-tick phase order (and thus every byte
+    /// of the log) is identical to the old sweep loop.
+    pub fn run(self) -> Result<ScenarioReport, Error> {
         let ticks = self.cfg.duration_secs / self.cfg.tick_secs;
-        let horizon = u64::from(ExpiryClass::Short.lifetime_secs());
+        let mut sim = Simulator::new();
+        if ticks > 0 {
+            sim.schedule(SimTime::ZERO, TickEvent { tick: 0, ticks });
+        }
+        let mut world = ScenarioWorld {
+            sc: self,
+            acc: TickAcc::default(),
+        };
+        sim.run(&mut world);
+        let ScenarioWorld { sc, acc } = world;
+        if let Some(e) = acc.error {
+            return Err(e);
+        }
+        sc.finish(acc)
+    }
 
-        for tick in 0..ticks {
+    /// One tick of the chaos engine: refresh sweep → receiver rotation →
+    /// scheduled shut-off → one packet per flow → drain and classify.
+    fn run_tick(&mut self, tick: u64, acc: &mut TickAcc) -> Result<(), Error> {
+        let horizon = u64::from(ExpiryClass::Short.lifetime_secs());
+        {
             let t = SimTime::from_secs(tick * self.cfg.tick_secs);
             if t > self.net.now() {
                 self.net.advance_to(t);
@@ -326,7 +395,7 @@ impl Scenario {
             for agent in &mut self.agents {
                 tick_refreshes += self.net.agent_refresh_expiring(agent)?;
             }
-            refreshes += tick_refreshes as u64;
+            acc.refreshes += tick_refreshes as u64;
 
             // Receiver-identity rotation (§VII-A lifecycle): on the
             // configured cadence every host acquires a fresh receive
@@ -366,7 +435,7 @@ impl Scenario {
                     }
                 }
             }
-            receiver_rotations += tick_rotations;
+            acc.receiver_rotations += tick_rotations;
 
             // Scheduled shut-off: the receiver of flow 0 files against its
             // sender's current EphID using the latest delivered evidence.
@@ -393,8 +462,8 @@ impl Scenario {
                     let victim = &mut self.agents[flow.dst];
                     let ack = self.net.agent_shutoff(victim, aa, &evidence, owned_idx)?;
                     self.revoked.insert(ack.ephid);
-                    shutoff_ephid = Some(ack.ephid);
-                    log.push(format!("tick {tick}: shutoff acked"));
+                    acc.shutoff_ephid = Some(ack.ephid);
+                    acc.log.push(format!("tick {tick}: shutoff acked"));
                 }
             }
 
@@ -427,7 +496,7 @@ impl Scenario {
             for pkt in self.net.take_delivered() {
                 let Ok((header, payload)) = ApnaHeader::parse(&pkt.bytes, self.cfg.replay_mode)
                 else {
-                    corrupt_discards += 1;
+                    acc.corrupt_discards += 1;
                     continue;
                 };
                 // Control leftovers (duplicated replies an RPC already
@@ -449,15 +518,15 @@ impl Scenario {
                 match opened {
                     Some((Ok(plain), src_node)) => {
                         if !src_node.infra.host_db.is_valid(plain.hid) {
-                            unaccountable += 1;
+                            acc.unaccountable += 1;
                             continue;
                         }
                     }
                     Some((Err(_), _)) | None => {
                         if mutation_possible {
-                            corrupt_discards += 1;
+                            acc.corrupt_discards += 1;
                         } else {
-                            unaccountable += 1;
+                            acc.unaccountable += 1;
                         }
                         continue;
                     }
@@ -465,7 +534,7 @@ impl Scenario {
                 // Shut-off stickiness: an acked EphID must never deliver
                 // again.
                 if self.revoked.contains(&header.src.ephid) {
-                    shutoff_violations += 1;
+                    acc.shutoff_violations += 1;
                     continue;
                 }
                 // Flow continuity accounting (tag: flow index ‖ tick). A
@@ -486,16 +555,33 @@ impl Scenario {
                         }
                     }
                 } else {
-                    corrupt_discards += 1;
+                    acc.corrupt_discards += 1;
                 }
             }
 
-            log.push(format!(
+            acc.log.push(format!(
                 "tick {tick} t={} refreshes={tick_refreshes} rotations={tick_rotations} \
                  sent={sent} delivered={delivered}",
                 self.net.now()
             ));
         }
+        Ok(())
+    }
+
+    /// End-of-run sweep and report assembly: wiretap unlinkability,
+    /// continuity epochs, expired-egress tally.
+    fn finish(self, acc: TickAcc) -> Result<ScenarioReport, Error> {
+        let TickAcc {
+            mut log,
+            refreshes,
+            receiver_rotations,
+            unaccountable,
+            shutoff_violations,
+            corrupt_discards,
+            shutoff_ephid,
+            error: _,
+        } = acc;
+        let horizon = u64::from(ExpiryClass::Short.lifetime_secs());
 
         // Unlinkability over the whole capture: every source EphID on the
         // wire is globally unique (HashSet of all owned EphIDs per agent

@@ -1,19 +1,66 @@
-//! AS-level topology and inter-domain routing.
+//! AS-level topology, precomputed inter-domain routing, and builders.
 //!
 //! APNA's inter-domain forwarding is AID-based ("for inter-domain
 //! forwarding, border routers use AID to forward packets", §IV-D3) and
 //! transit ASes "simply forward packets to the next AS on the path". The
-//! topology computes next hops by BFS (shortest AS-path), which is enough
-//! structure to exercise multi-hop transit; BGP policy is out of the
-//! paper's scope.
+//! topology computes shortest AS-paths (BFS; BGP policy is out of the
+//! paper's scope).
+//!
+//! Routing is served from an **all-pairs next-hop table** precomputed with
+//! one BFS per source AS and rebuilt lazily after the graph changes. The
+//! per-call BFS that `next_hop` used to run was fine for a 3-AS chain but
+//! is quadratic death at scale: every packet-hop would re-traverse the
+//! whole graph. The table answers a hop in O(1) and costs `O(V·(V+E))` to
+//! build once, with `4·V²` bytes of storage (a 2 000-AS ISP graph is
+//! 16 MB — cheap next to 100k host agents).
+//!
+//! [`TopologySpec`] provides pluggable builders: the original `chain`, an
+//! AS-level `fat-tree` (short diameter, high path diversity), and an
+//! ISP-like multi-AS hierarchy (core mesh / regionals / stubs). Builders
+//! emit a [`Blueprint`] — deterministic edge list plus the set of
+//! host-bearing edge ASes — that `Network`/scenario drivers consume.
 
 use apna_wire::Aid;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Sentinel for "no route" entries in the next-hop table.
+const NO_ROUTE: u32 = u32::MAX;
+
+/// Dense all-pairs next-hop table over an indexed node set.
+#[derive(Debug)]
+struct RouteTable {
+    /// Sorted AID list; position = dense index.
+    nodes: Vec<Aid>,
+    /// AID → dense index.
+    index: HashMap<Aid, u32>,
+    /// `next[src * n + dst]` = dense index of the next hop from `src`
+    /// toward `dst`, or [`NO_ROUTE`].
+    next: Vec<u32>,
+}
+
+impl RouteTable {
+    fn lookup(&self, at: Aid, dst: Aid) -> Option<Aid> {
+        let n = self.nodes.len();
+        let si = *self.index.get(&at)? as usize;
+        let di = *self.index.get(&dst)? as usize;
+        let hop = self.next[si * n + di];
+        if hop == NO_ROUTE {
+            None
+        } else {
+            Some(self.nodes[hop as usize])
+        }
+    }
+}
 
 /// An undirected AS-level graph.
 #[derive(Debug, Default)]
 pub struct Topology {
     adjacency: HashMap<Aid, HashSet<Aid>>,
+    /// Lazily built routing table; `None` = dirty (graph changed since the
+    /// last build). Interior mutability keeps `next_hop(&self)` stable for
+    /// callers while still letting the first query after a change rebuild.
+    routes: RefCell<Option<RouteTable>>,
 }
 
 impl Topology {
@@ -26,17 +73,26 @@ impl Topology {
     /// Adds an AS (idempotent).
     pub fn add_as(&mut self, aid: Aid) {
         self.adjacency.entry(aid).or_default();
+        self.routes.replace(None);
     }
 
-    /// Connects two ASes (idempotent, symmetric).
+    /// Connects two ASes (idempotent, symmetric). Invalidates the
+    /// precomputed routing table; it is rebuilt on the next routing query.
     pub fn connect(&mut self, a: Aid, b: Aid) {
         self.adjacency.entry(a).or_default().insert(b);
         self.adjacency.entry(b).or_default().insert(a);
+        self.routes.replace(None);
     }
 
     /// All ASes.
     pub fn ases(&self) -> impl Iterator<Item = Aid> + '_ {
         self.adjacency.keys().copied()
+    }
+
+    /// Number of ASes.
+    #[must_use]
+    pub fn num_ases(&self) -> usize {
+        self.adjacency.len()
     }
 
     /// Direct neighbors of `aid`.
@@ -59,35 +115,235 @@ impl Topology {
         if src == dst {
             return Some(vec![src]);
         }
-        let mut prev: HashMap<Aid, Aid> = HashMap::new();
-        let mut queue = VecDeque::from([src]);
-        let mut seen = HashSet::from([src]);
-        while let Some(cur) = queue.pop_front() {
-            for next in self.neighbors(cur) {
-                if seen.insert(next) {
-                    prev.insert(next, cur);
-                    if next == dst {
-                        let mut path = vec![dst];
-                        let mut node = dst;
-                        while let Some(&p) = prev.get(&node) {
-                            path.push(p);
-                            node = p;
-                        }
-                        path.reverse();
-                        return Some(path);
+        if !self.adjacency.contains_key(&src) || !self.adjacency.contains_key(&dst) {
+            return None;
+        }
+        // Walk the precomputed table hop by hop: same result as a fresh
+        // BFS (the table is built with identical expansion order) without
+        // re-traversing the graph.
+        let mut path = vec![src];
+        let mut at = src;
+        while at != dst {
+            let hop = self.next_hop(at, dst)?;
+            path.push(hop);
+            at = hop;
+        }
+        Some(path)
+    }
+
+    /// Next hop from `at` toward `dst`, served from the precomputed
+    /// all-pairs table (built on first query after a topology change).
+    #[must_use]
+    pub fn next_hop(&self, at: Aid, dst: Aid) -> Option<Aid> {
+        if at == dst {
+            return None;
+        }
+        let mut slot = self.routes.borrow_mut();
+        let table = slot.get_or_insert_with(|| self.build_routes());
+        table.lookup(at, dst)
+    }
+
+    /// Builds the all-pairs next-hop table: one BFS per source, expanding
+    /// neighbors in sorted order so tie-breaks match [`Topology::path`]'s
+    /// historical per-call BFS exactly.
+    fn build_routes(&self) -> RouteTable {
+        let mut nodes: Vec<Aid> = self.adjacency.keys().copied().collect();
+        nodes.sort();
+        let index: HashMap<Aid, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i as u32))
+            .collect();
+        let n = nodes.len();
+        // Dense sorted adjacency, resolved to indices once.
+        let adj: Vec<Vec<u32>> = nodes
+            .iter()
+            .map(|&a| {
+                let mut v: Vec<u32> = self.adjacency[&a].iter().map(|b| index[b]).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let mut next = vec![NO_ROUTE; n * n];
+        let mut first_hop = vec![NO_ROUTE; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        for src in 0..n {
+            seen.iter_mut().for_each(|s| *s = false);
+            first_hop.iter_mut().for_each(|h| *h = NO_ROUTE);
+            seen[src] = true;
+            queue.clear();
+            queue.push_back(src as u32);
+            while let Some(cur) = queue.pop_front() {
+                for &nb in &adj[cur as usize] {
+                    if !seen[nb as usize] {
+                        seen[nb as usize] = true;
+                        // The first hop toward nb is nb itself if we're at
+                        // the source, else whatever got us to cur.
+                        first_hop[nb as usize] = if cur as usize == src {
+                            nb
+                        } else {
+                            first_hop[cur as usize]
+                        };
+                        next[src * n + nb as usize] = first_hop[nb as usize];
+                        queue.push_back(nb);
                     }
-                    queue.push_back(next);
                 }
             }
         }
-        None
+        RouteTable { nodes, index, next }
     }
+}
 
-    /// Next hop from `at` toward `dst`.
+/// A deterministic topology blueprint: the edge list plus which ASes bear
+/// hosts. Produced by [`TopologySpec::build`].
+#[derive(Debug, Clone)]
+pub struct Blueprint {
+    /// Human-readable shape name (used in bench output).
+    pub name: String,
+    /// All ASes, in creation order.
+    pub ases: Vec<Aid>,
+    /// Undirected AS adjacencies.
+    pub edges: Vec<(Aid, Aid)>,
+    /// ASes that attach hosts (leaf/edge ASes).
+    pub host_ases: Vec<Aid>,
+}
+
+/// Pluggable topology builders for scenario drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// A linear chain of `ases` ASes: `1 - 2 - … - n`. Every AS bears
+    /// hosts. Diameter grows linearly — fine for protocol tests, wrong
+    /// for scale runs.
+    Chain {
+        /// Number of ASes in the chain.
+        ases: u32,
+    },
+    /// An AS-level fat-tree with parameter `k` (even): `(k/2)²` core ASes,
+    /// `k` pods of `k/2` aggregation + `k/2` edge ASes. Hosts attach to
+    /// edge ASes; diameter is 4 AS-hops regardless of `k`.
+    FatTree {
+        /// Fat-tree parameter (must be even, ≥ 2).
+        k: u32,
+    },
+    /// An ISP-like hierarchy: `cores` fully meshed tier-1 ASes, `regionals`
+    /// each homed to two cores, and `stubs` each homed to two regionals.
+    /// Hosts attach to stub ASes; diameter ≤ 6 AS-hops.
+    Isp {
+        /// Tier-1 core ASes (full mesh).
+        cores: u32,
+        /// Regional transit ASes.
+        regionals: u32,
+        /// Stub (host-bearing) ASes.
+        stubs: u32,
+    },
+}
+
+impl TopologySpec {
+    /// Builds the deterministic blueprint for this spec. AIDs are assigned
+    /// sequentially from 1 in creation order, so the same spec always
+    /// yields byte-identical wiring.
     #[must_use]
-    pub fn next_hop(&self, at: Aid, dst: Aid) -> Option<Aid> {
-        let path = self.path(at, dst)?;
-        path.get(1).copied()
+    pub fn build(&self) -> Blueprint {
+        match *self {
+            TopologySpec::Chain { ases } => {
+                let ases = ases.max(1);
+                let all: Vec<Aid> = (1..=ases).map(Aid).collect();
+                let edges = all.windows(2).map(|w| (w[0], w[1])).collect();
+                Blueprint {
+                    name: format!("chain-{ases}"),
+                    host_ases: all.clone(),
+                    ases: all,
+                    edges,
+                }
+            }
+            TopologySpec::FatTree { k } => {
+                let k = k.max(2) & !1; // even, >= 2
+                let half = k / 2;
+                let mut next = 1u32;
+                let mut take = |n: u32| -> Vec<Aid> {
+                    let v: Vec<Aid> = (0..n).map(|i| Aid(next + i)).collect();
+                    next += n;
+                    v
+                };
+                let cores = take(half * half);
+                let mut ases = cores.clone();
+                let mut edges = Vec::new();
+                let mut host_ases = Vec::new();
+                for _pod in 0..k {
+                    let aggs = take(half);
+                    let leaves = take(half);
+                    ases.extend(&aggs);
+                    ases.extend(&leaves);
+                    for (ai, &agg) in aggs.iter().enumerate() {
+                        // Each agg uplinks to a distinct half-sized slice
+                        // of the core layer (the classic k-ary wiring).
+                        for ci in 0..half {
+                            let core = cores[(ai * half as usize) + ci as usize];
+                            edges.push((core, agg));
+                        }
+                        for &leaf in &leaves {
+                            edges.push((agg, leaf));
+                        }
+                    }
+                    host_ases.extend(&leaves);
+                }
+                Blueprint {
+                    name: format!("fat-tree-k{k}"),
+                    ases,
+                    edges,
+                    host_ases,
+                }
+            }
+            TopologySpec::Isp {
+                cores,
+                regionals,
+                stubs,
+            } => {
+                let cores = cores.max(1);
+                let regionals = regionals.max(1);
+                let stubs = stubs.max(1);
+                let mut next = 1u32;
+                let mut take = |n: u32| -> Vec<Aid> {
+                    let v: Vec<Aid> = (0..n).map(|i| Aid(next + i)).collect();
+                    next += n;
+                    v
+                };
+                let core = take(cores);
+                let regional = take(regionals);
+                let stub = take(stubs);
+                let mut edges = Vec::new();
+                // Tier-1 full mesh.
+                for i in 0..core.len() {
+                    for j in (i + 1)..core.len() {
+                        edges.push((core[i], core[j]));
+                    }
+                }
+                // Each regional multihomes to two cores (round-robin).
+                for (i, &r) in regional.iter().enumerate() {
+                    edges.push((core[i % core.len()], r));
+                    if core.len() > 1 {
+                        edges.push((core[(i + 1) % core.len()], r));
+                    }
+                }
+                // Each stub multihomes to two regionals (round-robin).
+                for (i, &s) in stub.iter().enumerate() {
+                    edges.push((regional[i % regional.len()], s));
+                    if regional.len() > 1 {
+                        edges.push((regional[(i + 7) % regional.len()], s));
+                    }
+                }
+                let mut ases = core;
+                ases.extend(&regional);
+                ases.extend(&stub);
+                Blueprint {
+                    name: format!("isp-{cores}c{regionals}r{stubs}s"),
+                    ases,
+                    edges,
+                    host_ases: stub,
+                }
+            }
+        }
     }
 }
 
@@ -102,6 +358,34 @@ mod tests {
         t.connect(Aid(2), Aid(3));
         t.connect(Aid(3), Aid(4));
         t
+    }
+
+    /// Reference implementation: the per-call BFS `next_hop` used before
+    /// the all-pairs table. Kept verbatim so tests can assert the table
+    /// returns identical results.
+    fn bfs_next_hop(t: &Topology, src: Aid, dst: Aid) -> Option<Aid> {
+        if src == dst {
+            return None;
+        }
+        let mut prev: HashMap<Aid, Aid> = HashMap::new();
+        let mut queue = VecDeque::from([src]);
+        let mut seen = HashSet::from([src]);
+        while let Some(cur) = queue.pop_front() {
+            for next in t.neighbors(cur) {
+                if seen.insert(next) {
+                    prev.insert(next, cur);
+                    if next == dst {
+                        let mut node = dst;
+                        while prev.get(&node) != Some(&src) {
+                            node = prev[&node];
+                        }
+                        return Some(node);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
     }
 
     #[test]
@@ -153,5 +437,158 @@ mod tests {
         t.connect(Aid(1), Aid(3));
         t.connect(Aid(1), Aid(7));
         assert_eq!(t.neighbors(Aid(1)), vec![Aid(3), Aid(7), Aid(9)]);
+    }
+
+    #[test]
+    fn table_matches_bfs_on_fixtures() {
+        // The satellite requirement: routing results unchanged on the
+        // chain/line fixtures (and a diamond with equal-cost paths).
+        let mut fixtures = vec![line()];
+        let mut diamond = Topology::new();
+        diamond.connect(Aid(1), Aid(2));
+        diamond.connect(Aid(2), Aid(4));
+        diamond.connect(Aid(1), Aid(3));
+        diamond.connect(Aid(3), Aid(4));
+        diamond.connect(Aid(1), Aid(5));
+        diamond.connect(Aid(5), Aid(6));
+        diamond.connect(Aid(6), Aid(4));
+        fixtures.push(diamond);
+        for t in &fixtures {
+            let mut nodes: Vec<Aid> = t.ases().collect();
+            nodes.sort();
+            for &a in &nodes {
+                for &b in &nodes {
+                    assert_eq!(
+                        t.next_hop(a, b),
+                        bfs_next_hop(t, a, b),
+                        "next_hop({a:?}, {b:?}) diverged from per-call BFS"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_bfs_on_pseudorandom_graphs() {
+        // Deterministic pseudo-random graphs via a tiny LCG: every pair's
+        // next hop must match the reference BFS, including tie-breaks.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for trial in 0..8 {
+            let n = 6 + (trial % 5);
+            let mut t = Topology::new();
+            for i in 1..=n {
+                t.add_as(Aid(i));
+            }
+            // Spanning path plus random chords.
+            for i in 1..n {
+                t.connect(Aid(i), Aid(i + 1));
+            }
+            for _ in 0..n {
+                let a = 1 + rng() % n;
+                let b = 1 + rng() % n;
+                if a != b {
+                    t.connect(Aid(a), Aid(b));
+                }
+            }
+            for a in 1..=n {
+                for b in 1..=n {
+                    assert_eq!(
+                        t.next_hop(Aid(a), Aid(b)),
+                        bfs_next_hop(&t, Aid(a), Aid(b)),
+                        "trial {trial}: next_hop({a}, {b}) diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_rebuilds_after_connect() {
+        let mut t = Topology::new();
+        t.connect(Aid(1), Aid(2));
+        t.connect(Aid(2), Aid(3));
+        assert_eq!(t.next_hop(Aid(1), Aid(3)), Some(Aid(2)));
+        // New shortcut must be picked up by the next query.
+        t.connect(Aid(1), Aid(3));
+        assert_eq!(t.next_hop(Aid(1), Aid(3)), Some(Aid(3)));
+    }
+
+    #[test]
+    fn chain_blueprint_is_a_line() {
+        let bp = TopologySpec::Chain { ases: 4 }.build();
+        assert_eq!(bp.ases.len(), 4);
+        assert_eq!(
+            bp.edges,
+            vec![(Aid(1), Aid(2)), (Aid(2), Aid(3)), (Aid(3), Aid(4))]
+        );
+        assert_eq!(bp.host_ases, bp.ases);
+    }
+
+    #[test]
+    fn fat_tree_has_constant_diameter() {
+        let bp = TopologySpec::FatTree { k: 4 }.build();
+        // k=4: 4 cores + 4 pods × (2 agg + 2 edge) = 20 ASes, 8 host ASes.
+        assert_eq!(bp.ases.len(), 20);
+        assert_eq!(bp.host_ases.len(), 8);
+        let mut t = Topology::new();
+        for &a in &bp.ases {
+            t.add_as(a);
+        }
+        for &(a, b) in &bp.edges {
+            t.connect(a, b);
+        }
+        // Any two edge ASes are within 4 AS-hops.
+        for &a in &bp.host_ases {
+            for &b in &bp.host_ases {
+                let hops = t.path(a, b).unwrap().len() - 1;
+                assert!(hops <= 4, "edge {a:?}->{b:?} took {hops} hops");
+            }
+        }
+    }
+
+    #[test]
+    fn isp_blueprint_connects_all_stubs() {
+        let bp = TopologySpec::Isp {
+            cores: 3,
+            regionals: 6,
+            stubs: 20,
+        }
+        .build();
+        assert_eq!(bp.ases.len(), 29);
+        assert_eq!(bp.host_ases.len(), 20);
+        let mut t = Topology::new();
+        for &(a, b) in &bp.edges {
+            t.connect(a, b);
+        }
+        for &a in &bp.host_ases {
+            for &b in &bp.host_ases {
+                let hops = t.path(a, b).unwrap().len() - 1;
+                assert!(hops <= 6, "stub {a:?}->{b:?} took {hops} hops");
+            }
+        }
+    }
+
+    #[test]
+    fn blueprints_are_deterministic() {
+        let a = TopologySpec::Isp {
+            cores: 2,
+            regionals: 4,
+            stubs: 10,
+        }
+        .build();
+        let b = TopologySpec::Isp {
+            cores: 2,
+            regionals: 4,
+            stubs: 10,
+        }
+        .build();
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.host_ases, b.host_ases);
     }
 }
