@@ -27,7 +27,7 @@ use crate::shutoff::RevocationOrder;
 use crate::time::Timestamp;
 use crate::Error;
 use apna_crypto::aes::Aes128;
-use apna_wire::{Aid, ApnaHeader, EphIdBytes, PacketBatch, ParsedSlot, ReplayMode};
+use apna_wire::{Aid, ApnaHeader, EphIdBytes, PacketBatch, ReplayMode};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -90,13 +90,15 @@ pub struct DropCounters {
 impl DropCounters {
     /// Records one drop.
     pub fn record(&mut self, reason: DropReason) {
-        self.counts[reason.index()] += 1;
+        if let Some(c) = self.counts.get_mut(reason.index()) {
+            *c += 1;
+        }
     }
 
     /// Drops recorded for `reason`.
     #[must_use]
     pub fn count(&self, reason: DropReason) -> u64 {
-        self.counts[reason.index()]
+        self.counts.get(reason.index()).copied().unwrap_or(0)
     }
 
     /// Total drops across all reasons.
@@ -175,6 +177,83 @@ impl BatchVerdicts {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.verdicts.is_empty()
+    }
+}
+
+/// Per-packet pipeline state for one in-flight batch: the verdict so far
+/// plus, while the packet is still alive, its opened EphID. Every access
+/// goes through `get`/`get_mut`, so a stage handed an out-of-range index
+/// (impossible by construction — indices come from the batch itself)
+/// skips the write instead of unwinding mid-burst (PANIC-1).
+struct PipelineSlots {
+    slots: Vec<Slot>,
+}
+
+/// One packet's state in [`PipelineSlots`]. `plain: Some` ⇔ the packet is
+/// still alive in the pipeline.
+#[derive(Clone, Copy)]
+struct Slot {
+    verdict: Verdict,
+    plain: Option<EphIdPlain>,
+}
+
+impl PipelineSlots {
+    /// `n` slots, all starting dead with the parse-failure verdict (the
+    /// EphID-decrypt stage only visits parsed packets, so unparsed slots
+    /// keep it).
+    fn new(n: usize) -> PipelineSlots {
+        PipelineSlots {
+            slots: vec![
+                Slot {
+                    verdict: Verdict::Drop(DropReason::Malformed),
+                    plain: None,
+                };
+                n
+            ],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Marks packet `i` alive, carrying its opened EphID.
+    fn admit(&mut self, i: usize, plain: EphIdPlain) {
+        if let Some(s) = self.slots.get_mut(i) {
+            s.plain = Some(plain);
+        }
+    }
+
+    /// Drops packet `i` and removes it from the alive set.
+    fn reject(&mut self, i: usize, reason: DropReason) {
+        if let Some(s) = self.slots.get_mut(i) {
+            s.verdict = Verdict::Drop(reason);
+            s.plain = None;
+        }
+    }
+
+    /// Records a passing verdict for packet `i`.
+    fn pass(&mut self, i: usize, verdict: Verdict) {
+        if let Some(s) = self.slots.get_mut(i) {
+            s.verdict = verdict;
+        }
+    }
+
+    /// The opened EphID of packet `i`, if it is alive.
+    fn plain(&self, i: usize) -> Option<EphIdPlain> {
+        self.slots.get(i).and_then(|s| s.plain)
+    }
+
+    /// Iterates `(index, plain)` over alive packets, in batch order.
+    fn alive(&self) -> impl Iterator<Item = (usize, EphIdPlain)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.plain.map(|p| (i, p)))
+    }
+
+    fn into_verdicts(self) -> Vec<Verdict> {
+        self.slots.into_iter().map(|s| s.verdict).collect()
     }
 }
 
@@ -338,7 +417,10 @@ impl BorderRouter {
     pub fn process_outgoing(&self, wire: &[u8], mode: ReplayMode, now: Timestamp) -> Verdict {
         let mut batch = PacketBatch::of_one(mode, wire.to_vec());
         self.process_batch(Direction::Egress, &mut batch, now)
-            .verdicts()[0]
+            .verdicts()
+            .first()
+            .copied()
+            .unwrap_or(Verdict::Drop(DropReason::Malformed))
     }
 
     /// Ingress pipeline (Fig. 4 top) over raw packet bytes; same batch-of
@@ -347,7 +429,10 @@ impl BorderRouter {
     pub fn process_incoming(&self, wire: &[u8], mode: ReplayMode, now: Timestamp) -> Verdict {
         let mut batch = PacketBatch::of_one(mode, wire.to_vec());
         self.process_batch(Direction::Ingress, &mut batch, now)
-            .verdicts()[0]
+            .verdicts()
+            .first()
+            .copied()
+            .unwrap_or(Verdict::Drop(DropReason::Malformed))
     }
 
     /// Egress pipeline over an already-parsed header: the per-packet
@@ -438,10 +523,7 @@ impl BorderRouter {
     }
 
     fn batch_egress(&self, batch: &PacketBatch, now: Timestamp) -> Vec<Verdict> {
-        let n = batch.len();
-        let mut verdicts = vec![Verdict::Drop(DropReason::Malformed); n];
-        // `Some(plain)` ⇔ the packet is still alive in the pipeline.
-        let mut plains: Vec<Option<EphIdPlain>> = vec![None; n];
+        let mut slots = PipelineSlots::new(batch.len());
 
         // Stage 2: EphID authentication + decryption — the whole burst's
         // source EphIDs go through the multi-block cipher backend in two
@@ -452,18 +534,18 @@ impl BorderRouter {
             .zip(ephid::open_many_with(&self.enc, &self.mac, &ephids))
         {
             match res {
-                Ok(plain) => plains[i] = Some(plain),
-                Err(_) => verdicts[i] = Verdict::Drop(DropReason::BadEphId),
+                Ok(plain) => slots.admit(i, plain),
+                Err(_) => slots.reject(i, DropReason::BadEphId),
             }
         }
 
         // Stage 3: expiry + revocation.
-        for i in 0..n {
-            let Some(plain) = plains[i] else { continue };
-            let header = batch.header(i).expect("alive packets are parsed");
+        for (i, header, _) in batch.parsed() {
+            let Some(plain) = slots.plain(i) else {
+                continue;
+            };
             if let Err(r) = self.stage_validity(&header.src.ephid, &plain, now) {
-                verdicts[i] = Verdict::Drop(r);
-                plains[i] = None;
+                slots.reject(i, r);
             }
         }
 
@@ -474,39 +556,34 @@ impl BorderRouter {
         // single host, the per-core RSS-queue case the prototype models,
         // is one full-width group.)
         let mut by_host: BTreeMap<Hid, Vec<usize>> = BTreeMap::new();
-        for (i, plain) in plains.iter().enumerate() {
-            if let Some(plain) = plain {
-                by_host.entry(plain.hid).or_default().push(i);
-            }
+        for (i, plain) in slots.alive() {
+            by_host.entry(plain.hid).or_default().push(i);
         }
         for (hid, members) in by_host {
             let Some(cmac) = self.infra.host_db.cmac_of_valid(hid) else {
                 for i in members {
-                    verdicts[i] = Verdict::Drop(DropReason::UnknownHost);
-                    plains[i] = None;
+                    slots.reject(i, DropReason::UnknownHost);
                 }
                 continue;
             };
-            let inputs: Vec<Vec<u8>> = members
+            // Alive ⇒ parsed, so the `?`s below never actually skip a
+            // member; they just make that invariant non-load-bearing.
+            let prepared: Vec<(usize, Vec<u8>, &[u8])> = members
                 .iter()
-                .map(|&i| {
-                    let header = batch.header(i).expect("alive packets are parsed");
-                    let payload = batch.payload(i).expect("alive packets are parsed");
-                    header.mac_input(payload)
+                .filter_map(|&i| {
+                    let header = batch.header(i)?;
+                    let payload = batch.payload(i)?;
+                    Some((i, header.mac_input(payload), header.mac.as_slice()))
                 })
                 .collect();
-            let input_refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
-            let tag_refs: Vec<&[u8]> = members
+            let input_refs: Vec<&[u8]> = prepared.iter().map(|(_, v, _)| v.as_slice()).collect();
+            let tag_refs: Vec<&[u8]> = prepared.iter().map(|&(_, _, t)| t).collect();
+            for ((i, _, _), ok) in prepared
                 .iter()
-                .map(|&i| {
-                    let header = batch.header(i).expect("alive packets are parsed");
-                    &header.mac[..]
-                })
-                .collect();
-            for (&i, ok) in members.iter().zip(cmac.verify_many(&input_refs, &tag_refs)) {
+                .zip(cmac.verify_many(&input_refs, &tag_refs))
+            {
                 if !ok {
-                    verdicts[i] = Verdict::Drop(DropReason::BadPacketMac);
-                    plains[i] = None;
+                    slots.reject(*i, DropReason::BadPacketMac);
                 }
             }
         }
@@ -515,47 +592,47 @@ impl BorderRouter {
         // and take each shard lock once (the scalar path locks per
         // packet; this is the batching win under contention).
         if let Some(filter) = &self.replay_filter {
-            let candidates: Vec<(usize, EphIdBytes, u64)> = (0..n)
-                .filter_map(|i| {
-                    plains[i]?;
-                    let header = batch.header(i)?;
+            let candidates: Vec<(usize, EphIdBytes, u64)> = batch
+                .parsed()
+                .filter_map(|(i, header, _)| {
+                    slots.plain(i)?;
                     header.nonce.map(|nonce| (i, header.src.ephid, nonce))
                 })
                 .collect();
             if !candidates.is_empty() {
                 filter.check_batch(&candidates, |i| {
-                    verdicts[i] = Verdict::Drop(DropReason::Replayed);
-                    plains[i] = None;
+                    slots.reject(i, DropReason::Replayed);
                 });
             }
         }
 
         // Survivors forward toward the destination AS.
-        for i in 0..n {
-            if plains[i].is_some() {
-                let header = batch.header(i).expect("alive packets are parsed");
-                verdicts[i] = Verdict::ForwardInter {
-                    dst_aid: header.dst.aid,
-                };
+        for (i, header, _) in batch.parsed() {
+            if slots.plain(i).is_some() {
+                slots.pass(
+                    i,
+                    Verdict::ForwardInter {
+                        dst_aid: header.dst.aid,
+                    },
+                );
             }
         }
-        verdicts
+        slots.into_verdicts()
     }
 
     fn batch_ingress(&self, batch: &PacketBatch, now: Timestamp) -> Vec<Verdict> {
-        let n = batch.len();
-        let mut verdicts = vec![Verdict::Drop(DropReason::Malformed); n];
-        let mut plains: Vec<Option<EphIdPlain>> = vec![None; n];
+        let mut slots = PipelineSlots::new(batch.len());
 
         // Stage 2: transit short-circuit, then batched destination-EphID
         // decrypt (only packets addressed to this AS touch the cipher).
-        for (i, slot) in batch.iter_slots() {
-            if let ParsedSlot::Parsed { header, .. } = slot {
-                if header.dst.aid != self.infra.aid {
-                    verdicts[i] = Verdict::ForwardInter {
+        for (i, header, _) in batch.parsed() {
+            if header.dst.aid != self.infra.aid {
+                slots.pass(
+                    i,
+                    Verdict::ForwardInter {
                         dst_aid: header.dst.aid,
-                    };
-                }
+                    },
+                );
             }
         }
         let aid = self.infra.aid;
@@ -565,30 +642,32 @@ impl BorderRouter {
             .zip(ephid::open_many_with(&self.enc, &self.mac, &ephids))
         {
             match res {
-                Ok(plain) => plains[i] = Some(plain),
-                Err(_) => verdicts[i] = Verdict::Drop(DropReason::BadEphId),
+                Ok(plain) => slots.admit(i, plain),
+                Err(_) => slots.reject(i, DropReason::BadEphId),
             }
         }
 
         // Stage 3: expiry + revocation on the destination EphID.
-        for i in 0..n {
-            let Some(plain) = plains[i] else { continue };
-            let header = batch.header(i).expect("alive packets are parsed");
+        for (i, header, _) in batch.parsed() {
+            let Some(plain) = slots.plain(i) else {
+                continue;
+            };
             if let Err(r) = self.stage_validity(&header.dst.ephid, &plain, now) {
-                verdicts[i] = Verdict::Drop(r);
-                plains[i] = None;
+                slots.reject(i, r);
             }
         }
 
         // Stage 4': destination host validity → local delivery.
-        for i in 0..n {
-            let Some(plain) = plains[i] else { continue };
+        for i in 0..slots.len() {
+            let Some(plain) = slots.plain(i) else {
+                continue;
+            };
             match self.stage_host_valid(&plain) {
-                Ok(()) => verdicts[i] = Verdict::DeliverLocal { hid: plain.hid },
-                Err(r) => verdicts[i] = Verdict::Drop(r),
+                Ok(()) => slots.pass(i, Verdict::DeliverLocal { hid: plain.hid }),
+                Err(r) => slots.reject(i, r),
             }
         }
-        verdicts
+        slots.into_verdicts()
     }
 
     /// Applies a revocation order from the accountability agent after

@@ -37,8 +37,14 @@ pub(crate) fn available() -> bool {
     std::arch::is_x86_feature_detected!("aes")
 }
 
+// SAFETY: callers must have verified `available()` — every intrinsic here
+// requires the `aes` CPU feature. All loads go through `_mm_loadu_si128`
+// (no alignment requirement) from a `&[u8; 16]`, which is always 16
+// readable bytes.
 #[target_feature(enable = "aes")]
 unsafe fn expand128(key: &[u8; 16]) -> NiKeys128 {
+    // SAFETY: only called from `expand128`, so the `aes` feature check is
+    // inherited; pure register arithmetic, no memory access.
     #[inline]
     #[target_feature(enable = "aes")]
     unsafe fn mix(k: __m128i, assist: __m128i) -> __m128i {
@@ -99,6 +105,9 @@ impl NiKeys128 {
     }
 }
 
+// SAFETY: callers must have verified `available()`. Unaligned
+// loads/stores (`_mm_loadu_si128`/`_mm_storeu_si128`) touch exactly the
+// 16 bytes of each `[u8; 16]` element, in bounds by construction.
 #[target_feature(enable = "aes")]
 unsafe fn encrypt_lanes_impl(rk: &[__m128i; 11], blocks: &mut [[u8; 16]]) {
     debug_assert!(blocks.len() <= NI_LANES);
@@ -118,6 +127,8 @@ unsafe fn encrypt_lanes_impl(rk: &[__m128i; 11], blocks: &mut [[u8; 16]]) {
     }
 }
 
+// SAFETY: same contract as `encrypt_lanes_impl` — feature-checked
+// callers, unaligned 16-byte accesses within each owned block.
 #[target_feature(enable = "aes")]
 unsafe fn decrypt_lanes_impl(rk: &[__m128i; 11], blocks: &mut [[u8; 16]]) {
     debug_assert!(blocks.len() <= NI_LANES);

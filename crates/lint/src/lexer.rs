@@ -1,0 +1,395 @@
+//! A lightweight Rust lexer: just enough token structure for line-oriented
+//! static analysis, with zero dependencies.
+//!
+//! The lexer understands the parts of Rust's lexical grammar that would
+//! otherwise produce false findings — strings (including raw and byte
+//! strings), char literals vs. lifetimes, nested block comments, raw
+//! identifiers — and flattens everything else into four token kinds.
+//! It deliberately does **not** build a syntax tree: every rule in this
+//! crate works on the token stream plus brace/paren matching, which is
+//! fast, dependency-free, and robust to code that does not yet compile.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `match`, `foo`, `r#type`).
+    Ident,
+    /// Punctuation. Multi-character operators the rules care about
+    /// (`::`, `=>`, `->`, `..`, `..=`) are fused into one token.
+    Punct,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Source text of the token (literals keep their quotes).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` if this token is the identifier/keyword `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// `true` if this token is the punctuation `s`.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A comment with its position, kept separate from the code-token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text, including the `//` / `/*` sigils.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens.
+    pub tokens: Vec<Token>,
+    /// All comments (line, block, and doc comments).
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators fused into single punct tokens, longest first.
+const FUSED: [&str; 5] = ["..=", "::", "=>", "->", ".."];
+
+/// Lexes `src` into code tokens and comments. Unterminated constructs are
+/// closed at end of input rather than reported — the lint never wants to
+/// die on a half-written file.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let (tok, nl) = scan_string(src, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..tok].to_string(),
+                    line,
+                });
+                line += nl;
+                i = tok;
+            }
+            b'r' | b'b' if starts_raw_or_byte(b, i) => {
+                let (tok, nl) = scan_prefixed_literal(src, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..tok].to_string(),
+                    line,
+                });
+                line += nl;
+                i = tok;
+            }
+            b'\'' => {
+                let (end, kind) = scan_quote(b, i);
+                out.tokens.push(Token {
+                    kind,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i = scan_number(b, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let fused = FUSED.iter().find(|op| rest.starts_with(**op));
+                let text = fused.map_or_else(|| src[i..i + 1].to_string(), ToString::to_string);
+                i += text.len();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, or `r#ident`?
+fn starts_raw_or_byte(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(&b'"') | Some(&b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(&b'"') | Some(&b'\'') => true,
+            Some(&b'r') => matches!(b.get(i + 2), Some(&b'"') | Some(&b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans a plain `"…"` string starting at `i`. Returns (end index, newlines).
+fn scan_string(src: &str, i: usize) -> (usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, nl),
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// Scans literals starting with `r` or `b`: raw strings, byte strings,
+/// byte chars, and raw identifiers. Returns (end index, newlines).
+fn scan_prefixed_literal(src: &str, i: usize) -> (usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i;
+    // Consume the prefix letters (`r`, `b`, `br`).
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    let hashes_start = j;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    let hashes = j - hashes_start;
+    if j < b.len() && b[j] == b'"' {
+        // Raw (or plain byte) string: ends at `"` followed by `hashes` #s.
+        if hashes == 0 && b[i] != b'r' && !src[i..j].contains('r') {
+            // b"…": ordinary escapes apply.
+            let (end, nl) = scan_string(src, j);
+            return (end, nl);
+        }
+        let mut nl = 0u32;
+        j += 1;
+        while j < b.len() {
+            if b[j] == b'"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == b'#')
+                    .count()
+                    == hashes
+            {
+                return (j + 1 + hashes, nl);
+            }
+            if b[j] == b'\n' {
+                nl += 1;
+            }
+            j += 1;
+        }
+        return (j, nl);
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // b'…' byte char.
+        let (end, _) = scan_quote(b, j);
+        return (end, 0);
+    }
+    // r#ident raw identifier (or a bare `r`/`b` ident): consume ident chars.
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    (j, 0)
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) at `i` (a `'`).
+fn scan_quote(b: &[u8], i: usize) -> (usize, TokenKind) {
+    let next = b.get(i + 1).copied().unwrap_or(b' ');
+    if next == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += if b[j] == b'\\' { 2 } else { 1 };
+        }
+        return ((j + 1).min(b.len()), TokenKind::Literal);
+    }
+    if (next.is_ascii_alphanumeric() || next == b'_') && b.get(i + 2) == Some(&b'\'') {
+        return (i + 3, TokenKind::Literal); // 'a'
+    }
+    if next.is_ascii_alphabetic() || next == b'_' {
+        // Lifetime: consume the identifier.
+        let mut j = i + 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, TokenKind::Lifetime);
+    }
+    // Odd char literal like '(' or unterminated: scan to closing quote.
+    let mut j = i + 1;
+    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+        j += 1;
+    }
+    ((j + 1).min(b.len()), TokenKind::Literal)
+}
+
+/// Scans a numeric literal (good enough for linting: underscores, hex,
+/// type suffixes, and a single decimal point — but never a `..` range).
+fn scan_number(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let mut seen_dot = false;
+    while j < b.len() {
+        let c = b[j];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            j += 1;
+        } else if c == b'.' && !seen_dot && b.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+            seen_dot = true;
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let l = lex(r#"let x = "unsafe { match }"; // unsafe in comment"#);
+        assert!(l.tokens.iter().all(|t| !t.is_ident("unsafe")));
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let src = "let s = r#\"quote \" inside\"#; /* a /* nested */ comment */ fn f() {}";
+        let l = lex(src);
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn fused_operators() {
+        let l = lex("match x { A::B => 0..=9, _ => a..b }");
+        assert!(l.tokens.iter().any(|t| t.is_punct("::")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("=>")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("..=")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("..")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\"two\nline\"\nc");
+        let c = l.tokens.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 5);
+        assert_eq!(idents("a\nb"), ["a", "b"]);
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let src = "let a = b\"bytes\"; let c = b'x'; let r = br\"raw\"; let broken = 1;";
+        let l = lex(src);
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            4
+        );
+        assert!(l.tokens.iter().any(|t| t.is_ident("broken")));
+    }
+}

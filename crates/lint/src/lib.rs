@@ -1,0 +1,122 @@
+//! `apna-lint`: workspace-local static analysis for the APNA tree.
+//!
+//! The compiler checks memory safety; it does not check the properties
+//! this architecture actually stands on. The paper's privacy model dies
+//! if crypto branches on secrets (CT-1); the simnet's byte-identical
+//! rerun contract dies if a verdict depends on hash-iteration order
+//! (DET-1); the data plane's availability dies if a hot path can panic
+//! on attacker bytes (PANIC-1); `unsafe` reviewability dies without
+//! SAFETY comments (UNSAFE-1); and wire-protocol evolution dies behind
+//! `_ =>` wildcard arms (WIRE-1). This crate enforces all five over the
+//! token stream of every workspace source file — no rustc plumbing, no
+//! dependencies, fast enough to run on every CI push.
+//!
+//! Findings can be waived inline, one line above or on the offending
+//! line, with a mandatory reason:
+//!
+//! ```text
+//! // apna-lint: allow(det-1, "drained through a sort two lines down")
+//! ```
+//!
+//! See `LINTS.md` at the workspace root for the rule catalog.
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use rules::Rule;
+use source::{Finding, SourceFile};
+
+/// Result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that stand (fail the build under `--deny`).
+    pub unwaived: Vec<Finding>,
+    /// Findings suppressed by a reasoned waiver.
+    pub waived: Vec<Finding>,
+    /// Files checked.
+    pub files: usize,
+}
+
+/// Rule id for engine-level diagnostics about the waivers themselves.
+pub const WAIVER_RULE: &str = "LINT-0";
+
+/// Runs `rls` over one parsed file, applying its waivers. Malformed
+/// waivers (no reason) become LINT-0 findings that cannot be waived.
+pub fn check_file(file: &SourceFile, rls: &[Box<dyn Rule>], report: &mut Report) {
+    let mut found = Vec::new();
+    for rule in rls {
+        if rule.applies_to(&file.path) {
+            rule.check(file, &mut found);
+        }
+    }
+    for f in found {
+        let waiver = file.waivers.iter().find(|w| {
+            w.target_line == f.line && w.rule == f.rule.to_lowercase() && !w.reason.is_empty()
+        });
+        match waiver {
+            Some(w) => report.waived.push(Finding {
+                waived: Some(w.reason.clone()),
+                ..f
+            }),
+            None => report.unwaived.push(f),
+        }
+    }
+    // Waivers must carry a reason; an unreasoned waiver is itself a finding.
+    for w in &file.waivers {
+        if w.reason.is_empty() {
+            report.unwaived.push(Finding::new(
+                WAIVER_RULE,
+                file,
+                w.line,
+                format!(
+                    "waiver for `{}` has no reason — use `// apna-lint: allow({}, \"why\")`",
+                    if w.rule.is_empty() { "?" } else { &w.rule },
+                    if w.rule.is_empty() { "rule" } else { &w.rule },
+                ),
+            ));
+        }
+    }
+    report.files += 1;
+}
+
+/// Lints `(path, source)` pairs with the default rule set.
+#[must_use]
+pub fn check_sources<'a>(sources: impl Iterator<Item = (&'a str, &'a str)>) -> Report {
+    let rls = rules::all();
+    let mut report = Report::default();
+    for (path, src) in sources {
+        let file = SourceFile::parse(path, src);
+        check_file(&file, &rls, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_suppresses_matching_rule_only() {
+        let src = "fn f() {\n\
+                   let mut m = HashMap::new();\n\
+                   // apna-lint: allow(det-1, \"aggregate is order-insensitive\")\n\
+                   for x in &m {\n\
+                   }\n\
+                   for y in &m {\n\
+                   }\n\
+                   }\n";
+        let report = check_sources([("crates/simnet/src/x.rs", src)].into_iter());
+        assert_eq!(report.waived.len(), 1);
+        assert_eq!(report.unwaived.len(), 1);
+        assert_eq!(report.unwaived[0].line, 6);
+    }
+
+    #[test]
+    fn unreasoned_waiver_is_a_finding() {
+        let src = "// apna-lint: allow(det-1)\nfn f() {}\n";
+        let report = check_sources([("crates/simnet/src/x.rs", src)].into_iter());
+        assert_eq!(report.unwaived.len(), 1);
+        assert_eq!(report.unwaived[0].rule, WAIVER_RULE);
+    }
+}

@@ -1,0 +1,144 @@
+//! The `apna-lint` binary: walks the workspace, runs every rule, prints
+//! per-finding diagnostics and a per-rule summary table, and (under
+//! `--deny`) exits nonzero on any unwaived finding.
+//!
+//! ```text
+//! cargo run -p apna-lint              # report
+//! cargo run -p apna-lint -- --deny    # CI gate
+//! cargo run -p apna-lint -- --deny crates/crypto/src/aes.rs
+//! ```
+
+use apna_lint::rules;
+use apna_lint::source::SourceFile;
+use apna_lint::{check_file, Report};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories never linted: external stand-ins, build output, and the
+/// deliberately-bad lint fixtures.
+const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", "lint_fixtures", ".github"];
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut explicit: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--root" => {
+                if let Some(r) = args.next() {
+                    root = PathBuf::from(r);
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "apna-lint [--deny] [--root DIR] [FILES...]\n\
+                     Runs the APNA invariant rules (see LINTS.md). --deny exits 1 on\n\
+                     any unwaived finding."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => explicit.push(PathBuf::from(other)),
+        }
+    }
+
+    let files = if explicit.is_empty() {
+        let mut v = Vec::new();
+        walk(&root, &mut v);
+        v.sort();
+        v
+    } else {
+        explicit
+    };
+
+    let rls = rules::all();
+    let mut report = Report::default();
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            eprintln!("apna-lint: unreadable file skipped: {}", path.display());
+            continue;
+        };
+        let rel = relative_to(path, &root);
+        let parsed = SourceFile::parse(&rel, &src);
+        check_file(&parsed, &rls, &mut report);
+    }
+
+    for f in &report.unwaived {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+
+    // Per-rule summary table.
+    println!("\nrule       total  waived  unwaived  invariant");
+    for rule in &rls {
+        let id = rule.id();
+        let waived = report.waived.iter().filter(|f| f.rule == id).count();
+        let unwaived = report.unwaived.iter().filter(|f| f.rule == id).count();
+        println!(
+            "{:<9}  {:>5}  {:>6}  {:>8}  {}",
+            id,
+            waived + unwaived,
+            waived,
+            unwaived,
+            rule.describe()
+        );
+    }
+    let lint0 = report
+        .unwaived
+        .iter()
+        .filter(|f| f.rule == apna_lint::WAIVER_RULE)
+        .count();
+    if lint0 > 0 {
+        println!(
+            "{:<9}  {:>5}  {:>6}  {:>8}  waivers must carry a reason",
+            apna_lint::WAIVER_RULE,
+            lint0,
+            0,
+            lint0
+        );
+    }
+    println!(
+        "\n{} files checked, {} findings ({} waived, {} unwaived)",
+        report.files,
+        report.waived.len() + report.unwaived.len(),
+        report.waived.len(),
+        report.unwaived.len()
+    );
+
+    if deny && !report.unwaived.is_empty() {
+        eprintln!(
+            "apna-lint: failing (--deny) on {} unwaived findings",
+            report.unwaived.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative, `/`-separated display path.
+fn relative_to(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,340 @@
+//! CT-1: constant-time discipline in `apna-crypto`.
+//!
+//! The paper's privacy model survives only if no crypto operation's
+//! timing depends on secret material (LeePBSP16 §VIII): a secret-indexed
+//! table lookup or a secret-conditioned branch leaks through caches and
+//! predictors. This rule taints identifiers that look key-derived and
+//! flags two patterns:
+//!
+//! 1. a tainted identifier inside an `if`/`while` condition or `match`
+//!    scrutinee (secret-dependent control flow), and
+//! 2. a tainted identifier inside an index expression `table[...]`
+//!    (secret-dependent memory access — the classic table-AES leak).
+//!
+//! Length queries (`.len()`, `.is_empty()`) are exempt: lengths of key
+//! buffers are public. Indexing *into* a secret buffer with a public
+//! index is also fine and not flagged — only a secret *in index
+//! position* is.
+
+use super::{is_postfix_bracket, matching_bracket, Rule};
+use crate::lexer::TokenKind;
+use crate::source::{Finding, SourceFile};
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct Ct1;
+
+/// Name fragments that seed taint when they appear in a binding name.
+const SECRET_FRAGMENTS: [&str; 5] = ["key", "secret", "seed", "scalar", "priv"];
+
+/// Exact binding names that seed taint (too short to be fragments).
+const SECRET_NAMES: [&str; 4] = ["k", "sk", "rk", "ks"];
+
+/// Method calls on a tainted value that reveal only public facts.
+const PUBLIC_ACCESSORS: [&str; 3] = ["len", "is_empty", "capacity"];
+
+fn seeds_taint(name: &str) -> bool {
+    let lower = name.to_lowercase();
+    SECRET_NAMES.contains(&lower.as_str()) || SECRET_FRAGMENTS.iter().any(|f| lower.contains(f))
+}
+
+impl Rule for Ct1 {
+    fn id(&self) -> &'static str {
+        "CT-1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no secret-dependent branches or table indices in apna-crypto"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path.contains("crates/crypto/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // Walk functions one at a time so taint stays scoped.
+        let toks = &file.tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("fn") && !file.token_in_attr(i) {
+                if let Some((body_open, body_close)) = fn_body(file, i) {
+                    check_fn(file, i, body_open, body_close, out);
+                    // Functions nested in the body are revisited by the
+                    // outer loop; their params re-seed their own taint.
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Locates the `{`..`}` body of the fn whose `fn` keyword is at `fn_at`.
+fn fn_body(file: &SourceFile, fn_at: usize) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut j = fn_at + 1;
+    // Body opens at the first depth-0 `{`; a `;` first means a trait
+    // method signature or extern decl with no body.
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren -= 1;
+        } else if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 {
+            if t.is_punct(";") {
+                return None;
+            }
+            if t.is_punct("{") {
+                return file.matching_brace(j).map(|close| (j, close));
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collects the parameter names of the fn at `fn_at` that seed taint,
+/// then propagates through `let` bindings and reports findings.
+fn check_fn(
+    file: &SourceFile,
+    fn_at: usize,
+    body_open: usize,
+    body_close: usize,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+
+    // Seed from parameters: idents followed by `:` inside the arg parens.
+    let mut j = fn_at + 1;
+    while j < body_open {
+        if toks[j].kind == TokenKind::Ident
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(":"))
+            && seeds_taint(&toks[j].text)
+        {
+            tainted.insert(toks[j].text.clone());
+        }
+        j += 1;
+    }
+
+    // One linear pass over the body: propagate taint through `let`
+    // bindings whose initializer mentions a tainted name, and flag
+    // conditions / scrutinees / index expressions as they appear.
+    let mut k = body_open;
+    while k < body_close {
+        let t = &toks[k];
+        if file.in_test_region(t.line) {
+            k += 1;
+            continue;
+        }
+        if k != fn_at && t.is_ident("fn") && !file.token_in_attr(k) {
+            // Nested fns get their own scan with their own taint scope.
+            if let Some((_, close)) = fn_body(file, k) {
+                k = close + 1;
+                continue;
+            }
+        }
+        if t.is_ident("let") {
+            k = propagate_let(file, k, body_close, &mut tainted);
+            continue;
+        }
+        if t.is_ident("if") || t.is_ident("while") || t.is_ident("match") {
+            let what = if t.is_ident("match") {
+                "match scrutinee"
+            } else {
+                "branch condition"
+            };
+            let end = condition_end(file, k + 1, body_close);
+            report_tainted_range(file, k + 1, end, &tainted, what, out);
+            k += 1;
+            continue;
+        }
+        if is_postfix_bracket(file, k) {
+            if let Some(close) = matching_bracket(file, k) {
+                report_tainted_range(file, k + 1, close, &tainted, "index expression", out);
+                // Don't skip the contents: nested indexing inside still
+                // gets its own check via the outer loop.
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Handles `let [mut] name(…) (: T)? = expr;` starting at the `let` token.
+/// Taints the bound lowercase names if the initializer mentions taint.
+/// Returns the index to resume scanning from (the `=` or statement end).
+fn propagate_let(
+    file: &SourceFile,
+    let_at: usize,
+    limit: usize,
+    tainted: &mut BTreeSet<String>,
+) -> usize {
+    let toks = &file.tokens;
+    // Bound names: lowercase idents between `let` and the depth-0 `=`,
+    // skipping anything after a `:` (type position).
+    let mut names: Vec<String> = Vec::new();
+    let mut j = let_at + 1;
+    let mut depth = 0i64;
+    let mut in_type = false;
+    let mut eq_at = None;
+    while j < limit {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(":") {
+            in_type = true;
+        } else if depth <= 0 && t.is_punct("=") {
+            eq_at = Some(j);
+            break;
+        } else if depth <= 0 && t.is_punct(";") {
+            return j + 1; // `let x;` — no initializer.
+        } else if !in_type
+            && t.kind == TokenKind::Ident
+            && t.text.chars().next().is_some_and(char::is_lowercase)
+            && !matches!(t.text.as_str(), "mut" | "ref" | "else")
+        {
+            names.push(t.text.clone());
+        }
+        j += 1;
+    }
+    let Some(eq) = eq_at else { return let_at + 1 };
+    // Initializer: to the depth-0 `;`.
+    let mut end = eq + 1;
+    let mut d = 0i64;
+    while end < limit {
+        let t = &toks[end];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            d += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            d -= 1;
+        } else if d <= 0 && t.is_punct(";") {
+            break;
+        }
+        end += 1;
+    }
+    let rhs_tainted = (eq + 1..end).any(|m| {
+        toks[m].kind == TokenKind::Ident
+            && tainted.contains(&toks[m].text)
+            && !is_public_accessor_use(file, m)
+    });
+    if rhs_tainted {
+        for n in names {
+            tainted.insert(n);
+        }
+    }
+    // Resume right after `=` so conditions/indices inside the
+    // initializer are still scanned by the main loop.
+    eq + 1
+}
+
+/// End (exclusive) of an `if`/`while` condition or `match` scrutinee
+/// starting at `from`: the first `{` with all delimiters balanced.
+fn condition_end(file: &SourceFile, from: usize, limit: usize) -> usize {
+    let toks = &file.tokens;
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut j = from;
+    while j < limit {
+        let t = &toks[j];
+        if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren -= 1;
+        } else if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 && t.is_punct("{") {
+            return j;
+        }
+        j += 1;
+    }
+    limit
+}
+
+/// `true` if the tainted ident at `m` is only queried for public facts
+/// (e.g. `key.len()`).
+fn is_public_accessor_use(file: &SourceFile, m: usize) -> bool {
+    let toks = &file.tokens;
+    toks.get(m + 1).is_some_and(|t| t.is_punct("."))
+        && toks
+            .get(m + 2)
+            .is_some_and(|t| PUBLIC_ACCESSORS.contains(&t.text.as_str()))
+}
+
+/// Reports each tainted identifier occurrence in `[from, to)`.
+fn report_tainted_range(
+    file: &SourceFile,
+    from: usize,
+    to: usize,
+    tainted: &BTreeSet<String>,
+    what: &str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    for (m, t) in toks.iter().enumerate().take(to.min(toks.len())).skip(from) {
+        if t.kind == TokenKind::Ident
+            && tainted.contains(&t.text)
+            && !is_public_accessor_use(file, m)
+        {
+            out.push(Finding::new(
+                "CT-1",
+                file,
+                t.line,
+                format!("secret-derived value `{}` used in {what}", t.text),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/crypto/src/x.rs", src);
+        let mut out = Vec::new();
+        Ct1.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_secret_indexed_table() {
+        let out = run("fn sub(key: &[u8; 16]) -> u8 {\n    SBOX[key[0] as usize]\n}\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn flags_secret_branch_and_propagates_let() {
+        let src = "fn f(secret: u8) {\n\
+                   let derived = secret ^ 0x55;\n\
+                   if derived == 0 {\n\
+                   }\n\
+                   }\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn public_index_into_secret_is_fine() {
+        let out = run("fn f(key: &[u8; 16], i: usize) -> u8 {\n    key[i]\n}\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn len_is_public() {
+        let out =
+            run("fn f(key: &[u8]) {\n    if key.len() > 16 {\n    }\n    let n = key.len();\n}\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

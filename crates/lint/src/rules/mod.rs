@@ -1,0 +1,80 @@
+//! The rule families. Each rule is a pure function over one
+//! [`SourceFile`]; path scoping and waiver application live in the
+//! engine ([`crate::check_sources`]), so tests can drive rules directly.
+
+use crate::source::{Finding, SourceFile};
+
+mod ct1;
+mod det1;
+mod panic1;
+mod unsafe1;
+mod wire1;
+
+pub use ct1::Ct1;
+pub use det1::Det1;
+pub use panic1::Panic1;
+pub use unsafe1::Unsafe1;
+pub use wire1::Wire1;
+
+/// One enforceable invariant family.
+pub trait Rule {
+    /// Stable id (uppercase, e.g. `CT-1`). Waivers use the lowercase form.
+    fn id(&self) -> &'static str;
+    /// One-line description for the summary table.
+    fn describe(&self) -> &'static str;
+    /// Whether the rule runs on `path` (workspace-relative, `/`-separated).
+    fn applies_to(&self, path: &str) -> bool;
+    /// Appends findings for `file` to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// All rules, in summary-table order.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(Ct1),
+        Box::new(Det1),
+        Box::new(Unsafe1::default()),
+        Box::new(Panic1),
+        Box::new(Wire1),
+    ]
+}
+
+/// `true` if token `i` opens a postfix index expression `expr[...]`:
+/// the previous code token must be something an expression can end with.
+/// Array literals (`= [...]`), attribute brackets (`#[...]`), and type
+/// positions (`: [u8; 16]`) all fail this test.
+pub(crate) fn is_postfix_bracket(file: &SourceFile, i: usize) -> bool {
+    if !file.tokens[i].is_punct("[") || file.token_in_attr(i) {
+        return false;
+    }
+    let Some(prev) = i.checked_sub(1).map(|p| &file.tokens[p]) else {
+        return false;
+    };
+    use crate::lexer::TokenKind;
+    match prev.kind {
+        TokenKind::Ident => !matches!(
+            prev.text.as_str(),
+            // Keywords an expression can't end with.
+            "return" | "break" | "in" | "if" | "else" | "match" | "while" | "mut" | "ref" | "as"
+        ),
+        TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
+        TokenKind::Literal | TokenKind::Lifetime => false,
+    }
+}
+
+/// Finds the matching `]` for the `[` at `open`.
+pub(crate) fn matching_bracket(file: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in file.tokens.iter().enumerate().skip(open) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,130 @@
+//! PANIC-1: panic-freedom in data-plane hot paths.
+//!
+//! A border router mid-burst must never unwind: one poisoned packet
+//! panicking the pipeline is a denial-of-service primitive (the paper's
+//! E7 pipeline processes attacker-controlled bytes at line rate). In the
+//! configured hot-path modules this rule flags `.unwrap()`, `.expect(…)`,
+//! `panic!`/`unreachable!`/`todo!`/`unimplemented!`, and bare index
+//! expressions (`x[i]` can panic; `x.get(i)` cannot). The infallible
+//! full-range borrow `x[..]` is exempt. Test modules are exempt —
+//! panicking is how test assertions work.
+
+use super::{is_postfix_bracket, matching_bracket, Rule};
+use crate::source::{Finding, SourceFile};
+
+/// See module docs.
+pub struct Panic1;
+
+/// Hot-path modules (workspace-relative suffix match).
+const HOT_PATHS: [&str; 1] = ["crates/core/src/border.rs"];
+
+/// Panicking macros.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+impl Rule for Panic1 {
+    fn id(&self) -> &'static str {
+        "PANIC-1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/bare indexing in data-plane hot paths"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        HOT_PATHS.iter().any(|p| path.ends_with(p))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if file.in_test_region(t.line) {
+                continue;
+            }
+            let after_dot = i > 0 && toks[i - 1].is_punct(".");
+            let called = toks.get(i + 1).is_some_and(|p| p.is_punct("("));
+            if after_dot && called && (t.is_ident("unwrap") || t.is_ident("expect")) {
+                out.push(Finding::new(
+                    "PANIC-1",
+                    file,
+                    t.line,
+                    format!(
+                        "`.{}()` can panic mid-burst — return a typed error or restructure",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+                && toks.get(i + 1).is_some_and(|p| p.is_punct("!"))
+            {
+                out.push(Finding::new(
+                    "PANIC-1",
+                    file,
+                    t.line,
+                    format!("`{}!` in a hot path", t.text),
+                ));
+                continue;
+            }
+            if is_postfix_bracket(file, i) {
+                let close = matching_bracket(file, i);
+                // `x[..]` — the only indexing form that cannot panic.
+                let full_range =
+                    close == Some(i + 2) && toks.get(i + 1).is_some_and(|p| p.is_punct(".."));
+                if !full_range {
+                    out.push(Finding::new(
+                        "PANIC-1",
+                        file,
+                        t.line,
+                        "bare index can panic — use `.get()`/iterators or restructure".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/core/src/border.rs", src);
+        let mut out = Vec::new();
+        Panic1.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_and_indexing() {
+        let src = "fn f(v: &[u8]) -> u8 {\n\
+                   let a = v.first().unwrap();\n\
+                   let b = v.get(1).expect(\"one\");\n\
+                   if v.is_empty() { panic!(\"no\"); }\n\
+                   v[0]\n\
+                   }\n";
+        let out = run(src);
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5], "{out:?}");
+    }
+
+    #[test]
+    fn safe_forms_pass() {
+        let src = "fn f(v: &[u8]) -> Option<u8> {\n\
+                   let whole = &v[..];\n\
+                   let arr = [0u8; 4];\n\
+                   whole.first().copied().or_else(|| arr.first().copied())\n\
+                   }\n";
+        let out = run(src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { Some(1).unwrap(); }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+}

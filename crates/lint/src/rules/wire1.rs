@@ -1,0 +1,218 @@
+//! WIRE-1: exhaustive dispatch over wire-visible enums.
+//!
+//! `ControlKind`, `DropReason`, and `FrameKind` are the enums a new wire
+//! variant lands in. A `_ =>` wildcard arm in a match that dispatches
+//! over them silently absorbs the new variant; without the wildcard, the
+//! compiler walks you to every handler that needs a decision. This rule
+//! finds `match` expressions whose arm *patterns* name one of the
+//! watched enums and flags any top-level `_` arm (including guarded
+//! `_ if …` arms).
+
+use super::Rule;
+use crate::source::{Finding, SourceFile};
+
+/// See module docs.
+pub struct Wire1;
+
+/// Enums whose dispatch must stay wildcard-free.
+const WATCHED: [&str; 3] = ["ControlKind", "DropReason", "FrameKind"];
+
+impl Rule for Wire1 {
+    fn id(&self) -> &'static str {
+        "WIRE-1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no `_ =>` arms in ControlKind/DropReason/FrameKind dispatch"
+    }
+
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_ident("match") && !file.in_test_region(t.line) {
+                check_match(file, i, out);
+            }
+        }
+    }
+}
+
+/// Parses the arms of the `match` at `match_at` and flags wildcard arms
+/// if any arm pattern names a watched enum. Nested matches inside arm
+/// bodies are skipped here — the outer scan visits their `match` keyword
+/// separately.
+fn check_match(file: &SourceFile, match_at: usize, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    // Scrutinee runs to the first `{` with parens/brackets balanced.
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    let mut open = match_at + 1;
+    while open < toks.len() {
+        let t = &toks[open];
+        if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren -= 1;
+        } else if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 && t.is_punct("{") {
+            break;
+        }
+        open += 1;
+    }
+    let Some(close) = file.matching_brace(open) else {
+        return;
+    };
+
+    // Walk the arms: pattern tokens up to a depth-0 `=>`, then a body
+    // (braced, or expression up to a depth-0 `,`).
+    let mut watched = false;
+    let mut wildcard_lines: Vec<u32> = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        // --- pattern ---
+        let pat_start = j;
+        let mut depth = 0i64;
+        while j < close {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("=>") {
+                break;
+            }
+            j += 1;
+        }
+        if j >= close {
+            break;
+        }
+        let pattern = &toks[pat_start..j];
+        if pattern
+            .windows(2)
+            .any(|w| WATCHED.contains(&w[0].text.as_str()) && w[1].is_punct("::"))
+        {
+            watched = true;
+        }
+        let is_wildcard = matches!(pattern.first(), Some(p) if p.is_punct("_") || p.is_ident("_"))
+            && (pattern.len() == 1 || pattern.get(1).is_some_and(|t| t.is_ident("if")));
+        if is_wildcard {
+            if let Some(p) = pattern.first() {
+                wildcard_lines.push(p.line);
+            }
+        }
+        // --- body ---
+        j += 1; // past `=>`
+        if j < close && toks[j].is_punct("{") {
+            match file.matching_brace(j) {
+                Some(end) => j = end + 1,
+                None => break,
+            }
+            if j < close && toks[j].is_punct(",") {
+                j += 1;
+            }
+        } else {
+            let mut d = 0i64;
+            while j < close {
+                let t = &toks[j];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    d += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    d -= 1;
+                } else if d == 0 && t.is_punct(",") {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+
+    if watched {
+        for line in wildcard_lines {
+            out.push(Finding::new(
+                "WIRE-1",
+                file,
+                line,
+                "wildcard `_` arm in dispatch over a wire enum — name every variant so new ones are compile-visible".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        Wire1.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wildcard_over_watched_enum() {
+        let src = "fn f(k: ControlKind) -> u8 {\n\
+                   match k {\n\
+                   ControlKind::EphIdRequest => 0,\n\
+                   _ => 1,\n\
+                   }\n\
+                   }\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn exhaustive_match_passes() {
+        let src = "fn f(k: Dir) -> u8 {\n\
+                   match k {\n\
+                   Dir::In => 0,\n\
+                   Dir::Out => 1,\n\
+                   }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unwatched_wildcard_passes() {
+        let src = "fn f(b: u8) -> u8 {\n\
+                   match b {\n\
+                   0 => 0,\n\
+                   _ => 1,\n\
+                   }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn watched_in_body_only_is_not_dispatch() {
+        // The watched name appears in an arm *body*, not a pattern: this
+        // match dispatches over something else entirely.
+        let src = "fn f(b: u8) -> DropReason {\n\
+                   match b {\n\
+                   0 => DropReason::Malformed,\n\
+                   _ => DropReason::BadEphId,\n\
+                   }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn guarded_wildcard_flagged() {
+        let src = "fn f(k: FrameKind, x: u8) -> u8 {\n\
+                   match k {\n\
+                   FrameKind::Data => 0,\n\
+                   _ if x > 1 => 2,\n\
+                   _ => 1,\n\
+                   }\n\
+                   }\n";
+        assert_eq!(run(src).len(), 2);
+    }
+}

@@ -1,0 +1,398 @@
+//! Per-file analysis context: lexed tokens plus the line-oriented facts
+//! every rule needs — waivers, `#[cfg(test)]` regions, attribute lines,
+//! and comment text by line.
+
+use crate::lexer::{self, Comment, Token};
+
+/// The waiver marker rules look for in comments.
+pub const WAIVER_MARKER: &str = "apna-lint:";
+
+/// A parsed `// apna-lint: allow(<rule>, "<reason>")` waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Lowercased rule id the waiver applies to (e.g. `ct-1`).
+    pub rule: String,
+    /// The quoted justification. Empty means the waiver is malformed —
+    /// reasons are mandatory.
+    pub reason: String,
+    /// Line the waiver comment sits on.
+    pub line: u32,
+    /// Line the waiver covers: its own line if it trails code, otherwise
+    /// the next line carrying code.
+    pub target_line: u32,
+}
+
+/// One file ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (used for scoping).
+    pub path: String,
+    /// Code tokens in source order (comments stripped).
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// Parsed waivers.
+    pub waivers: Vec<Waiver>,
+    /// `lines_in_tests[line-1]` ⇔ the line is inside a `#[cfg(test)]` item.
+    lines_in_tests: Vec<bool>,
+    /// `lines_attr_only[line-1]` ⇔ the line's code tokens all belong to
+    /// outer/inner attributes (`#[…]` / `#![…]`).
+    lines_attr_only: Vec<bool>,
+    /// `lines_with_code[line-1]` ⇔ some code token starts on the line.
+    lines_with_code: Vec<bool>,
+    /// For each token index, `true` if the token is part of an attribute.
+    token_in_attr: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `src` (with its workspace-relative `path`) into a rule-ready
+    /// context.
+    #[must_use]
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        let nlines = src.lines().count().max(1);
+        let mut f = SourceFile {
+            path: path.replace('\\', "/"),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            waivers: Vec::new(),
+            lines_in_tests: vec![false; nlines],
+            lines_attr_only: vec![false; nlines],
+            lines_with_code: vec![false; nlines],
+            token_in_attr: Vec::new(),
+        };
+        f.token_in_attr = mark_attr_tokens(&f.tokens);
+        f.mark_line_kinds(nlines);
+        f.mark_test_regions();
+        f.parse_waivers();
+        f
+    }
+
+    /// `true` if `line` (1-based) is inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.lines_in_tests
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// `true` if `line` carries only attribute tokens (no other code).
+    #[must_use]
+    pub fn attr_only_line(&self, line: u32) -> bool {
+        self.lines_attr_only
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// `true` if any code token starts on `line`.
+    #[must_use]
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.lines_with_code
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// `true` if token `i` belongs to an attribute (`#[…]`).
+    #[must_use]
+    pub fn token_in_attr(&self, i: usize) -> bool {
+        self.token_in_attr.get(i).copied().unwrap_or(false)
+    }
+
+    /// Comments whose text contains `needle`, as their line numbers.
+    #[must_use]
+    pub fn comment_lines_containing(&self, needle: &str) -> Vec<u32> {
+        self.comments
+            .iter()
+            .filter(|c| c.text.contains(needle))
+            .map(|c| c.line)
+            .collect()
+    }
+
+    /// Index of the matching close brace for the open brace at token `open`
+    /// (which must be `{`), or `None` if unbalanced.
+    #[must_use]
+    pub fn matching_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for (j, t) in self.tokens.iter().enumerate().skip(open) {
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+        None
+    }
+
+    fn mark_line_kinds(&mut self, nlines: usize) {
+        // A line is attr-only if it has code tokens and all of them are in
+        // attributes. Track both facts in one pass.
+        let mut any = vec![false; nlines];
+        let mut non_attr = vec![false; nlines];
+        for (i, t) in self.tokens.iter().enumerate() {
+            let l = t.line as usize - 1;
+            if l < nlines {
+                any[l] = true;
+                if !self.token_in_attr[i] {
+                    non_attr[l] = true;
+                }
+            }
+        }
+        for l in 0..nlines {
+            self.lines_with_code[l] = any[l];
+            self.lines_attr_only[l] = any[l] && !non_attr[l];
+        }
+    }
+
+    /// Finds `#[cfg(test)]` attributes and marks the lines of the item
+    /// each one attaches to (through the matching `}` or terminating `;`).
+    fn mark_test_regions(&mut self) {
+        let toks = &self.tokens;
+        let mut i = 0;
+        while i + 4 < toks.len() {
+            let is_cfg_test = toks[i].is_punct("#")
+                && toks[i + 1].is_punct("[")
+                && toks[i + 2].is_ident("cfg")
+                && toks[i + 3].is_punct("(")
+                && toks[i + 4].is_ident("test");
+            if !is_cfg_test {
+                i += 1;
+                continue;
+            }
+            let start_line = toks[i].line;
+            // Skip to the end of this attribute, then over any further
+            // attributes, to the item itself.
+            let mut j = i + 2;
+            let mut depth = 0i64;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            // j is at the `]` closing #[cfg(test)].
+            let mut k = j + 1;
+            while k < toks.len() && self.token_in_attr[k] {
+                k += 1;
+            }
+            // The item body: everything to the matching `}` of its first
+            // depth-0 `{`, or to a `;` if one comes first (e.g. a use).
+            let mut end_line = start_line;
+            let mut m = k;
+            let mut found = false;
+            while m < toks.len() {
+                if toks[m].is_punct(";") {
+                    end_line = toks[m].line;
+                    found = true;
+                    break;
+                }
+                if toks[m].is_punct("{") {
+                    if let Some(close) = self.matching_brace(m) {
+                        end_line = toks[close].line;
+                        found = true;
+                    }
+                    break;
+                }
+                m += 1;
+            }
+            if found {
+                let (a, b) = (start_line as usize - 1, end_line as usize - 1);
+                for l in a..=b.min(self.lines_in_tests.len() - 1) {
+                    self.lines_in_tests[l] = true;
+                }
+            }
+            i = k.max(i + 1);
+        }
+    }
+
+    fn parse_waivers(&mut self) {
+        let mut waivers = Vec::new();
+        for c in &self.comments {
+            let Some(pos) = c.text.find(WAIVER_MARKER) else {
+                continue;
+            };
+            let spec = &c.text[pos + WAIVER_MARKER.len()..];
+            let (rule, reason) = parse_allow(spec);
+            waivers.push(Waiver {
+                rule,
+                reason,
+                line: c.line,
+                target_line: 0, // fixed up below
+            });
+        }
+        for w in &mut waivers {
+            w.target_line = if self.line_has_code(w.line) {
+                w.line
+            } else {
+                // Own-line waiver: covers the next line that carries code.
+                let mut l = w.line + 1;
+                let last = self.lines_with_code.len() as u32;
+                while l <= last && !self.line_has_code(l) {
+                    l += 1;
+                }
+                l
+            };
+        }
+        self.waivers = waivers;
+    }
+}
+
+/// Parses `allow(<rule>, "<reason>")` out of a waiver comment tail.
+/// Returns (lowercased rule, reason); either may be empty if malformed.
+fn parse_allow(spec: &str) -> (String, String) {
+    let spec = spec.trim_start();
+    let Some(rest) = spec.strip_prefix("allow(") else {
+        return (String::new(), String::new());
+    };
+    let Some(comma) = rest.find(',') else {
+        // `allow(rule)` without a reason: rule parses, reason is empty.
+        let rule = rest.split(')').next().unwrap_or("").trim().to_lowercase();
+        return (rule, String::new());
+    };
+    let rule = rest[..comma].trim().to_lowercase();
+    let tail = &rest[comma + 1..];
+    let reason = match (tail.find('"'), tail.rfind('"')) {
+        (Some(a), Some(b)) if b > a => tail[a + 1..b].to_string(),
+        _ => String::new(),
+    };
+    (rule, reason)
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `CT-1`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// Waiver reason if this finding was waived, `None` if it stands.
+    pub waived: Option<String>,
+}
+
+impl Finding {
+    /// Creates an unwaived finding.
+    #[must_use]
+    pub fn new(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: file.path.clone(),
+            line,
+            message,
+            waived: None,
+        }
+    }
+}
+
+/// Marks, for each token, whether it belongs to an attribute. An attribute
+/// starts at `#` (optionally `#!`) followed by `[` and runs to the
+/// matching `]`.
+fn mark_attr_tokens(toks: &[Token]) -> Vec<bool> {
+    let mut in_attr = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        let hash = toks[i].is_punct("#");
+        let open = if hash {
+            if toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+                Some(i + 1)
+            } else if toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct("["))
+            {
+                Some(i + 2)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let mut depth = 0i64;
+        let mut j = open;
+        while j < toks.len() {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        for flag in in_attr.iter_mut().take((j + 1).min(toks.len())).skip(i) {
+            *flag = true;
+        }
+        i = j + 1;
+    }
+    in_attr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_trailing_and_own_line() {
+        let src = "fn f() {\n\
+                   // apna-lint: allow(det-1, \"sorted before use\")\n\
+                   let x = 1;\n\
+                   let y = 2; // apna-lint: allow(ct-1, \"public data\")\n\
+                   }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].rule, "det-1");
+        assert_eq!(f.waivers[0].target_line, 3);
+        assert_eq!(f.waivers[1].rule, "ct-1");
+        assert_eq!(f.waivers[1].target_line, 4);
+        assert_eq!(f.waivers[1].reason, "public data");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_empty() {
+        let f = SourceFile::parse("x.rs", "// apna-lint: allow(panic-1)\nlet x = 1;\n");
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].rule, "panic-1");
+        assert!(f.waivers[0].reason.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_covers_mod() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn helper() {}\n\
+                   }\n\
+                   fn also_prod() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(4));
+        assert!(f.in_test_region(5));
+        assert!(!f.in_test_region(6));
+    }
+
+    #[test]
+    fn attr_only_lines() {
+        let src = "#[inline]\n#[target_feature(enable = \"aes\")]\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.attr_only_line(1));
+        assert!(f.attr_only_line(2));
+        assert!(!f.attr_only_line(3));
+    }
+}

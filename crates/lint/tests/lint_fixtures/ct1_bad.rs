@@ -1,0 +1,19 @@
+//! Known-bad CT-1 fixture: the minimized table-AES shape — an S-box
+//! lookup indexed by secret key material, plus a secret-conditioned
+//! branch. This is the pattern the real table AES had before the
+//! bitsliced backend replaced it.
+
+const SBOX: [u8; 256] = [0; 256];
+
+pub fn sub_byte(key: &[u8; 16]) -> u8 {
+    let k = key[0];
+    SBOX[k as usize]
+}
+
+pub fn weak_check(round_key: &[u8; 16]) -> u8 {
+    if round_key[15] == 0 {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,11 @@
+//! Known-good CT-1 twin: constant-time key handling — no branch and no
+//! table index depends on secret bytes; only public facts (`len`) steer
+//! control flow.
+
+pub fn ct_eq(key: &[u8; 16], other: &[u8; 16]) -> u8 {
+    let mut acc = 0u8;
+    for i in 0..key.len() {
+        acc |= key[i] ^ other[i];
+    }
+    acc
+}

@@ -1,0 +1,17 @@
+//! Known-bad DET-1 fixture: wall-clock time and hash-order iteration.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn tally(counts: &HashMap<u32, u64>) -> u64 {
+    let _started = Instant::now();
+    let mut sum = 0;
+    for (_k, v) in counts {
+        sum += *v;
+    }
+    sum
+}
+
+pub fn keys_of(m: &HashMap<u32, u64>) -> Vec<u32> {
+    m.keys().copied().collect()
+}

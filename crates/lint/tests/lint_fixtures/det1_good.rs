@@ -1,0 +1,17 @@
+//! Known-good DET-1 twin: iteration goes through an ordered collection;
+//! the remaining `HashMap` is lookup-only, which is deterministic — the
+//! hazard DET-1 polices is iteration, not existence.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn tally(counts: &BTreeMap<u32, u64>) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in counts {
+        sum += *v;
+    }
+    sum
+}
+
+pub fn lookup(m: &HashMap<u32, u64>, k: u32) -> Option<u64> {
+    m.get(&k).copied()
+}

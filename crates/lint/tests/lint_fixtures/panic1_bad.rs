@@ -1,0 +1,11 @@
+//! Known-bad PANIC-1 fixture: every way a hot path can unwind.
+
+pub fn verdict(v: &[u8]) -> u8 {
+    let first = v[0];
+    let second = v.get(1).unwrap();
+    let third = v.get(2).expect("three");
+    if v.len() > 9 {
+        panic!("oversized");
+    }
+    first + second + third
+}

@@ -1,0 +1,9 @@
+//! Known-good PANIC-1 twin: the same logic, infallible by construction —
+//! `?`-propagated `get`s and the exempt full-range borrow `[..]`.
+
+pub fn verdict(v: &[u8]) -> Option<u8> {
+    let whole = &v[..];
+    let first = whole.first()?;
+    let second = v.get(1)?;
+    Some(first.wrapping_add(*second))
+}

@@ -1,0 +1,7 @@
+//! Known-bad UNSAFE-1 fixture: `unsafe` outside the allowlisted AES-NI
+//! backend — flagged even under a SAFETY comment.
+
+pub fn first(v: &[u8]) -> u8 {
+    // SAFETY: not good enough — this file is not allowlisted.
+    unsafe { *v.as_ptr() }
+}

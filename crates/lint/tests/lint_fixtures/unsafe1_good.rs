@@ -1,0 +1,10 @@
+//! Known-good UNSAFE-1 twin: allowlisted file, every `unsafe` sitting
+//! under a `// SAFETY:` comment (attributes may come between the two).
+
+// SAFETY: caller has verified the `aes` feature; the intrinsic only
+// touches the 16 bytes of `block`.
+#[target_feature(enable = "aes")]
+pub unsafe fn round(block: &mut [u8; 16]) {
+    // SAFETY: in-bounds single-block read, feature inherited from the fn.
+    unsafe { core::ptr::read(block) };
+}

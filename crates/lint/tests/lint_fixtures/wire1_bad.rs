@@ -1,0 +1,18 @@
+//! Known-bad WIRE-1 fixture: wildcard arms absorbing new wire variants,
+//! including the guarded `_ if …` form.
+
+pub fn code(kind: ControlKind) -> u8 {
+    match kind {
+        ControlKind::EphIdRequest => 0,
+        ControlKind::EphIdReply => 1,
+        _ => 9,
+    }
+}
+
+pub fn frame(kind: FrameKind, wide: bool) -> u8 {
+    match kind {
+        FrameKind::Data => 0,
+        _ if wide => 2,
+        _ => 1,
+    }
+}

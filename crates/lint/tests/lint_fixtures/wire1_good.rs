@@ -1,0 +1,22 @@
+//! Known-good WIRE-1 twin: the watched enum fully enumerated; wildcards
+//! over unwatched types stay legal.
+
+pub fn code(kind: ControlKind) -> u8 {
+    match kind {
+        ControlKind::EphIdRequest => 0,
+        ControlKind::EphIdReply => 1,
+        ControlKind::RevocationAnnounce => 2,
+        ControlKind::ShutoffRequest => 3,
+        ControlKind::ShutoffAck => 4,
+        ControlKind::DnsRegister => 5,
+        ControlKind::DnsUpdate => 6,
+        ControlKind::DnsAck => 7,
+    }
+}
+
+pub fn bucket(b: u8) -> u8 {
+    match b {
+        0 => 0,
+        _ => 1,
+    }
+}

@@ -26,7 +26,7 @@ use apna_core::{AsNode, Error, Hid};
 use apna_dns::DnsServer;
 use apna_wire::ipv4::Ipv4Addr;
 use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr, PacketBatch, ReplayMode};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// What finally happened to an injected packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -281,7 +281,9 @@ impl RetryPolicies {
         match kind {
             ControlKind::ShutoffRequest | ControlKind::ShutoffAck => &self.shutoff,
             ControlKind::DnsRegister | ControlKind::DnsUpdate | ControlKind::DnsAck => &self.dns,
-            _ => &self.default_policy,
+            ControlKind::EphIdRequest
+            | ControlKind::EphIdReply
+            | ControlKind::RevocationAnnounce => &self.default_policy,
         }
     }
 }
@@ -346,7 +348,9 @@ pub struct Network {
     pub directory: AsDirectory,
     topology: Topology,
     nodes: HashMap<Aid, AsNode>,
-    links: HashMap<(Aid, Aid), Link>,
+    /// Ordered so whole-map sweeps (`set_link_queueing`) visit links in a
+    /// deterministic order (DET-1); per-hop forwarding is keyed lookup.
+    links: BTreeMap<(Aid, Aid), Link>,
     now: SimTime,
     replay_mode: ReplayMode,
     events: EventQueue<Arrival>,
@@ -363,7 +367,7 @@ pub struct Network {
     /// Streaming alternative to the wiretap for scale runs: the set of
     /// distinct source EphIDs observed on inter-AS links, without storing
     /// frames.
-    ephid_tally: Option<HashSet<EphIdBytes>>,
+    ephid_tally: Option<BTreeSet<EphIdBytes>>,
     dns_servers: HashMap<Aid, DnsServer>,
     control_log: Vec<ControlDelivered>,
     /// Whether control deliveries are appended to `control_log`. Scale
@@ -396,7 +400,7 @@ impl Network {
             directory: AsDirectory::new(),
             topology: Topology::new(),
             nodes: HashMap::new(),
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             now: SimTime::ZERO,
             replay_mode,
             events: EventQueue::new(),
@@ -448,13 +452,14 @@ impl Network {
     /// check runs on this instead of the full wiretap, which would store
     /// millions of frames.
     pub fn enable_ephid_tally(&mut self) {
-        self.ephid_tally = Some(HashSet::new());
+        self.ephid_tally = Some(BTreeSet::new());
     }
 
     /// Distinct source EphIDs observed on inter-AS links (`None` unless
-    /// [`Network::enable_ephid_tally`] was called).
+    /// [`Network::enable_ephid_tally`] was called). Ordered, so callers
+    /// can iterate it without a post-hoc sort.
     #[must_use]
-    pub fn wire_src_ephids(&self) -> Option<&HashSet<EphIdBytes>> {
+    pub fn wire_src_ephids(&self) -> Option<&BTreeSet<EphIdBytes>> {
         self.ephid_tally.as_ref()
     }
 

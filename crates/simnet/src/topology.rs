@@ -22,7 +22,7 @@
 
 use apna_wire::Aid;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Sentinel for "no route" entries in the next-hop table.
 const NO_ROUTE: u32 = u32::MAX;
@@ -54,9 +54,13 @@ impl RouteTable {
 }
 
 /// An undirected AS-level graph.
+///
+/// The adjacency uses ordered collections so every iteration — `ases`,
+/// `neighbors`, the route build — is deterministic by construction
+/// (DET-1); no post-hoc sorting needed.
 #[derive(Debug, Default)]
 pub struct Topology {
-    adjacency: HashMap<Aid, HashSet<Aid>>,
+    adjacency: BTreeMap<Aid, BTreeSet<Aid>>,
     /// Lazily built routing table; `None` = dirty (graph changed since the
     /// last build). Interior mutability keeps `next_hop(&self)` stable for
     /// callers while still letting the first query after a change rebuild.
@@ -95,16 +99,12 @@ impl Topology {
         self.adjacency.len()
     }
 
-    /// Direct neighbors of `aid`.
+    /// Direct neighbors of `aid`, in ascending AID order.
     #[must_use]
     pub fn neighbors(&self, aid: Aid) -> Vec<Aid> {
         self.adjacency
             .get(&aid)
-            .map(|s| {
-                let mut v: Vec<Aid> = s.iter().copied().collect();
-                v.sort(); // determinism
-                v
-            })
+            .map(|s| s.iter().copied().collect())
             .unwrap_or_default()
     }
 
@@ -147,21 +147,25 @@ impl Topology {
     /// neighbors in sorted order so tie-breaks match [`Topology::path`]'s
     /// historical per-call BFS exactly.
     fn build_routes(&self) -> RouteTable {
-        let mut nodes: Vec<Aid> = self.adjacency.keys().copied().collect();
-        nodes.sort();
+        // BTreeMap keys iterate in ascending AID order, so `nodes` is
+        // sorted as-is and index assignment is monotonic in AID.
+        let nodes: Vec<Aid> = self.adjacency.keys().copied().collect();
         let index: HashMap<Aid, u32> = nodes
             .iter()
             .enumerate()
             .map(|(i, &a)| (a, i as u32))
             .collect();
         let n = nodes.len();
-        // Dense sorted adjacency, resolved to indices once.
+        // Dense adjacency, resolved to indices once. BTreeSet iteration
+        // is ascending in AID, and AID→index is monotonic, so each row
+        // comes out sorted without an explicit sort.
         let adj: Vec<Vec<u32>> = nodes
             .iter()
             .map(|&a| {
-                let mut v: Vec<u32> = self.adjacency[&a].iter().map(|b| index[b]).collect();
-                v.sort_unstable();
-                v
+                self.adjacency
+                    .get(&a)
+                    .map(|s| s.iter().map(|b| index[b]).collect())
+                    .unwrap_or_default()
             })
             .collect();
         let mut next = vec![NO_ROUTE; n * n];
@@ -350,6 +354,7 @@ impl TopologySpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn line() -> Topology {
         // 1 - 2 - 3 - 4
