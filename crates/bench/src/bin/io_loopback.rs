@@ -1,0 +1,177 @@
+//! Loopback throughput of the packet-I/O backends (EXPERIMENTS.md,
+//! "Daemons" section).
+//!
+//! Measures the `apna_io::PacketIo` layer the daemons run on: frames per
+//! second and ns/frame through a connected backend pair, send-burst →
+//! poll → recv-burst, for 128 B and 512 B payloads. The UDP-encap rows
+//! cross the kernel's loopback stack with full Fig. 9 encapsulation per
+//! frame (emit + checksum + parse); the ring rows are the in-memory
+//! backend and bound what the trait plumbing itself costs.
+//!
+//! These numbers sit *under* the daemon loop: a daemon can never move
+//! packets faster than its backend, so the gap between these rows and the
+//! in-simnet batched pipeline numbers (BENCH_border_pipeline.json) shows
+//! where the two-process deployment loses time — syscalls and loopback
+//! traversal, not APNA processing.
+//!
+//! * `IO_LOOPBACK_JSON=<path>` — write the committed
+//!   `BENCH_io_loopback.json` records.
+//! * `--quick` — fewer samples (CI smoke).
+
+use apna_io::{PacketIo, RingBackend, UdpBackend, UdpFraming};
+use apna_wire::ipv4::Ipv4Addr;
+use apna_wire::EncapTunnel;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const BURST: usize = 32;
+const SIZES: [usize; 2] = [128, 512];
+
+struct Row {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    frames_per_sample: usize,
+    pkts_per_sec: f64,
+    bytes_per_frame: usize,
+}
+
+fn udp_pair() -> (UdpBackend, UdpBackend) {
+    let tunnel = EncapTunnel::new(Ipv4Addr::new(10, 7, 0, 1), Ipv4Addr::new(10, 7, 0, 2));
+    let any: SocketAddr = "127.0.0.1:0".parse().expect("addr");
+    let mut a = UdpBackend::bind(any, any, UdpFraming::Tunnel(tunnel)).expect("bind a");
+    let mut b = UdpBackend::bind(any, any, UdpFraming::Tunnel(tunnel.flipped())).expect("bind b");
+    let a_addr = a.local_addr().expect("a addr");
+    let b_addr = b.local_addr().expect("b addr");
+    a.set_peer(b_addr);
+    b.set_peer(a_addr);
+    (a, b)
+}
+
+/// Moves `frames_total` frames of `size` bytes a→b in bursts of [`BURST`]
+/// and returns the elapsed wall time. Lost frames (full socket buffers)
+/// are made up with extra bursts so every sample moves the same count.
+fn pump(a: &mut dyn PacketIo, b: &mut dyn PacketIo, size: usize, frames_total: usize) -> Duration {
+    let burst: Vec<Vec<u8>> = (0..BURST).map(|i| vec![i as u8; size]).collect();
+    let mut moved = 0usize;
+    let start = Instant::now();
+    while moved < frames_total {
+        let sent = a.send_burst(&burst).expect("send");
+        let mut got = 0usize;
+        while got < sent {
+            if !b.poll(Duration::from_millis(50)).expect("poll") {
+                break; // sent-but-dropped frames: resend in the next burst
+            }
+            got += b.recv_burst(sent - got).expect("recv").len();
+        }
+        moved += got;
+    }
+    start.elapsed()
+}
+
+fn measure(
+    name: &str,
+    make: impl Fn() -> (Box<dyn PacketIo>, Box<dyn PacketIo>),
+    size: usize,
+    samples: usize,
+    frames_per_sample: usize,
+) -> Row {
+    let (mut a, mut b) = make();
+    // Warm-up: page in buffers, ARP-equivalent loopback setup, JIT-warm
+    // branch predictors.
+    pump(a.as_mut(), b.as_mut(), size, frames_per_sample / 4);
+    let mut per_frame_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let dt = pump(a.as_mut(), b.as_mut(), size, frames_per_sample);
+            dt.as_nanos() as f64 / frames_per_sample as f64
+        })
+        .collect();
+    per_frame_ns.sort_by(|x, y| x.total_cmp(y));
+    let mean = per_frame_ns.iter().sum::<f64>() / per_frame_ns.len() as f64;
+    let median = per_frame_ns[per_frame_ns.len() / 2];
+    let min = per_frame_ns[0];
+    Row {
+        name: name.to_string(),
+        mean_ns: mean,
+        median_ns: median,
+        min_ns: min,
+        samples,
+        frames_per_sample,
+        pkts_per_sec: 1e9 / mean,
+        bytes_per_frame: size,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (samples, frames) = if quick { (5, 4_000) } else { (20, 20_000) };
+
+    let mut rows = Vec::new();
+    for size in SIZES {
+        rows.push(measure(
+            &format!("udp_encap_{size}B"),
+            || {
+                let (a, b) = udp_pair();
+                (
+                    Box::new(a) as Box<dyn PacketIo>,
+                    Box::new(b) as Box<dyn PacketIo>,
+                )
+            },
+            size,
+            samples,
+            frames,
+        ));
+        rows.push(measure(
+            &format!("ring_{size}B"),
+            || {
+                // Depth covers a full burst; the pump drains every burst
+                // before sending the next.
+                let (a, b) = RingBackend::pair(BURST);
+                (
+                    Box::new(a) as Box<dyn PacketIo>,
+                    Box::new(b) as Box<dyn PacketIo>,
+                )
+            },
+            size,
+            samples,
+            frames,
+        ));
+    }
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>14}",
+        "backend", "mean ns/pkt", "median", "min", "pkts/s"
+    );
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:<18} {:>12.1} {:>12.1} {:>12.1} {:>14.0}",
+            r.name, r.mean_ns, r.median_ns, r.min_ns, r.pkts_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "  {{\"group\": \"io_loopback\", \"name\": \"{}\", \"mean_ns\": {:.2}, \
+             \"median_ns\": {:.2}, \"min_ns\": {:.2}, \"pkts_per_sec\": {:.0}, \
+             \"samples\": {}, \"frames_per_sample\": {}, \"throughput_kind\": \"bytes\", \
+             \"throughput_per_iter\": {}}}{}",
+            r.name,
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+            r.pkts_per_sec,
+            r.samples,
+            r.frames_per_sample,
+            r.bytes_per_frame,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("]\n");
+
+    if let Ok(path) = std::env::var("IO_LOOPBACK_JSON") {
+        std::fs::write(&path, &json).expect("write IO_LOOPBACK_JSON");
+        println!("\nwrote {path}");
+    }
+}

@@ -69,6 +69,20 @@ impl DropReason {
     pub fn index(self) -> usize {
         self as usize
     }
+
+    /// Stable lowercase name for stats output (the daemons' JSON keys).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Malformed => "malformed",
+            DropReason::BadEphId => "bad_ephid",
+            DropReason::Expired => "expired",
+            DropReason::Revoked => "revoked",
+            DropReason::UnknownHost => "unknown_host",
+            DropReason::BadPacketMac => "bad_packet_mac",
+            DropReason::Replayed => "replayed",
+        }
+    }
 }
 
 /// Which half of Fig. 4 a batch runs through.

@@ -1,0 +1,264 @@
+//! Deployment helpers for the long-lived daemons (`apna-border`,
+//! `apna-gateway`): key-material files, config-value parsing, and a
+//! control-plane wrapper that tallies [`ControlCounters`] for the stats
+//! endpoints.
+//!
+//! Both daemons build their [`crate::AsNode`] deterministically from a
+//! 32-byte seed file ([`parse_seed_file`] / [`encode_seed_file`]), so two
+//! processes given the same seed (and the same host-bootstrap sequence)
+//! share identical AS key material and host registrations without any
+//! bootstrap protocol on the wire — EphID validation is cryptographic,
+//! not stateful, so that is all the agreement they need.
+
+use crate::control::{ControlCounters, ControlMsg, ControlPlane};
+use crate::granularity::Granularity;
+use crate::time::Timestamp;
+use crate::Error;
+use apna_wire::ReplayMode;
+use std::cell::RefCell;
+
+/// Decodes a 64-hex-digit string into a 32-byte seed.
+pub fn parse_seed_hex(s: &str) -> Result<[u8; 32], String> {
+    let s = s.trim();
+    let mut out = [0u8; 32];
+    let mut nibbles = 0usize;
+    for c in s.chars() {
+        let v = match c.to_digit(16) {
+            Some(v) => v as u8,
+            None => return Err(format!("invalid hex digit {c:?} in seed")),
+        };
+        if nibbles >= 64 {
+            return Err(format!(
+                "seed too long: expected 64 hex digits, got {}",
+                s.len()
+            ));
+        }
+        if let Some(byte) = out.get_mut(nibbles / 2) {
+            *byte = (*byte << 4) | v;
+        }
+        nibbles += 1;
+    }
+    if nibbles != 64 {
+        return Err(format!(
+            "seed too short: expected 64 hex digits, got {nibbles}"
+        ));
+    }
+    Ok(out)
+}
+
+/// Encodes a seed as lowercase hex (inverse of [`parse_seed_hex`]).
+#[must_use]
+pub fn encode_seed_hex(seed: &[u8; 32]) -> String {
+    let mut s = String::with_capacity(64);
+    for b in seed {
+        for nibble in [b >> 4, b & 0xF] {
+            s.push(char::from_digit(u32::from(nibble), 16).unwrap_or('0'));
+        }
+    }
+    s
+}
+
+/// Parses a seed *file*: blank lines and `#` comments are ignored, and
+/// exactly one remaining line must hold the 64-hex-digit seed.
+pub fn parse_seed_file(text: &str) -> Result<[u8; 32], String> {
+    let mut seed_line: Option<&str> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if seed_line.is_some() {
+            return Err("seed file has more than one non-comment line".to_string());
+        }
+        seed_line = Some(line);
+    }
+    match seed_line {
+        Some(line) => parse_seed_hex(line),
+        None => Err("seed file has no seed line".to_string()),
+    }
+}
+
+/// Renders a seed file with a header comment (inverse of
+/// [`parse_seed_file`]).
+#[must_use]
+pub fn encode_seed_file(seed: &[u8; 32]) -> String {
+    format!(
+        "# APNA AS master seed: all AS key material derives from this value.\n\
+         # Keep it secret; any process holding it can open every EphID of the AS.\n\
+         {}\n",
+        encode_seed_hex(seed)
+    )
+}
+
+/// Parses a granularity config value (§VIII-A regime names).
+pub fn parse_granularity(s: &str) -> Result<Granularity, String> {
+    match s.trim() {
+        "per-host" => Ok(Granularity::PerHost),
+        "per-application" => Ok(Granularity::PerApplication),
+        "per-flow" => Ok(Granularity::PerFlow),
+        "per-packet" => Ok(Granularity::PerPacket),
+        other => Err(format!(
+            "unknown granularity {other:?} (expected per-host, per-application, per-flow, or per-packet)"
+        )),
+    }
+}
+
+/// Parses a replay-mode config value.
+pub fn parse_replay_mode(s: &str) -> Result<ReplayMode, String> {
+    match s.trim() {
+        "disabled" => Ok(ReplayMode::Disabled),
+        "nonce" => Ok(ReplayMode::NonceExtension),
+        other => Err(format!(
+            "unknown replay mode {other:?} (expected disabled or nonce)"
+        )),
+    }
+}
+
+/// A [`ControlPlane`] decorator that tallies the [`ControlCounters`] of
+/// every message flowing through it (requests and replies), for the
+/// daemons' stats endpoints.
+///
+/// Interior mutability keeps the wrapper usable behind the trait's `&self`
+/// methods; the daemons are single-threaded run loops, so a [`RefCell`]
+/// suffices.
+pub struct CountingControlPlane<'a> {
+    inner: &'a dyn ControlPlane,
+    counters: RefCell<ControlCounters>,
+}
+
+impl<'a> CountingControlPlane<'a> {
+    /// Wraps `inner`, starting all tallies at zero.
+    #[must_use]
+    pub fn new(inner: &'a dyn ControlPlane) -> CountingControlPlane<'a> {
+        CountingControlPlane {
+            inner,
+            counters: RefCell::new(ControlCounters::default()),
+        }
+    }
+
+    /// A snapshot of the tallies so far.
+    #[must_use]
+    pub fn counters(&self) -> ControlCounters {
+        *self.counters.borrow()
+    }
+}
+
+impl ControlPlane for CountingControlPlane<'_> {
+    fn handle_control(
+        &self,
+        msg: &ControlMsg,
+        now: Timestamp,
+    ) -> Result<Option<ControlMsg>, Error> {
+        self.counters.borrow_mut().record(msg.kind());
+        let reply = self.inner.handle_control(msg, now)?;
+        if let Some(r) = &reply {
+            self.counters.borrow_mut().record(r.kind());
+        }
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{EphIdUsage, HostAgent};
+    use crate::asnode::AsNode;
+    use crate::control::ControlKind;
+    use crate::directory::AsDirectory;
+    use apna_wire::Aid;
+
+    #[test]
+    fn seed_hex_roundtrip() {
+        let seed: [u8; 32] = core::array::from_fn(|i| (i as u8).wrapping_mul(7));
+        let hex = encode_seed_hex(&seed);
+        assert_eq!(hex.len(), 64);
+        assert_eq!(parse_seed_hex(&hex).unwrap(), seed);
+    }
+
+    #[test]
+    fn seed_file_roundtrip_and_validation() {
+        let seed = [0xA5u8; 32];
+        let file = encode_seed_file(&seed);
+        assert_eq!(parse_seed_file(&file).unwrap(), seed);
+        assert!(parse_seed_file("# only comments\n").is_err());
+        assert!(parse_seed_file("abcd\nabcd\n").is_err());
+        assert!(parse_seed_hex("zz").is_err());
+        assert!(parse_seed_hex(&"0".repeat(63)).is_err());
+        assert!(parse_seed_hex(&"0".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn config_value_parsers() {
+        assert_eq!(parse_granularity("per-flow").unwrap(), Granularity::PerFlow);
+        assert_eq!(
+            parse_granularity(" per-host ").unwrap(),
+            Granularity::PerHost
+        );
+        assert!(parse_granularity("flowish").is_err());
+        assert_eq!(parse_replay_mode("disabled").unwrap(), ReplayMode::Disabled);
+        assert_eq!(
+            parse_replay_mode("nonce").unwrap(),
+            ReplayMode::NonceExtension
+        );
+        assert!(parse_replay_mode("on").is_err());
+    }
+
+    #[test]
+    fn counting_control_plane_tallies_roundtrips() {
+        let dir = AsDirectory::new();
+        let node = AsNode::from_seed(Aid(9), [9u8; 32], &dir, Timestamp::EPOCH);
+        let counting = CountingControlPlane::new(&node);
+        let mut agent = HostAgent::attach(
+            &node,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp::EPOCH,
+            42,
+        )
+        .unwrap();
+        agent
+            .acquire(&counting, EphIdUsage::DATA_SHORT, Timestamp::EPOCH)
+            .unwrap();
+        let c = counting.counters();
+        assert_eq!(c.count(ControlKind::EphIdRequest), 1);
+        assert_eq!(c.count(ControlKind::EphIdReply), 1);
+    }
+
+    #[test]
+    fn mirrored_seed_construction_agrees_across_nodes() {
+        // The property the two daemons rely on: same seed + same attach
+        // sequence ⇒ the second node's border router validates packets
+        // built against the first node.
+        let seed = [0x33u8; 32];
+        let dir_a = AsDirectory::new();
+        let node_a = AsNode::from_seed(Aid(7), seed, &dir_a, Timestamp::EPOCH);
+        let dir_b = AsDirectory::new();
+        let node_b = AsNode::from_seed(Aid(7), seed, &dir_b, Timestamp::EPOCH);
+
+        let mut agent = HostAgent::attach(
+            &node_a,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp::EPOCH,
+            77,
+        )
+        .unwrap();
+        // Mirror only the bootstrap on node B; the data EphID acquired on
+        // node A is never communicated to B.
+        let _mirror =
+            crate::host::Host::attach(&node_b, ReplayMode::Disabled, Timestamp::EPOCH, 77).unwrap();
+
+        let idx = agent
+            .acquire(&node_a, EphIdUsage::DATA_SHORT, Timestamp::EPOCH)
+            .unwrap();
+        let dst = agent.owned_ephid(idx).addr(Aid(7));
+        let wire = agent.build_raw_packet(idx, dst, b"cross-process");
+        let verdict = node_b
+            .br
+            .process_outgoing(&wire, ReplayMode::Disabled, Timestamp::EPOCH);
+        assert!(
+            matches!(verdict, crate::border::Verdict::ForwardInter { dst_aid } if dst_aid == Aid(7)),
+            "node B rejected a node-A packet: {verdict:?}"
+        );
+    }
+}

@@ -38,6 +38,7 @@ pub mod asnode;
 pub mod border;
 pub mod cert;
 pub mod control;
+pub mod deploy;
 pub mod directory;
 pub mod ephid;
 pub mod granularity;

@@ -13,15 +13,20 @@
 //!   changes.
 //! * [`handshake`] — wire encoding of the §VII-A client–server handshake
 //!   messages, which gateway pairs run per legacy flow.
+//! * [`daemon`] — the long-lived translator-pair core the `apna-gateway`
+//!   daemon runs (bootstrap from deterministic seeds, legacy/APNA
+//!   routing, EphID rotation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ap;
+pub mod daemon;
 pub mod handshake;
 pub mod legacy;
 pub mod translator;
 
 pub use ap::{AccessPoint, ApClient};
+pub use daemon::{PairConfig, TranslatorPair};
 pub use legacy::{FiveTuple, LegacyPacket};
 pub use translator::ApnaGateway;

@@ -1,0 +1,231 @@
+//! Plain-text config files for the daemons, with line-numbered errors.
+//!
+//! The format is deliberately tiny — `key = value` lines, `#` comments,
+//! blank lines ignored, repeated keys allowed only where the daemon asks
+//! for them ([`Config::get_all`]). Every failure an operator can cause
+//! (missing `=`, duplicate key, unparseable value, unknown key) comes
+//! back as a [`ConfigError`] carrying the offending line number; the
+//! daemons print it and exit, they never panic on operator input.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A config-file failure, pointing at the line that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number, or `None` for whole-file problems (a
+    /// required key that never appeared).
+    pub line: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ConfigError {
+    fn at(line: usize, message: String) -> ConfigError {
+        ConfigError {
+            line: Some(line),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "line {n}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A parsed config file: ordered `(line, key, value)` entries.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    entries: Vec<(usize, String, String)>,
+}
+
+impl Config {
+    /// Parses `key = value` lines. Syntax errors (a non-comment line
+    /// with no `=`, or an empty key) are reported with their line
+    /// number; values may be empty.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError::at(
+                    lineno,
+                    format!("expected `key = value`, got {line:?}"),
+                ));
+            };
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(ConfigError::at(lineno, "empty key before `=`".to_string()));
+            }
+            entries.push((lineno, key.to_string(), value.trim().to_string()));
+        }
+        Ok(Config { entries })
+    }
+
+    /// Looks up a single-valued key. A repeated key is an error at the
+    /// second occurrence's line.
+    pub fn get(&self, key: &str) -> Result<Option<&str>, ConfigError> {
+        let mut found: Option<(usize, &str)> = None;
+        for (line, k, v) in &self.entries {
+            if k == key {
+                if found.is_some() {
+                    return Err(ConfigError::at(
+                        *line,
+                        format!("duplicate key `{key}` (single-valued)"),
+                    ));
+                }
+                found = Some((*line, v));
+            }
+        }
+        Ok(found.map(|(_, v)| v))
+    }
+
+    /// Like [`Config::get`] but the key must be present.
+    pub fn require(&self, key: &str) -> Result<&str, ConfigError> {
+        self.get(key)?.ok_or_else(|| ConfigError {
+            line: None,
+            message: format!("missing required key `{key}`"),
+        })
+    }
+
+    /// All values of a repeatable key, in file order, with line numbers.
+    #[must_use]
+    pub fn get_all(&self, key: &str) -> Vec<(usize, &str)> {
+        self.entries
+            .iter()
+            .filter(|(_, k, _)| k == key)
+            .map(|(line, _, v)| (*line, v.as_str()))
+            .collect()
+    }
+
+    /// Parses a single-valued key via [`FromStr`], reporting parse
+    /// failures with the key's line number.
+    pub fn parsed<T>(&self, key: &str) -> Result<Option<T>, ConfigError>
+    where
+        T: FromStr,
+        T::Err: fmt::Display,
+    {
+        let mut found: Option<&(usize, String, String)> = None;
+        for entry in &self.entries {
+            if entry.1 == key {
+                if found.is_some() {
+                    return Err(ConfigError::at(
+                        entry.0,
+                        format!("duplicate key `{key}` (single-valued)"),
+                    ));
+                }
+                found = Some(entry);
+            }
+        }
+        match found {
+            None => Ok(None),
+            Some((line, _, value)) => value.parse::<T>().map(Some).map_err(|e| {
+                ConfigError::at(*line, format!("invalid value for `{key}` ({value:?}): {e}"))
+            }),
+        }
+    }
+
+    /// Like [`Config::parsed`] but the key must be present.
+    pub fn require_parsed<T>(&self, key: &str) -> Result<T, ConfigError>
+    where
+        T: FromStr,
+        T::Err: fmt::Display,
+    {
+        self.parsed(key)?.ok_or_else(|| ConfigError {
+            line: None,
+            message: format!("missing required key `{key}`"),
+        })
+    }
+
+    /// Rejects keys outside `allowed` — typos surface as errors at
+    /// their line instead of being silently ignored.
+    pub fn check_keys(&self, allowed: &[&str]) -> Result<(), ConfigError> {
+        for (line, key, _) in &self.entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ConfigError::at(
+                    *line,
+                    format!("unknown key `{key}` (allowed: {})", allowed.join(", ")),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# apna-border demo config
+listen = 127.0.0.1:7001
+shards = 4
+
+host = 11
+host = 22
+";
+
+    #[test]
+    fn parses_and_looks_up() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.require("listen").unwrap(), "127.0.0.1:7001");
+        assert_eq!(cfg.require_parsed::<u32>("shards").unwrap(), 4);
+        assert_eq!(cfg.get("absent").unwrap(), None);
+        let hosts = cfg.get_all("host");
+        assert_eq!(hosts, vec![(5, "11"), (6, "22")]);
+    }
+
+    #[test]
+    fn syntax_error_carries_line_number() {
+        let err = Config::parse("a = 1\nnot a pair\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn duplicate_single_valued_key_is_an_error() {
+        let cfg = Config::parse("x = 1\nx = 2\n").unwrap();
+        let err = cfg.get("x").unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn bad_value_reports_its_line() {
+        let cfg = Config::parse("\n\nshards = lots\n").unwrap();
+        let err = cfg.require_parsed::<u32>("shards").unwrap_err();
+        assert_eq!(err.line, Some(3));
+        assert!(err.message.contains("shards"));
+    }
+
+    #[test]
+    fn missing_required_key_has_no_line() {
+        let cfg = Config::parse("a = 1\n").unwrap();
+        let err = cfg.require("listen").unwrap_err();
+        assert_eq!(err.line, None);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let cfg = Config::parse("listen = x\nlisten_typo = y\n").unwrap();
+        let err = cfg.check_keys(&["listen"]).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.message.contains("listen_typo"));
+    }
+
+    #[test]
+    fn empty_key_is_an_error() {
+        let err = Config::parse(" = 3\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+    }
+}

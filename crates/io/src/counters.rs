@@ -1,0 +1,77 @@
+//! Per-backend I/O counters and their JSON form (the daemons' stats
+//! endpoints serve these next to the border router's `DropCounters`).
+
+/// Cumulative counters of one [`crate::PacketIo`] backend.
+///
+/// * `rx_frames` / `rx_bytes` — frames (and their inner-payload bytes)
+///   delivered to the caller by `recv_burst`.
+/// * `rx_rejected` — received datagrams discarded *before* delivery:
+///   failed tunnel decapsulation, wrong tunnel addresses, or over the
+///   frame-size budget. These never reach the pipeline.
+/// * `tx_frames` / `tx_bytes` — frames (inner-payload bytes) actually
+///   transmitted by `send_burst`.
+/// * `tx_rejected` — frames handed to `send_burst` that the backend
+///   refused (over the size budget) and skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Frames delivered to the caller.
+    pub rx_frames: u64,
+    /// Inner-payload bytes delivered to the caller.
+    pub rx_bytes: u64,
+    /// Received datagrams discarded before delivery.
+    pub rx_rejected: u64,
+    /// Frames transmitted.
+    pub tx_frames: u64,
+    /// Inner-payload bytes transmitted.
+    pub tx_bytes: u64,
+    /// Frames refused on transmit (size budget).
+    pub tx_rejected: u64,
+}
+
+impl IoCounters {
+    /// Renders the counters as a JSON object (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rx_frames\": {}, \"rx_bytes\": {}, \"rx_rejected\": {}, \
+             \"tx_frames\": {}, \"tx_bytes\": {}, \"tx_rejected\": {}}}",
+            self.rx_frames,
+            self.rx_bytes,
+            self.rx_rejected,
+            self.tx_frames,
+            self.tx_bytes,
+            self.tx_rejected
+        )
+    }
+
+    /// Records one delivered frame of `len` inner bytes.
+    pub fn record_rx(&mut self, len: usize) {
+        self.rx_frames += 1;
+        self.rx_bytes += len as u64;
+    }
+
+    /// Records one transmitted frame of `len` inner bytes.
+    pub fn record_tx(&mut self, len: usize) {
+        self.tx_frames += 1;
+        self.tx_bytes += len as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let mut c = IoCounters::default();
+        c.record_rx(100);
+        c.record_rx(28);
+        c.record_tx(100);
+        c.tx_rejected = 1;
+        assert_eq!(
+            c.to_json(),
+            "{\"rx_frames\": 2, \"rx_bytes\": 128, \"rx_rejected\": 0, \
+             \"tx_frames\": 1, \"tx_bytes\": 100, \"tx_rejected\": 1}"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! In-memory ring backend: a connected pair of frame queues.
+//!
+//! [`RingBackend::pair`] yields two endpoints; frames sent on one are
+//! received on the other, in order, with no sockets involved. This is the
+//! deterministic backend the conformance suite and the daemons' unit
+//! tests run against — same trait, same counters, no kernel in the loop.
+//!
+//! The ring enforces the same frame-size budget as the UDP backend
+//! ([`MAX_APNA_FRAME`]) and a configurable depth, so queue-full behavior
+//! is testable: a frame that does not fit (too big, or ring full) is
+//! counted in [`IoCounters::tx_rejected`] and skipped.
+
+use crate::counters::IoCounters;
+use crate::{IoError, PacketIo};
+use apna_wire::MAX_APNA_FRAME;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One direction of the ring: a bounded frame queue plus liveness.
+struct Lane {
+    inner: Mutex<LaneInner>,
+}
+
+struct LaneInner {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl Lane {
+    fn new() -> Arc<Lane> {
+        Arc::new(Lane {
+            inner: Mutex::new(LaneInner {
+                frames: VecDeque::new(),
+                closed: false,
+            }),
+        })
+    }
+}
+
+/// One endpoint of an in-memory ring pair (see module docs).
+pub struct RingBackend {
+    rx: Arc<Lane>,
+    tx: Arc<Lane>,
+    depth: usize,
+    counters: IoCounters,
+}
+
+impl RingBackend {
+    /// Creates a connected pair of endpoints, each able to queue `depth`
+    /// frames toward the other.
+    #[must_use]
+    pub fn pair(depth: usize) -> (RingBackend, RingBackend) {
+        let a_to_b = Lane::new();
+        let b_to_a = Lane::new();
+        (
+            RingBackend {
+                rx: Arc::clone(&b_to_a),
+                tx: Arc::clone(&a_to_b),
+                depth,
+                counters: IoCounters::default(),
+            },
+            RingBackend {
+                rx: a_to_b,
+                tx: b_to_a,
+                depth,
+                counters: IoCounters::default(),
+            },
+        )
+    }
+
+    /// Frames currently queued toward this endpoint (diagnostics).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.rx.inner.lock().frames.len()
+    }
+}
+
+impl Drop for RingBackend {
+    fn drop(&mut self) {
+        // Mark both lanes closed so the surviving endpoint observes
+        // `IoError::Closed` once it drains what was already in flight.
+        self.rx.inner.lock().closed = true;
+        self.tx.inner.lock().closed = true;
+    }
+}
+
+impl PacketIo for RingBackend {
+    fn recv_burst(&mut self, max: usize) -> Result<Vec<Vec<u8>>, IoError> {
+        let mut lane = self.rx.inner.lock();
+        if lane.frames.is_empty() {
+            return if lane.closed {
+                Err(IoError::Closed)
+            } else {
+                Ok(Vec::new())
+            };
+        }
+        let n = max.min(lane.frames.len());
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if let Some(f) = lane.frames.pop_front() {
+                self.counters.record_rx(f.len());
+                out.push(f);
+            }
+        }
+        Ok(out)
+    }
+
+    fn send_burst(&mut self, frames: &[Vec<u8>]) -> Result<usize, IoError> {
+        let mut lane = self.tx.inner.lock();
+        if lane.closed {
+            return Err(IoError::Closed);
+        }
+        let mut sent = 0;
+        for f in frames {
+            if f.len() > MAX_APNA_FRAME || lane.frames.len() >= self.depth {
+                self.counters.tx_rejected += 1;
+                continue;
+            }
+            self.counters.record_tx(f.len());
+            lane.frames.push_back(f.clone());
+            sent += 1;
+        }
+        Ok(sent)
+    }
+
+    fn poll(&mut self, timeout: Duration) -> Result<bool, IoError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let lane = self.rx.inner.lock();
+                if !lane.frames.is_empty() {
+                    return Ok(true);
+                }
+                if lane.closed {
+                    return Err(IoError::Closed);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Ok(false);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    fn counters(&self) -> IoCounters {
+        self.counters
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "ring"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_order() {
+        let (mut a, mut b) = RingBackend::pair(8);
+        let frames = vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()];
+        assert_eq!(a.send_burst(&frames).unwrap(), 3);
+        assert!(b.poll(Duration::ZERO).unwrap());
+        assert_eq!(b.recv_burst(16).unwrap(), frames);
+        assert_eq!(b.counters().rx_frames, 3);
+        assert_eq!(a.counters().tx_bytes, 11);
+    }
+
+    #[test]
+    fn ring_full_rejects_overflow() {
+        let (mut a, mut b) = RingBackend::pair(2);
+        let burst: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8]).collect();
+        assert_eq!(a.send_burst(&burst).unwrap(), 2);
+        assert_eq!(a.counters().tx_rejected, 2);
+        assert_eq!(b.recv_burst(16).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn peer_drop_surfaces_closed_after_drain() {
+        let (mut a, b) = RingBackend::pair(4);
+        drop(b);
+        assert!(matches!(a.recv_burst(1), Err(IoError::Closed)));
+        assert!(matches!(a.send_burst(&[vec![1]]), Err(IoError::Closed)));
+    }
+
+    #[test]
+    fn inflight_frames_survive_peer_drop() {
+        let (mut a, mut b) = RingBackend::pair(4);
+        a.send_burst(&[b"last words".to_vec()]).unwrap();
+        drop(a);
+        assert_eq!(b.recv_burst(4).unwrap(), vec![b"last words".to_vec()]);
+        assert!(matches!(b.recv_burst(4), Err(IoError::Closed)));
+    }
+}

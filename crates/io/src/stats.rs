@@ -1,0 +1,205 @@
+//! The daemons' stats + control endpoint: a tiny line-oriented TCP
+//! protocol replacing signal-driven dumps (the workspace forbids the
+//! `unsafe` a signal handler would need).
+//!
+//! A client connects, sends one command line, reads the reply, and the
+//! connection closes:
+//!
+//! * `stats` — reply is the daemon's current stats as one JSON object.
+//! * `shutdown` — same JSON reply (the *final* counters), then the daemon
+//!   drains and exits. The reply-then-drain order means a supervisor
+//!   always gets closing counters even if it never polled `stats`.
+//!
+//! Anything else is answered with a one-line `error: ...`. The listener
+//! is non-blocking; the daemon run loop calls [`StatsServer::poll_once`]
+//! between bursts.
+
+use crate::IoError;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// What a serviced stats connection asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsCommand {
+    /// `stats`: the JSON snapshot was served; keep running.
+    Stats,
+    /// `shutdown`: the final JSON was served; the daemon should drain
+    /// and exit.
+    Shutdown,
+}
+
+fn sockerr(op: &'static str, err: &std::io::Error) -> IoError {
+    IoError::Socket {
+        op,
+        detail: err.to_string(),
+    }
+}
+
+/// Non-blocking TCP listener speaking the protocol above.
+pub struct StatsServer {
+    listener: TcpListener,
+}
+
+/// Longest command line a client may send (the protocol has two valid
+/// commands; anything longer is garbage).
+const MAX_COMMAND_LINE: usize = 128;
+
+impl StatsServer {
+    /// Binds the endpoint. Bind to port 0 for an ephemeral port and read
+    /// it back via [`StatsServer::local_addr`].
+    pub fn bind(addr: SocketAddr) -> Result<StatsServer, IoError> {
+        let listener = TcpListener::bind(addr).map_err(|e| sockerr("bind", &e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| sockerr("set_nonblocking", &e))?;
+        Ok(StatsServer { listener })
+    }
+
+    /// The locally bound address.
+    pub fn local_addr(&self) -> Result<SocketAddr, IoError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| sockerr("local_addr", &e))
+    }
+
+    /// Services at most one pending connection, replying with
+    /// `stats_json` where the protocol calls for it. Returns `Ok(None)`
+    /// when no client was waiting. A misbehaving client (slow, oversized
+    /// or unknown command) is answered/disconnected and reported as
+    /// `Ok(None)` — it must not take the daemon down.
+    pub fn poll_once(&mut self, stats_json: &str) -> Result<Option<StatsCommand>, IoError> {
+        let stream = match self.listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+            Err(e) => return Err(sockerr("accept", &e)),
+        };
+        Ok(serve_client(stream, stats_json))
+    }
+}
+
+/// Reads the command line and writes the reply. All client-side failures
+/// collapse to `None`: the daemon's health must not depend on its
+/// observers' manners.
+fn serve_client(mut stream: TcpStream, stats_json: &str) -> Option<StatsCommand> {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok()?;
+    stream.set_nonblocking(false).ok()?;
+
+    let mut line: Vec<u8> = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte == [b'\n'] {
+                    break;
+                }
+                if line.len() >= MAX_COMMAND_LINE {
+                    let _ = stream.write_all(b"error: command too long\n");
+                    return None;
+                }
+                line.extend_from_slice(&byte);
+            }
+            Err(_) => return None,
+        }
+    }
+
+    let command = String::from_utf8_lossy(&line);
+    let reply = match command.trim() {
+        "stats" => Some(StatsCommand::Stats),
+        "shutdown" => Some(StatsCommand::Shutdown),
+        _ => None,
+    };
+    match reply {
+        Some(cmd) => {
+            stream.write_all(stats_json.as_bytes()).ok()?;
+            stream.write_all(b"\n").ok()?;
+            Some(cmd)
+        }
+        None => {
+            let _ = stream.write_all(b"error: unknown command (stats|shutdown)\n");
+            None
+        }
+    }
+}
+
+/// Client side of the protocol: connect, send `command`, return the
+/// reply line. Used by the loopback demo and operator tooling.
+pub fn stats_request(addr: SocketAddr, command: &str) -> Result<String, IoError> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| sockerr("connect", &e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| sockerr("set_read_timeout", &e))?;
+    stream
+        .write_all(format!("{command}\n").as_bytes())
+        .map_err(|e| sockerr("send", &e))?;
+    let mut reply = String::new();
+    stream
+        .read_to_string(&mut reply)
+        .map_err(|e| sockerr("recv", &e))?;
+    Ok(reply.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bound_server() -> (StatsServer, SocketAddr) {
+        let server = StatsServer::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.local_addr().unwrap();
+        (server, addr)
+    }
+
+    fn poll_until_served(server: &mut StatsServer, json: &str) -> StatsCommand {
+        for _ in 0..200 {
+            if let Some(cmd) = server.poll_once(json).unwrap() {
+                return cmd;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("no client arrived");
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let (mut server, addr) = bound_server();
+        let client = std::thread::spawn(move || stats_request(addr, "stats").unwrap());
+        let cmd = poll_until_served(&mut server, "{\"x\": 1}");
+        assert_eq!(cmd, StatsCommand::Stats);
+        assert_eq!(client.join().unwrap(), "{\"x\": 1}");
+    }
+
+    #[test]
+    fn shutdown_returns_final_counters() {
+        let (mut server, addr) = bound_server();
+        let client = std::thread::spawn(move || stats_request(addr, "shutdown").unwrap());
+        let cmd = poll_until_served(&mut server, "{\"final\": true}");
+        assert_eq!(cmd, StatsCommand::Shutdown);
+        assert_eq!(client.join().unwrap(), "{\"final\": true}");
+    }
+
+    #[test]
+    fn unknown_command_is_answered_and_ignored() {
+        let (mut server, addr) = bound_server();
+        let client = std::thread::spawn(move || stats_request(addr, "reboot").unwrap());
+        let mut served = None;
+        for _ in 0..200 {
+            served = server.poll_once("{}").unwrap();
+            if client.is_finished() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(served, None);
+        assert!(client.join().unwrap().starts_with("error:"));
+    }
+
+    #[test]
+    fn idle_poll_returns_none() {
+        let (mut server, _addr) = bound_server();
+        assert_eq!(server.poll_once("{}").unwrap(), None);
+    }
+}

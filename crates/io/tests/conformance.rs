@@ -1,0 +1,257 @@
+//! Backend conformance suite: one shared harness, every [`PacketIo`]
+//! implementation.
+//!
+//! The daemons are written against the trait, not a backend, so any
+//! behavioral divergence between the in-memory ring and the UDP-encap
+//! backend is a daemon bug waiting to happen. Each scenario here runs
+//! against a connected pair of *both* backends; adding a backend means
+//! adding one constructor to `FOR_EACH_PAIR`-style drivers below.
+//!
+//! Also hosts the property tests for the Fig. 9 UDP-encapsulation
+//! framing: `EncapTunnel::emit` → `parse` must round-trip arbitrary
+//! payloads up to the frame budget and reject everything malformed
+//! without panicking.
+
+use apna_io::{PacketIo, RingBackend, UdpBackend, UdpFraming};
+use apna_wire::ipv4::Ipv4Addr;
+use apna_wire::{EncapTunnel, MAX_APNA_FRAME};
+use proptest::prelude::*;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// A connected pair of same-flavor backends, type-erased to the trait.
+type Pair = (Box<dyn PacketIo>, Box<dyn PacketIo>);
+
+fn ring_pair() -> Pair {
+    let (a, b) = RingBackend::pair(64);
+    (Box::new(a), Box::new(b))
+}
+
+fn udp_pair() -> Pair {
+    let tunnel = EncapTunnel::new(Ipv4Addr([10, 9, 0, 1]), Ipv4Addr([10, 9, 0, 2]));
+    let any: SocketAddr = "127.0.0.1:0".parse().expect("addr");
+    let mut a = UdpBackend::bind(any, any, UdpFraming::Tunnel(tunnel)).expect("bind a");
+    let mut b = UdpBackend::bind(any, any, UdpFraming::Tunnel(tunnel.flipped())).expect("bind b");
+    let a_addr = a.local_addr().expect("a addr");
+    let b_addr = b.local_addr().expect("b addr");
+    a.set_peer(b_addr);
+    b.set_peer(a_addr);
+    (Box::new(a), Box::new(b))
+}
+
+/// Runs `scenario` against every backend flavor, labeling failures with
+/// the backend name.
+fn for_each_pair(scenario: impl Fn(&mut dyn PacketIo, &mut dyn PacketIo)) {
+    for make in [ring_pair, udp_pair] {
+        let (mut a, mut b) = make();
+        let name = a.backend_name();
+        eprintln!("conformance: running against {name}");
+        scenario(a.as_mut(), b.as_mut());
+    }
+}
+
+/// Receives until `want` frames arrived or two seconds pass. The ring
+/// delivers synchronously; UDP over loopback is fast but asynchronous,
+/// so conformance scenarios must not assume immediacy.
+fn recv_exactly(io: &mut dyn PacketIo, want: usize) -> Vec<Vec<u8>> {
+    let mut got = Vec::new();
+    for _ in 0..200 {
+        if got.len() >= want {
+            break;
+        }
+        let ready = io.poll(Duration::from_millis(10)).expect("poll");
+        if ready {
+            got.extend(io.recv_burst(want - got.len()).expect("recv"));
+        }
+    }
+    assert_eq!(
+        got.len(),
+        want,
+        "{}: expected {want} frames, got {}",
+        io.backend_name(),
+        got.len()
+    );
+    got
+}
+
+#[test]
+fn burst_roundtrip_preserves_content_and_order() {
+    for_each_pair(|a, b| {
+        let frames: Vec<Vec<u8>> = (0u8..10).map(|i| vec![i; 32 + i as usize]).collect();
+        assert_eq!(a.send_burst(&frames).expect("send"), frames.len());
+        let got = recv_exactly(b, frames.len());
+        assert_eq!(got, frames, "{}: content/order mismatch", b.backend_name());
+
+        let ac = a.counters();
+        let bc = b.counters();
+        assert_eq!(ac.tx_frames, frames.len() as u64);
+        assert_eq!(bc.rx_frames, frames.len() as u64);
+        assert_eq!(ac.tx_bytes, bc.rx_bytes, "byte counters must agree");
+        assert_eq!(ac.tx_rejected, 0);
+        assert_eq!(bc.rx_rejected, 0);
+    });
+}
+
+#[test]
+fn partial_reads_drain_across_bursts() {
+    for_each_pair(|a, b| {
+        let frames: Vec<Vec<u8>> = (0u8..7).map(|i| vec![0xC0 | i, i]).collect();
+        assert_eq!(a.send_burst(&frames).expect("send"), 7);
+        // Ask for less than is queued: the remainder must survive for
+        // later bursts, in order.
+        let first = recv_exactly(b, 3);
+        assert_eq!(first, frames[..3].to_vec());
+        let rest = recv_exactly(b, 4);
+        assert_eq!(rest, frames[3..].to_vec());
+        assert_eq!(b.counters().rx_frames, 7);
+    });
+}
+
+#[test]
+fn recv_burst_zero_or_idle_is_empty_not_error() {
+    for_each_pair(|a, b| {
+        // Nothing queued: an empty burst, not an error, not a block.
+        assert!(b.recv_burst(8).expect("idle recv").is_empty());
+        // max = 0 never yields frames even with traffic queued.
+        assert_eq!(a.send_burst(&[vec![1, 2, 3]]).expect("send"), 1);
+        assert!(b.recv_burst(0).expect("zero recv").is_empty());
+        let got = recv_exactly(b, 1);
+        assert_eq!(got, vec![vec![1, 2, 3]]);
+    });
+}
+
+#[test]
+fn oversized_frames_rejected_burst_continues() {
+    for_each_pair(|a, b| {
+        let burst = vec![
+            vec![0x11; 16],
+            vec![0u8; MAX_APNA_FRAME + 1], // over budget for both backends
+            vec![0x22; 16],
+        ];
+        assert_eq!(
+            a.send_burst(&burst).expect("send"),
+            2,
+            "{}",
+            a.backend_name()
+        );
+        let ac = a.counters();
+        assert_eq!(ac.tx_rejected, 1, "{}", a.backend_name());
+        assert_eq!(ac.tx_frames, 2);
+        // The survivors still arrive, in order.
+        let got = recv_exactly(b, 2);
+        assert_eq!(got, vec![vec![0x11; 16], vec![0x22; 16]]);
+    });
+}
+
+#[test]
+fn max_size_frame_fits_exactly() {
+    for_each_pair(|a, b| {
+        let frame = vec![0x5C; MAX_APNA_FRAME];
+        assert_eq!(a.send_burst(std::slice::from_ref(&frame)).expect("send"), 1);
+        let got = recv_exactly(b, 1);
+        assert_eq!(got[0].len(), MAX_APNA_FRAME);
+        assert_eq!(got[0], frame);
+    });
+}
+
+#[test]
+fn poll_reports_idle_then_ready() {
+    for_each_pair(|a, b| {
+        assert!(
+            !b.poll(Duration::ZERO).expect("idle zero poll"),
+            "{}: idle poll must report not-ready",
+            b.backend_name()
+        );
+        assert!(!b.poll(Duration::from_millis(20)).expect("idle timed poll"));
+        assert_eq!(a.send_burst(&[vec![9]]).expect("send"), 1);
+        assert!(
+            b.poll(Duration::from_secs(2)).expect("ready poll"),
+            "{}: poll must see the queued frame",
+            b.backend_name()
+        );
+        // Polling must not consume: the frame is still receivable.
+        assert_eq!(recv_exactly(b, 1), vec![vec![9]]);
+    });
+}
+
+#[test]
+fn counters_start_at_zero() {
+    for_each_pair(|a, _b| {
+        assert_eq!(
+            a.counters(),
+            apna_io::IoCounters::default(),
+            "{}: fresh backend must count nothing",
+            a.backend_name()
+        );
+    });
+}
+
+// --- UDP-encap framing property tests ---------------------------------
+
+fn arb_tunnel() -> impl Strategy<Value = EncapTunnel> {
+    (any::<u32>(), any::<u32>())
+        .prop_filter("distinct endpoints", |(a, b)| a != b)
+        .prop_map(|(a, b)| EncapTunnel::new(Ipv4Addr(a.to_be_bytes()), Ipv4Addr(b.to_be_bytes())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// emit → parse is the identity on any payload within budget, for
+    /// any pair of tunnel endpoints.
+    #[test]
+    fn encap_emit_parse_roundtrip(
+        tunnel in arb_tunnel(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let frame = tunnel.emit(&payload).expect("within budget");
+        let back = tunnel.flipped().parse(&frame).expect("own frame parses");
+        prop_assert_eq!(back, &payload[..]);
+    }
+
+    /// The receiving direction is strict: a frame emitted for one tunnel
+    /// never parses under a tunnel with different endpoints.
+    #[test]
+    fn encap_rejects_foreign_tunnels(
+        tunnel in arb_tunnel(),
+        other in arb_tunnel(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(!(tunnel.local == other.peer && tunnel.peer == other.local));
+        let frame = tunnel.emit(&payload).expect("within budget");
+        prop_assert!(other.parse(&frame).is_err());
+    }
+
+    /// parse never panics on arbitrary bytes — truncated headers, bad
+    /// versions, random garbage all come back as errors.
+    #[test]
+    fn encap_parse_total_on_garbage(
+        tunnel in arb_tunnel(),
+        junk in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = tunnel.parse(&junk); // must not panic
+    }
+
+    /// Corrupting any single byte of the outer IPv4 header makes the
+    /// frame unparseable: the Internet checksum covers all 20 bytes, and
+    /// a single-byte flip cannot compensate itself.
+    #[test]
+    fn encap_single_byte_corruption_detected_in_ipv4_header(
+        tunnel in arb_tunnel(),
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        pos in 0usize..20,
+        xor in 1u8..=255,
+    ) {
+        let mut frame = tunnel.emit(&payload).expect("within budget");
+        frame[pos] ^= xor;
+        prop_assert!(tunnel.flipped().parse(&frame).is_err());
+    }
+
+    /// Oversized payloads are refused at emit time, never truncated.
+    #[test]
+    fn encap_emit_refuses_oversized(extra in 1usize..64) {
+        let tunnel = EncapTunnel::new(Ipv4Addr([10, 0, 0, 1]), Ipv4Addr([10, 0, 0, 2]));
+        let payload = vec![0u8; MAX_APNA_FRAME + extra];
+        prop_assert!(tunnel.emit(&payload).is_err());
+    }
+}

@@ -55,8 +55,19 @@ pub(crate) fn is_postfix_bracket(file: &SourceFile, i: usize) -> bool {
     match prev.kind {
         TokenKind::Ident => !matches!(
             prev.text.as_str(),
-            // Keywords an expression can't end with.
-            "return" | "break" | "in" | "if" | "else" | "match" | "while" | "mut" | "ref" | "as"
+            // Keywords an expression can't end with (`let [..]` opens a
+            // slice pattern, which cannot panic).
+            "return"
+                | "break"
+                | "in"
+                | "if"
+                | "else"
+                | "match"
+                | "while"
+                | "mut"
+                | "ref"
+                | "as"
+                | "let"
         ),
         TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
         TokenKind::Literal | TokenKind::Lifetime => false,

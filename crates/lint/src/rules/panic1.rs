@@ -15,8 +15,18 @@ use crate::source::{Finding, SourceFile};
 /// See module docs.
 pub struct Panic1;
 
-/// Hot-path modules (workspace-relative suffix match).
-const HOT_PATHS: [&str; 1] = ["crates/core/src/border.rs"];
+/// Hot-path modules. Entries ending in `/` are directory prefixes (the
+/// whole tree is in scope); others are workspace-relative suffix matches
+/// on a single file.
+const HOT_PATHS: [&str; 5] = [
+    "crates/core/src/border.rs",
+    // The packet-I/O backends and everything on the daemons' run loops:
+    // all of it touches attacker-controlled bytes at line rate.
+    "crates/io/src/",
+    "src/daemon.rs",
+    "src/bin/apna-border.rs",
+    "src/bin/apna-gateway.rs",
+];
 
 /// Panicking macros.
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
@@ -31,7 +41,13 @@ impl Rule for Panic1 {
     }
 
     fn applies_to(&self, path: &str) -> bool {
-        HOT_PATHS.iter().any(|p| path.ends_with(p))
+        HOT_PATHS.iter().any(|p| {
+            if p.ends_with('/') {
+                path.contains(p)
+            } else {
+                path.ends_with(p)
+            }
+        })
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
@@ -116,6 +132,27 @@ mod tests {
                    }\n";
         let out = run(src);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn slice_patterns_are_not_indexing() {
+        let src = "fn f(v: &[u8; 4]) -> u8 {\n\
+                   let [a, _b, _c, _d] = *v;\n\
+                   let [x, y] = [1u8, 2] else { return 0; };\n\
+                   a.wrapping_add(x).wrapping_add(y)\n\
+                   }\n";
+        let out = run(src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn directory_prefix_scopes_whole_tree() {
+        assert!(Panic1.applies_to("crates/io/src/ring.rs"));
+        assert!(Panic1.applies_to("crates/io/src/nested/deep.rs"));
+        assert!(Panic1.applies_to("src/bin/apna-border.rs"));
+        assert!(Panic1.applies_to("src/daemon.rs"));
+        assert!(!Panic1.applies_to("crates/io/tests/conformance.rs"));
+        assert!(!Panic1.applies_to("crates/simnet/src/lib.rs"));
     }
 
     #[test]

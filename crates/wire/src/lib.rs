@@ -13,6 +13,8 @@
 //! * [`icmp`] — ICMP message payloads (§VIII-B: APNA keeps ICMP working).
 //! * [`ipv4`] / [`gre`] — the IPv4 + GRE encapsulation used to deploy APNA
 //!   over today's Internet (Fig. 9, §VII-D).
+//! * [`encap`] — [`EncapTunnel`]: the checked, addressed form of that
+//!   encapsulation the packet-I/O backends (`apna-io`) speak.
 //!
 //! Parsing follows the smoltcp school: plain functions over byte slices,
 //! explicit error enums, no allocation on the parse path beyond the payload
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod encap;
 pub mod gre;
 pub mod header;
 pub mod icmp;
@@ -29,6 +32,7 @@ pub mod ipv4;
 pub mod types;
 
 pub use batch::{PacketBatch, ParsedSlot};
+pub use encap::{EncapTunnel, MAX_APNA_FRAME};
 pub use header::{ApnaHeader, ReplayMode, APNA_HEADER_LEN, MAC_LEN, NONCE_LEN};
 pub use types::{Aid, EphIdBytes, HostAddr, EPHID_LEN};
 

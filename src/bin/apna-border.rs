@@ -1,0 +1,359 @@
+//! `apna-border` — the APNA border router as a long-lived daemon.
+//!
+//! Receives UDP-encapsulated APNA frames (Fig. 9 IPv4+GRE framing inside
+//! each datagram) from a translator gateway, runs them through the full
+//! Fig. 4 egress pipeline, hairpins same-AS survivors through ingress,
+//! and returns locally deliverable packets to the gateway. The AS is
+//! constructed deterministically from a seed file, so the gateway daemon
+//! (same seed, same `host =` bootstrap lines) produces traffic this
+//! router validates with no bootstrap protocol between the processes.
+//!
+//! Usage: `apna-border <config-file>`. Config keys (`key = value`, `#`
+//! comments; errors are reported with line numbers):
+//!
+//! | key             | meaning                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `aid`           | AS identifier (u32), required                      |
+//! | `seed_file`     | path to the 64-hex-digit AS master seed, required  |
+//! | `listen`        | UDP address for APNA traffic, required             |
+//! | `gateway`       | UDP address of the translator daemon, required     |
+//! | `tunnel_local`  | our Fig. 9 tunnel IPv4 (GRE outer dst), required   |
+//! | `tunnel_peer`   | gateway's tunnel IPv4 (GRE outer src), required    |
+//! | `stats_listen`  | TCP stats/shutdown endpoint, required              |
+//! | `host`          | repeatable: mirrored host-bootstrap seeds (u64)    |
+//! | `granularity`   | §VIII-A regime (default `per-flow`)                |
+//! | `replay_mode`   | `disabled` (default) or `nonce`                    |
+//! | `replay_filter` | `on` enables the §VIII-D in-network filter         |
+//! | `shards`        | worker shards per burst (default 1, max 64)        |
+//! | `burst`         | max frames per burst (default 32, max 1024)        |
+//! | `run_secs`      | optional auto-shutdown deadline                    |
+//!
+//! Stats protocol: connect to `stats_listen`, send `stats\n` (JSON
+//! snapshot) or `shutdown\n` (final JSON, then the daemon drains its
+//! socket and exits 0). The final stats JSON is always printed to stdout
+//! on exit, polled or not.
+
+use apna::daemon::{build_as, json_object, json_string, load_config, parse_wire_ipv4, DaemonClock};
+use apna_core::border::{BorderRouter, Direction, DropCounters, Verdict};
+use apna_core::host::Host;
+use apna_core::time::Timestamp;
+use apna_io::stats::{StatsCommand, StatsServer};
+use apna_io::udp::{UdpBackend, UdpFraming};
+use apna_io::PacketIo;
+use apna_wire::{Aid, EncapTunnel, PacketBatch, ReplayMode};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const ALLOWED_KEYS: [&str; 14] = [
+    "aid",
+    "seed_file",
+    "granularity",
+    "replay_mode",
+    "host",
+    "listen",
+    "gateway",
+    "tunnel_local",
+    "tunnel_peer",
+    "stats_listen",
+    "replay_filter",
+    "shards",
+    "burst",
+    "run_secs",
+];
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut args = std::env::args().skip(1);
+    let (Some(config_path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: apna-border <config-file>");
+        return 2;
+    };
+    match run_daemon(&config_path) {
+        Ok(final_stats) => {
+            // The shutdown-path contract: final counters always reach
+            // stdout, even when the stats endpoint was never polled.
+            println!("{final_stats}");
+            0
+        }
+        Err(e) => {
+            eprintln!("apna-border: {e}");
+            1
+        }
+    }
+}
+
+/// Everything the run loop accumulates beyond the backend's own counters.
+#[derive(Default)]
+struct Totals {
+    bursts: u64,
+    egress_passed: u64,
+    delivered: u64,
+    forwarded_foreign: u64,
+}
+
+struct BorderDaemon {
+    router: BorderRouter,
+    aid: Aid,
+    mode: ReplayMode,
+    shards: usize,
+    burst: usize,
+    io: UdpBackend,
+    stats: StatsServer,
+    clock: DaemonClock,
+    run_secs: Option<u32>,
+    drops: DropCounters,
+    totals: Totals,
+}
+
+fn run_daemon(config_path: &str) -> Result<String, String> {
+    let cfg = load_config(config_path)?;
+    let cerr = |e: apna_io::config::ConfigError| format!("{config_path}: {e}");
+    cfg.check_keys(&ALLOWED_KEYS).map_err(cerr)?;
+
+    let setup = build_as(&cfg, config_path)?;
+    // Mirror the gateway daemon's host bootstraps (same seeds, same
+    // order) so this AS instance registers the same HIDs and host keys.
+    for seed in &setup.host_seeds {
+        Host::attach(&setup.node, setup.replay_mode, Timestamp::EPOCH, *seed)
+            .map_err(|e| format!("host bootstrap (seed {seed}) failed: {e:?}"))?;
+    }
+
+    let mut router = setup.node.br.clone();
+    match cfg.get("replay_filter").map_err(cerr)? {
+        Some("on") => router.enable_replay_filter(),
+        Some("off") | None => {}
+        Some(other) => {
+            return Err(format!(
+                "{config_path}: replay_filter must be `on` or `off`, got {other:?}"
+            ))
+        }
+    }
+
+    let listen: SocketAddr = cfg.require_parsed("listen").map_err(cerr)?;
+    let gateway: SocketAddr = cfg.require_parsed("gateway").map_err(cerr)?;
+    let stats_listen: SocketAddr = cfg.require_parsed("stats_listen").map_err(cerr)?;
+    let tunnel_local = parse_wire_ipv4(cfg.require("tunnel_local").map_err(cerr)?)
+        .map_err(|e| format!("{config_path}: tunnel_local: {e}"))?;
+    let tunnel_peer = parse_wire_ipv4(cfg.require("tunnel_peer").map_err(cerr)?)
+        .map_err(|e| format!("{config_path}: tunnel_peer: {e}"))?;
+    let shards = cfg.parsed::<usize>("shards").map_err(cerr)?.unwrap_or(1);
+    if !(1..=64).contains(&shards) {
+        return Err(format!(
+            "{config_path}: shards must be 1..=64, got {shards}"
+        ));
+    }
+    let burst = cfg.parsed::<usize>("burst").map_err(cerr)?.unwrap_or(32);
+    if !(1..=1024).contains(&burst) {
+        return Err(format!(
+            "{config_path}: burst must be 1..=1024, got {burst}"
+        ));
+    }
+    let run_secs = cfg.parsed::<u32>("run_secs").map_err(cerr)?;
+
+    let tunnel = EncapTunnel::new(tunnel_local, tunnel_peer);
+    let io = UdpBackend::bind(listen, gateway, UdpFraming::Tunnel(tunnel))
+        .map_err(|e| format!("APNA socket: {e}"))?;
+    let stats = StatsServer::bind(stats_listen).map_err(|e| format!("stats endpoint: {e}"))?;
+
+    let mut daemon = BorderDaemon {
+        router,
+        aid: setup.node.aid(),
+        mode: setup.replay_mode,
+        shards,
+        burst,
+        io,
+        stats,
+        clock: DaemonClock::start(),
+        run_secs,
+        drops: DropCounters::default(),
+        totals: Totals::default(),
+    };
+    daemon.run_loop()?;
+    Ok(daemon.stats_json())
+}
+
+impl BorderDaemon {
+    fn run_loop(&mut self) -> Result<(), String> {
+        loop {
+            let snapshot = self.stats_json();
+            match self.stats.poll_once(&snapshot) {
+                Ok(Some(StatsCommand::Shutdown)) => break,
+                Ok(_) => {}
+                Err(e) => eprintln!("apna-border: stats endpoint: {e}"),
+            }
+            if let Some(limit) = self.run_secs {
+                if self.clock.uptime_secs() >= limit {
+                    break;
+                }
+            }
+            let ready = self
+                .io
+                .poll(Duration::from_millis(20))
+                .map_err(|e| format!("poll: {e}"))?;
+            if !ready {
+                continue;
+            }
+            let frames = self
+                .io
+                .recv_burst(self.burst)
+                .map_err(|e| format!("recv: {e}"))?;
+            self.handle_burst(frames)?;
+        }
+        self.drain()
+    }
+
+    /// Shutdown drain: process whatever is still queued on the socket so
+    /// in-flight packets are accounted before the final counter dump.
+    fn drain(&mut self) -> Result<(), String> {
+        for _ in 0..64 {
+            let frames = self
+                .io
+                .recv_burst(self.burst)
+                .map_err(|e| format!("drain recv: {e}"))?;
+            if frames.is_empty() {
+                return Ok(());
+            }
+            self.handle_burst(frames)?;
+        }
+        Ok(())
+    }
+
+    /// One burst through the pipeline: egress over everything, then the
+    /// same-AS survivors hairpin through ingress and head back out.
+    fn handle_burst(&mut self, frames: Vec<Vec<u8>>) -> Result<(), String> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        self.totals.bursts += 1;
+        let now = self.clock.now();
+
+        let (egress, d1) = process_direction(
+            &self.router,
+            Direction::Egress,
+            frames,
+            self.mode,
+            now,
+            self.shards,
+        );
+        self.drops.merge(&d1);
+        let mut local = Vec::new();
+        for (frame, verdict) in egress {
+            if let Verdict::ForwardInter { dst_aid } = verdict {
+                if dst_aid == self.aid {
+                    local.push(frame);
+                } else {
+                    // No inter-AS peer in this deployment; counted, not
+                    // silently lost.
+                    self.totals.forwarded_foreign += 1;
+                }
+            }
+        }
+        self.totals.egress_passed += local.len() as u64;
+
+        let (ingress, d2) = process_direction(
+            &self.router,
+            Direction::Ingress,
+            local,
+            self.mode,
+            now,
+            self.shards,
+        );
+        self.drops.merge(&d2);
+        let deliver: Vec<Vec<u8>> = ingress
+            .into_iter()
+            .filter(|(_, v)| matches!(v, Verdict::DeliverLocal { .. }))
+            .map(|(f, _)| f)
+            .collect();
+        let sent = self
+            .io
+            .send_burst(&deliver)
+            .map_err(|e| format!("send: {e}"))?;
+        self.totals.delivered += sent as u64;
+        Ok(())
+    }
+
+    fn stats_json(&self) -> String {
+        let mut drop_fields: Vec<(&str, String)> = vec![("total", self.drops.total().to_string())];
+        for (reason, count) in self.drops.iter_nonzero() {
+            drop_fields.push((reason.name(), count.to_string()));
+        }
+        json_object(&[
+            ("daemon", json_string("apna-border")),
+            ("aid", self.aid.0.to_string()),
+            ("uptime_secs", self.clock.uptime_secs().to_string()),
+            ("bursts", self.totals.bursts.to_string()),
+            ("egress_passed", self.totals.egress_passed.to_string()),
+            ("delivered", self.totals.delivered.to_string()),
+            (
+                "forwarded_foreign",
+                self.totals.forwarded_foreign.to_string(),
+            ),
+            (
+                "replay_filter_entries",
+                self.router.replay_filter_entries().to_string(),
+            ),
+            ("io", self.io.counters().to_json()),
+            ("drops", json_object(&drop_fields)),
+        ])
+    }
+}
+
+/// Runs `frames` through one pipeline direction, split across `shards`
+/// worker threads (each with its own router clone, sharing the AS state
+/// behind `Arc`s). Returns each frame paired with its verdict, in input
+/// order, plus the direction's drop tallies.
+fn process_direction(
+    router: &BorderRouter,
+    direction: Direction,
+    frames: Vec<Vec<u8>>,
+    mode: ReplayMode,
+    now: Timestamp,
+    shards: usize,
+) -> (Vec<(Vec<u8>, Verdict)>, DropCounters) {
+    if frames.is_empty() {
+        return (Vec::new(), DropCounters::default());
+    }
+    if shards <= 1 || frames.len() == 1 {
+        return process_chunk(router, direction, frames, mode, now);
+    }
+    let chunk_size = frames.len().div_ceil(shards);
+    let chunks: Vec<Vec<Vec<u8>>> = frames.chunks(chunk_size).map(<[_]>::to_vec).collect();
+    let mut paired = Vec::new();
+    let mut drops = DropCounters::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let worker = router.clone();
+                scope.spawn(move || process_chunk(&worker, direction, chunk, mode, now))
+            })
+            .collect();
+        for handle in handles {
+            if let Ok((p, d)) = handle.join() {
+                paired.extend(p);
+                drops.merge(&d);
+            }
+        }
+    });
+    (paired, drops)
+}
+
+fn process_chunk(
+    router: &BorderRouter,
+    direction: Direction,
+    frames: Vec<Vec<u8>>,
+    mode: ReplayMode,
+    now: Timestamp,
+) -> (Vec<(Vec<u8>, Verdict)>, DropCounters) {
+    let kept = frames.clone();
+    let mut batch = PacketBatch::from_packets(mode, frames);
+    let verdicts = router.process_batch(direction, &mut batch, now);
+    let drops = *verdicts.counters();
+    (
+        kept.into_iter().zip(verdicts.into_verdicts()).collect(),
+        drops,
+    )
+}

@@ -1,0 +1,201 @@
+//! Shared plumbing for the `apna-border` and `apna-gateway` daemons:
+//! config loading, deterministic AS construction from seed files, the
+//! daemon clock, and hand-rolled JSON assembly for the stats endpoints.
+//!
+//! Everything here returns `Result<_, String>` with operator-readable
+//! messages — the binaries print the error and exit non-zero; nothing on
+//! a daemon path may panic (enforced by `apna-lint` PANIC-1, whose scope
+//! includes this module and both binaries).
+
+use apna_core::asnode::AsNode;
+use apna_core::deploy;
+use apna_core::directory::AsDirectory;
+use apna_core::granularity::Granularity;
+use apna_core::time::Timestamp;
+use apna_io::config::Config;
+use apna_wire::{Aid, ReplayMode};
+use std::time::Instant;
+
+/// Wall-clock → protocol-time mapping: protocol timestamps are seconds
+/// since daemon start (both daemons bootstrap at [`Timestamp::EPOCH`], so
+/// mirrored constructions agree without clock sync).
+pub struct DaemonClock {
+    start: Instant,
+}
+
+impl DaemonClock {
+    /// Starts the clock at protocol time zero.
+    #[must_use]
+    pub fn start() -> DaemonClock {
+        DaemonClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// Current protocol time.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        Timestamp::EPOCH.add_secs(self.uptime_secs())
+    }
+
+    /// Whole seconds since start.
+    #[must_use]
+    pub fn uptime_secs(&self) -> u32 {
+        u32::try_from(self.start.elapsed().as_secs()).unwrap_or(u32::MAX)
+    }
+}
+
+/// Loads and parses a daemon config file, prefixing errors with `path`.
+pub fn load_config(path: &str) -> Result<Config, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read config: {e}"))?;
+    Config::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Reads a 32-byte AS seed file (see `apna_core::deploy` for the format).
+pub fn read_seed_file(path: &str) -> Result<[u8; 32], String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read seed file: {e}"))?;
+    deploy::parse_seed_file(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The config keys both daemons share for AS identity.
+pub const AS_KEYS: [&str; 5] = ["aid", "seed_file", "granularity", "replay_mode", "host"];
+
+/// AS identity parsed from the shared config keys.
+pub struct AsSetup {
+    /// The deterministic AS node (control plane + border router).
+    pub node: AsNode,
+    /// The directory the node published its keys into.
+    pub directory: AsDirectory,
+    /// Parsed `replay_mode` (default `disabled`).
+    pub replay_mode: ReplayMode,
+    /// Parsed `granularity` (default `per-flow`).
+    pub granularity: Granularity,
+    /// The `host =` bootstrap seeds, in file order. Both daemons must
+    /// list the same seeds in the same order — host registration is the
+    /// only stateful part of AS identity.
+    pub host_seeds: Vec<u64>,
+}
+
+/// Builds the AS from a config: `aid`, `seed_file`, optional
+/// `granularity` / `replay_mode`, and the ordered `host =` seed lines.
+/// Host bootstraps themselves are left to the caller (the gateway daemon
+/// attaches agents; the border daemon only mirrors registrations).
+pub fn build_as(cfg: &Config, config_path: &str) -> Result<AsSetup, String> {
+    let err = |e: apna_io::config::ConfigError| format!("{config_path}: {e}");
+    let aid = Aid(cfg.require_parsed::<u32>("aid").map_err(err)?);
+    let seed_path = cfg.require("seed_file").map_err(err)?;
+    let seed = read_seed_file(seed_path)?;
+    let replay_mode = match cfg.get("replay_mode").map_err(err)? {
+        Some(v) => deploy::parse_replay_mode(v).map_err(|e| format!("{config_path}: {e}"))?,
+        None => ReplayMode::Disabled,
+    };
+    let granularity = match cfg.get("granularity").map_err(err)? {
+        Some(v) => deploy::parse_granularity(v).map_err(|e| format!("{config_path}: {e}"))?,
+        None => Granularity::PerFlow,
+    };
+    let mut host_seeds = Vec::new();
+    for (line, value) in cfg.get_all("host") {
+        let parsed: u64 = value
+            .parse()
+            .map_err(|e| format!("{config_path}: line {line}: invalid host seed {value:?}: {e}"))?;
+        host_seeds.push(parsed);
+    }
+    let directory = AsDirectory::new();
+    let node = AsNode::from_seed(aid, seed, &directory, Timestamp::EPOCH);
+    Ok(AsSetup {
+        node,
+        directory,
+        replay_mode,
+        granularity,
+        host_seeds,
+    })
+}
+
+/// Parses a dotted-quad into the wire crate's IPv4 address type.
+pub fn parse_wire_ipv4(s: &str) -> Result<apna_wire::ipv4::Ipv4Addr, String> {
+    let std_addr: std::net::Ipv4Addr = s
+        .trim()
+        .parse()
+        .map_err(|e| format!("invalid IPv4 address {s:?}: {e}"))?;
+    let [a, b, c, d] = std_addr.octets();
+    Ok(apna_wire::ipv4::Ipv4Addr::new(a, b, c, d))
+}
+
+/// Renders `{"k": v, ...}` from pre-rendered value strings (numbers and
+/// nested objects go in verbatim; strings via [`json_string`]).
+#[must_use]
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Renders a JSON string literal (escaping quotes and backslashes; the
+/// daemons never emit control characters).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_helpers() {
+        assert_eq!(
+            json_object(&[("a", "1".to_string()), ("b", json_string("x\"y"))]),
+            "{\"a\": 1, \"b\": \"x\\\"y\"}"
+        );
+    }
+
+    #[test]
+    fn build_as_parses_shared_keys() {
+        let dir = std::env::temp_dir().join("apna-daemon-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let seed_path = dir.join("as.seed");
+        std::fs::write(&seed_path, deploy::encode_seed_file(&[0x44; 32])).unwrap();
+        let cfg = Config::parse(&format!(
+            "aid = 12\nseed_file = {}\nreplay_mode = nonce\nhost = 7\nhost = 8\n",
+            seed_path.display()
+        ))
+        .unwrap();
+        let setup = build_as(&cfg, "test.conf").unwrap();
+        assert_eq!(setup.node.aid(), Aid(12));
+        assert_eq!(setup.replay_mode, ReplayMode::NonceExtension);
+        assert_eq!(setup.host_seeds, vec![7, 8]);
+    }
+
+    #[test]
+    fn build_as_reports_bad_host_seed_line() {
+        let cfg = Config::parse("aid = 1\nseed_file = /nonexistent\nhost = abc\n").unwrap();
+        let Err(err) = build_as(&cfg, "x.conf") else {
+            panic!("expected an error");
+        };
+        assert!(err.contains("/nonexistent"), "{err}");
+    }
+
+    #[test]
+    fn wire_ipv4_parsing() {
+        assert_eq!(
+            parse_wire_ipv4("10.1.2.3").unwrap(),
+            apna_wire::ipv4::Ipv4Addr::new(10, 1, 2, 3)
+        );
+        assert!(parse_wire_ipv4("10.1.2").is_err());
+    }
+}

@@ -14,6 +14,9 @@ pub use apna_core as core;
 pub use apna_crypto as crypto;
 pub use apna_dns as dns;
 pub use apna_gateway as gateway;
+pub use apna_io as io;
 pub use apna_simnet as simnet;
 pub use apna_trace as trace;
 pub use apna_wire as wire;
+
+pub mod daemon;

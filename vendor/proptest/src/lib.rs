@@ -102,6 +102,79 @@ pub mod strategy {
         type Value: core::fmt::Debug;
         /// Draws one value.
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms every sampled value (proptest's `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: core::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects sampled values failing the predicate (proptest's
+        /// `prop_filter`). Resamples up to a bounded number of times;
+        /// panics (like exhausting real proptest's rejection budget) if
+        /// the predicate is near-unsatisfiable.
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: core::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_filter`].
+    #[derive(Debug)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({}): predicate rejected 10000 samples",
+                self.whence
+            );
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
@@ -458,6 +531,17 @@ mod tests {
         fn assume_filters(x in any::<u32>()) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn map_transforms(s in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(s % 2, 0);
+            prop_assert!(s < 20);
+        }
+
+        #[test]
+        fn filter_rejects(x in (0u32..100).prop_filter("nonzero", |x| *x != 0)) {
+            prop_assert!(x != 0);
         }
     }
 
