@@ -1,0 +1,184 @@
+//! Control-plane issuance throughput vs host-state sharding
+//! (EXPERIMENTS.md, "Control plane" row).
+//!
+//! Hammers `ManagementService::handle_request_batch` — the pipelined
+//! Fig. 3 issuance path — from several worker threads against one AS
+//! whose host/AA/management state is split into 1, 4, and 16 HID shards.
+//! Every request is a real sealed `EphIdRequest` (AEAD open, host
+//! lookup, token check, EphID seal, certificate sign, AEAD reply), so
+//! RPCs/s here is end-to-end AS-side work; only the wire envelope is
+//! absent. The shard sweep isolates what the per-shard locks cost: with
+//! one shard every lookup and token serializes behind a single lock,
+//! with 16 the data-plane-mirroring layout spreads them.
+//!
+//! * `CONTROL_ISSUANCE_JSON=<path>` — write the committed
+//!   `BENCH_control_issuance.json` records.
+//! * `--quick` — shorter measurement window (CI smoke).
+//! * `--check-scaling` — exit non-zero unless 16-shard RPCs/s beats
+//!   1-shard (the CI gate; only meaningful on a multi-core runner).
+
+use apna_core::agent::{EphIdUsage, HostAgent};
+use apna_core::control::ControlMsg;
+use apna_core::directory::AsDirectory;
+use apna_core::granularity::Granularity;
+use apna_core::management::EphIdRequest;
+use apna_core::time::Timestamp;
+use apna_core::AsNode;
+use apna_wire::{Aid, ReplayMode};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+const SHARD_SWEEP: [usize; 3] = [1, 4, 16];
+const HOSTS: usize = 64;
+const BATCH: usize = 16;
+
+struct Row {
+    shards: usize,
+    threads: usize,
+    rpcs: u64,
+    secs: f64,
+    rpcs_per_sec: f64,
+}
+
+/// One AS at `shards` plus a pool of sealed issuance requests (MS-side
+/// issuance is stateless in the request nonce, so the bench replays the
+/// same sealed requests — exactly the AS-side work of fresh ones).
+fn build_world(shards: usize) -> (AsNode, Vec<EphIdRequest>) {
+    let dir = AsDirectory::new();
+    let node = AsNode::from_seed_with_shards(Aid(1), [0xB7; 32], &dir, Timestamp(0), shards);
+    let mut requests = Vec::with_capacity(HOSTS);
+    for i in 0..HOSTS {
+        let mut agent = HostAgent::attach(
+            &node,
+            Granularity::PerFlow,
+            ReplayMode::Disabled,
+            Timestamp(0),
+            1000 + i as u64,
+        )
+        .expect("bootstrap bench host");
+        let (_pending, msg) = agent.begin_acquire(EphIdUsage::DATA_LONG);
+        let ControlMsg::EphIdRequest(req) = msg else {
+            panic!("begin_acquire built a non-request");
+        };
+        requests.push(req);
+    }
+    (node, requests)
+}
+
+/// Runs `threads` workers against `node` for `window`, each batching its
+/// own disjoint request slice, and returns completed RPCs.
+fn hammer(node: &AsNode, requests: &[EphIdRequest], threads: usize, window: Duration) -> u64 {
+    let stop = AtomicBool::new(false);
+    let per_thread = requests.len() / threads;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let slice = &requests[t * per_thread..(t + 1) * per_thread];
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    let mut offset = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let batch: Vec<&EphIdRequest> = (0..BATCH)
+                            .map(|i| &slice[(offset + i) % slice.len()])
+                            .collect();
+                        offset = (offset + BATCH) % slice.len();
+                        let replies = node.ms.handle_request_batch(&batch, Timestamp(0));
+                        done += replies.iter().filter(|r| r.is_ok()).count() as u64;
+                    }
+                    done
+                })
+            })
+            .collect();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let window = if quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_millis(1500)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let threads = cores.clamp(2, 8);
+
+    let mut rows = Vec::new();
+    for shards in SHARD_SWEEP {
+        let (node, requests) = build_world(shards);
+        // Warm-up: fault in tables, settle the allocator.
+        hammer(&node, &requests, threads, window / 4);
+        let start = Instant::now();
+        let rpcs = hammer(&node, &requests, threads, window);
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(Row {
+            shards,
+            threads,
+            rpcs,
+            secs,
+            rpcs_per_sec: rpcs as f64 / secs,
+        });
+    }
+
+    println!(
+        "{:<8} {:>8} {:>12} {:>14}",
+        "shards", "threads", "RPCs", "RPCs/s"
+    );
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:<8} {:>8} {:>12} {:>14.0}",
+            r.shards, r.threads, r.rpcs, r.rpcs_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "  {{\"group\": \"control_issuance\", \"name\": \"shards_{}\", \"shards\": {}, \
+             \"threads\": {}, \"cores\": {}, \"rpcs\": {}, \"secs\": {:.3}, \
+             \"rpcs_per_sec\": {:.0}, \"hosts\": {}, \"batch\": {}}}{}",
+            r.shards,
+            r.shards,
+            r.threads,
+            cores,
+            r.rpcs,
+            r.secs,
+            r.rpcs_per_sec,
+            HOSTS,
+            BATCH,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("]\n");
+
+    // The acceptance gate the CI job re-checks on its multi-core runner:
+    // sharded beats serial. On a single core there is no parallelism for
+    // the shards to unlock, so the ratio is reported but not meaningful.
+    let one = rows
+        .iter()
+        .find(|r| r.shards == 1)
+        .map_or(0.0, |r| r.rpcs_per_sec);
+    let sixteen = rows
+        .iter()
+        .find(|r| r.shards == 16)
+        .map_or(0.0, |r| r.rpcs_per_sec);
+    println!(
+        "16-shard vs 1-shard: {:.2}x ({cores} core{})",
+        if one > 0.0 { sixteen / one } else { 0.0 },
+        if cores == 1 { "" } else { "s" }
+    );
+
+    if let Ok(path) = std::env::var("CONTROL_ISSUANCE_JSON") {
+        std::fs::write(&path, &json).expect("write CONTROL_ISSUANCE_JSON");
+        println!("wrote {path}");
+    }
+
+    if std::env::args().any(|a| a == "--check-scaling") && sixteen <= one {
+        eprintln!("FAIL: 16-shard issuance ({sixteen:.0} RPCs/s) did not beat 1-shard ({one:.0})");
+        std::process::exit(1);
+    }
+}

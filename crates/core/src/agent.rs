@@ -145,8 +145,25 @@ impl HostAgent {
         reply: &ControlMsg,
         now: Timestamp,
     ) -> Result<usize, Error> {
-        let ControlMsg::EphIdReply(reply) = reply else {
-            return Err(Error::ControlRejected("expected an EphID reply"));
+        let reply = match reply {
+            ControlMsg::EphIdReply(reply) => reply,
+            // Admission-control pushback: surface the typed drop so callers
+            // (e.g. the simulator's control RPC) can back off and retry
+            // instead of treating it as a protocol violation.
+            ControlMsg::EphIdBusy(busy) => {
+                return Err(Error::Management(crate::management::MsDrop::RateLimited {
+                    retry_after_secs: busy.retry_after_secs,
+                }))
+            }
+            ControlMsg::EphIdRequest(_)
+            | ControlMsg::RevocationAnnounce(_)
+            | ControlMsg::ShutoffRequest(_)
+            | ControlMsg::ShutoffAck(_)
+            | ControlMsg::DnsRegister(_)
+            | ControlMsg::DnsUpdate(_)
+            | ControlMsg::DnsAck { .. } => {
+                return Err(Error::ControlRejected("expected an EphID reply"))
+            }
         };
         self.host.accept_ephid_reply(pending.keypair, reply, now)
     }
@@ -166,6 +183,41 @@ impl HostAgent {
             .ok_or(Error::ControlRejected("issuance produced no reply"))?;
         let reply = ControlMsg::parse(&reply_frame)?;
         self.complete_acquire(pending, &reply, now)
+    }
+
+    /// Batched acquisition over a [`ControlPlane`]: every request is
+    /// built up front and the burst crosses
+    /// [`ControlPlane::handle_control_batch`] as ONE dispatch — against an
+    /// AS node the issuances run the pipelined `handle_request_batch`
+    /// path instead of N sequential round-trips. Returns the owned
+    /// indices in request order; the first failed slot aborts with no
+    /// partial pool mutation (acquired EphIDs stay owned and reusable).
+    pub fn acquire_many(
+        &mut self,
+        cp: &(impl ControlPlane + ?Sized),
+        usages: &[EphIdUsage],
+        now: Timestamp,
+    ) -> Result<Vec<usize>, Error> {
+        let mut in_flight = Vec::with_capacity(usages.len());
+        let mut frames = Vec::with_capacity(usages.len());
+        for &usage in usages {
+            let (pending, msg) = self.begin_acquire(usage);
+            frames.push(msg.serialize());
+            in_flight.push(pending);
+        }
+        let frame_refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+        let results = cp.handle_control_batch(&frame_refs, now);
+        if results.len() != in_flight.len() {
+            return Err(Error::ControlRejected("batch reply count mismatch"));
+        }
+        let mut indices = Vec::with_capacity(in_flight.len());
+        for (pending, result) in in_flight.into_iter().zip(results) {
+            let reply_frame =
+                result?.ok_or(Error::ControlRejected("issuance produced no reply"))?;
+            let reply = ControlMsg::parse(&reply_frame)?;
+            indices.push(self.complete_acquire(pending, &reply, now)?);
+        }
+        Ok(indices)
     }
 
     /// Selects (acquiring if needed) the EphID for a packet of `flow` /
@@ -234,13 +286,18 @@ impl HostAgent {
         now: Timestamp,
     ) -> Result<usize, Error> {
         let stale = self.refresh_candidates(now);
-        for old_idx in &stale {
-            // Acquire the successor BEFORE touching the pool: if issuance
-            // fails (expired control EphID, unreachable MS) the error
-            // propagates with every remaining flow→EphID mapping intact,
-            // instead of silently evicting slots it cannot refill.
-            let new_idx = self.acquire(cp, EphIdUsage::DATA_SHORT, now)?;
-            self.repoint_index(*old_idx, new_idx);
+        if stale.is_empty() {
+            return Ok(0);
+        }
+        // Acquire every successor BEFORE touching the pool — as one
+        // batched dispatch, so a rotation wave costs one control burst,
+        // not N round-trips. If issuance fails the error propagates with
+        // every flow→EphID mapping intact, instead of silently evicting
+        // slots it cannot refill.
+        let usages = vec![EphIdUsage::DATA_SHORT; stale.len()];
+        let fresh = self.acquire_many(cp, &usages, now)?;
+        for (&old_idx, &new_idx) in stale.iter().zip(&fresh) {
+            self.repoint_index(old_idx, new_idx);
         }
         Ok(stale.len())
     }
@@ -286,7 +343,14 @@ impl HostAgent {
             .ok_or(Error::ControlRejected("shutoff produced no reply"))?;
         match ControlMsg::parse(&reply_frame)? {
             ControlMsg::ShutoffAck(ack) => Ok(ack),
-            _ => Err(Error::ControlRejected("expected a shutoff ack")),
+            ControlMsg::EphIdRequest(_)
+            | ControlMsg::EphIdReply(_)
+            | ControlMsg::RevocationAnnounce(_)
+            | ControlMsg::ShutoffRequest(_)
+            | ControlMsg::DnsRegister(_)
+            | ControlMsg::DnsUpdate(_)
+            | ControlMsg::DnsAck { .. }
+            | ControlMsg::EphIdBusy(_) => Err(Error::ControlRejected("expected a shutoff ack")),
         }
     }
 

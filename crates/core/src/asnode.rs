@@ -10,10 +10,11 @@
 
 use crate::border::BorderRouter;
 use crate::cert::{CertKind, EphIdCert};
+use crate::ctrl_log::LogHandle;
 use crate::directory::{AsDirectory, AsPublicKeys};
 use crate::ephid::{self, EphIdPlain, IvAllocator};
 use crate::hid::Hid;
-use crate::hostinfo::HostDb;
+use crate::hostinfo::{HostDb, DEFAULT_HOST_SHARDS};
 use crate::keys::{AsKeys, EphIdKeyPair, HostAsKey};
 use crate::management::ManagementService;
 use crate::registry::RegistryService;
@@ -61,6 +62,11 @@ pub struct AsInfra {
     pub ms_cert: EphIdCert,
     /// DNS service endpoint certificate (bootstrap reply).
     pub dns_cert: EphIdCert,
+    /// Durable control log ([`crate::ctrl_log`]); inactive until a
+    /// daemon attaches a sink. The deterministic bootstrap state built
+    /// here is *not* logged — it is reproduced from the seed on restart;
+    /// only post-build dynamic mutations go to the log.
+    pub ctrl_log: LogHandle,
 }
 
 /// A fully assembled APNA AS.
@@ -93,16 +99,36 @@ impl AsNode {
         directory: &AsDirectory,
         now: Timestamp,
     ) -> AsNode {
-        Self::build(aid, AsKeys::generate(rng), rng, directory, now)
+        Self::build(
+            aid,
+            AsKeys::generate(rng),
+            rng,
+            directory,
+            now,
+            DEFAULT_HOST_SHARDS,
+        )
     }
 
     /// Deterministic construction for reproducible simulations: all key
     /// material derives from `seed`.
     pub fn from_seed(aid: Aid, seed: [u8; 32], directory: &AsDirectory, now: Timestamp) -> AsNode {
+        Self::from_seed_with_shards(aid, seed, directory, now, DEFAULT_HOST_SHARDS)
+    }
+
+    /// [`AsNode::from_seed`] with an explicit `host_info` shard count —
+    /// the knob the issuance bench sweeps (1/4/16). Key material and all
+    /// identities are independent of the shard count.
+    pub fn from_seed_with_shards(
+        aid: Aid,
+        seed: [u8; 32],
+        directory: &AsDirectory,
+        now: Timestamp,
+        shards: usize,
+    ) -> AsNode {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::from_seed(seed);
         let keys = AsKeys::from_seed(&seed);
-        Self::build(aid, keys, &mut rng, directory, now)
+        Self::build(aid, keys, &mut rng, directory, now, shards)
     }
 
     fn build<R: RngCore + CryptoRng>(
@@ -111,6 +137,7 @@ impl AsNode {
         rng: &mut R,
         directory: &AsDirectory,
         now: Timestamp,
+        shards: usize,
     ) -> AsNode {
         directory.publish(
             aid,
@@ -120,7 +147,7 @@ impl AsNode {
             },
         );
 
-        let host_db = HostDb::new();
+        let host_db = HostDb::with_shards(shards);
         let iv_alloc = IvAllocator::default();
         // Service endpoints (MS/DNS/AA) are infrastructure: they outlive
         // host EphIDs by far, so customers bootstrapped late in a service
@@ -171,6 +198,7 @@ impl AsNode {
             aa_ephid,
             ms_cert: ms_cert.clone(),
             dns_cert: dns_cert.clone(),
+            ctrl_log: LogHandle::default(),
         });
 
         AsNode {

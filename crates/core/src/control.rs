@@ -19,7 +19,7 @@
 //! directly.
 
 use crate::cert::EphIdCert;
-use crate::management::{EphIdReply, EphIdRequest};
+use crate::management::{EphIdReply, EphIdRequest, MsDrop};
 use crate::shutoff::{RevocationOrder, ShutoffRequest};
 use crate::time::Timestamp;
 use crate::{AsNode, Error};
@@ -58,11 +58,14 @@ pub enum ControlKind {
     DnsUpdate = 6,
     /// DNS zone → service host: record accepted.
     DnsAck = 7,
+    /// MS → host: issuance admission control said "not now" — the host's
+    /// token bucket is empty. Retryable with backoff; carries a hint.
+    EphIdBusy = 8,
 }
 
 impl ControlKind {
     /// Every kind, in kind-byte order (guards the counter indexing).
-    pub const ALL: [ControlKind; 8] = [
+    pub const ALL: [ControlKind; 9] = [
         ControlKind::EphIdRequest,
         ControlKind::EphIdReply,
         ControlKind::RevocationAnnounce,
@@ -71,6 +74,7 @@ impl ControlKind {
         ControlKind::DnsRegister,
         ControlKind::DnsUpdate,
         ControlKind::DnsAck,
+        ControlKind::EphIdBusy,
     ];
 
     /// Stable index into [`ControlCounters`].
@@ -101,6 +105,7 @@ impl ControlKind {
             ControlKind::DnsRegister => "dns-register",
             ControlKind::DnsUpdate => "dns-update",
             ControlKind::DnsAck => "dns-ack",
+            ControlKind::EphIdBusy => "ephid-busy",
         }
     }
 }
@@ -338,6 +343,46 @@ impl ShutoffAck {
     }
 }
 
+/// The MS's admission-control pushback (Fig. 3 under load): the host's
+/// issuance token bucket is empty, so the request was neither processed
+/// nor silently dropped. Echoes the request nonce (so the client can
+/// match it to the in-flight acquisition) and hints when retrying is
+/// worthwhile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EphIdBusy {
+    /// The request nonce this pushback answers.
+    pub nonce: [u8; 12],
+    /// Seconds until the bucket refills enough to admit one request.
+    pub retry_after_secs: u32,
+}
+
+impl EphIdBusy {
+    const LEN: usize = 12 + 4;
+
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::LEN);
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.retry_after_secs.to_be_bytes());
+        out
+    }
+
+    fn parse(buf: &[u8]) -> Result<EphIdBusy, WireError> {
+        if buf.len() != Self::LEN {
+            return Err(if buf.len() < Self::LEN {
+                WireError::Truncated
+            } else {
+                WireError::LengthMismatch
+            });
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&buf[..12]);
+        Ok(EphIdBusy {
+            nonce,
+            retry_after_secs: u32::from_be_bytes(buf[12..16].try_into().unwrap()),
+        })
+    }
+}
+
 /// A control-plane message: the typed body behind one [`ControlKind`].
 ///
 /// On the wire a message is framed as
@@ -366,6 +411,8 @@ pub enum ControlMsg {
         /// The name that was (re-)published.
         name: String,
     },
+    /// Issuance admission-control pushback (retryable).
+    EphIdBusy(EphIdBusy),
 }
 
 impl ControlMsg {
@@ -381,6 +428,7 @@ impl ControlMsg {
             ControlMsg::DnsRegister(_) => ControlKind::DnsRegister,
             ControlMsg::DnsUpdate(_) => ControlKind::DnsUpdate,
             ControlMsg::DnsAck { .. } => ControlKind::DnsAck,
+            ControlMsg::EphIdBusy(_) => ControlKind::EphIdBusy,
         }
     }
 
@@ -399,6 +447,7 @@ impl ControlMsg {
                 out.extend_from_slice(name.as_bytes());
                 out
             }
+            ControlMsg::EphIdBusy(busy) => busy.serialize(),
         };
         let mut out = Vec::with_capacity(CONTROL_HEADER_LEN + body.len());
         out.extend_from_slice(&CONTROL_MAGIC);
@@ -456,6 +505,7 @@ impl ControlMsg {
                     .map_err(|_| WireError::BadField { field: "ack name" })?;
                 ControlMsg::DnsAck { name }
             }
+            ControlKind::EphIdBusy => ControlMsg::EphIdBusy(EphIdBusy::parse(body)?),
         })
     }
 }
@@ -478,6 +528,23 @@ pub trait ControlPlane {
         let msg = ControlMsg::parse(frame)?;
         Ok(self.handle_control(&msg, now)?.map(|m| m.serialize()))
     }
+
+    /// Pipelined entry point: a burst of control frames arriving together
+    /// (simultaneous deliveries at one service, a daemon's socket burst).
+    /// One result per frame, in input order. The default loops
+    /// [`ControlPlane::handle_control_frame`]; [`crate::AsNode`] overrides
+    /// it to batch EphID issuances (amortized ctrl-EphID opens and
+    /// per-shard lock acquisitions).
+    fn handle_control_batch(
+        &self,
+        frames: &[&[u8]],
+        now: Timestamp,
+    ) -> Vec<Result<Option<Vec<u8>>, Error>> {
+        frames
+            .iter()
+            .map(|f| self.handle_control_frame(f, now))
+            .collect()
+    }
 }
 
 impl ControlPlane for AsNode {
@@ -490,13 +557,20 @@ impl ControlPlane for AsNode {
         now: Timestamp,
     ) -> Result<Option<ControlMsg>, Error> {
         match msg {
-            ControlMsg::EphIdRequest(req) => {
-                let reply = self
-                    .ms
-                    .handle_request(req, now)
-                    .map_err(Error::Management)?;
-                Ok(Some(ControlMsg::EphIdReply(reply)))
-            }
+            ControlMsg::EphIdRequest(req) => match self.ms.handle_request(req, now) {
+                Ok(reply) => Ok(Some(ControlMsg::EphIdReply(reply))),
+                // Admission control is pushback, not refusal: the host is
+                // told to come back, with a hint, instead of being
+                // silently dropped (which would look like loss and make
+                // it retry immediately — the opposite of the point).
+                Err(MsDrop::RateLimited { retry_after_secs }) => {
+                    Ok(Some(ControlMsg::EphIdBusy(EphIdBusy {
+                        nonce: req.nonce,
+                        retry_after_secs,
+                    })))
+                }
+                Err(drop) => Err(Error::Management(drop)),
+            },
             ControlMsg::ShutoffRequest(req) => {
                 // The quoted packet's MAC input is identical whichever
                 // replay mode it is parsed under (the nonce bytes shift
@@ -516,10 +590,69 @@ impl ControlPlane for AsNode {
             ControlMsg::DnsRegister(_) | ControlMsg::DnsUpdate(_) => Err(Error::ControlRejected(
                 "DNS control must target the DNS zone service",
             )),
-            ControlMsg::EphIdReply(_) | ControlMsg::ShutoffAck(_) | ControlMsg::DnsAck { .. } => {
+            ControlMsg::EphIdReply(_)
+            | ControlMsg::ShutoffAck(_)
+            | ControlMsg::DnsAck { .. }
+            | ControlMsg::EphIdBusy(_) => {
                 Err(Error::ControlRejected("reply message sent to a service"))
             }
         }
+    }
+
+    /// Batched AS-side dispatch: the EphID issuances in the burst run
+    /// through [`crate::management::ManagementService::handle_request_batch`]
+    /// (one batched ctrl-EphID open sweep, per-HID lock amortization);
+    /// everything else dispatches individually. Results stay in frame
+    /// order.
+    fn handle_control_batch(
+        &self,
+        frames: &[&[u8]],
+        now: Timestamp,
+    ) -> Vec<Result<Option<Vec<u8>>, Error>> {
+        // Parse everything up front so issuances can be grouped.
+        let parsed: Vec<Result<ControlMsg, WireError>> =
+            frames.iter().map(|f| ControlMsg::parse(f)).collect();
+        let mut issuance: Vec<(usize, &EphIdRequest)> = Vec::new();
+        for (i, p) in parsed.iter().enumerate() {
+            if let Ok(ControlMsg::EphIdRequest(req)) = p {
+                issuance.push((i, req));
+            }
+        }
+
+        let mut out: Vec<Option<Result<Option<Vec<u8>>, Error>>> =
+            frames.iter().map(|_| None).collect();
+
+        if issuance.len() > 1 {
+            let requests: Vec<&EphIdRequest> = issuance.iter().map(|&(_, req)| req).collect();
+            let replies = self.ms.handle_request_batch(&requests, now);
+            for (&(i, req), result) in issuance.iter().zip(replies) {
+                out[i] = Some(match result {
+                    Ok(reply) => Ok(Some(ControlMsg::EphIdReply(reply).serialize())),
+                    Err(MsDrop::RateLimited { retry_after_secs }) => Ok(Some(
+                        ControlMsg::EphIdBusy(EphIdBusy {
+                            nonce: req.nonce,
+                            retry_after_secs,
+                        })
+                        .serialize(),
+                    )),
+                    Err(drop) => Err(Error::Management(drop)),
+                });
+            }
+        }
+
+        for (i, slot) in out.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(match &parsed[i] {
+                    Ok(msg) => self
+                        .handle_control(msg, now)
+                        .map(|reply| reply.map(|m| m.serialize())),
+                    Err(e) => Err(Error::Wire(*e)),
+                });
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.unwrap_or(Err(Error::ControlRejected("unprocessed batch frame"))))
+            .collect()
     }
 }
 
@@ -597,6 +730,10 @@ mod tests {
             ControlMsg::DnsAck {
                 name: "shop.example".into(),
             },
+            ControlMsg::EphIdBusy(EphIdBusy {
+                nonce: [7; 12],
+                retry_after_secs: 3,
+            }),
         ];
         for msg in msgs {
             let wire = msg.serialize();
@@ -677,6 +814,10 @@ mod tests {
                 ephid: EphIdBytes([0; 16]),
                 exp_time: Timestamp(0),
                 hid_revoked: false,
+            }),
+            ControlMsg::EphIdBusy(EphIdBusy {
+                nonce: [0; 12],
+                retry_after_secs: 1,
             }),
         ] {
             assert!(matches!(

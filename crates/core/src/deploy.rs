@@ -156,6 +156,28 @@ impl ControlPlane for CountingControlPlane<'_> {
         }
         Ok(reply)
     }
+
+    /// Delegates the whole burst to the inner plane's batched path (so the
+    /// daemons keep the pipelining win), tallying every parseable request
+    /// and reply frame around it.
+    fn handle_control_batch(
+        &self,
+        frames: &[&[u8]],
+        now: Timestamp,
+    ) -> Vec<Result<Option<Vec<u8>>, Error>> {
+        for frame in frames {
+            if let Ok(msg) = ControlMsg::parse(frame) {
+                self.counters.borrow_mut().record(msg.kind());
+            }
+        }
+        let results = self.inner.handle_control_batch(frames, now);
+        for reply in results.iter().flatten().flatten() {
+            if let Ok(msg) = ControlMsg::parse(reply) {
+                self.counters.borrow_mut().record(msg.kind());
+            }
+        }
+        results
+    }
 }
 
 #[cfg(test)]

@@ -206,6 +206,13 @@ impl IvAllocator {
     pub fn issued(&self) -> u32 {
         self.next.load(Ordering::Relaxed)
     }
+
+    /// Raises the counter to at least `floor` (control-log replay: a
+    /// restarted AS must never re-hand an IV that a pre-crash issuance
+    /// may have consumed — IV reuse under CTR reuses keystream).
+    pub fn advance_to(&self, floor: u32) {
+        self.next.fetch_max(floor, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,27 @@ impl HostAsKey {
     pub fn halves_differ(&self) -> bool {
         self.enc != self.auth
     }
+
+    /// Serializes both halves (`enc ‖ auth`) for the durable control log
+    /// ([`crate::ctrl_log`]). This is raw key material: the log file must
+    /// be protected like the AS's own key store.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        out[..16].copy_from_slice(&self.enc);
+        out[16..].copy_from_slice(&self.auth);
+        out
+    }
+
+    /// Reverses [`HostAsKey::to_bytes`] (control-log replay).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 32]) -> HostAsKey {
+        let mut enc = [0u8; 16];
+        let mut auth = [0u8; 16];
+        enc.copy_from_slice(&bytes[..16]);
+        auth.copy_from_slice(&bytes[16..]);
+        HostAsKey { enc, auth }
+    }
 }
 
 impl core::fmt::Debug for HostAsKey {

@@ -22,6 +22,7 @@
 //! | §VIII-A EphID granularity | [`granularity`] |
 //! | §VIII-D replay windows | [`replay`] |
 //! | §VIII-G2 revocation management | [`revocation`] |
+//! | durable control-plane log & snapshots | [`ctrl_log`] |
 //! | RPKI stand-in (§IV-A assumption) | [`directory`] |
 //! | AS key material & derivations | [`keys`] |
 //!
@@ -38,6 +39,7 @@ pub mod asnode;
 pub mod border;
 pub mod cert;
 pub mod control;
+pub mod ctrl_log;
 pub mod deploy;
 pub mod directory;
 pub mod ephid;

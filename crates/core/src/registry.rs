@@ -111,11 +111,24 @@ impl RegistryService {
         let ctrl_ephid = ephid::seal(
             &infra.keys,
             EphIdPlain { hid, exp_time: exp },
-            infra.iv_alloc.next_iv(),
+            infra.ctrl_log.next_iv(&infra.iv_alloc),
         );
 
-        // host_info[HID] = kHA, shared by all AS entities.
-        infra.host_db.register(hid, kha, now);
+        // host_info[HID] = kHA, shared by all AS entities — appended to
+        // the durable log *before* the reply leaves, so an acked
+        // bootstrap always survives a crash.
+        infra.host_db.register(hid, kha.clone(), now);
+        infra
+            .ctrl_log
+            .append(&crate::ctrl_log::Record::HostRegistered(
+                crate::hostinfo::HostExport {
+                    hid,
+                    key: kha,
+                    registered_at: now,
+                    revoked: false,
+                    strikes: 0,
+                },
+            ));
 
         Ok((
             hid,

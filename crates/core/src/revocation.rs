@@ -90,6 +90,19 @@ impl RevocationList {
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(|s| s.read().is_empty())
     }
+
+    /// Exports every `(EphID, expiry)` entry, sorted by EphID bytes so
+    /// control-log snapshots ([`crate::ctrl_log`]) are deterministic.
+    #[must_use]
+    pub fn export(&self) -> Vec<(EphIdBytes, Timestamp)> {
+        let mut out: Vec<(EphIdBytes, Timestamp)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().iter().map(|(e, t)| (*e, *t)).collect::<Vec<_>>())
+            .collect();
+        out.sort_by_key(|(e, _)| *e.as_bytes());
+        out
+    }
 }
 
 #[cfg(test)]

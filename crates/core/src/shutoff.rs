@@ -297,6 +297,16 @@ impl AccountabilityAgent {
         if hid_revoked {
             self.infra.host_db.revoke_hid(plain.hid);
         }
+        // Durable *before* the ack: a crash after this point re-acks the
+        // identical outcome from replayed state.
+        self.infra
+            .ctrl_log
+            .append(&crate::ctrl_log::Record::EphIdRevoked {
+                ephid: header.src.ephid,
+                exp_time: plain.exp_time,
+                hid: plain.hid,
+                hid_revoked,
+            });
 
         Ok(ShutoffOutcome { order, hid_revoked })
     }
@@ -332,6 +342,14 @@ impl AccountabilityAgent {
         if hid_revoked {
             self.infra.host_db.revoke_hid(plain.hid);
         }
+        self.infra
+            .ctrl_log
+            .append(&crate::ctrl_log::Record::EphIdRevoked {
+                ephid: cert.ephid,
+                exp_time: plain.exp_time,
+                hid: plain.hid,
+                hid_revoked,
+            });
         Ok(ShutoffOutcome { order, hid_revoked })
     }
 }

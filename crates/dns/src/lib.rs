@@ -287,7 +287,13 @@ impl ControlPlane for DnsServer {
                     name: up.name.clone(),
                 }))
             }
-            _ => Err(Error::ControlRejected(
+            ControlMsg::EphIdRequest(_)
+            | ControlMsg::EphIdReply(_)
+            | ControlMsg::EphIdBusy(_)
+            | ControlMsg::RevocationAnnounce(_)
+            | ControlMsg::ShutoffRequest(_)
+            | ControlMsg::ShutoffAck(_)
+            | ControlMsg::DnsAck { .. } => Err(Error::ControlRejected(
                 "only DNS register/update is served by the zone",
             )),
         }

@@ -10,14 +10,21 @@
 //!   drains and exits. The reply-then-drain order means a supervisor
 //!   always gets closing counters even if it never polled `stats`.
 //!
-//! Anything else is answered with a one-line `error: ...`. The listener
-//! is non-blocking; the daemon run loop calls [`StatsServer::poll_once`]
-//! between bursts.
+//! Anything else is answered with a one-line `error: ...`.
+//!
+//! Everything is non-blocking: the daemon run loop calls
+//! [`StatsServer::poll_once`] between packet bursts, and no client —
+//! slow, stalled mid-line, or arriving in a crowd — may hold the loop.
+//! Each connection is a small state machine (accumulate a line, then
+//! drain a reply); a client that sends a partial line and stalls just
+//! sits in the table until its deadline, while other clients (and the
+//! data plane) keep being serviced. A partial line followed by EOF is
+//! answered with an error and dropped — it is not a command.
 
 use crate::IoError;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What a serviced stats connection asked for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,14 +43,145 @@ fn sockerr(op: &'static str, err: &std::io::Error) -> IoError {
     }
 }
 
-/// Non-blocking TCP listener speaking the protocol above.
-pub struct StatsServer {
-    listener: TcpListener,
-}
-
 /// Longest command line a client may send (the protocol has two valid
 /// commands; anything longer is garbage).
 const MAX_COMMAND_LINE: usize = 128;
+
+/// Connections serviced concurrently; later arrivals are refused with an
+/// error line. Observers are few (a supervisor, an operator); this bound
+/// only stops a socket-exhaustion nuisance from growing the table.
+const MAX_CONNS: usize = 32;
+
+/// A connection that has made no progress for this long is dropped. The
+/// clock only advances between [`StatsServer::poll_once`] calls — no
+/// blocking sleep ever happens on its behalf.
+const CONN_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Per-connection state machine: accumulating a command line, then
+/// draining a reply. `verdict` is surfaced only once the reply is fully
+/// written, preserving the reply-then-drain contract for `shutdown`.
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    verdict: Option<StatsCommand>,
+    deadline: Instant,
+}
+
+/// What one service step did with a connection.
+enum Step {
+    /// Still mid-protocol; keep it in the table.
+    Keep,
+    /// Reply fully written; the command (if the line parsed) is done.
+    Done(Option<StatsCommand>),
+    /// Peer vanished or erred; forget it.
+    Gone,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            verdict: None,
+            deadline: Instant::now() + CONN_DEADLINE,
+        }
+    }
+
+    /// One non-blocking service step: read toward a newline if no reply
+    /// is staged yet, then drain whatever reply is staged.
+    fn step(&mut self, stats_json: &str) -> Step {
+        if self.outbuf.is_empty() {
+            match self.fill(stats_json) {
+                Step::Keep => {}
+                other => return other,
+            }
+        }
+        if self.outbuf.is_empty() {
+            return Step::Keep; // still accumulating the line
+        }
+        self.flush()
+    }
+
+    /// Reads available bytes; on a full line (or a protocol violation)
+    /// stages the reply into `outbuf`.
+    fn fill(&mut self, stats_json: &str) -> Step {
+        let mut chunk = [0u8; 256];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF before the newline: a partial line is not a
+                    // command. Best-effort error (the peer may have only
+                    // shut down its write half), then done.
+                    self.stage(b"error: connection closed mid-command\n", None);
+                    return Step::Keep;
+                }
+                Ok(n) => {
+                    for &b in chunk.get(..n).unwrap_or(&[]) {
+                        if b == b'\n' {
+                            self.stage_command(stats_json);
+                            return Step::Keep;
+                        }
+                        if self.inbuf.len() >= MAX_COMMAND_LINE {
+                            self.stage(b"error: command too long\n", None);
+                            return Step::Keep;
+                        }
+                        self.inbuf.push(b);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Step::Keep,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Step::Gone,
+            }
+        }
+    }
+
+    /// Parses the accumulated line and stages the matching reply.
+    fn stage_command(&mut self, stats_json: &str) {
+        let line = String::from_utf8_lossy(&self.inbuf);
+        match line.trim() {
+            "stats" => {
+                let reply = format!("{stats_json}\n");
+                self.stage(reply.as_bytes(), Some(StatsCommand::Stats));
+            }
+            "shutdown" => {
+                let reply = format!("{stats_json}\n");
+                self.stage(reply.as_bytes(), Some(StatsCommand::Shutdown));
+            }
+            _ => self.stage(b"error: unknown command (stats|shutdown)\n", None),
+        }
+    }
+
+    fn stage(&mut self, reply: &[u8], verdict: Option<StatsCommand>) {
+        self.outbuf = reply.to_vec();
+        self.outpos = 0;
+        self.verdict = verdict;
+    }
+
+    /// Writes as much of the staged reply as the socket takes.
+    fn flush(&mut self) -> Step {
+        while self.outpos < self.outbuf.len() {
+            let rest = self.outbuf.get(self.outpos..).unwrap_or(&[]);
+            match self.stream.write(rest) {
+                Ok(0) => return Step::Gone,
+                Ok(n) => self.outpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Step::Keep,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Step::Gone,
+            }
+        }
+        Step::Done(self.verdict)
+    }
+}
+
+/// Non-blocking TCP listener speaking the protocol above.
+pub struct StatsServer {
+    listener: TcpListener,
+    conns: Vec<Conn>,
+}
 
 impl StatsServer {
     /// Binds the endpoint. Bind to port 0 for an ephemeral port and read
@@ -53,7 +191,10 @@ impl StatsServer {
         listener
             .set_nonblocking(true)
             .map_err(|e| sockerr("set_nonblocking", &e))?;
-        Ok(StatsServer { listener })
+        Ok(StatsServer {
+            listener,
+            conns: Vec::new(),
+        })
     }
 
     /// The locally bound address.
@@ -63,65 +204,62 @@ impl StatsServer {
             .map_err(|e| sockerr("local_addr", &e))
     }
 
-    /// Services at most one pending connection, replying with
-    /// `stats_json` where the protocol calls for it. Returns `Ok(None)`
-    /// when no client was waiting. A misbehaving client (slow, oversized
-    /// or unknown command) is answered/disconnected and reported as
-    /// `Ok(None)` — it must not take the daemon down.
+    /// Accepts every pending connection and advances every in-flight one,
+    /// replying with `stats_json` where the protocol calls for it —
+    /// without ever blocking on any single client. Returns the command a
+    /// connection *completed* this poll (`shutdown` wins if several
+    /// finish together), or `Ok(None)` when nothing completed. Misbehaving
+    /// clients (stalled, oversized, unknown command, closed mid-line) are
+    /// answered or expired in the background — they must not take the
+    /// daemon down, nor wedge the loop for anyone else.
     pub fn poll_once(&mut self, stats_json: &str) -> Result<Option<StatsCommand>, IoError> {
-        let stream = match self.listener.accept() {
-            Ok((stream, _peer)) => stream,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
-            Err(e) => return Err(sockerr("accept", &e)),
-        };
-        Ok(serve_client(stream, stats_json))
-    }
-}
-
-/// Reads the command line and writes the reply. All client-side failures
-/// collapse to `None`: the daemon's health must not depend on its
-/// observers' manners.
-fn serve_client(mut stream: TcpStream, stats_json: &str) -> Option<StatsCommand> {
-    stream
-        .set_read_timeout(Some(Duration::from_millis(500)))
-        .ok()?;
-    stream.set_nonblocking(false).ok()?;
-
-    let mut line: Vec<u8> = Vec::new();
-    let mut byte = [0u8; 1];
-    loop {
-        match stream.read(&mut byte) {
-            Ok(0) => break,
-            Ok(_) => {
-                if byte == [b'\n'] {
-                    break;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // dropping the stream closes it
+                    }
+                    if self.conns.len() >= MAX_CONNS {
+                        let mut stream = stream;
+                        let _ = stream.write(b"error: too many connections\n");
+                        continue;
+                    }
+                    self.conns.push(Conn::new(stream));
                 }
-                if line.len() >= MAX_COMMAND_LINE {
-                    let _ = stream.write_all(b"error: command too long\n");
-                    return None;
-                }
-                line.extend_from_slice(&byte);
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(sockerr("accept", &e)),
             }
-            Err(_) => return None,
         }
-    }
 
-    let command = String::from_utf8_lossy(&line);
-    let reply = match command.trim() {
-        "stats" => Some(StatsCommand::Stats),
-        "shutdown" => Some(StatsCommand::Shutdown),
-        _ => None,
-    };
-    match reply {
-        Some(cmd) => {
-            stream.write_all(stats_json.as_bytes()).ok()?;
-            stream.write_all(b"\n").ok()?;
-            Some(cmd)
+        let now = Instant::now();
+        let mut completed: Option<StatsCommand> = None;
+        let mut keep = Vec::with_capacity(self.conns.len());
+        for mut conn in self.conns.drain(..) {
+            match conn.step(stats_json) {
+                Step::Keep => {
+                    if now < conn.deadline {
+                        keep.push(conn);
+                    }
+                    // else: expired — dropping the Conn closes the socket.
+                }
+                Step::Done(cmd) => {
+                    // `shutdown` outranks `stats`; either outranks None.
+                    completed = match (completed, cmd) {
+                        (Some(StatsCommand::Shutdown), _) | (_, Some(StatsCommand::Shutdown)) => {
+                            Some(StatsCommand::Shutdown)
+                        }
+                        (Some(StatsCommand::Stats), _) | (_, Some(StatsCommand::Stats)) => {
+                            Some(StatsCommand::Stats)
+                        }
+                        (None, None) => None,
+                    };
+                }
+                Step::Gone => {}
+            }
         }
-        None => {
-            let _ = stream.write_all(b"error: unknown command (stats|shutdown)\n");
-            None
-        }
+        self.conns = keep;
+        Ok(completed)
     }
 }
 
@@ -201,5 +339,128 @@ mod tests {
     fn idle_poll_returns_none() {
         let (mut server, _addr) = bound_server();
         assert_eq!(server.poll_once("{}").unwrap(), None);
+    }
+
+    #[test]
+    fn partial_line_then_close_is_answered_not_wedged() {
+        // Regression: a client that sends half a command and closes used
+        // to hold the (then-blocking) read loop to its timeout; now it is
+        // answered with an error in the background.
+        let (mut server, addr) = bound_server();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"sta").unwrap(); // no newline
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reply = String::new();
+            s.read_to_string(&mut reply).unwrap();
+            reply
+        });
+        let mut served = None;
+        for _ in 0..200 {
+            served = server.poll_once("{}").unwrap();
+            if client.is_finished() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(served, None, "a partial line is not a command");
+        assert!(client.join().unwrap().starts_with("error:"));
+    }
+
+    #[test]
+    fn stalled_client_does_not_block_others() {
+        // Regression for the wedge: connection A connects first and goes
+        // silent mid-line; connection B arrives after and must still be
+        // served promptly, while A's socket idles toward its deadline.
+        let (mut server, addr) = bound_server();
+        let mut staller = TcpStream::connect(addr).unwrap();
+        staller.write_all(b"stat").unwrap(); // stalls without newline
+                                             // Let the staller's connection land first.
+        std::thread::sleep(Duration::from_millis(20));
+        let started = Instant::now();
+        let client = std::thread::spawn(move || stats_request(addr, "stats").unwrap());
+        let cmd = poll_until_served(&mut server, "{\"b\": 2}");
+        assert_eq!(cmd, StatsCommand::Stats);
+        assert_eq!(client.join().unwrap(), "{\"b\": 2}");
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "second client waited on the stalled first one"
+        );
+        // The staller can still complete its command afterwards.
+        staller.write_all(b"s\n").unwrap();
+        let cmd = poll_until_served(&mut server, "{\"a\": 1}");
+        assert_eq!(cmd, StatsCommand::Stats);
+        let mut reply = String::new();
+        staller.read_to_string(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "{\"a\": 1}");
+    }
+
+    #[test]
+    fn two_concurrent_connections_both_served() {
+        // Both clients must get full replies. They may complete in the
+        // *same* poll, which by contract collapses into one returned
+        // command — so completion is judged by the replies, not by
+        // counting `Some` results.
+        let (mut server, addr) = bound_server();
+        let a = std::thread::spawn(move || stats_request(addr, "stats").unwrap());
+        let b = std::thread::spawn(move || stats_request(addr, "stats").unwrap());
+        let mut polls_with_completion = 0;
+        for _ in 0..400 {
+            if server.poll_once("{\"n\": 7}").unwrap().is_some() {
+                polls_with_completion += 1;
+            }
+            if a.is_finished() && b.is_finished() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(polls_with_completion >= 1, "no client ever completed");
+        assert_eq!(a.join().unwrap(), "{\"n\": 7}");
+        assert_eq!(b.join().unwrap(), "{\"n\": 7}");
+    }
+
+    #[test]
+    fn silent_connection_expires_at_deadline() {
+        let (mut server, addr) = bound_server();
+        {
+            let _ghost = TcpStream::connect(addr).unwrap();
+            // Let the connection register, then drop it without a word.
+            std::thread::sleep(Duration::from_millis(20));
+            server.poll_once("{}").unwrap();
+            assert_eq!(server.conns.len(), 1);
+        }
+        // Peer closed: the next polls see EOF mid-line, answer (which
+        // fails — the peer is gone) and forget the connection.
+        for _ in 0..200 {
+            server.poll_once("{}").unwrap();
+            if server.conns.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(server.conns.is_empty(), "dead connection never reaped");
+    }
+
+    #[test]
+    fn shutdown_outranks_stats_when_both_complete() {
+        let (mut server, addr) = bound_server();
+        let a = std::thread::spawn(move || stats_request(addr, "stats").unwrap());
+        let b = std::thread::spawn(move || stats_request(addr, "shutdown").unwrap());
+        // Give both connections time to arrive with their full lines.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut saw_shutdown = false;
+        for _ in 0..200 {
+            match server.poll_once("{}").unwrap() {
+                Some(StatsCommand::Shutdown) => {
+                    saw_shutdown = true;
+                    break;
+                }
+                Some(StatsCommand::Stats) | None => {}
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(saw_shutdown);
+        a.join().unwrap();
+        b.join().unwrap();
     }
 }

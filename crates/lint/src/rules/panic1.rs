@@ -18,7 +18,7 @@ pub struct Panic1;
 /// Hot-path modules. Entries ending in `/` are directory prefixes (the
 /// whole tree is in scope); others are workspace-relative suffix matches
 /// on a single file.
-const HOT_PATHS: [&str; 5] = [
+const HOT_PATHS: [&str; 7] = [
     "crates/core/src/border.rs",
     // The packet-I/O backends and everything on the daemons' run loops:
     // all of it touches attacker-controlled bytes at line rate.
@@ -26,6 +26,11 @@ const HOT_PATHS: [&str; 5] = [
     "src/daemon.rs",
     "src/bin/apna-border.rs",
     "src/bin/apna-gateway.rs",
+    // The durable control-plane log and the sharded host state sit on the
+    // daemons' control path (and the log replays attacker-adjacent bytes
+    // from disk on restart): neither may unwind.
+    "crates/core/src/ctrl_log.rs",
+    "crates/core/src/hostinfo.rs",
 ];
 
 /// Panicking macros.

@@ -1,7 +1,7 @@
 //! WIRE-1: exhaustive dispatch over wire-visible enums.
 //!
-//! `ControlKind`, `DropReason`, and `FrameKind` are the enums a new wire
-//! variant lands in. A `_ =>` wildcard arm in a match that dispatches
+//! `ControlKind`, `ControlMsg`, `DropReason`, and `FrameKind` are the
+//! enums a new wire variant lands in. A `_ =>` wildcard arm in a match that dispatches
 //! over them silently absorbs the new variant; without the wildcard, the
 //! compiler walks you to every handler that needs a decision. This rule
 //! finds `match` expressions whose arm *patterns* name one of the
@@ -14,8 +14,10 @@ use crate::source::{Finding, SourceFile};
 /// See module docs.
 pub struct Wire1;
 
-/// Enums whose dispatch must stay wildcard-free.
-const WATCHED: [&str; 3] = ["ControlKind", "DropReason", "FrameKind"];
+/// Enums whose dispatch must stay wildcard-free. `ControlMsg` joined the
+/// list when `EphIdBusy` was added: every catch-all over the message
+/// envelope would have silently swallowed the new pushback reply.
+const WATCHED: [&str; 4] = ["ControlKind", "DropReason", "FrameKind", "ControlMsg"];
 
 impl Rule for Wire1 {
     fn id(&self) -> &'static str {
@@ -23,7 +25,7 @@ impl Rule for Wire1 {
     }
 
     fn describe(&self) -> &'static str {
-        "no `_ =>` arms in ControlKind/DropReason/FrameKind dispatch"
+        "no `_ =>` arms in ControlKind/ControlMsg/DropReason/FrameKind dispatch"
     }
 
     fn applies_to(&self, _path: &str) -> bool {
@@ -161,6 +163,19 @@ mod tests {
         let src = "fn f(k: ControlKind) -> u8 {\n\
                    match k {\n\
                    ControlKind::EphIdRequest => 0,\n\
+                   _ => 1,\n\
+                   }\n\
+                   }\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn control_msg_envelope_is_watched() {
+        let src = "fn f(m: ControlMsg) -> u8 {\n\
+                   match m {\n\
+                   ControlMsg::EphIdBusy(_) => 0,\n\
                    _ => 1,\n\
                    }\n\
                    }\n";

@@ -125,6 +125,10 @@ pub struct NetStats {
     pub control_retries: ControlCounters,
     /// Control RPCs that exhausted their retry budget or deadline.
     pub control_rpc_failures: u64,
+    /// `EphIdBusy` pushbacks received by [`Network::control_rpc`] or
+    /// [`Network::agent_acquire_many`] — issuance admission control
+    /// telling a host to back off.
+    pub control_busy: u64,
     /// Extra packet copies created by link-level duplication.
     pub link_duplicated: u64,
     /// The on-path adversary's activity (all zero when none is installed).
@@ -283,6 +287,7 @@ impl RetryPolicies {
             ControlKind::DnsRegister | ControlKind::DnsUpdate | ControlKind::DnsAck => &self.dns,
             ControlKind::EphIdRequest
             | ControlKind::EphIdReply
+            | ControlKind::EphIdBusy
             | ControlKind::RevocationAnnounce => &self.default_policy,
         }
     }
@@ -809,6 +814,12 @@ impl Network {
             let verdicts = result.into_verdicts();
             let packets = batch.into_packets();
 
+            // Service-bound packets in the burst are deferred and handed to
+            // each endpoint as ONE batched control dispatch (ordered by HID
+            // for determinism) — the pipelined issuance path. Replies are
+            // scheduled events, so deferring within the simultaneous burst
+            // changes no ordering.
+            let mut ctrl_groups: BTreeMap<Hid, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
             for ((id, verdict), bytes) in ids.into_iter().zip(verdicts).zip(packets) {
                 match verdict {
                     Verdict::DeliverLocal { hid } => {
@@ -827,7 +838,7 @@ impl Network {
                         if is_service {
                             // Control traffic: the service consumes the
                             // packet and may answer with its own packet.
-                            self.deliver_control(out, collect, id, aid, hid, &bytes, arrival);
+                            ctrl_groups.entry(hid).or_default().push((id, bytes));
                         } else {
                             self.inboxes.push(DeliveredPacket {
                                 id,
@@ -850,95 +861,122 @@ impl Network {
                     }
                 }
             }
+            for (hid, items) in ctrl_groups {
+                let arrival = self.now.add_micros(self.intra_as_latency_us);
+                self.deliver_control_batch(out, collect, aid, hid, items, arrival);
+            }
         }
     }
 
-    /// Handles a packet delivered to an AS service endpoint: parses the
-    /// [`ControlMsg`] envelope, dispatches to the service's control plane
-    /// (the DNS zone for the DNS endpoint when one is attached, the AS
-    /// node otherwise), and injects the reply as a fresh packet from the
-    /// service's own EphID. Failed checks follow the paper's silent-drop
-    /// discipline: counted, no response.
-    #[allow(clippy::too_many_arguments)]
-    fn deliver_control(
+    /// Handles a burst of packets delivered to ONE AS service endpoint:
+    /// parses each [`ControlMsg`] envelope, dispatches the burst through
+    /// the service's **batched** control plane (the DNS zone for the DNS
+    /// endpoint when one is attached, the AS node otherwise — where the
+    /// EphID issuances in the burst run the pipelined
+    /// `handle_request_batch` path), and injects the replies as one fresh
+    /// burst from the service's own EphID. Failed checks follow the
+    /// paper's silent-drop discipline: counted, no response.
+    fn deliver_control_batch(
         &mut self,
         out: &mut Vec<NetworkEvent>,
         collect: bool,
-        id: u64,
         aid: Aid,
         hid: Hid,
-        bytes: &[u8],
+        items: Vec<(u64, Vec<u8>)>,
         at: SimTime,
     ) {
-        let Ok((header, payload)) = ApnaHeader::parse(bytes, self.replay_mode) else {
-            self.stats.control_rejected += 1;
-            return;
-        };
-        let Ok(msg) = ControlMsg::parse(payload) else {
-            self.stats.control_rejected += 1;
-            return;
-        };
-        self.stats.control_delivered.record(msg.kind());
-        if self.control_log_enabled {
-            self.control_log.push(ControlDelivered {
-                packet_id: id,
-                aid,
-                kind: msg.kind(),
-                at,
-            });
+        // Parse phase: envelope checks, accounting, observer events.
+        // `pending` keeps (packet id, parsed header, wire bytes, payload
+        // offset) per accepted frame.
+        let mut pending: Vec<(u64, ApnaHeader, Vec<u8>, usize)> = Vec::new();
+        for (id, bytes) in items {
+            let Ok((header, payload)) = ApnaHeader::parse(&bytes, self.replay_mode) else {
+                self.stats.control_rejected += 1;
+                continue;
+            };
+            let Ok(msg) = ControlMsg::parse(payload) else {
+                self.stats.control_rejected += 1;
+                continue;
+            };
+            let payload_off = bytes.len() - payload.len();
+            self.stats.control_delivered.record(msg.kind());
+            if self.control_log_enabled {
+                self.control_log.push(ControlDelivered {
+                    packet_id: id,
+                    aid,
+                    kind: msg.kind(),
+                    at,
+                });
+            }
+            if collect {
+                out.push(NetworkEvent::ControlDelivered {
+                    id,
+                    aid,
+                    kind: msg.kind(),
+                });
+            }
+            pending.push((id, header, bytes, payload_off));
         }
-        if collect {
-            out.push(NetworkEvent::ControlDelivered {
-                id,
-                aid,
-                kind: msg.kind(),
-            });
+        if pending.is_empty() {
+            return;
         }
 
         let now = self.now.as_protocol_time();
-        let (result, src_ephid, kha) = {
+        let (results, src_ephid, kha) = {
             let node = &self.nodes[&aid];
             let endpoint = node
                 .service_by_hid(hid)
                 .expect("dispatch gated on service hid");
-            // Round-trip through the frame entry point so the reply is
+            let frames: Vec<&[u8]> = pending
+                .iter()
+                .map(|(_, _, bytes, off)| &bytes[*off..])
+                .collect();
+            // Round-trip through the frame entry point so replies are
             // produced from parsed-and-reserialized state, like any
             // networked service would.
-            let result = if endpoint.hid == node.dns_endpoint.hid {
+            let results = if endpoint.hid == node.dns_endpoint.hid {
                 match self.dns_servers.get(&aid) {
-                    Some(zone) => zone.handle_control_frame(payload, now),
-                    None => node.handle_control_frame(payload, now),
+                    Some(zone) => zone.handle_control_batch(&frames, now),
+                    None => node.handle_control_batch(&frames, now),
                 }
             } else {
-                node.handle_control_frame(payload, now)
+                node.handle_control_batch(&frames, now)
             };
-            (result, endpoint.ephid, endpoint.kha.clone())
+            (results, endpoint.ephid, endpoint.kha.clone())
         };
-        match result {
-            Err(_) => self.stats.control_rejected += 1,
-            Ok(None) => {}
-            Ok(Some(reply_frame)) => {
-                let reply_kind = ControlMsg::parse(&reply_frame)
-                    .map(|m| m.kind())
-                    .expect("services emit well-formed frames");
-                self.stats.control_replies.record(reply_kind);
-                let mut reply_header = ApnaHeader::new(HostAddr::new(aid, src_ephid), header.src);
-                if self.replay_mode == ReplayMode::NonceExtension {
-                    let counter = self.service_nonces.entry((aid, hid)).or_insert(0);
-                    reply_header = reply_header.with_nonce(*counter);
-                    *counter += 1;
+
+        let mut reply_wires = Vec::new();
+        for ((_, header, _, _), result) in pending.iter().zip(results) {
+            match result {
+                Err(_) => self.stats.control_rejected += 1,
+                Ok(None) => {}
+                Ok(Some(reply_frame)) => {
+                    let reply_kind = ControlMsg::parse(&reply_frame)
+                        .map(|m| m.kind())
+                        .expect("services emit well-formed frames");
+                    self.stats.control_replies.record(reply_kind);
+                    let mut reply_header =
+                        ApnaHeader::new(HostAddr::new(aid, src_ephid), header.src);
+                    if self.replay_mode == ReplayMode::NonceExtension {
+                        let counter = self.service_nonces.entry((aid, hid)).or_insert(0);
+                        reply_header = reply_header.with_nonce(*counter);
+                        *counter += 1;
+                    }
+                    let mac: [u8; 8] = kha
+                        .packet_cmac()
+                        .mac_truncated(&reply_header.mac_input(&reply_frame));
+                    reply_header.set_mac(mac);
+                    let mut wire = reply_header.serialize();
+                    wire.extend_from_slice(&reply_frame);
+                    reply_wires.push(wire);
                 }
-                let mac: [u8; 8] = kha
-                    .packet_cmac()
-                    .mac_truncated(&reply_header.mac_input(&reply_frame));
-                reply_header.set_mac(mac);
-                let mut wire = reply_header.serialize();
-                wire.extend_from_slice(&reply_frame);
-                // The reply is ordinary accountable traffic: it re-enters
-                // the network at the service's AS and runs the full
-                // egress → (links) → ingress pipeline.
-                self.send(aid, wire);
             }
+        }
+        if !reply_wires.is_empty() {
+            // The replies are ordinary accountable traffic: they re-enter
+            // the network at the service's AS as one burst and run the full
+            // egress → (links) → ingress pipeline.
+            self.send_batch(aid, reply_wires);
         }
     }
 
@@ -1019,25 +1057,62 @@ impl Network {
             .wrapping_add(self.rpc_seq.wrapping_mul(0xA076_1D64_78BD_642F))
             .wrapping_add(kind as u64);
         let start = self.now;
+        let deadline = start.add_micros(policy.deadline_us);
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            match self.control_rpc_once(agent, dst, msg) {
+            // A retryable failure leaves `busy` holding the typed pushback
+            // (when that is what came back) and `wait_floor_us` the minimum
+            // wait before resending.
+            let (busy, wait_floor_us) = match self.control_rpc_once(agent, dst, msg) {
+                Ok(ControlMsg::EphIdBusy(b)) if kind == ControlKind::EphIdRequest => {
+                    // Issuance admission control said "not now": retryable,
+                    // with the service's own hint as the wait floor.
+                    self.stats.control_busy += 1;
+                    (
+                        Some(ControlMsg::EphIdBusy(b)),
+                        u64::from(b.retry_after_secs).saturating_mul(1_000_000),
+                    )
+                }
                 Ok(reply) => return Ok(reply),
                 Err(RpcFailure::Fatal(e)) => return Err(e),
-                Err(RpcFailure::Transport) => {
-                    let elapsed = self.now.micros().saturating_sub(start.micros());
-                    if attempt >= policy.max_attempts || elapsed >= policy.deadline_us {
+                Err(RpcFailure::Transport) => (None, 0),
+            };
+            // Budget spent: a transport loss is a timeout; a busy reply is
+            // returned typed (the service answered every attempt — that is
+            // pushback, not loss) so callers surface `MsDrop::RateLimited`.
+            let elapsed = self.now.micros().saturating_sub(start.micros());
+            if attempt >= policy.max_attempts || elapsed >= policy.deadline_us {
+                return match busy {
+                    Some(reply) => Ok(reply),
+                    None => {
                         self.stats.control_rpc_failures += 1;
-                        return Err(Error::ControlTimeout { attempts: attempt });
+                        Err(Error::ControlTimeout { attempts: attempt })
                     }
-                    self.stats.control_retries.record(kind);
-                    let wait =
-                        policy.backoff_for(attempt, jitter_base.wrapping_add(attempt.into()));
-                    let resume = self.now.add_micros(wait);
-                    self.advance_to(resume);
-                }
+                };
             }
+            let wait = policy
+                .backoff_for(attempt, jitter_base.wrapping_add(attempt.into()))
+                .max(wait_floor_us);
+            let resume = self.now.add_micros(wait);
+            if resume >= deadline {
+                // Deadline-clamped backoff (bugfix): this wait reaches past
+                // the deadline, so the RPC ends *at* the deadline instant.
+                // It used to sleep the whole backoff and then burn one more
+                // send after its time budget had already expired, making
+                // deadline expiry observable up to a full capped backoff
+                // late.
+                self.advance_to(deadline.max(self.now));
+                return match busy {
+                    Some(reply) => Ok(reply),
+                    None => {
+                        self.stats.control_rpc_failures += 1;
+                        Err(Error::ControlTimeout { attempts: attempt })
+                    }
+                };
+            }
+            self.stats.control_retries.record(kind);
+            self.advance_to(resume);
         }
     }
 
@@ -1124,6 +1199,111 @@ impl Network {
         agent.complete_acquire(pending, &reply, now)
     }
 
+    /// Packetized **batched** EphID acquisition: begins every acquisition,
+    /// sends the requests as one burst (one egress batch on the wire, one
+    /// service-side `handle_control_batch` — the pipelined issuance path),
+    /// and completes each from its matched reply. Replies pair to requests
+    /// by the MS nonce discipline: an issuance reply echoes its request
+    /// nonce with the top bit set, a busy pushback echoes it verbatim.
+    /// Requests whose reply was lost in transit fall back to the retried
+    /// scalar [`Network::control_rpc`], so lossy links degrade gracefully
+    /// instead of failing the whole batch.
+    pub fn agent_acquire_many(
+        &mut self,
+        agent: &mut HostAgent,
+        usages: &[EphIdUsage],
+    ) -> Result<Vec<usize>, Error> {
+        if usages.is_empty() {
+            return Ok(Vec::new());
+        }
+        let dst = HostAddr::new(agent.aid, agent.ms_cert.ephid);
+        let (ctrl, _) = agent.control_ephid();
+        let mode = self.replay_mode;
+        // Purge stale pre-existing "replies" (adversary replays of earlier
+        // exchanges), as the scalar RPC does.
+        self.inboxes
+            .retain(|d| !Self::matches_control_reply(&d.bytes, mode, ctrl, dst));
+
+        // Begin every acquisition and build the request burst.
+        let mut in_flight = Vec::with_capacity(usages.len());
+        let mut wires = Vec::with_capacity(usages.len());
+        for &usage in usages {
+            let (pending, msg) = agent.begin_acquire(usage);
+            let ControlMsg::EphIdRequest(req) = &msg else {
+                return Err(Error::ControlRejected("begin_acquire built a non-request"));
+            };
+            let nonce = req.nonce;
+            wires.push(agent.build_control_packet(dst, &msg));
+            in_flight.push((pending, nonce, msg));
+        }
+        self.send_batch(agent.aid, wires);
+        self.run();
+
+        // Drain and parse every reply addressed to our control EphID.
+        let mut arrived = Vec::new();
+        let mut i = 0;
+        while i < self.inboxes.len() {
+            if Self::matches_control_reply(&self.inboxes[i].bytes, mode, ctrl, dst) {
+                arrived.push(self.inboxes.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        let mut matched: Vec<([u8; 12], ControlMsg)> = Vec::new();
+        for delivered in arrived {
+            // A failed receive is a duplicated copy the host's replay
+            // window already absorbed — skip it.
+            let Ok((_header, payload)) = agent.receive_packet(&delivered.bytes) else {
+                continue;
+            };
+            let Ok(reply) = ControlMsg::parse(payload) else {
+                continue;
+            };
+            let req_nonce = match &reply {
+                ControlMsg::EphIdReply(r) => {
+                    let mut n = r.nonce;
+                    n[0] &= 0x7f; // the MS set the top bit; clear it back
+                    Some(n)
+                }
+                ControlMsg::EphIdBusy(b) => Some(b.nonce),
+                ControlMsg::EphIdRequest(_)
+                | ControlMsg::RevocationAnnounce(_)
+                | ControlMsg::ShutoffRequest(_)
+                | ControlMsg::ShutoffAck(_)
+                | ControlMsg::DnsRegister(_)
+                | ControlMsg::DnsUpdate(_)
+                | ControlMsg::DnsAck { .. } => None,
+            };
+            if let Some(n) = req_nonce {
+                matched.push((n, reply));
+            }
+        }
+
+        // Complete in request order; fall back to the scalar RPC for any
+        // request whose reply never arrived — or whose slot in the batch
+        // was refused with an `EphIdBusy` pushback, so the retried path's
+        // backoff (floored at the advertised `retry_after_secs`) absorbs
+        // transient rate-limit pressure instead of failing the batch.
+        let mut indices = Vec::with_capacity(in_flight.len());
+        for (pending, nonce, msg) in in_flight {
+            let reply = match matched.iter().position(|(n, _)| *n == nonce) {
+                Some(pos) => match matched.swap_remove(pos).1 {
+                    ControlMsg::EphIdBusy(b) => {
+                        self.stats.control_busy += 1;
+                        let floor = u64::from(b.retry_after_secs).saturating_mul(1_000_000);
+                        self.advance_to(self.now.add_micros(floor));
+                        self.control_rpc(agent, dst, &msg)?
+                    }
+                    reply => reply,
+                },
+                None => self.control_rpc(agent, dst, &msg)?,
+            };
+            let now = self.now.as_protocol_time();
+            indices.push(agent.complete_acquire(pending, &reply, now)?);
+        }
+        Ok(indices)
+    }
+
     /// Packetized flow-to-EphID mapping: [`HostAgent::ephid_for`] with
     /// acquisitions crossing the network. Pool decisions stay local; only
     /// the acquisition goes on the wire.
@@ -1152,10 +1332,15 @@ impl Network {
     pub fn agent_refresh_expiring(&mut self, agent: &mut HostAgent) -> Result<usize, Error> {
         let now = self.now.as_protocol_time();
         let stale = agent.refresh_candidates(now);
-        for &old_idx in &stale {
-            // Acquire before evicting, as in the direct-transport path: a
-            // failed issuance leaves every flow→EphID mapping intact.
-            let new_idx = self.agent_acquire(agent, EphIdUsage::DATA_SHORT)?;
+        if stale.is_empty() {
+            return Ok(0);
+        }
+        // Acquire before evicting, as in the direct-transport path: a
+        // failed issuance leaves every flow→EphID mapping intact. The
+        // whole rotation wave goes out as ONE request burst.
+        let usages = vec![EphIdUsage::DATA_SHORT; stale.len()];
+        let fresh = self.agent_acquire_many(agent, &usages)?;
+        for (&old_idx, &new_idx) in stale.iter().zip(&fresh) {
             agent.repoint_index(old_idx, new_idx);
         }
         Ok(stale.len())
@@ -1173,7 +1358,14 @@ impl Network {
         let msg = agent.shutoff_request(evidence, owned_idx);
         match self.control_rpc(agent, aa, &msg)? {
             ControlMsg::ShutoffAck(ack) => Ok(ack),
-            _ => Err(Error::ControlRejected("expected a shutoff ack")),
+            ControlMsg::EphIdRequest(_)
+            | ControlMsg::EphIdReply(_)
+            | ControlMsg::EphIdBusy(_)
+            | ControlMsg::RevocationAnnounce(_)
+            | ControlMsg::ShutoffRequest(_)
+            | ControlMsg::DnsRegister(_)
+            | ControlMsg::DnsUpdate(_)
+            | ControlMsg::DnsAck { .. } => Err(Error::ControlRejected("expected a shutoff ack")),
         }
     }
 
@@ -1219,7 +1411,15 @@ impl Network {
         let dst = HostAddr::new(zone_aid, self.nodes[&zone_aid].dns_endpoint.ephid);
         match self.control_rpc(agent, dst, msg)? {
             ControlMsg::DnsAck { name: acked } if acked == name => Ok(()),
-            _ => Err(Error::ControlRejected("expected a DNS ack")),
+            ControlMsg::DnsAck { .. }
+            | ControlMsg::EphIdRequest(_)
+            | ControlMsg::EphIdReply(_)
+            | ControlMsg::EphIdBusy(_)
+            | ControlMsg::RevocationAnnounce(_)
+            | ControlMsg::ShutoffRequest(_)
+            | ControlMsg::ShutoffAck(_)
+            | ControlMsg::DnsRegister(_)
+            | ControlMsg::DnsUpdate(_) => Err(Error::ControlRejected("expected a DNS ack")),
         }
     }
 }
@@ -1747,6 +1947,157 @@ mod tests {
         net.retry_policy = RetryPolicies::single_shot();
         let err = net.control_rpc(&mut alice, dst, &msg).unwrap_err();
         assert_eq!(err, Error::ControlTimeout { attempts: 1 });
+    }
+
+    #[test]
+    fn retry_backoff_never_overshoots_the_deadline() {
+        // Regression: the backoff sleep used to be scheduled unclamped,
+        // so an RPC with a 1 s deadline could keep the caller (and the
+        // simulated clock) hostage well past the deadline before finally
+        // reporting the timeout. Expiry must be observable *at* the
+        // deadline instant.
+        let (mut net, mut alice, _bob) = two_as_network();
+        net.retry_policy = RetryPolicies::uniform(RetryPolicy::fixed(10, 600_000, 1_000_000));
+        let dst = HostAddr::new(Aid(1), alice.ms_cert.ephid);
+        let msg = ControlMsg::DnsAck { name: "x".into() };
+        let start = net.now().micros();
+        let err = net.control_rpc(&mut alice, dst, &msg).unwrap_err();
+        // Attempt 1 at ~t0, backoff to ~600 ms, attempt 2, and the next
+        // 600 ms backoff would land at ~1.2 s — past the deadline, so the
+        // RPC gives up instead of sleeping through it.
+        assert_eq!(err, Error::ControlTimeout { attempts: 2 });
+        assert_eq!(
+            net.now().micros() - start,
+            1_000_000,
+            "timeout must surface exactly at the deadline, not after the \
+             full unclamped backoff"
+        );
+    }
+
+    #[test]
+    fn issuance_rate_limit_pushes_back_and_rpc_retries_past_refill() {
+        use apna_core::hostinfo::IssuancePolicy;
+        let (mut net, mut alice, _bob) = two_as_network();
+        net.node(Aid(1))
+            .infra
+            .host_db
+            .set_issuance_policy(Some(IssuancePolicy {
+                burst: 1,
+                per_sec: 1,
+            }));
+        // The first acquisition spends the lone burst token.
+        net.agent_acquire(&mut alice, EphIdUsage::DATA_SHORT)
+            .unwrap();
+        // The second is refused with a typed `EphIdBusy`; the RPC backs
+        // off (floored at the advertised retry_after) past the refill and
+        // succeeds without the caller doing anything.
+        net.agent_acquire(&mut alice, EphIdUsage::DATA_SHORT)
+            .unwrap();
+        assert_eq!(alice.ephid_count(), 2);
+        assert!(net.stats.control_busy >= 1, "pushback not accounted");
+        assert!(
+            net.stats.control_replies.count(ControlKind::EphIdBusy) >= 1,
+            "busy replies must be tallied under their own kind"
+        );
+        assert_eq!(net.stats.control_rpc_failures, 0);
+    }
+
+    #[test]
+    fn exhausted_busy_surfaces_as_typed_rate_limit() {
+        use apna_core::hostinfo::IssuancePolicy;
+        use apna_core::management::MsDrop;
+        let (mut net, mut alice, _bob) = two_as_network();
+        net.node(Aid(1))
+            .infra
+            .host_db
+            .set_issuance_policy(Some(IssuancePolicy {
+                burst: 1,
+                per_sec: 1,
+            }));
+        net.agent_acquire(&mut alice, EphIdUsage::DATA_SHORT)
+            .unwrap();
+        // With retries disabled the pushback reaches the caller typed —
+        // the service *answered*, so this is not a transport timeout.
+        net.retry_policy = RetryPolicies::single_shot();
+        let err = net
+            .agent_acquire(&mut alice, EphIdUsage::DATA_SHORT)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Management(MsDrop::RateLimited {
+                    retry_after_secs: 1
+                })
+            ),
+            "expected a typed rate-limit, got {err:?}"
+        );
+        assert_eq!(net.stats.control_rpc_failures, 0);
+        assert!(net.stats.control_busy >= 1);
+    }
+
+    #[test]
+    fn batched_acquire_matches_scalar_semantics() {
+        let (mut net, mut alice, _bob) = two_as_network();
+        let idxs = net
+            .agent_acquire_many(
+                &mut alice,
+                &[
+                    EphIdUsage::DATA_SHORT,
+                    EphIdUsage::DATA_SHORT,
+                    EphIdUsage::RECEIVE_ONLY,
+                ],
+            )
+            .unwrap();
+        assert_eq!(idxs.len(), 3);
+        assert_eq!(alice.ephid_count(), 3);
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "batch must yield distinct EphIDs");
+        let now = net.now().as_protocol_time();
+        let vk = net.node(Aid(1)).infra.keys.verifying_key();
+        for &idx in &idxs {
+            alice.owned_ephid(idx).cert.verify(&vk, now).unwrap();
+        }
+        // One burst on the wire: three requests delivered, three replies,
+        // zero retries — nothing fell back to the scalar path.
+        assert_eq!(
+            net.stats.control_delivered.count(ControlKind::EphIdRequest),
+            3
+        );
+        assert_eq!(net.stats.control_replies.count(ControlKind::EphIdReply), 3);
+        assert_eq!(
+            net.stats.control_retries.count(ControlKind::EphIdRequest),
+            0
+        );
+    }
+
+    #[test]
+    fn batched_acquire_absorbs_partial_pushback() {
+        use apna_core::hostinfo::IssuancePolicy;
+        let (mut net, mut alice, _bob) = two_as_network();
+        net.node(Aid(1))
+            .infra
+            .host_db
+            .set_issuance_policy(Some(IssuancePolicy {
+                burst: 2,
+                per_sec: 1,
+            }));
+        // Three requests against a 2-token bucket: the refused slot falls
+        // back to the retried scalar RPC and completes after the refill.
+        let idxs = net
+            .agent_acquire_many(
+                &mut alice,
+                &[
+                    EphIdUsage::DATA_SHORT,
+                    EphIdUsage::DATA_SHORT,
+                    EphIdUsage::DATA_SHORT,
+                ],
+            )
+            .unwrap();
+        assert_eq!(idxs.len(), 3);
+        assert_eq!(alice.ephid_count(), 3);
+        assert!(net.stats.control_busy >= 1, "pushback not accounted");
     }
 
     #[test]

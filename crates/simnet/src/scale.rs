@@ -39,7 +39,7 @@ use apna_core::agent::{EphIdUsage, HostAgent};
 use apna_core::border::DropReason;
 use apna_core::control::ControlMsg;
 use apna_core::ephid;
-use apna_core::granularity::Granularity;
+use apna_core::granularity::{Granularity, SlotDecision};
 use apna_core::Error;
 use apna_wire::{Aid, ApnaHeader, EphIdBytes, HostAddr, ReplayMode};
 use std::collections::{HashMap, HashSet};
@@ -270,7 +270,24 @@ impl ScaleWorld {
                 .wrapping_add(u64::from(h)),
         )?;
         agent.set_refresh_margin(self.cfg.refresh_margin_secs);
-        let ri = self.net.agent_acquire(&mut agent, EphIdUsage::DATA_LONG)?;
+        // Batched attach: the receive EphID and (under per-host
+        // granularity, where the first flow would otherwise trigger a
+        // second sequential round-trip) the host's data EphID are acquired
+        // in ONE request burst — one egress batch on the wire, one
+        // service-side issuance batch at the MS.
+        let prewarm = self.cfg.granularity == Granularity::PerHost;
+        let usages: &[EphIdUsage] = if prewarm {
+            &[EphIdUsage::DATA_LONG, EphIdUsage::DATA_SHORT]
+        } else {
+            &[EphIdUsage::DATA_LONG]
+        };
+        let idxs = self.net.agent_acquire_many(&mut agent, usages)?;
+        let ri = idxs[0];
+        if prewarm {
+            if let SlotDecision::NeedNew(key) = agent.pool_slot_for(0, 0) {
+                agent.pool_install(key, idxs[1]);
+            }
+        }
         let addr = agent.owned_ephid(ri).addr(aid);
         self.recv_owner.insert(addr.ephid, h);
         self.recv_addr[h as usize] = Some(addr);

@@ -27,6 +27,22 @@
 //! | `shards`        | worker shards per burst (default 1, max 64)        |
 //! | `burst`         | max frames per burst (default 32, max 1024)        |
 //! | `run_secs`      | optional auto-shutdown deadline                    |
+//! | `ctrl_log`      | durable control-plane log path (optional)          |
+//! | `snapshot_every`| log appends between snapshots (default 1024)       |
+//! | `issuance_burst`| per-host issuance token-bucket size (optional)     |
+//! | `issuance_per_sec` | per-host issuance refill rate (with burst)      |
+//!
+//! With `ctrl_log = <path>` the daemon replays `<path>.snap` + `<path>`
+//! on start (restoring host registrations, revocations, and the IV
+//! watermark — restart ≠ mass re-issuance) and appends every subsequent
+//! control-plane mutation; snapshots rewrite the state to `<path>.snap`
+//! and truncate the log every `snapshot_every` appends. The log stores
+//! raw host-AS key material — protect both files like the seed file.
+//!
+//! Control-plane packets that survive ingress (frames addressed to the
+//! MS/AA/DNS service EphIDs) are dispatched per burst through the node's
+//! **batched** control plane — pipelined EphID issuance — and the replies
+//! re-enter the pipeline as ordinary accountable traffic.
 //!
 //! Stats protocol: connect to `stats_listen`, send `stats\n` (JSON
 //! snapshot) or `shutdown\n` (final JSON, then the daemon drains its
@@ -34,17 +50,24 @@
 //! on exit, polled or not.
 
 use apna::daemon::{build_as, json_object, json_string, load_config, parse_wire_ipv4, DaemonClock};
+use apna_core::asnode::AsNode;
 use apna_core::border::{BorderRouter, Direction, DropCounters, Verdict};
+use apna_core::control::{ControlCounters, ControlMsg, ControlPlane};
+use apna_core::ctrl_log::{self, ReplaySummary};
+use apna_core::hid::Hid;
 use apna_core::host::Host;
+use apna_core::hostinfo::IssuancePolicy;
 use apna_core::time::Timestamp;
 use apna_io::stats::{StatsCommand, StatsServer};
 use apna_io::udp::{UdpBackend, UdpFraming};
 use apna_io::PacketIo;
-use apna_wire::{Aid, EncapTunnel, PacketBatch, ReplayMode};
+use apna_wire::{Aid, ApnaHeader, EncapTunnel, HostAddr, PacketBatch, ReplayMode};
+use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
+use std::path::Path;
 use std::time::Duration;
 
-const ALLOWED_KEYS: [&str; 14] = [
+const ALLOWED_KEYS: [&str; 18] = [
     "aid",
     "seed_file",
     "granularity",
@@ -59,6 +82,10 @@ const ALLOWED_KEYS: [&str; 14] = [
     "shards",
     "burst",
     "run_secs",
+    "ctrl_log",
+    "snapshot_every",
+    "issuance_burst",
+    "issuance_per_sec",
 ];
 
 fn main() {
@@ -92,9 +119,13 @@ struct Totals {
     egress_passed: u64,
     delivered: u64,
     forwarded_foreign: u64,
+    control_rejected: u64,
+    snapshots: u64,
+    snapshot_errors: u64,
 }
 
 struct BorderDaemon {
+    node: AsNode,
     router: BorderRouter,
     aid: Aid,
     mode: ReplayMode,
@@ -106,6 +137,12 @@ struct BorderDaemon {
     run_secs: Option<u32>,
     drops: DropCounters,
     totals: Totals,
+    /// Per-kind tallies of control requests delivered and replies sent.
+    control: ControlCounters,
+    /// Per-service-endpoint reply nonce counters (NonceExtension mode).
+    service_nonces: HashMap<Hid, u64>,
+    snapshot_every: u64,
+    replay: Option<ReplaySummary>,
 }
 
 fn run_daemon(config_path: &str) -> Result<String, String> {
@@ -153,14 +190,47 @@ fn run_daemon(config_path: &str) -> Result<String, String> {
     }
     let run_secs = cfg.parsed::<u32>("run_secs").map_err(cerr)?;
 
+    let snapshot_every = cfg
+        .parsed::<u64>("snapshot_every")
+        .map_err(cerr)?
+        .unwrap_or(1024);
+    // Replay AFTER the deterministic mirror bootstraps: `restore`
+    // overwrites the freshly attached entries with their logged state
+    // (same seeds ⇒ same keys, plus preserved strikes/revocation flags),
+    // and the IV watermark advances past everything the pre-crash
+    // process may have issued.
+    let replay = match cfg.get("ctrl_log").map_err(cerr)? {
+        Some(path) => Some(
+            ctrl_log::attach_file(&setup.node.infra, Path::new(path))
+                .map_err(|e| format!("{config_path}: ctrl_log: {e}"))?,
+        ),
+        None => None,
+    };
+    let issuance_burst = cfg.parsed::<u32>("issuance_burst").map_err(cerr)?;
+    let issuance_per_sec = cfg.parsed::<u32>("issuance_per_sec").map_err(cerr)?;
+    match (issuance_burst, issuance_per_sec) {
+        (Some(burst), Some(per_sec)) => setup
+            .node
+            .infra
+            .host_db
+            .set_issuance_policy(Some(IssuancePolicy { burst, per_sec })),
+        (None, None) => {}
+        _ => {
+            return Err(format!(
+                "{config_path}: issuance_burst and issuance_per_sec must be set together"
+            ))
+        }
+    }
+
     let tunnel = EncapTunnel::new(tunnel_local, tunnel_peer);
     let io = UdpBackend::bind(listen, gateway, UdpFraming::Tunnel(tunnel))
         .map_err(|e| format!("APNA socket: {e}"))?;
     let stats = StatsServer::bind(stats_listen).map_err(|e| format!("stats endpoint: {e}"))?;
 
     let mut daemon = BorderDaemon {
-        router,
         aid: setup.node.aid(),
+        node: setup.node,
+        router,
         mode: setup.replay_mode,
         shards,
         burst,
@@ -170,6 +240,10 @@ fn run_daemon(config_path: &str) -> Result<String, String> {
         run_secs,
         drops: DropCounters::default(),
         totals: Totals::default(),
+        control: ControlCounters::default(),
+        service_nonces: HashMap::new(),
+        snapshot_every,
+        replay,
     };
     daemon.run_loop()?;
     Ok(daemon.stats_json())
@@ -187,6 +261,16 @@ impl BorderDaemon {
             if let Some(limit) = self.run_secs {
                 if self.clock.uptime_secs() >= limit {
                     break;
+                }
+            }
+            // Same thread as every control mutation (module contract of
+            // `ctrl_log`); a no-op while the log is inactive or young.
+            match ctrl_log::maybe_snapshot(&self.node.infra, self.snapshot_every) {
+                Ok(true) => self.totals.snapshots += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    self.totals.snapshot_errors += 1;
+                    eprintln!("apna-border: snapshot: {e}");
                 }
             }
             let ready = self
@@ -262,16 +346,108 @@ impl BorderDaemon {
             self.shards,
         );
         self.drops.merge(&d2);
-        let deliver: Vec<Vec<u8>> = ingress
-            .into_iter()
-            .filter(|(_, v)| matches!(v, Verdict::DeliverLocal { .. }))
-            .map(|(f, _)| f)
-            .collect();
+        // Split local deliveries: frames addressed to a service endpoint
+        // (MS/AA/DNS) are control traffic and dispatch through the
+        // batched control plane, grouped per endpoint and ordered by HID;
+        // everything else returns to the gateway.
+        let mut deliver: Vec<Vec<u8>> = Vec::new();
+        let mut ctrl_groups: BTreeMap<Hid, Vec<Vec<u8>>> = BTreeMap::new();
+        for (frame, verdict) in ingress {
+            if let Verdict::DeliverLocal { hid } = verdict {
+                if self.node.service_by_hid(hid).is_some() {
+                    ctrl_groups.entry(hid).or_default().push(frame);
+                } else {
+                    deliver.push(frame);
+                }
+            }
+        }
         let sent = self
             .io
             .send_burst(&deliver)
             .map_err(|e| format!("send: {e}"))?;
         self.totals.delivered += sent as u64;
+        for (hid, frames) in ctrl_groups {
+            self.handle_control_burst(hid, frames, now)?;
+        }
+        Ok(())
+    }
+
+    /// One burst of control packets for ONE service endpoint: parse the
+    /// envelopes, dispatch the whole burst through the node's batched
+    /// control plane (EphID issuances run the pipelined
+    /// `handle_request_batch` path — and are durably logged before any
+    /// reply leaves), then re-inject the authenticated replies into the
+    /// pipeline as ordinary accountable traffic.
+    fn handle_control_burst(
+        &mut self,
+        hid: Hid,
+        wires: Vec<Vec<u8>>,
+        now: Timestamp,
+    ) -> Result<(), String> {
+        // Parse phase: keep (header, wire bytes, payload offset) per
+        // accepted frame; malformed control follows the paper's
+        // silent-drop discipline (counted, no response).
+        let mut pending: Vec<(ApnaHeader, Vec<u8>, usize)> = Vec::new();
+        for bytes in wires {
+            let Ok((header, payload)) = ApnaHeader::parse(&bytes, self.mode) else {
+                self.totals.control_rejected += 1;
+                continue;
+            };
+            let Ok(msg) = ControlMsg::parse(payload) else {
+                self.totals.control_rejected += 1;
+                continue;
+            };
+            self.control.record(msg.kind());
+            let payload_off = bytes.len() - payload.len();
+            pending.push((header, bytes, payload_off));
+        }
+        if pending.is_empty() {
+            return Ok(());
+        }
+
+        let frames: Vec<&[u8]> = pending
+            .iter()
+            .map(|(_, bytes, off)| bytes.get(*off..).unwrap_or(&[]))
+            .collect();
+        let results = self.node.handle_control_batch(&frames, now);
+
+        let Some(endpoint) = self.node.service_by_hid(hid) else {
+            return Ok(());
+        };
+        let (src_ephid, kha) = (endpoint.ephid, endpoint.kha.clone());
+        let mut reply_wires = Vec::new();
+        for ((header, _, _), result) in pending.iter().zip(results) {
+            match result {
+                Err(_) => self.totals.control_rejected += 1,
+                Ok(None) => {}
+                Ok(Some(reply_frame)) => {
+                    let Ok(reply_msg) = ControlMsg::parse(&reply_frame) else {
+                        self.totals.control_rejected += 1;
+                        continue;
+                    };
+                    self.control.record(reply_msg.kind());
+                    let mut reply_header =
+                        ApnaHeader::new(HostAddr::new(self.aid, src_ephid), header.src);
+                    if self.mode == ReplayMode::NonceExtension {
+                        let counter = self.service_nonces.entry(hid).or_insert(0);
+                        reply_header = reply_header.with_nonce(*counter);
+                        *counter += 1;
+                    }
+                    let mac: [u8; 8] = kha
+                        .packet_cmac()
+                        .mac_truncated(&reply_header.mac_input(&reply_frame));
+                    reply_header.set_mac(mac);
+                    let mut wire = reply_header.serialize();
+                    wire.extend_from_slice(&reply_frame);
+                    reply_wires.push(wire);
+                }
+            }
+        }
+        if !reply_wires.is_empty() {
+            // Replies run the full egress → ingress pipeline like any
+            // host's traffic and reach the gateway via the local path.
+            self.handle_burst(reply_wires)?;
+        }
         Ok(())
     }
 
@@ -280,6 +456,31 @@ impl BorderDaemon {
         for (reason, count) in self.drops.iter_nonzero() {
             drop_fields.push((reason.name(), count.to_string()));
         }
+        let mut control_fields: Vec<(&str, String)> = vec![
+            ("total", self.control.total().to_string()),
+            ("rejected", self.totals.control_rejected.to_string()),
+        ];
+        for (kind, count) in self.control.iter_nonzero() {
+            control_fields.push((kind.name(), count.to_string()));
+        }
+        let log_stats = self.node.infra.ctrl_log.stats().unwrap_or_default();
+        let replay = self.replay.unwrap_or_default();
+        let log_fields: Vec<(&str, String)> = vec![
+            ("active", self.node.infra.ctrl_log.is_active().to_string()),
+            ("appended_records", log_stats.appended_records.to_string()),
+            (
+                "appends_since_snapshot",
+                log_stats.appends_since_snapshot.to_string(),
+            ),
+            ("io_errors", log_stats.io_errors.to_string()),
+            ("snapshots", self.totals.snapshots.to_string()),
+            ("snapshot_errors", self.totals.snapshot_errors.to_string()),
+            ("replayed_records", replay.records.to_string()),
+            ("replayed_hosts", replay.hosts.to_string()),
+            ("replayed_revocations", replay.revocations.to_string()),
+            ("replayed_watermark", replay.watermark.to_string()),
+            ("torn_tail", replay.torn_tail.to_string()),
+        ];
         json_object(&[
             ("daemon", json_string("apna-border")),
             ("aid", self.aid.0.to_string()),
@@ -297,6 +498,8 @@ impl BorderDaemon {
             ),
             ("io", self.io.counters().to_json()),
             ("drops", json_object(&drop_fields)),
+            ("control", json_object(&control_fields)),
+            ("ctrl_log", json_object(&log_fields)),
         ])
     }
 }

@@ -28,6 +28,19 @@
 //! | `service_name`        | DNS name published (default legacy-app.example)|
 //! | `burst`               | max frames per burst (default 32, max 1024)   |
 //! | `run_secs`            | optional auto-shutdown deadline               |
+//! | `ctrl_log`            | path to the durable issuance/revocation log   |
+//! | `snapshot_every`      | appends between snapshots (default 1024)      |
+//! | `issuance_burst`      | per-host issuance token-bucket depth          |
+//! | `issuance_per_sec`    | per-host issuance refill rate (tokens/sec)    |
+//!
+//! When `ctrl_log` is set, the daemon replays `<path>` plus the
+//! `<path>.snap` snapshot on start (restoring registrations, the IV
+//! high-water mark, and revocations from before a crash) and then logs
+//! every subsequent issuance and revocation. **The log and snapshot
+//! store raw host–AS key material (`k_HA`)** — protect both files
+//! exactly like the seed file. `issuance_burst`/`issuance_per_sec` must
+//! be set together; they arm the per-host admission-control bucket that
+//! answers overload with retryable `EphIdBusy` instead of queueing.
 //!
 //! Legacy datagrams are `apna_gateway::LegacyPacket` serializations; the
 //! loopback demo plays both the legacy client and the legacy server.
@@ -35,7 +48,10 @@
 //! final JSON always reaches stdout on exit.
 
 use apna::daemon::{build_as, json_object, json_string, load_config, parse_wire_ipv4, DaemonClock};
+use apna_core::asnode::AsNode;
+use apna_core::ctrl_log::{self, ReplaySummary};
 use apna_core::deploy::CountingControlPlane;
+use apna_core::hostinfo::IssuancePolicy;
 use apna_gateway::daemon::{PairConfig, TranslatorPair};
 use apna_gateway::legacy::LegacyPacket;
 use apna_gateway::translator::GatewayOutput;
@@ -46,7 +62,7 @@ use apna_wire::Aid;
 use std::net::SocketAddr;
 use std::time::Duration;
 
-const ALLOWED_KEYS: [&str; 16] = [
+const ALLOWED_KEYS: [&str; 20] = [
     "aid",
     "seed_file",
     "granularity",
@@ -63,6 +79,10 @@ const ALLOWED_KEYS: [&str; 16] = [
     "service_name",
     "burst",
     "run_secs",
+    "ctrl_log",
+    "snapshot_every",
+    "issuance_burst",
+    "issuance_per_sec",
 ];
 
 fn main() {
@@ -94,11 +114,16 @@ struct Totals {
     legacy_parse_errors: u64,
     translate_errors: u64,
     refresh_errors: u64,
+    snapshots: u64,
+    snapshot_errors: u64,
 }
 
 struct GatewayDaemon<'a> {
     pair: TranslatorPair,
     cp: &'a CountingControlPlane<'a>,
+    node: &'a AsNode,
+    snapshot_every: u64,
+    replay: Option<ReplaySummary>,
     aid: Aid,
     burst: usize,
     apna_io: UdpBackend,
@@ -148,6 +173,10 @@ fn run_daemon(config_path: &str) -> Result<String, String> {
         ));
     }
     let run_secs = cfg.parsed::<u32>("run_secs").map_err(cerr)?;
+    let snapshot_every = cfg
+        .parsed::<u64>("snapshot_every")
+        .map_err(cerr)?
+        .unwrap_or(1024);
 
     let node = setup.node;
     let cp = CountingControlPlane::new(&node);
@@ -159,6 +188,34 @@ fn run_daemon(config_path: &str) -> Result<String, String> {
         apna_core::time::Timestamp::EPOCH,
     )
     .map_err(|e| format!("translator bootstrap failed: {e:?}"))?;
+
+    // Replay AFTER the deterministic bootstrap: `restore` overwrites the
+    // freshly bootstrapped entries with pre-crash state (same seeds ⇒
+    // same keys, plus preserved strikes/revocations) and the IV
+    // watermark advances past everything issued before the crash.
+    let replay = match cfg.get("ctrl_log").map_err(cerr)? {
+        Some(path) => Some(
+            ctrl_log::attach_file(&node.infra, std::path::Path::new(path))
+                .map_err(|e| format!("{config_path}: ctrl_log: {e}"))?,
+        ),
+        None => None,
+    };
+    // Armed after bootstrap so the translator pair's own registrations
+    // are never rate-limited; only steady-state issuance pays tokens.
+    let issuance_burst = cfg.parsed::<u32>("issuance_burst").map_err(cerr)?;
+    let issuance_per_sec = cfg.parsed::<u32>("issuance_per_sec").map_err(cerr)?;
+    match (issuance_burst, issuance_per_sec) {
+        (Some(burst), Some(per_sec)) => node
+            .infra
+            .host_db
+            .set_issuance_policy(Some(IssuancePolicy { burst, per_sec })),
+        (None, None) => {}
+        _ => {
+            return Err(format!(
+                "{config_path}: issuance_burst and issuance_per_sec must be set together"
+            ))
+        }
+    }
 
     // The translator emits and consumes full GRE frames itself, so the
     // APNA-side backend runs Raw framing (the border daemon's side owns
@@ -172,6 +229,9 @@ fn run_daemon(config_path: &str) -> Result<String, String> {
     let mut daemon = GatewayDaemon {
         pair,
         cp: &cp,
+        node: &node,
+        snapshot_every,
+        replay,
         aid: node.aid(),
         burst,
         apna_io,
@@ -211,6 +271,16 @@ impl GatewayDaemon<'_> {
             match self.pair.refresh_expiring(self.cp, now) {
                 Ok(n) => self.totals.rotated += n as u64,
                 Err(_) => self.totals.refresh_errors += 1,
+            }
+            // Snapshot on the same thread that mutates control state, so
+            // the compacted image is always a consistent cut.
+            match ctrl_log::maybe_snapshot(&self.node.infra, self.snapshot_every) {
+                Ok(true) => self.totals.snapshots += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    self.totals.snapshot_errors += 1;
+                    eprintln!("apna-gateway: snapshot: {e}");
+                }
             }
         }
         // Shutdown drain: service both sockets until quiet so in-flight
@@ -281,6 +351,24 @@ impl GatewayDaemon<'_> {
         for (kind, count) in control.iter_nonzero() {
             control_fields.push((kind.name(), count.to_string()));
         }
+        let log_stats = self.node.infra.ctrl_log.stats().unwrap_or_default();
+        let replay = self.replay.unwrap_or_default();
+        let log_fields: Vec<(&str, String)> = vec![
+            ("active", self.node.infra.ctrl_log.is_active().to_string()),
+            ("appended_records", log_stats.appended_records.to_string()),
+            (
+                "appends_since_snapshot",
+                log_stats.appends_since_snapshot.to_string(),
+            ),
+            ("io_errors", log_stats.io_errors.to_string()),
+            ("snapshots", self.totals.snapshots.to_string()),
+            ("snapshot_errors", self.totals.snapshot_errors.to_string()),
+            ("replayed_records", replay.records.to_string()),
+            ("replayed_hosts", replay.hosts.to_string()),
+            ("replayed_revocations", replay.revocations.to_string()),
+            ("replayed_watermark", replay.watermark.to_string()),
+            ("torn_tail", replay.torn_tail.to_string()),
+        ];
         json_object(&[
             ("daemon", json_string("apna-gateway")),
             ("aid", self.aid.0.to_string()),
@@ -299,6 +387,7 @@ impl GatewayDaemon<'_> {
             ("io_apna", self.apna_io.counters().to_json()),
             ("io_legacy", self.legacy_io.counters().to_json()),
             ("control", json_object(&control_fields)),
+            ("ctrl_log", json_object(&log_fields)),
         ])
     }
 }
