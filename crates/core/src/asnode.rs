@@ -158,10 +158,16 @@ impl AsNode {
         // Stand up a service endpoint: HID + registered k_HA + EphID.
         let mut make_service = |db: &HostDb| -> (Hid, EphIdBytes, EphIdKeyPair, HostAsKey) {
             let hid = db.generate_hid();
-            let mut secret = [0u8; 32];
-            rng.fill_bytes(&mut secret);
-            let kha =
-                HostAsKey::from_dh(&SharedSecret(secret)).expect("random secret is contributory");
+            // A fresh random secret is contributory with overwhelming
+            // probability; redraw on the astronomically-unlikely miss
+            // rather than panic on it.
+            let kha = loop {
+                let mut secret = [0u8; 32];
+                rng.fill_bytes(&mut secret);
+                if let Some(k) = HostAsKey::from_dh(&SharedSecret(secret)) {
+                    break k;
+                }
+            };
             db.register(hid, kha.clone(), now);
             let eid = ephid::seal(&keys, EphIdPlain { hid, exp_time: exp }, iv_alloc.next_iv());
             (hid, eid, EphIdKeyPair::generate(rng), kha)

@@ -191,10 +191,10 @@ impl EphIdCert {
         let b = &buf[4..];
         Ok(EphIdCert {
             ephid: EphIdBytes::from_slice(&b[0..16])?,
-            exp_time: Timestamp::from_bytes(b[16..20].try_into().unwrap()),
-            sign_pub: b[20..52].try_into().unwrap(),
-            dh_pub: b[52..84].try_into().unwrap(),
-            aid: Aid::from_bytes(b[84..88].try_into().unwrap()),
+            exp_time: Timestamp::from_bytes(apna_wire::read_arr(b, 16)?),
+            sign_pub: apna_wire::read_arr(b, 20)?,
+            dh_pub: apna_wire::read_arr(b, 52)?,
+            aid: Aid::from_bytes(apna_wire::read_arr(b, 84)?),
             aa_ephid: EphIdBytes::from_slice(&b[88..104])?,
             kind: CertKind::from_u8(b[104])?,
             sig: Signature::from_bytes(&b[108..108 + SIGNATURE_LEN])

@@ -244,7 +244,7 @@ impl DnsUpsert {
         if buf.len() < 4 {
             return Err(WireError::Truncated);
         }
-        let name_len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        let name_len = u32::from_be_bytes(apna_wire::read_arr(buf, 0)?) as usize;
         let mut off = 4;
         if buf.len() < off + name_len {
             return Err(WireError::Truncated);
@@ -266,7 +266,7 @@ impl DnsUpsert {
                 if buf.len() < off + 5 {
                     return Err(WireError::Truncated);
                 }
-                let a = Ipv4Addr(buf[off + 1..off + 5].try_into().unwrap());
+                let a = Ipv4Addr(apna_wire::read_arr(buf, off + 1)?);
                 off += 5;
                 Some(a)
             }
@@ -337,7 +337,7 @@ impl ShutoffAck {
         };
         Ok(ShutoffAck {
             ephid: EphIdBytes::from_slice(&buf[..EPHID_LEN])?,
-            exp_time: Timestamp::from_bytes(buf[EPHID_LEN..EPHID_LEN + 4].try_into().unwrap()),
+            exp_time: Timestamp::from_bytes(apna_wire::read_arr(buf, EPHID_LEN)?),
             hid_revoked,
         })
     }
@@ -378,7 +378,7 @@ impl EphIdBusy {
         nonce.copy_from_slice(&buf[..12]);
         Ok(EphIdBusy {
             nonce,
-            retry_after_secs: u32::from_be_bytes(buf[12..16].try_into().unwrap()),
+            retry_after_secs: u32::from_be_bytes(apna_wire::read_arr(buf, 12)?),
         })
     }
 }
@@ -475,7 +475,7 @@ impl ControlMsg {
             });
         }
         let kind = ControlKind::from_byte(buf[5])?;
-        let body_len = u32::from_be_bytes(buf[6..10].try_into().unwrap()) as usize;
+        let body_len = u32::from_be_bytes(apna_wire::read_arr(buf, 6)?) as usize;
         let body = &buf[CONTROL_HEADER_LEN..];
         if body.len() < body_len {
             return Err(WireError::Truncated);
@@ -497,7 +497,7 @@ impl ControlMsg {
                 if body.len() < 4 {
                     return Err(WireError::Truncated);
                 }
-                let name_len = u32::from_be_bytes(body[..4].try_into().unwrap()) as usize;
+                let name_len = u32::from_be_bytes(apna_wire::read_arr(body, 0)?) as usize;
                 if body.len() != 4 + name_len {
                     return Err(WireError::LengthMismatch);
                 }

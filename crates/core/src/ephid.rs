@@ -143,9 +143,10 @@ pub fn open_many_with(
             for (b, k) in buf.iter_mut().zip(ks.iter()) {
                 *b ^= k;
             }
+            let [h0, h1, h2, h3, t0, t1, t2, t3] = buf;
             Ok(EphIdPlain {
-                hid: Hid::from_bytes(buf[..4].try_into().unwrap()),
-                exp_time: Timestamp::from_bytes(buf[4..].try_into().unwrap()),
+                hid: Hid::from_bytes([h0, h1, h2, h3]),
+                exp_time: Timestamp::from_bytes([t0, t1, t2, t3]),
             })
         })
         .collect()
@@ -166,9 +167,10 @@ pub fn open_with(enc: &Aes128, mac: &Aes128, ephid: &EphIdBytes) -> Result<EphId
 
     let mut buf = ct;
     ctr::apply_keystream(enc, &ctr::ephid_counter_block(iv), &mut buf);
+    let [h0, h1, h2, h3, t0, t1, t2, t3] = buf;
     Ok(EphIdPlain {
-        hid: Hid::from_bytes(buf[..4].try_into().unwrap()),
-        exp_time: Timestamp::from_bytes(buf[4..].try_into().unwrap()),
+        hid: Hid::from_bytes([h0, h1, h2, h3]),
+        exp_time: Timestamp::from_bytes([t0, t1, t2, t3]),
     })
 }
 

@@ -64,8 +64,8 @@ impl EphIdRequestBody {
             }
         };
         Ok(EphIdRequestBody {
-            sign_pub: buf[..32].try_into().unwrap(),
-            dh_pub: buf[32..64].try_into().unwrap(),
+            sign_pub: apna_wire::read_arr(buf, 0)?,
+            dh_pub: apna_wire::read_arr(buf, 32)?,
             kind,
             class: ExpiryClass::from_byte(buf[65]),
         })
@@ -107,7 +107,7 @@ impl EphIdRequest {
         }
         Ok(EphIdRequest {
             ctrl_ephid: EphIdBytes::from_slice(&buf[..EPHID_LEN])?,
-            nonce: buf[EPHID_LEN..EPHID_LEN + 12].try_into().unwrap(),
+            nonce: apna_wire::read_arr(buf, EPHID_LEN)?,
             sealed: buf[EPHID_LEN + 12..].to_vec(),
         })
     }
@@ -141,7 +141,7 @@ impl EphIdReply {
             return Err(WireError::Truncated);
         }
         Ok(EphIdReply {
-            nonce: buf[..12].try_into().unwrap(),
+            nonce: apna_wire::read_arr(buf, 0)?,
             sealed: buf[12..].to_vec(),
         })
     }

@@ -135,12 +135,12 @@ impl SecureChannel {
     /// Opens a sealed payload from the peer, enforcing the replay window
     /// *after* authentication succeeds.
     pub fn open(&mut self, aad: &[u8], wire: &[u8]) -> Result<Vec<u8>, Error> {
-        if wire.len() < 8 {
+        let [s0, s1, s2, s3, s4, s5, s6, s7, sealed @ ..] = wire else {
             return Err(Error::Session("sealed payload too short"));
-        }
-        let seq = u64::from_be_bytes(wire[..8].try_into().unwrap());
+        };
+        let seq = u64::from_be_bytes([*s0, *s1, *s2, *s3, *s4, *s5, *s6, *s7]);
         let nonce = Self::nonce(self.role.peer().dir_byte(), seq);
-        let plaintext = self.aead.open(&nonce, aad, &wire[8..])?;
+        let plaintext = self.aead.open(&nonce, aad, sealed)?;
         if !self.recv_window.check_and_update(seq) {
             return Err(Error::Replay);
         }

@@ -68,7 +68,7 @@ impl ShutoffRequest {
         if buf.len() < 4 {
             return Err(WireError::Truncated);
         }
-        let pkt_len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        let pkt_len = u32::from_be_bytes(apna_wire::read_arr(buf, 0)?) as usize;
         let rest = &buf[4..];
         if rest.len() < pkt_len + SIGNATURE_LEN {
             return Err(WireError::Truncated);
@@ -120,8 +120,8 @@ impl RevocationOrder {
         }
         Ok(RevocationOrder {
             ephid: EphIdBytes::from_slice(&buf[..16])?,
-            exp_time: Timestamp::from_bytes(buf[16..20].try_into().unwrap()),
-            mac: buf[20..36].try_into().unwrap(),
+            exp_time: Timestamp::from_bytes(apna_wire::read_arr(buf, 16)?),
+            mac: apna_wire::read_arr(buf, 20)?,
         })
     }
 

@@ -444,7 +444,9 @@ impl SoftKeys {
         // right-rotate by 8 in this convention; Rcon lands in the low byte).
         let mut w = [0u32; 60];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
-            w[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            if let &[b0, b1, b2, b3] = chunk {
+                w[i] = u32::from_le_bytes([b0, b1, b2, b3]);
+            }
         }
         let mut rcon: u32 = 1;
         for i in nk..nkf {
@@ -461,7 +463,8 @@ impl SoftKeys {
         // Bitslice each round key, replicated across all four lanes.
         let mut skey = [0u64; 8 * 15];
         for (r, wchunk) in w[..nkf].chunks_exact(4).enumerate() {
-            let (lo, hi) = interleave_in(wchunk.try_into().unwrap());
+            let &[w0, w1, w2, w3] = wchunk else { continue };
+            let (lo, hi) = interleave_in(&[w0, w1, w2, w3]);
             let mut q = [lo, lo, lo, lo, hi, hi, hi, hi];
             ortho(&mut q);
             skey[8 * r..8 * r + 8].copy_from_slice(&q);
@@ -473,11 +476,12 @@ impl SoftKeys {
     fn load_state(blocks: &[[u8; 16]]) -> [u64; 8] {
         let mut q = [0u64; 8];
         for (j, b) in blocks.iter().enumerate() {
+            let [x0, x1, x2, x3, x4, x5, x6, x7, x8, x9, xa, xb, xc, xd, xe, xf] = *b;
             let w = [
-                u32::from_le_bytes(b[0..4].try_into().unwrap()),
-                u32::from_le_bytes(b[4..8].try_into().unwrap()),
-                u32::from_le_bytes(b[8..12].try_into().unwrap()),
-                u32::from_le_bytes(b[12..16].try_into().unwrap()),
+                u32::from_le_bytes([x0, x1, x2, x3]),
+                u32::from_le_bytes([x4, x5, x6, x7]),
+                u32::from_le_bytes([x8, x9, xa, xb]),
+                u32::from_le_bytes([xc, xd, xe, xf]),
             ];
             let (lo, hi) = interleave_in(&w);
             q[j] = lo;

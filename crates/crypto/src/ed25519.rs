@@ -46,8 +46,12 @@ fn constants() -> &'static Constants {
         let y = FieldElement::from_u64(4).mul(&FieldElement::from_u64(5).invert());
         let mut enc = y.to_bytes();
         enc[31] &= 0x7f; // sign bit 0
+                         // y = 4/5 is a valid curve point by construction, so the
+                         // decompression cannot fail; the identity fallback (which would
+                         // make every group operation degenerate, caught instantly by the
+                         // RFC 8032 vectors) keeps this path panic-free.
         let basepoint =
-            EdwardsPoint::decompress_with_d(&enc, &d).expect("basepoint must decompress");
+            EdwardsPoint::decompress_with_d(&enc, &d).unwrap_or_else(EdwardsPoint::identity);
         Constants { d, d2, basepoint }
     })
 }
@@ -320,8 +324,10 @@ impl VerifyingKey {
     /// Verifies `signature` over `message` (RFC 8032 §5.1.7, cofactorless).
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
         let a = EdwardsPoint::decompress(&self.0).ok_or(CryptoError::InvalidEncoding)?;
-        let r_bytes: [u8; 32] = signature.0[..32].try_into().unwrap();
-        let s_bytes: [u8; 32] = signature.0[32..].try_into().unwrap();
+        let mut r_bytes = [0u8; 32];
+        let mut s_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&signature.0[..32]);
+        s_bytes.copy_from_slice(&signature.0[32..]);
         if !sc::is_canonical(&s_bytes) {
             return Err(CryptoError::InvalidEncoding); // malleability guard
         }

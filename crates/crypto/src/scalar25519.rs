@@ -64,7 +64,11 @@ fn limbs_from_le_bytes(bytes: &[u8]) -> Vec<u64> {
     debug_assert_eq!(bytes.len() % 8, 0);
     bytes
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| {
+            let mut le = [0u8; 8];
+            le.copy_from_slice(c);
+            u64::from_le_bytes(le)
+        })
         .collect()
 }
 
@@ -130,8 +134,12 @@ pub(crate) fn mul_add(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
 /// `true` if `s` encodes a scalar strictly less than L (required of the `s`
 /// component of a signature, RFC 8032 §5.1.7).
 pub(crate) fn is_canonical(s: &[u8; 32]) -> bool {
-    let limbs: Vec<u64> = limbs_from_le_bytes(s);
-    let arr: [u64; 4] = limbs.try_into().unwrap();
+    let mut arr = [0u64; 4];
+    for (limb, c) in arr.iter_mut().zip(s.chunks_exact(8)) {
+        let mut le = [0u8; 8];
+        le.copy_from_slice(c);
+        *limb = u64::from_le_bytes(le);
+    }
     !ge(&arr, &L)
 }
 

@@ -104,7 +104,7 @@ impl DnsRecord {
         if &buf[..PREFIX] != b"APNA-DNS-RECORD-V1" {
             return Err(WireError::BadField { field: "dns magic" });
         }
-        let name_len = u32::from_be_bytes(buf[PREFIX..PREFIX + 4].try_into().unwrap()) as usize;
+        let name_len = u32::from_be_bytes(apna_wire::read_arr(buf, PREFIX)?) as usize;
         let mut off = PREFIX + 4;
         if buf.len() < off + name_len {
             return Err(WireError::Truncated);
@@ -126,7 +126,7 @@ impl DnsRecord {
                 if buf.len() < off + 5 {
                     return Err(WireError::Truncated);
                 }
-                let a = Ipv4Addr(buf[off + 1..off + 5].try_into().unwrap());
+                let a = Ipv4Addr(apna_wire::read_arr(buf, off + 1)?);
                 off += 5;
                 Some(a)
             }

@@ -87,7 +87,7 @@ pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
                     if rest.len() < 5 {
                         return Err(WireError::Truncated);
                     }
-                    let len = u32::from_be_bytes(rest[1..5].try_into().unwrap()) as usize;
+                    let len = u32::from_be_bytes(apna_wire::read_arr(rest, 1)?) as usize;
                     if rest.len() < 5 + len {
                         return Err(WireError::Truncated);
                     }

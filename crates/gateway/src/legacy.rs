@@ -116,18 +116,18 @@ impl LegacyPacket {
     /// Parses a serialized legacy datagram.
     pub fn parse(buf: &[u8]) -> Result<LegacyPacket, WireError> {
         let (ip, rest) = Ipv4Header::parse(buf)?;
-        if rest.len() < 4 {
+        let [s0, s1, d0, d1, payload @ ..] = rest else {
             return Err(WireError::Truncated);
-        }
+        };
         Ok(LegacyPacket {
             tuple: FiveTuple {
                 src: ip.src,
                 dst: ip.dst,
-                src_port: u16::from_be_bytes(rest[..2].try_into().unwrap()),
-                dst_port: u16::from_be_bytes(rest[2..4].try_into().unwrap()),
+                src_port: u16::from_be_bytes([*s0, *s1]),
+                dst_port: u16::from_be_bytes([*d0, *d1]),
                 proto: ip.protocol,
             },
-            payload: rest[4..].to_vec(),
+            payload: payload.to_vec(),
         })
     }
 }

@@ -288,7 +288,10 @@ impl ApnaGateway {
                     queued,
                 }) = self.flows.remove(&key)
                 else {
-                    unreachable!()
+                    // The key came from scanning `flows` just above, so
+                    // the entry exists and is AwaitingAccept; a typed
+                    // error keeps the daemon path panic-free regardless.
+                    return Err(Error::Session("accept flow vanished"));
                 };
                 let (mut channel, _first_response) =
                     client_finish(&pending, &accept, &self.directory, now)?;

@@ -21,9 +21,11 @@
 //! See `LINTS.md` at the workspace root for the rule catalog.
 
 pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod source;
 
+use model::Workspace;
 use rules::Rule;
 use source::{Finding, SourceFile};
 
@@ -51,16 +53,7 @@ pub fn check_file(file: &SourceFile, rls: &[Box<dyn Rule>], report: &mut Report)
         }
     }
     for f in found {
-        let waiver = file.waivers.iter().find(|w| {
-            w.target_line == f.line && w.rule == f.rule.to_lowercase() && !w.reason.is_empty()
-        });
-        match waiver {
-            Some(w) => report.waived.push(Finding {
-                waived: Some(w.reason.clone()),
-                ..f
-            }),
-            None => report.unwaived.push(f),
-        }
+        apply_waivers(file, f, report);
     }
     // Waivers must carry a reason; an unreasoned waiver is itself a finding.
     for w in &file.waivers {
@@ -80,14 +73,48 @@ pub fn check_file(file: &SourceFile, rls: &[Box<dyn Rule>], report: &mut Report)
     report.files += 1;
 }
 
-/// Lints `(path, source)` pairs with the default rule set.
+/// Routes one finding to the waived or unwaived bucket.
+fn apply_waivers(file: &SourceFile, f: Finding, report: &mut Report) {
+    let waiver = file.waivers.iter().find(|w| {
+        w.target_line == f.line && w.rule == f.rule.to_lowercase() && !w.reason.is_empty()
+    });
+    match waiver {
+        Some(w) => report.waived.push(Finding {
+            waived: Some(w.reason.clone()),
+            ..f
+        }),
+        None => report.unwaived.push(f),
+    }
+}
+
+/// Lints `(path, source)` pairs with the default rule set: the per-file
+/// token rules plus the workspace dataflow rules over the call graph.
 #[must_use]
 pub fn check_sources<'a>(sources: impl Iterator<Item = (&'a str, &'a str)>) -> Report {
+    let files: Vec<SourceFile> = sources
+        .map(|(path, src)| SourceFile::parse(path, src))
+        .collect();
+    check_workspace(Workspace::build(files))
+}
+
+/// Lints an already-built [`Workspace`] with the default rule set.
+#[must_use]
+pub fn check_workspace(ws: Workspace) -> Report {
     let rls = rules::all();
     let mut report = Report::default();
-    for (path, src) in sources {
-        let file = SourceFile::parse(path, src);
-        check_file(&file, &rls, &mut report);
+    for file in &ws.files {
+        check_file(file, &rls, &mut report);
+    }
+    let mut flow_findings = Vec::new();
+    for rule in rules::workspace_all() {
+        rule.check(&ws, &mut flow_findings);
+    }
+    for f in flow_findings {
+        if let Some(file) = ws.files.iter().find(|file| file.path == f.path) {
+            apply_waivers(file, f, &mut report);
+        } else {
+            report.unwaived.push(f);
+        }
     }
     report
 }

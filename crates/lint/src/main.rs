@@ -1,16 +1,18 @@
-//! The `apna-lint` binary: walks the workspace, runs every rule, prints
+//! The `apna-lint` binary: walks the workspace, runs every token rule
+//! per file and every dataflow rule over the call graph, prints
 //! per-finding diagnostics and a per-rule summary table, and (under
 //! `--deny`) exits nonzero on any unwaived finding.
 //!
 //! ```text
-//! cargo run -p apna-lint              # report
-//! cargo run -p apna-lint -- --deny    # CI gate
+//! cargo run -p apna-lint                     # report
+//! cargo run -p apna-lint -- --deny           # CI gate
+//! cargo run -p apna-lint -- --json > l.json  # machine-readable report
 //! cargo run -p apna-lint -- --deny crates/crypto/src/aes.rs
 //! ```
 
-use apna_lint::rules;
-use apna_lint::source::SourceFile;
-use apna_lint::{check_file, Report};
+use apna_lint::model::Workspace;
+use apna_lint::source::{Finding, SourceFile};
+use apna_lint::{check_workspace, rules, Report};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -20,12 +22,14 @@ const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", "lint_fixtures", ".git
 
 fn main() -> ExitCode {
     let mut deny = false;
+    let mut json = false;
     let mut root = PathBuf::from(".");
     let mut explicit: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny" => deny = true,
+            "--json" => json = true,
             "--root" => {
                 if let Some(r) = args.next() {
                     root = PathBuf::from(r);
@@ -33,9 +37,9 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "apna-lint [--deny] [--root DIR] [FILES...]\n\
+                    "apna-lint [--deny] [--json] [--root DIR] [FILES...]\n\
                      Runs the APNA invariant rules (see LINTS.md). --deny exits 1 on\n\
-                     any unwaived finding."
+                     any unwaived finding; --json prints a machine-readable report."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -52,58 +56,23 @@ fn main() -> ExitCode {
         explicit
     };
 
-    let rls = rules::all();
-    let mut report = Report::default();
+    // The dataflow rules need the whole call graph, so even a
+    // single-file invocation parses into a (one-file) workspace.
+    let mut parsed: Vec<SourceFile> = Vec::new();
     for path in &files {
         let Ok(src) = std::fs::read_to_string(path) else {
             eprintln!("apna-lint: unreadable file skipped: {}", path.display());
             continue;
         };
-        let rel = relative_to(path, &root);
-        let parsed = SourceFile::parse(&rel, &src);
-        check_file(&parsed, &rls, &mut report);
+        parsed.push(SourceFile::parse(&relative_to(path, &root), &src));
     }
+    let report = check_workspace(Workspace::build(parsed));
 
-    for f in &report.unwaived {
-        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    if json {
+        print_json(&report);
+    } else {
+        print_human(&report);
     }
-
-    // Per-rule summary table.
-    println!("\nrule       total  waived  unwaived  invariant");
-    for rule in &rls {
-        let id = rule.id();
-        let waived = report.waived.iter().filter(|f| f.rule == id).count();
-        let unwaived = report.unwaived.iter().filter(|f| f.rule == id).count();
-        println!(
-            "{:<9}  {:>5}  {:>6}  {:>8}  {}",
-            id,
-            waived + unwaived,
-            waived,
-            unwaived,
-            rule.describe()
-        );
-    }
-    let lint0 = report
-        .unwaived
-        .iter()
-        .filter(|f| f.rule == apna_lint::WAIVER_RULE)
-        .count();
-    if lint0 > 0 {
-        println!(
-            "{:<9}  {:>5}  {:>6}  {:>8}  waivers must carry a reason",
-            apna_lint::WAIVER_RULE,
-            lint0,
-            0,
-            lint0
-        );
-    }
-    println!(
-        "\n{} files checked, {} findings ({} waived, {} unwaived)",
-        report.files,
-        report.waived.len() + report.unwaived.len(),
-        report.waived.len(),
-        report.unwaived.len()
-    );
 
     if deny && !report.unwaived.is_empty() {
         eprintln!(
@@ -113,6 +82,103 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Rule ids in summary-table order: token rules, dataflow rules, LINT-0.
+fn rule_rows() -> Vec<(&'static str, &'static str)> {
+    let mut rows: Vec<(&'static str, &'static str)> = rules::all()
+        .iter()
+        .map(|r| (r.id(), r.describe()))
+        .collect();
+    for r in rules::workspace_all() {
+        if !rows.iter().any(|(id, _)| *id == r.id()) {
+            rows.push((r.id(), r.describe()));
+        }
+    }
+    rows.push((apna_lint::WAIVER_RULE, "waivers must carry a reason"));
+    rows
+}
+
+fn print_human(report: &Report) {
+    for f in &report.unwaived {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+
+    println!("\nrule       total  waived  unwaived  invariant");
+    for (id, describe) in rule_rows() {
+        let waived = report.waived.iter().filter(|f| f.rule == id).count();
+        let unwaived = report.unwaived.iter().filter(|f| f.rule == id).count();
+        if id == apna_lint::WAIVER_RULE && waived + unwaived == 0 {
+            continue;
+        }
+        println!(
+            "{:<9}  {:>5}  {:>6}  {:>8}  {}",
+            id,
+            waived + unwaived,
+            waived,
+            unwaived,
+            describe
+        );
+    }
+    println!(
+        "\n{} files checked, {} findings ({} waived, {} unwaived)",
+        report.files,
+        report.waived.len() + report.unwaived.len(),
+        report.waived.len(),
+        report.unwaived.len()
+    );
+}
+
+/// Machine-readable report for CI artifacts. Hand-rolled (the crate is
+/// dependency-free by charter), so strings are escaped here.
+fn print_json(report: &Report) {
+    let finding = |f: &Finding, waived: bool| {
+        format!(
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"waived\": {waived}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+        )
+    };
+    let mut items: Vec<String> = report.unwaived.iter().map(|f| finding(f, false)).collect();
+    items.extend(report.waived.iter().map(|f| finding(f, true)));
+    let mut rows: Vec<String> = Vec::new();
+    for (id, _) in rule_rows() {
+        let waived = report.waived.iter().filter(|f| f.rule == id).count();
+        let unwaived = report.unwaived.iter().filter(|f| f.rule == id).count();
+        rows.push(format!(
+            "    {{\"rule\": {}, \"waived\": {waived}, \"unwaived\": {unwaived}}}",
+            json_str(id)
+        ));
+    }
+    println!("{{");
+    println!("  \"files\": {},", report.files);
+    println!("  \"unwaived\": {},", report.unwaived.len());
+    println!("  \"waived\": {},", report.waived.len());
+    println!("  \"rules\": [\n{}\n  ],", rows.join(",\n"));
+    println!("  \"findings\": [\n{}\n  ]", items.join(",\n"));
+    println!("}}");
+}
+
+/// JSON string literal with the escapes that can occur in rust source
+/// snippets and paths.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].

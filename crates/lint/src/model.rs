@@ -1,0 +1,1070 @@
+//! The v2 item model: fn/impl/struct boundaries, params, locals, and
+//! call sites parsed out of the token stream, plus the workspace-wide
+//! call graph the dataflow rules traverse.
+//!
+//! This is deliberately *not* a Rust parser. It recovers just enough
+//! structure for the dataflow rules — which function a token belongs to,
+//! what that function's parameters are, where it calls out to, and what
+//! nominal types its receiver chains go through — using the same
+//! token-walking style as the v1 rules. Resolution is name-based with
+//! type narrowing where the tokens give us a type for free:
+//!
+//! * `Type::name(..)` resolves to fns named `name` in `impl Type` (or
+//!   `impl Trait for Type`) blocks; `Self::` uses the enclosing impl.
+//!   A qualifier matching no impl falls back to free fns in a module
+//!   file of that name (`gre::encapsulate` → `gre.rs`).
+//! * `self.name(..)` resolves within the enclosing impl type, including
+//!   default methods of traits the type implements.
+//! * `self.field.name(..)` and `local.name(..)` look up the declared
+//!   type of the field / local / param and restrict candidates to impls
+//!   of the named types (so `self.sink.append(..)` where `sink:
+//!   Box<dyn RecordSink>` resolves to `RecordSink` impls only).
+//! * A call that resolves to nothing is assumed external (std or a
+//!   vendored crate) and contributes no graph edge.
+//!
+//! Unresolvable method calls fall back to every workspace method of that
+//! name — conservative for the panic/lock closures, where missing an
+//! edge is worse than adding one.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One declared parameter: its binding name and the identifiers that
+/// appear in its declared type (`k: &[u8; 16]` → name `k`, types `u8`).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name.
+    pub name: String,
+    /// Identifier tokens appearing in the type annotation.
+    pub type_names: Vec<String>,
+}
+
+/// One `let` binding with an explicit type annotation (untyped locals
+/// are handled by the taint rules directly and are not recorded here).
+#[derive(Debug, Clone)]
+pub struct Local {
+    /// Binding name.
+    pub name: String,
+    /// Identifier tokens appearing in the type annotation.
+    pub type_names: Vec<String>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (the identifier before the `(`).
+    pub callee: String,
+    /// `Type` in `Type::callee(..)` (`Self` already substituted), or the
+    /// last path segment for module calls (`gre::encapsulate` → `gre`).
+    pub qualifier: Option<String>,
+    /// `true` for `receiver.callee(..)` method syntax.
+    pub is_method: bool,
+    /// For method calls: the plain-identifier receiver chain, outermost
+    /// first (`self.sink.append(..)` → `["self", "sink"]`). Empty when
+    /// the receiver is an expression we don't model (call result,
+    /// index, literal).
+    pub receiver: Vec<String>,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    /// Token index of the opening `(`.
+    pub paren_open: usize,
+    /// 1-based source line of the callee identifier.
+    pub line: u32,
+    /// Per-argument token ranges (half-open, inside the parens).
+    pub args: Vec<(usize, usize)>,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Enclosing `impl` type (`impl Foo`, `impl Tr for Foo` → `Foo`).
+    pub impl_type: Option<String>,
+    /// Enclosing trait: `impl Tr for Foo` → `Tr`; also set (with no
+    /// `impl_type`) for default methods in `trait Tr { .. }` blocks.
+    pub impl_trait: Option<String>,
+    /// Body token range (`{` .. `}` indices); `None` for bodyless sigs.
+    pub body: Option<(usize, usize)>,
+    /// Declared parameters, in order (excluding `self`).
+    pub params: Vec<Param>,
+    /// `true` if the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Explicitly typed locals in the body.
+    pub locals: Vec<Local>,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+    /// `true` if the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// Zero-based index of the parameter named `name`, if any.
+    #[must_use]
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Declared type names for `name` as a param or typed local.
+    #[must_use]
+    pub fn binding_types(&self, name: &str) -> Option<&[String]> {
+        if let Some(p) = self.params.iter().find(|p| p.name == name) {
+            return Some(&p.type_names);
+        }
+        self.locals
+            .iter()
+            .rev()
+            .find(|l| l.name == name)
+            .map(|l| l.type_names.as_slice())
+    }
+}
+
+/// One `struct` item: the nominal type behind field-receiver narrowing.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// `(field name, identifiers in its declared type)` pairs.
+    pub fields: Vec<(String, Vec<String>)>,
+}
+
+/// All parsed files plus the item and call-graph indices over them.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Parsed files, in input order.
+    pub files: Vec<SourceFile>,
+    /// Every `fn` item across the workspace.
+    pub fns: Vec<FnItem>,
+    /// Struct declarations by name (last one wins on collision).
+    pub structs: BTreeMap<String, StructItem>,
+    /// fn name → indices into [`Workspace::fns`].
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// type name → traits it implements (`impl Tr for Ty`).
+    traits_of: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Workspace {
+    /// Builds the model over already-parsed files.
+    #[must_use]
+    pub fn build(files: Vec<SourceFile>) -> Workspace {
+        let mut ws = Workspace {
+            files,
+            ..Workspace::default()
+        };
+        for fi in 0..ws.files.len() {
+            let (fns, structs, impls) = parse_file(&ws.files[fi], fi);
+            for s in structs {
+                ws.structs.insert(s.name.clone(), s);
+            }
+            for (ty, tr) in impls {
+                ws.traits_of.entry(ty).or_default().insert(tr);
+            }
+            for f in fns {
+                ws.by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(ws.fns.len());
+                ws.fns.push(f);
+            }
+        }
+        ws
+    }
+
+    /// All fns named `name`.
+    #[must_use]
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// The crate prefix of a path (`crates/core/src/x.rs` → `crates/core`;
+    /// the umbrella `src/…` tree → empty string).
+    #[must_use]
+    pub fn crate_of(path: &str) -> &str {
+        path.find("/src/")
+            .or_else(|| path.find("src/").filter(|&p| p == 0).map(|_| 0))
+            .map_or(path, |p| &path[..p])
+    }
+
+    /// File stem (`crates/core/src/ctrl_log.rs` → `ctrl_log`).
+    #[must_use]
+    pub fn stem(path: &str) -> &str {
+        let base = path.rsplit('/').next().unwrap_or(path);
+        base.strip_suffix(".rs").unwrap_or(base)
+    }
+
+    /// Resolves a call site in `caller` to candidate fn indices. An empty
+    /// result means the callee is external to the workspace. Every
+    /// ambiguous candidate set is narrowed by locality — same file, then
+    /// same crate, then workspace — because a name collision across
+    /// crates (`update`, `new`, `parse`) is far more often two unrelated
+    /// fns than a genuine cross-crate dispatch.
+    #[must_use]
+    pub fn resolve(&self, caller: &FnItem, call: &CallSite) -> Vec<usize> {
+        let named = self.fns_named(&call.callee);
+        if named.is_empty() {
+            return Vec::new();
+        }
+        if let Some(q) = &call.qualifier {
+            let q = if q == "Self" {
+                match &caller.impl_type {
+                    Some(t) => t.clone(),
+                    None => return Vec::new(),
+                }
+            } else {
+                q.clone()
+            };
+            let in_impl: Vec<usize> = named
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let f = &self.fns[i];
+                    f.impl_type.as_deref() == Some(&q) || f.impl_trait.as_deref() == Some(&q)
+                })
+                .collect();
+            if !in_impl.is_empty() {
+                return self.prefer_local(caller, in_impl);
+            }
+            // Module-style call (`gre::encapsulate`): free fns in a file
+            // whose stem matches the qualifier.
+            return named
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let f = &self.fns[i];
+                    f.impl_type.is_none()
+                        && f.impl_trait.is_none()
+                        && Self::stem(&self.files[f.file].path) == q
+                })
+                .collect();
+        }
+        if call.is_method {
+            let r = self.resolve_method(caller, call, named);
+            return self.prefer_local(caller, r);
+        }
+        // Bare call: free fns only.
+        let free: Vec<usize> = named
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let f = &self.fns[i];
+                f.impl_type.is_none() && f.impl_trait.is_none() && !f.has_self
+            })
+            .collect();
+        self.prefer_local(caller, free)
+    }
+
+    /// Locality cascade for ambiguous candidate sets: same file, then
+    /// same crate, then the full set.
+    fn prefer_local(&self, caller: &FnItem, cands: Vec<usize>) -> Vec<usize> {
+        if cands.len() <= 1 {
+            return cands;
+        }
+        let same_file: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].file == caller.file)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let caller_crate = Self::crate_of(&self.files[caller.file].path);
+        let same_crate: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| Self::crate_of(&self.files[self.fns[i].file].path) == caller_crate)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        cands
+    }
+
+    fn resolve_method(&self, caller: &FnItem, call: &CallSite, named: &[usize]) -> Vec<usize> {
+        let methods: Vec<usize> = named
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].has_self)
+            .collect();
+        // `self.name(..)`: the enclosing type's own methods plus default
+        // methods of traits it implements.
+        if call.receiver.len() == 1 && call.receiver.first().is_some_and(|r| r == "self") {
+            if let Some(ty) = &caller.impl_type {
+                let own: Vec<usize> = methods
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let f = &self.fns[i];
+                        f.impl_type.as_deref() == Some(ty)
+                            || (f.impl_type.is_none()
+                                && f.impl_trait.as_deref().is_some_and(|tr| {
+                                    self.traits_of.get(ty).is_some_and(|ts| ts.contains(tr))
+                                        || caller.impl_trait.as_deref() == Some(tr)
+                                }))
+                    })
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+                return Vec::new();
+            }
+            return methods;
+        }
+        // Typed receiver: `x.name(..)` where `x` is a typed param/local,
+        // or a `self.a.b.name(..)` field chain walked through the struct
+        // declarations.
+        if let Some(types) = self.receiver_types(caller, &call.receiver) {
+            let narrowed: Vec<usize> = methods
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let f = &self.fns[i];
+                    types.iter().any(|t| {
+                        f.impl_type.as_deref() == Some(t) || f.impl_trait.as_deref() == Some(t)
+                    })
+                })
+                .collect();
+            // A known type with no workspace impls of that name means the
+            // call targets std/vendored code: no edge.
+            let known = types.iter().any(|t| {
+                self.structs.contains_key(t)
+                    || self.fns.iter().any(|f| {
+                        f.impl_type.as_deref() == Some(t.as_str())
+                            || f.impl_trait.as_deref() == Some(t.as_str())
+                    })
+            });
+            if known {
+                return narrowed;
+            }
+        }
+        methods
+    }
+
+    /// The nominal type names a receiver chain can refer to: the first
+    /// segment is `self` (the enclosing impl type) or a typed binding;
+    /// later segments are followed through struct field declarations.
+    fn receiver_types(&self, caller: &FnItem, chain: &[String]) -> Option<Vec<String>> {
+        let (first, rest) = chain.split_first()?;
+        let mut types: Vec<String> = if first == "self" {
+            vec![caller.impl_type.clone()?]
+        } else {
+            caller.binding_types(first)?.to_vec()
+        };
+        for field in rest {
+            let mut next = Vec::new();
+            for t in &types {
+                if let Some(s) = self.structs.get(t) {
+                    if let Some((_, ft)) = s.fields.iter().find(|(n, _)| n == field) {
+                        next.extend(ft.iter().cloned());
+                    }
+                }
+            }
+            if next.is_empty() {
+                return None;
+            }
+            types = next;
+        }
+        Some(types)
+    }
+}
+
+/// Finds the matching `)` for the `(` at `open`.
+fn matching_paren(file: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in file.tokens.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Locates the `{`..`}` body of the fn whose `fn` keyword is at `fn_at`
+/// (first delimiter-balanced `{`; a `;` first means no body).
+fn fn_body_range(file: &SourceFile, fn_at: usize) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut j = fn_at + 1;
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren -= 1;
+        } else if t.is_punct("[") {
+            bracket += 1;
+        } else if t.is_punct("]") {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 {
+            if t.is_punct(";") {
+                return None;
+            }
+            if t.is_punct("{") {
+                return file.matching_brace(j).map(|close| (j, close));
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "match", "for", "loop", "return", "let", "else", "move", "in", "fn", "as",
+];
+
+struct ImplCtx {
+    open: usize,
+    close: usize,
+    ty: Option<String>,
+    tr: Option<String>,
+}
+
+/// Parses one file into fn items, struct items, and `(type, trait)`
+/// implementation facts.
+fn parse_file(
+    file: &SourceFile,
+    file_idx: usize,
+) -> (Vec<FnItem>, Vec<StructItem>, Vec<(String, String)>) {
+    let toks = &file.tokens;
+    let mut impls: Vec<ImplCtx> = Vec::new();
+    let mut impl_facts: Vec<(String, String)> = Vec::new();
+    let mut structs: Vec<StructItem> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        if file.token_in_attr(i) {
+            i += 1;
+            continue;
+        }
+        if toks[i].is_ident("impl") {
+            if let Some(ctx) = parse_impl_header(file, i) {
+                if let (Some(ty), Some(tr)) = (&ctx.ty, &ctx.tr) {
+                    impl_facts.push((ty.clone(), tr.clone()));
+                }
+                i = ctx.open + 1;
+                impls.push(ctx);
+                continue;
+            }
+        }
+        if toks[i].is_ident("trait") {
+            if let Some(ctx) = parse_trait_header(file, i) {
+                i = ctx.open + 1;
+                impls.push(ctx);
+                continue;
+            }
+        }
+        if toks[i].is_ident("struct") {
+            if let Some(s) = parse_struct(file, i) {
+                structs.push(s);
+            }
+        }
+        i += 1;
+    }
+
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") || file.token_in_attr(i) {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let ctx = impls
+            .iter()
+            .filter(|c| c.open < i && i < c.close)
+            .max_by_key(|c| c.open);
+        let body = fn_body_range(file, i);
+        let sig_end = body.map_or_else(|| find_sig_end(file, i), |(open, _)| open);
+        let (params, has_self) = parse_params(file, i + 2, sig_end);
+        let (locals, calls) = match body {
+            Some((open, close)) => parse_body(file, open, close),
+            None => (Vec::new(), Vec::new()),
+        };
+        fns.push(FnItem {
+            file: file_idx,
+            name: name_tok.text.clone(),
+            line: toks[i].line,
+            fn_tok: i,
+            impl_type: ctx.and_then(|c| c.ty.clone()),
+            impl_trait: ctx.and_then(|c| c.tr.clone()),
+            body,
+            params,
+            has_self,
+            locals,
+            calls,
+            in_test: file.in_test_region(toks[i].line),
+        });
+        // Nested fns are found by continuing the scan; their enclosing
+        // impl context (if any) still applies.
+        i += 1;
+    }
+    (fns, structs, impl_facts)
+}
+
+/// The `;` ending a bodyless fn signature.
+fn find_sig_end(file: &SourceFile, fn_at: usize) -> usize {
+    let toks = &file.tokens;
+    let mut j = fn_at + 1;
+    let mut depth = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(";") || t.is_punct("{")) {
+            return j;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Parses `impl<G> Type { .. }` / `impl<G> Trait for Type { .. }`.
+fn parse_impl_header(file: &SourceFile, impl_at: usize) -> Option<ImplCtx> {
+    let toks = &file.tokens;
+    let mut j = impl_at + 1;
+    // Skip generics.
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i64;
+        while j < toks.len() {
+            if toks[j].is_punct("<") {
+                depth += 1;
+            } else if toks[j].is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    let first = last_path_ident(file, &mut j)?;
+    let mut ty = first.clone();
+    let mut tr = None;
+    // Scan to the body `{`, watching for a depth-0 `for`.
+    let mut depth = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth <= 0 && t.is_ident("for") {
+            let mut k = j + 1;
+            let target = last_path_ident(file, &mut k)?;
+            tr = Some(first.clone());
+            ty = target;
+            j = k;
+            continue;
+        } else if depth <= 0 && t.is_punct("{") {
+            let close = file.matching_brace(j)?;
+            return Some(ImplCtx {
+                open: j,
+                close,
+                ty: Some(ty),
+                tr,
+            });
+        } else if depth <= 0 && t.is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `trait Name { .. }` (default-method bodies live here).
+fn parse_trait_header(file: &SourceFile, trait_at: usize) -> Option<ImplCtx> {
+    let toks = &file.tokens;
+    let name = toks
+        .get(trait_at + 1)
+        .filter(|t| t.kind == TokenKind::Ident)?;
+    let mut j = trait_at + 2;
+    let mut depth = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth <= 0 && t.is_punct("{") {
+            let close = file.matching_brace(j)?;
+            return Some(ImplCtx {
+                open: j,
+                close,
+                ty: None,
+                tr: Some(name.text.clone()),
+            });
+        } else if depth <= 0 && t.is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Reads a path like `a::b::C` starting at `*j`; advances `*j` past it
+/// and returns the final segment.
+fn last_path_ident(file: &SourceFile, j: &mut usize) -> Option<String> {
+    let toks = &file.tokens;
+    let mut last = None;
+    while *j < toks.len() {
+        let t = &toks[*j];
+        if t.kind == TokenKind::Ident && !t.is_ident("for") && !t.is_ident("where") {
+            last = Some(t.text.clone());
+            *j += 1;
+            if toks.get(*j).is_some_and(|n| n.is_punct("::")) {
+                *j += 1;
+                continue;
+            }
+            break;
+        }
+        if t.is_punct("&")
+            || t.is_ident("dyn")
+            || t.is_ident("mut")
+            || t.kind == TokenKind::Lifetime
+        {
+            *j += 1;
+            continue;
+        }
+        break;
+    }
+    last
+}
+
+/// Parses `struct Name { field: Type, .. }`; tuple and unit structs
+/// return no fields.
+fn parse_struct(file: &SourceFile, struct_at: usize) -> Option<StructItem> {
+    let toks = &file.tokens;
+    let name = toks
+        .get(struct_at + 1)
+        .filter(|t| t.kind == TokenKind::Ident)?
+        .text
+        .clone();
+    let mut j = struct_at + 2;
+    // Skip generics / where clause to the body.
+    let mut depth = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth <= 0 && t.is_punct("{") {
+            break;
+        } else if depth <= 0 && t.is_punct(";") {
+            return Some(StructItem {
+                name,
+                fields: Vec::new(),
+            });
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let close = file.matching_brace(j)?;
+    let mut fields = Vec::new();
+    let mut k = j + 1;
+    while k < close {
+        if file.token_in_attr(k) {
+            k += 1;
+            continue;
+        }
+        // `name :` at field depth, skipping visibility modifiers.
+        if toks[k].kind == TokenKind::Ident
+            && !toks[k].is_ident("pub")
+            && toks.get(k + 1).is_some_and(|t| t.is_punct(":"))
+        {
+            let fname = toks[k].text.clone();
+            let mut types = Vec::new();
+            let mut m = k + 2;
+            let mut d = 0i64;
+            while m < close {
+                let t = &toks[m];
+                if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                    d += 1;
+                } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                    d -= 1;
+                } else if d <= 0 && t.is_punct(",") {
+                    break;
+                } else if t.kind == TokenKind::Ident && !t.is_ident("dyn") && !t.is_ident("mut") {
+                    types.push(t.text.clone());
+                }
+                m += 1;
+            }
+            fields.push((fname, types));
+            k = m + 1;
+            continue;
+        }
+        k += 1;
+    }
+    Some(StructItem { name, fields })
+}
+
+/// Parses the parameter list between the fn name and the body/semicolon.
+fn parse_params(file: &SourceFile, from: usize, sig_end: usize) -> (Vec<Param>, bool) {
+    let toks = &file.tokens;
+    // Find the opening paren of the argument list (skipping generics).
+    let mut j = from;
+    let mut angle = 0i64;
+    while j < sig_end {
+        let t = &toks[j];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if angle <= 0 && t.is_punct("(") {
+            break;
+        }
+        j += 1;
+    }
+    let Some(close) = matching_paren(file, j) else {
+        return (Vec::new(), false);
+    };
+    let mut params = Vec::new();
+    let mut has_self = false;
+    let mut k = j + 1;
+    while k < close {
+        let t = &toks[k];
+        if t.is_ident("self") {
+            has_self = true;
+            k += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && toks.get(k + 1).is_some_and(|n| n.is_punct(":"))
+            && !file.token_in_attr(k)
+        {
+            // Only depth-1 `name :` pairs are parameters; skip over the
+            // type annotation to the next depth-1 comma.
+            let name = t.text.clone();
+            let mut types = Vec::new();
+            let mut m = k + 2;
+            let mut d = 0i64;
+            while m < close {
+                let t = &toks[m];
+                if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                    d += 1;
+                } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                    d -= 1;
+                } else if d <= 0 && t.is_punct(",") {
+                    break;
+                } else if t.kind == TokenKind::Ident
+                    && !t.is_ident("dyn")
+                    && !t.is_ident("mut")
+                    && !t.is_ident("impl")
+                {
+                    types.push(t.text.clone());
+                }
+                m += 1;
+            }
+            params.push(Param {
+                name,
+                type_names: types,
+            });
+            k = m + 1;
+            continue;
+        }
+        k += 1;
+    }
+    (params, has_self)
+}
+
+/// Collects typed locals and call sites from a fn body.
+fn parse_body(file: &SourceFile, open: usize, close: usize) -> (Vec<Local>, Vec<CallSite>) {
+    let toks = &file.tokens;
+    let mut locals = Vec::new();
+    let mut calls = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if file.token_in_attr(k) {
+            k += 1;
+            continue;
+        }
+        // `let name : Type` — record the declared type for narrowing.
+        if t.is_ident("let")
+            && toks.get(k + 1).is_some_and(|n| n.kind == TokenKind::Ident)
+            && toks.get(k + 2).is_some_and(|n| n.is_punct(":"))
+        {
+            let name = toks.get(k + 1).map(|n| n.text.clone()).unwrap_or_default();
+            let mut types = Vec::new();
+            let mut m = k + 3;
+            let mut d = 0i64;
+            while m < close {
+                let t = &toks[m];
+                if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                    d += 1;
+                } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                    d -= 1;
+                } else if d <= 0 && (t.is_punct("=") || t.is_punct(";")) {
+                    break;
+                } else if t.kind == TokenKind::Ident && !t.is_ident("dyn") && !t.is_ident("mut") {
+                    types.push(t.text.clone());
+                }
+                m += 1;
+            }
+            locals.push(Local {
+                name,
+                type_names: types,
+            });
+        }
+        // Call site: `ident (` that is not a keyword, macro, or decl.
+        if t.kind == TokenKind::Ident
+            && toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+            && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+            && !(k > 0 && toks[k - 1].is_ident("fn"))
+        {
+            if let Some(call) = parse_call(file, k, close) {
+                calls.push(call);
+            }
+        }
+        k += 1;
+    }
+    (locals, calls)
+}
+
+/// Builds the [`CallSite`] for the callee identifier at `k`.
+fn parse_call(file: &SourceFile, k: usize, limit: usize) -> Option<CallSite> {
+    let toks = &file.tokens;
+    let paren_open = k + 1;
+    let paren_close = matching_paren(file, paren_open)?;
+    if paren_close > limit {
+        return None;
+    }
+    let mut qualifier = None;
+    let mut is_method = false;
+    let mut receiver = Vec::new();
+    if k >= 2 && toks[k - 1].is_punct("::") && toks[k - 2].kind == TokenKind::Ident {
+        qualifier = Some(toks[k - 2].text.clone());
+    } else if k >= 2 && toks[k - 1].is_punct(".") {
+        is_method = true;
+        // Walk back a plain `a.b.c` identifier chain; give up (empty
+        // receiver) on anything more structured.
+        let mut idents = Vec::new();
+        let mut j = k - 2;
+        loop {
+            if toks[j].kind == TokenKind::Ident {
+                idents.push(toks[j].text.clone());
+                if j >= 2 && toks[j - 1].is_punct(".") && toks[j - 2].kind == TokenKind::Ident {
+                    j -= 2;
+                    continue;
+                }
+                // The chain must not itself be preceded by `.`/`)`/`]`
+                // (then the true receiver is an expression we don't see).
+                if j >= 1
+                    && (toks[j - 1].is_punct(".")
+                        || toks[j - 1].is_punct(")")
+                        || toks[j - 1].is_punct("]"))
+                {
+                    idents.clear();
+                }
+            }
+            break;
+        }
+        idents.reverse();
+        receiver = idents;
+    }
+    // Split args at depth-0 commas.
+    let mut args = Vec::new();
+    let mut start = paren_open + 1;
+    let mut depth = 0i64;
+    for (m, t) in toks
+        .iter()
+        .enumerate()
+        .take(paren_close)
+        .skip(paren_open + 1)
+    {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(",") {
+            if m > start {
+                args.push((start, m));
+            }
+            start = m + 1;
+        }
+    }
+    if paren_close > start {
+        args.push((start, paren_close));
+    }
+    Some(CallSite {
+        callee: toks[k].text.clone(),
+        qualifier,
+        is_method,
+        receiver,
+        tok: k,
+        paren_open,
+        line: toks[k].line,
+        args,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect())
+    }
+
+    #[test]
+    fn fn_items_carry_impl_context() {
+        let src = "struct Foo { sink: Box<dyn Sink> }\n\
+                   impl Foo {\n\
+                   fn a(&self) {}\n\
+                   }\n\
+                   impl Sink for Foo {\n\
+                   fn push(&mut self, b: u8) {}\n\
+                   }\n\
+                   fn free(x: u32) {}\n";
+        let w = ws(&[("crates/core/src/m.rs", src)]);
+        assert_eq!(w.fns.len(), 3);
+        let a = &w.fns[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.impl_type.as_deref(), Some("Foo"));
+        assert!(a.has_self);
+        let push = &w.fns[1];
+        assert_eq!(push.impl_trait.as_deref(), Some("Sink"));
+        assert_eq!(push.impl_type.as_deref(), Some("Foo"));
+        assert_eq!(push.params.len(), 1);
+        assert_eq!(push.params[0].name, "b");
+        let free = &w.fns[2];
+        assert!(free.impl_type.is_none());
+        assert_eq!(free.params[0].type_names, vec!["u32"]);
+        assert_eq!(
+            w.structs.get("Foo").unwrap().fields,
+            vec![("sink".to_string(), vec!["Box".into(), "Sink".into()])]
+        );
+    }
+
+    #[test]
+    fn call_sites_and_resolution() {
+        let a = "impl Svc {\n\
+                 fn outer(&self) { self.inner(); helper(1, 2); Other::make(); }\n\
+                 fn inner(&self) {}\n\
+                 }\n\
+                 fn helper(a: u8, b: u8) {}\n";
+        let b = "impl Other {\n\
+                 fn make() {}\n\
+                 }\n";
+        let w = ws(&[("crates/core/src/a.rs", a), ("crates/core/src/b.rs", b)]);
+        let outer = w.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert_eq!(outer.calls.len(), 3);
+        let inner_call = &outer.calls[0];
+        assert!(inner_call.is_method);
+        assert_eq!(inner_call.receiver, vec!["self"]);
+        let resolved = w.resolve(outer, inner_call);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(w.fns[resolved[0]].name, "inner");
+        let helper_call = &outer.calls[1];
+        assert_eq!(helper_call.args.len(), 2);
+        assert_eq!(w.fns[w.resolve(outer, helper_call)[0]].name, "helper");
+        let make_call = &outer.calls[2];
+        assert_eq!(make_call.qualifier.as_deref(), Some("Other"));
+        assert_eq!(w.fns[w.resolve(outer, make_call)[0]].name, "make");
+    }
+
+    #[test]
+    fn field_type_narrows_method_resolution() {
+        let src = "struct Log { sink: Box<dyn Sink> }\n\
+                   impl Log {\n\
+                   fn append(&self) { self.sink.append(); }\n\
+                   }\n\
+                   impl Sink for Mem {\n\
+                   fn append(&mut self) {}\n\
+                   }\n";
+        let w = ws(&[("crates/core/src/l.rs", src)]);
+        let log_append = w
+            .fns
+            .iter()
+            .find(|f| f.impl_type.as_deref() == Some("Log"))
+            .unwrap();
+        let call = &log_append.calls[0];
+        assert_eq!(call.receiver, vec!["self", "sink"]);
+        let resolved = w.resolve(log_append, call);
+        // Narrowed to the Sink impl, NOT back to Log::append itself.
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(w.fns[resolved[0]].impl_type.as_deref(), Some("Mem"));
+    }
+
+    #[test]
+    fn self_qualifier_resolves_to_impl_type() {
+        let src = "impl Node {\n\
+                   fn build() { Self::helper(); }\n\
+                   fn helper() {}\n\
+                   }\n";
+        let w = ws(&[("crates/core/src/n.rs", src)]);
+        let build = w.fns.iter().find(|f| f.name == "build").unwrap();
+        let r = w.resolve(build, &build.calls[0]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(w.fns[r[0]].name, "helper");
+    }
+
+    #[test]
+    fn module_qualifier_resolves_to_file_stem() {
+        let a = "fn go() { gre::encapsulate(); }\n";
+        let b = "pub fn encapsulate() {}\n";
+        let w = ws(&[("crates/wire/src/a.rs", a), ("crates/wire/src/gre.rs", b)]);
+        let go = w.fns.iter().find(|f| f.name == "go").unwrap();
+        let r = w.resolve(go, &go.calls[0]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(w.fns[r[0]].name, "encapsulate");
+    }
+
+    #[test]
+    fn trait_default_methods_reachable_from_impl_type() {
+        let src = "trait Plane {\n\
+                   fn frame(&self) { self.one(); }\n\
+                   fn one(&self);\n\
+                   }\n\
+                   impl Plane for Node {\n\
+                   fn one(&self) { self.frame(); }\n\
+                   }\n";
+        let w = ws(&[("crates/core/src/p.rs", src)]);
+        let one_impl = w
+            .fns
+            .iter()
+            .find(|f| f.name == "one" && f.impl_type.is_some())
+            .unwrap();
+        let r = w.resolve(one_impl, &one_impl.calls[0]);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert_eq!(w.fns[r[0]].name, "frame");
+        // And the default method's self-call resolves to the impl's fn
+        // (and the trait's own bodyless decl).
+        let frame = w.fns.iter().find(|f| f.name == "frame").unwrap();
+        let r = w.resolve(frame, &frame.calls[0]);
+        assert!(r
+            .iter()
+            .any(|&i| w.fns[i].impl_type.as_deref() == Some("Node")));
+    }
+
+    #[test]
+    fn unresolved_external_calls_have_no_edges() {
+        let src = "fn f(v: Vec<u8>) { v.push(1); std::fs::read(\"x\"); }\n";
+        let w = ws(&[("crates/core/src/x.rs", src)]);
+        let f = w.fns.first().unwrap();
+        for c in &f.calls {
+            assert!(w.resolve(f, c).is_empty(), "{c:?}");
+        }
+    }
+}

@@ -16,8 +16,9 @@
 //! index is also fine and not flagged — only a secret *in index
 //! position* is.
 
-use super::{is_postfix_bracket, matching_bracket, Rule};
+use super::{is_postfix_bracket, matching_bracket, Rule, WorkspaceRule};
 use crate::lexer::TokenKind;
+use crate::model::{FnItem, Workspace};
 use crate::source::{Finding, SourceFile};
 use std::collections::BTreeSet;
 
@@ -295,6 +296,254 @@ fn report_tainted_range(
     }
 }
 
+/// Inter-procedural CT-1: taint follows arguments across the call graph.
+///
+/// The token rule above only sees names — a helper receiving a key as
+/// `x: &[u8]` branches on it invisibly. This pass summarises, for every
+/// `(fn, parameter)` pair in the workspace, whether that parameter can
+/// reach a branch condition or index position (locally or by being
+/// forwarded into another sinking parameter), then reports each call
+/// site in `apna-crypto` where a name-seeded secret flows into such a
+/// parameter. Local sinks stay the token rule's job, so the two passes
+/// never double-report. Public accessors (`key.len()`) still launder
+/// taint at the argument boundary.
+pub struct Ct1Flow;
+
+/// Local dataflow for one fn under a given seed set: lines where taint
+/// reaches a sink, and which call arguments carry taint outward.
+struct LocalFlow {
+    /// Lines of branch / scrutinee / index sinks hit by the seeds.
+    sinks: Vec<u32>,
+    /// `(index into f.calls, argument index)` pairs whose argument
+    /// expression mentions a tainted identifier.
+    call_args: Vec<(usize, usize)>,
+}
+
+impl WorkspaceRule for Ct1Flow {
+    fn id(&self) -> &'static str {
+        "CT-1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "secrets passed across calls must stay constant-time in callees"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let resolved: Vec<Vec<Vec<usize>>> = ws
+            .fns
+            .iter()
+            .map(|f| {
+                f.calls
+                    .iter()
+                    .map(|c| {
+                        ws.resolve(f, c)
+                            .into_iter()
+                            .filter(|&i| !ws.fns[i].in_test)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        // Per-(fn, param) summaries, each seeded with just that param's
+        // name — name-blind, unlike the token rule.
+        let summaries: Vec<Vec<LocalFlow>> = ws
+            .fns
+            .iter()
+            .map(|f| {
+                let file = &ws.files[f.file];
+                f.params
+                    .iter()
+                    .map(|p| {
+                        let mut seed = BTreeSet::new();
+                        seed.insert(p.name.clone());
+                        local_flow(file, f, &seed)
+                    })
+                    .collect()
+            })
+            .collect();
+        // Fixpoint: param p of fn i reaches a sink if it sinks locally or
+        // flows into a callee parameter that does.
+        let mut reaches: Vec<Vec<bool>> = summaries
+            .iter()
+            .map(|s| s.iter().map(|lf| !lf.sinks.is_empty()).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..ws.fns.len() {
+                for p in 0..ws.fns[i].params.len() {
+                    if reaches[i][p] {
+                        continue;
+                    }
+                    let hit = summaries[i][p].call_args.iter().any(|&(ci, ai)| {
+                        resolved[i][ci]
+                            .iter()
+                            .any(|&j| ai < ws.fns[j].params.len() && reaches[j][ai])
+                    });
+                    if hit {
+                        reaches[i][p] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Report: name-seeded secrets in crypto-crate fns flowing into a
+        // sinking callee parameter.
+        for (i, f) in ws.fns.iter().enumerate() {
+            let file = &ws.files[f.file];
+            if f.in_test || !Ct1.applies_to(&file.path) {
+                continue;
+            }
+            let seeds: BTreeSet<String> = f
+                .params
+                .iter()
+                .map(|p| p.name.clone())
+                .filter(|n| seeds_taint(n))
+                .collect();
+            if seeds.is_empty() {
+                continue;
+            }
+            let flow = local_flow(file, f, &seeds);
+            for (ci, call) in f.calls.iter().enumerate() {
+                if file.in_test_region(call.line) {
+                    continue;
+                }
+                let target =
+                    flow.call_args
+                        .iter()
+                        .filter(|&&(c, _)| c == ci)
+                        .find_map(|&(_, ai)| {
+                            resolved[i][ci]
+                                .iter()
+                                .copied()
+                                .find(|&j| ai < ws.fns[j].params.len() && reaches[j][ai])
+                                .map(|j| (j, ai))
+                        });
+                let Some((j, ai)) = target else { continue };
+                let witness = sink_witness(ws, &summaries, &resolved, &reaches, j, ai);
+                out.push(Finding::new(
+                    "CT-1",
+                    file,
+                    call.line,
+                    format!(
+                        "secret-derived argument flows into `{}`, which is not constant-time ({witness})",
+                        call.callee
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Runs the single-pass taint walk from [`check_fn`] but collects sink
+/// lines and tainted call arguments instead of reporting.
+fn local_flow(file: &SourceFile, f: &FnItem, seeds: &BTreeSet<String>) -> LocalFlow {
+    let mut flow = LocalFlow {
+        sinks: Vec::new(),
+        call_args: Vec::new(),
+    };
+    let Some((open, close)) = f.body else {
+        return flow;
+    };
+    let toks = &file.tokens;
+    let mut tainted = seeds.clone();
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if file.in_test_region(t.line) {
+            k += 1;
+            continue;
+        }
+        if t.is_ident("fn") && !file.token_in_attr(k) {
+            // Nested fns have their own FnItem and their own summaries.
+            if let Some((_, c)) = fn_body(file, k) {
+                k = c + 1;
+                continue;
+            }
+        }
+        if t.is_ident("let") {
+            k = propagate_let(file, k, close, &mut tainted);
+            continue;
+        }
+        if t.is_ident("if") || t.is_ident("while") || t.is_ident("match") {
+            let end = condition_end(file, k + 1, close);
+            if range_tainted(file, k + 1, end, &tainted) {
+                flow.sinks.push(t.line);
+            }
+            k += 1;
+            continue;
+        }
+        if is_postfix_bracket(file, k) {
+            if let Some(cl) = matching_bracket(file, k) {
+                if range_tainted(file, k + 1, cl, &tainted) {
+                    flow.sinks.push(t.line);
+                }
+            }
+        }
+        k += 1;
+    }
+    for (ci, call) in f.calls.iter().enumerate() {
+        for (ai, &(s, e)) in call.args.iter().enumerate() {
+            if range_tainted(file, s, e, &tainted) {
+                flow.call_args.push((ci, ai));
+            }
+        }
+    }
+    flow
+}
+
+/// `true` if `[from, to)` mentions a tainted identifier outside a
+/// public-accessor use.
+fn range_tainted(file: &SourceFile, from: usize, to: usize, tainted: &BTreeSet<String>) -> bool {
+    let toks = &file.tokens;
+    (from..to.min(toks.len())).any(|m| {
+        toks[m].kind == TokenKind::Ident
+            && tainted.contains(&toks[m].text)
+            && !is_public_accessor_use(file, m)
+    })
+}
+
+/// A `f(p) → g(q) (path:line)` chain from `(i, p)` down to a local sink,
+/// for the finding message.
+fn sink_witness(
+    ws: &Workspace,
+    summaries: &[Vec<LocalFlow>],
+    resolved: &[Vec<Vec<usize>>],
+    reaches: &[Vec<bool>],
+    mut i: usize,
+    mut p: usize,
+) -> String {
+    let mut names = Vec::new();
+    let mut seen = BTreeSet::new();
+    while seen.insert((i, p)) {
+        names.push(format!("{}({})", ws.fns[i].name, ws.fns[i].params[p].name));
+        if let Some(&line) = summaries[i][p].sinks.first() {
+            return format!(
+                "via {} at {}:{line}",
+                names.join(" → "),
+                ws.files[ws.fns[i].file].path
+            );
+        }
+        let next = summaries[i][p].call_args.iter().find_map(|&(ci, ai)| {
+            resolved[i][ci]
+                .iter()
+                .copied()
+                .find(|&j| ai < ws.fns[j].params.len() && reaches[j][ai])
+                .map(|j| (j, ai))
+        });
+        match next {
+            Some((j, ai)) => {
+                i = j;
+                p = ai;
+            }
+            None => break,
+        }
+    }
+    format!("via {}", names.join(" → "))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +553,49 @@ mod tests {
         let mut out = Vec::new();
         Ct1.check(&f, &mut out);
         out
+    }
+
+    fn run_flow(files: &[(&str, &str)]) -> Vec<Finding> {
+        let ws = Workspace::build(files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect());
+        let mut out = Vec::new();
+        Ct1Flow.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn interproc_taint_through_two_edges() {
+        let src = "fn outer(key: &[u8; 16]) -> u8 { mid(key) }\n\
+                   fn mid(kx: &[u8; 16]) -> u8 { inner(kx) }\n\
+                   fn inner(x: &[u8; 16]) -> u8 { SBOX[x[0] as usize] }\n";
+        let out = run_flow(&[("crates/crypto/src/x.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 1);
+        assert!(out[0].message.contains("mid"), "{}", out[0].message);
+        assert!(out[0].message.contains("inner"), "{}", out[0].message);
+        assert!(out[0].message.contains(":3"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn len_argument_is_public_across_calls() {
+        let src = "fn outer(key: &[u8]) -> usize { helper(key.len()) }\n\
+                   fn helper(n: usize) -> usize { if n > 16 { 1 } else { 0 } }\n";
+        let out = run_flow(&[("crates/crypto/src/x.rs", src)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn local_sinks_are_left_to_the_token_rule() {
+        let src = "fn f(key: &[u8; 16]) -> u8 { SBOX[key[0] as usize] }\n";
+        let out = run_flow(&[("crates/crypto/src/x.rs", src)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn constant_time_callee_passes() {
+        let src = "fn outer(key: &[u8; 16]) -> u8 { xor_all(key) }\n\
+                   fn xor_all(x: &[u8; 16]) -> u8 { x.iter().fold(0, |a, b| a ^ b) }\n";
+        let out = run_flow(&[("crates/crypto/src/x.rs", src)]);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -1,0 +1,565 @@
+//! LOCK-1: lock-ordering discipline in the sharded control plane.
+//!
+//! The control plane went sharded and concurrent (HID-sharded host
+//! state, the durable ctrl_log behind a mutex, reader/writer maps in the
+//! directory); the moment two guards can be held at once, ordering is an
+//! invariant — and rustc checks none of it. This rule extracts every
+//! `.lock()` / `.read()` / `.write()` acquisition in `crates/core`,
+//! `crates/io`, and the daemon binaries, names each one a *lock class*
+//! (file stem + receiver field chain, so `ring.rs`'s `rx.inner` and
+//! `tx.inner` stay distinct), tracks how long each guard is plausibly
+//! held (a `let`-bound guard to the end of its block or an early
+//! `drop(guard)`, a temporary to the end of its statement), and flags:
+//!
+//! (a) **ordering cycles** — class A acquired while holding B somewhere
+//!     and B acquired while holding A somewhere else: the classic
+//!     two-thread deadlock;
+//! (b) **same-class reacquisition** — a guard held across a direct or
+//!     transitive acquisition of its own class: instant self-deadlock
+//!     with a non-reentrant mutex;
+//! (c) **I/O under a lock in daemon run loops** — file/socket calls
+//!     while a guard is held stall every thread contending for that
+//!     class for the duration of a syscall. Scoped to the daemons only:
+//!     the write-ahead `FileSink` in `ctrl_log.rs` does file I/O under
+//!     its lock *by design* (that ordering is WAL-1's whole point).
+//!
+//! Classes are name-based: only plain `self.field.…` / `binding.field.…`
+//! receiver chains are classified. Acquisitions through expression
+//! receivers (`self.shard(hid).write()`) are per-instance locks the
+//! token stream cannot name and are skipped rather than misjudged.
+
+use super::WorkspaceRule;
+use crate::lexer::TokenKind;
+use crate::model::{CallSite, Workspace};
+use crate::source::{Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// See module docs.
+pub struct Lock1;
+
+/// Method names that acquire a guard when called with no arguments.
+const ACQUIRE: [&str; 3] = ["lock", "read", "write"];
+
+/// Callee names treated as file/socket I/O when the call does not
+/// resolve to workspace code (a workspace fn named `read` or `open` is
+/// never mistaken for `std::io`).
+const IO_NAMES: [&str; 12] = [
+    "read",
+    "write",
+    "read_exact",
+    "write_all",
+    "flush",
+    "sync_all",
+    "sync_data",
+    "send",
+    "recv",
+    "send_to",
+    "recv_from",
+    "accept",
+];
+
+/// Files whose acquisitions participate in the analysis.
+fn in_scope(path: &str) -> bool {
+    path.contains("crates/core/src/") || path.contains("crates/io/src/") || is_daemon(path)
+}
+
+/// Daemon run-loop files — the only scope for check (c).
+fn is_daemon(path: &str) -> bool {
+    path.ends_with("src/daemon.rs")
+        || path.contains("src/bin/apna-border")
+        || path.contains("src/bin/apna-gateway")
+}
+
+/// `true` if `call` acquires a guard (`x.lock()` / `x.read()` /
+/// `x.write()` with no arguments — the I/O homonyms all take buffers).
+fn is_acquire(call: &CallSite) -> bool {
+    call.is_method && call.args.is_empty() && ACQUIRE.contains(&call.callee.as_str())
+}
+
+/// `true` if `call` is an I/O syscall wrapper external to the workspace.
+fn is_io(call: &CallSite, resolved: &[usize]) -> bool {
+    resolved.is_empty() && !is_acquire(call) && IO_NAMES.contains(&call.callee.as_str())
+}
+
+/// `true` if the call's resolution is grounded: a free/qualified call, a
+/// method on `self`, or a method whose root binding has a known type.
+/// Ungrounded methods resolve by name-only fallback — following those
+/// edges transitively turns every `guard.len()` into a phantom
+/// reacquisition, so the transitive checks skip them.
+fn grounded(f: &crate::model::FnItem, call: &CallSite) -> bool {
+    if !call.is_method {
+        return true;
+    }
+    match call.receiver.first() {
+        Some(root) => root == "self" || f.binding_types(root).is_some(),
+        None => false,
+    }
+}
+
+/// One guard acquisition: its lock class (when the receiver chain names
+/// one) and the token range the guard is plausibly held over.
+struct Acq {
+    class: Option<String>,
+    line: u32,
+    tok: usize,
+    region: (usize, usize),
+}
+
+/// Lock class for an acquisition: file stem plus the receiver chain
+/// minus a leading `self`. Expression receivers are unclassifiable.
+fn class_of(path: &str, call: &CallSite) -> Option<String> {
+    if call.receiver.is_empty() {
+        return None;
+    }
+    let stem = Workspace::stem(path);
+    let rest: Vec<&str> = call
+        .receiver
+        .iter()
+        .skip(usize::from(
+            call.receiver.first().is_some_and(|r| r == "self"),
+        ))
+        .map(String::as_str)
+        .collect();
+    if rest.is_empty() {
+        return Some(stem.to_string());
+    }
+    Some(format!("{stem}.{}", rest.join(".")))
+}
+
+/// Finds the matching `)` for the `(` at `open`.
+fn matching_paren(file: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in file.tokens.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Token range the guard from `call` is held over. A `let`-bound guard
+/// lives to the end of its enclosing block (or an earlier
+/// `drop(guard)`); a temporary lives to the end of its statement.
+fn guard_region(file: &SourceFile, body: (usize, usize), call: &CallSite) -> (usize, usize) {
+    let (bopen, bclose) = body;
+    let toks = &file.tokens;
+    // Statement start: walk back to the previous `;` / `{` / `}`.
+    let mut s = call.tok;
+    while s > bopen + 1 {
+        let t = &toks[s - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        s -= 1;
+    }
+    // Statement end: the next delimiter-balanced `;` (or block close).
+    let pc = matching_paren(file, call.paren_open).unwrap_or(call.paren_open);
+    let mut e = pc + 1;
+    let mut depth = 0i64;
+    while e < bclose {
+        let t = &toks[e];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            if depth < 0 {
+                break;
+            }
+        } else if depth == 0 && t.is_punct(";") {
+            break;
+        }
+        e += 1;
+    }
+    if !toks.get(s).is_some_and(|t| t.is_ident("let")) {
+        return (call.tok, e);
+    }
+    // `let`-bound: guard name for early-drop detection.
+    let mut g = s + 1;
+    while toks
+        .get(g)
+        .is_some_and(|t| t.is_ident("mut") || t.is_ident("ref"))
+    {
+        g += 1;
+    }
+    let name = toks
+        .get(g)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str());
+    // Enclosing block: innermost `{` still open at the acquisition.
+    let mut stack: Vec<usize> = Vec::new();
+    for (j, t) in toks.iter().enumerate().take(call.tok + 1).skip(bopen) {
+        if t.is_punct("{") {
+            stack.push(j);
+        } else if t.is_punct("}") {
+            stack.pop();
+        }
+    }
+    let bo = stack.last().copied().unwrap_or(bopen);
+    let mut end = file.matching_brace(bo).unwrap_or(bclose);
+    if let Some(name) = name {
+        for j in e..end {
+            if toks[j].is_ident("drop")
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("("))
+                && toks.get(j + 2).is_some_and(|t| t.is_ident(name))
+                && toks.get(j + 3).is_some_and(|t| t.is_punct(")"))
+            {
+                end = j;
+                break;
+            }
+        }
+    }
+    (call.tok, end)
+}
+
+impl WorkspaceRule for Lock1 {
+    fn id(&self) -> &'static str {
+        "LOCK-1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "lock classes must order consistently; no reacquisition or daemon I/O under a guard"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let resolved: Vec<Vec<Vec<usize>>> = ws
+            .fns
+            .iter()
+            .map(|f| {
+                f.calls
+                    .iter()
+                    .map(|c| {
+                        ws.resolve(f, c)
+                            .into_iter()
+                            .filter(|&i| !ws.fns[i].in_test)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        // Per-fn acquisitions in scoped files.
+        let acqs: Vec<Vec<Acq>> = ws
+            .fns
+            .iter()
+            .map(|f| {
+                let file = &ws.files[f.file];
+                let Some(body) = f.body else {
+                    return Vec::new();
+                };
+                if f.in_test || !in_scope(&file.path) {
+                    return Vec::new();
+                }
+                f.calls
+                    .iter()
+                    .filter(|c| is_acquire(c) && !file.in_test_region(c.line))
+                    .map(|c| Acq {
+                        class: class_of(&file.path, c),
+                        line: c.line,
+                        tok: c.tok,
+                        region: guard_region(file, body, c),
+                    })
+                    .collect()
+            })
+            .collect();
+        // Transitive summaries: classes a call into fn i can acquire, and
+        // whether it can reach I/O.
+        let mut classes: Vec<BTreeSet<String>> = acqs
+            .iter()
+            .map(|a| a.iter().filter_map(|q| q.class.clone()).collect())
+            .collect();
+        let mut does_io: Vec<bool> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                f.calls
+                    .iter()
+                    .enumerate()
+                    .any(|(ci, c)| is_io(c, &resolved[i][ci]))
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..ws.fns.len() {
+                for (ci, call) in ws.fns[i].calls.iter().enumerate() {
+                    if !grounded(&ws.fns[i], call) {
+                        continue;
+                    }
+                    for &j in &resolved[i][ci] {
+                        if !does_io[i] && does_io[j] {
+                            does_io[i] = true;
+                            changed = true;
+                        }
+                        if !classes[j].is_subset(&classes[i]) {
+                            let add: Vec<String> = classes[j].iter().cloned().collect();
+                            classes[i].extend(add);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Ordering edges (held class → acquired class) and direct checks.
+        let mut edges: BTreeMap<(String, String), (usize, u32)> = BTreeMap::new();
+        let mut dedup: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+        for (i, f) in ws.fns.iter().enumerate() {
+            let file = &ws.files[f.file];
+            for a in &acqs[i] {
+                let in_region = |tok: usize| tok > a.region.0 && tok < a.region.1;
+                // Direct: another acquisition while this guard is held.
+                for b in &acqs[i] {
+                    if !in_region(b.tok) {
+                        continue;
+                    }
+                    match (&a.class, &b.class) {
+                        (Some(ca), Some(cb)) if ca == cb => {
+                            let msg = format!(
+                                "lock class `{ca}` reacquired while already held \
+                                 (acquired at line {}) — self-deadlock",
+                                a.line
+                            );
+                            if dedup.insert((f.file, b.line, msg.clone())) {
+                                out.push(Finding::new("LOCK-1", file, b.line, msg));
+                            }
+                        }
+                        (Some(ca), Some(cb)) => {
+                            edges
+                                .entry((ca.clone(), cb.clone()))
+                                .or_insert((f.file, b.line));
+                        }
+                        _ => {}
+                    }
+                }
+                // Transitive: calls made while the guard is held. Only
+                // grounded calls propagate summaries — fallback-resolved
+                // methods would manufacture phantom edges.
+                for (ci, c) in f.calls.iter().enumerate() {
+                    if !in_region(c.tok) || is_acquire(c) {
+                        continue;
+                    }
+                    let callee_classes: BTreeSet<&String> = if grounded(f, c) {
+                        resolved[i][ci].iter().flat_map(|&j| &classes[j]).collect()
+                    } else {
+                        BTreeSet::new()
+                    };
+                    for cb in callee_classes {
+                        if a.class.as_ref() == Some(cb) {
+                            let msg = format!(
+                                "call to `{}` reacquires lock class `{cb}` already held \
+                                 (acquired at line {}) — self-deadlock",
+                                c.callee, a.line
+                            );
+                            if dedup.insert((f.file, c.line, msg.clone())) {
+                                out.push(Finding::new("LOCK-1", file, c.line, msg));
+                            }
+                        } else if let Some(ca) = &a.class {
+                            edges
+                                .entry((ca.clone(), cb.clone()))
+                                .or_insert((f.file, c.line));
+                        }
+                    }
+                    // (c) I/O while holding a guard, daemon files only.
+                    if is_daemon(&file.path)
+                        && (is_io(c, &resolved[i][ci])
+                            || (grounded(f, c) && resolved[i][ci].iter().any(|&j| does_io[j])))
+                    {
+                        let msg = format!(
+                            "I/O call `{}` while holding {} (acquired at line {}) \
+                             stalls the run loop — release the guard first",
+                            c.callee,
+                            a.class
+                                .as_deref()
+                                .map_or_else(|| "a guard".to_string(), |cl| format!("lock `{cl}`")),
+                            a.line
+                        );
+                        if dedup.insert((f.file, c.line, msg.clone())) {
+                            out.push(Finding::new("LOCK-1", file, c.line, msg));
+                        }
+                    }
+                }
+            }
+        }
+        // (a) Cycles: an edge whose target can reach back to its source.
+        let adj: BTreeMap<&String, Vec<&String>> =
+            edges.keys().fold(BTreeMap::new(), |mut m, (a, b)| {
+                m.entry(a).or_default().push(b);
+                m
+            });
+        for ((a, b), &(fi, line)) in &edges {
+            if reaches(&adj, b, a) {
+                out.push(Finding::new(
+                    "LOCK-1",
+                    &ws.files[fi],
+                    line,
+                    format!(
+                        "lock `{b}` acquired while holding `{a}`, but the reverse \
+                         order exists elsewhere — ordering cycle (deadlock)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `true` if `from` reaches `to` over the ordering edges.
+fn reaches(adj: &BTreeMap<&String, Vec<&String>>, from: &String, to: &String) -> bool {
+    let mut seen: BTreeSet<&String> = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = adj.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let ws = Workspace::build(files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect());
+        let mut out = Vec::new();
+        Lock1.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn inverted_two_lock_order_is_a_cycle() {
+        let src = "impl S {\n\
+                   fn one(&self) {\n\
+                   let g = self.a.lock();\n\
+                   let h = self.b.lock();\n\
+                   }\n\
+                   fn two(&self) {\n\
+                   let g = self.b.lock();\n\
+                   let h = self.a.lock();\n\
+                   }\n\
+                   }\n";
+        let out = run(&[("crates/core/src/pair.rs", src)]);
+        assert_eq!(out.len(), 2, "{out:?}");
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert!(lines.contains(&4) && lines.contains(&8), "{out:?}");
+        assert!(
+            out[0].message.contains("ordering cycle"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_passes() {
+        let src = "impl S {\n\
+                   fn one(&self) {\n\
+                   let g = self.a.lock();\n\
+                   let h = self.b.lock();\n\
+                   }\n\
+                   fn two(&self) {\n\
+                   let g = self.a.lock();\n\
+                   let h = self.b.lock();\n\
+                   }\n\
+                   }\n";
+        let out = run(&[("crates/core/src/pair.rs", src)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn transitive_same_class_reacquisition() {
+        let src = "impl S {\n\
+                   fn outer(&self) {\n\
+                   let g = self.a.lock();\n\
+                   self.helper();\n\
+                   }\n\
+                   fn helper(&self) {\n\
+                   let h = self.a.lock();\n\
+                   }\n\
+                   }\n";
+        let out = run(&[("crates/core/src/pair.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(
+            out[0].message.contains("self-deadlock"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn distinct_fields_in_one_file_are_distinct_classes() {
+        // ring.rs rx.inner vs tx.inner must not collide into one class.
+        let src = "impl Ring {\n\
+                   fn step(&self) {\n\
+                   let g = self.rx.inner.lock();\n\
+                   let h = self.tx.inner.lock();\n\
+                   }\n\
+                   }\n";
+        let out = run(&[("crates/io/src/ring.rs", src)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn daemon_io_under_guard_flagged() {
+        let src = "impl D {\n\
+                   fn step(&self) {\n\
+                   let g = self.state.lock();\n\
+                   self.sock.send_to(&[0u8], 1);\n\
+                   }\n\
+                   }\n";
+        let out = run(&[("src/daemon.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("send_to"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn daemon_io_after_drop_passes() {
+        let src = "impl D {\n\
+                   fn step(&self) {\n\
+                   let g = self.state.lock();\n\
+                   drop(g);\n\
+                   self.sock.send_to(&[0u8], 1);\n\
+                   }\n\
+                   }\n";
+        let out = run(&[("src/daemon.rs", src)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn ctrl_log_write_ahead_io_is_by_design() {
+        // Same shape as the daemon case, but in ctrl_log.rs: check (c)
+        // does not apply outside the daemons.
+        let src = "impl FileSink {\n\
+                   fn append(&self) {\n\
+                   let g = self.inner.lock();\n\
+                   self.file.write_all(&[0u8]);\n\
+                   }\n\
+                   }\n";
+        let out = run(&[("crates/core/src/ctrl_log.rs", src)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn temporary_guard_region_ends_at_statement() {
+        let src = "impl S {\n\
+                   fn f(&self) {\n\
+                   *self.a.lock() = 1;\n\
+                   *self.a.lock() = 2;\n\
+                   }\n\
+                   }\n";
+        let out = run(&[("crates/core/src/pair.rs", src)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,22 +1,29 @@
-//! The rule families. Each rule is a pure function over one
-//! [`SourceFile`]; path scoping and waiver application live in the
-//! engine ([`crate::check_sources`]), so tests can drive rules directly.
+//! The rule families. Token rules are pure functions over one
+//! [`SourceFile`]; dataflow rules run over the whole
+//! [`Workspace`] call graph. Path scoping and
+//! waiver application live in the engine ([`crate::check_sources`]), so
+//! tests can drive rules directly.
 
+use crate::model::Workspace;
 use crate::source::{Finding, SourceFile};
 
 mod ct1;
 mod det1;
+mod lock1;
 mod panic1;
 mod unsafe1;
+mod wal1;
 mod wire1;
 
-pub use ct1::Ct1;
+pub use ct1::{Ct1, Ct1Flow};
 pub use det1::Det1;
-pub use panic1::Panic1;
+pub use lock1::Lock1;
+pub use panic1::{Panic1, Panic1Flow};
 pub use unsafe1::Unsafe1;
+pub use wal1::Wal1;
 pub use wire1::Wire1;
 
-/// One enforceable invariant family.
+/// One enforceable invariant family checked per file.
 pub trait Rule {
     /// Stable id (uppercase, e.g. `CT-1`). Waivers use the lowercase form.
     fn id(&self) -> &'static str;
@@ -28,7 +35,20 @@ pub trait Rule {
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
 }
 
-/// All rules, in summary-table order.
+/// One invariant family checked over the workspace call graph. These
+/// rules scope themselves internally (to lock classes, protected
+/// regions, or crates) instead of per-path.
+pub trait WorkspaceRule {
+    /// Stable id; may coincide with a token rule's id when the dataflow
+    /// pass deepens the same invariant (CT-1, PANIC-1).
+    fn id(&self) -> &'static str;
+    /// One-line description for the summary table.
+    fn describe(&self) -> &'static str;
+    /// Appends findings for the whole workspace to `out`.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// All per-file rules, in summary-table order.
 #[must_use]
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
@@ -37,6 +57,17 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(Unsafe1::default()),
         Box::new(Panic1),
         Box::new(Wire1),
+    ]
+}
+
+/// All workspace dataflow rules, in summary-table order.
+#[must_use]
+pub fn workspace_all() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(Ct1Flow),
+        Box::new(Panic1Flow),
+        Box::new(Lock1),
+        Box::new(Wal1),
     ]
 }
 
@@ -68,6 +99,12 @@ pub(crate) fn is_postfix_bracket(file: &SourceFile, i: usize) -> bool {
                 | "ref"
                 | "as"
                 | "let"
+                // Visibility/type-position keywords (`pub [u8; 4]` in a
+                // tuple struct, `dyn [..]`, `impl [..]`).
+                | "pub"
+                | "dyn"
+                | "impl"
+                | "where"
         ),
         TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
         TokenKind::Literal | TokenKind::Lifetime => false,

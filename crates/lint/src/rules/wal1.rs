@@ -1,0 +1,266 @@
+//! WAL-1: write-ahead ordering on the EphID issuance path.
+//!
+//! The recovery contract of the durable control plane (and the paper's
+//! accountability story, LeePBSP16 §V) is that the AS can re-derive
+//! every EphID it ever handed out: the IV watermark append to the
+//! ctrl_log must be durable *before* any reply embedding that IV can
+//! exist. If a crash lands between reply construction and append, the
+//! host holds an EphID the AS has no record of — unattributable traffic,
+//! the exact thing APNA exists to prevent.
+//!
+//! This rule pins the ordering structurally: in `ManagementService` /
+//! `AsNode` methods (the issuance path), every `EphIdReply { … }`
+//! literal must be *dominated* by a ctrl_log watermark append — a
+//! `.next_iv(…)` / `.append(…)` on a `ctrl_log` receiver (or anything
+//! resolving to `LogHandle`), directly or through a call to a function
+//! that transitively appends. Dominated means textually earlier and not
+//! hidden inside a conditional the construction is outside of, so
+//! `if …, { append }` followed by an unconditional reply still fails.
+//! `EphIdReply::parse` and other codec code is out of scope: it
+//! reconstructs replies it did not issue.
+
+use super::WorkspaceRule;
+use crate::model::{CallSite, FnItem, Workspace};
+use crate::source::Finding;
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct Wal1;
+
+/// Impl types whose methods form the issuance path.
+const SCOPED_TYPES: [&str; 2] = ["ManagementService", "AsNode"];
+
+/// LogHandle methods that advance the durable watermark.
+const APPEND_METHODS: [&str; 2] = ["append", "next_iv"];
+
+/// `true` if `call` appends to the control log: an append-family method
+/// on a receiver chain naming `ctrl_log`, or resolving unambiguously to
+/// `LogHandle`.
+fn is_append_call(ws: &Workspace, f: &FnItem, call: &CallSite) -> bool {
+    if !call.is_method || !APPEND_METHODS.contains(&call.callee.as_str()) {
+        return false;
+    }
+    if call.receiver.iter().any(|r| r == "ctrl_log") {
+        return true;
+    }
+    let cands = ws.resolve(f, call);
+    !cands.is_empty()
+        && cands
+            .iter()
+            .all(|&j| ws.fns[j].impl_type.as_deref() == Some("LogHandle"))
+}
+
+/// Open-brace indices enclosing `tok` within the body `(open, close)`.
+fn brace_chain(ws: &Workspace, f: &FnItem, tok: usize) -> BTreeSet<usize> {
+    let file = &ws.files[f.file];
+    let Some((open, _)) = f.body else {
+        return BTreeSet::new();
+    };
+    let mut stack: Vec<usize> = Vec::new();
+    for (j, t) in file.tokens.iter().enumerate().take(tok + 1).skip(open) {
+        if t.is_punct("{") {
+            stack.push(j);
+        } else if t.is_punct("}") {
+            stack.pop();
+        }
+    }
+    stack.into_iter().collect()
+}
+
+impl WorkspaceRule for Wal1 {
+    fn id(&self) -> &'static str {
+        "WAL-1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "ctrl_log watermark append must dominate EphIdReply construction"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // Transitive append summary over the call graph.
+        let mut appends: Vec<bool> = ws
+            .fns
+            .iter()
+            .map(|f| f.calls.iter().any(|c| is_append_call(ws, f, c)))
+            .collect();
+        let resolved: Vec<Vec<Vec<usize>>> = ws
+            .fns
+            .iter()
+            .map(|f| {
+                f.calls
+                    .iter()
+                    .map(|c| {
+                        ws.resolve(f, c)
+                            .into_iter()
+                            .filter(|&i| !ws.fns[i].in_test)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..ws.fns.len() {
+                if appends[i] {
+                    continue;
+                }
+                let hit = (0..ws.fns[i].calls.len())
+                    .any(|ci| resolved[i][ci].iter().any(|&j| appends[j]));
+                if hit {
+                    appends[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (i, f) in ws.fns.iter().enumerate() {
+            let in_scope = f
+                .impl_type
+                .as_deref()
+                .is_some_and(|t| SCOPED_TYPES.contains(&t));
+            if !in_scope || f.in_test {
+                continue;
+            }
+            let file = &ws.files[f.file];
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let toks = &file.tokens;
+            // Append points in this fn: direct appends plus calls into
+            // transitively-appending fns.
+            let append_toks: Vec<usize> = f
+                .calls
+                .iter()
+                .enumerate()
+                .filter(|(ci, c)| {
+                    is_append_call(ws, f, c) || resolved[i][*ci].iter().any(|&j| appends[j])
+                })
+                .map(|(_, c)| c.tok)
+                .collect();
+            for k in open + 1..close {
+                let t = &toks[k];
+                if !t.is_ident("EphIdReply")
+                    || !toks.get(k + 1).is_some_and(|n| n.is_punct("{"))
+                    || file.token_in_attr(k)
+                    || file.in_test_region(t.line)
+                {
+                    continue;
+                }
+                let chain = brace_chain(ws, f, k);
+                let dominated = append_toks
+                    .iter()
+                    .any(|&a| a < k && brace_chain(ws, f, a).is_subset(&chain));
+                if !dominated {
+                    out.push(Finding::new(
+                        "WAL-1",
+                        file,
+                        t.line,
+                        "EphIdReply constructed before the ctrl_log watermark append — \
+                         the append must dominate construction (write-ahead ordering)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let ws = Workspace::build(files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect());
+        let mut out = Vec::new();
+        Wal1.check(&ws, &mut out);
+        out
+    }
+
+    const LOG: &str = "impl LogHandle {\n\
+                       pub fn next_iv(&self) -> [u8; 4] { [0; 4] }\n\
+                       pub fn append(&self) {}\n\
+                       }\n";
+
+    #[test]
+    fn reply_before_append_flagged() {
+        let src = "impl ManagementService {\n\
+                   fn finish(&self) -> EphIdReply {\n\
+                   let r = EphIdReply { iv: [0; 4] };\n\
+                   self.infra.ctrl_log.append();\n\
+                   r\n\
+                   }\n\
+                   }\n";
+        let out = run(&[
+            ("crates/core/src/management.rs", src),
+            ("crates/core/src/ctrl_log.rs", LOG),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[0].rule, "WAL-1");
+    }
+
+    #[test]
+    fn append_before_reply_passes() {
+        let src = "impl ManagementService {\n\
+                   fn finish(&self) -> EphIdReply {\n\
+                   let iv = self.infra.ctrl_log.next_iv();\n\
+                   EphIdReply { iv }\n\
+                   }\n\
+                   }\n";
+        let out = run(&[
+            ("crates/core/src/management.rs", src),
+            ("crates/core/src/ctrl_log.rs", LOG),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn conditional_append_does_not_dominate() {
+        let src = "impl AsNode {\n\
+                   fn finish(&self, ok: bool) -> EphIdReply {\n\
+                   if ok {\n\
+                   self.infra.ctrl_log.append();\n\
+                   }\n\
+                   EphIdReply { iv: [0; 4] }\n\
+                   }\n\
+                   }\n";
+        let out = run(&[
+            ("crates/core/src/control.rs", src),
+            ("crates/core/src/ctrl_log.rs", LOG),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 6);
+    }
+
+    #[test]
+    fn transitive_append_through_issue_dominates() {
+        let src = "impl ManagementService {\n\
+                   fn issue(&self) {\n\
+                   self.infra.ctrl_log.next_iv();\n\
+                   }\n\
+                   fn finish(&self) -> EphIdReply {\n\
+                   self.issue();\n\
+                   EphIdReply { iv: [0; 4] }\n\
+                   }\n\
+                   }\n";
+        let out = run(&[
+            ("crates/core/src/management.rs", src),
+            ("crates/core/src/ctrl_log.rs", LOG),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn codec_reconstruction_is_out_of_scope() {
+        let src = "impl EphIdReply {\n\
+                   fn parse(buf: &[u8]) -> EphIdReply {\n\
+                   EphIdReply { iv: [0; 4] }\n\
+                   }\n\
+                   }\n";
+        let out = run(&[("crates/core/src/control.rs", src)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -231,13 +231,16 @@ impl SourceFile {
             });
         }
         for w in &mut waivers {
-            w.target_line = if self.line_has_code(w.line) {
+            w.target_line = if self.line_has_code(w.line) && !self.attr_only_line(w.line) {
                 w.line
             } else {
-                // Own-line waiver: covers the next line that carries code.
+                // Own-line waiver: covers the next line that carries code,
+                // skipping attribute-only lines so a waiver above a
+                // `#[derive(..)]`-decorated item reaches the item itself
+                // (the same convention UNSAFE-1 uses for `// SAFETY:`).
                 let mut l = w.line + 1;
                 let last = self.lines_with_code.len() as u32;
-                while l <= last && !self.line_has_code(l) {
+                while l <= last && (!self.line_has_code(l) || self.attr_only_line(l)) {
                     l += 1;
                 }
                 l
@@ -361,6 +364,28 @@ mod tests {
         assert_eq!(f.waivers[1].rule, "ct-1");
         assert_eq!(f.waivers[1].target_line, 4);
         assert_eq!(f.waivers[1].reason, "public data");
+    }
+
+    #[test]
+    fn waiver_skips_attribute_lines() {
+        // A waiver above an attribute-decorated item must cover the item
+        // line below the attributes, not the attribute line itself.
+        let src = "// apna-lint: allow(panic-1, \"demo\")\n\
+                   #[inline]\n\
+                   #[must_use]\n\
+                   fn f() -> u8 { 0 }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].target_line, 4);
+    }
+
+    #[test]
+    fn trailing_waiver_on_attr_line_skips_forward() {
+        // A waiver trailing an attribute line still targets the item.
+        let src = "#[inline] // apna-lint: allow(ct-1, \"demo\")\n\
+                   fn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.waivers[0].target_line, 2);
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Interprocedural CT-1 known-bad fixture: the key reaches an S-box
+//! index two call edges away — no single function in the chain is
+//! visibly variable-time on its own.
+
+const SBOX: [u8; 256] = [0u8; 256];
+
+pub fn whiten(round_key: &[u8; 16]) -> u8 {
+    mix_column(round_key)
+}
+
+fn mix_column(bytes: &[u8; 16]) -> u8 {
+    substitute(bytes)
+}
+
+fn substitute(bytes: &[u8; 16]) -> u8 {
+    SBOX[bytes[0] as usize]
+}

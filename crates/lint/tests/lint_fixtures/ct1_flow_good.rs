@@ -1,0 +1,19 @@
+//! Interprocedural CT-1 known-good twin: only the key's *length* — a
+//! public fact — crosses the call edges, so nothing downstream is
+//! secret-dependent.
+
+pub fn whiten(round_key: &[u8]) -> u8 {
+    mix_column(round_key.len())
+}
+
+fn mix_column(n: usize) -> u8 {
+    substitute(n)
+}
+
+fn substitute(n: usize) -> u8 {
+    if n > 16 {
+        1
+    } else {
+        0
+    }
+}

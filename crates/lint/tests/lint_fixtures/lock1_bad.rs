@@ -1,0 +1,21 @@
+//! LOCK-1 known-bad fixture: the same two shard locks acquired in
+//! opposite orders by two entry points — the classic two-thread
+//! ordering deadlock.
+
+pub struct Shards;
+
+impl Shards {
+    fn ingest(&self) {
+        let hosts = self.hosts.lock();
+        let flows = self.flows.lock();
+        drop(flows);
+        drop(hosts);
+    }
+
+    fn expire(&self) {
+        let flows = self.flows.lock();
+        let hosts = self.hosts.lock();
+        drop(hosts);
+        drop(flows);
+    }
+}

@@ -1,0 +1,20 @@
+//! LOCK-1 known-good twin: both entry points take the shard locks in
+//! the same order, so no ordering cycle exists.
+
+pub struct Shards;
+
+impl Shards {
+    fn ingest(&self) {
+        let hosts = self.hosts.lock();
+        let flows = self.flows.lock();
+        drop(flows);
+        drop(hosts);
+    }
+
+    fn expire(&self) {
+        let hosts = self.hosts.lock();
+        let flows = self.flows.lock();
+        drop(flows);
+        drop(hosts);
+    }
+}

@@ -1,0 +1,13 @@
+//! LOCK-1 known-bad fixture: socket I/O on the daemon run loop while
+//! the state guard is still held — every thread contending for that
+//! class stalls for the duration of the syscall.
+
+pub struct Daemon;
+
+impl Daemon {
+    fn pump(&self) {
+        let guard = self.state.lock();
+        self.sock.send_to(&[0u8; 4], 9000);
+        drop(guard);
+    }
+}

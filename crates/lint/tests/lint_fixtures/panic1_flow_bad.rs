@@ -1,0 +1,15 @@
+//! Transitive PANIC-1 known-bad fixture: the panic sits two call edges
+//! below the protected entry point.
+
+pub fn forward(buf: &[u8]) -> u32 {
+    stage(buf)
+}
+
+fn stage(buf: &[u8]) -> u32 {
+    decode(buf)
+}
+
+fn decode(buf: &[u8]) -> u32 {
+    let first = buf.first().copied().unwrap();
+    u32::from(first)
+}

@@ -1,0 +1,15 @@
+//! Transitive PANIC-1 known-good twin: the deep helper degrades to a
+//! default instead of panicking, so the whole chain is unwind-free.
+
+pub fn forward(buf: &[u8]) -> u32 {
+    stage(buf)
+}
+
+fn stage(buf: &[u8]) -> u32 {
+    decode(buf)
+}
+
+fn decode(buf: &[u8]) -> u32 {
+    let first = buf.first().copied().unwrap_or(0);
+    u32::from(first)
+}

@@ -1,0 +1,8 @@
+//! Waiver-placement regression fixture: the waiver sits above the
+//! item's attributes and must cover the item's first code line, not
+//! the attribute line (see `SourceFile::parse_waivers`).
+
+// apna-lint: allow(panic-1, "fixture: attribute-decorated item below a waiver")
+#[inline]
+#[must_use]
+pub fn first_byte(buf: &[u8]) -> u8 { buf[0] }

@@ -1,0 +1,13 @@
+//! WAL-1 known-bad fixture: the reply embedding the issued IV exists
+//! before the watermark append — a crash between the two leaves the AS
+//! with no record of the EphID it handed out.
+
+pub struct ManagementService;
+
+impl ManagementService {
+    fn issue_reply(&self) -> EphIdReply {
+        let reply = EphIdReply { iv: [0u8; 4] };
+        self.infra.ctrl_log.append();
+        reply
+    }
+}

@@ -1,0 +1,11 @@
+//! WAL-1 known-good twin: the watermark append dominates construction,
+//! so the IV is durable before any reply embedding it can exist.
+
+pub struct ManagementService;
+
+impl ManagementService {
+    fn issue_reply(&self) -> EphIdReply {
+        let iv = self.infra.ctrl_log.next_iv();
+        EphIdReply { iv }
+    }
+}

@@ -128,17 +128,18 @@ impl PacketBatch {
         }
     }
 
-    /// The parse slot of packet `i`.
+    /// The parse slot of packet `i`. Out-of-range indices read as
+    /// [`ParsedSlot::Malformed`] — there is no packet there to forward.
     #[must_use]
     pub fn slot(&self, i: usize) -> ParsedSlot {
-        self.slots[i]
+        self.slots.get(i).copied().unwrap_or(ParsedSlot::Malformed)
     }
 
     /// The parsed header of packet `i`, if parsing succeeded.
     #[must_use]
     pub fn header(&self, i: usize) -> Option<&ApnaHeader> {
-        match &self.slots[i] {
-            ParsedSlot::Parsed { header, .. } => Some(header),
+        match self.slots.get(i) {
+            Some(ParsedSlot::Parsed { header, .. }) => Some(header),
             _ => None,
         }
     }
@@ -146,16 +147,18 @@ impl PacketBatch {
     /// The payload bytes of packet `i`, if parsing succeeded.
     #[must_use]
     pub fn payload(&self, i: usize) -> Option<&[u8]> {
-        match &self.slots[i] {
-            ParsedSlot::Parsed { payload_start, .. } => Some(&self.packets[i][*payload_start..]),
+        match self.slots.get(i) {
+            Some(ParsedSlot::Parsed { payload_start, .. }) => {
+                self.packets.get(i).and_then(|p| p.get(*payload_start..))
+            }
             _ => None,
         }
     }
 
-    /// The raw wire bytes of packet `i`.
+    /// The raw wire bytes of packet `i` (empty if out of range).
     #[must_use]
     pub fn bytes(&self, i: usize) -> &[u8] {
-        &self.packets[i]
+        self.packets.get(i).map_or(&[], Vec::as_slice)
     }
 
     /// Consumes the batch, returning the owned wire buffers (for
@@ -180,7 +183,10 @@ impl PacketBatch {
                 ParsedSlot::Parsed {
                     header,
                     payload_start,
-                } => Some((i, header, &self.packets[i][*payload_start..])),
+                } => {
+                    let payload = self.packets.get(i).and_then(|p| p.get(*payload_start..))?;
+                    Some((i, header, payload))
+                }
                 _ => None,
             })
     }

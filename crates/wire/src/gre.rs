@@ -27,25 +27,23 @@ pub const GRE_HEADER_LEN: usize = 4;
 /// Serializes the 4-byte basic GRE header for `protocol_type`.
 #[must_use]
 pub fn gre_header(protocol_type: u16) -> [u8; GRE_HEADER_LEN] {
-    let mut h = [0u8; GRE_HEADER_LEN];
     // Flags/version = 0 (RFC 2784 base header).
-    h[2..4].copy_from_slice(&protocol_type.to_be_bytes());
-    h
+    let [p0, p1] = protocol_type.to_be_bytes();
+    [0, 0, p0, p1]
 }
 
 /// Parses a GRE header; returns the protocol type and the payload.
 pub fn parse_gre(buf: &[u8]) -> Result<(u16, &[u8]), WireError> {
-    if buf.len() < GRE_HEADER_LEN {
+    let [flags, ver, p0, p1, payload @ ..] = buf else {
         return Err(WireError::Truncated);
-    }
-    if buf[0] & 0xb0 != 0 || buf[1] & 0x07 != 0 {
+    };
+    if flags & 0xb0 != 0 || ver & 0x07 != 0 {
         // Checksum/key/sequence flags or nonzero version: not supported.
         return Err(WireError::BadField {
             field: "gre flags/version",
         });
     }
-    let proto = u16::from_be_bytes(buf[2..4].try_into().unwrap());
-    Ok((proto, &buf[GRE_HEADER_LEN..]))
+    Ok((u16::from_be_bytes([*p0, *p1]), payload))
 }
 
 /// Encapsulates an APNA packet (header already serialized into

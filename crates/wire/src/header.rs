@@ -23,7 +23,7 @@
 //! nodes in a deployment agree on one mode, so the parse is unambiguous.
 
 use crate::types::{Aid, EphIdBytes, HostAddr};
-use crate::WireError;
+use crate::{read_arr, read_slice, WireError};
 
 /// Length of the base APNA header (Fig. 7).
 pub const APNA_HEADER_LEN: usize = 48;
@@ -121,17 +121,15 @@ impl ApnaHeader {
     /// returns the header and the remaining payload slice.
     pub fn parse(buf: &[u8], mode: ReplayMode) -> Result<(ApnaHeader, &[u8]), WireError> {
         let need = mode.header_len();
-        if buf.len() < need {
-            return Err(WireError::Truncated);
-        }
-        let src_aid = Aid::from_bytes(buf[0..4].try_into().unwrap());
-        let src_ephid = EphIdBytes::from_slice(&buf[4..20])?;
-        let dst_ephid = EphIdBytes::from_slice(&buf[20..36])?;
-        let dst_aid = Aid::from_bytes(buf[36..40].try_into().unwrap());
-        let mac: [u8; MAC_LEN] = buf[40..48].try_into().unwrap();
+        let rest = buf.get(need..).ok_or(WireError::Truncated)?;
+        let src_aid = Aid::from_bytes(read_arr(buf, 0)?);
+        let src_ephid = EphIdBytes::from_slice(read_slice(buf, 4, 16)?)?;
+        let dst_ephid = EphIdBytes::from_slice(read_slice(buf, 20, 16)?)?;
+        let dst_aid = Aid::from_bytes(read_arr(buf, 36)?);
+        let mac: [u8; MAC_LEN] = read_arr(buf, 40)?;
         let nonce = match mode {
             ReplayMode::Disabled => None,
-            ReplayMode::NonceExtension => Some(u64::from_be_bytes(buf[48..56].try_into().unwrap())),
+            ReplayMode::NonceExtension => Some(u64::from_be_bytes(read_arr(buf, 48)?)),
         };
         Ok((
             ApnaHeader {
@@ -140,7 +138,7 @@ impl ApnaHeader {
                 mac,
                 nonce,
             },
-            &buf[need..],
+            rest,
         ))
     }
 

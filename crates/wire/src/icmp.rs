@@ -103,7 +103,7 @@ impl IcmpMessage {
             icmp_type: IcmpType::DestinationUnreachable,
             code: code as u8,
             param: 0,
-            data: invoking_packet[..invoking_packet.len().min(64)].to_vec(),
+            data: quote(invoking_packet),
         }
     }
 
@@ -114,7 +114,7 @@ impl IcmpMessage {
             icmp_type: IcmpType::PacketTooBig,
             code: 0,
             param: mtu,
-            data: invoking_packet[..invoking_packet.len().min(64)].to_vec(),
+            data: quote(invoking_packet),
         }
     }
 
@@ -131,16 +131,24 @@ impl IcmpMessage {
 
     /// Parses a serialized ICMP message.
     pub fn parse(buf: &[u8]) -> Result<IcmpMessage, WireError> {
-        if buf.len() < 6 {
+        let [icmp_type, code, p0, p1, p2, p3, data @ ..] = buf else {
             return Err(WireError::Truncated);
-        }
+        };
         Ok(IcmpMessage {
-            icmp_type: IcmpType::from_u8(buf[0])?,
-            code: buf[1],
-            param: u32::from_be_bytes(buf[2..6].try_into().unwrap()),
-            data: buf[6..].to_vec(),
+            icmp_type: IcmpType::from_u8(*icmp_type)?,
+            code: *code,
+            param: u32::from_be_bytes([*p0, *p1, *p2, *p3]),
+            data: data.to_vec(),
         })
     }
+}
+
+/// Invoking-packet excerpt: at most the first 64 bytes.
+fn quote(invoking_packet: &[u8]) -> Vec<u8> {
+    invoking_packet
+        .get(..64)
+        .unwrap_or(invoking_packet)
+        .to_vec()
 }
 
 #[cfg(test)]

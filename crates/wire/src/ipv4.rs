@@ -30,7 +30,8 @@ impl Ipv4Addr {
 
 impl core::fmt::Display for Ipv4Addr {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+        let [a, b, c, d] = self.0;
+        write!(f, "{a}.{b}.{c}.{d}")
     }
 }
 
@@ -55,7 +56,9 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     let mut sum = 0u32;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        if let &[hi, lo] = c {
+            sum += u32::from(u16::from_be_bytes([hi, lo]));
+        }
     }
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
@@ -82,44 +85,69 @@ impl Ipv4Header {
     /// Serializes to 20 bytes with a valid checksum.
     #[must_use]
     pub fn serialize(&self) -> [u8; IPV4_HEADER_LEN] {
-        let mut h = [0u8; IPV4_HEADER_LEN];
-        h[0] = 0x45; // version 4, IHL 5
-        h[2..4].copy_from_slice(&self.total_len.to_be_bytes());
-        h[6] = 0x40; // don't fragment
-        h[8] = self.ttl;
-        h[9] = self.protocol;
-        h[12..16].copy_from_slice(&self.src.0);
-        h[16..20].copy_from_slice(&self.dst.0);
-        let csum = internet_checksum(&h);
-        h[10..12].copy_from_slice(&csum.to_be_bytes());
-        h
+        let [l0, l1] = self.total_len.to_be_bytes();
+        let [s0, s1, s2, s3] = self.src.0;
+        let [d0, d1, d2, d3] = self.dst.0;
+        // 0x45 = version 4 / IHL 5; 0x40 = don't fragment.
+        let layout = |c0: u8, c1: u8| -> [u8; IPV4_HEADER_LEN] {
+            [
+                0x45,
+                0,
+                l0,
+                l1,
+                0,
+                0,
+                0x40,
+                0,
+                self.ttl,
+                self.protocol,
+                c0,
+                c1,
+                s0,
+                s1,
+                s2,
+                s3,
+                d0,
+                d1,
+                d2,
+                d3,
+            ]
+        };
+        let [c0, c1] = internet_checksum(&layout(0, 0)).to_be_bytes();
+        layout(c0, c1)
     }
 
     /// Parses and checksum-verifies a header; returns header + payload.
     pub fn parse(buf: &[u8]) -> Result<(Ipv4Header, &[u8]), WireError> {
-        if buf.len() < IPV4_HEADER_LEN {
+        let head = buf.get(..IPV4_HEADER_LEN).ok_or(WireError::Truncated)?;
+        let &[ver_ihl, _, l0, l1, _, _, _, _, ttl, protocol, _, _, s0, s1, s2, s3, d0, d1, d2, d3] =
+            head
+        else {
             return Err(WireError::Truncated);
-        }
-        if buf[0] != 0x45 {
+        };
+        if ver_ihl != 0x45 {
             return Err(WireError::BadField {
                 field: "ipv4 version/ihl",
             });
         }
-        if internet_checksum(&buf[..IPV4_HEADER_LEN]) != 0 {
+        if internet_checksum(head) != 0 {
             return Err(WireError::BadChecksum);
         }
-        let total_len = u16::from_be_bytes(buf[2..4].try_into().unwrap());
-        if (total_len as usize) > buf.len() || (total_len as usize) < IPV4_HEADER_LEN {
+        let total_len = u16::from_be_bytes([l0, l1]);
+        if (total_len as usize) < IPV4_HEADER_LEN {
             return Err(WireError::LengthMismatch);
         }
+        let payload = buf
+            .get(IPV4_HEADER_LEN..total_len as usize)
+            .ok_or(WireError::LengthMismatch)?;
         let header = Ipv4Header {
-            src: Ipv4Addr(buf[12..16].try_into().unwrap()),
-            dst: Ipv4Addr(buf[16..20].try_into().unwrap()),
-            protocol: buf[9],
-            ttl: buf[8],
+            src: Ipv4Addr([s0, s1, s2, s3]),
+            dst: Ipv4Addr([d0, d1, d2, d3]),
+            protocol,
+            ttl,
             total_len,
         };
-        Ok((header, &buf[IPV4_HEADER_LEN..total_len as usize]))
+        Ok((header, payload))
     }
 }
 

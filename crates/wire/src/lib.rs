@@ -52,6 +52,25 @@ pub enum WireError {
     LengthMismatch,
 }
 
+/// Panic-free fixed-width read: the `N` bytes at `buf[off..off + N]`,
+/// or [`WireError::Truncated`]. The parse-path alternative to
+/// `buf[a..b].try_into().unwrap()`, which PANIC-1 (see LINTS.md) bans
+/// from wire code.
+pub fn read_arr<const N: usize>(buf: &[u8], off: usize) -> Result<[u8; N], WireError> {
+    let end = off.checked_add(N).ok_or(WireError::Truncated)?;
+    let src = buf.get(off..end).ok_or(WireError::Truncated)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(src);
+    Ok(out)
+}
+
+/// Panic-free subslice: `buf[off..off + len]`, or
+/// [`WireError::Truncated`].
+pub fn read_slice(buf: &[u8], off: usize, len: usize) -> Result<&[u8], WireError> {
+    let end = off.checked_add(len).ok_or(WireError::Truncated)?;
+    buf.get(off..end).ok_or(WireError::Truncated)
+}
+
 impl core::fmt::Display for WireError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {

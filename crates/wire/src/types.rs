@@ -52,29 +52,33 @@ impl EphIdBytes {
     /// The AES-CTR ciphertext of `HID ‖ ExpTime` (8 bytes).
     #[must_use]
     pub fn ciphertext(&self) -> [u8; 8] {
-        self.0[..8].try_into().unwrap()
+        let [c0, c1, c2, c3, c4, c5, c6, c7, ..] = self.0;
+        [c0, c1, c2, c3, c4, c5, c6, c7]
     }
 
     /// The per-EphID CTR initialization vector (4 bytes).
     #[must_use]
     pub fn iv(&self) -> [u8; 4] {
-        self.0[8..12].try_into().unwrap()
+        let [_, _, _, _, _, _, _, _, i0, i1, i2, i3, ..] = self.0;
+        [i0, i1, i2, i3]
     }
 
     /// The truncated CBC-MAC authentication tag (4 bytes).
     #[must_use]
     pub fn mac(&self) -> [u8; 4] {
-        self.0[12..16].try_into().unwrap()
+        let [.., m0, m1, m2, m3] = self.0;
+        [m0, m1, m2, m3]
     }
 
     /// Assembles an EphID from its three regions.
     #[must_use]
     pub fn from_parts(ciphertext: [u8; 8], iv: [u8; 4], mac: [u8; 4]) -> EphIdBytes {
-        let mut out = [0u8; EPHID_LEN];
-        out[..8].copy_from_slice(&ciphertext);
-        out[8..12].copy_from_slice(&iv);
-        out[12..16].copy_from_slice(&mac);
-        EphIdBytes(out)
+        let [c0, c1, c2, c3, c4, c5, c6, c7] = ciphertext;
+        let [i0, i1, i2, i3] = iv;
+        let [m0, m1, m2, m3] = mac;
+        EphIdBytes([
+            c0, c1, c2, c3, c4, c5, c6, c7, i0, i1, i2, i3, m0, m1, m2, m3,
+        ])
     }
 
     /// Parses from a slice (must be exactly 16 bytes).
@@ -93,11 +97,8 @@ impl EphIdBytes {
 impl core::fmt::Debug for EphIdBytes {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // EphIDs are opaque; print a short fingerprint for logs.
-        write!(
-            f,
-            "EphID({:02x}{:02x}{:02x}{:02x}..)",
-            self.0[0], self.0[1], self.0[2], self.0[3]
-        )
+        let [b0, b1, b2, b3, ..] = self.0;
+        write!(f, "EphID({b0:02x}{b1:02x}{b2:02x}{b3:02x}..)")
     }
 }
 
